@@ -1,0 +1,82 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the costs
+//! of the modeling substrate (diff, conformance, textual parsing, OCL-lite
+//! evaluation) and of the execution machinery (stack machine, model-driven
+//! broker dispatch). These are the per-call prices behind E2/E3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mddsm_meta::constraint::{self, eval_bool, EvalEnv};
+use mddsm_meta::diff::{diff, DiffOptions};
+use mddsm_meta::metamodel::{DataType, Metamodel, MetamodelBuilder, Multiplicity};
+use mddsm_meta::model::Model;
+use mddsm_meta::{conformance, text, Value};
+
+fn mm() -> Metamodel {
+    MetamodelBuilder::new("bench")
+        .class("Node", |c| {
+            c.attr("name", DataType::Str)
+                .attr_default("weight", DataType::Int, Value::from(1))
+                .invariant("positive", "self.weight > 0")
+        })
+        .class("Graph", |c| {
+            c.attr("name", DataType::Str).contains("nodes", "Node", Multiplicity::MANY)
+        })
+        .build()
+        .unwrap()
+}
+
+fn model(n: usize) -> Model {
+    let mut m = Model::new("bench");
+    let g = m.create("Graph");
+    m.set_attr(g, "name", Value::from("g"));
+    for i in 0..n {
+        let node = m.create("Node");
+        m.set_attr(node, "name", Value::from(format!("n{i}")));
+        m.set_attr(node, "weight", Value::from(i as i64 + 1));
+        m.add_ref(g, "nodes", node);
+    }
+    m
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let metamodel = mm();
+    let m100 = model(100);
+    let mut m100b = m100.clone();
+    // Touch ~10% of the objects for a realistic incremental diff.
+    for id in m100b.all_of_class("Node").into_iter().take(10) {
+        m100b.set_attr(id, "weight", Value::from(999));
+    }
+
+    let mut group = c.benchmark_group("substrate");
+    group.bench_function("conformance_check_100_objects", |b| {
+        b.iter(|| conformance::check(&m100, &metamodel).unwrap());
+    });
+    group.bench_function("model_diff_100_objects_10_changed", |b| {
+        b.iter(|| diff(&m100, &m100b, &DiffOptions::default()));
+    });
+    let written = text::write(&m100);
+    group.bench_function("text_parse_100_objects", |b| {
+        b.iter(|| text::parse(&written).unwrap());
+    });
+    group.bench_function("text_write_100_objects", |b| {
+        b.iter(|| text::write(&m100));
+    });
+    let expr = constraint::parse(
+        "self.nodes->forAll(n | n.weight > 0) and self.nodes->size() >= 100",
+    )
+    .unwrap();
+    let g = m100.all_of_class("Graph")[0];
+    group.bench_function("ocl_forall_over_100_nodes", |b| {
+        let env = EvalEnv::for_object(&m100, &metamodel, g);
+        b.iter(|| eval_bool(&expr, &env).unwrap());
+    });
+    group.bench_function("constraint_parse", |b| {
+        b.iter(|| {
+            constraint::parse("self.kind = MediaKind::Video implies self.bandwidth > 100")
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Ablations over the design choices DESIGN.md calls out.
+//!
+//! * **A1 — repository size**: cold IM-generation time as the procedure
+//!   repository grows (the §VII-B experiment fixed it at ~100).
+//! * **A2 — beam width**: the generation search is bounded by a beam;
+//!   the ablation shows the latency/score trade-off.
+//! * **A3 — service work**: the E2 overhead percentage as a function of
+//!   per-call service CPU work — interpretation overhead is constant per
+//!   call, so the percentage falls as real service work grows, which is
+//!   how the paper's testbed lands at ~17%.
+
+use crate::e3::curated_repository;
+use mddsm_controller::{ControllerContext, GenerationConfig};
+use std::time::Instant;
+
+/// One row of the repository-size sweep.
+#[derive(Debug, Clone)]
+pub struct SizeRow {
+    /// Procedures in the repository.
+    pub procedures: usize,
+    /// Cold full-cycle time (µs, best of 5).
+    pub cold_us: f64,
+    /// Generated IM size (nodes).
+    pub im_size: usize,
+}
+
+/// A1: cold generation time vs repository size.
+pub fn repo_size_sweep() -> Vec<SizeRow> {
+    [3usize, 6, 9, 15, 30]
+        .iter()
+        .map(|&families| {
+            let (dscs, repo, root) = curated_repository(families, 3, 4);
+            let ctx = ControllerContext::new();
+            let config = GenerationConfig::default();
+            let mut best = f64::INFINITY;
+            let mut im_size = 0;
+            for _ in 0..5 {
+                let start = Instant::now();
+                let im = mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config)
+                    .expect("curated repository resolves");
+                best = best.min(start.elapsed().as_secs_f64() * 1e6);
+                im_size = im.size();
+            }
+            SizeRow { procedures: repo.len(), cold_us: best, im_size }
+        })
+        .collect()
+}
+
+/// One row of the beam-width sweep.
+#[derive(Debug, Clone)]
+pub struct BeamRow {
+    /// Beam width used.
+    pub beam: usize,
+    /// Cold full-cycle time (µs, best of 5).
+    pub cold_us: f64,
+    /// Cost score of the selected IM (lower is better).
+    pub score: f64,
+}
+
+/// A2: generation latency and selection quality vs beam width.
+pub fn beam_width_sweep() -> Vec<BeamRow> {
+    let (dscs, repo, root) = curated_repository(9, 3, 4);
+    let ctx = ControllerContext::new();
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&beam| {
+            let config = GenerationConfig { beam_width: beam, ..GenerationConfig::default() };
+            let mut best = f64::INFINITY;
+            let mut score = 0.0;
+            for _ in 0..5 {
+                let start = Instant::now();
+                let im = mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config)
+                    .expect("curated repository resolves");
+                best = best.min(start.elapsed().as_secs_f64() * 1e6);
+                score = config.policy.score(&im, &repo);
+            }
+            BeamRow { beam, cold_us: best, score }
+        })
+        .collect()
+}
+
+/// One row of the service-work sweep.
+#[derive(Debug, Clone)]
+pub struct WorkRow {
+    /// FNV rounds of CPU work per service call.
+    pub work: u32,
+    /// Mean E2 overhead percentage at this work level.
+    pub overhead_pct: f64,
+}
+
+/// A3: E2 overhead vs per-call service work.
+pub fn work_sweep(reps: u32) -> Vec<WorkRow> {
+    [1_000u32, 4_000, 16_000, 64_000]
+        .iter()
+        .map(|&work| WorkRow {
+            work,
+            overhead_pct: crate::e2::run(7, work, reps).mean_overhead_pct,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_time_grows_with_repository() {
+        let rows = repo_size_sweep();
+        assert_eq!(rows.len(), 5);
+        // More families -> more procedures and larger IMs.
+        assert!(rows.windows(2).all(|w| w[0].procedures < w[1].procedures));
+        assert!(rows.windows(2).all(|w| w[0].im_size < w[1].im_size));
+        // The largest repository is measurably (not catastrophically)
+        // more expensive than the smallest.
+        let (first, last) = (rows.first().unwrap(), rows.last().unwrap());
+        assert!(last.cold_us > first.cold_us * 1.5, "{rows:?}");
+    }
+
+    #[test]
+    fn wider_beams_never_pick_worse_configurations() {
+        let rows = beam_width_sweep();
+        // Scores are non-increasing with beam width (more alternatives
+        // explored can only improve the optimum found).
+        assert!(
+            rows.windows(2).all(|w| w[1].score <= w[0].score + 1e-9),
+            "{rows:?}"
+        );
+    }
+
+    #[test]
+    fn overhead_decreases_as_service_work_dominates() {
+        let rows = work_sweep(3);
+        let first = rows.first().unwrap().overhead_pct;
+        let last = rows.last().unwrap().overhead_pct;
+        assert!(
+            last < first,
+            "overhead should fall as service work grows: {rows:?}"
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Regenerates every measurement of the paper's §VII evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments            # all experiments
+//! cargo run --release -p bench --bin experiments -- e3 e4   # a subset
+//! cargo run --release -p bench --bin experiments -- quick   # CI-sized run
+//! ```
+
+use bench::{ablation, e1, e2, e3, e4, e5};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let want = |name: &str| {
+        args.is_empty() || args.iter().all(|a| a == "quick") || args.iter().any(|a| a == name)
+    };
+
+    println!("MD-DSM reproduction — experiments of ICDCS'17 §VII");
+    println!("====================================================\n");
+
+    if want("e1") {
+        run_e1();
+    }
+    if want("e2") {
+        run_e2(quick);
+    }
+    if want("e3") {
+        run_e3(quick);
+    }
+    if want("e4") {
+        run_e4(quick);
+    }
+    if want("e5") {
+        run_e5();
+    }
+    if want("ablations") {
+        run_ablations(quick);
+    }
+}
+
+fn run_ablations(quick: bool) {
+    println!("A — ablations over DESIGN.md's design choices");
+    println!("----------------------------------------------");
+    println!("A1: cold IM-generation time vs repository size");
+    println!("{:>12} {:>12} {:>10}", "procedures", "cold (us)", "IM nodes");
+    for r in ablation::repo_size_sweep() {
+        println!("{:>12} {:>12.1} {:>10}", r.procedures, r.cold_us, r.im_size);
+    }
+    println!("\nA2: generation latency / selection quality vs beam width");
+    println!("{:>6} {:>12} {:>10}", "beam", "cold (us)", "score");
+    for r in ablation::beam_width_sweep() {
+        println!("{:>6} {:>12.1} {:>10.2}", r.beam, r.cold_us, r.score);
+    }
+    println!("\nA3: E2 overhead vs per-call service work (why 17% is testbed-relative)");
+    println!("{:>10} {:>12}", "work", "overhead");
+    for r in ablation::work_sweep(if quick { 5 } else { 20 }) {
+        println!("{:>10} {:>11.1}%", r.work, r.overhead_pct);
+    }
+    println!();
+}
+
+fn run_e1() {
+    println!("E1 — behavioural equivalence of model-based vs handcrafted Broker (§VII-A)");
+    println!("---------------------------------------------------------------------------");
+    println!("{:<42} {:>9} {:>12}", "scenario", "commands", "equivalent");
+    let rows = e1::run(2024);
+    for r in &rows {
+        println!("{:<42} {:>9} {:>12}", r.scenario, r.commands, r.equivalent);
+    }
+    let all = rows.iter().all(|r| r.equivalent);
+    println!(
+        "\n  paper: identical command sequences for all scenarios\n  measured: {} / {} scenarios equivalent -> {}\n",
+        rows.iter().filter(|r| r.equivalent).count(),
+        rows.len(),
+        if all { "REPRODUCED" } else { "DIVERGED" }
+    );
+}
+
+fn run_e2(quick: bool) {
+    println!("E2 — model-interpretation overhead across the 8 scenarios (§VII-A)");
+    println!("-------------------------------------------------------------------");
+    // Full mode uses the work level at which per-call service work
+    // dominates like the paper's testbed (see ablation A3); quick mode
+    // trades fidelity for CI time.
+    let (work, reps) = if quick { (4_000, 10) } else { (10_000, 40) };
+    let result = e2::run(2024, work, reps);
+    println!(
+        "{:<42} {:>14} {:>14} {:>10}",
+        "scenario", "handcrafted", "model-based", "overhead"
+    );
+    for r in &result.rows {
+        println!(
+            "{:<42} {:>11} us {:>11} us {:>9.1}%",
+            r.scenario, r.handcrafted_us as u64, r.model_based_us as u64, r.overhead_pct
+        );
+    }
+    println!(
+        "\n  paper: model-based version ~17% slower on average\n  measured: {:.1}% mean overhead\n",
+        result.mean_overhead_pct
+    );
+}
+
+fn run_e3(quick: bool) {
+    println!("E3 — intent-model generation cycle amortization (§VII-B)");
+    println!("---------------------------------------------------------");
+    let max_cycles = if quick { 10_000 } else { 100_000 };
+    let r = e3::run(max_cycles);
+    println!("  repository: {} curated procedures; generated IM spans {} nodes", r.procedures, r.im_size);
+    println!("  first full cycle (generation+validation+selection): {:.3} ms", r.first_cycle_us / 1000.0);
+    println!("\n{:>10} {:>16}", "cycles", "avg per cycle");
+    for p in &r.series {
+        println!("{:>10} {:>13.3} us", p.cycles, p.avg_us);
+    }
+    let last = r.series.last().unwrap();
+    println!(
+        "\n  paper: first cycle < 120 ms; average -> ~1 ms approaching 100k cycles\n  measured: first {:.3} ms; avg at {} cycles {:.3} us ({}x amortization)\n",
+        r.first_cycle_us / 1000.0,
+        last.cycles,
+        last.avg_us,
+        (r.first_cycle_us / last.avg_us) as u64
+    );
+}
+
+fn run_e4(quick: bool) {
+    println!("E4 — adaptive vs non-adaptive Controller response time (§VII-B)");
+    println!("----------------------------------------------------------------");
+    let d = e4::dynamic(2024);
+    println!("  dynamic scenario (media engine down; virtual time):");
+    println!(
+        "    adaptive    : {:>8.1} ms  completed={}",
+        d.adaptive_ms, d.adaptive_completed
+    );
+    println!(
+        "    non-adaptive: {:>8.1} ms  completed={}",
+        d.nonadaptive_ms, d.nonadaptive_completed
+    );
+    println!("    speedup     : {:>8.2}x", d.speedup);
+    let s = e4::static_scenario(2024, if quick { 5 } else { 25 });
+    println!("  static scenario (healthy services; wall clock, cold engines):");
+    println!("    adaptive    : {:>8.1} us per command", s.adaptive_us);
+    println!("    non-adaptive: {:>8.1} us per command", s.nonadaptive_us);
+    println!("    slowdown    : {:>8.2}x", s.slowdown);
+    println!(
+        "\n  paper: ~800 ms adaptive vs ~4000 ms non-adaptive when adaptation helps;\n         adaptive measurably slower otherwise\n  measured: {:.0} ms vs {:.0} ms ({:.1}x); static slowdown {:.2}x\n",
+        d.adaptive_ms, d.nonadaptive_ms, d.speedup, s.slowdown
+    );
+}
+
+fn run_e5() {
+    println!("E5 — lines-of-code reduction from separating domain concerns (§VII-B)");
+    println!("----------------------------------------------------------------------");
+    match e5::run() {
+        Ok(r) => {
+            println!("{:<36} {:>8} {:>10}", "file", "LoC", "raw lines");
+            println!(
+                "{:<36} {:>8} {:>10}",
+                r.monolithic.file, r.monolithic.loc, r.monolithic.raw_lines
+            );
+            println!(
+                "{:<36} {:>8} {:>10}",
+                r.artifacts.file, r.artifacts.loc, r.artifacts.raw_lines
+            );
+            println!(
+                "\n  paper: 1402 -> 1176 LoC ({:.1}% reduction)\n  measured: {} -> {} LoC ({:.1}% reduction)\n",
+                (1402.0 - 1176.0) / 1402.0 * 100.0,
+                r.monolithic.loc,
+                r.artifacts.loc,
+                r.reduction_pct
+            );
+        }
+        Err(e) => println!("  E5 skipped: {e}"),
+    }
+}

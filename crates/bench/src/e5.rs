@@ -1,0 +1,136 @@
+//! E5 — lines-of-code comparison (§VII-B).
+//!
+//! "Additionally, due to the separation of domain-specific concerns, we
+//! were able to achieve a reduction in lines of code (from 1402 to 1176)
+//! resulting in smaller compiled bytecode and execution footprint."
+//!
+//! The comparison counts the *domain-specific artifact* representation of
+//! the CVM controller (`crates/cvm/src/artifacts.rs`: DSCs, procedures,
+//! EUs, actions, command map — pure data consumed by the reusable engine)
+//! against the previous-generation monolithic controller
+//! (`crates/cvm/src/monolithic.rs`: the same command set with the domain
+//! logic woven into hand-written control flow). Counted lines are
+//! non-blank, non-comment, and exclude test modules. The shape to
+//! reproduce: the separated artifacts are strictly smaller.
+
+use std::path::{Path, PathBuf};
+
+/// LoC count for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocCount {
+    /// Path relative to the workspace.
+    pub file: String,
+    /// Non-blank, non-comment, non-test lines.
+    pub loc: usize,
+    /// Raw line count.
+    pub raw_lines: usize,
+}
+
+/// Counts non-blank, non-comment lines up to the first `#[cfg(test)]`.
+pub fn count_loc(source: &str) -> (usize, usize) {
+    let mut loc = 0usize;
+    let mut raw = 0usize;
+    let mut in_block_comment = false;
+    for line in source.lines() {
+        raw += 1;
+        let trimmed = line.trim();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if in_block_comment {
+            if trimmed.contains("*/") {
+                in_block_comment = false;
+            }
+            continue;
+        }
+        if trimmed.is_empty()
+            || trimmed.starts_with("//")
+            || trimmed.starts_with("//!")
+            || trimmed.starts_with("///")
+        {
+            continue;
+        }
+        if trimmed.starts_with("/*") {
+            if !trimmed.contains("*/") {
+                in_block_comment = true;
+            }
+            continue;
+        }
+        loc += 1;
+    }
+    (loc, raw)
+}
+
+fn cvm_src() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../cvm/src")
+}
+
+/// Counts a file under `crates/cvm/src`.
+pub fn count_file(name: &str) -> std::io::Result<LocCount> {
+    let path = cvm_src().join(name);
+    let source = std::fs::read_to_string(&path)?;
+    let (loc, raw_lines) = count_loc(&source);
+    Ok(LocCount { file: format!("crates/cvm/src/{name}"), loc, raw_lines })
+}
+
+/// Full E5 result.
+#[derive(Debug, Clone)]
+pub struct E5Result {
+    /// The monolithic (woven) controller.
+    pub monolithic: LocCount,
+    /// The separated domain artifacts.
+    pub artifacts: LocCount,
+    /// Reduction percentage ((mono - artifacts) / mono).
+    pub reduction_pct: f64,
+}
+
+/// Runs the LoC comparison on the real files of this repository.
+pub fn run() -> std::io::Result<E5Result> {
+    let monolithic = count_file("monolithic.rs")?;
+    let artifacts = count_file("artifacts.rs")?;
+    let reduction_pct =
+        (monolithic.loc as f64 - artifacts.loc as f64) / monolithic.loc as f64 * 100.0;
+    Ok(E5Result { monolithic, artifacts, reduction_pct })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_skips_blanks_comments_and_tests() {
+        let src = r#"
+// comment
+//! doc
+/// doc
+fn a() {}
+
+/* block
+   comment */
+fn b() {}
+#[cfg(test)]
+mod tests {
+    fn never_counted() {}
+}
+"#;
+        let (loc, raw) = count_loc(src);
+        assert_eq!(loc, 2, "only the two fn lines count");
+        assert!(raw >= 10);
+    }
+
+    #[test]
+    fn artifacts_are_smaller_than_the_monolith() {
+        let r = run().expect("cvm sources present");
+        assert!(
+            r.artifacts.loc < r.monolithic.loc,
+            "expected artifacts ({}) < monolithic ({})",
+            r.artifacts.loc,
+            r.monolithic.loc
+        );
+        // Both are substantial implementations, not stubs.
+        assert!(r.monolithic.loc > 100, "monolithic {}", r.monolithic.loc);
+        assert!(r.artifacts.loc > 100, "artifacts {}", r.artifacts.loc);
+        // Paper shape: a moderate reduction (theirs was ~16%).
+        assert!(r.reduction_pct > 0.0 && r.reduction_pct < 60.0, "{:.1}%", r.reduction_pct);
+    }
+}

@@ -1,0 +1,35 @@
+//! Evaluation harness for the MD-DSM reproduction.
+//!
+//! Every measurement of the paper's §VII is regenerated here (see
+//! DESIGN.md §4 for the experiment index):
+//!
+//! | id | §VII claim | module |
+//! |----|------------|--------|
+//! | E1 | behavioural equivalence of model-based vs handcrafted Broker | [`e1`] |
+//! | E2 | ≈17% average overhead of the model-based Broker across 8 scenarios | [`e2`] |
+//! | E3 | IM generation cycle < 120 ms; average → ~1 ms toward 100 000 cycles | [`e3`] |
+//! | E4 | adaptive ≈800 ms vs non-adaptive ≈4000 ms when adaptation helps | [`e4`] |
+//! | E5 | LoC reduction 1402 → 1176 from separating domain concerns | [`e5`] |
+//!
+//! The same functions back the Criterion benches (`benches/`) and the
+//! `experiments` binary that prints the paper-style tables.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod port;
+
+/// Formats a microsecond value as milliseconds with 3 decimals.
+pub fn ms(us: u64) -> String {
+    format!("{:.3}", us as f64 / 1000.0)
+}
+
+/// Formats a float microsecond value as milliseconds.
+pub fn ms_f(us: f64) -> String {
+    format!("{:.3}", us / 1000.0)
+}

@@ -1,0 +1,250 @@
+//! The autonomic manager: a MAPE-K loop over model-defined rules.
+//!
+//! The Fig. 6 `AutonomicManager` supports self-configuration: "different
+//! symptoms, change requests and change plans may be defined to specify the
+//! different situations in which autonomic behavior is triggered and how to
+//! handle each such occurrence" (§V-A). Monitoring data lives in the
+//! [`StateManager`] (the K of MAPE-K); symptoms are OCL-lite conditions
+//! over it; plans are small step programs over resources and state.
+
+use crate::state::StateManager;
+use crate::{BrokerError, Result};
+use mddsm_meta::constraint::Expr;
+use mddsm_sim::{ResourceHub, SimDuration};
+use std::collections::BTreeMap;
+
+/// One step of a change plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Mark a (logical) resource healthy.
+    Heal(String),
+    /// Mark a (logical) resource failed.
+    Fail(String),
+    /// Add constant latency to a resource (0 clears degradation).
+    Degrade(String, u64),
+    /// Set a state variable (`k=v` semantics of
+    /// [`StateManager::apply_effect`]).
+    Set(String, String),
+    /// Emit an event topic to the upper layer.
+    Emit(String),
+}
+
+/// Parses a plan-step string: `heal r` | `fail r` | `degrade r ms` |
+/// `set k v` | `emit topic`.
+pub fn parse_step(s: &str) -> Result<PlanStep> {
+    let mut parts = s.split_whitespace();
+    let verb = parts.next().unwrap_or_default();
+    let mut next = |what: &str| {
+        parts
+            .next()
+            .map(str::to_owned)
+            .ok_or_else(|| BrokerError::BadPlanStep(format!("`{s}`: missing {what}")))
+    };
+    match verb {
+        "heal" => Ok(PlanStep::Heal(next("resource")?)),
+        "fail" => Ok(PlanStep::Fail(next("resource")?)),
+        "degrade" => {
+            let r = next("resource")?;
+            let ms = next("milliseconds")?
+                .parse::<u64>()
+                .map_err(|e| BrokerError::BadPlanStep(format!("`{s}`: bad ms: {e}")))?;
+            Ok(PlanStep::Degrade(r, ms))
+        }
+        "set" => {
+            let k = next("key")?;
+            let v = next("value")?;
+            Ok(PlanStep::Set(k, v))
+        }
+        "emit" => Ok(PlanStep::Emit(next("topic")?)),
+        other => Err(BrokerError::BadPlanStep(format!("unknown verb `{other}` in `{s}`"))),
+    }
+}
+
+/// A compiled autonomic rule: symptom condition plus plan steps.
+#[derive(Debug, Clone)]
+pub struct AutonomicRule {
+    /// Symptom name (diagnostics).
+    pub symptom: String,
+    /// Condition over the state object.
+    pub condition: Expr,
+    /// Plan steps executed when the condition holds.
+    pub steps: Vec<PlanStep>,
+}
+
+/// The autonomic manager: holds rules and runs the MAPE loop on demand.
+#[derive(Debug, Clone, Default)]
+pub struct AutonomicManager {
+    rules: Vec<AutonomicRule>,
+    fired: BTreeMap<String, u64>,
+}
+
+impl AutonomicManager {
+    /// Creates a manager with no rules.
+    pub fn new(rules: Vec<AutonomicRule>) -> Self {
+        AutonomicManager { rules, fired: BTreeMap::new() }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` when the manager has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// How many times a symptom's plan has fired.
+    pub fn fired(&self, symptom: &str) -> u64 {
+        self.fired.get(symptom).copied().unwrap_or(0)
+    }
+
+    /// One MAPE cycle: evaluate all symptoms against the state, execute
+    /// plans of those that hold. `bindings` maps logical resource names to
+    /// hub resources. Returns the emitted event topics.
+    pub fn tick(
+        &mut self,
+        state: &mut StateManager,
+        hub: &mut ResourceHub,
+        bindings: &BTreeMap<String, String>,
+    ) -> Result<Vec<String>> {
+        let mut emitted = Vec::new();
+        // Evaluate all conditions first against a consistent state snapshot
+        // (plans of earlier rules must not enable later rules in the same
+        // cycle — classic MAPE batching).
+        let mut due = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            if state.eval(&rule.condition)? {
+                due.push(i);
+            }
+        }
+        for i in due {
+            let rule = self.rules[i].clone();
+            *self.fired.entry(rule.symptom.clone()).or_insert(0) += 1;
+            for step in &rule.steps {
+                let resolve =
+                    |r: &String| bindings.get(r).cloned().unwrap_or_else(|| r.clone());
+                match step {
+                    PlanStep::Heal(r) => {
+                        hub.set_healthy(&resolve(r), true);
+                    }
+                    PlanStep::Fail(r) => {
+                        hub.set_healthy(&resolve(r), false);
+                    }
+                    PlanStep::Degrade(r, ms) => {
+                        hub.degrade(&resolve(r), SimDuration::from_millis(*ms));
+                    }
+                    PlanStep::Set(k, v) => state.apply_effect(&format!("{k}={v}"))?,
+                    PlanStep::Emit(topic) => emitted.push(topic.clone()),
+                }
+            }
+        }
+        Ok(emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_meta::constraint::parse;
+    use mddsm_sim::resource::Outcome;
+
+    fn hub() -> ResourceHub {
+        let mut h = ResourceHub::new(1);
+        h.register_fn("sim.media", |_, _| Outcome::ok());
+        h
+    }
+
+    #[test]
+    fn step_parsing() {
+        assert_eq!(parse_step("heal media").unwrap(), PlanStep::Heal("media".into()));
+        assert_eq!(parse_step("fail media").unwrap(), PlanStep::Fail("media".into()));
+        assert_eq!(
+            parse_step("degrade media 40").unwrap(),
+            PlanStep::Degrade("media".into(), 40)
+        );
+        assert_eq!(parse_step("set mode relay").unwrap(), PlanStep::Set("mode".into(), "relay".into()));
+        assert_eq!(parse_step("emit recovered").unwrap(), PlanStep::Emit("recovered".into()));
+        assert!(parse_step("explode").is_err());
+        assert!(parse_step("heal").is_err());
+        assert!(parse_step("degrade media soon").is_err());
+    }
+
+    #[test]
+    fn rule_fires_when_condition_holds() {
+        let rule = AutonomicRule {
+            symptom: "mediaFlaky".into(),
+            condition: parse("self.failures_media <> null and self.failures_media > 2").unwrap(),
+            steps: vec![
+                parse_step("heal media").unwrap(),
+                parse_step("set failures_media 0").unwrap(),
+                parse_step("emit mediaRecovered").unwrap(),
+            ],
+        };
+        let mut mgr = AutonomicManager::new(vec![rule]);
+        let mut state = StateManager::new();
+        let mut hub = hub();
+        hub.set_healthy("sim.media", false);
+        let bindings = BTreeMap::from([("media".to_string(), "sim.media".to_string())]);
+
+        // Below threshold: nothing happens.
+        state.set_int("failures_media", 2);
+        let emitted = mgr.tick(&mut state, &mut hub, &bindings).unwrap();
+        assert!(emitted.is_empty());
+        assert!(!hub.is_healthy("sim.media"));
+        assert_eq!(mgr.fired("mediaFlaky"), 0);
+
+        // Above threshold: heal + reset + emit.
+        state.set_int("failures_media", 3);
+        let emitted = mgr.tick(&mut state, &mut hub, &bindings).unwrap();
+        assert_eq!(emitted, vec!["mediaRecovered".to_string()]);
+        assert!(hub.is_healthy("sim.media"));
+        assert_eq!(state.int("failures_media"), Some(0));
+        assert_eq!(mgr.fired("mediaFlaky"), 1);
+
+        // Condition cleared: does not fire again.
+        let emitted = mgr.tick(&mut state, &mut hub, &bindings).unwrap();
+        assert!(emitted.is_empty());
+        assert_eq!(mgr.fired("mediaFlaky"), 1);
+    }
+
+    #[test]
+    fn plans_in_one_cycle_see_the_same_snapshot() {
+        // Rule A sets trigger=1; rule B fires on trigger=1. In one cycle B
+        // must NOT fire (batched analysis), only on the next.
+        let a = AutonomicRule {
+            symptom: "a".into(),
+            condition: parse("self.go = 1").unwrap(),
+            steps: vec![parse_step("set trigger 1").unwrap()],
+        };
+        let b = AutonomicRule {
+            symptom: "b".into(),
+            condition: parse("self.trigger = 1").unwrap(),
+            steps: vec![parse_step("emit late").unwrap()],
+        };
+        let mut mgr = AutonomicManager::new(vec![a, b]);
+        assert_eq!(mgr.len(), 2);
+        let mut state = StateManager::new();
+        state.set_int("go", 1);
+        let mut hub = hub();
+        let bindings = BTreeMap::new();
+        let emitted = mgr.tick(&mut state, &mut hub, &bindings).unwrap();
+        assert!(emitted.is_empty());
+        let emitted = mgr.tick(&mut state, &mut hub, &bindings).unwrap();
+        assert_eq!(emitted, vec!["late".to_string()]);
+    }
+
+    #[test]
+    fn unbound_resources_fall_back_to_literal_names() {
+        let rule = AutonomicRule {
+            symptom: "s".into(),
+            condition: parse("true").unwrap(),
+            steps: vec![parse_step("fail sim.media").unwrap()],
+        };
+        let mut mgr = AutonomicManager::new(vec![rule]);
+        let mut state = StateManager::new();
+        let mut hub = hub();
+        mgr.tick(&mut state, &mut hub, &BTreeMap::new()).unwrap();
+        assert!(!hub.is_healthy("sim.media"));
+    }
+}

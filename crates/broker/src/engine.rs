@@ -1,0 +1,481 @@
+//! The generic broker engine: interprets a broker model.
+//!
+//! "Calls and events are handled by selecting and dispatching appropriate
+//! actions" (§V-A): the main manager's handlers match the incoming call
+//! operation or event topic; each handler's actions are tried in order and
+//! the first whose policy guard holds is dispatched against the underlying
+//! (simulated) resource.
+
+use crate::autonomic::{parse_step, AutonomicManager, AutonomicRule};
+use crate::model::{broker_metamodel, BROKER_METAMODEL};
+use crate::state::StateManager;
+use crate::{BrokerError, Result};
+use mddsm_meta::constraint::{self, Expr};
+use mddsm_meta::model::Model;
+use mddsm_sim::resource::{Args, Outcome};
+use mddsm_sim::{ResourceHub, SimDuration};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HandlerKind {
+    Call,
+    Event,
+}
+
+#[derive(Debug, Clone)]
+struct ActionSpec {
+    name: String,
+    resource: String,
+    operation: String,
+    arg_mapping: Vec<(String, String)>,
+    guard: Option<String>,
+    state_effects: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+struct HandlerSpec {
+    name: String,
+    kind: HandlerKind,
+    selector: String,
+    actions: Vec<ActionSpec>,
+}
+
+/// Result of a brokered call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrokerCallResult {
+    /// Resource outcome.
+    pub outcome: Outcome,
+    /// Virtual-time cost of the resource invocation.
+    pub cost: SimDuration,
+    /// Name of the dispatched action.
+    pub action: String,
+}
+
+/// A broker engine configured entirely by a broker model.
+pub struct GenericBroker {
+    name: String,
+    handlers: Vec<HandlerSpec>,
+    policies: BTreeMap<String, Expr>,
+    bindings: BTreeMap<String, String>,
+    state: StateManager,
+    autonomic: AutonomicManager,
+    hub: ResourceHub,
+    calls: u64,
+    events: u64,
+}
+
+impl GenericBroker {
+    /// Builds a broker from a broker model and the resource hub it will
+    /// orchestrate. The model is conformance-checked against the Fig. 6
+    /// metamodel, and all embedded expressions are parsed eagerly.
+    pub fn from_model(model: &Model, hub: ResourceHub) -> Result<Self> {
+        if model.metamodel_name() != BROKER_METAMODEL {
+            return Err(BrokerError::InvalidModel(format!(
+                "expected metamodel `{BROKER_METAMODEL}`, got `{}`",
+                model.metamodel_name()
+            )));
+        }
+        let mm = broker_metamodel();
+        mddsm_meta::conformance::check(model, &mm)
+            .map_err(|e| BrokerError::InvalidModel(e.to_string()))?;
+
+        let name = model
+            .all_of_class("BrokerLayer")
+            .first()
+            .and_then(|l| model.attr_str(*l, "name"))
+            .unwrap_or("broker")
+            .to_owned();
+
+        // Handlers + actions.
+        let mut handlers = Vec::new();
+        for h in model.all_of_class("Handler") {
+            let kind = match model.attr(h, "kind").and_then(|v| v.as_enum_literal()) {
+                Some("Call") => HandlerKind::Call,
+                Some("Event") => HandlerKind::Event,
+                other => {
+                    return Err(BrokerError::InvalidModel(format!(
+                        "handler has bad kind {other:?}"
+                    )))
+                }
+            };
+            let mut actions = Vec::new();
+            for a in model.refs(h, "actions") {
+                actions.push(ActionSpec {
+                    name: model.attr_str(*a, "name").unwrap_or_default().to_owned(),
+                    resource: model.attr_str(*a, "resource").unwrap_or_default().to_owned(),
+                    operation: model.attr_str(*a, "operation").unwrap_or_default().to_owned(),
+                    arg_mapping: model
+                        .attr_all(*a, "argMapping")
+                        .iter()
+                        .filter_map(|v| v.as_str())
+                        .filter_map(|s| {
+                            s.split_once('=').map(|(k, v)| (k.to_owned(), v.to_owned()))
+                        })
+                        .collect(),
+                    guard: model.attr_str(*a, "guard").map(str::to_owned),
+                    state_effects: model
+                        .attr_all(*a, "stateEffects")
+                        .iter()
+                        .filter_map(|v| v.as_str())
+                        .map(str::to_owned)
+                        .collect(),
+                });
+            }
+            handlers.push(HandlerSpec {
+                name: model.attr_str(h, "name").unwrap_or_default().to_owned(),
+                kind,
+                selector: model.attr_str(h, "selector").unwrap_or_default().to_owned(),
+                actions,
+            });
+        }
+
+        // Policies.
+        let mut policies = BTreeMap::new();
+        for p in model.all_of_class("Policy") {
+            let pname = model.attr_str(p, "name").unwrap_or_default().to_owned();
+            let src = model.attr_str(p, "expression").unwrap_or_default();
+            let expr = constraint::parse(src).map_err(|e| {
+                BrokerError::InvalidModel(format!("policy `{pname}` failed to parse: {e}"))
+            })?;
+            policies.insert(pname, expr);
+        }
+
+        // Resource bindings.
+        let bindings = model
+            .all_of_class("ResourceBinding")
+            .into_iter()
+            .filter_map(|b| {
+                Some((
+                    model.attr_str(b, "name")?.to_owned(),
+                    model.attr_str(b, "resource")?.to_owned(),
+                ))
+            })
+            .collect();
+
+        // Autonomic rules: join symptom -> request -> plan by name.
+        let mut rules = Vec::new();
+        for s in model.all_of_class("Symptom") {
+            let sname = model.attr_str(s, "name").unwrap_or_default().to_owned();
+            let cond_src = model.attr_str(s, "condition").unwrap_or_default();
+            let condition = constraint::parse(cond_src).map_err(|e| {
+                BrokerError::InvalidModel(format!("symptom `{sname}` condition: {e}"))
+            })?;
+            // Find the request referencing the symptom, then its plan.
+            let request = model
+                .all_of_class("ChangeRequest")
+                .into_iter()
+                .find(|r| model.attr_str(*r, "symptom") == Some(&sname));
+            let mut steps = Vec::new();
+            if let Some(r) = request {
+                let rname = model.attr_str(r, "name").unwrap_or_default().to_owned();
+                if let Some(plan) = model
+                    .all_of_class("ChangePlan")
+                    .into_iter()
+                    .find(|p| model.attr_str(*p, "request") == Some(&rname))
+                {
+                    for step in model.attr_all(plan, "steps") {
+                        if let Some(s) = step.as_str() {
+                            steps.push(parse_step(s)?);
+                        }
+                    }
+                }
+            }
+            rules.push(AutonomicRule { symptom: sname, condition, steps });
+        }
+
+        Ok(GenericBroker {
+            name,
+            handlers,
+            policies,
+            bindings,
+            state: StateManager::new(),
+            autonomic: AutonomicManager::new(rules),
+            hub,
+            calls: 0,
+            events: 0,
+        })
+    }
+
+    /// The layer name from the model.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Handles a call from the upper layer: selects a handler by operation
+    /// name, the first guard-passing action, and dispatches it.
+    pub fn call(&mut self, op: &str, args: &Args) -> Result<BrokerCallResult> {
+        self.calls += 1;
+        self.dispatch(HandlerKind::Call, op, args)
+    }
+
+    /// Handles an event from the underlying resources.
+    pub fn event(&mut self, topic: &str, payload: &Args) -> Result<BrokerCallResult> {
+        self.events += 1;
+        self.dispatch(HandlerKind::Event, topic, payload)
+    }
+
+    fn dispatch(&mut self, kind: HandlerKind, selector: &str, args: &Args) -> Result<BrokerCallResult> {
+        let handler = self
+            .handlers
+            .iter()
+            .find(|h| h.kind == kind && h.selector == selector)
+            .cloned()
+            .ok_or_else(|| BrokerError::NoHandler(selector.to_owned()))?;
+
+        // Select the first action whose guard holds.
+        let mut chosen = None;
+        for action in &handler.actions {
+            let passes = match &action.guard {
+                None => true,
+                Some(g) => {
+                    let expr = self.policies.get(g).ok_or_else(|| {
+                        BrokerError::PolicyFailed(format!(
+                            "action `{}` guards on unknown policy `{g}`",
+                            action.name
+                        ))
+                    })?;
+                    self.state.eval(expr)?
+                }
+            };
+            if passes {
+                chosen = Some(action.clone());
+                break;
+            }
+        }
+        let action = chosen.ok_or_else(|| {
+            BrokerError::NoAction(format!("{selector} (handler `{}`)", handler.name))
+        })?;
+
+        // Map arguments: `$x` reads call argument x; literals pass through.
+        let mapped: Args = action
+            .arg_mapping
+            .iter()
+            .map(|(k, v)| {
+                let value = match v.strip_prefix('$') {
+                    Some(arg) => args
+                        .iter()
+                        .find(|(ak, _)| ak == arg)
+                        .map(|(_, av)| av.clone())
+                        .unwrap_or_default(),
+                    None => v.clone(),
+                };
+                (k.clone(), value)
+            })
+            .collect();
+
+        let resource =
+            self.bindings.get(&action.resource).cloned().unwrap_or_else(|| action.resource.clone());
+        let (outcome, cost) = self.hub.invoke(&resource, &action.operation, &mapped);
+
+        // Monitoring for the autonomic loop.
+        if outcome.is_ok() {
+            for effect in &action.state_effects {
+                self.state.apply_effect(effect)?;
+            }
+        } else {
+            self.state.bump(&format!("failures_{}", action.resource), 1);
+        }
+        Ok(BrokerCallResult { outcome, cost, action: action.name })
+    }
+
+    /// Runs one autonomic MAPE cycle; returns emitted event topics.
+    pub fn autonomic_tick(&mut self) -> Result<Vec<String>> {
+        self.autonomic.tick(&mut self.state, &mut self.hub, &self.bindings)
+    }
+
+    /// The state manager (monitoring data and mode variables).
+    pub fn state(&self) -> &StateManager {
+        &self.state
+    }
+
+    /// Mutable state access (reflective tuning, tests).
+    pub fn state_mut(&mut self) -> &mut StateManager {
+        &mut self.state
+    }
+
+    /// The resource hub (health toggles, command trace).
+    pub fn hub(&self) -> &ResourceHub {
+        &self.hub
+    }
+
+    /// Mutable hub access (failure injection).
+    pub fn hub_mut(&mut self) -> &mut ResourceHub {
+        &mut self.hub
+    }
+
+    /// `(calls, events)` handled so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.calls, self.events)
+    }
+
+    /// How many times an autonomic symptom fired.
+    pub fn symptom_fired(&self, symptom: &str) -> u64 {
+        self.autonomic.fired(symptom)
+    }
+}
+
+impl std::fmt::Debug for GenericBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenericBroker")
+            .field("name", &self.name)
+            .field("handlers", &self.handlers.len())
+            .field("policies", &self.policies.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BrokerModelBuilder;
+    use mddsm_sim::resource::args;
+    use mddsm_sim::LatencyModel;
+
+    fn hub() -> ResourceHub {
+        let mut h = ResourceHub::new(7);
+        h.register(
+            "sim.media",
+            LatencyModel::fixed_ms(2),
+            SimDuration::from_millis(100),
+            Box::new(|op: &str, a: &Args| {
+                Outcome::ok_with("echo", format!("{op}:{}", a.len()))
+            }),
+        );
+        h.register_fn("sim.relay", |_, _| Outcome::ok());
+        h
+    }
+
+    fn model() -> Model {
+        BrokerModelBuilder::new("ncb")
+            .call_handler("open", "openSession")
+            .policy("direct", "self.mode = null or self.mode = \"direct\"")
+            .action(
+                "open",
+                "openDirect",
+                "media",
+                "open",
+                &["peer=$peer", "codec=h264"],
+                Some("direct"),
+                &["opens=+1"],
+            )
+            .action("open", "openRelay", "relay", "open", &["peer=$peer"], None, &[])
+            .event_handler("onLoss", "packetLoss")
+            .action("onLoss", "report", "media", "report", &[], None, &[])
+            .autonomic_rule(
+                "mediaFlaky",
+                "self.failures_media <> null and self.failures_media > 1",
+                &["heal media", "set failures_media 0", "set mode relay", "emit recovered"],
+            )
+            .bind_resource("media", "sim.media")
+            .bind_resource("relay", "sim.relay")
+            .build()
+    }
+
+    fn broker() -> GenericBroker {
+        GenericBroker::from_model(&model(), hub()).unwrap()
+    }
+
+    #[test]
+    fn call_selects_guarded_action_and_maps_args() {
+        let mut b = broker();
+        let r = b.call("openSession", &args(&[("peer", "bob")])).unwrap();
+        assert_eq!(r.action, "openDirect");
+        assert!(r.outcome.is_ok());
+        assert_eq!(r.cost, SimDuration::from_millis(2));
+        assert_eq!(b.state().int("opens"), Some(1));
+        let trace = b.hub().command_trace();
+        assert_eq!(trace, vec!["sim.media.open(peer=bob, codec=h264)"]);
+        assert_eq!(b.stats(), (1, 0));
+    }
+
+    #[test]
+    fn guard_failure_falls_through_to_next_action() {
+        let mut b = broker();
+        b.state_mut().set_str("mode", "relay");
+        let r = b.call("openSession", &args(&[("peer", "bob")])).unwrap();
+        assert_eq!(r.action, "openRelay");
+        assert!(b.hub().command_trace()[0].starts_with("sim.relay.open"));
+    }
+
+    #[test]
+    fn events_are_dispatched_too() {
+        let mut b = broker();
+        let r = b.event("packetLoss", &Args::new()).unwrap();
+        assert_eq!(r.action, "report");
+        assert_eq!(b.stats(), (0, 1));
+        // Call handler does not match events and vice versa.
+        assert!(matches!(b.call("packetLoss", &Args::new()), Err(BrokerError::NoHandler(_))));
+        assert!(matches!(b.event("openSession", &Args::new()), Err(BrokerError::NoHandler(_))));
+    }
+
+    #[test]
+    fn failures_feed_autonomic_loop_which_recovers() {
+        let mut b = broker();
+        b.hub_mut().set_healthy("sim.media", false);
+        // Two failed calls trip the symptom threshold.
+        for _ in 0..2 {
+            let r = b.call("openSession", &args(&[("peer", "bob")])).unwrap();
+            assert!(!r.outcome.is_ok());
+            assert_eq!(r.cost, SimDuration::from_millis(100)); // timeout
+        }
+        assert_eq!(b.state().int("failures_media"), Some(2));
+        let emitted = b.autonomic_tick().unwrap();
+        assert_eq!(emitted, vec!["recovered".to_string()]);
+        assert_eq!(b.symptom_fired("mediaFlaky"), 1);
+        assert!(b.hub().is_healthy("sim.media"));
+        assert_eq!(b.state().int("failures_media"), Some(0));
+        // The plan also switched mode to relay: next open goes via relay.
+        let r = b.call("openSession", &args(&[("peer", "bob")])).unwrap();
+        assert_eq!(r.action, "openRelay");
+    }
+
+    #[test]
+    fn unknown_policy_guard_is_an_error() {
+        let m = BrokerModelBuilder::new("x")
+            .call_handler("h", "op")
+            .action("h", "a", "r", "o", &[], Some("ghost"), &[])
+            .build();
+        let mut b = GenericBroker::from_model(&m, ResourceHub::new(1)).unwrap();
+        assert!(matches!(b.call("op", &Args::new()), Err(BrokerError::PolicyFailed(_))));
+    }
+
+    #[test]
+    fn bad_models_rejected() {
+        // Wrong metamodel name.
+        let m = Model::new("other");
+        assert!(matches!(
+            GenericBroker::from_model(&m, ResourceHub::new(1)).map(|_| ()),
+            Err(BrokerError::InvalidModel(_))
+        ));
+        // Unparsable policy expression.
+        let m = BrokerModelBuilder::new("x")
+            .call_handler("h", "op")
+            .action("h", "a", "r", "o", &[], None, &[])
+            .policy("bad", "self.")
+            .build();
+        assert!(matches!(
+            GenericBroker::from_model(&m, ResourceHub::new(1)).map(|_| ()),
+            Err(BrokerError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn missing_call_argument_maps_to_empty() {
+        let mut b = broker();
+        let r = b.call("openSession", &Args::new()).unwrap();
+        assert!(r.outcome.is_ok());
+        assert_eq!(b.hub().command_trace()[0], "sim.media.open(peer=, codec=h264)");
+    }
+
+    #[test]
+    fn lean_model_builds_and_serves() {
+        let m = BrokerModelBuilder::lean("tiny")
+            .call_handler("h", "ping")
+            .action("h", "a", "sim.media", "ping", &[], None, &[])
+            .build();
+        let mut b = GenericBroker::from_model(&m, hub()).unwrap();
+        let r = b.call("ping", &Args::new()).unwrap();
+        assert!(r.outcome.is_ok());
+        assert_eq!(b.name(), "tiny");
+    }
+}

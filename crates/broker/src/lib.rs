@@ -1,0 +1,76 @@
+//! Broker layer of the MD-DSM reference architecture.
+//!
+//! "The Broker layer is responsible for interacting with the underlying
+//! resources and services for the actual execution of commands, considering
+//! systems issues such as heterogeneity and concurrency" (§III). The layer
+//! is *model-defined*: its structure — managers, handlers, actions,
+//! policies, autonomic rules — is an instance of the Fig. 6 metamodel, and
+//! a single generic engine ([`engine::GenericBroker`]) interprets any such
+//! model.
+//!
+//! * [`model`] — the Broker-layer metamodel (Fig. 6) and a builder for
+//!   broker models: the main `Manager` exposing the
+//!   layer interface, plus specialized managers for state, policy,
+//!   autonomic, and resource management, with `Handler`s selecting
+//!   `Action`s for calls and events.
+//! * [`state`] — the state manager: the layer's runtime model, stored as a
+//!   (what else) model, so policies can be evaluated against it with the
+//!   OCL-lite engine.
+//! * [`engine`] — the generic broker: dispatches calls/events to handlers,
+//!   selects actions by policy guard, executes them against the simulated
+//!   [`ResourceHub`](mddsm_sim::ResourceHub), and tracks failures.
+//! * [`autonomic`] — the autonomic manager: a MAPE-K loop over model-defined
+//!   symptoms → change requests → change plans.
+
+#![warn(missing_docs)]
+
+pub mod autonomic;
+pub mod components;
+pub mod engine;
+pub mod model;
+pub mod state;
+
+pub use engine::{BrokerCallResult, GenericBroker};
+pub use model::{broker_metamodel, BrokerModelBuilder};
+pub use state::StateManager;
+
+/// Errors produced by the Broker layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerError {
+    /// The broker model does not conform to the Fig. 6 metamodel.
+    InvalidModel(String),
+    /// No handler accepts the given call/event.
+    NoHandler(String),
+    /// A handler matched but no action's guard was satisfied.
+    NoAction(String),
+    /// A policy guard failed to evaluate.
+    PolicyFailed(String),
+    /// A change-plan step could not be parsed or applied.
+    BadPlanStep(String),
+    /// An error bubbled up from the modeling substrate.
+    Meta(String),
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::InvalidModel(m) => write!(f, "invalid broker model: {m}"),
+            BrokerError::NoHandler(m) => write!(f, "no handler for `{m}`"),
+            BrokerError::NoAction(m) => write!(f, "no applicable action for `{m}`"),
+            BrokerError::PolicyFailed(m) => write!(f, "policy evaluation failed: {m}"),
+            BrokerError::BadPlanStep(m) => write!(f, "bad change-plan step: {m}"),
+            BrokerError::Meta(m) => write!(f, "model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+impl From<mddsm_meta::MetaError> for BrokerError {
+    fn from(e: mddsm_meta::MetaError) -> Self {
+        BrokerError::Meta(e.to_string())
+    }
+}
+
+/// Result alias for broker operations.
+pub type Result<T> = std::result::Result<T, BrokerError>;

@@ -1,0 +1,314 @@
+//! The Broker-layer metamodel (Fig. 6) and a builder for broker models.
+//!
+//! A *broker model* is an instance of this metamodel: it defines the
+//! managers present in a concrete configuration, the handlers exposed by
+//! the main manager, the actions available to each handler (with policy
+//! guards and argument mappings), and the autonomic rules. The middleware
+//! engineer "models a configuration of the Broker layer by instantiating
+//! and appropriately initializing the elements of this metamodel" (§V-A).
+
+use mddsm_meta::metamodel::{DataType, Metamodel, MetamodelBuilder, Multiplicity};
+use mddsm_meta::model::{Model, ObjectId};
+use mddsm_meta::Value;
+
+/// Name under which the broker metamodel registers.
+pub const BROKER_METAMODEL: &str = "mddsm.broker";
+
+/// Builds the Fig. 6 metamodel.
+///
+/// Class inventory: the abstract `Manager` with its five concrete
+/// specializations (`MainManager`, `StateManager`, `PolicyManager`,
+/// `AutonomicManager`, `ResourceManager`), the `Handler`/`Action` pair for
+/// call/event dispatch, `Policy` guards, the autonomic triple
+/// `Symptom`/`ChangeRequest`/`ChangePlan`, and `ResourceBinding`.
+pub fn broker_metamodel() -> Metamodel {
+    MetamodelBuilder::new(BROKER_METAMODEL)
+        .enumeration("HandlerKind", ["Call", "Event"])
+        .class("BrokerLayer", |c| {
+            c.attr("name", DataType::Str)
+                .contains("managers", "Manager", Multiplicity::SOME)
+        })
+        .class("Manager", |c| c.abstract_class().attr("name", DataType::Str))
+        .class("MainManager", |c| {
+            c.extends("Manager")
+                .contains("handlers", "Handler", Multiplicity::MANY)
+                .invariant("has-name", "self.name <> \"\"")
+        })
+        .class("StateManager", |c| c.extends("Manager"))
+        .class("PolicyManager", |c| {
+            c.extends("Manager").contains("policies", "Policy", Multiplicity::MANY)
+        })
+        .class("AutonomicManager", |c| {
+            c.extends("Manager")
+                .contains("symptoms", "Symptom", Multiplicity::MANY)
+                .contains("requests", "ChangeRequest", Multiplicity::MANY)
+                .contains("plans", "ChangePlan", Multiplicity::MANY)
+        })
+        .class("ResourceManager", |c| {
+            c.extends("Manager").contains("bindings", "ResourceBinding", Multiplicity::MANY)
+        })
+        .class("Handler", |c| {
+            c.attr("name", DataType::Str)
+                .attr("kind", DataType::Enum("HandlerKind".into()))
+                // The call operation / event topic this handler accepts.
+                .attr("selector", DataType::Str)
+                .reference("actions", "Action", Multiplicity::SOME)
+        })
+        .class("Action", |c| {
+            c.attr("name", DataType::Str)
+                // Resource the action drives and the operation it invokes.
+                .attr("resource", DataType::Str)
+                .attr("operation", DataType::Str)
+                // `k=v` argument mappings; `$x` pulls call argument `x`.
+                .attr_full(
+                    "argMapping",
+                    DataType::Str,
+                    Multiplicity::MANY,
+                    Vec::new(),
+                )
+                // Optional guard: name of a Policy that must hold.
+                .opt_attr("guard", DataType::Str)
+                // State bumps applied after a successful run (`k=+1`/`k=v`).
+                .attr_full("stateEffects", DataType::Str, Multiplicity::MANY, Vec::new())
+        })
+        .class("Policy", |c| {
+            c.attr("name", DataType::Str)
+                // OCL-lite expression over the state object (`self`).
+                .attr("expression", DataType::Str)
+        })
+        .class("Symptom", |c| {
+            c.attr("name", DataType::Str)
+                // OCL-lite condition over the state object.
+                .attr("condition", DataType::Str)
+        })
+        .class("ChangeRequest", |c| {
+            c.attr("name", DataType::Str).attr("symptom", DataType::Str)
+        })
+        .class("ChangePlan", |c| {
+            c.attr("name", DataType::Str)
+                .attr("request", DataType::Str)
+                // Steps: `heal <res>` | `fail <res>` | `degrade <res> <ms>` |
+                // `set <key> <value>` | `emit <topic>`.
+                .attr_full("steps", DataType::Str, Multiplicity::SOME, Vec::new())
+        })
+        .class("ResourceBinding", |c| {
+            c.attr("name", DataType::Str).attr("resource", DataType::Str)
+        })
+        .build()
+        .expect("broker metamodel is well-formed")
+}
+
+/// Convenience builder producing broker models (instances of the Fig. 6
+/// metamodel) without manual object wiring.
+#[derive(Debug)]
+pub struct BrokerModelBuilder {
+    model: Model,
+    layer: ObjectId,
+    main: ObjectId,
+    policy_mgr: ObjectId,
+    autonomic_mgr: ObjectId,
+    resource_mgr: ObjectId,
+}
+
+impl BrokerModelBuilder {
+    /// Starts a broker model with the five standard managers.
+    pub fn new(name: &str) -> Self {
+        let mut model = Model::new(BROKER_METAMODEL);
+        let layer = model.create("BrokerLayer");
+        model.set_attr(layer, "name", Value::from(name));
+        let main = model.create("MainManager");
+        model.set_attr(main, "name", Value::from("main"));
+        let state = model.create("StateManager");
+        model.set_attr(state, "name", Value::from("state"));
+        let policy_mgr = model.create("PolicyManager");
+        model.set_attr(policy_mgr, "name", Value::from("policy"));
+        let autonomic_mgr = model.create("AutonomicManager");
+        model.set_attr(autonomic_mgr, "name", Value::from("autonomic"));
+        let resource_mgr = model.create("ResourceManager");
+        model.set_attr(resource_mgr, "name", Value::from("resource"));
+        for m in [main, state, policy_mgr, autonomic_mgr, resource_mgr] {
+            model.add_ref(layer, "managers", m);
+        }
+        BrokerModelBuilder { model, layer, main, policy_mgr, autonomic_mgr, resource_mgr }
+    }
+
+    /// Starts a *lean* broker model: main manager only (the Fig. 8 remark
+    /// that "leaner configurations … featuring only the strictly required
+    /// components" compensate model-interpretation overhead).
+    pub fn lean(name: &str) -> Self {
+        let mut b = Self::new(name);
+        // Drop the optional managers from the layer.
+        for mgr in [b.policy_mgr, b.autonomic_mgr, b.resource_mgr] {
+            b.model.remove_ref(b.layer, "managers", mgr);
+            b.model.destroy(mgr, None).expect("manager exists");
+        }
+        b
+    }
+
+    /// Declares a handler for a call operation; returns `self` for
+    /// chaining. Actions are attached by [`BrokerModelBuilder::action`]
+    /// using the handler name.
+    pub fn call_handler(self, name: &str, selector: &str) -> Self {
+        self.handler(name, selector, "Call")
+    }
+
+    /// Declares a handler for an event topic.
+    pub fn event_handler(self, name: &str, selector: &str) -> Self {
+        self.handler(name, selector, "Event")
+    }
+
+    fn handler(mut self, name: &str, selector: &str, kind: &str) -> Self {
+        let h = self.model.create("Handler");
+        self.model.set_attr(h, "name", Value::from(name));
+        self.model.set_attr(h, "selector", Value::from(selector));
+        self.model.set_attr(h, "kind", Value::enumeration("HandlerKind", kind));
+        self.model.add_ref(self.main, "handlers", h);
+        self
+    }
+
+    /// Attaches an action to a handler (by handler name). `arg_mapping`
+    /// entries are `k=v` with `$x` reading call argument `x`; `guard`
+    /// optionally names a policy; `state_effects` are applied on success.
+    #[allow(clippy::too_many_arguments)]
+    pub fn action(
+        mut self,
+        handler: &str,
+        name: &str,
+        resource: &str,
+        operation: &str,
+        arg_mapping: &[&str],
+        guard: Option<&str>,
+        state_effects: &[&str],
+    ) -> Self {
+        let a = self.model.create("Action");
+        self.model.set_attr(a, "name", Value::from(name));
+        self.model.set_attr(a, "resource", Value::from(resource));
+        self.model.set_attr(a, "operation", Value::from(operation));
+        self.model.set_attr_many(
+            a,
+            "argMapping",
+            arg_mapping.iter().map(|s| Value::from(*s)).collect(),
+        );
+        if let Some(g) = guard {
+            self.model.set_attr(a, "guard", Value::from(g));
+        }
+        self.model.set_attr_many(
+            a,
+            "stateEffects",
+            state_effects.iter().map(|s| Value::from(*s)).collect(),
+        );
+        let h = self.find_handler(handler);
+        self.model.add_ref(h, "actions", a);
+        self
+    }
+
+    /// Declares a policy (OCL-lite expression over the state object).
+    pub fn policy(mut self, name: &str, expression: &str) -> Self {
+        let p = self.model.create("Policy");
+        self.model.set_attr(p, "name", Value::from(name));
+        self.model.set_attr(p, "expression", Value::from(expression));
+        self.model.add_ref(self.policy_mgr, "policies", p);
+        self
+    }
+
+    /// Declares an autonomic rule: symptom condition → change request →
+    /// plan steps.
+    pub fn autonomic_rule(mut self, name: &str, condition: &str, steps: &[&str]) -> Self {
+        let s = self.model.create("Symptom");
+        self.model.set_attr(s, "name", Value::from(name));
+        self.model.set_attr(s, "condition", Value::from(condition));
+        self.model.add_ref(self.autonomic_mgr, "symptoms", s);
+        let r = self.model.create("ChangeRequest");
+        self.model.set_attr(r, "name", Value::from(format!("{name}-request")));
+        self.model.set_attr(r, "symptom", Value::from(name));
+        self.model.add_ref(self.autonomic_mgr, "requests", r);
+        let p = self.model.create("ChangePlan");
+        self.model.set_attr(p, "name", Value::from(format!("{name}-plan")));
+        self.model.set_attr(p, "request", Value::from(format!("{name}-request")));
+        self.model
+            .set_attr_many(p, "steps", steps.iter().map(|s| Value::from(*s)).collect());
+        self.model.add_ref(self.autonomic_mgr, "plans", p);
+        self
+    }
+
+    /// Binds a logical resource name used by actions to a hub resource.
+    pub fn bind_resource(mut self, name: &str, resource: &str) -> Self {
+        let b = self.model.create("ResourceBinding");
+        self.model.set_attr(b, "name", Value::from(name));
+        self.model.set_attr(b, "resource", Value::from(resource));
+        self.model.add_ref(self.resource_mgr, "bindings", b);
+        self
+    }
+
+    fn find_handler(&self, name: &str) -> ObjectId {
+        self.model
+            .refs(self.main, "handlers")
+            .iter()
+            .copied()
+            .find(|h| self.model.attr_str(*h, "name") == Some(name))
+            .unwrap_or_else(|| panic!("handler `{name}` not declared"))
+    }
+
+    /// Finishes and returns the broker model.
+    pub fn build(self) -> Model {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_meta::conformance;
+
+    #[test]
+    fn metamodel_is_well_formed() {
+        let mm = broker_metamodel();
+        assert_eq!(mm.name(), BROKER_METAMODEL);
+        assert!(mm.class("MainManager").is_some());
+        assert!(mm.is_subclass_of("AutonomicManager", "Manager"));
+        assert!(mm.class("Manager").unwrap().is_abstract);
+    }
+
+    #[test]
+    fn built_models_conform() {
+        let mm = broker_metamodel();
+        let model = BrokerModelBuilder::new("ncb")
+            .call_handler("open", "openSession")
+            .action("open", "openDirect", "media", "open", &["peer=$peer"], None, &["opens=+1"])
+            .policy("preferDirect", "self.mode = \"direct\"")
+            .autonomic_rule("mediaFlaky", "self.failures_media > 2", &["heal media", "set mode direct"])
+            .bind_resource("media", "sim.media")
+            .build();
+        conformance::check(&model, &mm).unwrap();
+    }
+
+    #[test]
+    fn lean_models_conform_with_fewer_managers() {
+        let mm = broker_metamodel();
+        let model = BrokerModelBuilder::lean("tiny")
+            .call_handler("h", "op")
+            .action("h", "a", "r", "o", &[], None, &[])
+            .build();
+        conformance::check(&model, &mm).unwrap();
+        assert_eq!(model.all_of_class("PolicyManager").len(), 0);
+        assert_eq!(model.all_of_class("MainManager").len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "handler `nope` not declared")]
+    fn action_on_unknown_handler_panics() {
+        let _ = BrokerModelBuilder::new("x").action("nope", "a", "r", "o", &[], None, &[]);
+    }
+
+    #[test]
+    fn nonconforming_model_detected() {
+        let mm = broker_metamodel();
+        let mut model = BrokerModelBuilder::new("x").build();
+        // Handler with a bogus enum literal.
+        let h = model.create("Handler");
+        model.set_attr(h, "name", Value::from("h"));
+        model.set_attr(h, "selector", Value::from("s"));
+        model.set_attr(h, "kind", Value::enumeration("HandlerKind", "Bogus"));
+        assert!(conformance::check(&model, &mm).is_err());
+    }
+}

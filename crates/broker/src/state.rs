@@ -1,0 +1,157 @@
+//! The state manager: the Broker layer's runtime model.
+//!
+//! The Fig. 6 `StateManager` "stores and manipulates the layer's
+//! runtime model". True to MD-DSM, the runtime state *is a model*: a single
+//! `State` object whose attribute slots hold the state variables, so
+//! policies and autonomic symptoms are plain OCL-lite expressions evaluated
+//! with `self` bound to that object.
+
+use mddsm_meta::constraint::{eval_bool, EvalEnv, Expr};
+use mddsm_meta::metamodel::{Metamodel, MetamodelBuilder};
+use mddsm_meta::model::{Model, ObjectId};
+use mddsm_meta::Value;
+use crate::{BrokerError, Result};
+
+/// The Broker layer's mutable runtime state.
+#[derive(Debug, Clone)]
+pub struct StateManager {
+    model: Model,
+    state_obj: ObjectId,
+    // Empty metamodel: state attribute slots resolve through the raw-slot
+    // fallback of the constraint evaluator.
+    mm: Metamodel,
+    version: u64,
+}
+
+impl Default for StateManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateManager {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        let mut model = Model::new("mddsm.broker.state");
+        let state_obj = model.create("State");
+        let mm = MetamodelBuilder::new("mddsm.broker.state")
+            .build()
+            .expect("empty metamodel is well-formed");
+        StateManager { model, state_obj, mm, version: 0 }
+    }
+
+    /// Sets a string variable.
+    pub fn set_str(&mut self, key: &str, value: &str) {
+        self.model.set_attr(self.state_obj, key, Value::from(value));
+        self.version += 1;
+    }
+
+    /// Sets an integer variable.
+    pub fn set_int(&mut self, key: &str, value: i64) {
+        self.model.set_attr(self.state_obj, key, Value::from(value));
+        self.version += 1;
+    }
+
+    /// Adds `delta` to an integer variable (0 when unset).
+    pub fn bump(&mut self, key: &str, delta: i64) -> i64 {
+        let cur = self.int(key).unwrap_or(0);
+        let next = cur + delta;
+        self.set_int(key, next);
+        next
+    }
+
+    /// Reads a string variable.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.model.attr_str(self.state_obj, key)
+    }
+
+    /// Reads an integer variable.
+    pub fn int(&self, key: &str) -> Option<i64> {
+        self.model.attr_int(self.state_obj, key)
+    }
+
+    /// Removes a variable.
+    pub fn unset(&mut self, key: &str) {
+        self.model.unset_attr(self.state_obj, key);
+        self.version += 1;
+    }
+
+    /// Mutation counter (each write bumps it).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Evaluates an OCL-lite expression with `self` bound to the state
+    /// object; missing variables read as `null`.
+    pub fn eval(&self, expr: &Expr) -> Result<bool> {
+        let env = EvalEnv::for_object(&self.model, &self.mm, self.state_obj);
+        eval_bool(expr, &env).map_err(|e| BrokerError::PolicyFailed(e.to_string()))
+    }
+
+    /// Applies a `k=v` or `k=+n` effect string: `=+n` bumps an integer,
+    /// otherwise the value is stored as string (or int when it parses).
+    pub fn apply_effect(&mut self, effect: &str) -> Result<()> {
+        let (key, value) = effect.split_once('=').ok_or_else(|| {
+            BrokerError::BadPlanStep(format!("state effect `{effect}` is not `k=v`"))
+        })?;
+        if let Some(delta) = value.strip_prefix('+').and_then(|d| d.parse::<i64>().ok()) {
+            self.bump(key, delta);
+        } else if let Some(delta) = value.strip_prefix('-').and_then(|d| d.parse::<i64>().ok()) {
+            self.bump(key, -delta);
+        } else if let Ok(n) = value.parse::<i64>() {
+            self.set_int(key, n);
+        } else {
+            self.set_str(key, value);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_meta::constraint::parse;
+
+    #[test]
+    fn variables_and_versioning() {
+        let mut s = StateManager::new();
+        assert_eq!(s.version(), 0);
+        s.set_str("mode", "direct");
+        s.set_int("opens", 2);
+        assert_eq!(s.str("mode"), Some("direct"));
+        assert_eq!(s.int("opens"), Some(2));
+        assert_eq!(s.bump("opens", 3), 5);
+        assert_eq!(s.bump("fresh", 1), 1);
+        s.unset("mode");
+        assert_eq!(s.str("mode"), None);
+        assert_eq!(s.version(), 5);
+    }
+
+    #[test]
+    fn policy_evaluation_over_state() {
+        let mut s = StateManager::new();
+        s.set_str("mode", "direct");
+        s.set_int("failures", 3);
+        assert!(s.eval(&parse("self.mode = \"direct\"").unwrap()).unwrap());
+        assert!(s.eval(&parse("self.failures > 2").unwrap()).unwrap());
+        assert!(s.eval(&parse("self.missing = null").unwrap()).unwrap());
+        assert!(!s.eval(&parse("self.failures > 5").unwrap()).unwrap());
+        // Non-boolean expression is a policy failure.
+        assert!(s.eval(&parse("self.failures + 1").unwrap()).is_err());
+    }
+
+    #[test]
+    fn effects() {
+        let mut s = StateManager::new();
+        s.apply_effect("opens=+1").unwrap();
+        s.apply_effect("opens=+1").unwrap();
+        assert_eq!(s.int("opens"), Some(2));
+        s.apply_effect("opens=-1").unwrap();
+        assert_eq!(s.int("opens"), Some(1));
+        s.apply_effect("mode=relay").unwrap();
+        assert_eq!(s.str("mode"), Some("relay"));
+        s.apply_effect("limit=42").unwrap();
+        assert_eq!(s.int("limit"), Some(42));
+        assert!(s.apply_effect("broken").is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Predefined actions — Case 1 of the Fig. 8 Controller configuration.
+//!
+//! "These DSCs are used either by Action Handlers to select an appropriate
+//! action to execute each command, or by an Intent Model Handler to
+//! instrument IM generation" (§VI). An action is a canned implementation of
+//! a classified operation: faster than dynamic IM generation but fixed at
+//! middleware-model load time.
+
+use crate::dsc::DscId;
+use crate::machine::{BrokerPort, PortResponse};
+use crate::{ControllerError, Result};
+use mddsm_synthesis::Command;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The function body of a predefined action.
+pub type ActionFn = Arc<dyn Fn(&Command, &mut dyn BrokerPort) -> Result<ActionOutcome> + Send + Sync>;
+
+/// Result of running an action.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActionOutcome {
+    /// Broker calls issued.
+    pub broker_calls: u64,
+    /// Accumulated virtual cost (µs).
+    pub virtual_cost_us: u64,
+    /// Events raised for the Controller's event handler.
+    pub events: Vec<String>,
+}
+
+impl ActionOutcome {
+    /// Merges a port response into the outcome, failing on error.
+    pub fn absorb(
+        &mut self,
+        resp: PortResponse,
+        proc: &str,
+        api: &str,
+        op: &str,
+    ) -> Result<BTreeMap<String, String>> {
+        self.broker_calls += 1;
+        self.virtual_cost_us += resp.cost_us;
+        if resp.ok {
+            Ok(resp.values)
+        } else {
+            Err(ControllerError::BrokerFailure {
+                proc: proc.to_owned(),
+                api: api.to_owned(),
+                op: op.to_owned(),
+                reason: resp.reason.unwrap_or_else(|| "unspecified".into()),
+            })
+        }
+    }
+}
+
+/// A predefined action, classified (like a procedure) by a single DSC.
+#[derive(Clone)]
+pub struct Action {
+    /// Unique action name.
+    pub name: String,
+    /// Classifying DSC.
+    pub classifier: DscId,
+    /// Implementation.
+    pub run: ActionFn,
+}
+
+impl std::fmt::Debug for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Action")
+            .field("name", &self.name)
+            .field("classifier", &self.classifier)
+            .finish()
+    }
+}
+
+/// Registry of predefined actions, indexed by classifying DSC.
+#[derive(Debug, Clone, Default)]
+pub struct ActionRegistry {
+    by_dsc: BTreeMap<DscId, Vec<Action>>,
+}
+
+impl ActionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an action.
+    pub fn register(
+        &mut self,
+        name: &str,
+        classifier: &str,
+        run: impl Fn(&Command, &mut dyn BrokerPort) -> Result<ActionOutcome> + Send + Sync + 'static,
+    ) {
+        self.by_dsc.entry(DscId::new(classifier)).or_default().push(Action {
+            name: name.to_owned(),
+            classifier: DscId::new(classifier),
+            run: Arc::new(run),
+        });
+    }
+
+    /// Selects the first registered action for the DSC (registration order
+    /// encodes preference).
+    pub fn select(&self, dsc: &DscId) -> Option<&Action> {
+        self.by_dsc.get(dsc).and_then(|v| v.first())
+    }
+
+    /// Returns `true` when some action can handle the DSC.
+    pub fn has(&self, dsc: &DscId) -> bool {
+        self.by_dsc.get(dsc).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Total number of registered actions.
+    pub fn len(&self) -> usize {
+        self.by_dsc.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` when no actions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(name: &str) -> Command {
+        Command::new(name, "t")
+    }
+
+    #[test]
+    fn register_select_and_run() {
+        let mut reg = ActionRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("openFast", "Connect", |cmd, port| {
+            let mut out = ActionOutcome::default();
+            let resp = port.invoke("svc", "open", &[("cmd".into(), cmd.name.clone())]);
+            out.absorb(resp, "openFast", "svc", "open")?;
+            out.events.push("opened".into());
+            Ok(out)
+        });
+        reg.register("openSlow", "Connect", |_, _| Ok(ActionOutcome::default()));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.has(&DscId::new("Connect")));
+        assert!(!reg.has(&DscId::new("Other")));
+
+        let action = reg.select(&DscId::new("Connect")).unwrap();
+        assert_eq!(action.name, "openFast");
+        let mut port = |_: &str, _: &str, _: &[(String, String)]| {
+            let mut r = PortResponse::ok();
+            r.cost_us = 7;
+            r
+        };
+        let out = (action.run)(&cmd("open"), &mut port).unwrap();
+        assert_eq!(out.broker_calls, 1);
+        assert_eq!(out.virtual_cost_us, 7);
+        assert_eq!(out.events, vec!["opened".to_string()]);
+    }
+
+    #[test]
+    fn absorb_propagates_failures() {
+        let mut out = ActionOutcome::default();
+        let e = out
+            .absorb(PortResponse::failed("nope", 3), "p", "a", "o")
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(e, ControllerError::BrokerFailure { .. }));
+        assert_eq!(out.virtual_cost_us, 3);
+        assert_eq!(out.broker_calls, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! The controller context: the environmental variables consulted during
+//! candidate filtering, policy evaluation, and command classification.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// A string-typed environment, e.g. `network=wifi`, `power=battery`,
+/// `failed:procX=1`. Cheap to snapshot and to fingerprint (IM-cache key).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ControllerContext {
+    vars: BTreeMap<String, String>,
+}
+
+impl ControllerContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a variable.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.vars.insert(key.into(), value.into());
+        self
+    }
+
+    /// Builder-style [`ControllerContext::set`].
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Removes a variable; returns its previous value.
+    pub fn unset(&mut self, key: &str) -> Option<String> {
+        self.vars.remove(key)
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.vars.get(key).map(String::as_str)
+    }
+
+    /// Marks a procedure as failed (excluded from IM generation until
+    /// cleared) — the adaptation hook used after broker failures.
+    pub fn mark_failed(&mut self, proc: &str) {
+        self.vars.insert(format!("failed:{proc}"), "1".into());
+    }
+
+    /// Returns `true` if the procedure is currently marked failed.
+    pub fn is_failed(&self, proc: &str) -> bool {
+        self.vars.get(&format!("failed:{proc}")).map(String::as_str) == Some("1")
+    }
+
+    /// Clears all failure marks (e.g. after recovery).
+    pub fn clear_failures(&mut self) {
+        self.vars.retain(|k, _| !k.starts_with("failed:"));
+    }
+
+    /// The raw map, for procedure compatibility checks.
+    pub fn vars(&self) -> &BTreeMap<String, String> {
+        &self.vars
+    }
+
+    /// A stable fingerprint of the context, used in IM-cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for (k, v) in &self.vars {
+            k.hash(&mut h);
+            v.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` when the context is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut c = ControllerContext::new();
+        assert!(c.is_empty());
+        c.set("network", "wifi");
+        assert_eq!(c.get("network"), Some("wifi"));
+        assert_eq!(c.unset("network"), Some("wifi".into()));
+        assert_eq!(c.get("network"), None);
+    }
+
+    #[test]
+    fn failure_marks() {
+        let mut c = ControllerContext::new().with("network", "wifi");
+        c.mark_failed("procA");
+        c.mark_failed("procB");
+        assert!(c.is_failed("procA"));
+        assert!(!c.is_failed("procC"));
+        c.clear_failures();
+        assert!(!c.is_failed("procA"));
+        assert_eq!(c.get("network"), Some("wifi"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = ControllerContext::new().with("x", "1");
+        let b = ControllerContext::new().with("x", "1");
+        let c = ControllerContext::new().with("x", "2");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a.fingerprint(), ControllerContext::new().fingerprint());
+    }
+}

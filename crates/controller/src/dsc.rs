@@ -1,0 +1,217 @@
+//! Domain-Specific Classifiers (DSCs).
+//!
+//! "DSCs categorize operations and data based on the business rules of a
+//! domain. […] Once generated, the DSCs serve as a mechanism to describe
+//! interfaces with implicit domain-specific constraints" (§V-B). A DSC
+//! taxonomy supports subsumption: a procedure classified by a child DSC is
+//! a candidate wherever the parent DSC is requested.
+
+use crate::{ControllerError, Result};
+use std::collections::BTreeMap;
+
+/// Identifier of a DSC (its unique name within the registry).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DscId(pub String);
+
+impl DscId {
+    /// Creates an id from a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DscId(name.into())
+    }
+
+    /// The name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for DscId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for DscId {
+    fn from(s: &str) -> Self {
+        DscId(s.to_owned())
+    }
+}
+
+/// What a DSC classifies: operations ("their goal") or data ("to be able
+/// to refer to these data").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Classifies domain operations.
+    Operation,
+    /// Classifies domain data.
+    Data,
+}
+
+/// One Domain-Specific Classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dsc {
+    /// Unique id/name.
+    pub id: DscId,
+    /// Operation or data classifier.
+    pub category: Category,
+    /// Optional parent in the taxonomy (subsumption).
+    pub parent: Option<DscId>,
+    /// Human-readable description of the goal it demarcates.
+    pub description: String,
+}
+
+/// The DSC taxonomy of a domain.
+#[derive(Debug, Clone, Default)]
+pub struct DscRegistry {
+    dscs: BTreeMap<DscId, Dsc>,
+}
+
+impl DscRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a DSC; the parent (when given) must already exist.
+    pub fn register(&mut self, dsc: Dsc) -> Result<()> {
+        if self.dscs.contains_key(&dsc.id) {
+            return Err(ControllerError::IllFormed(format!("duplicate DSC `{}`", dsc.id)));
+        }
+        if let Some(p) = &dsc.parent {
+            let parent = self
+                .dscs
+                .get(p)
+                .ok_or_else(|| ControllerError::IllFormed(format!(
+                    "DSC `{}` has unknown parent `{p}`",
+                    dsc.id
+                )))?;
+            if parent.category != dsc.category {
+                return Err(ControllerError::IllFormed(format!(
+                    "DSC `{}` and parent `{p}` have different categories",
+                    dsc.id
+                )));
+            }
+        }
+        self.dscs.insert(dsc.id.clone(), dsc);
+        Ok(())
+    }
+
+    /// Shorthand: registers an operation DSC.
+    pub fn operation(&mut self, id: &str, parent: Option<&str>, description: &str) -> Result<()> {
+        self.register(Dsc {
+            id: DscId::new(id),
+            category: Category::Operation,
+            parent: parent.map(DscId::new),
+            description: description.to_owned(),
+        })
+    }
+
+    /// Shorthand: registers a data DSC.
+    pub fn data(&mut self, id: &str, parent: Option<&str>, description: &str) -> Result<()> {
+        self.register(Dsc {
+            id: DscId::new(id),
+            category: Category::Data,
+            parent: parent.map(DscId::new),
+            description: description.to_owned(),
+        })
+    }
+
+    /// Looks up a DSC.
+    pub fn get(&self, id: &DscId) -> Option<&Dsc> {
+        self.dscs.get(id)
+    }
+
+    /// Looks up a DSC, erroring when absent.
+    pub fn get_or_err(&self, id: &DscId) -> Result<&Dsc> {
+        self.get(id).ok_or_else(|| ControllerError::UnknownDsc(id.to_string()))
+    }
+
+    /// Returns `true` if `sub` equals `sup` or transitively specializes it.
+    pub fn subsumes(&self, sup: &DscId, sub: &DscId) -> bool {
+        if sup == sub {
+            return true;
+        }
+        let mut cur = self.dscs.get(sub).and_then(|d| d.parent.clone());
+        while let Some(p) = cur {
+            if &p == sup {
+                return true;
+            }
+            cur = self.dscs.get(&p).and_then(|d| d.parent.clone());
+        }
+        false
+    }
+
+    /// All DSC ids, sorted.
+    pub fn ids(&self) -> Vec<&DscId> {
+        self.dscs.keys().collect()
+    }
+
+    /// Number of registered DSCs.
+    pub fn len(&self) -> usize {
+        self.dscs.len()
+    }
+
+    /// Returns `true` when no DSCs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.dscs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> DscRegistry {
+        let mut r = DscRegistry::new();
+        r.operation("Connect", None, "establish connectivity").unwrap();
+        r.operation("ConnectVideo", Some("Connect"), "establish video").unwrap();
+        r.operation("ConnectVideoHD", Some("ConnectVideo"), "establish HD video").unwrap();
+        r.data("MediaStream", None, "a media stream").unwrap();
+        r
+    }
+
+    #[test]
+    fn subsumption_follows_parent_chain() {
+        let r = registry();
+        let connect = DscId::new("Connect");
+        let video = DscId::new("ConnectVideo");
+        let hd = DscId::new("ConnectVideoHD");
+        assert!(r.subsumes(&connect, &connect));
+        assert!(r.subsumes(&connect, &video));
+        assert!(r.subsumes(&connect, &hd));
+        assert!(r.subsumes(&video, &hd));
+        assert!(!r.subsumes(&hd, &connect));
+        assert!(!r.subsumes(&video, &connect));
+        assert!(!r.subsumes(&DscId::new("MediaStream"), &connect));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut r = registry();
+        assert!(r.operation("Connect", None, "again").is_err());
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut r = DscRegistry::new();
+        assert!(r.operation("X", Some("Nope"), "").is_err());
+    }
+
+    #[test]
+    fn category_mismatch_with_parent_rejected() {
+        let mut r = DscRegistry::new();
+        r.operation("Op", None, "").unwrap();
+        assert!(r.data("D", Some("Op"), "").is_err());
+    }
+
+    #[test]
+    fn lookup_and_counts() {
+        let r = registry();
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert!(r.get(&DscId::new("Connect")).is_some());
+        assert!(r.get_or_err(&DscId::new("Zzz")).is_err());
+        assert_eq!(r.get(&DscId::new("ConnectVideo")).unwrap().category, Category::Operation);
+        assert_eq!(r.ids().len(), 4);
+    }
+}

@@ -1,0 +1,583 @@
+//! Intent Models: generation, validation, selection, and caching.
+//!
+//! "The generation of an execution model operates on procedure metadata to
+//! determine the optimal configuration of a set of procedures to carry out
+//! a requested operation based on active policies. It determines valid
+//! configurations by examining the DSC-described dependencies of a
+//! procedure X, and matches them with other procedures that are classified
+//! by the DSCs on which X depends. This step is repeated recursively while
+//! ensuring that unwanted configurations such as cycles are avoided, until
+//! a procedure dependency tree is generated. This tree is referred to as an
+//! Intent Model" (§V-B).
+//!
+//! The §VII-B measurement ("average cycle time quickly approaching 1 ms as
+//! we approached 100 000 cycles") implies memoization of generated IMs;
+//! [`ImCache`] provides it, keyed on (DSC, context fingerprint, repository
+//! revision, policy fingerprint).
+
+use crate::context::ControllerContext;
+use crate::dsc::{DscId, DscRegistry};
+use crate::policy::PolicyObjective;
+use crate::procedure::ProcId;
+use crate::repository::ProcedureRepository;
+use crate::{ControllerError, Result};
+use std::collections::HashMap;
+
+/// One node of an intent model: a concrete procedure with one child per
+/// declared dependency (in declaration order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImNode {
+    /// The matched procedure.
+    pub proc: ProcId,
+    /// Children, aligned with the procedure's `dependencies`.
+    pub children: Vec<ImNode>,
+}
+
+/// A procedure dependency tree able to perform one classified operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntentModel {
+    /// The root procedure (whose classifier is the requested DSC).
+    pub root: ImNode,
+}
+
+impl IntentModel {
+    /// Visits every node, pre-order.
+    pub fn visit(&self, mut f: impl FnMut(&ImNode)) {
+        fn walk(n: &ImNode, f: &mut impl FnMut(&ImNode)) {
+            f(n);
+            for c in &n.children {
+                walk(c, f);
+            }
+        }
+        walk(&self.root, &mut f);
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(|_| n += 1);
+        n
+    }
+
+    /// Depth of the tree (root = 1).
+    pub fn depth(&self) -> usize {
+        fn d(n: &ImNode) -> usize {
+            1 + n.children.iter().map(d).max().unwrap_or(0)
+        }
+        d(&self.root)
+    }
+
+    /// All distinct procedures used, sorted.
+    pub fn procedures(&self) -> Vec<ProcId> {
+        let mut out = Vec::new();
+        self.visit(|n| out.push(n.proc.clone()));
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Canonical rendering, e.g. `a(b, c(d))`.
+    pub fn render(&self) -> String {
+        fn r(n: &ImNode, out: &mut String) {
+            out.push_str(n.proc.as_str());
+            if !n.children.is_empty() {
+                out.push('(');
+                for (i, c) in n.children.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    r(c, out);
+                }
+                out.push(')');
+            }
+        }
+        let mut s = String::new();
+        r(&self.root, &mut s);
+        s
+    }
+}
+
+/// Limits and knobs of the generation search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationConfig {
+    /// Active selection policy.
+    pub policy: PolicyObjective,
+    /// Beam width: alternative configurations kept per DSC during the
+    /// recursive search (bounds the combinatorial product).
+    pub beam_width: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Total candidate expansions allowed per generation — a hard budget
+    /// against pathological repositories (densely cyclic dependency
+    /// graphs) whose search space explodes despite the beam and depth
+    /// limits. Exceeding it fails the generation cleanly.
+    pub max_expansions: u64,
+}
+
+impl Default for GenerationConfig {
+    fn default() -> Self {
+        GenerationConfig {
+            policy: PolicyObjective::default(),
+            beam_width: 8,
+            max_depth: 16,
+            max_expansions: 200_000,
+        }
+    }
+}
+
+/// Generates the optimal intent model for a DSC in the given context.
+///
+/// The full cycle — generation, validation, selection — mirrors §VII-B's
+/// "full generation cycle (IM generation, validation, and selection)".
+pub fn generate(
+    dsc: &DscId,
+    repo: &ProcedureRepository,
+    registry: &DscRegistry,
+    ctx: &ControllerContext,
+    config: &GenerationConfig,
+) -> Result<IntentModel> {
+    registry.get_or_err(dsc)?;
+    let mut path = Vec::new();
+    let mut budget = config.max_expansions;
+    let configs = resolve(dsc, repo, registry, ctx, config, &mut path, 0, &mut budget)?;
+    let (best, _score) = configs
+        .into_iter()
+        .next()
+        .ok_or_else(|| ControllerError::NoValidConfiguration {
+            dsc: dsc.to_string(),
+            reason: "no context-compatible, acyclic candidate".into(),
+        })?;
+    let im = IntentModel { root: best };
+    validate(&im, repo, registry, dsc)?;
+    Ok(im)
+}
+
+/// Returns valid configurations rooted at candidates of `dsc`, best first,
+/// truncated to the beam width.
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    dsc: &DscId,
+    repo: &ProcedureRepository,
+    registry: &DscRegistry,
+    ctx: &ControllerContext,
+    config: &GenerationConfig,
+    path: &mut Vec<ProcId>,
+    depth: usize,
+    budget: &mut u64,
+) -> Result<Vec<(ImNode, f64)>> {
+    if depth >= config.max_depth {
+        return Err(ControllerError::NoValidConfiguration {
+            dsc: dsc.to_string(),
+            reason: format!("dependency depth exceeds {}", config.max_depth),
+        });
+    }
+    let mut configs: Vec<(ImNode, f64)> = Vec::new();
+    for cand in repo.candidates(dsc, registry) {
+        if *budget == 0 {
+            return Err(ControllerError::NoValidConfiguration {
+                dsc: dsc.to_string(),
+                reason: format!(
+                    "generation search exceeded {} expansions",
+                    config.max_expansions
+                ),
+            });
+        }
+        *budget -= 1;
+        if path.contains(&cand.id) || ctx.is_failed(cand.id.as_str()) {
+            continue; // cycle avoidance / failure exclusion
+        }
+        if !cand.context_compatible(ctx.vars()) {
+            continue;
+        }
+        path.push(cand.id.clone());
+        // One configuration set per dependency; combine greedily by rank
+        // (children sets are already sorted best-first).
+        let mut child_sets: Vec<Vec<(ImNode, f64)>> = Vec::with_capacity(cand.dependencies.len());
+        let mut feasible = true;
+        for dep in &cand.dependencies {
+            match resolve(dep, repo, registry, ctx, config, path, depth + 1, budget) {
+                Ok(set) if !set.is_empty() => child_sets.push(set),
+                Err(ControllerError::NoValidConfiguration { reason, .. })
+                    if reason.contains("expansions") =>
+                {
+                    // Budget exhaustion aborts the whole search.
+                    path.pop();
+                    return Err(ControllerError::NoValidConfiguration {
+                        dsc: dsc.to_string(),
+                        reason,
+                    });
+                }
+                _ => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if feasible {
+            // Enumerate combinations rank-by-rank up to the beam width: the
+            // k-th configuration uses the k-th best choice where available.
+            let max_rank =
+                child_sets.iter().map(Vec::len).max().unwrap_or(1).min(config.beam_width);
+            for rank in 0..max_rank {
+                let children: Vec<ImNode> = child_sets
+                    .iter()
+                    .map(|set| set[rank.min(set.len() - 1)].0.clone())
+                    .collect();
+                let node = ImNode { proc: cand.id.clone(), children };
+                let score =
+                    config.policy.score(&IntentModel { root: node.clone() }, repo);
+                configs.push((node, score));
+            }
+        }
+        path.pop();
+    }
+    configs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    configs.dedup_by(|a, b| a.0 == b.0);
+    configs.truncate(config.beam_width);
+    Ok(configs)
+}
+
+/// Validates an intent model: the root's classifier matches the requested
+/// DSC (or a specialization), every node's children align with its
+/// procedure's dependencies, and no procedure repeats along any path.
+pub fn validate(
+    im: &IntentModel,
+    repo: &ProcedureRepository,
+    registry: &DscRegistry,
+    requested: &DscId,
+) -> Result<()> {
+    let root_proc = repo.get_or_err(&im.root.proc)?;
+    if !registry.subsumes(requested, &root_proc.classifier) {
+        return Err(ControllerError::InvalidIntentModel(format!(
+            "root `{}` classified `{}`, requested `{requested}`",
+            im.root.proc, root_proc.classifier
+        )));
+    }
+    fn walk(
+        node: &ImNode,
+        repo: &ProcedureRepository,
+        registry: &DscRegistry,
+        path: &mut Vec<ProcId>,
+    ) -> Result<()> {
+        if path.contains(&node.proc) {
+            return Err(ControllerError::InvalidIntentModel(format!(
+                "cycle: `{}` repeats along a path",
+                node.proc
+            )));
+        }
+        let p = repo.get_or_err(&node.proc)?;
+        if node.children.len() != p.dependencies.len() {
+            return Err(ControllerError::InvalidIntentModel(format!(
+                "`{}` has {} children but {} dependencies",
+                node.proc,
+                node.children.len(),
+                p.dependencies.len()
+            )));
+        }
+        path.push(node.proc.clone());
+        for (child, dep) in node.children.iter().zip(&p.dependencies) {
+            let cp = repo.get_or_err(&child.proc)?;
+            if !registry.subsumes(dep, &cp.classifier) {
+                return Err(ControllerError::InvalidIntentModel(format!(
+                    "child `{}` (classified `{}`) does not satisfy dependency `{dep}` of `{}`",
+                    child.proc, cp.classifier, node.proc
+                )));
+            }
+            walk(child, repo, registry, path)?;
+        }
+        path.pop();
+        Ok(())
+    }
+    walk(&im.root, repo, registry, &mut Vec::new())
+}
+
+/// Memoization of generated IMs, keyed by (DSC, context fingerprint,
+/// repository revision, policy fingerprint).
+#[derive(Debug, Default)]
+pub struct ImCache {
+    map: HashMap<(DscId, u64, u64, u64), IntentModel>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ImCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached IM for the key, or generates+validates+caches it.
+    pub fn get_or_generate(
+        &mut self,
+        dsc: &DscId,
+        repo: &ProcedureRepository,
+        registry: &DscRegistry,
+        ctx: &ControllerContext,
+        config: &GenerationConfig,
+    ) -> Result<IntentModel> {
+        let key =
+            (dsc.clone(), ctx.fingerprint(), repo.revision(), config.policy.fingerprint());
+        if let Some(im) = self.map.get(&key) {
+            self.hits += 1;
+            return Ok(im.clone());
+        }
+        self.misses += 1;
+        let im = generate(dsc, repo, registry, ctx, config)?;
+        self.map.insert(key, im.clone());
+        Ok(im)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all entries (e.g. on repository or policy change; entries also
+    /// self-invalidate via the revision in the key).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procedure::{Instr, Procedure};
+
+    fn registry() -> DscRegistry {
+        let mut r = DscRegistry::new();
+        for (id, parent) in [
+            ("Connect", None),
+            ("ConnectVideo", Some("Connect")),
+            ("Auth", None),
+            ("Media", None),
+            ("MediaHD", Some("Media")),
+        ] {
+            r.operation(id, parent, "").unwrap();
+        }
+        r
+    }
+
+    fn repo() -> ProcedureRepository {
+        let mut repo = ProcedureRepository::new();
+        repo.add(
+            Procedure::simple("openAV", "ConnectVideo", vec![Instr::CallDep(0), Instr::CallDep(1), Instr::Complete])
+                .with_dependency("Auth")
+                .with_dependency("Media")
+                .with_cost(3.0),
+        )
+        .unwrap();
+        repo.add(Procedure::simple("authBasic", "Auth", vec![Instr::Complete]).with_cost(1.0))
+            .unwrap();
+        repo.add(Procedure::simple("authStrong", "Auth", vec![Instr::Complete]).with_cost(5.0))
+            .unwrap();
+        repo.add(Procedure::simple("mediaSD", "Media", vec![Instr::Complete]).with_cost(1.0))
+            .unwrap();
+        repo.add(
+            Procedure::simple("mediaHD", "MediaHD", vec![Instr::Complete])
+                .with_cost(2.0)
+                .requires("network", "wifi"),
+        )
+        .unwrap();
+        repo
+    }
+
+    #[test]
+    fn generates_optimal_tree() {
+        let im = generate(
+            &DscId::new("Connect"),
+            &repo(),
+            &registry(),
+            &ControllerContext::new(),
+            &GenerationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(im.render(), "openAV(authBasic, mediaSD)");
+        assert_eq!(im.size(), 3);
+        assert_eq!(im.depth(), 2);
+        assert_eq!(im.procedures().len(), 3);
+    }
+
+    #[test]
+    fn context_changes_selection() {
+        // On wifi, HD media becomes available but costs more; MinimizeCost
+        // still picks SD. A reliability-weighted policy flips when we make
+        // HD more reliable.
+        let mut repo = repo();
+        repo.remove(&ProcId::new("mediaSD")).unwrap();
+        let ctx = ControllerContext::new().with("network", "wifi");
+        let im = generate(
+            &DscId::new("Connect"),
+            &repo,
+            &registry(),
+            &ctx,
+            &GenerationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(im.render(), "openAV(authBasic, mediaHD)");
+        // Without wifi there is no Media candidate at all -> no config.
+        let e = generate(
+            &DscId::new("Connect"),
+            &repo,
+            &registry(),
+            &ControllerContext::new(),
+            &GenerationConfig::default(),
+        )
+        .map(|im| im.render())
+        .unwrap_err();
+        assert!(matches!(e, ControllerError::NoValidConfiguration { .. }));
+    }
+
+    #[test]
+    fn failed_procedures_are_excluded() {
+        let mut ctx = ControllerContext::new();
+        ctx.mark_failed("authBasic");
+        let im = generate(
+            &DscId::new("Connect"),
+            &repo(),
+            &registry(),
+            &ctx,
+            &GenerationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(im.render(), "openAV(authStrong, mediaSD)");
+    }
+
+    #[test]
+    fn cycles_are_avoided() {
+        let mut reg = DscRegistry::new();
+        reg.operation("A", None, "").unwrap();
+        reg.operation("B", None, "").unwrap();
+        let mut repo = ProcedureRepository::new();
+        // a requires B, b requires A: direct mutual recursion has no
+        // acyclic expansion, so generation must fail rather than loop.
+        repo.add(Procedure::simple("a", "A", vec![Instr::CallDep(0)]).with_dependency("B"))
+            .unwrap();
+        repo.add(Procedure::simple("b", "B", vec![Instr::CallDep(0)]).with_dependency("A"))
+            .unwrap();
+        let e = generate(
+            &DscId::new("A"),
+            &repo,
+            &reg,
+            &ControllerContext::new(),
+            &GenerationConfig::default(),
+        )
+        .map(|im| im.render());
+        assert!(e.is_err());
+        // Adding a leaf procedure for B breaks the cycle.
+        repo.add(Procedure::simple("bleaf", "B", vec![Instr::Complete])).unwrap();
+        let im = generate(
+            &DscId::new("A"),
+            &repo,
+            &reg,
+            &ControllerContext::new(),
+            &GenerationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(im.render(), "a(bleaf)");
+    }
+
+    #[test]
+    fn unknown_dsc_rejected() {
+        let e = generate(
+            &DscId::new("Nope"),
+            &repo(),
+            &registry(),
+            &ControllerContext::new(),
+            &GenerationConfig::default(),
+        )
+        .map(|im| im.render());
+        assert!(matches!(e, Err(ControllerError::UnknownDsc(_))));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_trees() {
+        let repo = repo();
+        let reg = registry();
+        let dsc = DscId::new("Connect");
+        // Wrong child count.
+        let im = IntentModel { root: ImNode { proc: "openAV".into(), children: vec![] } };
+        assert!(validate(&im, &repo, &reg, &dsc).is_err());
+        // Child violating dependency DSC.
+        let im = IntentModel {
+            root: ImNode {
+                proc: "openAV".into(),
+                children: vec![
+                    ImNode { proc: "mediaSD".into(), children: vec![] }, // should be Auth
+                    ImNode { proc: "mediaSD".into(), children: vec![] },
+                ],
+            },
+        };
+        assert!(validate(&im, &repo, &reg, &dsc).is_err());
+        // Root classifier mismatch.
+        let im = IntentModel { root: ImNode { proc: "authBasic".into(), children: vec![] } };
+        assert!(validate(&im, &repo, &reg, &dsc).is_err());
+        // Unknown procedure.
+        let im = IntentModel { root: ImNode { proc: "zzz".into(), children: vec![] } };
+        assert!(validate(&im, &repo, &reg, &dsc).is_err());
+    }
+
+    #[test]
+    fn cache_hits_and_invalidation() {
+        let mut cache = ImCache::new();
+        let mut repo = repo();
+        let reg = registry();
+        let ctx = ControllerContext::new();
+        let cfg = GenerationConfig::default();
+        let dsc = DscId::new("Connect");
+        let a = cache.get_or_generate(&dsc, &repo, &reg, &ctx, &cfg).unwrap();
+        let b = cache.get_or_generate(&dsc, &repo, &reg, &ctx, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // Context change -> miss.
+        let ctx2 = ControllerContext::new().with("network", "wifi");
+        cache.get_or_generate(&dsc, &repo, &reg, &ctx2, &cfg).unwrap();
+        assert_eq!(cache.misses(), 2);
+        // Repository change -> revision bump -> miss.
+        repo.add(Procedure::simple("extra", "Auth", vec![Instr::Complete])).unwrap();
+        cache.get_or_generate(&dsc, &repo, &reg, &ctx, &cfg).unwrap();
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.len(), 3);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn beam_width_bounds_alternatives_but_keeps_best() {
+        // Many Auth procedures; beam 2 must still select the cheapest.
+        let mut repo = repo();
+        for i in 0..20 {
+            repo.add(
+                Procedure::simple(&format!("auth{i}"), "Auth", vec![Instr::Complete])
+                    .with_cost(10.0 + f64::from(i)),
+            )
+            .unwrap();
+        }
+        let cfg = GenerationConfig { beam_width: 2, ..GenerationConfig::default() };
+        let im = generate(
+            &DscId::new("Connect"),
+            &repo,
+            &registry(),
+            &ControllerContext::new(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(im.render(), "openAV(authBasic, mediaSD)");
+    }
+}

@@ -1,0 +1,483 @@
+//! The stack machine: the Controller's execution engine.
+//!
+//! "The execution engine of the Controller is a stack machine that operates
+//! by executing the EUs of the procedure currently on top of the stack. In
+//! addition to executing its own code, a procedure X, through its EUs, can
+//! call procedures that were matched to its declared dependencies, which
+//! results in the called procedure being pushed onto the stack, or it can
+//! signal that it has completed its operation, resulting in the procedure
+//! being popped from the stack" (§V-B).
+
+use crate::intent::{ImNode, IntentModel};
+use crate::procedure::{Instr, Operand};
+use crate::repository::ProcedureRepository;
+use crate::{ControllerError, Result};
+use std::collections::BTreeMap;
+
+/// Response of a broker-port invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PortResponse {
+    /// Whether the call succeeded.
+    pub ok: bool,
+    /// Named result values.
+    pub values: BTreeMap<String, String>,
+    /// Failure reason when `!ok`.
+    pub reason: Option<String>,
+    /// Virtual-time cost of the call, in microseconds (virtual-time
+    /// experiments accumulate it; wall-clock experiments ignore it).
+    pub cost_us: u64,
+}
+
+impl PortResponse {
+    /// A zero-cost success with no values.
+    pub fn ok() -> Self {
+        PortResponse { ok: true, ..Default::default() }
+    }
+
+    /// A failure with a reason.
+    pub fn failed(reason: impl Into<String>, cost_us: u64) -> Self {
+        PortResponse { ok: false, reason: Some(reason.into()), cost_us, ..Default::default() }
+    }
+}
+
+/// The Controller's window onto the Broker layer: "the execution of an EU
+/// involves making calls to the underlying Broker layer through a set of
+/// exposed APIs" (§V-B).
+pub trait BrokerPort {
+    /// Invokes `op` on broker API `api`.
+    fn invoke(&mut self, api: &str, op: &str, args: &[(String, String)]) -> PortResponse;
+}
+
+impl<F> BrokerPort for F
+where
+    F: FnMut(&str, &str, &[(String, String)]) -> PortResponse,
+{
+    fn invoke(&mut self, api: &str, op: &str, args: &[(String, String)]) -> PortResponse {
+        self(api, op, args)
+    }
+}
+
+/// An event raised by an EU during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaisedEvent {
+    /// Event topic.
+    pub topic: String,
+    /// Resolved payload.
+    pub payload: Vec<(String, String)>,
+}
+
+/// A message sent by an EU during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentMessage {
+    /// Destination component.
+    pub to: String,
+    /// Topic.
+    pub topic: String,
+    /// Resolved payload.
+    pub payload: Vec<(String, String)>,
+}
+
+/// Statistics and side-effects of one execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecOutcome {
+    /// Instructions executed.
+    pub steps: u64,
+    /// Broker calls issued (including remote calls).
+    pub broker_calls: u64,
+    /// Events raised via `EmitEvent`.
+    pub events: Vec<RaisedEvent>,
+    /// Messages sent via `SendMessage`.
+    pub messages: Vec<SentMessage>,
+    /// Accumulated virtual-time cost (µs) of broker calls.
+    pub virtual_cost_us: u64,
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineLimits {
+    /// Maximum instructions per execution.
+    pub max_steps: u64,
+    /// Maximum stack depth.
+    pub max_depth: usize,
+}
+
+impl Default for MachineLimits {
+    fn default() -> Self {
+        MachineLimits { max_steps: 100_000, max_depth: 64 }
+    }
+}
+
+/// The stack machine; stateless between executions apart from limits.
+#[derive(Debug, Clone, Default)]
+pub struct StackMachine {
+    limits: MachineLimits,
+}
+
+struct Frame<'a> {
+    node: &'a ImNode,
+    /// Flattened program of the procedure's EUs.
+    program: Vec<&'a Instr>,
+    pc: usize,
+    locals: BTreeMap<String, String>,
+}
+
+impl StackMachine {
+    /// Creates a machine with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a machine with custom limits.
+    pub fn with_limits(limits: MachineLimits) -> Self {
+        StackMachine { limits }
+    }
+
+    /// Executes an intent model: pushes the root procedure and runs until
+    /// the stack empties. `cmd_args` are the arguments of the command that
+    /// requested the operation (readable through [`Operand::Arg`]).
+    pub fn execute(
+        &self,
+        im: &IntentModel,
+        repo: &ProcedureRepository,
+        cmd_args: &[(String, String)],
+        port: &mut dyn BrokerPort,
+    ) -> Result<ExecOutcome> {
+        let mut outcome = ExecOutcome::default();
+        let mut stack: Vec<Frame<'_>> = vec![self.frame(&im.root, repo)?];
+
+        while let Some(top) = stack.last_mut() {
+            if outcome.steps >= self.limits.max_steps {
+                return Err(ControllerError::ExecutionLimit(format!(
+                    "{} steps",
+                    self.limits.max_steps
+                )));
+            }
+            let Some(instr) = top.program.get(top.pc).copied() else {
+                // Falling off the end of the program implies completion.
+                stack.pop();
+                continue;
+            };
+            top.pc += 1;
+            outcome.steps += 1;
+
+            // Resolve an operand against the frame and command args.
+            let resolve = |o: &Operand, locals: &BTreeMap<String, String>| -> String {
+                match o {
+                    Operand::Lit(s) => s.clone(),
+                    Operand::Var(v) => locals.get(v).cloned().unwrap_or_default(),
+                    Operand::Arg(a) => cmd_args
+                        .iter()
+                        .find(|(k, _)| k == a)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_default(),
+                }
+            };
+
+            match instr {
+                Instr::SetVar { name, value } => {
+                    let v = resolve(value, &top.locals);
+                    top.locals.insert(name.clone(), v);
+                }
+                Instr::Free(name) => {
+                    top.locals.remove(name);
+                }
+                Instr::BrokerCall { api, op, args } | Instr::RemoteCall { node: api, op, args } => {
+                    let is_remote = matches!(instr, Instr::RemoteCall { .. });
+                    let resolved: Vec<(String, String)> =
+                        args.iter().map(|(k, v)| (k.clone(), resolve(v, &top.locals))).collect();
+                    let (api_name, op_name) = if is_remote {
+                        ("remote".to_string(), format!("{api}:{op}"))
+                    } else {
+                        (api.clone(), op.clone())
+                    };
+                    let resp = port.invoke(&api_name, &op_name, &resolved);
+                    outcome.broker_calls += 1;
+                    outcome.virtual_cost_us += resp.cost_us;
+                    if resp.ok {
+                        for (k, v) in resp.values {
+                            top.locals.insert(format!("result.{k}"), v);
+                        }
+                    } else {
+                        return Err(ControllerError::BrokerFailure {
+                            proc: top.node.proc.to_string(),
+                            api: api_name,
+                            op: op_name,
+                            reason: resp.reason.unwrap_or_else(|| "unspecified".into()),
+                        });
+                    }
+                }
+                Instr::EmitEvent { topic, payload } => {
+                    outcome.events.push(RaisedEvent {
+                        topic: topic.clone(),
+                        payload: payload
+                            .iter()
+                            .map(|(k, v)| (k.clone(), resolve(v, &top.locals)))
+                            .collect(),
+                    });
+                }
+                Instr::SendMessage { to, topic, payload } => {
+                    outcome.messages.push(SentMessage {
+                        to: to.clone(),
+                        topic: topic.clone(),
+                        payload: payload
+                            .iter()
+                            .map(|(k, v)| (k.clone(), resolve(v, &top.locals)))
+                            .collect(),
+                    });
+                }
+                Instr::CallDep(idx) => {
+                    let child = top.node.children.get(*idx).ok_or_else(|| {
+                        ControllerError::InvalidIntentModel(format!(
+                            "`{}` has no matched dependency at index {idx}",
+                            top.node.proc
+                        ))
+                    })?;
+                    if stack.len() >= self.limits.max_depth {
+                        return Err(ControllerError::ExecutionLimit(format!(
+                            "stack depth {}",
+                            self.limits.max_depth
+                        )));
+                    }
+                    let frame = self.frame(child, repo)?;
+                    stack.push(frame);
+                }
+                Instr::IfVar { var, equals, then, otherwise } => {
+                    let taken = top.locals.get(var).map(String::as_str) == Some(equals.as_str());
+                    let branch = if taken { then } else { otherwise };
+                    // Splice the branch in just after the current pc.
+                    let pc = top.pc;
+                    for (i, ins) in branch.iter().enumerate() {
+                        top.program.insert(pc + i, ins);
+                    }
+                }
+                Instr::Complete => {
+                    stack.pop();
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn frame<'a>(&self, node: &'a ImNode, repo: &'a ProcedureRepository) -> Result<Frame<'a>> {
+        let proc = repo.get_or_err(&node.proc)?;
+        let program: Vec<&Instr> =
+            proc.eus.iter().flat_map(|eu| eu.instructions.iter()).collect();
+        Ok(Frame { node, program, pc: 0, locals: BTreeMap::new() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procedure::Procedure;
+
+    fn ok_port() -> impl BrokerPort {
+        |_: &str, _: &str, _: &[(String, String)]| PortResponse::ok()
+    }
+
+    fn leaf(id: &str, instrs: Vec<Instr>) -> (ImNode, Procedure) {
+        (ImNode { proc: id.into(), children: vec![] }, Procedure::simple(id, "C", instrs))
+    }
+
+    fn repo_of(procs: Vec<Procedure>) -> ProcedureRepository {
+        let mut r = ProcedureRepository::new();
+        for p in procs {
+            r.add(p).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn locals_args_and_broker_calls() {
+        let (node, proc) = leaf(
+            "p",
+            vec![
+                Instr::SetVar { name: "x".into(), value: Operand::arg("who") },
+                Instr::BrokerCall {
+                    api: "media".into(),
+                    op: "open".into(),
+                    args: vec![("peer".into(), Operand::var("x")), ("q".into(), Operand::lit("hd"))],
+                },
+                Instr::SetVar { name: "sid".into(), value: Operand::var("result.session") },
+                Instr::Complete,
+            ],
+        );
+        let repo = repo_of(vec![proc]);
+        let calls = std::cell::RefCell::new(Vec::new());
+        let mut port = |api: &str, op: &str, args: &[(String, String)]| {
+            calls.borrow_mut().push(format!("{api}.{op}({:?})", args));
+            let mut r = PortResponse::ok();
+            r.values.insert("session".into(), "s42".into());
+            r.cost_us = 10;
+            r
+        };
+        let im = IntentModel { root: node };
+        let out = StackMachine::new()
+            .execute(&im, &repo, &[("who".into(), "bob".into())], &mut port)
+            .unwrap();
+        assert_eq!(out.broker_calls, 1);
+        assert_eq!(out.virtual_cost_us, 10);
+        assert_eq!(out.steps, 4);
+        let c = calls.borrow();
+        assert!(c[0].contains("peer"), "{c:?}");
+        assert!(c[0].contains("bob"), "{c:?}");
+    }
+
+    #[test]
+    fn dsc_based_call_pushes_child() {
+        let parent = Procedure::simple(
+            "parent",
+            "C",
+            vec![Instr::CallDep(0), Instr::EmitEvent { topic: "done".into(), payload: vec![] }, Instr::Complete],
+        )
+        .with_dependency("D");
+        let child = Procedure::simple(
+            "child",
+            "D",
+            vec![Instr::BrokerCall { api: "svc".into(), op: "x".into(), args: vec![] }, Instr::Complete],
+        );
+        let repo = repo_of(vec![parent, child]);
+        let im = IntentModel {
+            root: ImNode {
+                proc: "parent".into(),
+                children: vec![ImNode { proc: "child".into(), children: vec![] }],
+            },
+        };
+        let mut port = ok_port();
+        let out = StackMachine::new().execute(&im, &repo, &[], &mut port).unwrap();
+        assert_eq!(out.broker_calls, 1);
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.events[0].topic, "done");
+    }
+
+    #[test]
+    fn broker_failure_names_the_procedure() {
+        let (node, proc) = leaf(
+            "fragile",
+            vec![Instr::BrokerCall { api: "svc".into(), op: "x".into(), args: vec![] }],
+        );
+        let repo = repo_of(vec![proc]);
+        let mut port =
+            |_: &str, _: &str, _: &[(String, String)]| PortResponse::failed("down", 500);
+        let e = StackMachine::new()
+            .execute(&IntentModel { root: node }, &repo, &[], &mut port)
+            .unwrap_err();
+        match e {
+            ControllerError::BrokerFailure { proc, reason, .. } => {
+                assert_eq!(proc, "fragile");
+                assert_eq!(reason, "down");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn conditionals_branch_on_locals() {
+        let (node, proc) = leaf(
+            "p",
+            vec![
+                Instr::SetVar { name: "mode".into(), value: Operand::arg("mode") },
+                Instr::IfVar {
+                    var: "mode".into(),
+                    equals: "hd".into(),
+                    then: vec![Instr::EmitEvent { topic: "hd".into(), payload: vec![] }],
+                    otherwise: vec![Instr::EmitEvent { topic: "sd".into(), payload: vec![] }],
+                },
+                Instr::Complete,
+            ],
+        );
+        let repo = repo_of(vec![proc]);
+        let im = IntentModel { root: node };
+        let mut port = ok_port();
+        let out = StackMachine::new()
+            .execute(&im, &repo, &[("mode".into(), "hd".into())], &mut port)
+            .unwrap();
+        assert_eq!(out.events[0].topic, "hd");
+        let mut port = ok_port();
+        let out = StackMachine::new().execute(&im, &repo, &[], &mut port).unwrap();
+        assert_eq!(out.events[0].topic, "sd");
+    }
+
+    #[test]
+    fn implicit_completion_and_free() {
+        // No explicit Complete: falling off the program pops the frame.
+        let (node, proc) = leaf(
+            "p",
+            vec![
+                Instr::SetVar { name: "x".into(), value: Operand::lit("1") },
+                Instr::Free("x".into()),
+            ],
+        );
+        let repo = repo_of(vec![proc]);
+        let mut port = ok_port();
+        let out =
+            StackMachine::new().execute(&IntentModel { root: node }, &repo, &[], &mut port).unwrap();
+        assert_eq!(out.steps, 2);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        // Self-splicing conditional loop: IfVar keeps reinserting itself.
+        let looping = Instr::IfVar {
+            var: "x".into(),
+            equals: "".into(),
+            then: vec![],
+            otherwise: vec![],
+        };
+        // Construct a program that always branches into `then` containing
+        // the same conditional again (bounded by instruction cloning depth
+        // is impossible; instead use messages to spin).
+        let mut instrs = Vec::new();
+        for _ in 0..10 {
+            instrs.push(looping.clone());
+        }
+        let (node, proc) = leaf("p", instrs);
+        let repo = repo_of(vec![proc]);
+        let machine = StackMachine::with_limits(MachineLimits { max_steps: 5, max_depth: 4 });
+        let mut port = ok_port();
+        let e = machine.execute(&IntentModel { root: node }, &repo, &[], &mut port).unwrap_err();
+        assert!(matches!(e, ControllerError::ExecutionLimit(_)));
+    }
+
+    #[test]
+    fn messages_and_remote_calls() {
+        let (node, proc) = leaf(
+            "p",
+            vec![
+                Instr::SendMessage {
+                    to: "ui".into(),
+                    topic: "progress".into(),
+                    payload: vec![("pct".into(), Operand::lit("50"))],
+                },
+                Instr::RemoteCall {
+                    node: "provider".into(),
+                    op: "collect".into(),
+                    args: vec![],
+                },
+                Instr::Complete,
+            ],
+        );
+        let repo = repo_of(vec![proc]);
+        let seen = std::cell::RefCell::new(Vec::new());
+        let mut port = |api: &str, op: &str, _args: &[(String, String)]| {
+            seen.borrow_mut().push(format!("{api}.{op}"));
+            PortResponse::ok()
+        };
+        let im = IntentModel { root: node };
+        let out = StackMachine::new().execute(&im, &repo, &[], &mut port).unwrap();
+        assert_eq!(out.messages.len(), 1);
+        assert_eq!(out.messages[0].to, "ui");
+        assert_eq!(seen.borrow().as_slice(), &["remote.provider:collect".to_string()]);
+    }
+
+    #[test]
+    fn missing_child_is_invalid_im() {
+        let parent = Procedure::simple("parent", "C", vec![Instr::CallDep(0)])
+            .with_dependency("D");
+        let repo = repo_of(vec![parent]);
+        let im = IntentModel { root: ImNode { proc: "parent".into(), children: vec![] } };
+        let mut port = ok_port();
+        let e = StackMachine::new().execute(&im, &repo, &[], &mut port).unwrap_err();
+        assert!(matches!(e, ControllerError::InvalidIntentModel(_)));
+    }
+}

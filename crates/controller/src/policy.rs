@@ -1,0 +1,152 @@
+//! Selection policies: how IM generation scores alternative procedure
+//! configurations ("the optimal configuration of a set of procedures to
+//! carry out a requested operation based on active policies", §V-B).
+
+use crate::intent::IntentModel;
+use crate::repository::ProcedureRepository;
+
+/// The objective a policy optimizes over a candidate intent model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyObjective {
+    /// Minimize summed procedure cost.
+    MinimizeCost,
+    /// Maximize summed reliability (product, expressed as minimized
+    /// negative log to stay additive and numerically stable).
+    MaximizeReliability,
+    /// Minimize summed memory footprint (the Fig. 8 rationale: "in cases
+    /// where memory footprint needs to be reduced").
+    MinimizeMemory,
+    /// Weighted blend: `w_cost*cost + w_mem*memory - w_rel*reliability`
+    /// summed over nodes; lower is better.
+    Weighted {
+        /// Weight on cost.
+        w_cost: f64,
+        /// Weight on reliability.
+        w_rel: f64,
+        /// Weight on memory.
+        w_mem: f64,
+    },
+}
+
+impl Default for PolicyObjective {
+    fn default() -> Self {
+        PolicyObjective::MinimizeCost
+    }
+}
+
+impl PolicyObjective {
+    /// Scores an intent model; **lower is better**.
+    pub fn score(&self, im: &IntentModel, repo: &ProcedureRepository) -> f64 {
+        let mut total = 0.0;
+        im.visit(|node| {
+            if let Some(p) = repo.get(&node.proc) {
+                total += match self {
+                    PolicyObjective::MinimizeCost => p.meta.cost,
+                    PolicyObjective::MaximizeReliability => {
+                        // -ln(reliability): 0 for perfect, grows as it drops.
+                        -(p.meta.reliability.clamp(1e-9, 1.0)).ln()
+                    }
+                    PolicyObjective::MinimizeMemory => p.meta.memory,
+                    PolicyObjective::Weighted { w_cost, w_rel, w_mem } => {
+                        w_cost * p.meta.cost + w_mem * p.meta.memory
+                            - w_rel * p.meta.reliability
+                    }
+                };
+            }
+        });
+        total
+    }
+
+    /// A stable fingerprint for IM-cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            PolicyObjective::MinimizeCost => 1,
+            PolicyObjective::MaximizeReliability => 2,
+            PolicyObjective::MinimizeMemory => 3,
+            PolicyObjective::Weighted { w_cost, w_rel, w_mem } => {
+                // Quantize weights; policies differing in the 4th decimal
+                // are the same policy for caching purposes.
+                let q = |x: f64| (x * 1000.0).round() as u64;
+                4u64.wrapping_mul(31)
+                    .wrapping_add(q(*w_cost))
+                    .wrapping_mul(31)
+                    .wrapping_add(q(*w_rel))
+                    .wrapping_mul(31)
+                    .wrapping_add(q(*w_mem))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::ImNode;
+    use crate::procedure::{Instr, Procedure};
+
+    fn repo() -> ProcedureRepository {
+        let mut r = ProcedureRepository::new();
+        r.add(Procedure::simple("cheap", "C", vec![Instr::Complete])
+            .with_cost(1.0)
+            .with_reliability(0.5)
+            .with_memory(10.0))
+            .unwrap();
+        r.add(Procedure::simple("solid", "C", vec![Instr::Complete])
+            .with_cost(5.0)
+            .with_reliability(0.99)
+            .with_memory(2.0))
+            .unwrap();
+        r
+    }
+
+    fn im(proc_id: &str) -> IntentModel {
+        IntentModel { root: ImNode { proc: proc_id.into(), children: vec![] } }
+    }
+
+    #[test]
+    fn objectives_rank_differently() {
+        let r = repo();
+        let cheap = im("cheap");
+        let solid = im("solid");
+        let cost = PolicyObjective::MinimizeCost;
+        assert!(cost.score(&cheap, &r) < cost.score(&solid, &r));
+        let rel = PolicyObjective::MaximizeReliability;
+        assert!(rel.score(&solid, &r) < rel.score(&cheap, &r));
+        let mem = PolicyObjective::MinimizeMemory;
+        assert!(mem.score(&solid, &r) < mem.score(&cheap, &r));
+    }
+
+    #[test]
+    fn weighted_blend() {
+        let r = repo();
+        let w = PolicyObjective::Weighted { w_cost: 1.0, w_rel: 0.0, w_mem: 0.0 };
+        assert_eq!(w.score(&im("cheap"), &r), 1.0);
+        let w = PolicyObjective::Weighted { w_cost: 0.0, w_rel: 0.0, w_mem: 1.0 };
+        assert_eq!(w.score(&im("cheap"), &r), 10.0);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_policies() {
+        let a = PolicyObjective::MinimizeCost.fingerprint();
+        let b = PolicyObjective::MinimizeMemory.fingerprint();
+        let c = PolicyObjective::Weighted { w_cost: 1.0, w_rel: 2.0, w_mem: 3.0 }.fingerprint();
+        let c2 = PolicyObjective::Weighted { w_cost: 1.0, w_rel: 2.0, w_mem: 3.0 }.fingerprint();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(c, c2);
+        let d = PolicyObjective::Weighted { w_cost: 1.1, w_rel: 2.0, w_mem: 3.0 }.fingerprint();
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn score_sums_over_tree() {
+        let r = repo();
+        let tree = IntentModel {
+            root: ImNode {
+                proc: "cheap".into(),
+                children: vec![ImNode { proc: "solid".into(), children: vec![] }],
+            },
+        };
+        assert_eq!(PolicyObjective::MinimizeCost.score(&tree, &r), 6.0);
+    }
+}

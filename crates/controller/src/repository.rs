@@ -1,0 +1,222 @@
+//! The procedure repository: the store of procedure metadata IM generation
+//! operates on ("the Controller's repository was populated with metadata of
+//! 100 curated procedures", §VII-B).
+
+use crate::dsc::{DscId, DscRegistry};
+use crate::procedure::{ProcId, Procedure};
+use crate::{ControllerError, Result};
+use std::collections::BTreeMap;
+
+/// Procedure store with a classifier index and a revision counter used for
+/// intent-model cache invalidation.
+#[derive(Debug, Clone, Default)]
+pub struct ProcedureRepository {
+    procedures: BTreeMap<ProcId, Procedure>,
+    by_classifier: BTreeMap<DscId, Vec<ProcId>>,
+    revision: u64,
+}
+
+impl ProcedureRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a procedure; ids are unique.
+    pub fn add(&mut self, p: Procedure) -> Result<()> {
+        if self.procedures.contains_key(&p.id) {
+            return Err(ControllerError::IllFormed(format!("duplicate procedure `{}`", p.id)));
+        }
+        self.by_classifier.entry(p.classifier.clone()).or_default().push(p.id.clone());
+        self.procedures.insert(p.id.clone(), p);
+        self.revision += 1;
+        Ok(())
+    }
+
+    /// Removes a procedure; returns it when present.
+    pub fn remove(&mut self, id: &ProcId) -> Option<Procedure> {
+        let p = self.procedures.remove(id)?;
+        if let Some(v) = self.by_classifier.get_mut(&p.classifier) {
+            v.retain(|x| x != id);
+        }
+        self.revision += 1;
+        Some(p)
+    }
+
+    /// Looks up a procedure.
+    pub fn get(&self, id: &ProcId) -> Option<&Procedure> {
+        self.procedures.get(id)
+    }
+
+    /// Looks up a procedure, erroring when absent.
+    pub fn get_or_err(&self, id: &ProcId) -> Result<&Procedure> {
+        self.get(id).ok_or_else(|| ControllerError::UnknownProcedure(id.to_string()))
+    }
+
+    /// Procedures whose classifier is `dsc` or (via the registry taxonomy)
+    /// a specialization of it — the candidate set for IM generation.
+    pub fn candidates(&self, dsc: &DscId, registry: &DscRegistry) -> Vec<&Procedure> {
+        let mut out: Vec<&Procedure> = self
+            .by_classifier
+            .iter()
+            .filter(|(c, _)| registry.subsumes(dsc, c))
+            .flat_map(|(_, ids)| ids.iter().filter_map(|i| self.procedures.get(i)))
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out
+    }
+
+    /// Validates the repository against a DSC registry: every classifier
+    /// and dependency must exist, and `CallDep` indices must be in range.
+    pub fn validate(&self, registry: &DscRegistry) -> Result<()> {
+        use crate::procedure::Instr;
+        fn check_deps(
+            instrs: &[Instr],
+            n_deps: usize,
+            id: &ProcId,
+        ) -> Result<()> {
+            for i in instrs {
+                match i {
+                    Instr::CallDep(idx) if *idx >= n_deps => {
+                        return Err(ControllerError::IllFormed(format!(
+                            "procedure `{id}`: CallDep({idx}) out of range ({n_deps} deps)"
+                        )))
+                    }
+                    Instr::IfVar { then, otherwise, .. } => {
+                        check_deps(then, n_deps, id)?;
+                        check_deps(otherwise, n_deps, id)?;
+                    }
+                    _ => {}
+                }
+            }
+            Ok(())
+        }
+        for p in self.procedures.values() {
+            registry.get_or_err(&p.classifier).map_err(|_| {
+                ControllerError::IllFormed(format!(
+                    "procedure `{}` classified by unknown DSC `{}`",
+                    p.id, p.classifier
+                ))
+            })?;
+            for d in &p.dependencies {
+                registry.get_or_err(d).map_err(|_| {
+                    ControllerError::IllFormed(format!(
+                        "procedure `{}` depends on unknown DSC `{d}`",
+                        p.id
+                    ))
+                })?;
+            }
+            for eu in &p.eus {
+                check_deps(&eu.instructions, p.dependencies.len(), &p.id)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All procedure ids, sorted.
+    pub fn ids(&self) -> Vec<&ProcId> {
+        self.procedures.keys().collect()
+    }
+
+    /// Number of procedures.
+    pub fn len(&self) -> usize {
+        self.procedures.len()
+    }
+
+    /// Returns `true` when the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.procedures.is_empty()
+    }
+
+    /// Revision counter; bumps on every add/remove (IM caches key on it).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procedure::Instr;
+
+    fn registry() -> DscRegistry {
+        let mut r = DscRegistry::new();
+        r.operation("Connect", None, "").unwrap();
+        r.operation("ConnectVideo", Some("Connect"), "").unwrap();
+        r.operation("Auth", None, "").unwrap();
+        r
+    }
+
+    #[test]
+    fn add_get_remove_and_revisions() {
+        let mut repo = ProcedureRepository::new();
+        assert_eq!(repo.revision(), 0);
+        repo.add(Procedure::simple("a", "Connect", vec![Instr::Complete])).unwrap();
+        assert_eq!(repo.revision(), 1);
+        assert!(repo.get(&ProcId::new("a")).is_some());
+        assert!(repo.add(Procedure::simple("a", "Connect", vec![])).is_err());
+        assert!(repo.remove(&ProcId::new("a")).is_some());
+        assert_eq!(repo.revision(), 2);
+        assert!(repo.remove(&ProcId::new("a")).is_none());
+        assert!(repo.is_empty());
+        assert!(repo.get_or_err(&ProcId::new("a")).is_err());
+    }
+
+    #[test]
+    fn candidates_respect_subsumption() {
+        let reg = registry();
+        let mut repo = ProcedureRepository::new();
+        repo.add(Procedure::simple("base", "Connect", vec![Instr::Complete])).unwrap();
+        repo.add(Procedure::simple("video", "ConnectVideo", vec![Instr::Complete])).unwrap();
+        repo.add(Procedure::simple("auth", "Auth", vec![Instr::Complete])).unwrap();
+        let c = repo.candidates(&DscId::new("Connect"), &reg);
+        let ids: Vec<_> = c.iter().map(|p| p.id.as_str()).collect();
+        assert_eq!(ids, vec!["base", "video"]);
+        let c = repo.candidates(&DscId::new("ConnectVideo"), &reg);
+        assert_eq!(c.len(), 1);
+        assert!(repo.candidates(&DscId::new("Nope"), &reg).is_empty());
+    }
+
+    #[test]
+    fn validate_catches_dangling_and_out_of_range() {
+        let reg = registry();
+        let mut repo = ProcedureRepository::new();
+        repo.add(Procedure::simple("ok", "Connect", vec![Instr::CallDep(0), Instr::Complete])
+            .with_dependency("Auth"))
+            .unwrap();
+        assert!(repo.validate(&reg).is_ok());
+
+        let mut bad = repo.clone();
+        bad.add(Procedure::simple("badclass", "Nope", vec![])).unwrap();
+        assert!(bad.validate(&reg).is_err());
+
+        let mut bad = repo.clone();
+        bad.add(Procedure::simple("baddep", "Connect", vec![]).with_dependency("Nope")).unwrap();
+        assert!(bad.validate(&reg).is_err());
+
+        let mut bad = repo;
+        bad.add(Procedure::simple("badidx", "Connect", vec![Instr::CallDep(2)])
+            .with_dependency("Auth"))
+            .unwrap();
+        let e = bad.validate(&reg).unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn validate_recurses_into_conditionals() {
+        let reg = registry();
+        let mut repo = ProcedureRepository::new();
+        repo.add(Procedure::simple(
+            "p",
+            "Connect",
+            vec![Instr::IfVar {
+                var: "x".into(),
+                equals: "1".into(),
+                then: vec![Instr::CallDep(5)],
+                otherwise: vec![],
+            }],
+        ))
+        .unwrap();
+        assert!(repo.validate(&reg).is_err());
+    }
+}

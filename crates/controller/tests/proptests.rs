@@ -1,0 +1,143 @@
+//! Property-based tests for the Controller layer: intent-model generation
+//! over random repositories always yields valid (acyclic,
+//! dependency-complete, policy-consistent) models or fails cleanly.
+
+use mddsm_controller::procedure::{Instr, Procedure};
+use mddsm_controller::{
+    ControllerContext, DscId, DscRegistry, GenerationConfig, PolicyObjective,
+    ProcedureRepository,
+};
+use proptest::prelude::*;
+
+/// A random-but-wellformed repository over a fixed DSC universe: `n_dscs`
+/// operation DSCs, each procedure classified by one DSC and depending on
+/// strictly-higher DSC indices (so an acyclic expansion always exists when
+/// every DSC has at least one leaf).
+fn arb_repo() -> impl Strategy<Value = (DscRegistry, ProcedureRepository)> {
+    let n_dscs = 6usize;
+    // For each DSC: 1..4 procedures, each with deps drawn from higher DSCs.
+    let procs = prop::collection::vec(
+        (
+            0..n_dscs,
+            prop::collection::vec(0..n_dscs, 0..3),
+            1u32..10,
+        ),
+        1..24,
+    );
+    procs.prop_map(move |specs| {
+        let mut dscs = DscRegistry::new();
+        for i in 0..n_dscs {
+            dscs.operation(&format!("D{i}"), None, "generated").unwrap();
+        }
+        let mut repo = ProcedureRepository::new();
+        // Guarantee a leaf for every DSC.
+        for i in 0..n_dscs {
+            repo.add(Procedure::simple(&format!("leaf{i}"), &format!("D{i}"), vec![Instr::Complete]))
+                .unwrap();
+        }
+        for (j, (classifier, deps, cost)) in specs.into_iter().enumerate() {
+            let mut p = Procedure::simple(
+                &format!("p{j}"),
+                &format!("D{classifier}"),
+                deps.iter()
+                    .enumerate()
+                    .map(|(k, _)| Instr::CallDep(k))
+                    .chain(std::iter::once(Instr::Complete))
+                    .collect(),
+            )
+            .with_cost(f64::from(cost));
+            for d in &deps {
+                // Only depend on strictly higher indices to keep the DSC
+                // graph acyclic at the *optimum*; cycles through equal or
+                // lower indices are still possible candidates the search
+                // must avoid.
+                let target = (d + classifier + 1) % 6;
+                p = p.with_dependency(&format!("D{target}"));
+            }
+            repo.add(p).unwrap();
+        }
+        (dscs, repo)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_ims_always_validate((dscs, repo) in arb_repo(), root in 0usize..6) {
+        let root = DscId::new(format!("D{root}"));
+        let ctx = ControllerContext::new();
+        // Random repositories can be densely cyclic; cap the search.
+        let config = GenerationConfig {
+            beam_width: 4, max_depth: 6, max_expansions: 20_000, ..Default::default()
+        };
+        if let Ok(im) = mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config) {
+            mddsm_controller::intent::validate(&im, &repo, &dscs, &root)
+                .expect("every generated IM validates");
+            // No procedure repeats along any root-to-leaf path: implied by
+            // validate(), but double-check the flat size is bounded.
+            assert!(im.depth() <= config.max_depth);
+        }
+    }
+
+    #[test]
+    fn wider_beam_never_worse((dscs, repo) in arb_repo()) {
+        let root = DscId::new("D0");
+        let ctx = ControllerContext::new();
+        let base = GenerationConfig {
+            max_depth: 6, max_expansions: 20_000, ..GenerationConfig::default()
+        };
+        let narrow = GenerationConfig { beam_width: 1, ..base.clone() };
+        let wide = GenerationConfig { beam_width: 8, ..base };
+        let score = |cfg: &GenerationConfig| {
+            mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, cfg)
+                .ok()
+                .map(|im| cfg.policy.score(&im, &repo))
+        };
+        if let (Some(n), Some(w)) = (score(&narrow), score(&wide)) {
+            prop_assert!(w <= n + 1e-9, "beam 16 picked {w}, beam 1 picked {n}");
+        }
+    }
+
+    #[test]
+    fn failure_marks_strictly_shrink_candidates((dscs, repo) in arb_repo()) {
+        let root = DscId::new("D0");
+        let config = GenerationConfig {
+            beam_width: 4, max_depth: 6, max_expansions: 20_000, ..Default::default()
+        };
+        let base = mddsm_controller::intent::generate(
+            &root, &repo, &dscs, &ControllerContext::new(), &config);
+        let Ok(im) = base else { return Ok(()); };
+        // Marking the selected root procedure failed forbids it.
+        let mut ctx = ControllerContext::new();
+        ctx.mark_failed(im.root.proc.as_str());
+        if let Ok(im2) =
+            mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config)
+        {
+            prop_assert_ne!(&im2.root.proc, &im.root.proc);
+        }
+    }
+
+    #[test]
+    fn objective_scores_are_finite_and_ordered((dscs, repo) in arb_repo()) {
+        let root = DscId::new("D0");
+        let ctx = ControllerContext::new();
+        for policy in [
+            PolicyObjective::MinimizeCost,
+            PolicyObjective::MaximizeReliability,
+            PolicyObjective::MinimizeMemory,
+            PolicyObjective::Weighted { w_cost: 1.0, w_rel: 0.5, w_mem: 0.2 },
+        ] {
+            let config = GenerationConfig {
+                policy: policy.clone(),
+                beam_width: 4,
+                max_depth: 6,
+                max_expansions: 20_000,
+            };
+            if let Ok(im) = mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config) {
+                let s = policy.score(&im, &repo);
+                prop_assert!(s.is_finite());
+            }
+        }
+    }
+}

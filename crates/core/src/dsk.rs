@@ -1,0 +1,106 @@
+//! The domain knowledge (DSK) bundle — everything domain-specific a
+//! platform needs, kept separate from the model of execution.
+//!
+//! "Ideally, the internal structure and semantics of the middleware and the
+//! semantics of the application domain should be specified separately"
+//! (§V-C); MD-DSM's integration step (Fig. 2) combines the middleware model
+//! with this bundle.
+
+use crate::{CoreError, Result};
+use mddsm_controller::{ActionRegistry, DscRegistry, ProcedureRepository};
+use mddsm_meta::metamodel::Metamodel;
+use mddsm_synthesis::{Command, Lts};
+
+/// The domain-specific knowledge for one application domain.
+pub struct DomainKnowledge {
+    /// The application-level DSML (UI-layer DSK).
+    pub dsml: Metamodel,
+    /// The synthesis LTS encoding model-to-command semantics
+    /// (Synthesis-layer DSK).
+    pub lts: Lts,
+    /// The DSC taxonomy (Controller-layer DSK).
+    pub dscs: DscRegistry,
+    /// Procedures with their EUs (Controller-layer DSK).
+    pub procedures: ProcedureRepository,
+    /// Predefined actions for Case-1 execution (Controller-layer DSK).
+    pub actions: ActionRegistry,
+    /// Command-name → DSC-name classification map.
+    pub command_map: Vec<(String, String)>,
+    /// Event-topic → command map for the Controller's event handler.
+    pub event_commands: Vec<(String, Command)>,
+}
+
+impl DomainKnowledge {
+    /// Validates internal consistency: procedures against the DSC
+    /// taxonomy, and every mapped command's DSC must exist.
+    pub fn validate(&self) -> Result<()> {
+        self.procedures
+            .validate(&self.dscs)
+            .map_err(|e| CoreError::InvalidDomainKnowledge(e.to_string()))?;
+        for (cmd, dsc) in &self.command_map {
+            if self.dscs.get(&mddsm_controller::DscId::new(dsc.clone())).is_none() {
+                return Err(CoreError::InvalidDomainKnowledge(format!(
+                    "command `{cmd}` maps to unknown DSC `{dsc}`"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for DomainKnowledge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainKnowledge")
+            .field("dsml", &self.dsml.name())
+            .field("dscs", &self.dscs.len())
+            .field("procedures", &self.procedures.len())
+            .field("actions", &self.actions.len())
+            .field("commands", &self.command_map.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_controller::procedure::{Instr, Procedure};
+    use mddsm_meta::metamodel::MetamodelBuilder;
+    use mddsm_synthesis::LtsBuilder;
+
+    fn dsk() -> DomainKnowledge {
+        let mut dscs = DscRegistry::new();
+        dscs.operation("Op", None, "").unwrap();
+        let mut procedures = ProcedureRepository::new();
+        procedures.add(Procedure::simple("p", "Op", vec![Instr::Complete])).unwrap();
+        DomainKnowledge {
+            dsml: MetamodelBuilder::new("toy").build().unwrap(),
+            lts: LtsBuilder::new().state("s").initial("s").build().unwrap(),
+            dscs,
+            procedures,
+            actions: ActionRegistry::new(),
+            command_map: vec![("doOp".into(), "Op".into())],
+            event_commands: vec![],
+        }
+    }
+
+    #[test]
+    fn valid_bundle_passes() {
+        dsk().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_command_map_rejected() {
+        let mut d = dsk();
+        d.command_map.push(("x".into(), "Ghost".into()));
+        assert!(matches!(d.validate(), Err(CoreError::InvalidDomainKnowledge(_))));
+    }
+
+    #[test]
+    fn bad_procedures_rejected() {
+        let mut d = dsk();
+        d.procedures
+            .add(Procedure::simple("bad", "Ghost", vec![Instr::Complete]))
+            .unwrap();
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! MD-DSM platform assembly — the paper's primary contribution.
+//!
+//! "Initially, the middleware platform is generated from two input models:
+//! a model of its structural elements, and a model of the domain knowledge
+//! describing its operational semantics" (§III, Fig. 2). This crate
+//! provides exactly that factory:
+//!
+//! * [`mwmodel`] — the **middleware metamodel** (Fig. 5): one
+//!   `MiddlewarePlatform` with per-layer specification objects (UI,
+//!   Synthesis, Controller, Broker). Any layer may be suppressed, matching
+//!   the split deployments of 2SVM and CSVM (§IV).
+//! * [`dsk`] — the **domain knowledge** bundle: the application DSML, the
+//!   synthesis LTS, the DSC taxonomy, procedures, predefined actions, the
+//!   command→DSC map — everything domain-specific, kept separate from the
+//!   model of execution (§V-B, §VI).
+//! * [`platform`] — [`platform::MdDsmPlatform`]: the generated platform, a
+//!   four-layer model-execution engine. User models submitted at the top
+//!   flow through validation (UI), model comparison + LTS interpretation
+//!   (Synthesis), command classification + action/IM execution
+//!   (Controller), and model-defined action dispatch over simulated
+//!   resources (Broker).
+//! * [`port`] — the Controller→Broker adapter (the "set of exposed APIs"
+//!   of §V-B).
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` at the workspace root for a complete,
+//! runnable walk-through of defining a tiny domain and executing an
+//! application model on the generated platform.
+
+#![warn(missing_docs)]
+
+pub mod dsk;
+pub mod mwmodel;
+pub mod platform;
+pub mod port;
+
+pub use dsk::DomainKnowledge;
+pub use mwmodel::{middleware_metamodel, PlatformModelBuilder, PlatformSpec};
+pub use platform::{MdDsmPlatform, PlatformBuilder, PlatformReport};
+
+/// Errors produced while generating or running a platform.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The middleware (structural) model is invalid.
+    InvalidPlatformModel(String),
+    /// The domain knowledge bundle is inconsistent.
+    InvalidDomainKnowledge(String),
+    /// A required layer is suppressed in this configuration.
+    LayerSuppressed(&'static str),
+    /// UI-layer error.
+    Ui(mddsm_ui::UiError),
+    /// Synthesis-layer error.
+    Synthesis(mddsm_synthesis::SynthesisError),
+    /// Controller-layer error.
+    Controller(mddsm_controller::ControllerError),
+    /// Broker-layer error.
+    Broker(mddsm_broker::BrokerError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidPlatformModel(m) => write!(f, "invalid platform model: {m}"),
+            CoreError::InvalidDomainKnowledge(m) => write!(f, "invalid domain knowledge: {m}"),
+            CoreError::LayerSuppressed(l) => {
+                write!(f, "layer `{l}` is suppressed in this configuration")
+            }
+            CoreError::Ui(e) => write!(f, "UI layer: {e}"),
+            CoreError::Synthesis(e) => write!(f, "Synthesis layer: {e}"),
+            CoreError::Controller(e) => write!(f, "Controller layer: {e}"),
+            CoreError::Broker(e) => write!(f, "Broker layer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<mddsm_ui::UiError> for CoreError {
+    fn from(e: mddsm_ui::UiError) -> Self {
+        CoreError::Ui(e)
+    }
+}
+impl From<mddsm_synthesis::SynthesisError> for CoreError {
+    fn from(e: mddsm_synthesis::SynthesisError) -> Self {
+        CoreError::Synthesis(e)
+    }
+}
+impl From<mddsm_controller::ControllerError> for CoreError {
+    fn from(e: mddsm_controller::ControllerError) -> Self {
+        CoreError::Controller(e)
+    }
+}
+impl From<mddsm_broker::BrokerError> for CoreError {
+    fn from(e: mddsm_broker::BrokerError) -> Self {
+        CoreError::Broker(e)
+    }
+}
+
+/// Result alias for platform operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

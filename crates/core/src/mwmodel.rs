@@ -1,0 +1,313 @@
+//! The middleware metamodel (Fig. 5) and platform-model handling.
+//!
+//! "The macro structure of the middleware metamodel is in accordance with
+//! the layered architecture […] Each layer is defined by its own
+//! (sub-)metamodel" (§V-A). A *platform model* instantiates this metamodel
+//! to describe one concrete middleware configuration; layers are optional
+//! ("an entire layer may be suppressed if not needed", §V-C).
+
+use crate::{CoreError, Result};
+use mddsm_meta::metamodel::{DataType, Metamodel, MetamodelBuilder, Multiplicity};
+use mddsm_meta::model::Model;
+use mddsm_meta::Value;
+
+/// Name under which the middleware metamodel registers.
+pub const MIDDLEWARE_METAMODEL: &str = "mddsm.middleware";
+
+/// Builds the Fig. 5 middleware metamodel.
+pub fn middleware_metamodel() -> Metamodel {
+    MetamodelBuilder::new(MIDDLEWARE_METAMODEL)
+        .enumeration("UnmatchedPolicy", ["Skip", "Error", "Passthrough"])
+        .enumeration("CasePreference", ["Predefined", "Dynamic"])
+        .enumeration("Objective", ["MinimizeCost", "MaximizeReliability", "MinimizeMemory"])
+        .class("MiddlewarePlatform", |c| {
+            c.attr("name", DataType::Str)
+                .attr("domain", DataType::Str)
+                .contains("ui", "UiLayerSpec", Multiplicity::OPT)
+                .contains("synthesis", "SynthesisLayerSpec", Multiplicity::OPT)
+                .contains("controller", "ControllerLayerSpec", Multiplicity::OPT)
+                .contains("broker", "BrokerLayerSpec", Multiplicity::OPT)
+                .invariant("named", "self.name <> \"\"")
+        })
+        .class("UiLayerSpec", |c| {
+            // The DSML this platform's UI layer edits; must match the DSK.
+            c.attr("dsml", DataType::Str)
+        })
+        .class("SynthesisLayerSpec", |c| {
+            c.attr_default(
+                "unmatched",
+                DataType::Enum("UnmatchedPolicy".into()),
+                Value::enumeration("UnmatchedPolicy", "Skip"),
+            )
+        })
+        .class("ControllerLayerSpec", |c| {
+            c.attr_default("adaptive", DataType::Bool, Value::from(true))
+                .attr_default("maxAdaptations", DataType::Int, Value::from(4))
+                .attr_default("maxRetries", DataType::Int, Value::from(4))
+                .attr_default("beamWidth", DataType::Int, Value::from(8))
+                .attr_default("maxDepth", DataType::Int, Value::from(16))
+                .attr_default(
+                    "prefer",
+                    DataType::Enum("CasePreference".into()),
+                    Value::enumeration("CasePreference", "Predefined"),
+                )
+                .attr_default("lowMemoryPrefersDynamic", DataType::Bool, Value::from(true))
+                .attr_default(
+                    "objective",
+                    DataType::Enum("Objective".into()),
+                    Value::enumeration("Objective", "MinimizeCost"),
+                )
+                .invariant("sane-limits", "self.maxAdaptations >= 0 and self.maxRetries >= 0 and self.beamWidth > 0 and self.maxDepth > 0")
+        })
+        .class("BrokerLayerSpec", |c| {
+            // Name of the broker model supplied alongside the platform
+            // model (broker structure has its own metamodel, Fig. 6).
+            c.attr("brokerModel", DataType::Str)
+        })
+        .build()
+        .expect("middleware metamodel is well-formed")
+}
+
+/// Parsed view of a platform model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpec {
+    /// Platform name.
+    pub name: String,
+    /// Domain label (documentation).
+    pub domain: String,
+    /// DSML name when the UI layer is present.
+    pub ui_dsml: Option<String>,
+    /// Synthesis unmatched-change policy when the layer is present.
+    pub synthesis_unmatched: Option<mddsm_synthesis::UnmatchedPolicy>,
+    /// Controller engine configuration when the layer is present.
+    pub controller: Option<mddsm_controller::EngineConfig>,
+    /// Controller classification preference.
+    pub controller_prefer: Option<mddsm_controller::Case>,
+    /// Low-memory dynamic preference flag.
+    pub controller_low_memory_dynamic: bool,
+    /// Broker model name when the layer is present.
+    pub broker_model: Option<String>,
+}
+
+impl PlatformSpec {
+    /// Parses and validates a platform model.
+    pub fn from_model(model: &Model) -> Result<PlatformSpec> {
+        let mm = middleware_metamodel();
+        if model.metamodel_name() != MIDDLEWARE_METAMODEL {
+            return Err(CoreError::InvalidPlatformModel(format!(
+                "expected metamodel `{MIDDLEWARE_METAMODEL}`, got `{}`",
+                model.metamodel_name()
+            )));
+        }
+        mddsm_meta::conformance::check(model, &mm)
+            .map_err(|e| CoreError::InvalidPlatformModel(e.to_string()))?;
+        let platforms = model.all_of_class("MiddlewarePlatform");
+        let [p] = platforms.as_slice() else {
+            return Err(CoreError::InvalidPlatformModel(format!(
+                "expected exactly 1 MiddlewarePlatform, found {}",
+                platforms.len()
+            )));
+        };
+        let p = *p;
+
+        let ui_dsml = model
+            .ref_one(p, "ui")
+            .and_then(|u| model.attr_str(u, "dsml"))
+            .map(str::to_owned);
+
+        let synthesis_unmatched = model.ref_one(p, "synthesis").map(|s| {
+            match model.attr(s, "unmatched").and_then(Value::as_enum_literal) {
+                Some("Error") => mddsm_synthesis::UnmatchedPolicy::Error,
+                Some("Passthrough") => mddsm_synthesis::UnmatchedPolicy::Passthrough,
+                _ => mddsm_synthesis::UnmatchedPolicy::Skip,
+            }
+        });
+
+        let mut controller = None;
+        let mut controller_prefer = None;
+        let mut controller_low_memory_dynamic = true;
+        if let Some(c) = model.ref_one(p, "controller") {
+            let objective = match model.attr(c, "objective").and_then(Value::as_enum_literal) {
+                Some("MaximizeReliability") => {
+                    mddsm_controller::PolicyObjective::MaximizeReliability
+                }
+                Some("MinimizeMemory") => mddsm_controller::PolicyObjective::MinimizeMemory,
+                _ => mddsm_controller::PolicyObjective::MinimizeCost,
+            };
+            controller = Some(mddsm_controller::EngineConfig {
+                adaptive: model.attr_bool(c, "adaptive").unwrap_or(true),
+                max_adaptations: model.attr_int(c, "maxAdaptations").unwrap_or(4) as u32,
+                max_retries: model.attr_int(c, "maxRetries").unwrap_or(4) as u32,
+                generation: mddsm_controller::GenerationConfig {
+                    policy: objective,
+                    beam_width: model.attr_int(c, "beamWidth").unwrap_or(8) as usize,
+                    max_depth: model.attr_int(c, "maxDepth").unwrap_or(16) as usize,
+                    ..Default::default()
+                },
+            });
+            controller_prefer =
+                Some(match model.attr(c, "prefer").and_then(Value::as_enum_literal) {
+                    Some("Dynamic") => mddsm_controller::Case::Dynamic,
+                    _ => mddsm_controller::Case::Predefined,
+                });
+            controller_low_memory_dynamic =
+                model.attr_bool(c, "lowMemoryPrefersDynamic").unwrap_or(true);
+        }
+
+        let broker_model = model
+            .ref_one(p, "broker")
+            .and_then(|b| model.attr_str(b, "brokerModel"))
+            .map(str::to_owned);
+
+        Ok(PlatformSpec {
+            name: model.attr_str(p, "name").unwrap_or_default().to_owned(),
+            domain: model.attr_str(p, "domain").unwrap_or_default().to_owned(),
+            ui_dsml,
+            synthesis_unmatched,
+            controller,
+            controller_prefer,
+            controller_low_memory_dynamic,
+            broker_model,
+        })
+    }
+}
+
+/// Builder producing platform models (instances of the Fig. 5 metamodel).
+#[derive(Debug)]
+pub struct PlatformModelBuilder {
+    model: Model,
+    platform: mddsm_meta::ObjectId,
+}
+
+impl PlatformModelBuilder {
+    /// Starts a platform model.
+    pub fn new(name: &str, domain: &str) -> Self {
+        let mut model = Model::new(MIDDLEWARE_METAMODEL);
+        let platform = model.create("MiddlewarePlatform");
+        model.set_attr(platform, "name", Value::from(name));
+        model.set_attr(platform, "domain", Value::from(domain));
+        PlatformModelBuilder { model, platform }
+    }
+
+    /// Adds the UI layer editing the given DSML.
+    pub fn ui(mut self, dsml: &str) -> Self {
+        let u = self.model.create("UiLayerSpec");
+        self.model.set_attr(u, "dsml", Value::from(dsml));
+        self.model.add_ref(self.platform, "ui", u);
+        self
+    }
+
+    /// Adds the Synthesis layer with an unmatched-change policy name
+    /// (`Skip` | `Error` | `Passthrough`).
+    pub fn synthesis(mut self, unmatched: &str) -> Self {
+        let s = self.model.create("SynthesisLayerSpec");
+        self.model
+            .set_attr(s, "unmatched", Value::enumeration("UnmatchedPolicy", unmatched));
+        self.model.add_ref(self.platform, "synthesis", s);
+        self
+    }
+
+    /// Adds the Controller layer with defaults; tune through the closure.
+    pub fn controller(
+        mut self,
+        f: impl FnOnce(&mut Model, mddsm_meta::ObjectId),
+    ) -> Self {
+        let mm = middleware_metamodel();
+        let c = self
+            .model
+            .create_with_defaults("ControllerLayerSpec", &mm)
+            .expect("ControllerLayerSpec instantiable");
+        f(&mut self.model, c);
+        self.model.add_ref(self.platform, "controller", c);
+        self
+    }
+
+    /// Adds the Broker layer referencing a broker model by name.
+    pub fn broker(mut self, broker_model: &str) -> Self {
+        let b = self.model.create("BrokerLayerSpec");
+        self.model.set_attr(b, "brokerModel", Value::from(broker_model));
+        self.model.add_ref(self.platform, "broker", b);
+        self
+    }
+
+    /// Finishes and returns the platform model.
+    pub fn build(self) -> Model {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metamodel_well_formed() {
+        let mm = middleware_metamodel();
+        assert!(mm.class("MiddlewarePlatform").is_some());
+        assert!(mm.enum_def("UnmatchedPolicy").is_some());
+    }
+
+    #[test]
+    fn full_platform_roundtrip() {
+        let model = PlatformModelBuilder::new("cvm", "communication")
+            .ui("cml")
+            .synthesis("Error")
+            .controller(|m, c| {
+                m.set_attr(c, "adaptive", Value::from(false));
+                m.set_attr(c, "prefer", Value::enumeration("CasePreference", "Dynamic"));
+                m.set_attr(c, "objective", Value::enumeration("Objective", "MinimizeMemory"));
+            })
+            .broker("ncb")
+            .build();
+        let spec = PlatformSpec::from_model(&model).unwrap();
+        assert_eq!(spec.name, "cvm");
+        assert_eq!(spec.ui_dsml.as_deref(), Some("cml"));
+        assert_eq!(spec.synthesis_unmatched, Some(mddsm_synthesis::UnmatchedPolicy::Error));
+        let c = spec.controller.unwrap();
+        assert!(!c.adaptive);
+        assert!(matches!(
+            c.generation.policy,
+            mddsm_controller::PolicyObjective::MinimizeMemory
+        ));
+        assert_eq!(spec.controller_prefer, Some(mddsm_controller::Case::Dynamic));
+        assert_eq!(spec.broker_model.as_deref(), Some("ncb"));
+    }
+
+    #[test]
+    fn layers_may_be_suppressed() {
+        // A smart-object node: bottom two layers only (§IV-C).
+        let model = PlatformModelBuilder::new("2svm-object", "smartspaces")
+            .controller(|_, _| {})
+            .broker("objBroker")
+            .build();
+        let spec = PlatformSpec::from_model(&model).unwrap();
+        assert!(spec.ui_dsml.is_none());
+        assert!(spec.synthesis_unmatched.is_none());
+        assert!(spec.controller.is_some());
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        // Wrong metamodel.
+        assert!(matches!(
+            PlatformSpec::from_model(&Model::new("zzz")),
+            Err(CoreError::InvalidPlatformModel(_))
+        ));
+        // No platform object.
+        assert!(PlatformSpec::from_model(&Model::new(MIDDLEWARE_METAMODEL)).is_err());
+        // Two platform objects.
+        let mut m = PlatformModelBuilder::new("a", "d").build();
+        let extra = m.create("MiddlewarePlatform");
+        m.set_attr(extra, "name", Value::from("b"));
+        m.set_attr(extra, "domain", Value::from("d"));
+        assert!(PlatformSpec::from_model(&m).is_err());
+        // Invariant violation: empty name.
+        let m = PlatformModelBuilder::new("", "d").build();
+        assert!(PlatformSpec::from_model(&m).is_err());
+        // Bad limit values caught by the sane-limits invariant.
+        let m = PlatformModelBuilder::new("x", "d")
+            .controller(|m, c| m.set_attr(c, "beamWidth", Value::from(0)))
+            .build();
+        assert!(PlatformSpec::from_model(&m).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! The Controller→Broker port: "the execution of an EU involves making
+//! calls to the underlying Broker layer through a set of exposed APIs"
+//! (§V-B).
+//!
+//! EU instructions name a broker API and operation; the adapter joins them
+//! into the broker-handler selector `api.op` (broker models declare their
+//! handlers with such selectors) and converts outcomes/costs into
+//! [`PortResponse`]s the stack machine understands.
+
+use mddsm_broker::{BrokerError, GenericBroker};
+use mddsm_controller::{BrokerPort, PortResponse};
+use mddsm_sim::resource::Outcome;
+
+/// Adapts a [`GenericBroker`] into the Controller's [`BrokerPort`].
+pub struct BrokerAdapter<'a> {
+    broker: &'a mut GenericBroker,
+}
+
+impl<'a> BrokerAdapter<'a> {
+    /// Wraps a broker for the duration of an execution.
+    pub fn new(broker: &'a mut GenericBroker) -> Self {
+        BrokerAdapter { broker }
+    }
+}
+
+impl BrokerPort for BrokerAdapter<'_> {
+    fn invoke(&mut self, api: &str, op: &str, args: &[(String, String)]) -> PortResponse {
+        let selector = if api.is_empty() { op.to_owned() } else { format!("{api}.{op}") };
+        let args_vec: Vec<(String, String)> = args.to_vec();
+        match self.broker.call(&selector, &args_vec) {
+            Ok(result) => {
+                let cost_us = result.cost.as_micros();
+                match result.outcome {
+                    Outcome::Ok(values) => PortResponse {
+                        ok: true,
+                        values: values.into_iter().collect(),
+                        reason: None,
+                        cost_us,
+                    },
+                    Outcome::Failed(reason) => PortResponse {
+                        ok: false,
+                        values: Default::default(),
+                        reason: Some(reason),
+                        cost_us,
+                    },
+                }
+            }
+            Err(e @ (BrokerError::NoHandler(_) | BrokerError::NoAction(_))) => {
+                PortResponse::failed(e.to_string(), 0)
+            }
+            Err(e) => PortResponse::failed(e.to_string(), 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_broker::BrokerModelBuilder;
+    use mddsm_sim::resource::Outcome;
+    use mddsm_sim::ResourceHub;
+
+    fn broker() -> GenericBroker {
+        let mut hub = ResourceHub::new(1);
+        hub.register_fn("svc", |op, _| {
+            if op == "fail" {
+                Outcome::Failed("boom".into())
+            } else {
+                Outcome::ok_with("r", "1")
+            }
+        });
+        let model = BrokerModelBuilder::new("b")
+            .call_handler("ok", "media.open")
+            .action("ok", "a", "svc", "open", &["peer=$peer"], None, &[])
+            .call_handler("bad", "media.fail")
+            .action("bad", "b", "svc", "fail", &[], None, &[])
+            .build();
+        GenericBroker::from_model(&model, hub).unwrap()
+    }
+
+    #[test]
+    fn success_maps_values() {
+        let mut b = broker();
+        let mut port = BrokerAdapter::new(&mut b);
+        let r = port.invoke("media", "open", &[("peer".into(), "ana".into())]);
+        assert!(r.ok);
+        assert_eq!(r.values.get("r").map(String::as_str), Some("1"));
+    }
+
+    #[test]
+    fn resource_failure_maps_to_not_ok() {
+        let mut b = broker();
+        let mut port = BrokerAdapter::new(&mut b);
+        let r = port.invoke("media", "fail", &[]);
+        assert!(!r.ok);
+        assert_eq!(r.reason.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn missing_handler_maps_to_not_ok() {
+        let mut b = broker();
+        let mut port = BrokerAdapter::new(&mut b);
+        let r = port.invoke("media", "nothing", &[]);
+        assert!(!r.ok);
+        assert!(r.reason.unwrap().contains("no handler"));
+    }
+
+    #[test]
+    fn empty_api_uses_bare_op() {
+        let mut hub = ResourceHub::new(1);
+        hub.register_fn("svc", |_, _| Outcome::ok());
+        let model = BrokerModelBuilder::new("b")
+            .call_handler("h", "ping")
+            .action("h", "a", "svc", "ping", &[], None, &[])
+            .build();
+        let mut b = GenericBroker::from_model(&model, hub).unwrap();
+        let mut port = BrokerAdapter::new(&mut b);
+        assert!(port.invoke("", "ping", &[]).ok);
+    }
+}

@@ -1,0 +1,335 @@
+//! The simulated crowdsensing fleet: a provider and N participating
+//! phones with sensors.
+//!
+//! Substitutes the paper's participatory-sensing smartphone deployment.
+//! Devices are placed in named regions and produce deterministic synthetic
+//! readings per sensor (seeded noise around region-specific baselines), so
+//! query results are reproducible. The provider aggregates device samples
+//! per collection round.
+
+use mddsm_sim::resource::{Args, Outcome};
+use mddsm_sim::{LatencyModel, ResourceHub, SimDuration, SimRng};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Aggregation functions over collected samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sample count.
+    Count,
+}
+
+impl Aggregation {
+    /// Parses the CSML literal.
+    pub fn parse(s: &str) -> Option<Aggregation> {
+        match s {
+            "Mean" => Some(Aggregation::Mean),
+            "Min" => Some(Aggregation::Min),
+            "Max" => Some(Aggregation::Max),
+            "Count" => Some(Aggregation::Count),
+            _ => None,
+        }
+    }
+
+    /// Applies the aggregation; empty input yields `None` (except Count).
+    pub fn apply(self, samples: &[f64]) -> Option<f64> {
+        match self {
+            Aggregation::Count => Some(samples.len() as f64),
+            _ if samples.is_empty() => None,
+            Aggregation::Mean => Some(samples.iter().sum::<f64>() / samples.len() as f64),
+            Aggregation::Min => samples.iter().copied().fold(None, |m: Option<f64>, x| {
+                Some(m.map_or(x, |m| m.min(x)))
+            }),
+            Aggregation::Max => samples.iter().copied().fold(None, |m: Option<f64>, x| {
+                Some(m.map_or(x, |m| m.max(x)))
+            }),
+        }
+    }
+}
+
+/// One participating device.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Device id.
+    pub id: String,
+    /// Region the device is currently in.
+    pub region: String,
+    /// Battery level in `[0, 1]`; sampling drains it.
+    pub battery: f64,
+}
+
+#[derive(Debug, Clone)]
+struct RunningQuery {
+    sensor: String,
+    region: String,
+    rate_hz: u32,
+    aggregation: Aggregation,
+    rounds: u64,
+}
+
+/// The fleet: devices plus running queries.
+#[derive(Debug)]
+pub struct Fleet {
+    devices: Vec<Device>,
+    queries: BTreeMap<String, RunningQuery>,
+    rng: SimRng,
+}
+
+impl Fleet {
+    /// Creates a fleet of `n` devices spread round-robin over `regions`.
+    pub fn new(n: usize, regions: &[&str], seed: u64) -> Self {
+        let devices = (0..n)
+            .map(|i| Device {
+                id: format!("phone{i}"),
+                region: regions[i % regions.len().max(1)].to_owned(),
+                battery: 1.0,
+            })
+            .collect();
+        Fleet { devices, queries: BTreeMap::new(), rng: SimRng::seed_from_u64(seed) }
+    }
+
+    /// Number of devices currently in `region`.
+    pub fn devices_in(&self, region: &str) -> usize {
+        self.devices.iter().filter(|d| d.region == region).count()
+    }
+
+    /// Moves a device to another region (participant mobility).
+    pub fn move_device(&mut self, id: &str, region: &str) -> bool {
+        match self.devices.iter_mut().find(|d| d.id == id) {
+            Some(d) => {
+                d.region = region.to_owned();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Names of the running queries.
+    pub fn running(&self) -> Vec<&str> {
+        self.queries.keys().map(String::as_str).collect()
+    }
+
+    fn baseline(sensor: &str, region: &str) -> f64 {
+        // Region- and sensor-specific deterministic baselines.
+        let rh = region.bytes().map(u64::from).sum::<u64>() % 17;
+        match sensor {
+            "Noise" => 50.0 + rh as f64,
+            "Temperature" => 15.0 + (rh as f64) / 2.0,
+            "AirQuality" => 30.0 + rh as f64 * 2.0,
+            "Accelerometer" => 0.5,
+            _ => 10.0,
+        }
+    }
+
+    fn start(&mut self, query: &str, sensor: &str, region: &str, rate_hz: u32, agg: Aggregation) {
+        self.queries.insert(
+            query.to_owned(),
+            RunningQuery {
+                sensor: sensor.to_owned(),
+                region: region.to_owned(),
+                rate_hz: rate_hz.max(1),
+                aggregation: agg,
+                rounds: 0,
+            },
+        );
+    }
+
+    fn retarget(&mut self, query: &str, rate_hz: Option<u32>, region: Option<&str>) -> bool {
+        match self.queries.get_mut(query) {
+            Some(q) => {
+                if let Some(r) = rate_hz {
+                    q.rate_hz = r.max(1);
+                }
+                if let Some(r) = region {
+                    q.region = r.to_owned();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn stop(&mut self, query: &str) -> bool {
+        self.queries.remove(query).is_some()
+    }
+
+    /// Runs one collection round for a query: every participating device
+    /// in the query's region contributes `rate_hz` samples; returns
+    /// `(aggregate, sample count, participants)`.
+    fn collect(&mut self, query: &str) -> Option<(Option<f64>, usize, usize)> {
+        let q = self.queries.get(query)?.clone();
+        let mut samples = Vec::new();
+        let mut participants = 0usize;
+        let baseline = Self::baseline(&q.sensor, &q.region);
+        for d in self.devices.iter_mut().filter(|d| d.region == q.region && d.battery > 0.05) {
+            participants += 1;
+            for _ in 0..q.rate_hz {
+                let noise = (self.rng.unit() - 0.5) * 4.0;
+                samples.push(baseline + noise);
+            }
+            d.battery = (d.battery - 0.001 * f64::from(q.rate_hz)).max(0.0);
+        }
+        if let Some(q) = self.queries.get_mut(query) {
+            q.rounds += 1;
+        }
+        Some((q.aggregation.apply(&samples), samples.len(), participants))
+    }
+}
+
+/// Shared fleet handle.
+pub type SharedFleet = Arc<Mutex<Fleet>>;
+
+/// Creates a shared fleet.
+pub fn shared_fleet(n: usize, regions: &[&str], seed: u64) -> SharedFleet {
+    Arc::new(Mutex::new(Fleet::new(n, regions, seed)))
+}
+
+fn arg<'a>(args: &'a Args, key: &str) -> &'a str {
+    args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str()).unwrap_or("")
+}
+
+/// Registers the fleet as the `sim.fleet` resource: `start`, `retarget`,
+/// `stop`, `collect`, `status`.
+pub fn register_fleet(hub: &mut ResourceHub, fleet: SharedFleet) {
+    hub.register(
+        "sim.fleet",
+        LatencyModel::uniform_ms(5, 15),
+        SimDuration::from_millis(2_000),
+        Box::new(move |op: &str, args: &Args| {
+            let mut fleet = fleet.lock().expect("fleet lock");
+            match op {
+                "start" => {
+                    let agg = Aggregation::parse(arg(args, "aggregation"))
+                        .unwrap_or(Aggregation::Mean);
+                    let rate: u32 = arg(args, "rate").parse().unwrap_or(1);
+                    fleet.start(arg(args, "query"), arg(args, "sensor"), arg(args, "region"), rate, agg);
+                    Outcome::ok_with("query", arg(args, "query"))
+                }
+                "retarget" => {
+                    let rate = arg(args, "rate").parse::<u32>().ok();
+                    let region = match arg(args, "region") {
+                        "" => None,
+                        r => Some(r),
+                    };
+                    if fleet.retarget(arg(args, "query"), rate, region) {
+                        Outcome::ok()
+                    } else {
+                        Outcome::Failed(format!("unknown query `{}`", arg(args, "query")))
+                    }
+                }
+                "stop" => {
+                    if fleet.stop(arg(args, "query")) {
+                        Outcome::ok()
+                    } else {
+                        Outcome::Failed(format!("unknown query `{}`", arg(args, "query")))
+                    }
+                }
+                "collect" => match fleet.collect(arg(args, "query")) {
+                    Some((agg, n, participants)) => {
+                        let mut out = BTreeMap::new();
+                        out.insert(
+                            "value".into(),
+                            agg.map(|v| format!("{v:.3}")).unwrap_or_else(|| "nan".into()),
+                        );
+                        out.insert("samples".into(), n.to_string());
+                        out.insert("participants".into(), participants.to_string());
+                        Outcome::Ok(out)
+                    }
+                    None => Outcome::Failed(format!("unknown query `{}`", arg(args, "query"))),
+                },
+                "status" => Outcome::ok_with("running", fleet.running().len().to_string()),
+                other => Outcome::Failed(format!("fleet: unknown op `{other}`")),
+            }
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregations() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(Aggregation::Mean.apply(&xs), Some(2.0));
+        assert_eq!(Aggregation::Min.apply(&xs), Some(1.0));
+        assert_eq!(Aggregation::Max.apply(&xs), Some(3.0));
+        assert_eq!(Aggregation::Count.apply(&xs), Some(3.0));
+        assert_eq!(Aggregation::Mean.apply(&[]), None);
+        assert_eq!(Aggregation::Count.apply(&[]), Some(0.0));
+        assert_eq!(Aggregation::parse("Max"), Some(Aggregation::Max));
+        assert_eq!(Aggregation::parse("Sum"), None);
+    }
+
+    #[test]
+    fn fleet_lifecycle_and_collection() {
+        let mut f = Fleet::new(10, &["downtown", "harbor"], 42);
+        assert_eq!(f.devices_in("downtown"), 5);
+        f.start("q1", "Noise", "downtown", 2, Aggregation::Mean);
+        let (agg, n, participants) = f.collect("q1").unwrap();
+        assert_eq!(participants, 5);
+        assert_eq!(n, 10);
+        let v = agg.unwrap();
+        let baseline = Fleet::baseline("Noise", "downtown");
+        assert!((v - baseline).abs() < 2.5, "value {v} vs baseline {baseline}");
+        assert!(f.retarget("q1", Some(5), None));
+        let (_, n, _) = f.collect("q1").unwrap();
+        assert_eq!(n, 25);
+        assert!(f.stop("q1"));
+        assert!(f.collect("q1").is_none());
+        assert!(!f.stop("q1"));
+    }
+
+    #[test]
+    fn mobility_changes_participation() {
+        let mut f = Fleet::new(4, &["a", "b"], 1);
+        f.start("q", "Temperature", "a", 1, Aggregation::Count);
+        let (agg, _, _) = f.collect("q").unwrap();
+        assert_eq!(agg, Some(2.0));
+        assert!(f.move_device("phone1", "a"));
+        let (agg, _, _) = f.collect("q").unwrap();
+        assert_eq!(agg, Some(3.0));
+        assert!(!f.move_device("ghost", "a"));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let mut f = Fleet::new(6, &["x"], seed);
+            f.start("q", "Noise", "x", 3, Aggregation::Mean);
+            f.collect("q").unwrap().0.unwrap()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn hub_surface() {
+        let mut hub = ResourceHub::new(1);
+        register_fleet(&mut hub, shared_fleet(8, &["downtown"], 5));
+        let (o, _) = hub.invoke(
+            "sim.fleet",
+            "start",
+            &mddsm_sim::resource::args(&[
+                ("query", "q1"),
+                ("sensor", "Noise"),
+                ("region", "downtown"),
+                ("rate", "2"),
+                ("aggregation", "Max"),
+            ]),
+        );
+        assert!(o.is_ok());
+        let (o, _) = hub.invoke("sim.fleet", "collect", &mddsm_sim::resource::args(&[("query", "q1")]));
+        assert_eq!(o.get("participants"), Some("8"));
+        let (o, _) = hub.invoke("sim.fleet", "status", &Args::new());
+        assert_eq!(o.get("running"), Some("1"));
+        let (o, _) = hub.invoke("sim.fleet", "stop", &mddsm_sim::resource::args(&[("query", "zzz")]));
+        assert!(!o.is_ok());
+    }
+}

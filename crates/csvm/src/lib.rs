@@ -1,0 +1,28 @@
+//! Mobile-crowdsensing domain for MD-DSM: CSML and the Crowdsensing
+//! Virtual Machine (§IV-D).
+//!
+//! "CSML and CSVM […] allow the user to specify models that represent
+//! crowdsensing queries, which in turn are dynamically interpreted to drive
+//! the acquisition of sensing data (from participating devices) and the
+//! subsequent processing to produce the query results. For long running
+//! queries, CSVM also allows on-the-fly changes to the user's model, which
+//! dynamically reflect on the execution of the query."
+//!
+//! * [`csml`] — the CSML metamodel (sensing queries: sensor, region,
+//!   sampling rate, aggregation) and its synthesis LTS, including the
+//!   *retarget* transition implementing on-the-fly query changes.
+//! * [`fleet`] — the simulated device fleet: a logically centralized
+//!   provider plus N phones with sensors producing deterministic synthetic
+//!   readings; aggregation (mean/min/max/count) happens provider-side.
+//! * [`platform`] — the assembled CSVM and the split device/provider
+//!   deployment ("the configuration that runs on the provider only has the
+//!   three bottom layers, since creation and modification of user models
+//!   only happens in the mobile devices").
+
+#![warn(missing_docs)]
+
+pub mod csml;
+pub mod fleet;
+pub mod platform;
+
+pub use platform::{build_csvm, CrowdsensingDeployment};

@@ -1,0 +1,278 @@
+//! The assembled CSVM and the split device/provider deployment.
+
+use crate::csml::{csml_lts, csml_metamodel, CSML};
+use crate::fleet::{register_fleet, SharedFleet};
+use mddsm_broker::BrokerModelBuilder;
+use mddsm_controller::procedure::{ExecutionUnit, Instr, Operand, ProcMeta, Procedure};
+use mddsm_controller::{ActionRegistry, DscRegistry, ExecutionReport, ProcedureRepository};
+use mddsm_core::{DomainKnowledge, MdDsmPlatform, PlatformBuilder, PlatformModelBuilder};
+use mddsm_meta::model::Model;
+use mddsm_sim::ResourceHub;
+
+/// DSCs of the crowdsensing controller.
+pub fn cs_dscs() -> DscRegistry {
+    let mut d = DscRegistry::new();
+    d.operation("ManageQuery", None, "query lifecycle").expect("unique DSC");
+    d.operation("StartQuery", Some("ManageQuery"), "start acquisition").expect("unique DSC");
+    d.operation("RetargetQuery", Some("ManageQuery"), "on-the-fly change").expect("unique DSC");
+    d.operation("StopQuery", Some("ManageQuery"), "stop acquisition").expect("unique DSC");
+    d.operation("CollectData", None, "one collection round").expect("unique DSC");
+    d
+}
+
+fn fleet_call(op: &str, args: &[(&str, Operand)]) -> Instr {
+    Instr::BrokerCall {
+        api: "fleet".into(),
+        op: op.into(),
+        args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+    }
+}
+
+/// Procedures of the crowdsensing controller.
+pub fn cs_procedures() -> ProcedureRepository {
+    let mut r = ProcedureRepository::new();
+    let a = Operand::arg;
+    r.add(Procedure {
+        id: "startQuery".into(),
+        classifier: "StartQuery".into(),
+        // Starting a query performs an immediate first collection round.
+        dependencies: vec!["CollectData".into()],
+        meta: ProcMeta::default(),
+        eus: vec![ExecutionUnit::new(
+            "main",
+            vec![
+                fleet_call(
+                    "start",
+                    &[
+                        ("query", a("query")),
+                        ("sensor", a("sensor")),
+                        ("region", a("region")),
+                        ("rate", a("rate")),
+                        ("aggregation", a("aggregation")),
+                    ],
+                ),
+                Instr::CallDep(0),
+                Instr::EmitEvent {
+                    topic: "queryStarted".into(),
+                    payload: vec![("query".into(), Operand::arg("query"))],
+                },
+                Instr::Complete,
+            ],
+        )],
+    })
+    .expect("unique procedure");
+    r.add(Procedure {
+        id: "collectRound".into(),
+        classifier: "CollectData".into(),
+        dependencies: vec![],
+        meta: ProcMeta::default(),
+        eus: vec![ExecutionUnit::new(
+            "main",
+            vec![
+                fleet_call("collect", &[("query", a("query"))]),
+                Instr::SetVar { name: "value".into(), value: Operand::var("result.value") },
+                Instr::Complete,
+            ],
+        )],
+    })
+    .expect("unique procedure");
+    r.add(Procedure {
+        id: "retargetQuery".into(),
+        classifier: "RetargetQuery".into(),
+        dependencies: vec![],
+        meta: ProcMeta::default(),
+        eus: vec![ExecutionUnit::new(
+            "main",
+            vec![
+                fleet_call(
+                    "retarget",
+                    &[("query", a("query")), ("rate", a("rate")), ("region", a("region"))],
+                ),
+                Instr::Complete,
+            ],
+        )],
+    })
+    .expect("unique procedure");
+    r.add(Procedure {
+        id: "stopQuery".into(),
+        classifier: "StopQuery".into(),
+        dependencies: vec![],
+        meta: ProcMeta::default(),
+        eus: vec![ExecutionUnit::new(
+            "main",
+            vec![fleet_call("stop", &[("query", a("query"))]), Instr::Complete],
+        )],
+    })
+    .expect("unique procedure");
+    r
+}
+
+/// Command map.
+pub fn cs_command_map() -> Vec<(String, String)> {
+    [
+        ("startQuery", "StartQuery"),
+        ("retargetQuery", "RetargetQuery"),
+        ("stopQuery", "StopQuery"),
+        ("collect", "CollectData"),
+    ]
+    .iter()
+    .map(|(c, d)| ((*c).to_owned(), (*d).to_owned()))
+    .collect()
+}
+
+/// The provider broker model over the fleet resource.
+pub fn cs_broker_model() -> Model {
+    let mut b = BrokerModelBuilder::new("csbroker");
+    for (h, sel, op, mapping) in [
+        (
+            "start",
+            "fleet.start",
+            "start",
+            vec!["query=$query", "sensor=$sensor", "region=$region", "rate=$rate", "aggregation=$aggregation"],
+        ),
+        ("retarget", "fleet.retarget", "retarget", vec!["query=$query", "rate=$rate", "region=$region"]),
+        ("stop", "fleet.stop", "stop", vec!["query=$query"]),
+        ("collect", "fleet.collect", "collect", vec!["query=$query"]),
+        ("status", "fleet.status", "status", vec![]),
+    ] {
+        let mapping: Vec<&str> = mapping.iter().copied().collect();
+        b = b.call_handler(h, sel).action(h, h, "fleet", op, &mapping, None, &[]);
+    }
+    b.bind_resource("fleet", "sim.fleet").build()
+}
+
+/// Domain knowledge bundle.
+pub fn cs_domain_knowledge() -> DomainKnowledge {
+    DomainKnowledge {
+        dsml: csml_metamodel(),
+        lts: csml_lts(),
+        dscs: cs_dscs(),
+        procedures: cs_procedures(),
+        actions: ActionRegistry::new(),
+        command_map: cs_command_map(),
+        event_commands: vec![],
+    }
+}
+
+/// Builds the full four-layer CSVM (the mobile-device configuration).
+pub fn build_csvm(seed: u64, fleet: SharedFleet) -> MdDsmPlatform {
+    let platform_model = PlatformModelBuilder::new("csvm", "crowdsensing")
+        .ui(CSML)
+        .synthesis("Skip")
+        .controller(|_, _| {})
+        .broker("csbroker")
+        .build();
+    let mut hub = ResourceHub::new(seed);
+    register_fleet(&mut hub, fleet);
+    PlatformBuilder::new(&platform_model, cs_domain_knowledge())
+        .expect("CSVM platform model and DSK are consistent")
+        .broker_model(cs_broker_model())
+        .resources(hub)
+        .build()
+        .expect("CSVM platform assembles")
+}
+
+/// The split deployment: models are authored on mobile devices (UI layer
+/// only) and executed by the provider (Synthesis + Controller + Broker).
+pub struct CrowdsensingDeployment {
+    device: MdDsmPlatform,
+    provider: MdDsmPlatform,
+}
+
+impl CrowdsensingDeployment {
+    /// Builds the deployment over a shared fleet.
+    pub fn new(seed: u64, fleet: SharedFleet) -> Self {
+        let device_model = PlatformModelBuilder::new("csvm-device", "crowdsensing")
+            .ui(CSML)
+            .build();
+        let device = PlatformBuilder::new(&device_model, cs_domain_knowledge())
+            .expect("device node is consistent")
+            .build()
+            .expect("device node assembles");
+        let provider_model = PlatformModelBuilder::new("csvm-provider", "crowdsensing")
+            .synthesis("Skip")
+            .controller(|_, _| {})
+            .broker("csbroker")
+            .build();
+        let mut hub = ResourceHub::new(seed);
+        register_fleet(&mut hub, fleet);
+        let provider = PlatformBuilder::new(&provider_model, cs_domain_knowledge())
+            .expect("provider node is consistent")
+            .broker_model(cs_broker_model())
+            .resources(hub)
+            .build()
+            .expect("provider node assembles");
+        CrowdsensingDeployment { device, provider }
+    }
+
+    /// Opens a model-editing session on the device.
+    pub fn open_session(&self) -> mddsm_core::Result<mddsm_ui::EditingSession> {
+        // The device node hosts only the UI layer; sessions open on the
+        // registered CSML environment.
+        self.device.open_session()
+    }
+
+    /// Uploads a device-authored model to the provider for execution.
+    pub fn upload(&mut self, model: Model) -> mddsm_core::Result<ExecutionReport> {
+        Ok(self.provider.submit_model(model)?.execution)
+    }
+
+    /// The provider's command trace against the fleet.
+    pub fn provider_trace(&self) -> Vec<String> {
+        self.provider.command_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::shared_fleet;
+
+    #[test]
+    fn full_csvm_runs_query_lifecycle() {
+        let fleet = shared_fleet(10, &["downtown", "harbor"], 42);
+        let mut p = build_csvm(1, fleet.clone());
+        let mut s = p.open_session().unwrap();
+        let q = s.create("SensingQuery").unwrap();
+        s.set(q, "name", "noise1").unwrap();
+        s.set(q, "sensor", "Noise").unwrap();
+        s.set(q, "region", "downtown").unwrap();
+        s.set(q, "sampleRateHz", "2").unwrap();
+        let report = p.submit_model(s.submit().unwrap()).unwrap();
+        assert!(report.execution.events.contains(&"queryStarted".to_string()), "{report:?}");
+        {
+            let fleet = fleet.lock().unwrap();
+            assert_eq!(fleet.running(), vec!["noise1"]);
+        }
+        let trace = p.command_trace();
+        assert!(trace.iter().any(|t| t.contains("fleet.start")), "{trace:?}");
+        assert!(trace.iter().any(|t| t.contains("fleet.collect")), "{trace:?}");
+
+        // On-the-fly retarget.
+        s.set(q, "sampleRateHz", "8").unwrap();
+        p.submit_model(s.submit().unwrap()).unwrap();
+        assert!(p.command_trace().iter().any(|t| t.contains("retarget")), "{:?}", p.command_trace());
+
+        // Stop by deleting the query.
+        s.delete(q).unwrap();
+        p.submit_model(s.submit().unwrap()).unwrap();
+        {
+            let fleet = fleet.lock().unwrap();
+            assert!(fleet.running().is_empty());
+        }
+    }
+
+    #[test]
+    fn split_deployment_routes_models_to_provider() {
+        let fleet = shared_fleet(6, &["park"], 3);
+        let mut d = CrowdsensingDeployment::new(1, fleet);
+        let mut s = d.open_session().unwrap();
+        let q = s.create("SensingQuery").unwrap();
+        s.set(q, "name", "air1").unwrap();
+        s.set(q, "sensor", "AirQuality").unwrap();
+        s.set(q, "region", "park").unwrap();
+        let report = d.upload(s.submit().unwrap()).unwrap();
+        assert!(report.commands >= 1);
+        assert!(d.provider_trace().iter().any(|t| t.contains("fleet.start")));
+    }
+}

@@ -1,0 +1,227 @@
+//! The handcrafted NCB: the §VII-A comparison baseline.
+//!
+//! This is a re-implementation of the NCB behaviour in direct code — no
+//! broker model, no handler lookup, no policy evaluation, no argument
+//! mapping tables. It must be *behaviourally equivalent* to the
+//! model-based NCB: for every scenario, the sequence of commands issued to
+//! the underlying services is identical (experiment E1), while the absence
+//! of model interpretation makes it the faster reference point for the
+//! overhead measurement (experiment E2).
+
+use crate::ncb::Ncb;
+use crate::services::service_hub;
+use mddsm_sim::resource::{Args, Outcome};
+use mddsm_sim::ResourceHub;
+
+/// The handcrafted NCB.
+pub struct HandcraftedNcb {
+    hub: ResourceHub,
+    /// `None` = direct mode (the default), `Some("relay")` = relay mode.
+    mode: Option<String>,
+    media_failures: u32,
+    sessions: i64,
+    streams: i64,
+}
+
+impl HandcraftedNcb {
+    /// Builds the handcrafted NCB over the simulated services.
+    pub fn new(seed: u64, work_per_call: u32) -> Self {
+        HandcraftedNcb {
+            hub: service_hub(seed, work_per_call),
+            mode: None,
+            media_failures: 0,
+            sessions: 0,
+            streams: 0,
+        }
+    }
+
+    /// Session counter (bookkeeping parity with the model-based version).
+    pub fn sessions(&self) -> i64 {
+        self.sessions
+    }
+
+    /// Stream counter.
+    pub fn streams(&self) -> i64 {
+        self.streams
+    }
+
+    fn pick<'a>(args: &'a Args, key: &str) -> String {
+        args.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()).unwrap_or_default()
+    }
+
+    fn direct_mode(&self) -> bool {
+        match &self.mode {
+            None => true,
+            Some(m) => m == "direct",
+        }
+    }
+}
+
+impl Ncb for HandcraftedNcb {
+    fn call(&mut self, op: &str, args: &Args) -> Result<Outcome, String> {
+        match op {
+            "signaling.invite" => {
+                let mapped = vec![
+                    ("session".to_owned(), Self::pick(args, "session")),
+                    ("from".to_owned(), Self::pick(args, "from")),
+                    ("to".to_owned(), Self::pick(args, "to")),
+                ];
+                let (o, _) = self.hub.invoke("sim.signaling", "invite", &mapped);
+                if o.is_ok() {
+                    self.sessions += 1;
+                }
+                Ok(o)
+            }
+            "signaling.join" => {
+                let mapped = vec![
+                    ("session".to_owned(), Self::pick(args, "session")),
+                    ("who".to_owned(), Self::pick(args, "who")),
+                ];
+                let (o, _) = self.hub.invoke("sim.signaling", "join", &mapped);
+                Ok(o)
+            }
+            "signaling.leave" => {
+                let mapped = vec![
+                    ("session".to_owned(), Self::pick(args, "session")),
+                    ("who".to_owned(), Self::pick(args, "who")),
+                ];
+                let (o, _) = self.hub.invoke("sim.signaling", "leave", &mapped);
+                Ok(o)
+            }
+            "signaling.close" => {
+                let mapped = vec![("session".to_owned(), Self::pick(args, "session"))];
+                let (o, _) = self.hub.invoke("sim.signaling", "close", &mapped);
+                if o.is_ok() {
+                    self.sessions -= 1;
+                }
+                Ok(o)
+            }
+            "media.open" => {
+                if self.direct_mode() {
+                    let mapped = vec![
+                        ("session".to_owned(), Self::pick(args, "session")),
+                        ("kind".to_owned(), Self::pick(args, "kind")),
+                        ("codec".to_owned(), Self::pick(args, "codec")),
+                        ("stream".to_owned(), Self::pick(args, "stream")),
+                    ];
+                    let (o, _) = self.hub.invoke("sim.media", "open", &mapped);
+                    if o.is_ok() {
+                        self.streams += 1;
+                    } else {
+                        self.media_failures += 1;
+                    }
+                    Ok(o)
+                } else {
+                    let mapped = vec![("session".to_owned(), Self::pick(args, "session"))];
+                    let (o, _) = self.hub.invoke("sim.relay", "open", &mapped);
+                    if o.is_ok() {
+                        self.streams += 1;
+                    }
+                    Ok(o)
+                }
+            }
+            "media.close" => {
+                let mapped = vec![("stream".to_owned(), Self::pick(args, "stream"))];
+                let (o, _) = self.hub.invoke("sim.media", "close", &mapped);
+                if o.is_ok() {
+                    self.streams -= 1;
+                }
+                Ok(o)
+            }
+            "media.reconfigure" => {
+                let mapped = vec![
+                    ("stream".to_owned(), Self::pick(args, "stream")),
+                    ("codec".to_owned(), Self::pick(args, "codec")),
+                ];
+                let (o, _) = self.hub.invoke("sim.media", "reconfigure", &mapped);
+                Ok(o)
+            }
+            other => Err(format!("no handler for `{other}`")),
+        }
+    }
+
+    fn event(&mut self, topic: &str, args: &Args) -> Result<Outcome, String> {
+        match topic {
+            "mediaFailure" => {
+                let mapped = vec![("session".to_owned(), Self::pick(args, "session"))];
+                let (o, _) = self.hub.invoke("sim.relay", "open", &mapped);
+                if o.is_ok() {
+                    self.mode = Some("relay".to_owned());
+                }
+                Ok(o)
+            }
+            other => Err(format!("no handler for `{other}`")),
+        }
+    }
+
+    fn recover(&mut self) {
+        if self.media_failures > 0 {
+            self.hub.set_healthy("sim.media", true);
+            self.media_failures = 0;
+            self.mode = Some("direct".to_owned());
+        }
+    }
+
+    fn set_media_healthy(&mut self, healthy: bool) {
+        self.hub.set_healthy("sim.media", healthy);
+    }
+
+    fn trace(&self) -> Vec<String> {
+        self.hub.command_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_sim::resource::args;
+
+    #[test]
+    fn mirrors_model_based_behaviour() {
+        let mut ncb = HandcraftedNcb::new(1, 10);
+        let o = ncb.call("signaling.invite", &args(&[("from", "ana"), ("to", "bob")])).unwrap();
+        let sid = o.get("session").unwrap().to_owned();
+        assert_eq!(ncb.sessions(), 1);
+        let o = ncb
+            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .unwrap();
+        assert!(o.get("stream").is_some());
+        assert_eq!(ncb.streams(), 1);
+        assert_eq!(
+            ncb.trace(),
+            vec![
+                "sim.signaling.invite(session=, from=ana, to=bob)",
+                "sim.media.open(session=s0, kind=Audio, codec=opus, stream=)"
+            ]
+        );
+    }
+
+    #[test]
+    fn failure_relay_and_recovery_logic() {
+        let mut ncb = HandcraftedNcb::new(1, 10);
+        let o = ncb.call("signaling.invite", &args(&[("from", "a"), ("to", "b")])).unwrap();
+        let sid = o.get("session").unwrap().to_owned();
+        ncb.set_media_healthy(false);
+        let o = ncb
+            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .unwrap();
+        assert!(!o.is_ok());
+        ncb.event("mediaFailure", &args(&[("session", &sid)])).unwrap();
+        let o = ncb
+            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .unwrap();
+        assert!(o.get("relay").is_some());
+        ncb.recover();
+        let o = ncb
+            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .unwrap();
+        assert!(o.get("stream").is_some());
+    }
+
+    #[test]
+    fn unknown_op_and_event_are_errors() {
+        let mut ncb = HandcraftedNcb::new(1, 10);
+        assert!(ncb.call("warp.engage", &Args::new()).is_err());
+        assert!(ncb.event("warp", &Args::new()).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! The Communication Modeling Language (CML).
+//!
+//! CML models come in two kinds (§IV-A): *control schemas* configure the
+//! communication (who talks to whom over which connections) and *data
+//! schemas* define the media and media structures usable in those
+//! connections. This module defines the metamodel; user models are built
+//! with the UI layer or parsed from the textual format.
+
+use mddsm_meta::metamodel::{DataType, Metamodel, MetamodelBuilder, Multiplicity};
+
+/// Name of the CML metamodel.
+pub const CML: &str = "cml";
+
+/// Builds the CML metamodel.
+///
+/// Control schema: `Person` (a communication party with a device) and
+/// `Connection` (a named session among ≥2 persons carrying ≥1 medium).
+/// Data schema: `Medium` (kind, bandwidth, codec). Invariants enforce the
+/// CVM well-formedness rules: connections need at least two distinct
+/// parties and video media need bandwidth.
+pub fn cml_metamodel() -> Metamodel {
+    MetamodelBuilder::new(CML)
+        .enumeration("MediaKind", ["Audio", "Video", "Text", "File"])
+        .class("CommSchema", |c| {
+            c.attr("name", DataType::Str)
+                .contains("persons", "Person", Multiplicity::MANY)
+                .contains("media", "Medium", Multiplicity::MANY)
+                .contains("connections", "Connection", Multiplicity::MANY)
+        })
+        .class("Person", |c| {
+            c.attr("name", DataType::Str)
+                .attr("userId", DataType::Str)
+                .attr_default("device", DataType::Str, mddsm_meta::Value::from("desktop"))
+        })
+        .class("Medium", |c| {
+            c.attr("name", DataType::Str)
+                .attr("kind", DataType::Enum("MediaKind".into()))
+                .attr_default("bandwidthKbps", DataType::Int, mddsm_meta::Value::from(64))
+                .attr_default("codec", DataType::Str, mddsm_meta::Value::from("opus"))
+                .invariant(
+                    "video-needs-bandwidth",
+                    "self.kind = MediaKind::Video implies self.bandwidthKbps >= 128",
+                )
+        })
+        .class("Connection", |c| {
+            c.attr("name", DataType::Str)
+                .reference("parties", "Person", Multiplicity { lower: 2, upper: None })
+                .reference("media", "Medium", Multiplicity::SOME)
+                .invariant("enough-parties", "self.parties->size() >= 2")
+                .invariant("has-media", "self.media->notEmpty()")
+        })
+        .build()
+        .expect("CML metamodel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_meta::conformance;
+    use mddsm_meta::model::Model;
+    use mddsm_meta::Value;
+
+    /// Builds the canonical two-party audio model used across tests.
+    pub fn two_party_audio() -> Model {
+        let mut m = Model::new(CML);
+        let schema = m.create("CommSchema");
+        m.set_attr(schema, "name", Value::from("call"));
+        let ana = m.create("Person");
+        m.set_attr(ana, "name", Value::from("ana"));
+        m.set_attr(ana, "userId", Value::from("ana@cvm"));
+        m.set_attr(ana, "device", Value::from("desktop"));
+        let bob = m.create("Person");
+        m.set_attr(bob, "name", Value::from("bob"));
+        m.set_attr(bob, "userId", Value::from("bob@cvm"));
+        m.set_attr(bob, "device", Value::from("mobile"));
+        let audio = m.create("Medium");
+        m.set_attr(audio, "name", Value::from("voice"));
+        m.set_attr(audio, "kind", Value::enumeration("MediaKind", "Audio"));
+        m.set_attr(audio, "bandwidthKbps", Value::from(64));
+        m.set_attr(audio, "codec", Value::from("opus"));
+        let conn = m.create("Connection");
+        m.set_attr(conn, "name", Value::from("main"));
+        m.set_refs(conn, "parties", vec![ana, bob]);
+        m.set_refs(conn, "media", vec![audio]);
+        m.set_refs(schema, "persons", vec![ana, bob]);
+        m.set_refs(schema, "media", vec![audio]);
+        m.set_refs(schema, "connections", vec![conn]);
+        m
+    }
+
+    #[test]
+    fn valid_model_conforms() {
+        conformance::check(&two_party_audio(), &cml_metamodel()).unwrap();
+    }
+
+    #[test]
+    fn connection_needs_two_parties() {
+        let mut m = two_party_audio();
+        let conn = m.all_of_class("Connection")[0];
+        let parties = m.refs(conn, "parties").to_vec();
+        m.set_refs(conn, "parties", vec![parties[0]]);
+        let v = conformance::violations(&m, &cml_metamodel());
+        assert!(v.iter().any(|x| x.contains("parties")), "{v:?}");
+    }
+
+    #[test]
+    fn connection_needs_media() {
+        let mut m = two_party_audio();
+        let conn = m.all_of_class("Connection")[0];
+        m.set_refs(conn, "media", vec![]);
+        let v = conformance::violations(&m, &cml_metamodel());
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn video_bandwidth_invariant() {
+        let mut m = two_party_audio();
+        let medium = m.all_of_class("Medium")[0];
+        m.set_attr(medium, "kind", Value::enumeration("MediaKind", "Video"));
+        m.set_attr(medium, "bandwidthKbps", Value::from(64));
+        let v = conformance::violations(&m, &cml_metamodel());
+        assert!(v.iter().any(|x| x.contains("video-needs-bandwidth")), "{v:?}");
+        m.set_attr(medium, "bandwidthKbps", Value::from(512));
+        assert!(conformance::check(&m, &cml_metamodel()).is_ok());
+    }
+}

@@ -1,0 +1,47 @@
+//! Communication domain for MD-DSM: CML and the Communication Virtual
+//! Machine (§IV-A).
+//!
+//! "The Communication Modeling Language (CML) is a DSML for the domain of
+//! user-to-user communication. […] Such models are fed into a model
+//! execution engine, called Communication Virtual Machine (CVM), which
+//! enacts the behavior intended by the user by means of the orchestrated
+//! use of underlying communication services."
+//!
+//! Crate layout:
+//!
+//! * [`cml`] — the CML metamodel (control schema: persons, connections;
+//!   data schema: media definitions) with invariants.
+//! * [`services`] — simulated communication services (signaling, media,
+//!   relay) registered on a [`ResourceHub`](mddsm_sim::ResourceHub); they
+//!   substitute the real services of the original CVM testbed.
+//! * [`ncb`] — the **model-based** Network Communication Broker: a broker
+//!   model (Fig. 6 instance) interpreted by the generic broker engine.
+//! * [`baseline`] — the **handcrafted** NCB re-implementation: direct code,
+//!   no model interpretation; the §VII-A comparison baseline.
+//! * [`scenarios`] — the eight multimedia scenarios of §VII-A (session
+//!   establishment, membership changes, media changes, reconfiguration,
+//!   failure recovery), expressed as broker-level call sequences consumed
+//!   identically by both NCBs.
+//! * [`artifacts`] — the CVM domain-specific artifacts for the Controller
+//!   layer (DSCs, procedures/EUs, actions, command map) — the separated
+//!   representation whose size experiment E5 compares against
+//!   [`monolithic`].
+//! * [`monolithic`] — a handcrafted, non-adaptive CVM controller with the
+//!   domain logic woven in (the "previous non-adaptive Controller" of
+//!   §VII-B), used by experiments E4 and E5.
+//! * [`platform`] — the fully assembled four-layer CVM platform.
+
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod baseline;
+pub mod cml;
+pub mod monolithic;
+pub mod ncb;
+pub mod platform;
+pub mod scenarios;
+pub mod synthesis_dsk;
+pub mod services;
+
+pub use platform::build_cvm;
+pub use scenarios::{all_scenarios, Scenario};

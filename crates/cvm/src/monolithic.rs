@@ -1,0 +1,477 @@
+//! The monolithic, non-adaptive CVM controller — §VII-B's baseline.
+//!
+//! "It was also shown that while the response time of our Controller layer
+//! architecture was measurably slower than a previous non-adaptive
+//! Controller undertaking the same task, scenarios where adaptability was
+//! beneficial to the task at hand would result in as much as an order of
+//! magnitude improvement in response time for our adaptive Controller
+//! layer."
+//!
+//! This module is that previous-generation controller, re-implemented
+//! faithfully to its architectural style: the domain logic is *woven into*
+//! the execution engine — one hand-written block per command, fixed
+//! resource wiring (always the direct media engine, never the relay), no
+//! classification, no intent models, and blind retries on failure. It is
+//! the measured counterpart of experiments E4 (response time under
+//! failure) and E5 (lines-of-code comparison against `artifacts.rs`).
+
+use mddsm_controller::{BrokerPort, PortResponse};
+use mddsm_synthesis::{Command, ControlScript};
+use std::collections::BTreeMap;
+
+/// Execution statistics of one monolithic command execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonoReport {
+    /// Broker calls issued (including failed attempts).
+    pub broker_calls: u64,
+    /// Retries performed after failures.
+    pub retries: u64,
+    /// Accumulated virtual cost in microseconds (timeouts included).
+    pub virtual_cost_us: u64,
+}
+
+impl MonoReport {
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &MonoReport) {
+        self.broker_calls += other.broker_calls;
+        self.retries += other.retries;
+        self.virtual_cost_us += other.virtual_cost_us;
+    }
+}
+
+/// The monolithic controller.
+///
+/// Everything the separated architecture obtains from the shared engine —
+/// script iteration, event handling, state bookkeeping, recovery — is
+/// re-implemented here by hand, once per concern, which is precisely the
+/// feature convolution the DSC/procedure design removes.
+pub struct MonolithicController {
+    max_retries: u32,
+    /// `relay` after a media failure event, `direct` otherwise.
+    media_mode: &'static str,
+    /// Open sessions observed (session id -> party count).
+    sessions: BTreeMap<String, u32>,
+    /// Open streams observed (stream id -> codec).
+    streams: BTreeMap<String, String>,
+    /// Commands executed, per command name.
+    executed: BTreeMap<String, u64>,
+    /// Media failures since the last recovery.
+    media_failures: u32,
+}
+
+impl Default for MonolithicController {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+impl MonolithicController {
+    /// Creates the controller with the given retry budget.
+    pub fn new(max_retries: u32) -> Self {
+        MonolithicController {
+            max_retries,
+            media_mode: "direct",
+            sessions: BTreeMap::new(),
+            streams: BTreeMap::new(),
+            executed: BTreeMap::new(),
+            media_failures: 0,
+        }
+    }
+
+    /// Executes every command of a script in order, stopping at the first
+    /// hard failure.
+    pub fn execute_script(
+        &mut self,
+        script: &ControlScript,
+        port: &mut dyn BrokerPort,
+    ) -> Result<MonoReport, String> {
+        let mut report = MonoReport::default();
+        for cmd in &script.commands {
+            let r = self.execute_command(cmd, port)?;
+            report.merge(&r);
+        }
+        Ok(report)
+    }
+
+    /// Handles an environment event. Only `mediaFailure` is understood:
+    /// it opens the relay and flips the media mode, mirroring what the
+    /// separated architecture gets from its event-handler configuration.
+    pub fn handle_event(
+        &mut self,
+        topic: &str,
+        session: &str,
+        port: &mut dyn BrokerPort,
+    ) -> Result<MonoReport, String> {
+        let mut report = MonoReport::default();
+        match topic {
+            "mediaFailure" => {
+                let relay_args = vec![("session".to_owned(), session.to_owned())];
+                let r = port.invoke("relay", "open", &relay_args);
+                report.broker_calls += 1;
+                report.virtual_cost_us += r.cost_us;
+                if r.ok {
+                    self.media_mode = "relay";
+                    Ok(report)
+                } else {
+                    Err("relay unavailable during media failover".to_owned())
+                }
+            }
+            other => Err(format!("monolithic controller: unknown event `{other}`")),
+        }
+    }
+
+    /// Clears failure bookkeeping and returns to the direct media path.
+    pub fn recover(&mut self) {
+        if self.media_failures > 0 || self.media_mode == "relay" {
+            self.media_failures = 0;
+            self.media_mode = "direct";
+        }
+    }
+
+    /// Sessions tracked as open.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Streams tracked as open.
+    pub fn open_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Executions of a given command.
+    pub fn executions(&self, command: &str) -> u64 {
+        self.executed.get(command).copied().unwrap_or(0)
+    }
+
+    /// Executes one command against the broker port. Unknown commands and
+    /// commands that keep failing after the retry budget return `Err`.
+    pub fn execute_command(
+        &mut self,
+        cmd: &Command,
+        port: &mut dyn BrokerPort,
+    ) -> Result<MonoReport, String> {
+        let mut report = MonoReport::default();
+        *self.executed.entry(cmd.name.clone()).or_insert(0) += 1;
+        match cmd.name.as_str() {
+            "createConnection" => {
+                // Fixed two-step sequence: signaling then the direct media
+                // engine. Failure anywhere restarts the whole sequence.
+                let mut attempt = 0;
+                loop {
+                    let from = cmd.arg("from").unwrap_or("").to_owned();
+                    let to = cmd.arg("to").unwrap_or("").to_owned();
+                    let invite_args =
+                        vec![("from".to_owned(), from), ("to".to_owned(), to)];
+                    let r1 = port.invoke("signaling", "invite", &invite_args);
+                    report.broker_calls += 1;
+                    report.virtual_cost_us += r1.cost_us;
+                    if r1.ok {
+                        let session = r1
+                            .values
+                            .get("session")
+                            .cloned()
+                            .unwrap_or_else(|| cmd.arg("session").unwrap_or("").to_owned());
+                        let kind = cmd.arg("kind").unwrap_or("Audio").to_owned();
+                        let codec = cmd.arg("codec").unwrap_or("opus").to_owned();
+                        let open_args = vec![
+                            ("session".to_owned(), session),
+                            ("kind".to_owned(), kind),
+                            ("codec".to_owned(), codec),
+                        ];
+                        let r2 = port.invoke("media", "open", &open_args);
+                        report.broker_calls += 1;
+                        report.virtual_cost_us += r2.cost_us;
+                        if r2.ok {
+                            let sid = r1.values.get("session").cloned().unwrap_or_default();
+                            self.sessions.insert(sid, 2);
+                            if let Some(stream) = r2.values.get("stream") {
+                                self.streams.insert(
+                                    stream.clone(),
+                                    cmd.arg("codec").unwrap_or("opus").to_owned(),
+                                );
+                            }
+                            return Ok(report);
+                        }
+                        self.media_failures += 1;
+                    }
+                    attempt += 1;
+                    if attempt > self.max_retries {
+                        return Err(format!(
+                            "createConnection failed after {} retries",
+                            self.max_retries
+                        ));
+                    }
+                    report.retries += 1;
+                }
+            }
+            "openMedia" => {
+                let mut attempt = 0;
+                loop {
+                    let session = cmd.arg("session").unwrap_or("").to_owned();
+                    // The woven relay fallback: duplicated from the event
+                    // handler rather than shared.
+                    let r: PortResponse = if self.media_mode == "relay" {
+                        let relay_args = vec![("session".to_owned(), session)];
+                        port.invoke("relay", "open", &relay_args)
+                    } else {
+                        let kind = cmd.arg("kind").unwrap_or("Audio").to_owned();
+                        let codec = cmd.arg("codec").unwrap_or("opus").to_owned();
+                        let open_args = vec![
+                            ("session".to_owned(), session),
+                            ("kind".to_owned(), kind),
+                            ("codec".to_owned(), codec),
+                        ];
+                        port.invoke("media", "open", &open_args)
+                    };
+                    report.broker_calls += 1;
+                    report.virtual_cost_us += r.cost_us;
+                    if r.ok {
+                        if let Some(stream) = r.values.get("stream") {
+                            self.streams.insert(
+                                stream.clone(),
+                                cmd.arg("codec").unwrap_or("opus").to_owned(),
+                            );
+                        }
+                        return Ok(report);
+                    }
+                    self.media_failures += 1;
+                    attempt += 1;
+                    if attempt > self.max_retries {
+                        return Err(format!("openMedia failed after {} retries", self.max_retries));
+                    }
+                    report.retries += 1;
+                }
+            }
+            "addParty" => {
+                let mut attempt = 0;
+                loop {
+                    let session = cmd.arg("session").unwrap_or("").to_owned();
+                    let who = cmd.arg("who").unwrap_or("").to_owned();
+                    let join_args =
+                        vec![("session".to_owned(), session), ("who".to_owned(), who)];
+                    let r = port.invoke("signaling", "join", &join_args);
+                    report.broker_calls += 1;
+                    report.virtual_cost_us += r.cost_us;
+                    if r.ok {
+                        let sid = cmd.arg("session").unwrap_or("").to_owned();
+                        if let Some(count) = self.sessions.get_mut(&sid) {
+                            *count += 1;
+                        }
+                        return Ok(report);
+                    }
+                    attempt += 1;
+                    if attempt > self.max_retries {
+                        return Err(format!("addParty failed after {} retries", self.max_retries));
+                    }
+                    report.retries += 1;
+                }
+            }
+            "removeParty" => {
+                let mut attempt = 0;
+                loop {
+                    let session = cmd.arg("session").unwrap_or("").to_owned();
+                    let who = cmd.arg("who").unwrap_or("").to_owned();
+                    let leave_args =
+                        vec![("session".to_owned(), session), ("who".to_owned(), who)];
+                    let r = port.invoke("signaling", "leave", &leave_args);
+                    report.broker_calls += 1;
+                    report.virtual_cost_us += r.cost_us;
+                    if r.ok {
+                        let sid = cmd.arg("session").unwrap_or("").to_owned();
+                        if let Some(count) = self.sessions.get_mut(&sid) {
+                            *count = count.saturating_sub(1);
+                        }
+                        return Ok(report);
+                    }
+                    attempt += 1;
+                    if attempt > self.max_retries {
+                        return Err(format!(
+                            "removeParty failed after {} retries",
+                            self.max_retries
+                        ));
+                    }
+                    report.retries += 1;
+                }
+            }
+            "reconfigureMedia" => {
+                let mut attempt = 0;
+                loop {
+                    let stream = cmd.arg("stream").unwrap_or("").to_owned();
+                    let codec = cmd.arg("codec").unwrap_or("").to_owned();
+                    let rc_args =
+                        vec![("stream".to_owned(), stream), ("codec".to_owned(), codec)];
+                    let r = port.invoke("media", "reconfigure", &rc_args);
+                    report.broker_calls += 1;
+                    report.virtual_cost_us += r.cost_us;
+                    if r.ok {
+                        let stream = cmd.arg("stream").unwrap_or("").to_owned();
+                        let codec = cmd.arg("codec").unwrap_or("").to_owned();
+                        if let Some(entry) = self.streams.get_mut(&stream) {
+                            *entry = codec;
+                        }
+                        return Ok(report);
+                    }
+                    attempt += 1;
+                    if attempt > self.max_retries {
+                        return Err(format!(
+                            "reconfigureMedia failed after {} retries",
+                            self.max_retries
+                        ));
+                    }
+                    report.retries += 1;
+                }
+            }
+            "dropConnection" => {
+                let mut attempt = 0;
+                loop {
+                    let session = cmd.arg("session").unwrap_or("").to_owned();
+                    let close_args = vec![("session".to_owned(), session)];
+                    let r = port.invoke("signaling", "close", &close_args);
+                    report.broker_calls += 1;
+                    report.virtual_cost_us += r.cost_us;
+                    if r.ok {
+                        let sid = cmd.arg("session").unwrap_or("").to_owned();
+                        self.sessions.remove(&sid);
+                        return Ok(report);
+                    }
+                    attempt += 1;
+                    if attempt > self.max_retries {
+                        return Err(format!(
+                            "dropConnection failed after {} retries",
+                            self.max_retries
+                        ));
+                    }
+                    report.retries += 1;
+                }
+            }
+            other => Err(format!("monolithic controller: unknown command `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A port failing the media engine a configurable number of times.
+    fn flaky_port(
+        failures: u32,
+    ) -> (impl FnMut(&str, &str, &[(String, String)]) -> PortResponse, Rc<RefCell<Vec<String>>>) {
+        let calls = Rc::new(RefCell::new(Vec::new()));
+        let c = calls.clone();
+        let mut remaining = failures;
+        let port = move |api: &str, op: &str, _args: &[(String, String)]| {
+            c.borrow_mut().push(format!("{api}.{op}"));
+            if api == "media" && remaining > 0 {
+                remaining -= 1;
+                PortResponse::failed("down", 500_000)
+            } else {
+                let mut r = PortResponse::ok();
+                if op == "invite" {
+                    r.values.insert("session".into(), "s0".into());
+                }
+                r.cost_us = 10_000;
+                r
+            }
+        };
+        (port, calls)
+    }
+
+    #[test]
+    fn happy_path_two_calls() {
+        let (mut port, calls) = flaky_port(0);
+        let mut mono = MonolithicController::default();
+        let cmd = Command::new("createConnection", "")
+            .with("from", "ana")
+            .with("to", "bob")
+            .with("kind", "Audio")
+            .with("codec", "opus");
+        let r = mono.execute_command(&cmd, &mut port).unwrap();
+        assert_eq!(r.broker_calls, 2);
+        assert_eq!(r.retries, 0);
+        assert_eq!(calls.borrow().as_slice(), &["signaling.invite", "media.open"]);
+    }
+
+    #[test]
+    fn retries_same_fixed_path_and_accumulates_timeouts() {
+        let (mut port, calls) = flaky_port(2);
+        let mut mono = MonolithicController::new(4);
+        let cmd = Command::new("openMedia", "").with("session", "s0");
+        let r = mono.execute_command(&cmd, &mut port).unwrap();
+        assert_eq!(r.retries, 2);
+        assert_eq!(r.broker_calls, 3);
+        // Two 500 ms timeouts + one 10 ms success.
+        assert_eq!(r.virtual_cost_us, 1_010_000);
+        assert!(calls.borrow().iter().all(|c| c == "media.open"));
+    }
+
+    #[test]
+    fn exhausts_retry_budget() {
+        let (mut port, _calls) = flaky_port(100);
+        let mut mono = MonolithicController::new(3);
+        let cmd = Command::new("openMedia", "");
+        let e = mono.execute_command(&cmd, &mut port).unwrap_err();
+        assert!(e.contains("after 3 retries"));
+    }
+
+    #[test]
+    fn script_execution_and_bookkeeping() {
+        let (mut port, _calls) = flaky_port(0);
+        let mut mono = MonolithicController::default();
+        let script = ControlScript::immediate(vec![
+            Command::new("createConnection", "").with("from", "a").with("to", "b"),
+            Command::new("openMedia", "").with("session", "s0").with("codec", "h264"),
+        ]);
+        let r = mono.execute_script(&script, &mut port).unwrap();
+        assert_eq!(r.broker_calls, 3);
+        assert_eq!(mono.open_sessions(), 1);
+        assert_eq!(mono.executions("createConnection"), 1);
+        assert_eq!(mono.executions("openMedia"), 1);
+        // A failing command aborts the script.
+        let (mut port, _calls) = flaky_port(100);
+        let script = ControlScript::immediate(vec![
+            Command::new("openMedia", ""),
+            Command::new("addParty", ""),
+        ]);
+        assert!(mono.execute_script(&script, &mut port).is_err());
+        assert_eq!(mono.executions("addParty"), 0);
+    }
+
+    #[test]
+    fn event_switches_to_relay_and_recover_restores() {
+        let (mut port, calls) = flaky_port(0);
+        let mut mono = MonolithicController::default();
+        mono.handle_event("mediaFailure", "s0", &mut port).unwrap();
+        mono.execute_command(&Command::new("openMedia", "").with("session", "s0"), &mut port)
+            .unwrap();
+        assert_eq!(
+            calls.borrow().as_slice(),
+            &["relay.open".to_string(), "relay.open".to_string()]
+        );
+        mono.recover();
+        mono.execute_command(&Command::new("openMedia", "").with("session", "s0"), &mut port)
+            .unwrap();
+        assert_eq!(calls.borrow().last().unwrap(), "media.open");
+        assert!(mono.handle_event("earthquake", "s0", &mut port).is_err());
+    }
+
+    #[test]
+    fn all_commands_have_fixed_wiring() {
+        for (name, expected) in [
+            ("addParty", "signaling.join"),
+            ("removeParty", "signaling.leave"),
+            ("reconfigureMedia", "media.reconfigure"),
+            ("dropConnection", "signaling.close"),
+        ] {
+            let (mut port, calls) = flaky_port(0);
+            let mut mono = MonolithicController::default();
+            mono.execute_command(&Command::new(name, ""), &mut port).unwrap();
+            assert_eq!(calls.borrow().as_slice(), &[expected.to_string()], "{name}");
+        }
+        let (mut port, _) = flaky_port(0);
+        let mut mono = MonolithicController::default();
+        assert!(mono.execute_command(&Command::new("ghost", ""), &mut port).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! The model-based Network Communication Broker (NCB).
+//!
+//! §VII-A: "An initial performance evaluation was based on a version of
+//! CVM's Broker layer built using the metamodel. The intent was to compare
+//! the performance of the model-based version with that of the original
+//! layer". This module defines that model-based version: a broker model
+//! (instance of the Fig. 6 metamodel) interpreted by
+//! [`mddsm_broker::GenericBroker`], plus the common [`Ncb`]
+//! interface both NCB versions implement so the §VII-A scenarios drive
+//! them identically.
+
+use crate::services::service_hub;
+use mddsm_broker::{BrokerModelBuilder, GenericBroker};
+use mddsm_meta::model::Model;
+use mddsm_sim::resource::{Args, Outcome};
+
+/// The broker-level interface shared by the model-based and handcrafted
+/// NCBs, so scenarios and experiments treat them interchangeably.
+pub trait Ncb {
+    /// Issues a call (e.g. `media.open`).
+    fn call(&mut self, op: &str, args: &Args) -> Result<Outcome, String>;
+    /// Delivers an event (e.g. `mediaFailure`).
+    fn event(&mut self, topic: &str, args: &Args) -> Result<Outcome, String>;
+    /// Runs the recovery logic (autonomic tick / handcrafted equivalent).
+    fn recover(&mut self);
+    /// Injects or clears a media-engine failure.
+    fn set_media_healthy(&mut self, healthy: bool);
+    /// The command trace against the underlying services.
+    fn trace(&self) -> Vec<String>;
+}
+
+/// Builds the NCB broker model — the structure of the CVM Broker layer,
+/// expressed as a model.
+pub fn ncb_broker_model() -> Model {
+    BrokerModelBuilder::new("ncb")
+        // Session signaling.
+        .call_handler("invite", "signaling.invite")
+        .action(
+            "invite",
+            "invite",
+            "signaling",
+            "invite",
+            &["session=$session", "from=$from", "to=$to"],
+            None,
+            &["sessions=+1"],
+        )
+        .call_handler("join", "signaling.join")
+        .action("join", "join", "signaling", "join", &["session=$session", "who=$who"], None, &[])
+        .call_handler("leave", "signaling.leave")
+        .action("leave", "leave", "signaling", "leave", &["session=$session", "who=$who"], None, &[])
+        .call_handler("close", "signaling.close")
+        .action(
+            "close",
+            "close",
+            "signaling",
+            "close",
+            &["session=$session"],
+            None,
+            &["sessions=-1"],
+        )
+        // Media: prefer the direct engine, fall back to the relay when the
+        // mode variable says so (set by recovery).
+        .policy("directMode", "self.mode = null or self.mode = \"direct\"")
+        .call_handler("mediaOpen", "media.open")
+        .action(
+            "mediaOpen",
+            "openDirect",
+            "media",
+            "open",
+            &["session=$session", "kind=$kind", "codec=$codec", "stream=$stream"],
+            Some("directMode"),
+            &["streams=+1"],
+        )
+        .action(
+            "mediaOpen",
+            "openRelay",
+            "relay",
+            "open",
+            &["session=$session"],
+            None,
+            &["streams=+1"],
+        )
+        // Direct relay access, used by the Controller's relay procedures.
+        .call_handler("relayOpen", "relay.open")
+        .action("relayOpen", "relayOpen", "relay", "open", &["session=$session"], None, &["streams=+1"])
+        .call_handler("relayClose", "relay.close")
+        .action("relayClose", "relayClose", "relay", "close", &[], None, &["streams=-1"])
+        .call_handler("mediaClose", "media.close")
+        .action("mediaClose", "closeStream", "media", "close", &["stream=$stream"], None, &["streams=-1"])
+        .call_handler("mediaReconf", "media.reconfigure")
+        .action(
+            "mediaReconf",
+            "reconfigure",
+            "media",
+            "reconfigure",
+            &["stream=$stream", "codec=$codec"],
+            None,
+            &[],
+        )
+        // Failure handling: the mediaFailure event switches to the relay.
+        .event_handler("mediaFailed", "mediaFailure")
+        .action(
+            "mediaFailed",
+            "switchToRelay",
+            "relay",
+            "open",
+            &["session=$session"],
+            None,
+            &["mode=relay"],
+        )
+        // Autonomic recovery: repeated media failures heal the engine and
+        // restore direct mode.
+        .autonomic_rule(
+            "mediaFlaky",
+            "self.failures_media <> null and self.failures_media > 0",
+            &["heal media", "set failures_media 0", "set mode direct"],
+        )
+        .bind_resource("signaling", "sim.signaling")
+        .bind_resource("media", "sim.media")
+        .bind_resource("relay", "sim.relay")
+        .build()
+}
+
+/// The model-based NCB: the generic broker engine interpreting
+/// [`ncb_broker_model`].
+pub struct ModelBasedNcb {
+    broker: GenericBroker,
+}
+
+impl ModelBasedNcb {
+    /// Builds the model-based NCB over the simulated services.
+    pub fn new(seed: u64, work_per_call: u32) -> Self {
+        let hub = service_hub(seed, work_per_call);
+        let broker = GenericBroker::from_model(&ncb_broker_model(), hub)
+            .expect("NCB broker model is valid");
+        ModelBasedNcb { broker }
+    }
+
+    /// The underlying generic broker (for state inspection in tests).
+    pub fn broker(&self) -> &GenericBroker {
+        &self.broker
+    }
+}
+
+impl Ncb for ModelBasedNcb {
+    fn call(&mut self, op: &str, args: &Args) -> Result<Outcome, String> {
+        self.broker.call(op, args).map(|r| r.outcome).map_err(|e| e.to_string())
+    }
+
+    fn event(&mut self, topic: &str, args: &Args) -> Result<Outcome, String> {
+        self.broker.event(topic, args).map(|r| r.outcome).map_err(|e| e.to_string())
+    }
+
+    fn recover(&mut self) {
+        let _ = self.broker.autonomic_tick();
+    }
+
+    fn set_media_healthy(&mut self, healthy: bool) {
+        self.broker.hub_mut().set_healthy("sim.media", healthy);
+    }
+
+    fn trace(&self) -> Vec<String> {
+        self.broker.hub().command_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_sim::resource::args;
+
+    #[test]
+    fn model_is_valid_and_serves_calls() {
+        let mut ncb = ModelBasedNcb::new(1, 10);
+        let o = ncb.call("signaling.invite", &args(&[("from", "ana"), ("to", "bob")])).unwrap();
+        let sid = o.get("session").unwrap().to_owned();
+        let o = ncb
+            .call(
+                "media.open",
+                &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]),
+            )
+            .unwrap();
+        assert!(o.get("stream").is_some());
+        assert_eq!(ncb.broker().state().int("sessions"), Some(1));
+        assert_eq!(ncb.broker().state().int("streams"), Some(1));
+        assert_eq!(
+            ncb.trace(),
+            vec![
+                "sim.signaling.invite(session=, from=ana, to=bob)",
+                "sim.media.open(session=s0, kind=Audio, codec=opus, stream=)"
+            ]
+        );
+    }
+
+    #[test]
+    fn failure_switches_to_relay_then_recovers() {
+        let mut ncb = ModelBasedNcb::new(1, 10);
+        let o = ncb.call("signaling.invite", &args(&[("from", "a"), ("to", "b")])).unwrap();
+        let sid = o.get("session").unwrap().to_owned();
+        ncb.set_media_healthy(false);
+        // Direct open fails (media engine down).
+        let o = ncb
+            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .unwrap();
+        assert!(!o.is_ok());
+        // The failure event switches mode to relay.
+        ncb.event("mediaFailure", &args(&[("session", &sid)])).unwrap();
+        let o = ncb
+            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .unwrap();
+        assert!(o.get("relay").is_some());
+        // Recovery heals the engine and restores direct mode.
+        ncb.recover();
+        let o = ncb
+            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .unwrap();
+        assert!(o.get("stream").is_some());
+    }
+
+    #[test]
+    fn unknown_op_is_an_error() {
+        let mut ncb = ModelBasedNcb::new(1, 10);
+        assert!(ncb.call("warp.engage", &Args::new()).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! The fully assembled CVM: a four-layer MD-DSM platform for the
+//! communication domain.
+
+use crate::artifacts::{cvm_actions, cvm_command_map, cvm_dscs, cvm_procedures};
+use crate::synthesis_dsk::cvm_lts;
+use crate::cml::cml_metamodel;
+use crate::ncb::ncb_broker_model;
+use crate::services::service_hub;
+use mddsm_core::{DomainKnowledge, MdDsmPlatform, PlatformBuilder, PlatformModelBuilder};
+use mddsm_synthesis::Command;
+
+/// Builds the CVM platform model (the structural input of Fig. 2).
+pub fn cvm_platform_model() -> mddsm_meta::Model {
+    PlatformModelBuilder::new("cvm", "communication")
+        .ui("cml")
+        .synthesis("Skip")
+        .controller(|_, _| {})
+        .broker("ncb")
+        .build()
+}
+
+/// Bundles the CVM domain knowledge (the semantic input of Fig. 2).
+pub fn cvm_domain_knowledge() -> DomainKnowledge {
+    DomainKnowledge {
+        dsml: cml_metamodel(),
+        lts: cvm_lts(),
+        dscs: cvm_dscs(),
+        procedures: cvm_procedures(),
+        actions: cvm_actions(),
+        command_map: cvm_command_map(),
+        event_commands: vec![(
+            // A media failure reported by the environment re-opens media.
+            "mediaFailure".to_owned(),
+            Command::new("openMedia", "")
+                .with("session", "s0")
+                .with("kind", "Audio")
+                .with("codec", "opus"),
+        )],
+    }
+}
+
+/// Generates the complete CVM platform over simulated services.
+pub fn build_cvm(seed: u64, work_per_call: u32) -> MdDsmPlatform {
+    PlatformBuilder::new(&cvm_platform_model(), cvm_domain_knowledge())
+        .expect("CVM platform model and DSK are consistent")
+        .broker_model(ncb_broker_model())
+        .resources(service_hub(seed, work_per_call))
+        .build()
+        .expect("CVM platform assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cvm_assembles() {
+        let p = build_cvm(1, 10);
+        assert_eq!(p.name(), "cvm");
+        assert_eq!(p.domain(), "communication");
+        assert!(p.broker().is_some());
+        assert!(p.controller().is_some());
+        assert!(p.synthesis().is_some());
+    }
+
+    #[test]
+    fn model_driven_session_establishment_end_to_end() {
+        let mut p = build_cvm(1, 10);
+        let mut s = p.open_session().unwrap();
+        // Build a two-party audio CML model through the UI layer.
+        let ana = s.create("Person").unwrap();
+        s.set(ana, "name", "ana").unwrap();
+        s.set(ana, "userId", "ana@cvm").unwrap();
+        let bob = s.create("Person").unwrap();
+        s.set(bob, "name", "bob").unwrap();
+        s.set(bob, "userId", "bob@cvm").unwrap();
+        let audio = s.create("Medium").unwrap();
+        s.set(audio, "name", "voice").unwrap();
+        s.set(audio, "kind", "Audio").unwrap();
+        let conn = s.create("Connection").unwrap();
+        s.set(conn, "name", "call").unwrap();
+        s.link(conn, "parties", ana).unwrap();
+        s.link(conn, "parties", bob).unwrap();
+        s.link(conn, "media", audio).unwrap();
+
+        let report = p.submit_model(s.submit().unwrap()).unwrap();
+        // The initial model synthesizes exactly the connection creation
+        // (the new connection's parties/media/codec are part of creation,
+        // not separate updates).
+        assert_eq!(report.synthesized_commands, 1);
+        assert_eq!(report.execution.commands, 1);
+        // createConnection runs establishAV: invite + media open.
+        let trace = p.command_trace();
+        assert_eq!(trace.len(), 2, "{trace:?}");
+        assert!(trace[0].starts_with("sim.signaling.invite"), "{trace:?}");
+        assert!(trace[1].starts_with("sim.media.open"), "{trace:?}");
+        let calls_so_far = trace.len();
+
+        // Adding carol to the call is an update of an existing connection.
+        let carol = s.create("Person").unwrap();
+        s.set(carol, "name", "carol").unwrap();
+        s.set(carol, "userId", "carol@cvm").unwrap();
+        s.link(conn, "parties", carol).unwrap();
+        let report = p.submit_model(s.submit().unwrap()).unwrap();
+        assert_eq!(report.execution.commands, 1, "{report:?}");
+        let trace = p.command_trace();
+        assert!(trace.last().unwrap().starts_with("sim.signaling.join"), "{trace:?}");
+        let calls_so_far = calls_so_far + 1;
+
+        // Reconfiguring the codec in the model reconfigures the stream —
+        // served by the Case-1 fast action.
+        s.set(audio, "codec", "opus-hd").unwrap();
+        let report = p.submit_model(s.submit().unwrap()).unwrap();
+        assert_eq!(report.execution.case1, 1);
+        let trace = p.command_trace();
+        assert_eq!(trace.len(), calls_so_far + 1);
+        assert!(trace.last().unwrap().starts_with("sim.media.reconfigure"), "{trace:?}");
+        assert!(trace.last().unwrap().contains("codec=opus-hd"), "{trace:?}");
+
+        // Dropping the connection tears the session down.
+        s.delete(conn).unwrap();
+        let report = p.submit_model(s.submit().unwrap()).unwrap();
+        assert!(report.execution.commands >= 1);
+        let trace = p.command_trace();
+        assert!(trace.last().unwrap().starts_with("sim.signaling.close"), "{trace:?}");
+    }
+
+    #[test]
+    fn broker_failure_triggers_controller_adaptation() {
+        let mut p = build_cvm(1, 10);
+        p.broker_mut().unwrap().hub_mut().set_healthy("sim.media", false);
+        let src = r#"model m conformsTo cml {
+            CommSchema s { name = "call" persons -> [a, b] media -> [v] connections -> [c] }
+            Person a { name = "ana" userId = "ana@cvm" }
+            Person b { name = "bob" userId = "bob@cvm" }
+            Medium v { name = "voice" kind = MediaKind::Audio }
+            Connection c { name = "call" parties -> [a, b] media -> [v] }
+        }"#;
+        let report = p.submit_text(src).unwrap();
+        // The adaptive controller excluded mediaDirect and used the relay.
+        assert!(report.execution.adaptations >= 1, "{report:?}");
+        let trace = p.command_trace();
+        assert!(trace.iter().any(|t| t.starts_with("sim.relay.open")), "{trace:?}");
+    }
+}

@@ -1,0 +1,298 @@
+//! The eight multimedia communication scenarios of §VII-A.
+//!
+//! "A set of eight scenarios for multimedia communication, including
+//! session establishment, reconfiguration and recovery from failures, were
+//! implemented using both versions of the Broker layer." Scenarios are
+//! broker-level call sequences with variable binding (session/stream ids
+//! flow from earlier results into later arguments), consumed identically
+//! by the model-based and handcrafted NCBs.
+
+use crate::ncb::Ncb;
+use mddsm_sim::resource::{Args, Outcome};
+use std::collections::BTreeMap;
+
+/// One scenario step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Issue a call; argument values starting with `$` read scenario
+    /// variables; `bind` stores a result value under a variable name.
+    Call {
+        /// Operation (handler selector).
+        op: &'static str,
+        /// Arguments (values may be `$var`).
+        args: Vec<(&'static str, &'static str)>,
+        /// Optional `(resultKey, varName)` binding.
+        bind: Option<(&'static str, &'static str)>,
+        /// Whether the call is expected to succeed.
+        expect_ok: bool,
+    },
+    /// Deliver an event.
+    Event {
+        /// Topic.
+        topic: &'static str,
+        /// Payload (values may be `$var`).
+        args: Vec<(&'static str, &'static str)>,
+    },
+    /// Take the media engine down (failure injection).
+    InjectMediaFailure,
+    /// Run the NCB's recovery logic.
+    Recover,
+}
+
+/// A named scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name, as reported in experiment tables.
+    pub name: &'static str,
+    /// Steps in order.
+    pub steps: Vec<Step>,
+}
+
+/// Outcome of a scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioRun {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Steps executed.
+    pub steps: usize,
+    /// Calls that failed (scenario 7 expects exactly the injected one).
+    pub failed_calls: usize,
+}
+
+fn call(
+    op: &'static str,
+    args: &[(&'static str, &'static str)],
+    bind: Option<(&'static str, &'static str)>,
+) -> Step {
+    Step::Call { op, args: args.to_vec(), bind, expect_ok: true }
+}
+
+fn failing_call(op: &'static str, args: &[(&'static str, &'static str)]) -> Step {
+    Step::Call { op, args: args.to_vec(), bind: None, expect_ok: false }
+}
+
+/// The eight §VII-A scenarios.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "S1 two-party audio establishment",
+            steps: vec![
+                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
+                    Some(("stream", "audio")),
+                ),
+            ],
+        },
+        Scenario {
+            name: "S2 three-party video establishment",
+            steps: vec![
+                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call("signaling.join", &[("session", "$sid"), ("who", "carol")], None),
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Video"), ("codec", "h264")],
+                    Some(("stream", "video")),
+                ),
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
+                    Some(("stream", "audio")),
+                ),
+            ],
+        },
+        Scenario {
+            name: "S3 add party mid-session",
+            steps: vec![
+                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
+                    Some(("stream", "audio")),
+                ),
+                call("signaling.join", &[("session", "$sid"), ("who", "dan")], None),
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Video"), ("codec", "vp8")],
+                    Some(("stream", "video")),
+                ),
+            ],
+        },
+        Scenario {
+            name: "S4 remove party and teardown",
+            steps: vec![
+                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call("signaling.join", &[("session", "$sid"), ("who", "carol")], None),
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
+                    Some(("stream", "audio")),
+                ),
+                call("signaling.leave", &[("session", "$sid"), ("who", "bob")], None),
+                call("media.close", &[("stream", "$audio")], None),
+                call("signaling.close", &[("session", "$sid")], None),
+            ],
+        },
+        Scenario {
+            name: "S5 add media stream (screen share)",
+            steps: vec![
+                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
+                    Some(("stream", "audio")),
+                ),
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Video"), ("codec", "h264")],
+                    Some(("stream", "screen")),
+                ),
+            ],
+        },
+        Scenario {
+            name: "S6 codec reconfiguration",
+            steps: vec![
+                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Video"), ("codec", "h264")],
+                    Some(("stream", "video")),
+                ),
+                call("media.reconfigure", &[("stream", "$video"), ("codec", "vp9")], None),
+                call("media.reconfigure", &[("stream", "$video"), ("codec", "av1")], None),
+            ],
+        },
+        Scenario {
+            name: "S7 media-engine failure recovery",
+            steps: vec![
+                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                Step::InjectMediaFailure,
+                failing_call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
+                ),
+                Step::Event {
+                    topic: "mediaFailure",
+                    args: vec![("session", "$sid")],
+                },
+                call("media.open", &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")], None),
+                Step::Recover,
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
+                    Some(("stream", "audio")),
+                ),
+            ],
+        },
+        Scenario {
+            name: "S8 session teardown and re-establishment",
+            steps: vec![
+                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
+                    Some(("stream", "audio")),
+                ),
+                call("media.close", &[("stream", "$audio")], None),
+                call("signaling.close", &[("session", "$sid")], None),
+                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid2"))),
+                call(
+                    "media.open",
+                    &[("session", "$sid2"), ("kind", "Video"), ("codec", "h264")],
+                    Some(("stream", "video")),
+                ),
+            ],
+        },
+    ]
+}
+
+/// Runs a scenario against an NCB.
+///
+/// Panics if a step's success expectation is violated — that would make
+/// the behavioural-equivalence comparison meaningless.
+pub fn run_scenario(ncb: &mut dyn Ncb, scenario: &Scenario) -> ScenarioRun {
+    let mut vars: BTreeMap<String, String> = BTreeMap::new();
+    let mut failed_calls = 0usize;
+    let resolve = |v: &str, vars: &BTreeMap<String, String>| -> String {
+        match v.strip_prefix('$') {
+            Some(name) => vars.get(name).cloned().unwrap_or_default(),
+            None => v.to_owned(),
+        }
+    };
+    for step in &scenario.steps {
+        match step {
+            Step::Call { op, args, bind, expect_ok } => {
+                let resolved: Args =
+                    args.iter().map(|(k, v)| ((*k).to_owned(), resolve(v, &vars))).collect();
+                let outcome = ncb
+                    .call(op, &resolved)
+                    .unwrap_or_else(|e| panic!("{}: call {op} errored: {e}", scenario.name));
+                match (&outcome, expect_ok) {
+                    (Outcome::Ok(values), _) => {
+                        if let Some((key, var)) = bind {
+                            if let Some(v) = values.get(*key) {
+                                vars.insert((*var).to_owned(), v.clone());
+                            }
+                        }
+                    }
+                    (Outcome::Failed(_), false) => failed_calls += 1,
+                    (Outcome::Failed(reason), true) => {
+                        panic!("{}: call {op} unexpectedly failed: {reason}", scenario.name)
+                    }
+                }
+            }
+            Step::Event { topic, args } => {
+                let resolved: Args =
+                    args.iter().map(|(k, v)| ((*k).to_owned(), resolve(v, &vars))).collect();
+                ncb.event(topic, &resolved)
+                    .unwrap_or_else(|e| panic!("{}: event {topic} errored: {e}", scenario.name));
+            }
+            Step::InjectMediaFailure => ncb.set_media_healthy(false),
+            Step::Recover => ncb.recover(),
+        }
+    }
+    ScenarioRun { name: scenario.name, steps: scenario.steps.len(), failed_calls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::HandcraftedNcb;
+    use crate::ncb::ModelBasedNcb;
+
+    #[test]
+    fn there_are_eight_scenarios() {
+        assert_eq!(all_scenarios().len(), 8);
+    }
+
+    #[test]
+    fn all_scenarios_run_on_both_ncbs() {
+        for scenario in all_scenarios() {
+            let mut model_based = ModelBasedNcb::new(11, 10);
+            let run = run_scenario(&mut model_based, &scenario);
+            assert_eq!(run.failed_calls, usize::from(scenario.name.starts_with("S7")));
+
+            let mut handcrafted = HandcraftedNcb::new(11, 10);
+            let run = run_scenario(&mut handcrafted, &scenario);
+            assert_eq!(run.failed_calls, usize::from(scenario.name.starts_with("S7")));
+        }
+    }
+
+    /// Experiment E1 in miniature: identical command traces per scenario.
+    #[test]
+    fn behavioural_equivalence_of_traces() {
+        for scenario in all_scenarios() {
+            let mut model_based = ModelBasedNcb::new(42, 10);
+            run_scenario(&mut model_based, &scenario);
+            let mut handcrafted = HandcraftedNcb::new(42, 10);
+            run_scenario(&mut handcrafted, &scenario);
+            assert_eq!(
+                model_based.trace(),
+                handcrafted.trace(),
+                "trace mismatch in {}",
+                scenario.name
+            );
+        }
+    }
+}

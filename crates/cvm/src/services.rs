@@ -1,0 +1,278 @@
+//! Simulated communication services — the substrate the NCB orchestrates.
+//!
+//! The original CVM drove real communication frameworks (Skype, NCB
+//! adapters); none are available here, so these resources emulate their
+//! call surface: a signaling service managing sessions and membership, a
+//! media engine managing streams, and a relay fallback. Each invocation
+//! performs a small amount of deterministic CPU work (`work_per_call` FNV
+//! rounds) standing in for protocol/codec processing, so that wall-clock
+//! comparisons (experiment E2) have a realistic denominator dominated by
+//! service work, as in the paper's testbed.
+
+use mddsm_sim::resource::{Args, Outcome};
+use mddsm_sim::{LatencyModel, ResourceHub, SimDuration};
+use std::collections::BTreeMap;
+
+/// Default busy-work rounds per service invocation.
+pub const DEFAULT_WORK: u32 = 4_000;
+
+/// Deterministic busy work: FNV-1a rounds over the arguments.
+fn churn(seed: &str, rounds: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let bytes = seed.as_bytes();
+    for i in 0..rounds {
+        let b = bytes[(i as usize) % bytes.len().max(1)];
+        h ^= u64::from(b) ^ u64::from(i);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    std::hint::black_box(h)
+}
+
+fn arg<'a>(args: &'a Args, key: &str) -> &'a str {
+    args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str()).unwrap_or("")
+}
+
+/// The signaling service: sessions and membership.
+struct Signaling {
+    work: u32,
+    next_session: u64,
+    /// session id -> members
+    sessions: BTreeMap<String, Vec<String>>,
+}
+
+impl Signaling {
+    fn invoke(&mut self, op: &str, args: &Args) -> Outcome {
+        churn(op, self.work);
+        match op {
+            "invite" => {
+                // A caller-supplied logical session name is honoured (the
+                // middleware maps logical to physical entities); otherwise
+                // a fresh id is generated.
+                let logical = arg(args, "session");
+                let sid = if logical.is_empty() {
+                    let s = format!("s{}", self.next_session);
+                    self.next_session += 1;
+                    s
+                } else {
+                    logical.to_owned()
+                };
+                let members = vec![arg(args, "from").to_owned(), arg(args, "to").to_owned()];
+                self.sessions.insert(sid.clone(), members);
+                Outcome::ok_with("session", sid)
+            }
+            "join" => {
+                let sid = arg(args, "session");
+                match self.sessions.get_mut(sid) {
+                    Some(members) => {
+                        members.push(arg(args, "who").to_owned());
+                        Outcome::ok_with("members", members.len().to_string())
+                    }
+                    None => Outcome::Failed(format!("unknown session `{sid}`")),
+                }
+            }
+            "leave" => {
+                let sid = arg(args, "session");
+                let who = arg(args, "who");
+                match self.sessions.get_mut(sid) {
+                    Some(members) => {
+                        members.retain(|m| m != who);
+                        Outcome::ok_with("members", members.len().to_string())
+                    }
+                    None => Outcome::Failed(format!("unknown session `{sid}`")),
+                }
+            }
+            "close" => {
+                let sid = arg(args, "session");
+                if self.sessions.remove(sid).is_some() {
+                    Outcome::ok()
+                } else {
+                    Outcome::Failed(format!("unknown session `{sid}`"))
+                }
+            }
+            other => Outcome::Failed(format!("signaling: unknown op `{other}`")),
+        }
+    }
+}
+
+/// The media engine: streams within sessions.
+struct MediaEngine {
+    work: u32,
+    next_stream: u64,
+    /// stream id -> (session, kind, codec)
+    streams: BTreeMap<String, (String, String, String)>,
+}
+
+impl MediaEngine {
+    fn invoke(&mut self, op: &str, args: &Args) -> Outcome {
+        churn(op, self.work);
+        match op {
+            "open" => {
+                // Same logical-name rule as signaling sessions.
+                let logical = arg(args, "stream");
+                let id = if logical.is_empty() {
+                    let s = format!("m{}", self.next_stream);
+                    self.next_stream += 1;
+                    s
+                } else {
+                    logical.to_owned()
+                };
+                self.streams.insert(
+                    id.clone(),
+                    (
+                        arg(args, "session").to_owned(),
+                        arg(args, "kind").to_owned(),
+                        arg(args, "codec").to_owned(),
+                    ),
+                );
+                Outcome::ok_with("stream", id)
+            }
+            "close" => {
+                let id = arg(args, "stream");
+                if self.streams.remove(id).is_some() {
+                    Outcome::ok()
+                } else {
+                    Outcome::Failed(format!("unknown stream `{id}`"))
+                }
+            }
+            "reconfigure" => {
+                let id = arg(args, "stream");
+                match self.streams.get_mut(id) {
+                    Some(entry) => {
+                        entry.2 = arg(args, "codec").to_owned();
+                        Outcome::ok_with("codec", entry.2.clone())
+                    }
+                    None => Outcome::Failed(format!("unknown stream `{id}`")),
+                }
+            }
+            "status" => Outcome::ok_with("streams", self.streams.len().to_string()),
+            other => Outcome::Failed(format!("media: unknown op `{other}`")),
+        }
+    }
+}
+
+/// The relay fallback: an alternative media path used for recovery.
+struct Relay {
+    work: u32,
+    open: u64,
+}
+
+impl Relay {
+    fn invoke(&mut self, op: &str, _args: &Args) -> Outcome {
+        churn(op, self.work);
+        match op {
+            "open" => {
+                self.open += 1;
+                Outcome::ok_with("relay", format!("r{}", self.open))
+            }
+            "close" => {
+                self.open = self.open.saturating_sub(1);
+                Outcome::ok()
+            }
+            other => Outcome::Failed(format!("relay: unknown op `{other}`")),
+        }
+    }
+}
+
+/// Registers the simulated communication services on a hub.
+///
+/// `work_per_call` scales the per-invocation CPU work; virtual latencies
+/// model network round-trips (signaling slower than local media ops).
+pub fn register_services(hub: &mut ResourceHub, work_per_call: u32) {
+    let mut signaling =
+        Signaling { work: work_per_call, next_session: 0, sessions: BTreeMap::new() };
+    hub.register(
+        "sim.signaling",
+        LatencyModel::uniform_ms(8, 20),
+        SimDuration::from_millis(1_000),
+        Box::new(move |op: &str, args: &Args| signaling.invoke(op, args)),
+    );
+    let mut media = MediaEngine { work: work_per_call, next_stream: 0, streams: BTreeMap::new() };
+    hub.register(
+        "sim.media",
+        LatencyModel::uniform_ms(2, 6),
+        SimDuration::from_millis(1_000),
+        Box::new(move |op: &str, args: &Args| media.invoke(op, args)),
+    );
+    let mut relay = Relay { work: work_per_call, open: 0 };
+    hub.register(
+        "sim.relay",
+        LatencyModel::uniform_ms(4, 10),
+        SimDuration::from_millis(1_000),
+        Box::new(move |op: &str, args: &Args| relay.invoke(op, args)),
+    );
+}
+
+/// A hub with the full service set registered (convenience).
+pub fn service_hub(seed: u64, work_per_call: u32) -> ResourceHub {
+    let mut hub = ResourceHub::new(seed);
+    register_services(&mut hub, work_per_call);
+    hub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_sim::resource::args;
+
+    #[test]
+    fn signaling_session_lifecycle() {
+        let mut hub = service_hub(1, 10);
+        let (o, _) = hub.invoke("sim.signaling", "invite", &args(&[("from", "ana"), ("to", "bob")]));
+        let sid = o.get("session").unwrap().to_owned();
+        assert_eq!(sid, "s0");
+        let (o, _) = hub.invoke("sim.signaling", "join", &args(&[("session", &sid), ("who", "carol")]));
+        assert_eq!(o.get("members"), Some("3"));
+        let (o, _) = hub.invoke("sim.signaling", "leave", &args(&[("session", &sid), ("who", "bob")]));
+        assert_eq!(o.get("members"), Some("2"));
+        let (o, _) = hub.invoke("sim.signaling", "close", &args(&[("session", &sid)]));
+        assert!(o.is_ok());
+        let (o, _) = hub.invoke("sim.signaling", "close", &args(&[("session", &sid)]));
+        assert!(!o.is_ok());
+    }
+
+    #[test]
+    fn media_stream_lifecycle() {
+        let mut hub = service_hub(1, 10);
+        let (o, _) = hub.invoke(
+            "sim.media",
+            "open",
+            &args(&[("session", "s0"), ("kind", "Audio"), ("codec", "opus")]),
+        );
+        let stream = o.get("stream").unwrap().to_owned();
+        let (o, _) =
+            hub.invoke("sim.media", "reconfigure", &args(&[("stream", &stream), ("codec", "h264")]));
+        assert_eq!(o.get("codec"), Some("h264"));
+        let (o, _) = hub.invoke("sim.media", "status", &Args::new());
+        assert_eq!(o.get("streams"), Some("1"));
+        let (o, _) = hub.invoke("sim.media", "close", &args(&[("stream", &stream)]));
+        assert!(o.is_ok());
+        let (o, _) = hub.invoke("sim.media", "reconfigure", &args(&[("stream", &stream)]));
+        assert!(!o.is_ok());
+    }
+
+    #[test]
+    fn relay_open_close() {
+        let mut hub = service_hub(1, 10);
+        let (o, _) = hub.invoke("sim.relay", "open", &Args::new());
+        assert_eq!(o.get("relay"), Some("r1"));
+        let (o, _) = hub.invoke("sim.relay", "close", &Args::new());
+        assert!(o.is_ok());
+        let (o, _) = hub.invoke("sim.relay", "dance", &Args::new());
+        assert!(!o.is_ok());
+    }
+
+    #[test]
+    fn unknown_ops_fail_cleanly() {
+        let mut hub = service_hub(1, 10);
+        let (o, _) = hub.invoke("sim.signaling", "teleport", &Args::new());
+        assert!(!o.is_ok());
+        let (o, _) = hub.invoke("sim.signaling", "join", &args(&[("session", "ghost")]));
+        assert!(!o.is_ok());
+    }
+
+    #[test]
+    fn churn_is_deterministic() {
+        assert_eq!(churn("x", 100), churn("x", 100));
+        assert_ne!(churn("x", 100), churn("y", 100));
+    }
+}

@@ -1,0 +1,80 @@
+//! CVM Synthesis-layer domain knowledge: the CML synthesis LTS.
+//!
+//! Kept separate from the Controller-layer artifacts (`artifacts.rs`)
+//! because each layer owns its own domain-specific knowledge (§V-B); the
+//! E5 lines-of-code comparison concerns the Controller layer only.
+
+use mddsm_synthesis::lts::{ChangePattern, CommandTemplate};
+use mddsm_synthesis::{Lts, LtsBuilder};
+
+/// The CML synthesis LTS: model changes to controller commands.
+pub fn cvm_lts() -> Lts {
+    LtsBuilder::new()
+        .state("idle")
+        .state("inSession")
+        .initial("idle")
+        .transition("idle", "inSession", ChangePattern::create("Connection"), |t| {
+            t.emit(
+                CommandTemplate::new("createConnection", "$key")
+                    .with("connection", "$id")
+                    .with("from", "ana")
+                    .with("to", "bob")
+                    .with("session", "$id")
+                    .with("kind", "Audio")
+                    .with("codec", "opus")
+                    .with("stream", "$ref_media"),
+            )
+        })
+        .transition("inSession", "inSession", ChangePattern::create("Connection"), |t| {
+            t.emit(
+                CommandTemplate::new("createConnection", "$key")
+                    .with("connection", "$id")
+                    .with("from", "ana")
+                    .with("to", "bob")
+                    .with("session", "$id")
+                    .with("kind", "Audio")
+                    .with("codec", "opus")
+                    .with("stream", "$ref_media"),
+            )
+        })
+        .transition("inSession", "inSession", ChangePattern::set_refs("Connection", "parties").on_existing(), |t| {
+            t.emit(
+                CommandTemplate::new("addParty", "$key")
+                    .with("session", "$id")
+                    .with("who", "$targets"),
+            )
+        })
+        .transition("inSession", "inSession", ChangePattern::set_refs("Connection", "media").on_existing(), |t| {
+            t.emit(
+                CommandTemplate::new("openMedia", "$key")
+                    .with("session", "$id")
+                    .with("kind", "Audio")
+                    .with("codec", "opus")
+                    .with("stream", "$targets"),
+            )
+        })
+        .transition("inSession", "inSession", ChangePattern::set_attr("Medium", "codec").on_existing(), |t| {
+            t.emit(
+                CommandTemplate::new("reconfigureMedia", "$key")
+                    .with("stream", "$id")
+                    .with("codec", "$value"),
+            )
+        })
+        .transition("inSession", "idle", ChangePattern::delete("Connection"), |t| {
+            t.emit(CommandTemplate::new("dropConnection", "$key").with("session", "$id"))
+        })
+        .build()
+        .expect("CVM LTS is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lts_emits_session_commands() {
+        let lts = cvm_lts();
+        assert_eq!(lts.state_count(), 2);
+        assert!(lts.state("inSession").is_some());
+    }
+}

@@ -1,0 +1,330 @@
+//! Conformance checking: does a model conform to a metamodel?
+//!
+//! The check covers the structural rules of the metamodel — known,
+//! non-abstract classes; declared, well-typed, multiplicity-respecting
+//! slots; reference-target class compatibility; single containment; acyclic
+//! containment — and all OCL-lite class invariants.
+
+use crate::constraint::{eval_bool, EvalEnv};
+use crate::error::MetaError;
+use crate::metamodel::{DataType, Metamodel};
+use crate::model::{Model, ObjectId};
+use crate::Result;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Checks `model` against `mm`, returning all violations at once.
+pub fn check(model: &Model, mm: &Metamodel) -> Result<()> {
+    let violations = violations(model, mm);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(MetaError::NonConformant(violations))
+    }
+}
+
+/// Like [`check`], but returns the violation messages instead of an error.
+pub fn violations(model: &Model, mm: &Metamodel) -> Vec<String> {
+    let mut out = Vec::new();
+    if model.metamodel_name() != mm.name() {
+        out.push(format!(
+            "model claims metamodel `{}` but was checked against `{}`",
+            model.metamodel_name(),
+            mm.name()
+        ));
+    }
+
+    // containment bookkeeping: object -> containers
+    let mut containers: BTreeMap<ObjectId, Vec<ObjectId>> = BTreeMap::new();
+
+    for (id, obj) in model.iter() {
+        let Some(class) = mm.class(&obj.class) else {
+            out.push(format!("{id}: unknown class `{}`", obj.class));
+            continue;
+        };
+        if class.is_abstract {
+            out.push(format!("{id}: instantiates abstract class `{}`", obj.class));
+        }
+
+        // Attributes: declared, typed, multiplicity.
+        let attrs = mm.all_attributes(&obj.class);
+        for (name, vals) in &obj.attrs {
+            match attrs.iter().find(|a| &a.name == name) {
+                None => out.push(format!("{id} ({}): undeclared attribute `{name}`", obj.class)),
+                Some(a) => {
+                    for v in vals {
+                        if !v.conforms_to(&a.ty) {
+                            out.push(format!(
+                                "{id} ({}): attribute `{name}` expects {}, got {}",
+                                obj.class,
+                                a.ty,
+                                v.type_name()
+                            ));
+                        }
+                        if let (crate::Value::Enum(ty, lit), DataType::Enum(ety)) = (v, &a.ty) {
+                            if ty == ety {
+                                let known = mm
+                                    .enum_def(ety)
+                                    .map(|e| e.literals.iter().any(|l| l == lit))
+                                    .unwrap_or(false);
+                                if !known {
+                                    out.push(format!(
+                                        "{id} ({}): `{lit}` is not a literal of enum `{ety}`",
+                                        obj.class
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for a in &attrs {
+            let n = obj.attrs.get(&a.name).map_or(0, Vec::len);
+            // An unset slot with a declared default is implicitly populated
+            // by that default (EMF semantics).
+            if n == 0 && !a.default.is_empty() {
+                continue;
+            }
+            if !a.multiplicity.admits(n) {
+                out.push(format!(
+                    "{id} ({}): attribute `{}` has {n} value(s), multiplicity {}",
+                    obj.class, a.name, a.multiplicity
+                ));
+            }
+        }
+
+        // References: declared, live and class-compatible targets,
+        // multiplicity, containment bookkeeping.
+        let refs = mm.all_references(&obj.class);
+        for (name, targets) in &obj.refs {
+            match refs.iter().find(|r| &r.name == name) {
+                None => out.push(format!("{id} ({}): undeclared reference `{name}`", obj.class)),
+                Some(r) => {
+                    for t in targets {
+                        match model.object(*t) {
+                            Err(_) => out.push(format!(
+                                "{id} ({}): reference `{name}` targets dead object {t}",
+                                obj.class
+                            )),
+                            Ok(to) => {
+                                if !mm.is_subclass_of(&to.class, &r.target) {
+                                    out.push(format!(
+                                        "{id} ({}): reference `{name}` expects `{}`, got `{}` ({t})",
+                                        obj.class, r.target, to.class
+                                    ));
+                                }
+                                if r.containment {
+                                    containers.entry(*t).or_default().push(id);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for r in &refs {
+            let n = obj.refs.get(&r.name).map_or(0, Vec::len);
+            if !r.multiplicity.admits(n) {
+                out.push(format!(
+                    "{id} ({}): reference `{}` has {n} target(s), multiplicity {}",
+                    obj.class, r.name, r.multiplicity
+                ));
+            }
+        }
+    }
+
+    // Single containment.
+    for (obj, cs) in &containers {
+        if cs.len() > 1 {
+            out.push(format!("{obj}: contained by {} objects (must be at most 1)", cs.len()));
+        }
+    }
+
+    // Acyclic containment.
+    for (id, _) in model.iter() {
+        let mut cur = id;
+        let mut seen = BTreeSet::new();
+        seen.insert(cur);
+        while let Some(parents) = containers.get(&cur) {
+            let Some(&p) = parents.first() else { break };
+            if !seen.insert(p) {
+                out.push(format!("{id}: containment cycle detected"));
+                break;
+            }
+            cur = p;
+        }
+    }
+
+    // Class invariants (only for structurally-known classes).
+    for (id, obj) in model.iter() {
+        if mm.class(&obj.class).is_none() {
+            continue;
+        }
+        for c in mm.all_constraints(&obj.class) {
+            let env = EvalEnv::for_object(model, mm, id);
+            match eval_bool(&c.expr, &env) {
+                Ok(true) => {}
+                Ok(false) => out.push(format!(
+                    "{id} ({}): invariant `{}` violated: {}",
+                    obj.class, c.name, c.source
+                )),
+                Err(e) => out.push(format!(
+                    "{id} ({}): invariant `{}` failed to evaluate: {e}",
+                    obj.class, c.name
+                )),
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metamodel::{DataType, MetamodelBuilder, Multiplicity};
+    use crate::Value;
+
+    fn mm() -> Metamodel {
+        MetamodelBuilder::new("m")
+            .enumeration("Color", ["Red", "Blue"])
+            .class("Node", |c| {
+                c.attr("name", DataType::Str)
+                    .opt_attr("color", DataType::Enum("Color".into()))
+                    .invariant("named", "self.name <> null and self.name <> \"\"")
+            })
+            .class("Graph", |c| {
+                c.contains("nodes", "Node", Multiplicity::SOME)
+                    .reference("root", "Node", Multiplicity::OPT)
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn valid_model() -> Model {
+        let mut m = Model::new("m");
+        let g = m.create("Graph");
+        let n = m.create("Node");
+        m.set_attr(n, "name", Value::from("n1"));
+        m.add_ref(g, "nodes", n);
+        m
+    }
+
+    #[test]
+    fn valid_model_passes() {
+        assert!(check(&valid_model(), &mm()).is_ok());
+    }
+
+    #[test]
+    fn wrong_metamodel_name() {
+        let m = Model::new("other");
+        let v = violations(&m, &mm());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("claims metamodel"));
+    }
+
+    #[test]
+    fn unknown_class_reported() {
+        let mut m = valid_model();
+        m.create("Bogus");
+        assert!(violations(&m, &mm()).iter().any(|v| v.contains("unknown class")));
+    }
+
+    #[test]
+    fn missing_mandatory_attr() {
+        let mut m = valid_model();
+        let n2 = m.create("Node");
+        let g = m.all_of_class("Graph")[0];
+        m.add_ref(g, "nodes", n2);
+        let v = violations(&m, &mm());
+        assert!(v.iter().any(|v| v.contains("attribute `name` has 0 value(s)")));
+    }
+
+    #[test]
+    fn wrong_attr_type() {
+        let mut m = valid_model();
+        let n = m.all_of_class("Node")[0];
+        m.set_attr(n, "name", Value::from(3));
+        assert!(violations(&m, &mm()).iter().any(|v| v.contains("expects Str")));
+    }
+
+    #[test]
+    fn bad_enum_literal() {
+        let mut m = valid_model();
+        let n = m.all_of_class("Node")[0];
+        m.set_attr(n, "color", Value::enumeration("Color", "Green"));
+        assert!(violations(&m, &mm()).iter().any(|v| v.contains("not a literal")));
+    }
+
+    #[test]
+    fn undeclared_slots() {
+        let mut m = valid_model();
+        let n = m.all_of_class("Node")[0];
+        m.set_attr(n, "bogus", Value::from(1));
+        let g = m.all_of_class("Graph")[0];
+        m.add_ref(g, "bogusref", n);
+        let v = violations(&m, &mm());
+        assert!(v.iter().any(|v| v.contains("undeclared attribute")));
+        assert!(v.iter().any(|v| v.contains("undeclared reference")));
+    }
+
+    #[test]
+    fn reference_target_class_mismatch() {
+        let mut m = valid_model();
+        let g = m.all_of_class("Graph")[0];
+        m.add_ref(g, "root", g);
+        assert!(violations(&m, &mm()).iter().any(|v| v.contains("expects `Node`")));
+    }
+
+    #[test]
+    fn multiplicity_lower_bound_on_refs() {
+        let mut m = Model::new("m");
+        m.create("Graph");
+        let v = violations(&m, &mm());
+        assert!(v.iter().any(|v| v.contains("reference `nodes` has 0 target(s)")));
+    }
+
+    #[test]
+    fn double_containment_detected() {
+        let mut m = valid_model();
+        let n = m.all_of_class("Node")[0];
+        let g2 = m.create("Graph");
+        m.add_ref(g2, "nodes", n);
+        assert!(violations(&m, &mm()).iter().any(|v| v.contains("contained by 2")));
+    }
+
+    #[test]
+    fn containment_cycle_detected() {
+        let mm = MetamodelBuilder::new("m")
+            .class("Box", |c| c.contains("inner", "Box", Multiplicity::MANY))
+            .build()
+            .unwrap();
+        let mut m = Model::new("m");
+        let a = m.create("Box");
+        let b = m.create("Box");
+        m.add_ref(a, "inner", b);
+        m.add_ref(b, "inner", a);
+        assert!(violations(&m, &mm).iter().any(|v| v.contains("containment cycle")));
+    }
+
+    #[test]
+    fn invariant_violation_reported() {
+        let mut m = valid_model();
+        let n = m.all_of_class("Node")[0];
+        m.set_attr(n, "name", Value::from(""));
+        assert!(violations(&m, &mm()).iter().any(|v| v.contains("invariant `named` violated")));
+    }
+
+    #[test]
+    fn dead_reference_target() {
+        let mut m = valid_model();
+        let g = m.all_of_class("Graph")[0];
+        let n2 = m.create("Node");
+        m.set_attr(n2, "name", Value::from("x"));
+        m.add_ref(g, "root", n2);
+        // Bypass destroy()'s cleanup by rebuilding the ref afterwards.
+        m.destroy(n2, None).unwrap();
+        m.add_ref(g, "root", n2);
+        assert!(violations(&m, &mm()).iter().any(|v| v.contains("dead object")));
+    }
+}

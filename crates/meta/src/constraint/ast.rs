@@ -1,0 +1,162 @@
+//! Abstract syntax of the OCL-lite constraint language.
+
+use crate::Value;
+
+/// Binary operators, named after their OCL counterparts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (also string concatenation).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `mod`.
+    Mod,
+    /// `=`.
+    Eq,
+    /// `<>`.
+    Neq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `and` (short-circuiting).
+    And,
+    /// `or` (short-circuiting).
+    Or,
+    /// `implies` (short-circuiting, right-associative).
+    Implies,
+}
+
+impl std::fmt::Display for BinOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "mod",
+            BinOp::Eq => "=",
+            BinOp::Neq => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Implies => "implies",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// An OCL-lite expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A scalar literal.
+    Lit(Value),
+    /// The `null` literal.
+    Null,
+    /// A variable: `self`, an iterator variable, or an environment binding.
+    Var(String),
+    /// A qualified enumeration literal `Type::Literal`.
+    EnumLit(String, String),
+    /// Property navigation `recv.name` (attribute or reference).
+    Prop(Box<Expr>, String),
+    /// Method call `recv.name(args...)`, e.g. `isKindOf(Session)`.
+    Call(Box<Expr>, String, Vec<Expr>),
+    /// Collection operation `recv->op(...)`; iterator ops carry the bound
+    /// variable and body, membership ops carry an argument expression.
+    CollOp {
+        /// Receiver collection.
+        recv: Box<Expr>,
+        /// Operation name (`size`, `forAll`, `includes`, ...).
+        op: String,
+        /// Iterator variable, for `forAll(x | body)`-style operations.
+        var: Option<String>,
+        /// Body or argument expression.
+        body: Option<Box<Expr>>,
+    },
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Collects the free variables of the expression (variables not bound
+    /// by an enclosing iterator), useful for validating policies.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Expr::Lit(_) | Expr::Null | Expr::EnumLit(_, _) => {}
+            Expr::Var(v) => {
+                if !bound.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Prop(r, _) => r.collect_free(bound, out),
+            Expr::Call(r, _, args) => {
+                r.collect_free(bound, out);
+                for a in args {
+                    a.collect_free(bound, out);
+                }
+            }
+            Expr::CollOp { recv, var, body, .. } => {
+                recv.collect_free(bound, out);
+                if let Some(b) = body {
+                    if let Some(v) = var {
+                        bound.push(v.clone());
+                        b.collect_free(bound, out);
+                        bound.pop();
+                    } else {
+                        b.collect_free(bound, out);
+                    }
+                }
+            }
+            Expr::Unary(_, e) => e.collect_free(bound, out),
+            Expr::Binary(_, a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn free_vars_respect_iterator_binding() {
+        let e = crate::constraint::parse("self.xs->forAll(p | p.a > t)").unwrap();
+        assert_eq!(e.free_vars(), vec!["self".to_string(), "t".to_string()]);
+    }
+
+    #[test]
+    fn free_vars_of_literals_empty() {
+        let e = crate::constraint::parse("1 + 2.5 = 3.5 and K::L = K::L").unwrap();
+        assert!(e.free_vars().is_empty());
+    }
+}

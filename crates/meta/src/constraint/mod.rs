@@ -1,0 +1,174 @@
+//! OCL-lite: the constraint and expression language of the modeling
+//! substrate.
+//!
+//! Constraints annotate metaclasses as invariants, guard labeled-transition
+//! edges in the Synthesis layer, and express selection policies in the
+//! Controller and Broker layers. The language is a small, side-effect-free
+//! subset of OCL:
+//!
+//! ```text
+//! self.parties->size() >= 2 and self.parties->forAll(p | p.enabled)
+//! self.kind = MediaKind::Video implies self.bandwidth > 100
+//! ```
+//!
+//! * Navigation: `self.slot`, chained; single-valued slots yield scalars or
+//!   objects, multi-valued slots yield collections.
+//! * Collection operations via `->`: `size`, `isEmpty`, `notEmpty`,
+//!   `includes(e)`, `excludes(e)`, `forAll(x | e)`, `exists(x | e)`,
+//!   `select(x | e)`, `reject(x | e)`, `collect(x | e)`, `sum`, `first`.
+//! * Object test: `e.isKindOf(ClassName)`.
+//! * Operators (loosest to tightest): `implies`; `or`; `and`; `not`;
+//!   comparisons `= <> < <= > >=`; `+ -`; `* / mod`; unary `-`.
+//! * Literals: integers, floats, strings, `true`/`false`,
+//!   `EnumType::Literal`, `null`.
+//!
+//! Parse with [`parse`], evaluate with [`eval`] against an [`EvalEnv`].
+
+mod ast;
+mod eval;
+mod lexer;
+mod parser;
+
+pub use ast::{BinOp, Expr, UnOp};
+pub use eval::{eval, eval_bool, EvalEnv, Val};
+
+use crate::Result;
+
+/// Parses an OCL-lite expression.
+pub fn parse(source: &str) -> Result<Expr> {
+    let tokens = lexer::lex(source)?;
+    parser::parse_tokens(&tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metamodel::{DataType, Metamodel, MetamodelBuilder, Multiplicity};
+    use crate::model::Model;
+    use crate::Value;
+
+    fn mm() -> Metamodel {
+        MetamodelBuilder::new("m")
+            .enumeration("Kind", ["Audio", "Video"])
+            .class("Party", |c| {
+                c.attr("name", DataType::Str)
+                    .attr_default("enabled", DataType::Bool, Value::from(true))
+                    .attr("bw", DataType::Int)
+            })
+            .class("Session", |c| {
+                c.attr("kind", DataType::Enum("Kind".into()))
+                    .contains("parties", "Party", Multiplicity::MANY)
+                    .reference("owner", "Party", Multiplicity::OPT)
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn sample() -> (Metamodel, Model, crate::ObjectId) {
+        let mm = mm();
+        let mut m = Model::new("m");
+        let s = m.create("Session");
+        m.set_attr(s, "kind", Value::enumeration("Kind", "Video"));
+        for (n, bw) in [("a", 100), ("b", 250)] {
+            let p = m.create("Party");
+            m.set_attr(p, "name", Value::from(n));
+            m.set_attr(p, "enabled", Value::from(true));
+            m.set_attr(p, "bw", Value::from(bw));
+            m.add_ref(s, "parties", p);
+        }
+        (mm, m, s)
+    }
+
+    fn check(src: &str) -> bool {
+        let (mm, m, s) = sample();
+        let expr = parse(src).unwrap();
+        let env = EvalEnv::for_object(&m, &mm, s);
+        eval_bool(&expr, &env).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        assert!(check("1 + 2 * 3 = 7"));
+        assert!(check("(1 + 2) * 3 = 9"));
+        assert!(check("10 / 4 = 2"));
+        assert!(check("10.0 / 4 = 2.5"));
+        assert!(check("7 mod 3 = 1"));
+        assert!(check("-3 < 2"));
+        assert!(check("2 <> 3"));
+        assert!(check("\"ab\" = \"ab\""));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        assert!(check("true and not false"));
+        assert!(check("false or true"));
+        assert!(check("false implies false"));
+        assert!(check("not (true and false)"));
+    }
+
+    #[test]
+    fn navigation_and_collections() {
+        assert!(check("self.parties->size() = 2"));
+        assert!(check("self.parties->notEmpty()"));
+        assert!(check("self.parties->forAll(p | p.enabled)"));
+        assert!(check("self.parties->exists(p | p.bw > 200)"));
+        assert!(check("self.parties->select(p | p.bw > 200)->size() = 1"));
+        assert!(check("self.parties->reject(p | p.bw > 200)->size() = 1"));
+        assert!(check("self.parties->collect(p | p.bw)->sum() = 350"));
+        assert!(check("self.parties->collect(p | p.name)->includes(\"a\")"));
+        assert!(check("self.parties->collect(p | p.name)->excludes(\"z\")"));
+        assert!(check("self.parties->first().name = \"a\""));
+    }
+
+    #[test]
+    fn enums_and_implies() {
+        assert!(check("self.kind = Kind::Video"));
+        assert!(check("self.kind = Kind::Video implies self.parties->size() >= 2"));
+        assert!(!check("self.kind = Kind::Audio"));
+    }
+
+    #[test]
+    fn null_and_optional_refs() {
+        assert!(check("self.owner = null"));
+        assert!(!check("self.owner <> null"));
+    }
+
+    #[test]
+    fn kind_test() {
+        assert!(check("self.isKindOf(Session)"));
+        assert!(!check("self.isKindOf(Party)"));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let e = parse("1 +").unwrap_err();
+        assert!(e.to_string().contains("syntax error"));
+        assert!(parse("self.").is_err());
+        assert!(parse("->size()").is_err());
+        assert!(parse("(1").is_err());
+    }
+
+    #[test]
+    fn eval_errors() {
+        let (mm, m, s) = sample();
+        let env = EvalEnv::for_object(&m, &mm, s);
+        // Unknown variable.
+        let e = parse("nope > 1").unwrap();
+        assert!(eval(&e, &env).is_err());
+        // Division by zero.
+        let e = parse("1 / 0").unwrap();
+        assert!(eval(&e, &env).is_err());
+        // Type error: adding bool.
+        let e = parse("true + 1").unwrap();
+        assert!(eval(&e, &env).is_err());
+    }
+
+    #[test]
+    fn extra_variables_in_env() {
+        let (mm, m, s) = sample();
+        let mut env = EvalEnv::for_object(&m, &mm, s);
+        env.bind("threshold", Val::Scalar(Value::from(200)));
+        let e = parse("self.parties->exists(p | p.bw > threshold)").unwrap();
+        assert!(eval_bool(&e, &env).unwrap());
+    }
+}

@@ -1,0 +1,467 @@
+//! Model comparison: the substrate of the Synthesis layer's *model
+//! comparator*.
+//!
+//! [`diff`] compares two models of the same metamodel and produces a
+//! [`ChangeList`] — the "change list" of the MD-DSM Synthesis layer, which
+//! the change interpreter turns into control scripts. [`apply`] replays a
+//! change list onto a model; `apply(old, diff(old, new))` makes `old`
+//! equivalent to `new` (checked by [`equivalent`]).
+//!
+//! Objects are matched across models by a *key*: the value of the first
+//! present key attribute (by default `id` then `name`); unkeyed objects are
+//! matched positionally within their class.
+
+use crate::error::MetaError;
+use crate::model::{Model, ObjectId};
+use crate::{Result, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Options controlling object matching.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Attribute names tried in order to key an object.
+    pub key_attrs: Vec<String>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { key_attrs: vec!["id".into(), "name".into()] }
+    }
+}
+
+/// A stable, model-independent identity for an object: its class plus a key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectKey {
+    /// The object's class name.
+    pub class: String,
+    /// Key attribute value, or a synthesized positional key `~N`.
+    pub key: String,
+}
+
+impl std::fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.class, self.key)
+    }
+}
+
+/// One atomic model change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Change {
+    /// Create an object of `key.class` addressable as `key`.
+    Create {
+        /// Identity of the new object.
+        key: ObjectKey,
+    },
+    /// Delete the object addressed by `key`.
+    Delete {
+        /// Identity of the object to remove.
+        key: ObjectKey,
+    },
+    /// Replace the values of an attribute slot (empty = unset).
+    SetAttr {
+        /// Object addressed.
+        key: ObjectKey,
+        /// Attribute slot name.
+        attr: String,
+        /// New values.
+        values: Vec<Value>,
+    },
+    /// Replace the targets of a reference slot (empty = unset).
+    SetRefs {
+        /// Object addressed.
+        key: ObjectKey,
+        /// Reference slot name.
+        reference: String,
+        /// New targets, by key.
+        targets: Vec<ObjectKey>,
+    },
+}
+
+impl Change {
+    /// The object this change addresses.
+    pub fn subject(&self) -> &ObjectKey {
+        match self {
+            Change::Create { key }
+            | Change::Delete { key }
+            | Change::SetAttr { key, .. }
+            | Change::SetRefs { key, .. } => key,
+        }
+    }
+}
+
+/// An ordered list of changes: creations first, then slot updates, then
+/// deletions, so that reference targets always resolve during [`apply`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChangeList {
+    /// The changes, in application order.
+    pub changes: Vec<Change>,
+}
+
+impl ChangeList {
+    /// `true` when the two models were equivalent.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Iterates over the changes in application order.
+    pub fn iter(&self) -> impl Iterator<Item = &Change> {
+        self.changes.iter()
+    }
+}
+
+/// Computes the key of every live object in a model.
+pub fn keys_of(model: &Model, opts: &DiffOptions) -> BTreeMap<ObjectId, ObjectKey> {
+    let mut out = BTreeMap::new();
+    let mut ordinal: BTreeMap<String, u32> = BTreeMap::new();
+    for (id, obj) in model.iter() {
+        let key = opts
+            .key_attrs
+            .iter()
+            .find_map(|a| obj.attrs.get(a).and_then(|v| v.first()))
+            .map(|v| v.to_string());
+        let key = match key {
+            Some(k) => k,
+            None => {
+                let n = ordinal.entry(obj.class.clone()).or_insert(0);
+                let k = format!("~{n}");
+                *n += 1;
+                k
+            }
+        };
+        out.insert(id, ObjectKey { class: obj.class.clone(), key });
+    }
+    out
+}
+
+/// A canonical, id-free rendering of a model used for equivalence checks.
+pub type Canonical = BTreeMap<ObjectKey, (BTreeMap<String, Vec<Value>>, BTreeMap<String, Vec<ObjectKey>>)>;
+
+/// Canonicalizes a model: objects keyed by [`ObjectKey`], references
+/// rewritten to keys.
+pub fn canonical(model: &Model, opts: &DiffOptions) -> Canonical {
+    let keys = keys_of(model, opts);
+    let mut out = Canonical::new();
+    for (id, obj) in model.iter() {
+        let attrs = obj.attrs.clone();
+        let refs = obj
+            .refs
+            .iter()
+            .map(|(slot, targets)| {
+                (
+                    slot.clone(),
+                    targets.iter().filter_map(|t| keys.get(t).cloned()).collect::<Vec<_>>(),
+                )
+            })
+            .filter(|(_, t): &(String, Vec<ObjectKey>)| !t.is_empty())
+            .collect();
+        let attrs = attrs.into_iter().filter(|(_, v)| !v.is_empty()).collect();
+        out.insert(keys[&id].clone(), (attrs, refs));
+    }
+    out
+}
+
+/// Returns `true` if two models are equivalent up to object identity.
+pub fn equivalent(a: &Model, b: &Model, opts: &DiffOptions) -> bool {
+    canonical(a, opts) == canonical(b, opts)
+}
+
+/// Compares `old` and `new`, producing the change list that transforms
+/// `old` into `new`.
+pub fn diff(old: &Model, new: &Model, opts: &DiffOptions) -> ChangeList {
+    let co = canonical(old, opts);
+    let cn = canonical(new, opts);
+    let mut creates = Vec::new();
+    let mut updates = Vec::new();
+    let mut deletes = Vec::new();
+
+    for (key, (nattrs, nrefs)) in &cn {
+        match co.get(key) {
+            None => {
+                creates.push(Change::Create { key: key.clone() });
+                for (attr, values) in nattrs {
+                    updates.push(Change::SetAttr {
+                        key: key.clone(),
+                        attr: attr.clone(),
+                        values: values.clone(),
+                    });
+                }
+                for (reference, targets) in nrefs {
+                    updates.push(Change::SetRefs {
+                        key: key.clone(),
+                        reference: reference.clone(),
+                        targets: targets.clone(),
+                    });
+                }
+            }
+            Some((oattrs, orefs)) => {
+                for (attr, values) in nattrs {
+                    if oattrs.get(attr) != Some(values) {
+                        updates.push(Change::SetAttr {
+                            key: key.clone(),
+                            attr: attr.clone(),
+                            values: values.clone(),
+                        });
+                    }
+                }
+                for (attr, _) in oattrs {
+                    if !nattrs.contains_key(attr) {
+                        updates.push(Change::SetAttr {
+                            key: key.clone(),
+                            attr: attr.clone(),
+                            values: Vec::new(),
+                        });
+                    }
+                }
+                for (reference, targets) in nrefs {
+                    if orefs.get(reference) != Some(targets) {
+                        updates.push(Change::SetRefs {
+                            key: key.clone(),
+                            reference: reference.clone(),
+                            targets: targets.clone(),
+                        });
+                    }
+                }
+                for (reference, _) in orefs {
+                    if !nrefs.contains_key(reference) {
+                        updates.push(Change::SetRefs {
+                            key: key.clone(),
+                            reference: reference.clone(),
+                            targets: Vec::new(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for key in co.keys() {
+        if !cn.contains_key(key) {
+            deletes.push(Change::Delete { key: key.clone() });
+        }
+    }
+
+    let mut changes = creates;
+    changes.extend(updates);
+    changes.extend(deletes);
+    ChangeList { changes }
+}
+
+/// Applies a change list to a model in place.
+pub fn apply(model: &mut Model, changes: &ChangeList, opts: &DiffOptions) -> Result<()> {
+    // key -> id index, kept up to date as creations/deletions happen.
+    let mut index: BTreeMap<ObjectKey, ObjectId> =
+        keys_of(model, opts).into_iter().map(|(id, k)| (k, id)).collect();
+
+    // Positional keys (`~N`) must be assigned on creation too: track next
+    // ordinal per class.
+    let mut next_ordinal: BTreeMap<String, u32> = BTreeMap::new();
+    for key in index.keys() {
+        if let Some(n) = key.key.strip_prefix('~').and_then(|s| s.parse::<u32>().ok()) {
+            let e = next_ordinal.entry(key.class.clone()).or_insert(0);
+            *e = (*e).max(n + 1);
+        }
+    }
+
+    let resolve = |index: &BTreeMap<ObjectKey, ObjectId>, key: &ObjectKey| -> Result<ObjectId> {
+        index
+            .get(key)
+            .copied()
+            .ok_or_else(|| MetaError::ApplyFailed(format!("no object with key {key}")))
+    };
+
+    for change in &changes.changes {
+        match change {
+            Change::Create { key } => {
+                if index.contains_key(key) {
+                    return Err(MetaError::ApplyFailed(format!("object {key} already exists")));
+                }
+                let id = model.create(key.class.clone());
+                index.insert(key.clone(), id);
+            }
+            Change::Delete { key } => {
+                let id = resolve(&index, key)?;
+                model.destroy(id, None)?;
+                index.remove(key);
+            }
+            Change::SetAttr { key, attr, values } => {
+                let id = resolve(&index, key)?;
+                if values.is_empty() {
+                    model.unset_attr(id, attr);
+                } else {
+                    model.set_attr_many(id, attr.clone(), values.clone());
+                }
+            }
+            Change::SetRefs { key, reference, targets } => {
+                let id = resolve(&index, key)?;
+                let mut ids = Vec::with_capacity(targets.len());
+                for t in targets {
+                    ids.push(resolve(&index, t)?);
+                }
+                if ids.is_empty() {
+                    if let Ok(o) = model.object_mut(id) {
+                        o.refs.remove(reference);
+                    }
+                } else {
+                    model.set_refs(id, reference.clone(), ids);
+                }
+            }
+        }
+    }
+
+    // Keyed objects must remain unique; catch collisions introduced by
+    // attribute edits that changed a key attribute.
+    let keys = keys_of(model, opts);
+    let distinct: BTreeSet<_> = keys.values().collect();
+    if distinct.len() != keys.len() {
+        return Err(MetaError::ApplyFailed("duplicate object keys after apply".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> DiffOptions {
+        DiffOptions::default()
+    }
+
+    fn named(m: &mut Model, class: &str, name: &str) -> ObjectId {
+        let id = m.create(class);
+        m.set_attr(id, "name", Value::from(name));
+        id
+    }
+
+    #[test]
+    fn identical_models_produce_empty_diff() {
+        let mut a = Model::new("m");
+        named(&mut a, "Node", "x");
+        let b = a.clone();
+        assert!(diff(&a, &b, &opts()).is_empty());
+        assert!(equivalent(&a, &b, &opts()));
+    }
+
+    #[test]
+    fn create_delete_and_update_detected() {
+        let mut old = Model::new("m");
+        let a = named(&mut old, "Node", "a");
+        named(&mut old, "Node", "b");
+        let mut new = Model::new("m");
+        let a2 = named(&mut new, "Node", "a");
+        named(&mut new, "Node", "c");
+        new.set_attr(a2, "w", Value::from(5));
+        let _ = a;
+
+        let cl = diff(&old, &new, &opts());
+        assert!(cl.iter().any(|c| matches!(c, Change::Create { key } if key.key == "\"c\"")));
+        assert!(cl.iter().any(|c| matches!(c, Change::Delete { key } if key.key == "\"b\"")));
+        assert!(cl
+            .iter()
+            .any(|c| matches!(c, Change::SetAttr { attr, .. } if attr == "w")));
+    }
+
+    #[test]
+    fn diff_apply_roundtrip() {
+        let mut old = Model::new("m");
+        let a = named(&mut old, "Node", "a");
+        let b = named(&mut old, "Node", "b");
+        let g = named(&mut old, "Graph", "g");
+        old.add_ref(g, "nodes", a);
+        old.add_ref(g, "nodes", b);
+
+        let mut new = Model::new("m");
+        let b2 = named(&mut new, "Node", "b");
+        let c2 = named(&mut new, "Node", "c");
+        let g2 = named(&mut new, "Graph", "g");
+        new.add_ref(g2, "nodes", c2);
+        new.add_ref(g2, "nodes", b2);
+        new.set_attr(b2, "w", Value::from(9));
+
+        let cl = diff(&old, &new, &opts());
+        let mut patched = old.clone();
+        apply(&mut patched, &cl, &opts()).unwrap();
+        assert!(equivalent(&patched, &new, &opts()));
+        // And the reverse direction also works.
+        let back = diff(&new, &old, &opts());
+        let mut reverted = new.clone();
+        apply(&mut reverted, &back, &opts()).unwrap();
+        assert!(equivalent(&reverted, &old, &opts()));
+    }
+
+    #[test]
+    fn reference_retargeting() {
+        let mut old = Model::new("m");
+        let a = named(&mut old, "Node", "a");
+        let b = named(&mut old, "Node", "b");
+        let g = named(&mut old, "Graph", "g");
+        old.add_ref(g, "root", a);
+        let _ = b;
+
+        let mut new = old.clone();
+        let gid = new.all_of_class("Graph")[0];
+        let bid = new
+            .iter()
+            .find(|(_, o)| o.attrs.get("name").and_then(|v| v.first()) == Some(&Value::from("b")))
+            .unwrap()
+            .0;
+        new.set_refs(gid, "root", vec![bid]);
+
+        let cl = diff(&old, &new, &opts());
+        assert_eq!(cl.len(), 1);
+        let mut patched = old.clone();
+        apply(&mut patched, &cl, &opts()).unwrap();
+        assert!(equivalent(&patched, &new, &opts()));
+    }
+
+    #[test]
+    fn unkeyed_objects_match_positionally() {
+        let mut old = Model::new("m");
+        old.create("Anon");
+        old.create("Anon");
+        let mut new = Model::new("m");
+        new.create("Anon");
+        let cl = diff(&old, &new, &opts());
+        assert_eq!(cl.len(), 1);
+        assert!(matches!(&cl.changes[0], Change::Delete { .. }));
+    }
+
+    #[test]
+    fn apply_rejects_unknown_key() {
+        let mut m = Model::new("m");
+        let cl = ChangeList {
+            changes: vec![Change::Delete {
+                key: ObjectKey { class: "X".into(), key: "\"nope\"".into() },
+            }],
+        };
+        assert!(apply(&mut m, &cl, &opts()).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_duplicate_create() {
+        let mut m = Model::new("m");
+        named(&mut m, "Node", "a");
+        let cl = ChangeList {
+            changes: vec![Change::Create {
+                key: ObjectKey { class: "Node".into(), key: "\"a\"".into() },
+            }],
+        };
+        // The created object has no name attr yet, so its key would be
+        // positional; but the ChangeList addresses it by the keyed name —
+        // creating a key that already exists must fail.
+        assert!(apply(&mut m, &cl, &opts()).is_err());
+    }
+
+    #[test]
+    fn key_attr_preference_order() {
+        let mut m = Model::new("m");
+        let o = m.create("X");
+        m.set_attr(o, "name", Value::from("n"));
+        m.set_attr(o, "id", Value::from("i"));
+        let keys = keys_of(&m, &opts());
+        assert_eq!(keys[&o].key, "\"i\"");
+    }
+}

@@ -1,0 +1,65 @@
+//! Modeling substrate for MD-DSM (the paper's EMF substitute).
+//!
+//! The MD-DSM approach (Costa et al., ICDCS 2017) builds middleware *from
+//! models*: a domain-independent **metamodel** describes the admissible
+//! structure of a middleware platform, and a **model** (an instance of the
+//! metamodel) describes one concrete platform. Applications, too, are models
+//! in a domain-specific modeling language (DSML). The original prototypes
+//! relied on the Eclipse Modeling Framework; this crate provides the
+//! equivalent foundation from scratch:
+//!
+//! * [`metamodel`] — metamodels: classes, attributes, references,
+//!   enumerations, multiplicities, inheritance, and well-formedness checks.
+//! * [`model`] — dynamic model instances (the analogue of EMF's dynamic
+//!   `EObject`s) held in an arena and manipulated reflectively.
+//! * [`conformance`] — checking that a model conforms to its metamodel.
+//! * [`constraint`] — an OCL-lite expression language used for class
+//!   invariants, guard expressions, and policies.
+//! * [`text`] — a human-readable textual model format (HUTN-like) with a
+//!   hand-written lexer/parser and a writer; models round-trip.
+//! * [`diff`] — model comparison producing a [`diff::ChangeList`]; the
+//!   Synthesis layer's *model comparator* is built on this.
+//! * [`registry`] — a registry of named metamodels.
+//!
+//! # Example
+//!
+//! ```
+//! use mddsm_meta::metamodel::{DataType, MetamodelBuilder, Multiplicity};
+//! use mddsm_meta::model::Model;
+//! use mddsm_meta::Value;
+//!
+//! let mm = MetamodelBuilder::new("library")
+//!     .class("Book", |c| {
+//!         c.attr("title", DataType::Str)
+//!          .attr("pages", DataType::Int)
+//!     })
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut m = Model::new("library");
+//! let b = m.create("Book");
+//! m.set_attr(b, "title", Value::from("Middleware"));
+//! m.set_attr(b, "pages", Value::from(312));
+//! mddsm_meta::conformance::check(&m, &mm).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod constraint;
+pub mod diff;
+pub mod error;
+pub mod metamodel;
+pub mod model;
+pub mod registry;
+pub mod text;
+mod value;
+pub mod weave;
+
+pub use error::MetaError;
+pub use metamodel::Metamodel;
+pub use model::{Model, ObjectId};
+pub use value::Value;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MetaError>;

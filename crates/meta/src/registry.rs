@@ -1,0 +1,116 @@
+//! A registry of named metamodels.
+//!
+//! MD-DSM juggles several metamodels at once — the middleware metamodel,
+//! one application DSML per domain, and the control-script metamodel. The
+//! [`MetamodelRegistry`] gives every component a single place to resolve a
+//! model's `conformsTo` name to the actual [`Metamodel`].
+
+use crate::error::MetaError;
+use crate::metamodel::Metamodel;
+use crate::model::Model;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Thread-shareable registry mapping metamodel names to definitions.
+#[derive(Debug, Clone, Default)]
+pub struct MetamodelRegistry {
+    metamodels: BTreeMap<String, Arc<Metamodel>>,
+}
+
+impl MetamodelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a metamodel under its own name; replaces a previous entry
+    /// with the same name and returns it.
+    pub fn register(&mut self, mm: Metamodel) -> Option<Arc<Metamodel>> {
+        self.metamodels.insert(mm.name().to_owned(), Arc::new(mm))
+    }
+
+    /// Resolves a metamodel by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Metamodel>> {
+        self.metamodels.get(name).cloned()
+    }
+
+    /// Resolves a metamodel by name, erroring when absent.
+    pub fn get_or_err(&self, name: &str) -> Result<Arc<Metamodel>> {
+        self.get(name).ok_or_else(|| MetaError::unknown("metamodel", name))
+    }
+
+    /// Resolves the metamodel a model claims conformance to.
+    pub fn metamodel_of(&self, model: &Model) -> Result<Arc<Metamodel>> {
+        self.get_or_err(model.metamodel_name())
+    }
+
+    /// Checks a model against its registered metamodel.
+    pub fn validate(&self, model: &Model) -> Result<()> {
+        let mm = self.metamodel_of(model)?;
+        crate::conformance::check(model, &mm)
+    }
+
+    /// Names of all registered metamodels, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.metamodels.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered metamodels.
+    pub fn len(&self) -> usize {
+        self.metamodels.len()
+    }
+
+    /// Returns `true` when no metamodels are registered.
+    pub fn is_empty(&self) -> bool {
+        self.metamodels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metamodel::{DataType, MetamodelBuilder};
+    use crate::Value;
+
+    fn mm(name: &str) -> Metamodel {
+        MetamodelBuilder::new(name)
+            .class("X", |c| c.attr("name", DataType::Str))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let mut r = MetamodelRegistry::new();
+        assert!(r.is_empty());
+        r.register(mm("a"));
+        r.register(mm("b"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.names(), vec!["a", "b"]);
+        assert!(r.get("a").is_some());
+        assert!(r.get_or_err("c").is_err());
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut r = MetamodelRegistry::new();
+        assert!(r.register(mm("a")).is_none());
+        assert!(r.register(mm("a")).is_some());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn validate_through_registry() {
+        let mut r = MetamodelRegistry::new();
+        r.register(mm("a"));
+        let mut m = Model::new("a");
+        let x = m.create("X");
+        m.set_attr(x, "name", Value::from("ok"));
+        assert!(r.validate(&m).is_ok());
+        m.set_attr(x, "name", Value::from(7));
+        assert!(r.validate(&m).is_err());
+        let unknown = Model::new("zzz");
+        assert!(r.validate(&unknown).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Runtime values stored in model attributes.
+
+use crate::metamodel::DataType;
+use std::fmt;
+
+/// A scalar value held by a model object's attribute slot.
+///
+/// `Value` mirrors the primitive data types of the metamodel
+/// ([`DataType`]); enumeration values carry both the enum type name and the
+/// chosen literal so they can be conformance-checked without consulting the
+/// metamodel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A UTF-8 string.
+    Str(String),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An enumeration literal: `(enum type name, literal name)`.
+    Enum(String, String),
+}
+
+impl Value {
+    /// Returns an enumeration value.
+    pub fn enumeration(ty: impl Into<String>, literal: impl Into<String>) -> Self {
+        Value::Enum(ty.into(), literal.into())
+    }
+
+    /// Returns `true` if this value is assignable to the given data type.
+    pub fn conforms_to(&self, ty: &DataType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Str(_), DataType::Str)
+                | (Value::Int(_), DataType::Int)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Bool(_), DataType::Bool)
+        ) || matches!((self, ty), (Value::Enum(t, _), DataType::Enum(e)) if t == e)
+    }
+
+    /// Human-readable description of this value's type, for diagnostics.
+    pub fn type_name(&self) -> String {
+        match self {
+            Value::Str(_) => "Str".into(),
+            Value::Int(_) => "Int".into(),
+            Value::Float(_) => "Float".into(),
+            Value::Bool(_) => "Bool".into(),
+            Value::Enum(t, _) => format!("Enum({t})"),
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload; integers are widened.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the enum literal name, if this is a [`Value::Enum`].
+    pub fn as_enum_literal(&self) -> Option<&str> {
+        match self {
+            Value::Enum(_, l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Enum(t, l) => write!(f, "{t}::{l}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_of_primitives() {
+        assert!(Value::from("x").conforms_to(&DataType::Str));
+        assert!(Value::from(1).conforms_to(&DataType::Int));
+        assert!(Value::from(1.5).conforms_to(&DataType::Float));
+        assert!(Value::from(true).conforms_to(&DataType::Bool));
+        assert!(!Value::from(1).conforms_to(&DataType::Str));
+        assert!(!Value::from("x").conforms_to(&DataType::Bool));
+    }
+
+    #[test]
+    fn conformance_of_enums() {
+        let v = Value::enumeration("Color", "Red");
+        assert!(v.conforms_to(&DataType::Enum("Color".into())));
+        assert!(!v.conforms_to(&DataType::Enum("Shape".into())));
+        assert!(!v.conforms_to(&DataType::Str));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from(3).as_int(), Some(3));
+        assert_eq!(Value::from(3).as_float(), Some(3.0));
+        assert_eq!(Value::from(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::from("a").as_str(), Some("a"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::enumeration("C", "L").as_enum_literal(), Some("L"));
+        assert_eq!(Value::from(3).as_str(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::from("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(Value::from(3).to_string(), "3");
+        assert_eq!(Value::from(3.0).to_string(), "3.0");
+        assert_eq!(Value::from(true).to_string(), "true");
+        assert_eq!(Value::enumeration("Color", "Red").to_string(), "Color::Red");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the modeling substrate: textual round-trips,
+//! diff/apply identity, and conformance stability.
+
+use mddsm_meta::diff::{apply, diff, equivalent, DiffOptions};
+use mddsm_meta::model::Model;
+use mddsm_meta::text;
+use mddsm_meta::Value;
+use proptest::prelude::*;
+
+/// A generated model: a set of uniquely-named objects of a few classes with
+/// random attributes and random (valid) references between them.
+fn arb_model() -> impl Strategy<Value = Model> {
+    let classes = prop::sample::select(vec!["Node", "Graph", "Link"]);
+    let attr_val = prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "[a-z]{0,8}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+        // Finite floats only; NaN breaks value equality by design.
+        (-1000i32..1000).prop_map(|i| Value::Float(f64::from(i) / 8.0)),
+    ];
+    let obj = (classes, prop::collection::vec(("[a-w]{1,6}", attr_val), 0..4));
+    prop::collection::vec(obj, 0..12).prop_flat_map(|objs| {
+        let n = objs.len();
+        let refs = prop::collection::vec(
+            (0..n.max(1), "[a-w]{1,5}", prop::collection::vec(0..n.max(1), 0..3)),
+            0..6,
+        );
+        refs.prop_map(move |refs| {
+            let mut m = Model::new("mm");
+            let mut ids = Vec::new();
+            for (i, (class, attrs)) in objs.iter().enumerate() {
+                let id = m.create(*class);
+                // Unique name so diffing keys are unambiguous.
+                m.set_attr(id, "name", Value::from(format!("obj{i}")));
+                for (k, v) in attrs {
+                    if k != "name" {
+                        m.set_attr(id, k.clone(), v.clone());
+                    }
+                }
+                ids.push(id);
+            }
+            if !ids.is_empty() {
+                for (src, slot, targets) in &refs {
+                    let t: Vec<_> = targets.iter().map(|j| ids[*j]).collect();
+                    if !t.is_empty() {
+                        m.set_refs(ids[*src], slot.clone(), t);
+                    }
+                }
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn textual_roundtrip_is_identity(m in arb_model()) {
+        let written = text::write(&m);
+        let parsed = text::parse(&written).expect("written model must parse");
+        prop_assert_eq!(&m, &parsed);
+        // And writing again is stable (canonical form).
+        prop_assert_eq!(written, text::write(&parsed));
+    }
+
+    #[test]
+    fn diff_of_model_with_itself_is_empty(m in arb_model()) {
+        let opts = DiffOptions::default();
+        prop_assert!(diff(&m, &m, &opts).is_empty());
+        prop_assert!(equivalent(&m, &m, &opts));
+    }
+
+    #[test]
+    fn diff_apply_reaches_target(a in arb_model(), b in arb_model()) {
+        let opts = DiffOptions::default();
+        let cl = diff(&a, &b, &opts);
+        let mut patched = a.clone();
+        apply(&mut patched, &cl, &opts).expect("apply must succeed");
+        prop_assert!(equivalent(&patched, &b, &opts),
+            "apply(diff(a,b)) must be equivalent to b\nchanges: {:?}", cl);
+        // Empty diff afterwards.
+        prop_assert!(diff(&patched, &b, &opts).is_empty());
+    }
+
+    #[test]
+    fn diff_size_bounded_by_total_objects(a in arb_model(), b in arb_model()) {
+        // Each object contributes at most 1 create/delete plus one change
+        // per touched slot; a gross upper bound is objects * (slots + 1).
+        let opts = DiffOptions::default();
+        let cl = diff(&a, &b, &opts);
+        let slots = |m: &Model| m.iter()
+            .map(|(_, o)| o.attrs.len() + o.refs.len() + 1)
+            .sum::<usize>();
+        prop_assert!(cl.len() <= slots(&a) + slots(&b));
+    }
+
+    #[test]
+    fn weave_with_empty_is_identity(m in arb_model()) {
+        let empty = Model::new("mm");
+        let w = mddsm_meta::weave::weave(&[m.clone(), empty]).expect("no conflicts");
+        let opts = DiffOptions::default();
+        prop_assert!(equivalent(&w, &m, &opts));
+    }
+
+    #[test]
+    fn weave_is_idempotent(m in arb_model()) {
+        let w = mddsm_meta::weave::weave(&[m.clone(), m.clone()]).expect("self-weave agrees");
+        let opts = DiffOptions::default();
+        prop_assert!(equivalent(&w, &m, &opts));
+    }
+
+    #[test]
+    fn constraint_parser_never_panics(src in "[ -~]{0,40}") {
+        let _ = mddsm_meta::constraint::parse(&src);
+    }
+
+    #[test]
+    fn text_parser_never_panics(src in "[ -~\\n]{0,80}") {
+        let _ = text::parse(&src);
+    }
+}

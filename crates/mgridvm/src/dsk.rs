@@ -1,0 +1,306 @@
+//! MGridVM domain knowledge: DSCs, procedures, the synthesis LTS, and the
+//! command map — the microgrid counterpart of the CVM artifacts, executed
+//! by the *identical* domain-independent Controller engine (the §VII-B
+//! separation-of-concerns claim).
+
+use mddsm_controller::actions::ActionOutcome;
+use mddsm_controller::procedure::{ExecutionUnit, Instr, Operand, ProcMeta, Procedure};
+use mddsm_controller::{ActionRegistry, DscRegistry, ProcedureRepository};
+use mddsm_synthesis::lts::{ChangePattern, CommandTemplate};
+use mddsm_synthesis::{Lts, LtsBuilder};
+
+/// The microgrid DSC taxonomy.
+pub fn mgrid_dscs() -> DscRegistry {
+    let mut d = DscRegistry::new();
+    for (id, parent, desc) in [
+        ("ConfigurePlant", None, "attach/detach plant equipment"),
+        ("AttachSource", Some("ConfigurePlant"), "bring a source under management"),
+        ("AttachLoad", Some("ConfigurePlant"), "bring a load under management"),
+        ("DetachLoad", Some("ConfigurePlant"), "remove a load"),
+        ("SwitchLoad", None, "enable/disable a load"),
+        ("BalanceEnergy", None, "run the energy-management dispatch"),
+        ("ConfigureStorage", None, "configure the battery bank"),
+    ] {
+        d.operation(id, parent, desc).expect("unique DSC");
+    }
+    d.data("PlantState", None, "metered plant state").expect("unique DSC");
+    d
+}
+
+fn plant_call(op: &str, args: &[(&str, Operand)]) -> Instr {
+    Instr::BrokerCall {
+        api: "plant".into(),
+        op: op.into(),
+        args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+    }
+}
+
+/// The microgrid procedure repository.
+pub fn mgrid_procedures() -> ProcedureRepository {
+    let mut r = ProcedureRepository::new();
+    let a = Operand::arg;
+
+    r.add(Procedure {
+        id: "attachSource".into(),
+        classifier: "AttachSource".into(),
+        dependencies: vec![],
+        meta: ProcMeta::default(),
+        eus: vec![ExecutionUnit::new(
+            "main",
+            vec![
+                plant_call(
+                    "attachSource",
+                    &[("name", a("name")), ("kind", a("kind")), ("capacityKw", a("capacityKw"))],
+                ),
+                Instr::Complete,
+            ],
+        )],
+    })
+    .expect("unique procedure");
+
+    r.add(Procedure {
+        id: "attachLoad".into(),
+        classifier: "AttachLoad".into(),
+        // Attaching a load immediately rebalances the plant.
+        dependencies: vec!["BalanceEnergy".into()],
+        meta: ProcMeta::default(),
+        eus: vec![ExecutionUnit::new(
+            "main",
+            vec![
+                plant_call(
+                    "attachLoad",
+                    &[("name", a("name")), ("demandKw", a("demandKw")), ("priority", a("priority"))],
+                ),
+                Instr::CallDep(0),
+                Instr::Complete,
+            ],
+        )],
+    })
+    .expect("unique procedure");
+
+    r.add(Procedure {
+        id: "detachLoad".into(),
+        classifier: "DetachLoad".into(),
+        dependencies: vec!["BalanceEnergy".into()],
+        meta: ProcMeta::default(),
+        eus: vec![ExecutionUnit::new(
+            "main",
+            vec![plant_call("detachLoad", &[("name", a("name"))]), Instr::CallDep(0), Instr::Complete],
+        )],
+    })
+    .expect("unique procedure");
+
+    r.add(Procedure {
+        id: "switchLoad".into(),
+        classifier: "SwitchLoad".into(),
+        dependencies: vec!["BalanceEnergy".into()],
+        meta: ProcMeta::default(),
+        eus: vec![ExecutionUnit::new(
+            "main",
+            vec![
+                plant_call("switchLoad", &[("name", a("name")), ("enabled", a("enabled"))]),
+                Instr::CallDep(0),
+                Instr::Complete,
+            ],
+        )],
+    })
+    .expect("unique procedure");
+
+    r.add(Procedure {
+        id: "balanceGreedy".into(),
+        classifier: "BalanceEnergy".into(),
+        dependencies: vec![],
+        meta: ProcMeta { cost: 1.0, reliability: 0.98, memory: 1.0, requires: vec![] },
+        eus: vec![ExecutionUnit::new(
+            "main",
+            vec![
+                plant_call("dispatch", &[("hours", Operand::lit("1"))]),
+                Instr::SetVar { name: "shed".into(), value: Operand::var("result.shed") },
+                Instr::IfVar {
+                    var: "shed".into(),
+                    equals: "".into(),
+                    then: vec![],
+                    otherwise: vec![Instr::EmitEvent {
+                        topic: "loadsShed".into(),
+                        payload: vec![("loads".into(), Operand::var("shed"))],
+                    }],
+                },
+                Instr::Complete,
+            ],
+        )],
+    })
+    .expect("unique procedure");
+
+    // A finer-grained balancer: meters first, then dispatches over a
+    // shorter horizon; dearer but more reliable (candidate alternative).
+    r.add(Procedure {
+        id: "balanceMetered".into(),
+        classifier: "BalanceEnergy".into(),
+        dependencies: vec![],
+        meta: ProcMeta { cost: 2.0, reliability: 0.995, memory: 1.5, requires: vec![] },
+        eus: vec![ExecutionUnit::new(
+            "main",
+            vec![
+                plant_call("meter", &[]),
+                plant_call("dispatch", &[("hours", Operand::lit("0.25"))]),
+                Instr::Complete,
+            ],
+        )],
+    })
+    .expect("unique procedure");
+
+    r.add(Procedure {
+        id: "configureStorage".into(),
+        classifier: "ConfigureStorage".into(),
+        dependencies: vec![],
+        meta: ProcMeta::default(),
+        eus: vec![ExecutionUnit::new(
+            "main",
+            vec![
+                plant_call(
+                    "battery",
+                    &[("capacityKwh", a("capacityKwh")), ("chargeKwh", a("chargeKwh"))],
+                ),
+                Instr::Complete,
+            ],
+        )],
+    })
+    .expect("unique procedure");
+    r
+}
+
+/// Case-1 fast action: the load switch is latency-critical (a light
+/// switch must not wait for IM generation).
+pub fn mgrid_actions() -> ActionRegistry {
+    let mut actions = ActionRegistry::new();
+    actions.register("fastSwitch", "SwitchLoad", |cmd, port| {
+        let mut out = ActionOutcome::default();
+        let args: Vec<(String, String)> = vec![
+            ("name".into(), cmd.arg("name").unwrap_or("").to_owned()),
+            ("enabled".into(), cmd.arg("enabled").unwrap_or("true").to_owned()),
+        ];
+        let resp = port.invoke("plant", "switchLoad", &args);
+        out.absorb(resp, "fastSwitch", "plant", "switchLoad")?;
+        let resp = port.invoke("plant", "dispatch", &[("hours".into(), "1".into())]);
+        out.absorb(resp, "fastSwitch", "plant", "dispatch")?;
+        Ok(out)
+    });
+    actions
+}
+
+/// Command → DSC map.
+pub fn mgrid_command_map() -> Vec<(String, String)> {
+    [
+        ("attachSource", "AttachSource"),
+        ("attachLoad", "AttachLoad"),
+        ("detachLoad", "DetachLoad"),
+        ("switchLoad", "SwitchLoad"),
+        ("configureStorage", "ConfigureStorage"),
+        ("rebalance", "BalanceEnergy"),
+    ]
+    .iter()
+    .map(|(c, d)| ((*c).to_owned(), (*d).to_owned()))
+    .collect()
+}
+
+/// The MGridML synthesis LTS: a single `managing` state whose transitions
+/// map model edits to plant commands — microgrid management is mode-free,
+/// unlike the session-oriented communication domain.
+pub fn mgrid_lts() -> Lts {
+    LtsBuilder::new()
+        .state("managing")
+        .initial("managing")
+        .transition("managing", "managing", ChangePattern::create("PowerSource"), |t| {
+            t.emit(
+                CommandTemplate::new("attachSource", "$key")
+                    .with("name", "$attr_name")
+                    .with("kind", "$attr_kind")
+                    .with("capacityKw", "$attr_capacityKw"),
+            )
+        })
+        .transition("managing", "managing", ChangePattern::set_attr("PowerSource", "capacityKw").on_existing(), |t| {
+            t.emit(
+                CommandTemplate::new("attachSource", "$key")
+                    .with("name", "$id")
+                    .with("kind", "Solar")
+                    .with("capacityKw", "$value"),
+            )
+        })
+        .transition("managing", "managing", ChangePattern::create("Load"), |t| {
+            t.emit(
+                CommandTemplate::new("attachLoad", "$key")
+                    .with("name", "$attr_name")
+                    .with("demandKw", "$attr_demandKw")
+                    .with("priority", "$attr_priority"),
+            )
+        })
+        .transition("managing", "managing", ChangePattern::set_attr("Load", "demandKw").on_existing(), |t| {
+            t.emit(
+                CommandTemplate::new("attachLoad", "$key")
+                    .with("name", "$id")
+                    .with("demandKw", "$value")
+                    .with("priority", "Normal"),
+            )
+        })
+        .transition("managing", "managing", ChangePattern::set_attr("Load", "enabled").on_existing(), |t| {
+            t.emit(
+                CommandTemplate::new("switchLoad", "$key")
+                    .with("name", "$id")
+                    .with("enabled", "$value"),
+            )
+        })
+        .transition("managing", "managing", ChangePattern::delete("Load"), |t| {
+            t.emit(CommandTemplate::new("detachLoad", "$key").with("name", "$id"))
+        })
+        .transition("managing", "managing", ChangePattern::set_attr("StorageUnit", "chargeKwh").on_existing(), |t| {
+            t.emit(
+                CommandTemplate::new("configureStorage", "$key")
+                    .with("capacityKwh", "10")
+                    .with("chargeKwh", "$value"),
+            )
+        })
+        .build()
+        .expect("MGrid LTS is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_controller::{ControllerContext, DscId, GenerationConfig};
+
+    #[test]
+    fn artifacts_consistent() {
+        mgrid_procedures().validate(&mgrid_dscs()).unwrap();
+        for (_, d) in mgrid_command_map() {
+            assert!(mgrid_dscs().get(&DscId::new(d.clone())).is_some(), "{d}");
+        }
+    }
+
+    #[test]
+    fn attach_load_composes_with_balancer() {
+        let im = mddsm_controller::intent::generate(
+            &DscId::new("AttachLoad"),
+            &mgrid_procedures(),
+            &mgrid_dscs(),
+            &ControllerContext::new(),
+            &GenerationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(im.render(), "attachLoad(balanceGreedy)");
+    }
+
+    #[test]
+    fn balancer_failure_switches_to_metered() {
+        let mut ctx = ControllerContext::new();
+        ctx.mark_failed("balanceGreedy");
+        let im = mddsm_controller::intent::generate(
+            &DscId::new("BalanceEnergy"),
+            &mgrid_procedures(),
+            &mgrid_dscs(),
+            &ctx,
+            &GenerationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(im.render(), "balanceMetered");
+    }
+}

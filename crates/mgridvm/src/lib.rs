@@ -1,0 +1,28 @@
+//! Smart-microgrid domain for MD-DSM: MGridML and the Microgrid Virtual
+//! Machine (§IV-B).
+//!
+//! "The user expresses the configuration requirements of the microgrid,
+//! which may be a home, using MGridML and the MGridVM interprets the model
+//! to realize the state of the system." Unlike the communication domain,
+//! microgrid models follow *centralized* application semantics: a shared
+//! main processing unit, accessibility to all resources, high resource
+//! utilization.
+//!
+//! * [`mgridml`] — the MGridML metamodel: power sources, storage units,
+//!   loads with priorities, and energy policies, with physical invariants.
+//! * [`plant`] — the simulated plant: sources, batteries, and loads behind
+//!   a hardware-broker call surface, including a greedy energy-dispatch
+//!   algorithm (renewables → storage → grid, shedding deferrable loads on
+//!   deficit) standing in for the paper's "energy management algorithms".
+//! * [`dsk`] — the MGridVM domain knowledge: DSCs, procedures, the
+//!   synthesis LTS, and the command map.
+//! * [`platform`] — the assembled MGridVM (MUI/MSE/MCM/MHB stack).
+
+#![warn(missing_docs)]
+
+pub mod dsk;
+pub mod mgridml;
+pub mod plant;
+pub mod platform;
+
+pub use platform::build_mgridvm;

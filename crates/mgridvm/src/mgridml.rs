@@ -1,0 +1,119 @@
+//! The Microgrid Modeling Language (MGridML).
+
+use mddsm_meta::metamodel::{DataType, Metamodel, MetamodelBuilder, Multiplicity};
+use mddsm_meta::Value;
+
+/// Name of the MGridML metamodel.
+pub const MGRIDML: &str = "mgridml";
+
+/// Builds the MGridML metamodel: a microgrid owns power sources, storage
+/// units, loads, and an energy policy. Invariants capture physical
+/// plausibility (non-negative capacities, charge within capacity).
+pub fn mgridml_metamodel() -> Metamodel {
+    MetamodelBuilder::new(MGRIDML)
+        .enumeration("SourceKind", ["Solar", "Wind", "Grid", "Generator"])
+        .enumeration("LoadPriority", ["Critical", "Normal", "Deferrable"])
+        .enumeration("Objective", ["MinimizeCost", "MaximizeGreen", "Resilience"])
+        .class("Microgrid", |c| {
+            c.attr("name", DataType::Str)
+                .contains("sources", "PowerSource", Multiplicity::MANY)
+                .contains("storage", "StorageUnit", Multiplicity::MANY)
+                .contains("loads", "Load", Multiplicity::MANY)
+                .contains("policy", "EnergyPolicy", Multiplicity::OPT)
+        })
+        .class("PowerSource", |c| {
+            c.attr("name", DataType::Str)
+                .attr("kind", DataType::Enum("SourceKind".into()))
+                .attr("capacityKw", DataType::Float)
+                .attr_default("online", DataType::Bool, Value::from(true))
+                .invariant("capacity-positive", "self.capacityKw > 0.0")
+        })
+        .class("StorageUnit", |c| {
+            c.attr("name", DataType::Str)
+                .attr("capacityKwh", DataType::Float)
+                .attr_default("chargeKwh", DataType::Float, Value::from(0.0))
+                .invariant("charge-within-capacity", "self.chargeKwh >= 0.0 and self.chargeKwh <= self.capacityKwh")
+        })
+        .class("Load", |c| {
+            c.attr("name", DataType::Str)
+                .attr("demandKw", DataType::Float)
+                .attr_default(
+                    "priority",
+                    DataType::Enum("LoadPriority".into()),
+                    Value::enumeration("LoadPriority", "Normal"),
+                )
+                .attr_default("enabled", DataType::Bool, Value::from(true))
+                .invariant("demand-non-negative", "self.demandKw >= 0.0")
+        })
+        .class("EnergyPolicy", |c| {
+            c.attr("name", DataType::Str)
+                .attr_default(
+                    "objective",
+                    DataType::Enum("Objective".into()),
+                    Value::enumeration("Objective", "MinimizeCost"),
+                )
+        })
+        .build()
+        .expect("MGridML metamodel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_meta::conformance;
+    use mddsm_meta::model::Model;
+
+    fn home() -> Model {
+        let mut m = Model::new(MGRIDML);
+        let g = m.create("Microgrid");
+        m.set_attr(g, "name", Value::from("home"));
+        let pv = m.create("PowerSource");
+        m.set_attr(pv, "name", Value::from("roofPV"));
+        m.set_attr(pv, "kind", Value::enumeration("SourceKind", "Solar"));
+        m.set_attr(pv, "capacityKw", Value::from(5.0));
+        let batt = m.create("StorageUnit");
+        m.set_attr(batt, "name", Value::from("battery"));
+        m.set_attr(batt, "capacityKwh", Value::from(10.0));
+        m.set_attr(batt, "chargeKwh", Value::from(4.0));
+        let hvac = m.create("Load");
+        m.set_attr(hvac, "name", Value::from("hvac"));
+        m.set_attr(hvac, "demandKw", Value::from(2.5));
+        m.add_ref(g, "sources", pv);
+        m.add_ref(g, "storage", batt);
+        m.add_ref(g, "loads", hvac);
+        m
+    }
+
+    #[test]
+    fn valid_microgrid_conforms() {
+        conformance::check(&home(), &mgridml_metamodel()).unwrap();
+    }
+
+    #[test]
+    fn physical_invariants_enforced() {
+        let mm = mgridml_metamodel();
+        let mut m = home();
+        let batt = m.all_of_class("StorageUnit")[0];
+        m.set_attr(batt, "chargeKwh", Value::from(99.0));
+        assert!(conformance::check(&m, &mm).is_err());
+        let mut m = home();
+        let pv = m.all_of_class("PowerSource")[0];
+        m.set_attr(pv, "capacityKw", Value::from(-1.0));
+        assert!(conformance::check(&m, &mm).is_err());
+        let mut m = home();
+        let l = m.all_of_class("Load")[0];
+        m.set_attr(l, "demandKw", Value::from(-0.1));
+        assert!(conformance::check(&m, &mm).is_err());
+    }
+
+    #[test]
+    fn defaults_make_minimal_models_valid() {
+        let mm = mgridml_metamodel();
+        let mut m = Model::new(MGRIDML);
+        let l = m.create("Load");
+        m.set_attr(l, "name", Value::from("light"));
+        m.set_attr(l, "demandKw", Value::from(0.1));
+        // priority/enabled come from defaults.
+        conformance::check(&m, &mm).unwrap();
+    }
+}

@@ -1,0 +1,488 @@
+//! The simulated microgrid plant: the hardware behind the MHB.
+//!
+//! Substitutes the paper's physical plant controllers and smart devices. The
+//! plant tracks sources, a battery bank, and loads, and implements a greedy
+//! energy-dispatch algorithm — the "energy management algorithms" the MCM
+//! applies (§IV-B): renewable generation first, then storage discharge,
+//! then grid import; on deficit, deferrable loads are shed before normal
+//! ones, and critical loads are never shed.
+
+use mddsm_sim::resource::{Args, Outcome};
+use mddsm_sim::{LatencyModel, ResourceHub, SimDuration};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Kind of a power source (mirrors the MGridML enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Photovoltaic.
+    Solar,
+    /// Wind turbine.
+    Wind,
+    /// Utility grid import.
+    Grid,
+    /// Fossil generator.
+    Generator,
+}
+
+impl SourceKind {
+    fn parse(s: &str) -> Option<SourceKind> {
+        match s {
+            "Solar" => Some(SourceKind::Solar),
+            "Wind" => Some(SourceKind::Wind),
+            "Grid" => Some(SourceKind::Grid),
+            "Generator" => Some(SourceKind::Generator),
+            _ => None,
+        }
+    }
+
+    /// Renewables dispatch before storage; grid/generator after.
+    pub fn is_renewable(self) -> bool {
+        matches!(self, SourceKind::Solar | SourceKind::Wind)
+    }
+}
+
+/// Load priority (mirrors the MGridML enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LoadPriority {
+    /// Shed first.
+    Deferrable,
+    /// Shed only after all deferrable loads.
+    Normal,
+    /// Never shed.
+    Critical,
+}
+
+impl LoadPriority {
+    fn parse(s: &str) -> Option<LoadPriority> {
+        match s {
+            "Critical" => Some(LoadPriority::Critical),
+            "Normal" => Some(LoadPriority::Normal),
+            "Deferrable" => Some(LoadPriority::Deferrable),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Source {
+    kind: SourceKind,
+    capacity_kw: f64,
+    online: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Load {
+    demand_kw: f64,
+    priority: LoadPriority,
+    enabled: bool,
+    shed: bool,
+}
+
+/// Result of one dispatch round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispatch {
+    /// Total demand of enabled, unshed loads (kW).
+    pub demand_kw: f64,
+    /// Power drawn from renewables (kW).
+    pub renewable_kw: f64,
+    /// Power drawn from storage (kW).
+    pub storage_kw: f64,
+    /// Power imported from grid/generator (kW).
+    pub import_kw: f64,
+    /// Loads shed this round, in shedding order.
+    pub shed: Vec<String>,
+}
+
+/// The plant state and dispatch algorithm.
+#[derive(Debug, Default)]
+pub struct Plant {
+    sources: BTreeMap<String, Source>,
+    loads: BTreeMap<String, Load>,
+    battery_capacity_kwh: f64,
+    battery_charge_kwh: f64,
+    dispatches: u64,
+}
+
+impl Plant {
+    /// Creates an empty plant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches (or replaces) a source.
+    pub fn attach_source(&mut self, name: &str, kind: SourceKind, capacity_kw: f64) {
+        self.sources.insert(name.to_owned(), Source { kind, capacity_kw, online: true });
+    }
+
+    /// Sets a source online/offline; `false` if unknown.
+    pub fn set_source_online(&mut self, name: &str, online: bool) -> bool {
+        match self.sources.get_mut(name) {
+            Some(s) => {
+                s.online = online;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Attaches (or replaces) a load.
+    pub fn attach_load(&mut self, name: &str, demand_kw: f64, priority: LoadPriority) {
+        self.loads
+            .insert(name.to_owned(), Load { demand_kw, priority, enabled: true, shed: false });
+    }
+
+    /// Enables/disables a load; `false` if unknown.
+    pub fn set_load_enabled(&mut self, name: &str, enabled: bool) -> bool {
+        match self.loads.get_mut(name) {
+            Some(l) => {
+                l.enabled = enabled;
+                if enabled {
+                    l.shed = false;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Detaches a load; `false` if unknown.
+    pub fn detach_load(&mut self, name: &str) -> bool {
+        self.loads.remove(name).is_some()
+    }
+
+    /// Detaches a source; `false` if unknown.
+    pub fn detach_source(&mut self, name: &str) -> bool {
+        self.sources.remove(name).is_some()
+    }
+
+    /// Configures the battery bank.
+    pub fn set_battery(&mut self, capacity_kwh: f64, charge_kwh: f64) {
+        self.battery_capacity_kwh = capacity_kwh.max(0.0);
+        self.battery_charge_kwh = charge_kwh.clamp(0.0, self.battery_capacity_kwh);
+    }
+
+    /// Battery state `(capacity, charge)` in kWh.
+    pub fn battery(&self) -> (f64, f64) {
+        (self.battery_capacity_kwh, self.battery_charge_kwh)
+    }
+
+    /// Number of dispatch rounds run.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// One dispatch round over `hours` of operation: serve demand from
+    /// renewables, then battery, then grid/generator import; shed
+    /// deferrable, then normal loads if import capacity cannot cover the
+    /// residual. Surplus renewable power charges the battery.
+    pub fn dispatch(&mut self, hours: f64) -> Dispatch {
+        self.dispatches += 1;
+        let hours = hours.max(0.0);
+        // Un-shed everything; shedding is re-decided every round.
+        for l in self.loads.values_mut() {
+            if l.enabled {
+                l.shed = false;
+            }
+        }
+        let renewable_cap: f64 = self
+            .sources
+            .values()
+            .filter(|s| s.online && s.kind.is_renewable())
+            .map(|s| s.capacity_kw)
+            .sum();
+        let import_cap: f64 = self
+            .sources
+            .values()
+            .filter(|s| s.online && !s.kind.is_renewable())
+            .map(|s| s.capacity_kw)
+            .sum();
+        let battery_kw = if hours > 0.0 { self.battery_charge_kwh / hours } else { 0.0 };
+
+        let mut shed = Vec::new();
+        loop {
+            let demand: f64 = self
+                .loads
+                .values()
+                .filter(|l| l.enabled && !l.shed)
+                .map(|l| l.demand_kw)
+                .sum();
+            let deficit = demand - (renewable_cap + battery_kw + import_cap);
+            if deficit <= 1e-9 {
+                let renewable_kw = demand.min(renewable_cap);
+                let storage_kw = (demand - renewable_kw).min(battery_kw).max(0.0);
+                let import_kw = (demand - renewable_kw - storage_kw).max(0.0);
+                // Battery bookkeeping: discharge what was used; charge from
+                // renewable surplus.
+                self.battery_charge_kwh =
+                    (self.battery_charge_kwh - storage_kw * hours).max(0.0);
+                let surplus = (renewable_cap - renewable_kw).max(0.0);
+                self.battery_charge_kwh = (self.battery_charge_kwh + surplus * hours)
+                    .min(self.battery_capacity_kwh);
+                self.dispatches += 0;
+                return Dispatch { demand_kw: demand, renewable_kw, storage_kw, import_kw, shed };
+            }
+            // Shed the lowest-priority, largest load still running.
+            let victim = self
+                .loads
+                .iter()
+                .filter(|(_, l)| l.enabled && !l.shed && l.priority != LoadPriority::Critical)
+                .min_by(|(an, a), (bn, b)| {
+                    (a.priority, std::cmp::Reverse((a.demand_kw * 1000.0) as i64), an.as_str())
+                        .cmp(&(b.priority, std::cmp::Reverse((b.demand_kw * 1000.0) as i64), bn.as_str()))
+                })
+                .map(|(n, _)| n.clone());
+            match victim {
+                Some(name) => {
+                    if let Some(l) = self.loads.get_mut(&name) {
+                        l.shed = true;
+                    }
+                    shed.push(name);
+                }
+                None => {
+                    // Only critical loads remain: serve what we can.
+                    let demand: f64 = self
+                        .loads
+                        .values()
+                        .filter(|l| l.enabled && !l.shed)
+                        .map(|l| l.demand_kw)
+                        .sum();
+                    let renewable_kw = demand.min(renewable_cap);
+                    let storage_kw = (demand - renewable_kw).min(battery_kw).max(0.0);
+                    let import_kw =
+                        (demand - renewable_kw - storage_kw).max(0.0).min(import_cap);
+                    self.battery_charge_kwh =
+                        (self.battery_charge_kwh - storage_kw * hours).max(0.0);
+                    return Dispatch {
+                        demand_kw: demand,
+                        renewable_kw,
+                        storage_kw,
+                        import_kw,
+                        shed,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// A shared handle to a plant, cloneable across resource closures.
+pub type SharedPlant = Arc<Mutex<Plant>>;
+
+/// Creates a shared plant.
+pub fn shared_plant() -> SharedPlant {
+    Arc::new(Mutex::new(Plant::new()))
+}
+
+fn arg<'a>(args: &'a Args, key: &str) -> &'a str {
+    args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str()).unwrap_or("")
+}
+
+fn farg(args: &Args, key: &str) -> f64 {
+    arg(args, key).parse().unwrap_or(0.0)
+}
+
+/// Registers the plant as the `sim.plant` resource (the MHB's hardware
+/// surface): `attachSource`, `attachLoad`, `detachLoad`, `switchLoad`,
+/// `switchSource`, `battery`, `dispatch`, `meter`.
+pub fn register_plant(hub: &mut ResourceHub, plant: SharedPlant) {
+    hub.register(
+        "sim.plant",
+        LatencyModel::uniform_ms(1, 4),
+        SimDuration::from_millis(500),
+        Box::new(move |op: &str, args: &Args| {
+            let mut plant = plant.lock().expect("plant lock");
+            match op {
+                "attachSource" => {
+                    let kind = match SourceKind::parse(arg(args, "kind")) {
+                        Some(k) => k,
+                        None => return Outcome::Failed(format!("bad source kind `{}`", arg(args, "kind"))),
+                    };
+                    plant.attach_source(arg(args, "name"), kind, farg(args, "capacityKw"));
+                    Outcome::ok()
+                }
+                "attachLoad" => {
+                    let p = LoadPriority::parse(arg(args, "priority"))
+                        .unwrap_or(LoadPriority::Normal);
+                    plant.attach_load(arg(args, "name"), farg(args, "demandKw"), p);
+                    Outcome::ok()
+                }
+                "detachLoad" => {
+                    if plant.detach_load(arg(args, "name")) {
+                        Outcome::ok()
+                    } else {
+                        Outcome::Failed(format!("unknown load `{}`", arg(args, "name")))
+                    }
+                }
+                "detachSource" => {
+                    if plant.detach_source(arg(args, "name")) {
+                        Outcome::ok()
+                    } else {
+                        Outcome::Failed(format!("unknown source `{}`", arg(args, "name")))
+                    }
+                }
+                "switchLoad" => {
+                    let on = arg(args, "enabled") == "true";
+                    if plant.set_load_enabled(arg(args, "name"), on) {
+                        Outcome::ok()
+                    } else {
+                        Outcome::Failed(format!("unknown load `{}`", arg(args, "name")))
+                    }
+                }
+                "switchSource" => {
+                    let on = arg(args, "online") == "true";
+                    if plant.set_source_online(arg(args, "name"), on) {
+                        Outcome::ok()
+                    } else {
+                        Outcome::Failed(format!("unknown source `{}`", arg(args, "name")))
+                    }
+                }
+                "battery" => {
+                    plant.set_battery(farg(args, "capacityKwh"), farg(args, "chargeKwh"));
+                    Outcome::ok()
+                }
+                "dispatch" => {
+                    let d = plant.dispatch(farg(args, "hours").max(f64::MIN_POSITIVE));
+                    let mut out = BTreeMap::new();
+                    out.insert("demandKw".into(), format!("{:.3}", d.demand_kw));
+                    out.insert("renewableKw".into(), format!("{:.3}", d.renewable_kw));
+                    out.insert("storageKw".into(), format!("{:.3}", d.storage_kw));
+                    out.insert("importKw".into(), format!("{:.3}", d.import_kw));
+                    out.insert("shed".into(), d.shed.join(","));
+                    Outcome::Ok(out)
+                }
+                "meter" => {
+                    let (cap, charge) = plant.battery();
+                    let mut out = BTreeMap::new();
+                    out.insert("batteryCapacityKwh".into(), format!("{cap:.3}"));
+                    out.insert("batteryChargeKwh".into(), format!("{charge:.3}"));
+                    out.insert("dispatches".into(), plant.dispatches().to_string());
+                    Outcome::Ok(out)
+                }
+                other => Outcome::Failed(format!("plant: unknown op `{other}`")),
+            }
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plant_with(sources: &[(&str, SourceKind, f64)], loads: &[(&str, f64, LoadPriority)]) -> Plant {
+        let mut p = Plant::new();
+        for (n, k, c) in sources {
+            p.attach_source(n, *k, *c);
+        }
+        for (n, d, pr) in loads {
+            p.attach_load(n, *d, *pr);
+        }
+        p
+    }
+
+    #[test]
+    fn renewables_dispatch_first() {
+        let mut p = plant_with(
+            &[("pv", SourceKind::Solar, 5.0), ("grid", SourceKind::Grid, 10.0)],
+            &[("hvac", 3.0, LoadPriority::Normal)],
+        );
+        let d = p.dispatch(1.0);
+        assert_eq!(d.renewable_kw, 3.0);
+        assert_eq!(d.import_kw, 0.0);
+        assert!(d.shed.is_empty());
+    }
+
+    #[test]
+    fn storage_before_import_and_surplus_charges() {
+        let mut p = plant_with(
+            &[("pv", SourceKind::Solar, 2.0), ("grid", SourceKind::Grid, 10.0)],
+            &[("hvac", 3.0, LoadPriority::Normal)],
+        );
+        p.set_battery(10.0, 5.0);
+        let d = p.dispatch(1.0);
+        assert_eq!(d.renewable_kw, 2.0);
+        assert_eq!(d.storage_kw, 1.0);
+        assert_eq!(d.import_kw, 0.0);
+        let (_, charge) = p.battery();
+        assert!((charge - 4.0).abs() < 1e-9);
+        // With demand below renewables, surplus charges the battery.
+        p.set_load_enabled("hvac", false);
+        p.dispatch(1.0);
+        let (_, charge) = p.battery();
+        assert!((charge - 6.0).abs() < 1e-9, "charge was {charge}");
+    }
+
+    #[test]
+    fn deficit_sheds_deferrable_before_normal_never_critical() {
+        let mut p = plant_with(
+            &[("gen", SourceKind::Generator, 3.0)],
+            &[
+                ("icu", 2.0, LoadPriority::Critical),
+                ("hvac", 2.0, LoadPriority::Normal),
+                ("pool", 2.0, LoadPriority::Deferrable),
+            ],
+        );
+        let d = p.dispatch(1.0);
+        // 6 kW demand, 3 kW capacity: shed pool (deferrable), then hvac.
+        assert_eq!(d.shed, vec!["pool".to_string(), "hvac".to_string()]);
+        assert_eq!(d.demand_kw, 2.0);
+        assert_eq!(d.import_kw, 2.0);
+    }
+
+    #[test]
+    fn critical_only_overload_is_served_best_effort() {
+        let mut p = plant_with(
+            &[("gen", SourceKind::Generator, 1.0)],
+            &[("icu", 5.0, LoadPriority::Critical)],
+        );
+        let d = p.dispatch(1.0);
+        assert!(d.shed.is_empty());
+        assert_eq!(d.import_kw, 1.0);
+        assert_eq!(d.demand_kw, 5.0);
+    }
+
+    #[test]
+    fn offline_sources_do_not_contribute() {
+        let mut p = plant_with(
+            &[("pv", SourceKind::Solar, 5.0), ("grid", SourceKind::Grid, 5.0)],
+            &[("hvac", 3.0, LoadPriority::Normal)],
+        );
+        assert!(p.set_source_online("pv", false));
+        let d = p.dispatch(1.0);
+        assert_eq!(d.renewable_kw, 0.0);
+        assert_eq!(d.import_kw, 3.0);
+        assert!(!p.set_source_online("ghost", true));
+    }
+
+    #[test]
+    fn hub_surface_round_trips() {
+        let mut hub = ResourceHub::new(1);
+        let plant = shared_plant();
+        register_plant(&mut hub, plant.clone());
+        let (o, _) = hub.invoke(
+            "sim.plant",
+            "attachSource",
+            &mddsm_sim::resource::args(&[("name", "pv"), ("kind", "Solar"), ("capacityKw", "5")]),
+        );
+        assert!(o.is_ok());
+        let (o, _) = hub.invoke(
+            "sim.plant",
+            "attachLoad",
+            &mddsm_sim::resource::args(&[("name", "hvac"), ("demandKw", "2"), ("priority", "Normal")]),
+        );
+        assert!(o.is_ok());
+        let (o, _) =
+            hub.invoke("sim.plant", "dispatch", &mddsm_sim::resource::args(&[("hours", "1")]));
+        assert_eq!(o.get("renewableKw"), Some("2.000"));
+        let (o, _) = hub.invoke("sim.plant", "meter", &Args::new());
+        assert_eq!(o.get("dispatches"), Some("1"));
+        let (o, _) = hub.invoke(
+            "sim.plant",
+            "attachSource",
+            &mddsm_sim::resource::args(&[("name", "x"), ("kind", "Fusion")]),
+        );
+        assert!(!o.is_ok());
+        let (o, _) = hub.invoke("sim.plant", "explode", &Args::new());
+        assert!(!o.is_ok());
+    }
+}

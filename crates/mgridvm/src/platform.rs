@@ -1,0 +1,131 @@
+//! The assembled MGridVM: MUI / MSE / MCM / MHB as an MD-DSM platform.
+
+use crate::dsk::{mgrid_actions, mgrid_command_map, mgrid_dscs, mgrid_lts, mgrid_procedures};
+use crate::mgridml::mgridml_metamodel;
+use crate::plant::{register_plant, SharedPlant};
+use mddsm_broker::BrokerModelBuilder;
+use mddsm_core::{DomainKnowledge, MdDsmPlatform, PlatformBuilder, PlatformModelBuilder};
+use mddsm_sim::ResourceHub;
+
+/// Builds the MHB (microgrid hardware broker) model: one handler per
+/// plant operation, all bound to the simulated plant.
+pub fn mhb_broker_model() -> mddsm_meta::Model {
+    let ops: &[(&str, &str, &[&str])] = &[
+        ("attachSource", "plant.attachSource", &["name=$name", "kind=$kind", "capacityKw=$capacityKw"]),
+        ("attachLoad", "plant.attachLoad", &["name=$name", "demandKw=$demandKw", "priority=$priority"]),
+        ("detachLoad", "plant.detachLoad", &["name=$name"]),
+        ("detachSource", "plant.detachSource", &["name=$name"]),
+        ("switchLoad", "plant.switchLoad", &["name=$name", "enabled=$enabled"]),
+        ("switchSource", "plant.switchSource", &["name=$name", "online=$online"]),
+        ("battery", "plant.battery", &["capacityKwh=$capacityKwh", "chargeKwh=$chargeKwh"]),
+        ("dispatch", "plant.dispatch", &["hours=$hours"]),
+        ("meter", "plant.meter", &[]),
+    ];
+    let mut b = BrokerModelBuilder::new("mhb");
+    for (handler, selector, mapping) in ops {
+        let op = selector.split('.').nth(1).expect("selector has op");
+        b = b.call_handler(handler, selector).action(handler, handler, "plant", op, mapping, None, &[]);
+    }
+    b.autonomic_rule(
+        "plantUnresponsive",
+        "self.failures_plant <> null and self.failures_plant > 2",
+        &["heal plant", "set failures_plant 0", "emit plantRecovered"],
+    )
+    .bind_resource("plant", "sim.plant")
+    .build()
+}
+
+/// Builds the MGridVM platform model.
+pub fn mgrid_platform_model() -> mddsm_meta::Model {
+    PlatformModelBuilder::new("mgridvm", "smart-microgrid")
+        .ui("mgridml")
+        .synthesis("Skip")
+        .controller(|_, _| {})
+        .broker("mhb")
+        .build()
+}
+
+/// Bundles the MGridVM domain knowledge.
+pub fn mgrid_domain_knowledge() -> DomainKnowledge {
+    DomainKnowledge {
+        dsml: mgridml_metamodel(),
+        lts: mgrid_lts(),
+        dscs: mgrid_dscs(),
+        procedures: mgrid_procedures(),
+        actions: mgrid_actions(),
+        command_map: mgrid_command_map(),
+        event_commands: vec![],
+    }
+}
+
+/// Generates the complete MGridVM over a shared simulated plant; the
+/// caller keeps the handle for physics-level assertions.
+pub fn build_mgridvm(seed: u64, plant: SharedPlant) -> MdDsmPlatform {
+    let mut hub = ResourceHub::new(seed);
+    register_plant(&mut hub, plant);
+    PlatformBuilder::new(&mgrid_platform_model(), mgrid_domain_knowledge())
+        .expect("MGridVM platform model and DSK are consistent")
+        .broker_model(mhb_broker_model())
+        .resources(hub)
+        .build()
+        .expect("MGridVM platform assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plant::shared_plant;
+
+    #[test]
+    fn mgridvm_assembles() {
+        let p = build_mgridvm(1, shared_plant());
+        assert_eq!(p.name(), "mgridvm");
+        assert_eq!(p.domain(), "smart-microgrid");
+    }
+
+    #[test]
+    fn model_edits_drive_the_plant() {
+        let plant = shared_plant();
+        let mut p = build_mgridvm(1, plant.clone());
+        let mut s = p.open_session().unwrap();
+        let pv = s.create("PowerSource").unwrap();
+        s.set(pv, "name", "roofPV").unwrap();
+        s.set(pv, "kind", "Solar").unwrap();
+        s.set(pv, "capacityKw", "5").unwrap();
+        let hvac = s.create("Load").unwrap();
+        s.set(hvac, "name", "hvac").unwrap();
+        s.set(hvac, "demandKw", "2.5").unwrap();
+        let report = p.submit_model(s.submit().unwrap()).unwrap();
+        assert!(report.execution.commands >= 2, "{report:?}");
+        // The plant saw the equipment and ran a dispatch.
+        {
+            let plant = plant.lock().unwrap();
+            assert!(plant.dispatches() >= 1);
+        }
+        let trace = p.command_trace();
+        assert!(trace.iter().any(|t| t.contains("attachSource")), "{trace:?}");
+        assert!(trace.iter().any(|t| t.contains("attachLoad")), "{trace:?}");
+        assert!(trace.iter().any(|t| t.contains("dispatch")), "{trace:?}");
+
+        // Disabling the load goes through the Case-1 fast switch.
+        s.set(hvac, "enabled", "false").unwrap();
+        let report = p.submit_model(s.submit().unwrap()).unwrap();
+        assert_eq!(report.execution.case1, 1, "{report:?}");
+        assert!(p.command_trace().iter().any(|t| t.contains("switchLoad")), "{:?}", p.command_trace());
+    }
+
+    #[test]
+    fn shedding_event_surfaces_through_controller() {
+        let plant = shared_plant();
+        // Overload: generator 1 kW, two loads 2 kW each.
+        let mut p = build_mgridvm(1, plant);
+        let src = r#"model m conformsTo mgridml {
+            PowerSource gen { name = "gen" kind = SourceKind::Generator capacityKw = 1.0 }
+            Load pool { name = "pool" demandKw = 2.0 priority = LoadPriority::Deferrable }
+            Load hvac { name = "hvac" demandKw = 2.0 }
+        }"#;
+        let report = p.submit_text(src).unwrap();
+        // The balancer shed something and raised the loadsShed event.
+        assert!(report.execution.events.iter().any(|e| e == "loadsShed"), "{report:?}");
+    }
+}

@@ -1,0 +1,164 @@
+//! The component factory: named code templates instantiated with metadata
+//! from the middleware model (paper §V-A).
+
+use crate::component::Component;
+use crate::container::Container;
+use crate::metadata::Metadata;
+use crate::{Result, RuntimeError};
+use mddsm_meta::model::Model;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A code template: a constructor producing a component from metadata.
+pub type Template = Arc<dyn Fn(&Metadata) -> Result<Box<dyn Component>> + Send + Sync>;
+
+/// Registry of code templates, keyed by template name.
+///
+/// Middleware model objects request components by carrying a `template`
+/// attribute naming one of the registered templates; the rest of the
+/// object's attributes become the template's [`Metadata`].
+#[derive(Clone, Default)]
+pub struct ComponentFactory {
+    templates: BTreeMap<String, Template>,
+}
+
+impl ComponentFactory {
+    /// Creates an empty factory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a template under `name`, replacing any previous entry.
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: Fn(&Metadata) -> Result<Box<dyn Component>> + Send + Sync + 'static,
+    {
+        self.templates.insert(name.into(), Arc::new(f));
+        self
+    }
+
+    /// Names of registered templates, sorted.
+    pub fn template_names(&self) -> Vec<&str> {
+        self.templates.keys().map(String::as_str).collect()
+    }
+
+    /// Instantiates a single component from a template.
+    pub fn instantiate(&self, template: &str, metadata: &Metadata) -> Result<Box<dyn Component>> {
+        let t = self
+            .templates
+            .get(template)
+            .ok_or_else(|| RuntimeError::UnknownTemplate(template.to_owned()))?;
+        t(metadata)
+    }
+
+    /// Populates a container from a middleware model: every object with a
+    /// `template` attribute is instantiated (its `name` attribute — or
+    /// `o<id>` when absent — becomes the component name) and added to the
+    /// container. Returns the names of the components created, in model
+    /// order.
+    pub fn populate(&self, model: &Model, container: &mut Container) -> Result<Vec<String>> {
+        let mut created = Vec::new();
+        for (id, _) in model.iter() {
+            let Some(template) = model.attr_str(id, "template") else { continue };
+            let metadata = Metadata::from_object(model, id)?;
+            let name = model
+                .attr_str(id, "name")
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("o{}", id.index()));
+            let component = self.instantiate(template, &metadata)?;
+            container.add(&name, component)?;
+            created.push(name);
+        }
+        Ok(created)
+    }
+}
+
+impl std::fmt::Debug for ComponentFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComponentFactory")
+            .field("templates", &self.template_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Ctx, Message};
+    use mddsm_meta::Value;
+
+    struct Echo {
+        topic: String,
+    }
+
+    impl Component for Echo {
+        fn subscriptions(&self) -> Vec<String> {
+            vec![self.topic.clone()]
+        }
+        fn handle(&mut self, _msg: &Message, _ctx: &mut Ctx) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    fn factory() -> ComponentFactory {
+        let mut f = ComponentFactory::new();
+        f.register("echo", |md| {
+            let topic = md.require_str("topic")?.to_owned();
+            Ok(Box::new(Echo { topic }) as Box<dyn Component>)
+        });
+        f
+    }
+
+    #[test]
+    fn instantiate_known_template() {
+        let f = factory();
+        let md = Metadata::new().with("topic", Value::from("t"));
+        let c = f.instantiate("echo", &md).unwrap();
+        assert_eq!(c.subscriptions(), vec!["t"]);
+    }
+
+    #[test]
+    fn unknown_template_rejected() {
+        let f = factory();
+        let e = f.instantiate("nope", &Metadata::new()).map(drop).unwrap_err();
+        assert!(matches!(e, RuntimeError::UnknownTemplate(_)));
+    }
+
+    #[test]
+    fn template_metadata_validation() {
+        let f = factory();
+        let e = f.instantiate("echo", &Metadata::new()).map(drop).unwrap_err();
+        assert!(matches!(e, RuntimeError::BadMetadata(_)));
+    }
+
+    #[test]
+    fn populate_from_model() {
+        let f = factory();
+        let mut m = Model::new("mw");
+        let a = m.create("Manager");
+        m.set_attr(a, "template", Value::from("echo"));
+        m.set_attr(a, "name", Value::from("mainMgr"));
+        m.set_attr(a, "topic", Value::from("calls"));
+        let b = m.create("Manager");
+        m.set_attr(b, "template", Value::from("echo"));
+        m.set_attr(b, "topic", Value::from("events"));
+        // An object without `template` is plain data, not a component.
+        m.create("PolicyDoc");
+
+        let mut c = Container::new();
+        let names = f.populate(&m, &mut c).unwrap();
+        assert_eq!(names, vec!["mainMgr".to_string(), format!("o{}", b.index())]);
+        assert_eq!(c.names().len(), 2);
+    }
+
+    #[test]
+    fn populate_propagates_template_errors() {
+        let f = factory();
+        let mut m = Model::new("mw");
+        let a = m.create("Manager");
+        m.set_attr(a, "template", Value::from("echo"));
+        // Missing `topic` -> BadMetadata.
+        let mut c = Container::new();
+        assert!(matches!(f.populate(&m, &mut c), Err(RuntimeError::BadMetadata(_))));
+    }
+}

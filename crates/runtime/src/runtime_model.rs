@@ -1,0 +1,153 @@
+//! Models@runtime: the platform's own model, reflectively modifiable with
+//! immediate effect (paper §III: "we leverage on the models@runtime
+//! approach, so that application models can be reflectively modified at
+//! runtime with immediate effect on how the underlying resources and
+//! services are handled").
+
+use mddsm_meta::model::Model;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Callback invoked after each runtime-model mutation with the new version.
+pub type Watcher = Box<dyn Fn(u64, &Model) + Send + Sync>;
+
+/// A shared, versioned, watchable model.
+///
+/// Readers take a cheap read lock; writers mutate through [`RuntimeModel::update`],
+/// which bumps the version and synchronously notifies watchers — the
+/// "immediate effect" of models@runtime.
+#[derive(Clone)]
+pub struct RuntimeModel {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    model: RwLock<Model>,
+    version: AtomicU64,
+    watchers: Mutex<Vec<Watcher>>,
+}
+
+impl RuntimeModel {
+    /// Wraps a model as the runtime model, at version 0.
+    pub fn new(model: Model) -> Self {
+        RuntimeModel {
+            inner: Arc::new(Inner {
+                model: RwLock::new(model),
+                version: AtomicU64::new(0),
+                watchers: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The current version (bumped on every update).
+    pub fn version(&self) -> u64 {
+        self.inner.version.load(Ordering::Acquire)
+    }
+
+    /// Runs a closure with read access to the model.
+    pub fn read<R>(&self, f: impl FnOnce(&Model) -> R) -> R {
+        f(&self.inner.model.read())
+    }
+
+    /// Clones the current model (a consistent snapshot).
+    pub fn snapshot(&self) -> Model {
+        self.inner.model.read().clone()
+    }
+
+    /// Mutates the model, bumps the version, and notifies watchers while no
+    /// lock is held (watchers may read the model again).
+    pub fn update<R>(&self, f: impl FnOnce(&mut Model) -> R) -> R {
+        let r = {
+            let mut guard = self.inner.model.write();
+            f(&mut guard)
+        };
+        let v = self.inner.version.fetch_add(1, Ordering::AcqRel) + 1;
+        let snapshot = self.snapshot();
+        for w in self.inner.watchers.lock().expect("watcher registry poisoned").iter() {
+            w(v, &snapshot);
+        }
+        r
+    }
+
+    /// Replaces the model wholesale (counts as one update).
+    pub fn replace(&self, model: Model) {
+        self.update(|m| *m = model);
+    }
+
+    /// Registers a watcher notified after every update.
+    pub fn watch(&self, w: impl Fn(u64, &Model) + Send + Sync + 'static) {
+        self.inner.watchers.lock().expect("watcher registry poisoned").push(Box::new(w));
+    }
+}
+
+impl std::fmt::Debug for RuntimeModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeModel")
+            .field("version", &self.version())
+            .field("objects", &self.read(|m| m.len()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mddsm_meta::Value;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn versions_bump_on_update() {
+        let rm = RuntimeModel::new(Model::new("mm"));
+        assert_eq!(rm.version(), 0);
+        rm.update(|m| {
+            m.create("X");
+        });
+        assert_eq!(rm.version(), 1);
+        rm.replace(Model::new("mm"));
+        assert_eq!(rm.version(), 2);
+        assert_eq!(rm.read(Model::len), 0);
+    }
+
+    #[test]
+    fn watchers_see_updates_immediately() {
+        let rm = RuntimeModel::new(Model::new("mm"));
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = hits.clone();
+        rm.watch(move |v, m| {
+            h.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(v as usize, m.len());
+        });
+        rm.update(|m| {
+            m.create("A");
+        });
+        rm.update(|m| {
+            m.create("B");
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn snapshot_is_isolated() {
+        let rm = RuntimeModel::new(Model::new("mm"));
+        let id = rm.update(|m| m.create("X"));
+        let snap = rm.snapshot();
+        rm.update(|m| m.set_attr(id, "k", Value::from(1)));
+        assert_eq!(snap.attr_int(id, "k"), None);
+        assert_eq!(rm.read(|m| m.attr_int(id, "k")), Some(1));
+    }
+
+    #[test]
+    fn shared_across_clones_and_threads() {
+        let rm = RuntimeModel::new(Model::new("mm"));
+        let rm2 = rm.clone();
+        let t = std::thread::spawn(move || {
+            rm2.update(|m| {
+                m.create("FromThread");
+            });
+        });
+        t.join().unwrap();
+        assert_eq!(rm.read(|m| m.all_of_class("FromThread").len()), 1);
+        assert_eq!(rm.version(), 1);
+    }
+}

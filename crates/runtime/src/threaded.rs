@@ -1,0 +1,246 @@
+//! The threaded concurrency model: each component runs on its own thread
+//! with a crossbeam-channel mailbox.
+//!
+//! The paper's runtime environment "provides threads (and the underlying
+//! concurrency model) to run the middleware components". The deterministic
+//! [`crate::Container`] is used for experiments; this module provides the
+//! production-style alternative where every component drains its own
+//! mailbox concurrently, and emitted messages are routed back through a
+//! shared router thread.
+
+use crate::component::{Component, Ctx, Message};
+use crate::{Result, RuntimeError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+
+enum Control {
+    Deliver(Message),
+    Shutdown,
+}
+
+struct Worker {
+    tx: Sender<Control>,
+    handle: JoinHandle<u64>,
+    subscriptions: Vec<String>,
+}
+
+/// A container that runs every component on a dedicated thread.
+///
+/// Messages injected through [`ThreadedContainer::dispatch`] (and messages
+/// emitted by handlers) are fanned out to every subscribed component's
+/// mailbox. [`ThreadedContainer::shutdown`] drains mailboxes and joins all
+/// threads, returning per-component handled counts.
+pub struct ThreadedContainer {
+    workers: BTreeMap<String, Worker>,
+    router_tx: Sender<Message>,
+    router: Option<JoinHandle<()>>,
+}
+
+impl ThreadedContainer {
+    /// Builds the container from named components and starts all threads.
+    pub fn start(components: Vec<(String, Box<dyn Component>)>) -> Result<Self> {
+        let (router_tx, router_rx): (Sender<Message>, Receiver<Message>) = unbounded();
+        let mut workers = BTreeMap::new();
+        for (name, mut component) in components {
+            if workers.contains_key(&name) {
+                return Err(RuntimeError::DuplicateComponent(name));
+            }
+            let subscriptions = component.subscriptions();
+            let (tx, rx): (Sender<Control>, Receiver<Control>) = unbounded();
+            let emit_tx = router_tx.clone();
+            let wname = name.clone();
+            component.on_start().map_err(|e| RuntimeError::ComponentFailed {
+                component: wname.clone(),
+                reason: e.to_string(),
+            })?;
+            let handle = std::thread::Builder::new()
+                .name(format!("mddsm-{name}"))
+                .spawn(move || {
+                    let mut handled = 0u64;
+                    while let Ok(ctrl) = rx.recv() {
+                        match ctrl {
+                            Control::Shutdown => break,
+                            Control::Deliver(msg) => {
+                                let mut ctx = Ctx::at_depth(1);
+                                if component.handle(&msg, &mut ctx).is_ok() {
+                                    handled += 1;
+                                    for mut out in ctx.take_outbox() {
+                                        out.from = wname.clone();
+                                        // Router may already be gone during
+                                        // shutdown; drop late emissions.
+                                        let _ = emit_tx.send(out);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let _ = component.on_stop();
+                    handled
+                })
+                .expect("failed to spawn component thread");
+            workers.insert(name, Worker { tx, handle, subscriptions });
+        }
+
+        // Router: fans messages out to subscribed mailboxes.
+        let routes: Vec<(Vec<String>, Sender<Control>)> =
+            workers.values().map(|w| (w.subscriptions.clone(), w.tx.clone())).collect();
+        let router = std::thread::Builder::new()
+            .name("mddsm-router".into())
+            .spawn(move || {
+                while let Ok(msg) = router_rx.recv() {
+                    for (subs, tx) in &routes {
+                        if subs.iter().any(|t| *t == msg.topic) {
+                            let _ = tx.send(Control::Deliver(msg.clone()));
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn router thread");
+
+        Ok(ThreadedContainer { workers, router_tx, router: Some(router) })
+    }
+
+    /// Injects a message into the system (asynchronously).
+    pub fn dispatch(&self, msg: Message) {
+        let _ = self.router_tx.send(msg);
+    }
+
+    /// Component names.
+    pub fn names(&self) -> Vec<&str> {
+        self.workers.keys().map(String::as_str).collect()
+    }
+
+    /// Shuts down: sends shutdown to every mailbox (pending deliveries are
+    /// processed first — mailboxes are FIFO), joins the worker threads, and
+    /// only then closes the router (workers hold emit-side clones of the
+    /// router channel, so the router can only terminate after they exit).
+    /// Returns handled counts per component.
+    pub fn shutdown(mut self) -> BTreeMap<String, u64> {
+        let mut counts = BTreeMap::new();
+        let workers = std::mem::take(&mut self.workers);
+        for (name, w) in workers {
+            let _ = w.tx.send(Control::Shutdown);
+            if let Ok(handled) = w.handle.join() {
+                counts.insert(name, handled);
+            }
+        }
+        // All worker emit clones are gone; dropping ours ends the router.
+        drop(std::mem::replace(&mut self.router_tx, unbounded().0));
+        if let Some(r) = self.router.take() {
+            let _ = r.join();
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    struct Counter {
+        topic: String,
+        seen: Arc<AtomicU32>,
+        relay_to: Option<String>,
+    }
+
+    impl Component for Counter {
+        fn subscriptions(&self) -> Vec<String> {
+            vec![self.topic.clone()]
+        }
+        fn handle(&mut self, _msg: &Message, ctx: &mut Ctx) -> Result<()> {
+            self.seen.fetch_add(1, Ordering::SeqCst);
+            if let Some(t) = &self.relay_to {
+                ctx.emit(Message::new(t.clone()));
+            }
+            Ok(())
+        }
+    }
+
+    fn wait_for(seen: &AtomicU32, expect: u32) {
+        for _ in 0..200 {
+            if seen.load(Ordering::SeqCst) >= expect {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("expected {expect}, saw {}", seen.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn concurrent_delivery() {
+        let a = Arc::new(AtomicU32::new(0));
+        let b = Arc::new(AtomicU32::new(0));
+        let tc = ThreadedContainer::start(vec![
+            (
+                "a".into(),
+                Box::new(Counter { topic: "x".into(), seen: a.clone(), relay_to: None }) as _,
+            ),
+            (
+                "b".into(),
+                Box::new(Counter { topic: "x".into(), seen: b.clone(), relay_to: None }) as _,
+            ),
+        ])
+        .unwrap();
+        for _ in 0..10 {
+            tc.dispatch(Message::new("x"));
+        }
+        wait_for(&a, 10);
+        wait_for(&b, 10);
+        let counts = tc.shutdown();
+        assert_eq!(counts["a"], 10);
+        assert_eq!(counts["b"], 10);
+    }
+
+    #[test]
+    fn relayed_messages_cross_threads() {
+        let a = Arc::new(AtomicU32::new(0));
+        let b = Arc::new(AtomicU32::new(0));
+        let tc = ThreadedContainer::start(vec![
+            (
+                "relay".into(),
+                Box::new(Counter {
+                    topic: "in".into(),
+                    seen: a.clone(),
+                    relay_to: Some("out".into()),
+                }) as _,
+            ),
+            (
+                "sink".into(),
+                Box::new(Counter { topic: "out".into(), seen: b.clone(), relay_to: None }) as _,
+            ),
+        ])
+        .unwrap();
+        tc.dispatch(Message::new("in"));
+        wait_for(&b, 1);
+        tc.shutdown();
+        assert_eq!(a.load(Ordering::SeqCst), 1);
+        assert_eq!(b.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn duplicate_component_rejected() {
+        let a = Arc::new(AtomicU32::new(0));
+        let mk = |seen: Arc<AtomicU32>| {
+            Box::new(Counter { topic: "x".into(), seen, relay_to: None }) as Box<dyn Component>
+        };
+        let r = ThreadedContainer::start(vec![("a".into(), mk(a.clone())), ("a".into(), mk(a))]);
+        assert!(matches!(r, Err(RuntimeError::DuplicateComponent(_))));
+    }
+
+    #[test]
+    fn shutdown_with_no_traffic() {
+        let a = Arc::new(AtomicU32::new(0));
+        let tc = ThreadedContainer::start(vec![(
+            "a".into(),
+            Box::new(Counter { topic: "x".into(), seen: a, relay_to: None }) as _,
+        )])
+        .unwrap();
+        assert_eq!(tc.names(), vec!["a"]);
+        let counts = tc.shutdown();
+        assert_eq!(counts["a"], 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The discrete-event engine: a virtual clock plus an ordered event queue.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    f: EventFn,
+}
+
+/// A single-threaded discrete-event simulator.
+///
+/// Events are closures scheduled at virtual instants; [`Simulator::run`]
+/// executes them in time order (FIFO among same-instant events). Events may
+/// schedule further events, so open-ended processes are modeled as
+/// self-rescheduling closures. Shared state is typically captured via
+/// `Rc<RefCell<..>>`.
+///
+/// ```
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+/// use mddsm_sim::{SimDuration, Simulator};
+///
+/// let mut sim = Simulator::new();
+/// let hits = Rc::new(RefCell::new(Vec::new()));
+/// let h = hits.clone();
+/// sim.schedule(SimDuration::from_millis(5), move |sim| {
+///     h.borrow_mut().push(sim.now().as_micros());
+/// });
+/// sim.run();
+/// assert_eq!(*hits.borrow(), vec![5000]);
+/// ```
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Reverse<OrderedScheduled>>,
+}
+
+struct OrderedScheduled(Scheduled);
+
+impl PartialEq for OrderedScheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl Eq for OrderedScheduled {}
+impl PartialOrd for OrderedScheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedScheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.at, self.0.seq).cmp(&(other.0.at, other.0.seq))
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator at `t = 0` with an empty queue.
+    pub fn new() -> Self {
+        Simulator { now: SimTime::ZERO, seq: 0, executed: 0, queue: BinaryHeap::new() }
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run `after` from now.
+    pub fn schedule(&mut self, after: SimDuration, f: impl FnOnce(&mut Simulator) + 'static) {
+        self.schedule_at(self.now + after, f);
+    }
+
+    /// Schedules `f` at an absolute instant; instants in the past run "now".
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Simulator) + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(OrderedScheduled(Scheduled { at, seq, f: Box::new(f) })));
+    }
+
+    /// Executes the next event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            None => false,
+            Some(Reverse(OrderedScheduled(ev))) => {
+                debug_assert!(ev.at >= self.now, "time went backwards");
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.f)(self);
+                true
+            }
+        }
+    }
+
+    /// Runs until the queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events up to and including instant `until`; afterwards the
+    /// clock reads `max(now, until)` even if the queue drained earlier.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(OrderedScheduled(ev))) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Trace = Rc<RefCell<Vec<(u64, &'static str)>>>;
+
+    fn rec(t: &Trace, tag: &'static str) -> impl FnOnce(&mut Simulator) {
+        let t = t.clone();
+        move |sim: &mut Simulator| t.borrow_mut().push((sim.now().as_micros(), tag))
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulator::new();
+        let t: Trace = Rc::default();
+        sim.schedule(SimDuration::from_micros(30), rec(&t, "c"));
+        sim.schedule(SimDuration::from_micros(10), rec(&t, "a"));
+        sim.schedule(SimDuration::from_micros(20), rec(&t, "b"));
+        sim.run();
+        assert_eq!(*t.borrow(), vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut sim = Simulator::new();
+        let t: Trace = Rc::default();
+        for tag in ["first", "second", "third"] {
+            sim.schedule(SimDuration::from_micros(5), rec(&t, tag));
+        }
+        sim.run();
+        let tags: Vec<_> = t.borrow().iter().map(|(_, g)| *g).collect();
+        assert_eq!(tags, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulator::new();
+        let t: Trace = Rc::default();
+        let tc = t.clone();
+        sim.schedule(SimDuration::from_micros(10), move |s| {
+            tc.borrow_mut().push((s.now().as_micros(), "outer"));
+            s.schedule(SimDuration::from_micros(5), rec(&tc, "inner"));
+        });
+        sim.run();
+        assert_eq!(*t.borrow(), vec![(10, "outer"), (15, "inner")]);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Simulator::new();
+        let t: Trace = Rc::default();
+        sim.schedule(SimDuration::from_micros(10), rec(&t, "in"));
+        sim.schedule(SimDuration::from_micros(100), rec(&t, "out"));
+        sim.run_until(SimTime::from_micros(50));
+        assert_eq!(*t.borrow(), vec![(10, "in")]);
+        assert_eq!(sim.now(), SimTime::from_micros(50));
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(t.borrow().len(), 2);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut sim = Simulator::new();
+        sim.run_until(SimTime::from_micros(100));
+        let t: Trace = Rc::default();
+        sim.schedule_at(SimTime::from_micros(10), rec(&t, "late"));
+        sim.run();
+        assert_eq!(*t.borrow(), vec![(100, "late")]);
+    }
+
+    #[test]
+    fn self_rescheduling_process() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(RefCell::new(0u32));
+        fn tick(sim: &mut Simulator, count: Rc<RefCell<u32>>) {
+            *count.borrow_mut() += 1;
+            if *count.borrow() < 5 {
+                sim.schedule(SimDuration::from_millis(1), move |s| tick(s, count));
+            }
+        }
+        let c = count.clone();
+        sim.schedule(SimDuration::ZERO, move |s| tick(s, c));
+        sim.run();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(sim.now(), SimTime::from_millis(4));
+    }
+}

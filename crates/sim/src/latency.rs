@@ -1,0 +1,121 @@
+//! Latency models: parameterizable distributions of virtual-time costs.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A distribution of virtual-time latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Always the same latency.
+    Fixed(SimDuration),
+    /// Uniform between the two bounds (inclusive of the lower bound).
+    Uniform(SimDuration, SimDuration),
+    /// Exponential with the given mean.
+    Exponential(SimDuration),
+    /// A base latency plus a jitter model on top.
+    Plus(Box<LatencyModel>, Box<LatencyModel>),
+}
+
+impl LatencyModel {
+    /// Zero-cost latency.
+    pub const fn zero() -> Self {
+        LatencyModel::Fixed(SimDuration::ZERO)
+    }
+
+    /// Fixed latency given in milliseconds.
+    pub const fn fixed_ms(ms: u64) -> Self {
+        LatencyModel::Fixed(SimDuration::from_millis(ms))
+    }
+
+    /// Uniform latency between `lo_ms` and `hi_ms` milliseconds.
+    pub const fn uniform_ms(lo_ms: u64, hi_ms: u64) -> Self {
+        LatencyModel::Uniform(SimDuration::from_millis(lo_ms), SimDuration::from_millis(hi_ms))
+    }
+
+    /// Samples a latency.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            LatencyModel::Fixed(d) => *d,
+            LatencyModel::Uniform(lo, hi) => {
+                let (l, h) = (lo.as_micros(), hi.as_micros());
+                SimDuration::from_micros(rng.range(l.min(h), l.max(h).saturating_add(1)))
+            }
+            LatencyModel::Exponential(mean) => {
+                SimDuration::from_micros(rng.exponential(mean.as_micros() as f64) as u64)
+            }
+            LatencyModel::Plus(a, b) => a.sample(rng) + b.sample(rng),
+        }
+    }
+
+    /// The expected (mean) latency of the model.
+    pub fn mean(&self) -> SimDuration {
+        match self {
+            LatencyModel::Fixed(d) | LatencyModel::Exponential(d) => *d,
+            LatencyModel::Uniform(lo, hi) => {
+                SimDuration::from_micros((lo.as_micros() + hi.as_micros()) / 2)
+            }
+            LatencyModel::Plus(a, b) => a.mean() + b.mean(),
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let m = LatencyModel::fixed_ms(3);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(3));
+        }
+        assert_eq!(m.mean(), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let m = LatencyModel::uniform_ms(1, 5);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= SimDuration::from_millis(1) && d <= SimDuration::from_millis(5));
+        }
+        assert_eq!(m.mean(), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_with_swapped_bounds_still_valid() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let m = LatencyModel::Uniform(SimDuration::from_millis(5), SimDuration::from_millis(1));
+        let d = m.sample(&mut rng);
+        assert!(d >= SimDuration::from_millis(1) && d <= SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let m = LatencyModel::Exponential(SimDuration::from_millis(10));
+        let n = 20_000u64;
+        let total: u64 = (0..n).map(|_| m.sample(&mut rng).as_micros()).sum();
+        let mean_ms = total as f64 / n as f64 / 1000.0;
+        assert!((mean_ms - 10.0).abs() < 0.5, "mean was {mean_ms}ms");
+    }
+
+    #[test]
+    fn plus_composes() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let m = LatencyModel::Plus(
+            Box::new(LatencyModel::fixed_ms(2)),
+            Box::new(LatencyModel::fixed_ms(3)),
+        );
+        assert_eq!(m.sample(&mut rng), SimDuration::from_millis(5));
+        assert_eq!(m.mean(), SimDuration::from_millis(5));
+    }
+}

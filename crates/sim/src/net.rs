@@ -1,0 +1,231 @@
+//! A point-to-point network abstraction with latency, loss, and partitions.
+//!
+//! Used by the distributed domain simulations (crowdsensing fleets, smart
+//! spaces) to model message delivery between nodes, and by failure-recovery
+//! scenarios to inject link failures.
+
+use crate::engine::Simulator;
+use crate::latency::LatencyModel;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Properties of one directed link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Latency distribution per message.
+    pub latency: LatencyModel,
+    /// Probability a message is silently dropped.
+    pub loss: f64,
+    /// Whether the link is currently up; messages on a down link are lost.
+    pub up: bool,
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Link { latency: LatencyModel::fixed_ms(1), loss: 0.0, up: true }
+    }
+}
+
+/// Outcome of a [`Network::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Message scheduled for delivery after the returned latency.
+    Scheduled(SimDuration),
+    /// Message dropped (loss or down link).
+    Dropped,
+}
+
+/// Delivery statistics kept by the network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages successfully scheduled for delivery.
+    pub delivered: u64,
+    /// Messages lost to random loss.
+    pub lost: u64,
+    /// Messages lost to a down link or partition.
+    pub partitioned: u64,
+}
+
+/// A network of named nodes connected by configurable directed links.
+///
+/// Cloning shares the underlying state (`Rc`), so the network can be
+/// captured by many scheduled events.
+#[derive(Clone)]
+pub struct Network {
+    inner: Rc<RefCell<NetworkInner>>,
+}
+
+struct NetworkInner {
+    default_link: Link,
+    links: BTreeMap<(String, String), Link>,
+    rng: SimRng,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Creates a network where unspecified links use `default_link`.
+    pub fn new(default_link: Link, seed: u64) -> Self {
+        Network {
+            inner: Rc::new(RefCell::new(NetworkInner {
+                default_link,
+                links: BTreeMap::new(),
+                rng: SimRng::seed_from_u64(seed),
+                stats: NetStats::default(),
+            })),
+        }
+    }
+
+    /// Configures the directed link `from -> to`.
+    pub fn set_link(&self, from: &str, to: &str, link: Link) {
+        self.inner.borrow_mut().links.insert((from.into(), to.into()), link);
+    }
+
+    /// Brings a directed link up or down (creating it from the default if
+    /// it was not configured).
+    pub fn set_link_up(&self, from: &str, to: &str, up: bool) {
+        let mut inner = self.inner.borrow_mut();
+        let default = inner.default_link.clone();
+        let link =
+            inner.links.entry((from.into(), to.into())).or_insert_with(|| default);
+        link.up = up;
+    }
+
+    /// Partitions `node` from every currently-configured peer, in both
+    /// directions; returns the number of links taken down.
+    pub fn partition_node(&self, node: &str) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let mut n = 0;
+        for ((from, to), link) in inner.links.iter_mut() {
+            if (from == node || to == node) && link.up {
+                link.up = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Heals all links touching `node`.
+    pub fn heal_node(&self, node: &str) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let mut n = 0;
+        for ((from, to), link) in inner.links.iter_mut() {
+            if (from == node || to == node) && !link.up {
+                link.up = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Current delivery statistics.
+    pub fn stats(&self) -> NetStats {
+        self.inner.borrow().stats
+    }
+
+    /// Sends a message from `from` to `to`; on success `deliver` is
+    /// scheduled on the simulator after the sampled link latency.
+    pub fn send(
+        &self,
+        sim: &mut Simulator,
+        from: &str,
+        to: &str,
+        deliver: impl FnOnce(&mut Simulator) + 'static,
+    ) -> SendOutcome {
+        let mut inner = self.inner.borrow_mut();
+        let link = inner
+            .links
+            .get(&(from.to_owned(), to.to_owned()))
+            .cloned()
+            .unwrap_or_else(|| inner.default_link.clone());
+        if !link.up {
+            inner.stats.partitioned += 1;
+            return SendOutcome::Dropped;
+        }
+        if inner.rng.chance(link.loss) {
+            inner.stats.lost += 1;
+            return SendOutcome::Dropped;
+        }
+        let latency = link.latency.sample(&mut inner.rng);
+        inner.stats.delivered += 1;
+        drop(inner);
+        sim.schedule(latency, deliver);
+        SendOutcome::Scheduled(latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn setup() -> (Simulator, Network) {
+        (Simulator::new(), Network::new(Link::default(), 42))
+    }
+
+    #[test]
+    fn delivery_takes_link_latency() {
+        let (mut sim, net) = setup();
+        net.set_link("a", "b", Link { latency: LatencyModel::fixed_ms(7), ..Link::default() });
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        let out = net.send(&mut sim, "a", "b", move |s| {
+            *g.borrow_mut() = Some(s.now().as_micros());
+        });
+        assert_eq!(out, SendOutcome::Scheduled(SimDuration::from_millis(7)));
+        sim.run();
+        assert_eq!(*got.borrow(), Some(7_000));
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn default_link_used_for_unknown_pairs() {
+        let (mut sim, net) = setup();
+        let out = net.send(&mut sim, "x", "y", |_| {});
+        assert_eq!(out, SendOutcome::Scheduled(SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn down_link_drops() {
+        let (mut sim, net) = setup();
+        net.set_link_up("a", "b", false);
+        let delivered = Rc::new(RefCell::new(false));
+        let d = delivered.clone();
+        let out = net.send(&mut sim, "a", "b", move |_| *d.borrow_mut() = true);
+        assert_eq!(out, SendOutcome::Dropped);
+        sim.run();
+        assert!(!*delivered.borrow());
+        assert_eq!(net.stats().partitioned, 1);
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let (mut sim, net) = setup();
+        net.set_link("a", "b", Link { loss: 0.5, ..Link::default() });
+        let mut dropped = 0;
+        for _ in 0..1000 {
+            if net.send(&mut sim, "a", "b", |_| {}) == SendOutcome::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!((350..650).contains(&dropped), "dropped {dropped}/1000");
+        assert_eq!(net.stats().lost, dropped);
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        let (mut sim, net) = setup();
+        net.set_link("a", "b", Link::default());
+        net.set_link("b", "a", Link::default());
+        net.set_link("a", "c", Link::default());
+        assert_eq!(net.partition_node("a"), 3);
+        assert_eq!(net.send(&mut sim, "a", "b", |_| {}), SendOutcome::Dropped);
+        assert_eq!(net.heal_node("a"), 3);
+        assert!(matches!(net.send(&mut sim, "a", "b", |_| {}), SendOutcome::Scheduled(_)));
+        // Partitioning is idempotent.
+        assert_eq!(net.heal_node("a"), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Smart-spaces domain for MD-DSM: 2SML and the Smart Spaces Virtual
+//! Machine (§IV-C).
+//!
+//! "The language constructs represent the main kinds of elements that
+//! constitute smart spaces — users, smart objects, and ubiquitous
+//! applications — along with the relationships among them." Two
+//! architectural particularities distinguish 2SVM:
+//!
+//! 1. **Split deployment**: "the instance of 2SVM that runs on the central
+//!    device that controls the smart space only has the three top layers,
+//!    while the instances that run on smart objects only have the two
+//!    bottom layers" — realized by [`deployment::SmartSpaceDeployment`]:
+//!    a central node (UI + Synthesis) whose synthesized scripts are
+//!    dispatched over the simulated network to object nodes
+//!    (Controller + Broker).
+//! 2. **Event-triggered scripts**: "the generated control scripts are not
+//!    immediately executed […] they are installed at the layer and their
+//!    execution is triggered by asynchronous events, such as when smart
+//!    objects enter or leave the environment" — realized by 2SML
+//!    automation rules synthesized into installed scripts.
+
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod objects;
+pub mod twosml;
+
+pub use deployment::SmartSpaceDeployment;

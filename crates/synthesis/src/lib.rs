@@ -1,0 +1,73 @@
+//! Synthesis layer of the MD-DSM reference architecture.
+//!
+//! "The Synthesis layer is responsible for transforming application models
+//! into sequences of commands" (§III). Its semantics "involves comparing
+//! two models at runtime: the model that is currently running (an empty
+//! model if the system has just been started) and a new (updated) model
+//! submitted by the user" (§V-B), with domain behaviour encoded as labeled
+//! transition systems.
+//!
+//! The layer's three components (§V-A) map to this crate's modules:
+//!
+//! * **model comparator** — delegated to [`mddsm_meta::diff`]; wrapped by
+//!   the [`engine::SynthesisEngine`].
+//! * **change interpreter** ([`interpreter`]) — processes the change list,
+//!   driving a domain-specific [`lts::Lts`] whose transitions emit control
+//!   commands.
+//! * **dispatcher** ([`engine`]) — validates and installs the new runtime
+//!   model and hands the generated [`script::ControlScript`]s downstream.
+//!
+//! The domain-specific knowledge (DSK) of the layer is the DSML metamodel,
+//! the LTS, and the command vocabulary; the model of execution (MoE) is the
+//! comparator/interpreter/dispatcher machinery, which is fully
+//! domain-independent.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod interpreter;
+pub mod lts;
+pub mod script;
+
+pub use engine::SynthesisEngine;
+pub use interpreter::{ChangeInterpreter, InterpreterConfig, UnmatchedPolicy};
+pub use lts::{ChangePattern, CommandTemplate, Lts, LtsBuilder};
+pub use script::{Command, ControlScript};
+
+/// Errors produced by the Synthesis layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// The submitted model failed validation against the DSML metamodel.
+    InvalidModel(String),
+    /// A change had no enabled transition and the policy was `Error`.
+    UnmatchedChange(String),
+    /// A guard expression failed to evaluate.
+    GuardFailed(String),
+    /// The LTS definition is ill-formed.
+    IllFormedLts(String),
+    /// An error bubbled up from the modeling substrate.
+    Meta(String),
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::InvalidModel(m) => write!(f, "invalid application model: {m}"),
+            SynthesisError::UnmatchedChange(m) => write!(f, "unmatched model change: {m}"),
+            SynthesisError::GuardFailed(m) => write!(f, "guard evaluation failed: {m}"),
+            SynthesisError::IllFormedLts(m) => write!(f, "ill-formed LTS: {m}"),
+            SynthesisError::Meta(m) => write!(f, "model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<mddsm_meta::MetaError> for SynthesisError {
+    fn from(e: mddsm_meta::MetaError) -> Self {
+        SynthesisError::Meta(e.to_string())
+    }
+}
+
+/// Result alias for synthesis operations.
+pub type Result<T> = std::result::Result<T, SynthesisError>;

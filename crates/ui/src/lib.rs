@@ -1,0 +1,75 @@
+//! UI layer of the MD-DSM reference architecture.
+//!
+//! "The User Interface layer provides a language environment for users to
+//! specify application models" (§III). The paper leverages EMF/GMF-generated
+//! model editors; this crate provides the equivalent from scratch: a
+//! [`DsmlEnvironment`] registering application DSMLs, and typed
+//! [`EditingSession`]s whose editing operations are *derived from the
+//! metamodel* (attribute values are converted to the declared type, slots
+//! must exist), with validation diagnostics and undo — the programmatic
+//! analogue of a generated model editor.
+//!
+//! The separation of DSK and MoE at this layer (§V-B) is direct: the DSK is
+//! the DSML metamodel; the MoE is this environment, which contains no
+//! domain vocabulary.
+
+#![warn(missing_docs)]
+
+pub mod environment;
+pub mod session;
+
+pub use environment::DsmlEnvironment;
+pub use session::{Diagnostic, EditingSession, Severity};
+
+/// Errors produced by the UI layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UiError {
+    /// The requested DSML is not registered.
+    UnknownDsml(String),
+    /// An editing operation referenced an unknown class/slot/object.
+    BadEdit(String),
+    /// A textual value could not be converted to the slot's declared type.
+    BadValue {
+        /// Slot name.
+        slot: String,
+        /// Offending text.
+        text: String,
+        /// Expected type.
+        expected: String,
+    },
+    /// Submission rejected because the model has error diagnostics.
+    InvalidModel(Vec<String>),
+    /// An error bubbled up from the modeling substrate.
+    Meta(String),
+}
+
+impl std::fmt::Display for UiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UiError::UnknownDsml(d) => write!(f, "unknown DSML `{d}`"),
+            UiError::BadEdit(m) => write!(f, "bad edit: {m}"),
+            UiError::BadValue { slot, text, expected } => {
+                write!(f, "cannot read `{text}` as {expected} for slot `{slot}`")
+            }
+            UiError::InvalidModel(v) => {
+                write!(f, "model has {} validation error(s)", v.len())?;
+                for m in v {
+                    write!(f, "\n  - {m}")?;
+                }
+                Ok(())
+            }
+            UiError::Meta(m) => write!(f, "model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for UiError {}
+
+impl From<mddsm_meta::MetaError> for UiError {
+    fn from(e: mddsm_meta::MetaError) -> Self {
+        UiError::Meta(e.to_string())
+    }
+}
+
+/// Result alias for UI operations.
+pub type Result<T> = std::result::Result<T, UiError>;

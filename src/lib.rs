@@ -1,0 +1,55 @@
+//! # MD-DSM: Model-Driven Domain-Specific Middleware
+//!
+//! A from-scratch Rust reproduction of *Model-Driven Domain-Specific
+//! Middleware* (Costa, Morris, Kon, Clarke — ICDCS 2017): middleware
+//! platforms are **generated from models** (a domain-independent middleware
+//! metamodel describes their structure), tailored to **application
+//! domains** via separately-packaged domain knowledge, and act as
+//! **model-execution engines** that dynamically interpret applications
+//! written in domain-specific modeling languages.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`meta`] | `mddsm-meta` | modeling substrate: metamodels, models, OCL-lite constraints, textual syntax, diffing (EMF substitute) |
+//! | [`sim`] | `mddsm-sim` | discrete-event simulation substrate (testbed substitute) |
+//! | [`runtime`] | `mddsm-runtime` | generic runtime environment: component factory, templates, containers, models@runtime |
+//! | [`synthesis`] | `mddsm-synthesis` | Synthesis layer: model comparator, LTSs, change interpreter, control scripts |
+//! | [`controller`] | `mddsm-controller` | Controller layer: DSCs, procedures/EUs, intent models, stack machine, Case 1/2 classification |
+//! | [`broker`] | `mddsm-broker` | Broker layer: model-defined managers, action dispatch, MAPE-K autonomic loop |
+//! | [`ui`] | `mddsm-ui` | UI layer: DSML environments and typed editing sessions |
+//! | [`core`] | `mddsm-core` | platform assembly: middleware metamodel (Fig. 5), domain knowledge, the generated platform |
+//! | [`cvm`] | `cvm` | communication domain (CML/CVM) + the §VII-A baselines |
+//! | [`mgridvm`] | `mgridvm` | smart-microgrid domain (MGridML/MGridVM) |
+//! | [`ssvm`] | `ssvm` | smart-spaces domain (2SML/2SVM, split deployment) |
+//! | [`csvm`] | `csvm` | crowdsensing domain (CSML/CSVM, on-the-fly query changes) |
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! 1. define an application DSML as a [`meta::Metamodel`];
+//! 2. encode the domain's synthesis semantics as a
+//!    [`synthesis::Lts`] and its operations as
+//!    [`controller`] DSCs/procedures;
+//! 3. describe the platform structure as a model of the middleware
+//!    metamodel ([`core::PlatformModelBuilder`]) plus a broker model
+//!    ([`broker::BrokerModelBuilder`]);
+//! 4. generate the platform with [`core::PlatformBuilder`] and submit
+//!    application models to it.
+
+#![warn(missing_docs)]
+
+pub use cvm;
+pub use csvm;
+pub use mddsm_broker as broker;
+pub use mddsm_controller as controller;
+pub use mddsm_core as core;
+pub use mddsm_meta as meta;
+pub use mddsm_runtime as runtime;
+pub use mddsm_sim as sim;
+pub use mddsm_synthesis as synthesis;
+pub use mddsm_ui as ui;
+pub use mgridvm;
+pub use ssvm;

@@ -1,0 +1,158 @@
+//! Failure injection and runtime adaptation across the stack:
+//! Controller-level IM regeneration, Broker-level MAPE-K recovery, and
+//! models@runtime reflective changes with immediate effect.
+
+use mddsm::controller::{Case, ClassificationPolicy};
+use mddsm::runtime::RuntimeModel;
+
+#[test]
+fn controller_adapts_around_failed_procedures() {
+    let mut p = mddsm::cvm::build_cvm(8, 50);
+    p.broker_mut().unwrap().hub_mut().set_healthy("sim.media", false);
+    let report = p
+        .submit_text(
+            r#"model m conformsTo cml {
+                Person a { name = "ana" userId = "a@x" }
+                Person b { name = "bob" userId = "b@x" }
+                Medium v { name = "voice" kind = MediaKind::Audio }
+                Connection c { name = "call" parties -> [a, b] media -> [v] }
+            }"#,
+        )
+        .unwrap();
+    assert!(report.execution.adaptations >= 1);
+    // The failed procedure is excluded from the context.
+    assert!(p.controller().unwrap().context().is_failed("mediaDirect"));
+    // The relay served the session instead.
+    assert!(p.command_trace().iter().any(|t| t.starts_with("sim.relay.open")));
+}
+
+#[test]
+fn autonomic_loop_heals_the_broker_and_controller_recovers() {
+    let mut p = mddsm::cvm::build_cvm(8, 50);
+    p.broker_mut().unwrap().hub_mut().set_healthy("sim.media", false);
+    p.submit_text(
+        r#"model m conformsTo cml {
+            Person a { name = "ana" userId = "a@x" }
+            Person b { name = "bob" userId = "b@x" }
+            Medium v { name = "voice" kind = MediaKind::Audio }
+            Connection c { name = "call" parties -> [a, b] media -> [v] }
+        }"#,
+    )
+    .unwrap();
+    assert!(!p.broker().unwrap().hub().is_healthy("sim.media"));
+    // The broker recorded the failure; the MAPE-K cycle heals the engine.
+    p.autonomic_tick().unwrap();
+    assert!(p.broker().unwrap().hub().is_healthy("sim.media"));
+    // Clearing the controller's failure marks restores the direct path.
+    p.controller_mut().unwrap().recover();
+    assert!(!p.controller().unwrap().context().is_failed("mediaDirect"));
+}
+
+#[test]
+fn classification_policy_changes_take_immediate_effect() {
+    let mut p = mddsm::cvm::build_cvm(8, 50);
+    let mut session = p.open_session().unwrap();
+    let a = session.create("Person").unwrap();
+    session.set(a, "name", "ana").unwrap();
+    session.set(a, "userId", "a@x").unwrap();
+    let b = session.create("Person").unwrap();
+    session.set(b, "name", "bob").unwrap();
+    session.set(b, "userId", "b@x").unwrap();
+    let v = session.create("Medium").unwrap();
+    session.set(v, "name", "voice").unwrap();
+    session.set(v, "kind", "Audio").unwrap();
+    let c = session.create("Connection").unwrap();
+    session.set(c, "name", "call").unwrap();
+    session.link(c, "parties", a).unwrap();
+    session.link(c, "parties", b).unwrap();
+    session.link(c, "media", v).unwrap();
+    p.submit_model(session.submit().unwrap()).unwrap();
+
+    // Codec edits normally go through the Case-1 fast action...
+    session.set(v, "codec", "vp9").unwrap();
+    let r = p.submit_model(session.submit().unwrap()).unwrap();
+    assert_eq!(r.execution.case1, 1);
+    assert_eq!(r.execution.case2, 0);
+
+    // ...until we reflectively flip the policy to always-dynamic (the
+    // models@runtime knob of Fig. 8): the next identical edit takes Case 2.
+    p.controller_mut().unwrap().set_classification_policy(ClassificationPolicy::always_dynamic());
+    session.set(v, "codec", "av1").unwrap();
+    let r = p.submit_model(session.submit().unwrap()).unwrap();
+    assert_eq!(r.execution.case1, 0);
+    assert_eq!(r.execution.case2, 1);
+
+    // Per-command overrides win over the preference.
+    p.controller_mut().unwrap().set_classification_policy(
+        ClassificationPolicy::always_dynamic().with_override("reconfigureMedia", Case::Predefined),
+    );
+    session.set(v, "codec", "h265").unwrap();
+    let r = p.submit_model(session.submit().unwrap()).unwrap();
+    assert_eq!(r.execution.case1, 1);
+}
+
+#[test]
+fn low_memory_context_prefers_dynamic_generation() {
+    let mut p = mddsm::cvm::build_cvm(8, 50);
+    p.submit_text(
+        r#"model m conformsTo cml {
+            Person a { name = "ana" userId = "a@x" }
+            Person b { name = "bob" userId = "b@x" }
+            Medium v { name = "voice" kind = MediaKind::Audio }
+            Connection c { name = "call" parties -> [a, b] media -> [v] }
+        }"#,
+    )
+    .unwrap();
+    // The Fig. 8 memory rationale: under memory pressure, prefer dynamic
+    // IM generation over stored predefined actions.
+    p.controller_mut().unwrap().context_mut().set("memory", "low");
+    let r = p
+        .submit_text(
+            r#"model m conformsTo cml {
+                Person a { name = "ana" userId = "a@x" }
+                Person b { name = "bob" userId = "b@x" }
+                Medium v { name = "voice" kind = MediaKind::Audio codec = "vp9" }
+                Connection c { name = "call" parties -> [a, b] media -> [v] }
+            }"#,
+        )
+        .unwrap();
+    assert_eq!(r.execution.case1, 0, "{:?}", r.execution);
+    assert_eq!(r.execution.case2, 1);
+}
+
+#[test]
+fn runtime_model_updates_notify_watchers_immediately() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    // The models@runtime foundation: a platform's own model is watchable
+    // and versioned; watchers run synchronously with each change.
+    let rm = RuntimeModel::new(mddsm::meta::Model::new("mm"));
+    let seen = Arc::new(AtomicU64::new(0));
+    let s = seen.clone();
+    rm.watch(move |v, _| s.store(v, Ordering::SeqCst));
+    for _ in 0..5 {
+        rm.update(|m| {
+            m.create("X");
+        });
+    }
+    assert_eq!(seen.load(Ordering::SeqCst), 5);
+    assert_eq!(rm.version(), 5);
+    assert_eq!(rm.read(|m| m.len()), 5);
+}
+
+#[test]
+fn engine_exhausts_when_no_alternative_exists() {
+    let mut p = mddsm::cvm::build_cvm(8, 50);
+    // Take down both media paths: no adaptation can succeed.
+    p.broker_mut().unwrap().hub_mut().set_healthy("sim.media", false);
+    p.broker_mut().unwrap().hub_mut().set_healthy("sim.relay", false);
+    let r = p.submit_text(
+        r#"model m conformsTo cml {
+            Person a { name = "ana" userId = "a@x" }
+            Person b { name = "bob" userId = "b@x" }
+            Medium v { name = "voice" kind = MediaKind::Audio }
+            Connection c { name = "call" parties -> [a, b] media -> [v] }
+        }"#,
+    );
+    assert!(r.is_err(), "with every media path down, establishment must fail loudly");
+}

@@ -1,0 +1,65 @@
+//! Integration test for experiment E1 (§VII-A): the model-based Broker
+//! layer is behaviourally equivalent to the handcrafted one — identical
+//! command sequences to the underlying services in all eight scenarios —
+//! while being defined entirely by a Fig. 6 broker model.
+
+use mddsm::cvm::baseline::HandcraftedNcb;
+use mddsm::cvm::ncb::{ModelBasedNcb, Ncb};
+use mddsm::cvm::scenarios::{all_scenarios, run_scenario};
+
+#[test]
+fn traces_identical_across_all_scenarios_and_seeds() {
+    for seed in [1u64, 42, 2024] {
+        for scenario in all_scenarios() {
+            let mut model_based = ModelBasedNcb::new(seed, 100);
+            run_scenario(&mut model_based, &scenario);
+            let mut handcrafted = HandcraftedNcb::new(seed, 100);
+            run_scenario(&mut handcrafted, &scenario);
+            assert_eq!(
+                model_based.trace(),
+                handcrafted.trace(),
+                "seed {seed}, {}",
+                scenario.name
+            );
+        }
+    }
+}
+
+#[test]
+fn bookkeeping_state_matches_too() {
+    // Beyond the command trace, the state the two implementations track
+    // (sessions/streams) must agree at the end of every scenario.
+    for scenario in all_scenarios() {
+        let mut model_based = ModelBasedNcb::new(9, 100);
+        run_scenario(&mut model_based, &scenario);
+        let mut handcrafted = HandcraftedNcb::new(9, 100);
+        run_scenario(&mut handcrafted, &scenario);
+        let mb_sessions = model_based.broker().state().int("sessions").unwrap_or(0);
+        let mb_streams = model_based.broker().state().int("streams").unwrap_or(0);
+        assert_eq!(mb_sessions, handcrafted.sessions(), "{}: sessions", scenario.name);
+        assert_eq!(mb_streams, handcrafted.streams(), "{}: streams", scenario.name);
+    }
+}
+
+#[test]
+fn scenario_seven_exercises_failure_and_recovery() {
+    // The recovery scenario must actually fail once, fall back to the
+    // relay, and return to the direct engine after recovery — on both
+    // implementations.
+    let scenario = all_scenarios().into_iter().find(|s| s.name.starts_with("S7")).unwrap();
+    for make in [true, false] {
+        let trace = if make {
+            let mut ncb = ModelBasedNcb::new(4, 100);
+            run_scenario(&mut ncb, &scenario);
+            ncb.trace()
+        } else {
+            let mut ncb = HandcraftedNcb::new(4, 100);
+            run_scenario(&mut ncb, &scenario);
+            ncb.trace()
+        };
+        let relays = trace.iter().filter(|t| t.starts_with("sim.relay.open")).count();
+        let opens = trace.iter().filter(|t| t.starts_with("sim.media.open")).count();
+        assert_eq!(relays, 2, "one failover + one relay-mode open: {trace:?}");
+        assert_eq!(opens, 2, "one failed + one recovered open: {trace:?}");
+    }
+}

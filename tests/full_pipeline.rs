@@ -1,0 +1,174 @@
+//! Cross-crate integration: every domain platform runs the full
+//! UI → Synthesis → Controller → Broker pipeline, and — the §VII-B
+//! separation claim — the *identical* domain-independent Controller engine
+//! executes both the communication and the microgrid DSK "without
+//! modification".
+
+use mddsm::controller::{
+    ClassificationPolicy, CommandClassifier, ControllerEngine, EngineConfig, PortResponse,
+};
+use mddsm::synthesis::Command;
+
+#[test]
+fn cvm_full_pipeline() {
+    let mut p = mddsm::cvm::build_cvm(3, 50);
+    let report = p
+        .submit_text(
+            r#"model m conformsTo cml {
+                Person a { name = "ana" userId = "a@x" }
+                Person b { name = "bob" userId = "b@x" }
+                Medium v { name = "voice" kind = MediaKind::Audio }
+                Connection c { name = "call" parties -> [a, b] media -> [v] }
+            }"#,
+        )
+        .unwrap();
+    assert_eq!(report.execution.commands, 1);
+    assert_eq!(p.command_trace().len(), 2);
+}
+
+#[test]
+fn mgridvm_full_pipeline() {
+    let plant = mddsm::mgridvm::plant::shared_plant();
+    let mut p = mddsm::mgridvm::build_mgridvm(3, plant.clone());
+    p.submit_text(
+        r#"model m conformsTo mgridml {
+            PowerSource pv { name = "pv" kind = SourceKind::Solar capacityKw = 5.0 }
+            Load hvac { name = "hvac" demandKw = 2.0 }
+        }"#,
+    )
+    .unwrap();
+    assert!(plant.lock().unwrap().dispatches() >= 1);
+}
+
+#[test]
+fn csvm_full_pipeline() {
+    let fleet = mddsm::csvm::fleet::shared_fleet(12, &["downtown"], 1);
+    let mut p = mddsm::csvm::build_csvm(3, fleet.clone());
+    p.submit_text(
+        r#"model m conformsTo csml {
+            SensingQuery q { name = "q1" sensor = Sensor::Noise region = "downtown" }
+        }"#,
+    )
+    .unwrap();
+    assert_eq!(fleet.lock().unwrap().running(), vec!["q1"]);
+}
+
+/// The same domain-independent engine type, constructed from two different
+/// domains' DSK, executes both — with no domain words in the engine crate.
+#[test]
+fn one_controller_engine_two_domains() {
+    // A port that accepts anything and records the APIs touched.
+    fn ok_port(seen: std::rc::Rc<std::cell::RefCell<Vec<String>>>) -> impl FnMut(&str, &str, &[(String, String)]) -> PortResponse {
+        move |api: &str, op: &str, _args: &[(String, String)]| {
+            seen.borrow_mut().push(format!("{api}.{op}"));
+            let mut r = PortResponse::ok();
+            if op == "invite" {
+                r.values.insert("session".into(), "s0".into());
+            }
+            if op == "dispatch" {
+                r.values.insert("shed".into(), String::new());
+            }
+            r
+        }
+    }
+
+    // Communication DSK.
+    let mut classifier = CommandClassifier::new(ClassificationPolicy::always_dynamic());
+    for (c, d) in mddsm::cvm::artifacts::cvm_command_map() {
+        classifier.map_command(&c, &d);
+    }
+    let mut comm_engine = ControllerEngine::new(
+        mddsm::cvm::artifacts::cvm_dscs(),
+        mddsm::cvm::artifacts::cvm_procedures(),
+        mddsm::cvm::artifacts::cvm_actions(),
+        classifier,
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let mut port = ok_port(seen.clone());
+    comm_engine
+        .execute_command(
+            &Command::new("createConnection", "").with("from", "a").with("to", "b"),
+            &mut port,
+        )
+        .unwrap();
+    assert!(seen.borrow().iter().any(|c| c == "signaling.invite"));
+
+    // Microgrid DSK through the *same engine type*.
+    let mut classifier = CommandClassifier::new(ClassificationPolicy::always_dynamic());
+    for (c, d) in mddsm::mgridvm::dsk::mgrid_command_map() {
+        classifier.map_command(&c, &d);
+    }
+    let mut grid_engine = ControllerEngine::new(
+        mddsm::mgridvm::dsk::mgrid_dscs(),
+        mddsm::mgridvm::dsk::mgrid_procedures(),
+        mddsm::mgridvm::dsk::mgrid_actions(),
+        classifier,
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let mut port = ok_port(seen.clone());
+    grid_engine
+        .execute_command(
+            &Command::new("attachLoad", "")
+                .with("name", "hvac")
+                .with("demandKw", "2")
+                .with("priority", "Normal"),
+            &mut port,
+        )
+        .unwrap();
+    assert!(seen.borrow().iter().any(|c| c == "plant.attachLoad"));
+    assert!(seen.borrow().iter().any(|c| c == "plant.dispatch"));
+}
+
+/// Incremental model evolution: only deltas are synthesized and executed.
+#[test]
+fn incremental_synthesis_is_delta_based() {
+    let mut p = mddsm::cvm::build_cvm(3, 50);
+    let mut session = p.open_session().unwrap();
+    let a = session.create("Person").unwrap();
+    session.set(a, "name", "ana").unwrap();
+    session.set(a, "userId", "a@x").unwrap();
+    let b = session.create("Person").unwrap();
+    session.set(b, "name", "bob").unwrap();
+    session.set(b, "userId", "b@x").unwrap();
+    let v = session.create("Medium").unwrap();
+    session.set(v, "name", "voice").unwrap();
+    session.set(v, "kind", "Audio").unwrap();
+    let c = session.create("Connection").unwrap();
+    session.set(c, "name", "call").unwrap();
+    session.link(c, "parties", a).unwrap();
+    session.link(c, "parties", b).unwrap();
+    session.link(c, "media", v).unwrap();
+    p.submit_model(session.submit().unwrap()).unwrap();
+    let after_create = p.command_trace().len();
+
+    // Re-submitting the identical model does nothing.
+    let report = p.submit_model(session.submit().unwrap()).unwrap();
+    assert_eq!(report.synthesized_commands, 0);
+    assert_eq!(p.command_trace().len(), after_create);
+
+    // A one-attribute edit produces exactly one reconfiguration call.
+    session.set(v, "codec", "opus-hd").unwrap();
+    let report = p.submit_model(session.submit().unwrap()).unwrap();
+    assert_eq!(report.synthesized_commands, 1);
+    assert_eq!(p.command_trace().len(), after_create + 1);
+}
+
+/// Invalid models are stopped at the Synthesis boundary; nothing reaches
+/// the services.
+#[test]
+fn invalid_models_never_touch_resources() {
+    let mut p = mddsm::cvm::build_cvm(3, 50);
+    let r = p.submit_text(
+        r#"model m conformsTo cml {
+            Person lonely { name = "solo" userId = "s@x" }
+            Medium v { name = "voice" kind = MediaKind::Audio }
+            Connection bad { name = "x" parties -> [lonely] media -> [v] }
+        }"#,
+    );
+    assert!(r.is_err(), "a one-party connection violates the CML invariant");
+    assert!(p.command_trace().is_empty());
+}

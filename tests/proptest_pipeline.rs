@@ -1,0 +1,117 @@
+//! Workspace-level property tests: random (valid) application models and
+//! edit sequences flow through the full pipeline without panics, and
+//! pipeline invariants hold (delta-based synthesis, trace monotonicity,
+//! IM acyclicity under arbitrary failure marks).
+
+use mddsm::controller::{ControllerContext, DscId, GenerationConfig};
+use proptest::prelude::*;
+
+/// Random CML person/medium/connection populations (always valid).
+fn arb_call_model() -> impl Strategy<Value = (u8, u8)> {
+    // (extra parties beyond 2, extra audio media beyond 1)
+    (0u8..4, 0u8..3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_valid_call_models_execute((extra_parties, extra_media) in arb_call_model()) {
+        let mut p = mddsm::cvm::build_cvm(1, 10);
+        let mut s = p.open_session().unwrap();
+        let mut parties = Vec::new();
+        for i in 0..(2 + extra_parties) {
+            let person = s.create("Person").unwrap();
+            s.set(person, "name", &format!("p{i}")).unwrap();
+            s.set(person, "userId", &format!("p{i}@x")).unwrap();
+            parties.push(person);
+        }
+        let mut media = Vec::new();
+        for i in 0..(1 + extra_media) {
+            let m = s.create("Medium").unwrap();
+            s.set(m, "name", &format!("m{i}")).unwrap();
+            s.set(m, "kind", "Audio").unwrap();
+            media.push(m);
+        }
+        let c = s.create("Connection").unwrap();
+        s.set(c, "name", "call").unwrap();
+        for party in &parties {
+            s.link(c, "parties", *party).unwrap();
+        }
+        for m in &media {
+            s.link(c, "media", *m).unwrap();
+        }
+        let report = p.submit_model(s.submit().unwrap()).unwrap();
+        prop_assert!(report.execution.commands >= 1);
+        // Establishment always invites + opens at least one stream.
+        let trace = p.command_trace();
+        prop_assert!(trace.iter().any(|t| t.starts_with("sim.signaling.invite")));
+        prop_assert!(trace.iter().any(|t| t.starts_with("sim.media.open")));
+    }
+
+    #[test]
+    fn resubmission_is_always_a_noop(seed in 0u64..1000) {
+        let mut p = mddsm::cvm::build_cvm(seed, 10);
+        let src = r#"model m conformsTo cml {
+            Person a { name = "ana" userId = "a@x" }
+            Person b { name = "bob" userId = "b@x" }
+            Medium v { name = "voice" kind = MediaKind::Audio }
+            Connection c { name = "call" parties -> [a, b] media -> [v] }
+        }"#;
+        p.submit_text(src).unwrap();
+        let before = p.command_trace().len();
+        let report = p.submit_text(src).unwrap();
+        prop_assert_eq!(report.synthesized_commands, 0);
+        prop_assert_eq!(p.command_trace().len(), before);
+    }
+
+    #[test]
+    fn im_generation_never_yields_cycles_under_failures(fail_mask in 0u32..256) {
+        // Arbitrarily mark procedures failed; generation must either fail
+        // cleanly or produce a valid (acyclic, dependency-complete) IM.
+        let dscs = mddsm::cvm::artifacts::cvm_dscs();
+        let repo = mddsm::cvm::artifacts::cvm_procedures();
+        let mut ctx = ControllerContext::new();
+        let ids: Vec<_> = repo.ids().into_iter().cloned().collect();
+        for (i, id) in ids.iter().enumerate() {
+            if fail_mask & (1 << (i % 8)) != 0 {
+                ctx.mark_failed(id.as_str());
+            }
+        }
+        for dsc in ["EstablishSession", "StreamMedia", "ManageParty", "ReconfigureMedia"] {
+            let result = mddsm::controller::intent::generate(
+                &DscId::new(dsc),
+                &repo,
+                &dscs,
+                &ctx,
+                &GenerationConfig::default(),
+            );
+            if let Ok(im) = result {
+                mddsm::controller::intent::validate(&im, &repo, &dscs, &DscId::new(dsc))
+                    .expect("generated IMs always validate");
+            }
+        }
+    }
+
+    #[test]
+    fn microgrid_dispatch_conserves_power(demands in prop::collection::vec(0.1f64..5.0, 1..6)) {
+        use mddsm::mgridvm::plant::{LoadPriority, Plant, SourceKind};
+        let mut plant = Plant::new();
+        plant.attach_source("pv", SourceKind::Solar, 4.0);
+        plant.attach_source("grid", SourceKind::Grid, 6.0);
+        plant.set_battery(8.0, 4.0);
+        for (i, d) in demands.iter().enumerate() {
+            plant.attach_load(&format!("l{i}"), *d, LoadPriority::Normal);
+        }
+        let d = plant.dispatch(1.0);
+        // Supply always covers the served demand.
+        prop_assert!(d.renewable_kw + d.storage_kw + d.import_kw >= d.demand_kw - 1e-9,
+            "dispatch under-supplies: {d:?}");
+        // No source over-delivers its capacity.
+        prop_assert!(d.renewable_kw <= 4.0 + 1e-9);
+        prop_assert!(d.import_kw <= 6.0 + 1e-9);
+        // Battery stays within bounds.
+        let (cap, charge) = plant.battery();
+        prop_assert!(charge >= -1e-9 && charge <= cap + 1e-9);
+    }
+}
