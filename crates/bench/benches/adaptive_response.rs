@@ -1,22 +1,17 @@
-//! Criterion bench for experiment E4 (§VII-B): adaptive vs non-adaptive
+//! Micro-bench for experiment E4 (§VII-B): adaptive vs non-adaptive
 //! controller. The dynamic (failure) scenario is timeout-dominated and
 //! deterministic under virtual time, so the bench reports the wall-clock
 //! cost of *driving* each controller through the scenario; the virtual
 //! milliseconds themselves are printed by the `experiments` binary.
 
 use bench::e4;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::micro::BenchGroup;
 
-fn bench_adaptive_response(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_adaptive_response");
-    group.bench_function("dynamic_scenario_pair", |b| {
-        b.iter(|| e4::dynamic(7));
-    });
-    group.bench_function("static_adaptive_vs_monolithic", |b| {
-        b.iter(|| e4::static_scenario(7, 1));
+fn main() {
+    let mut group = BenchGroup::new("e4_adaptive_response");
+    group.bench_function("dynamic_scenario_pair", || e4::dynamic(7));
+    group.bench_function("static_adaptive_vs_monolithic", || {
+        e4::static_scenario(7, 1)
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_adaptive_response);
-criterion_main!(benches);

@@ -1,45 +1,29 @@
-//! Criterion bench for experiment E2 (§VII-A): per-scenario wall time of
+//! Micro-bench for experiment E2 (§VII-A): per-scenario wall time of
 //! the handcrafted vs model-based NCB. The paper's headline: the
 //! model-based Broker spends ~17% more time on average.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use bench::micro::BenchGroup;
 use cvm::baseline::HandcraftedNcb;
 use cvm::ncb::ModelBasedNcb;
 use cvm::scenarios::{all_scenarios, run_scenario};
 
 const WORK: u32 = 10_000;
 
-fn bench_broker_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_broker_overhead");
+fn main() {
+    let mut group = BenchGroup::new("e2_broker_overhead");
     for scenario in all_scenarios() {
-        // NCB construction happens in the setup closure: the paper's
-        // measurement "did not consider the time required to load the
-        // middleware model into the runtime environment" (§VII-A).
-        group.bench_with_input(
-            BenchmarkId::new("handcrafted", scenario.name),
-            &scenario,
-            |b, scenario| {
-                b.iter_batched(
-                    || HandcraftedNcb::new(7, WORK),
-                    |mut ncb| run_scenario(&mut ncb, scenario),
-                    BatchSize::SmallInput,
-                );
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("model_based", scenario.name),
-            &scenario,
-            |b, scenario| {
-                b.iter_batched(
-                    || ModelBasedNcb::new(7, WORK),
-                    |mut ncb| run_scenario(&mut ncb, scenario),
-                    BatchSize::SmallInput,
-                );
-            },
-        );
+        // NCB construction happens inside the timed closure: with virtual
+        // time the scenario itself is cheap, and the paper's caveat about
+        // model-load time (§VII-A) is handled by the `experiments` binary,
+        // which reports virtual milliseconds instead.
+        group.bench_function(&format!("handcrafted/{}", scenario.name), || {
+            let mut ncb = HandcraftedNcb::new(7, WORK);
+            run_scenario(&mut ncb, &scenario)
+        });
+        group.bench_function(&format!("model_based/{}", scenario.name), || {
+            let mut ncb = ModelBasedNcb::new(7, WORK);
+            run_scenario(&mut ncb, &scenario)
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_broker_overhead);
-criterion_main!(benches);

@@ -1,36 +1,35 @@
-//! Criterion bench for experiment E3 (§VII-B): the full intent-model
+//! Micro-bench for experiment E3 (§VII-B): the full intent-model
 //! generation cycle (generation, validation, selection) over the curated
 //! 100-procedure repository — cold vs memoized.
 
 use bench::e3::curated_repository;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::micro::BenchGroup;
 use mddsm_controller::{ControllerContext, GenerationConfig, ImCache};
 
-fn bench_generation_cycle(c: &mut Criterion) {
+fn main() {
     let (dscs, repo, root) = curated_repository(9, 3, 4);
     let ctx = ControllerContext::new();
     let config = GenerationConfig::default();
 
-    let mut group = c.benchmark_group("e3_im_generation");
-    group.bench_function("cold_full_cycle", |b| {
-        b.iter(|| {
-            mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config)
-                .expect("valid configuration exists")
-        });
+    let mut group = BenchGroup::new("e3_im_generation");
+    group.bench_function("cold_full_cycle", || {
+        mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config)
+            .expect("valid configuration exists")
     });
-    group.bench_function("cached_cycle", |b| {
-        let mut cache = ImCache::new();
-        // Warm the cache once; the measured loop is the steady state the
-        // paper's 100 000-request average converges to.
-        cache.get_or_generate(&root, &repo, &dscs, &ctx, &config).unwrap();
-        b.iter(|| cache.get_or_generate(&root, &repo, &dscs, &ctx, &config).unwrap());
+    // Warm the cache once; the measured loop is the steady state the
+    // paper's 100 000-request average converges to.
+    let mut cache = ImCache::new();
+    cache
+        .get_or_generate(&root, &repo, &dscs, &ctx, &config)
+        .unwrap();
+    group.bench_function("cached_cycle", || {
+        cache
+            .get_or_generate(&root, &repo, &dscs, &ctx, &config)
+            .unwrap()
     });
-    group.bench_function("validation_only", |b| {
-        let im = mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config).unwrap();
-        b.iter(|| mddsm_controller::intent::validate(&im, &repo, &dscs, &root).unwrap());
+    let im = mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config).unwrap();
+    group.bench_function("validation_only", || {
+        mddsm_controller::intent::validate(&im, &repo, &dscs, &root).unwrap()
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_generation_cycle);
-criterion_main!(benches);

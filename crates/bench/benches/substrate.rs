@@ -3,7 +3,7 @@
 //! evaluation) and of the execution machinery (stack machine, model-driven
 //! broker dispatch). These are the per-call prices behind E2/E3.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::micro::BenchGroup;
 use mddsm_meta::constraint::{self, eval_bool, EvalEnv};
 use mddsm_meta::diff::{diff, DiffOptions};
 use mddsm_meta::metamodel::{DataType, Metamodel, MetamodelBuilder, Multiplicity};
@@ -18,7 +18,8 @@ fn mm() -> Metamodel {
                 .invariant("positive", "self.weight > 0")
         })
         .class("Graph", |c| {
-            c.attr("name", DataType::Str).contains("nodes", "Node", Multiplicity::MANY)
+            c.attr("name", DataType::Str)
+                .contains("nodes", "Node", Multiplicity::MANY)
         })
         .build()
         .unwrap()
@@ -37,7 +38,7 @@ fn model(n: usize) -> Model {
     m
 }
 
-fn bench_substrate(c: &mut Criterion) {
+fn main() {
     let metamodel = mm();
     let m100 = model(100);
     let mut m100b = m100.clone();
@@ -46,37 +47,26 @@ fn bench_substrate(c: &mut Criterion) {
         m100b.set_attr(id, "weight", Value::from(999));
     }
 
-    let mut group = c.benchmark_group("substrate");
-    group.bench_function("conformance_check_100_objects", |b| {
-        b.iter(|| conformance::check(&m100, &metamodel).unwrap());
+    let mut group = BenchGroup::new("substrate");
+    group.bench_function("conformance_check_100_objects", || {
+        conformance::check(&m100, &metamodel).unwrap()
     });
-    group.bench_function("model_diff_100_objects_10_changed", |b| {
-        b.iter(|| diff(&m100, &m100b, &DiffOptions::default()));
+    group.bench_function("model_diff_100_objects_10_changed", || {
+        diff(&m100, &m100b, &DiffOptions::default())
     });
     let written = text::write(&m100);
-    group.bench_function("text_parse_100_objects", |b| {
-        b.iter(|| text::parse(&written).unwrap());
-    });
-    group.bench_function("text_write_100_objects", |b| {
-        b.iter(|| text::write(&m100));
-    });
-    let expr = constraint::parse(
-        "self.nodes->forAll(n | n.weight > 0) and self.nodes->size() >= 100",
-    )
-    .unwrap();
+    group.bench_function("text_parse_100_objects", || text::parse(&written).unwrap());
+    group.bench_function("text_write_100_objects", || text::write(&m100));
+    let expr =
+        constraint::parse("self.nodes->forAll(n | n.weight > 0) and self.nodes->size() >= 100")
+            .unwrap();
     let g = m100.all_of_class("Graph")[0];
-    group.bench_function("ocl_forall_over_100_nodes", |b| {
-        let env = EvalEnv::for_object(&m100, &metamodel, g);
-        b.iter(|| eval_bool(&expr, &env).unwrap());
+    let env = EvalEnv::for_object(&m100, &metamodel, g);
+    group.bench_function("ocl_forall_over_100_nodes", || {
+        eval_bool(&expr, &env).unwrap()
     });
-    group.bench_function("constraint_parse", |b| {
-        b.iter(|| {
-            constraint::parse("self.kind = MediaKind::Video implies self.bandwidth > 100")
-                .unwrap()
-        });
+    group.bench_function("constraint_parse", || {
+        constraint::parse("self.kind = MediaKind::Video implies self.bandwidth > 100").unwrap()
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_substrate);
-criterion_main!(benches);

@@ -41,7 +41,11 @@ pub fn repo_size_sweep() -> Vec<SizeRow> {
                 best = best.min(start.elapsed().as_secs_f64() * 1e6);
                 im_size = im.size();
             }
-            SizeRow { procedures: repo.len(), cold_us: best, im_size }
+            SizeRow {
+                procedures: repo.len(),
+                cold_us: best,
+                im_size,
+            }
         })
         .collect()
 }
@@ -64,7 +68,10 @@ pub fn beam_width_sweep() -> Vec<BeamRow> {
     [1usize, 2, 4, 8, 16]
         .iter()
         .map(|&beam| {
-            let config = GenerationConfig { beam_width: beam, ..GenerationConfig::default() };
+            let config = GenerationConfig {
+                beam_width: beam,
+                ..GenerationConfig::default()
+            };
             let mut best = f64::INFINITY;
             let mut score = 0.0;
             for _ in 0..5 {
@@ -74,7 +81,11 @@ pub fn beam_width_sweep() -> Vec<BeamRow> {
                 best = best.min(start.elapsed().as_secs_f64() * 1e6);
                 score = config.policy.score(&im, &repo);
             }
-            BeamRow { beam, cold_us: best, score }
+            BeamRow {
+                beam,
+                cold_us: best,
+                score,
+            }
         })
         .collect()
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin experiments -- quick   # CI-sized run
 //! ```
 
-use bench::{ablation, e1, e2, e3, e4, e5};
+use bench::{ablation, e1, e2, e3, e4, e5, e6};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,16 +33,55 @@ fn main() {
     if want("e5") {
         run_e5();
     }
+    if want("e6") {
+        run_e6(quick);
+    }
     if want("ablations") {
         run_ablations(quick);
     }
+}
+
+fn run_e6(quick: bool) {
+    println!("E6 — fault recovery under seeded fault campaigns");
+    println!("-------------------------------------------------");
+    let calls = if quick { 300 } else { 2_000 };
+    let r = e6::run(2024, calls, 20);
+    println!(
+        "  campaign: seed {}, {} calls every {} virtual ms",
+        r.seed, r.calls, r.period_ms
+    );
+    for (name, v) in [("baseline", &r.baseline), ("resilient", &r.resilient)] {
+        println!(
+            "  {:<10} success {:>5.1}%  outages {:>3}  mean recovery {:>8.1} ms  worst {:>8.1} ms  mean call {:>6.2} ms",
+            name,
+            v.success_rate * 100.0,
+            v.recoveries,
+            v.mean_recovery_ms,
+            v.max_recovery_ms,
+            v.mean_call_ms
+        );
+    }
+    match std::fs::write("BENCH_e6.json", r.to_json()) {
+        Ok(()) => println!("  artifact: BENCH_e6.json"),
+        Err(e) => println!("  artifact: BENCH_e6.json not written: {e}"),
+    }
+    println!(
+        "\n  expectation: the resilience model (retry+breaker+fallback) lifts the\n               success-rate and cuts recovery time on the same campaign\n  measured: success {:.1}% -> {:.1}%; mean recovery {:.1} ms -> {:.1} ms\n",
+        r.baseline.success_rate * 100.0,
+        r.resilient.success_rate * 100.0,
+        r.baseline.mean_recovery_ms,
+        r.resilient.mean_recovery_ms
+    );
 }
 
 fn run_ablations(quick: bool) {
     println!("A — ablations over DESIGN.md's design choices");
     println!("----------------------------------------------");
     println!("A1: cold IM-generation time vs repository size");
-    println!("{:>12} {:>12} {:>10}", "procedures", "cold (us)", "IM nodes");
+    println!(
+        "{:>12} {:>12} {:>10}",
+        "procedures", "cold (us)", "IM nodes"
+    );
     for r in ablation::repo_size_sweep() {
         println!("{:>12} {:>12.1} {:>10}", r.procedures, r.cold_us, r.im_size);
     }
@@ -105,8 +144,14 @@ fn run_e3(quick: bool) {
     println!("---------------------------------------------------------");
     let max_cycles = if quick { 10_000 } else { 100_000 };
     let r = e3::run(max_cycles);
-    println!("  repository: {} curated procedures; generated IM spans {} nodes", r.procedures, r.im_size);
-    println!("  first full cycle (generation+validation+selection): {:.3} ms", r.first_cycle_us / 1000.0);
+    println!(
+        "  repository: {} curated procedures; generated IM spans {} nodes",
+        r.procedures, r.im_size
+    );
+    println!(
+        "  first full cycle (generation+validation+selection): {:.3} ms",
+        r.first_cycle_us / 1000.0
+    );
     println!("\n{:>10} {:>16}", "cycles", "avg per cycle");
     for p in &r.series {
         println!("{:>10} {:>13.3} us", p.cycles, p.avg_us);

@@ -31,7 +31,11 @@ pub fn run(seed: u64) -> Vec<E1Row> {
             run_scenario(&mut handcrafted, scenario);
             let a = model_based.trace();
             let b = handcrafted.trace();
-            E1Row { scenario: scenario.name, commands: a.len(), equivalent: a == b }
+            E1Row {
+                scenario: scenario.name,
+                commands: a.len(),
+                equivalent: a == b,
+            }
         })
         .collect()
 }

@@ -68,9 +68,11 @@ pub fn run(seed: u64, work_per_call: u32, reps: u32) -> E2Result {
             }
         })
         .collect();
-    let mean_overhead_pct =
-        rows.iter().map(|r| r.overhead_pct).sum::<f64>() / rows.len() as f64;
-    E2Result { rows, mean_overhead_pct }
+    let mean_overhead_pct = rows.iter().map(|r| r.overhead_pct).sum::<f64>() / rows.len() as f64;
+    E2Result {
+        rows,
+        mean_overhead_pct,
+    }
 }
 
 #[cfg(test)]

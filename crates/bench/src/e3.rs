@@ -28,7 +28,8 @@ pub fn curated_repository(
 ) -> (DscRegistry, ProcedureRepository, DscId) {
     let mut dscs = DscRegistry::new();
     let mut repo = ProcedureRepository::new();
-    dscs.operation("Root", None, "the requested operation").expect("unique DSC");
+    dscs.operation("Root", None, "the requested operation")
+        .expect("unique DSC");
     // The root procedure depends on the first DSC of every family.
     let mut root = Procedure::simple("rootProc", "Root", {
         let mut instrs: Vec<Instr> = (0..families).map(Instr::CallDep).collect();
@@ -38,7 +39,8 @@ pub fn curated_repository(
     for f in 0..families {
         for d in 0..depth {
             let id = format!("F{f}L{d}");
-            dscs.operation(&id, None, "curated level").expect("unique DSC");
+            dscs.operation(&id, None, "curated level")
+                .expect("unique DSC");
         }
         root = root.with_dependency(&format!("F{f}L0"));
     }
@@ -56,7 +58,9 @@ pub fn curated_repository(
                 };
                 // Distinct costs make selection meaningful ("optimum
                 // dependency matching" has a unique optimum).
-                p = p.with_cost(1.0 + a as f64).with_reliability(0.9 + 0.01 * a as f64);
+                p = p
+                    .with_cost(1.0 + a as f64)
+                    .with_reliability(0.9 + 0.01 * a as f64);
                 repo.add(p).expect("unique procedure");
             }
         }
@@ -124,7 +128,12 @@ pub fn run_with(
         series.push(E3Point { cycles, avg_us });
         cycles *= 10;
     }
-    E3Result { procedures: repo.len(), first_cycle_us, series, im_size: im.size() }
+    E3Result {
+        procedures: repo.len(),
+        first_cycle_us,
+        series,
+        im_size: im.size(),
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +151,11 @@ mod tests {
     fn amortization_shape_holds() {
         let r = run(1_000);
         // First cycle well under the paper's 120 ms bound.
-        assert!(r.first_cycle_us < 120_000.0, "cold cycle {}µs", r.first_cycle_us);
+        assert!(
+            r.first_cycle_us < 120_000.0,
+            "cold cycle {}µs",
+            r.first_cycle_us
+        );
         // The IM spans root + one procedure chain per family.
         assert_eq!(r.im_size, 1 + 9 * 3);
         // Average at 1000 cycles is much cheaper than the cold cycle.
@@ -165,7 +178,9 @@ mod tests {
         let direct =
             mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config).unwrap();
         let mut cache = ImCache::new();
-        let cached = cache.get_or_generate(&root, &repo, &dscs, &ctx, &config).unwrap();
+        let cached = cache
+            .get_or_generate(&root, &repo, &dscs, &ctx, &config)
+            .unwrap();
         assert_eq!(direct, cached);
     }
 }

@@ -22,9 +22,7 @@ use cvm::monolithic::MonolithicController;
 use cvm::ncb::ncb_broker_model;
 use cvm::services::service_hub;
 use mddsm_broker::GenericBroker;
-use mddsm_controller::{
-    ClassificationPolicy, CommandClassifier, ControllerEngine, EngineConfig,
-};
+use mddsm_controller::{ClassificationPolicy, CommandClassifier, ControllerEngine, EngineConfig};
 use mddsm_core::port::BrokerAdapter;
 use mddsm_sim::resource::{Args, Outcome};
 use mddsm_sim::{LatencyModel, SimDuration};
@@ -59,7 +57,12 @@ fn adaptive_engine() -> ControllerEngine {
         cvm_procedures(),
         cvm_actions(),
         classifier,
-        EngineConfig { adaptive: true, max_adaptations: 4, max_retries: 4, ..Default::default() },
+        EngineConfig {
+            adaptive: true,
+            max_adaptations: 4,
+            max_retries: 4,
+            ..Default::default()
+        },
     )
     .expect("CVM artifacts are consistent")
 }
@@ -94,15 +97,18 @@ pub fn dynamic(seed: u64) -> E4Dynamic {
     let mut broker_a = broker(seed, true);
     let mut engine = adaptive_engine();
     let mut port = CountingPort::new(BrokerAdapter::new(&mut broker_a));
-    let adaptive_completed = engine.execute_command(&establish_command(), &mut port).is_ok();
+    let adaptive_completed = engine
+        .execute_command(&establish_command(), &mut port)
+        .is_ok();
     let adaptive_ms = port.total_us() as f64 / 1000.0;
 
     // Non-adaptive (the previous-generation monolithic controller).
     let mut broker_n = broker(seed, true);
     let mut mono = MonolithicController::new(4);
     let mut port = CountingPort::new(BrokerAdapter::new(&mut broker_n));
-    let nonadaptive_completed =
-        mono.execute_command(&establish_command(), &mut port).is_ok();
+    let nonadaptive_completed = mono
+        .execute_command(&establish_command(), &mut port)
+        .is_ok();
     let nonadaptive_ms = port.total_us() as f64 / 1000.0;
 
     E4Dynamic {
@@ -136,14 +142,17 @@ pub fn static_scenario(seed: u64, reps: u32) -> E4Static {
         let cmd = establish_command();
         let start = Instant::now();
         let mut port = BrokerAdapter::new(&mut broker_a);
-        engine.execute_command(&cmd, &mut port).expect("healthy run succeeds");
+        engine
+            .execute_command(&cmd, &mut port)
+            .expect("healthy run succeeds");
         adaptive_best = adaptive_best.min(start.elapsed().as_secs_f64() * 1e6);
 
         let mut broker_n = broker(seed, false);
         let mut mono = MonolithicController::new(4);
         let start = Instant::now();
         let mut port = BrokerAdapter::new(&mut broker_n);
-        mono.execute_command(&cmd, &mut port).expect("healthy run succeeds");
+        mono.execute_command(&cmd, &mut port)
+            .expect("healthy run succeeds");
         mono_best = mono_best.min(start.elapsed().as_secs_f64() * 1e6);
     }
     E4Static {
@@ -160,8 +169,14 @@ mod tests {
     #[test]
     fn adaptation_wins_by_a_large_factor_under_failure() {
         let r = dynamic(42);
-        assert!(r.adaptive_completed, "adaptive controller must complete via the relay");
-        assert!(!r.nonadaptive_completed, "non-adaptive controller must exhaust retries");
+        assert!(
+            r.adaptive_completed,
+            "adaptive controller must complete via the relay"
+        );
+        assert!(
+            !r.nonadaptive_completed,
+            "non-adaptive controller must exhaust retries"
+        );
         // Paper shape: ~800 ms vs ~4000 ms, i.e. ~5x. Accept 3x..10x.
         assert!(
             r.speedup > 3.0 && r.speedup < 10.0,

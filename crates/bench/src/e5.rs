@@ -70,7 +70,11 @@ pub fn count_file(name: &str) -> std::io::Result<LocCount> {
     let path = cvm_src().join(name);
     let source = std::fs::read_to_string(&path)?;
     let (loc, raw_lines) = count_loc(&source);
-    Ok(LocCount { file: format!("crates/cvm/src/{name}"), loc, raw_lines })
+    Ok(LocCount {
+        file: format!("crates/cvm/src/{name}"),
+        loc,
+        raw_lines,
+    })
 }
 
 /// Full E5 result.
@@ -90,7 +94,11 @@ pub fn run() -> std::io::Result<E5Result> {
     let artifacts = count_file("artifacts.rs")?;
     let reduction_pct =
         (monolithic.loc as f64 - artifacts.loc as f64) / monolithic.loc as f64 * 100.0;
-    Ok(E5Result { monolithic, artifacts, reduction_pct })
+    Ok(E5Result {
+        monolithic,
+        artifacts,
+        reduction_pct,
+    })
 }
 
 #[cfg(test)]
@@ -131,6 +139,10 @@ mod tests {
         assert!(r.monolithic.loc > 100, "monolithic {}", r.monolithic.loc);
         assert!(r.artifacts.loc > 100, "artifacts {}", r.artifacts.loc);
         // Paper shape: a moderate reduction (theirs was ~16%).
-        assert!(r.reduction_pct > 0.0 && r.reduction_pct < 60.0, "{:.1}%", r.reduction_pct);
+        assert!(
+            r.reduction_pct > 0.0 && r.reduction_pct < 60.0,
+            "{:.1}%",
+            r.reduction_pct
+        );
     }
 }

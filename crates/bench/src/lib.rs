@@ -11,8 +11,10 @@
 //! | E4 | adaptive ≈800 ms vs non-adaptive ≈4000 ms when adaptation helps | [`e4`] |
 //! | E5 | LoC reduction 1402 → 1176 from separating domain concerns | [`e5`] |
 //!
-//! The same functions back the Criterion benches (`benches/`) and the
-//! `experiments` binary that prints the paper-style tables.
+//! | E6 | fault recovery: resilience model on vs off under fault campaigns | [`e6`] |
+//!
+//! The same functions back the micro-benches (`benches/`, via [`micro`])
+//! and the `experiments` binary that prints the paper-style tables.
 
 #![warn(missing_docs)]
 
@@ -22,6 +24,8 @@ pub mod e2;
 pub mod e3;
 pub mod e4;
 pub mod e5;
+pub mod e6;
+pub mod micro;
 pub mod port;
 
 /// Formats a microsecond value as milliseconds with 3 decimals.

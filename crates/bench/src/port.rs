@@ -15,7 +15,12 @@ pub struct CountingPort<P> {
 impl<P: BrokerPort> CountingPort<P> {
     /// Wraps `inner`.
     pub fn new(inner: P) -> Self {
-        CountingPort { inner, total_us: 0, calls: 0, failures: 0 }
+        CountingPort {
+            inner,
+            total_us: 0,
+            calls: 0,
+            failures: 0,
+        }
     }
 
     /// Total virtual cost accumulated (µs).

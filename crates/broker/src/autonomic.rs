@@ -27,13 +27,19 @@ pub enum PlanStep {
     Set(String, String),
     /// Emit an event topic to the upper layer.
     Emit(String),
+    /// Close the circuit breaker of a (logical) resource and zero its
+    /// failure count — lets autonomic plans re-enable a resource that the
+    /// resilience layer fenced off.
+    ResetBreaker(String),
 }
 
 /// Parses a plan-step string: `heal r` | `fail r` | `degrade r ms` |
-/// `set k v` | `emit topic`.
+/// `set k v` | `emit topic` | `reset_breaker r`.
 pub fn parse_step(s: &str) -> Result<PlanStep> {
     let mut parts = s.split_whitespace();
-    let verb = parts.next().unwrap_or_default();
+    let Some(verb) = parts.next() else {
+        return Err(BrokerError::BadPlanStep(format!("empty plan step `{s}`")));
+    };
     let mut next = |what: &str| {
         parts
             .next()
@@ -56,7 +62,10 @@ pub fn parse_step(s: &str) -> Result<PlanStep> {
             Ok(PlanStep::Set(k, v))
         }
         "emit" => Ok(PlanStep::Emit(next("topic")?)),
-        other => Err(BrokerError::BadPlanStep(format!("unknown verb `{other}` in `{s}`"))),
+        "reset_breaker" => Ok(PlanStep::ResetBreaker(next("resource")?)),
+        other => Err(BrokerError::BadPlanStep(format!(
+            "unknown verb `{other}` in `{s}`"
+        ))),
     }
 }
 
@@ -81,7 +90,10 @@ pub struct AutonomicManager {
 impl AutonomicManager {
     /// Creates a manager with no rules.
     pub fn new(rules: Vec<AutonomicRule>) -> Self {
-        AutonomicManager { rules, fired: BTreeMap::new() }
+        AutonomicManager {
+            rules,
+            fired: BTreeMap::new(),
+        }
     }
 
     /// Number of rules.
@@ -122,8 +134,7 @@ impl AutonomicManager {
             let rule = self.rules[i].clone();
             *self.fired.entry(rule.symptom.clone()).or_insert(0) += 1;
             for step in &rule.steps {
-                let resolve =
-                    |r: &String| bindings.get(r).cloned().unwrap_or_else(|| r.clone());
+                let resolve = |r: &String| bindings.get(r).cloned().unwrap_or_else(|| r.clone());
                 match step {
                     PlanStep::Heal(r) => {
                         hub.set_healthy(&resolve(r), true);
@@ -136,6 +147,12 @@ impl AutonomicManager {
                     }
                     PlanStep::Set(k, v) => state.apply_effect(&format!("{k}={v}"))?,
                     PlanStep::Emit(topic) => emitted.push(topic.clone()),
+                    PlanStep::ResetBreaker(r) => {
+                        // Breaker keys use the logical resource name (the
+                        // same scheme the engine writes).
+                        state.set_str(&crate::engine::breaker_key(r, ""), "closed");
+                        state.set_int(&crate::engine::breaker_key(r, "failures"), 0);
+                    }
                 }
             }
         }
@@ -157,17 +174,61 @@ mod tests {
 
     #[test]
     fn step_parsing() {
-        assert_eq!(parse_step("heal media").unwrap(), PlanStep::Heal("media".into()));
-        assert_eq!(parse_step("fail media").unwrap(), PlanStep::Fail("media".into()));
+        assert_eq!(
+            parse_step("heal media").unwrap(),
+            PlanStep::Heal("media".into())
+        );
+        assert_eq!(
+            parse_step("fail media").unwrap(),
+            PlanStep::Fail("media".into())
+        );
         assert_eq!(
             parse_step("degrade media 40").unwrap(),
             PlanStep::Degrade("media".into(), 40)
         );
-        assert_eq!(parse_step("set mode relay").unwrap(), PlanStep::Set("mode".into(), "relay".into()));
-        assert_eq!(parse_step("emit recovered").unwrap(), PlanStep::Emit("recovered".into()));
+        assert_eq!(
+            parse_step("set mode relay").unwrap(),
+            PlanStep::Set("mode".into(), "relay".into())
+        );
+        assert_eq!(
+            parse_step("emit recovered").unwrap(),
+            PlanStep::Emit("recovered".into())
+        );
+        assert_eq!(
+            parse_step("reset_breaker media").unwrap(),
+            PlanStep::ResetBreaker("media".into())
+        );
         assert!(parse_step("explode").is_err());
         assert!(parse_step("heal").is_err());
         assert!(parse_step("degrade media soon").is_err());
+    }
+
+    #[test]
+    fn empty_steps_are_rejected_with_a_clear_error() {
+        // Regression: `parse_step("")` used to panic on the missing verb.
+        for s in ["", "   ", "\t"] {
+            match parse_step(s) {
+                Err(BrokerError::BadPlanStep(m)) => assert!(m.contains("empty"), "{m}"),
+                other => panic!("expected BadPlanStep for {s:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reset_breaker_clears_breaker_state() {
+        let rule = AutonomicRule {
+            symptom: "s".into(),
+            condition: parse("true").unwrap(),
+            steps: vec![parse_step("reset_breaker media").unwrap()],
+        };
+        let mut mgr = AutonomicManager::new(vec![rule]);
+        let mut state = StateManager::new();
+        state.set_str("breaker_media", "open");
+        state.set_int("breaker_media_failures", 7);
+        let mut hub = hub();
+        mgr.tick(&mut state, &mut hub, &BTreeMap::new()).unwrap();
+        assert_eq!(state.str("breaker_media"), Some("closed"));
+        assert_eq!(state.int("breaker_media_failures"), Some(0));
     }
 
     #[test]

@@ -36,6 +36,20 @@ pub fn share(broker: GenericBroker) -> SharedBroker {
     Arc::new(Mutex::new(broker))
 }
 
+/// Locks the shared broker, surfacing mutex poisoning as a component
+/// failure instead of a middleware crash.
+fn lock_broker<'a>(
+    component: &str,
+    broker: &'a SharedBroker,
+) -> mddsm_runtime::Result<std::sync::MutexGuard<'a, GenericBroker>> {
+    broker
+        .lock()
+        .map_err(|_| mddsm_runtime::RuntimeError::ComponentFailed {
+            component: component.to_owned(),
+            reason: "broker mutex poisoned".to_owned(),
+        })
+}
+
 struct MainManagerComponent {
     name: String,
     broker: SharedBroker,
@@ -54,7 +68,7 @@ impl Component for MainManagerComponent {
             .filter(|(k, _)| k.as_str() != "op")
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
-        let mut broker = self.broker.lock().expect("broker lock");
+        let mut broker = lock_broker(&self.name, &self.broker)?;
         let result = if msg.topic == "broker.call" {
             broker.call(&op, &args)
         } else {
@@ -73,7 +87,6 @@ impl Component for MainManagerComponent {
             }
         }
         ctx.emit(out);
-        let _ = &self.name;
         Ok(())
     }
 }
@@ -89,7 +102,7 @@ impl Component for StateManagerComponent {
 
     fn handle(&mut self, msg: &Message, _ctx: &mut Ctx) -> mddsm_runtime::Result<()> {
         if let Some(effect) = msg.get("effect") {
-            let mut broker = self.broker.lock().expect("broker lock");
+            let mut broker = lock_broker("StateManager", &self.broker)?;
             broker
                 .state_mut()
                 .apply_effect(effect)
@@ -110,7 +123,7 @@ impl Component for AutonomicManagerComponent {
 
     fn handle(&mut self, _msg: &Message, ctx: &mut Ctx) -> mddsm_runtime::Result<()> {
         let emitted = {
-            let mut broker = self.broker.lock().expect("broker lock");
+            let mut broker = lock_broker("AutonomicManager", &self.broker)?;
             broker
                 .autonomic_tick()
                 .map_err(|e| mddsm_runtime::RuntimeError::BadMetadata(e.to_string()))?
@@ -187,7 +200,9 @@ pub fn managers_container(model: &Model, broker: SharedBroker) -> Result<Contain
             .add(&name, component)
             .map_err(|e| BrokerError::InvalidModel(e.to_string()))?;
     }
-    container.start_all().map_err(|e| BrokerError::InvalidModel(e.to_string()))?;
+    container
+        .start_all()
+        .map_err(|e| BrokerError::InvalidModel(e.to_string()))?;
     Ok(container)
 }
 
@@ -209,11 +224,20 @@ mod tests {
         });
         let model = BrokerModelBuilder::new("b")
             .call_handler("ping", "ping")
-            .action("ping", "pong", "svc", "ping", &["x=$x"], None, &["pings=+1"])
-            .autonomic_rule("tooMany", "self.pings <> null and self.pings > 1", &[
-                "set pings 0",
-                "emit cooled",
-            ])
+            .action(
+                "ping",
+                "pong",
+                "svc",
+                "ping",
+                &["x=$x"],
+                None,
+                &["pings=+1"],
+            )
+            .autonomic_rule(
+                "tooMany",
+                "self.pings <> null and self.pings > 1",
+                &["set pings 0", "emit cooled"],
+            )
             .build();
         let broker = GenericBroker::from_model(&model, hub).unwrap();
         (share(broker), model)
@@ -235,9 +259,16 @@ mod tests {
         let (broker, model) = shared();
         let mut container = managers_container(&model, broker.clone()).unwrap();
         container
-            .dispatch(Message::new("broker.call").with("op", "ping").with("x", "1"))
+            .dispatch(
+                Message::new("broker.call")
+                    .with("op", "ping")
+                    .with("x", "1"),
+            )
             .unwrap();
-        assert_eq!(broker.lock().unwrap().hub().command_trace(), vec!["svc.ping(x=1)"]);
+        assert_eq!(
+            broker.lock().unwrap().hub().command_trace(),
+            vec!["svc.ping(x=1)"]
+        );
         assert_eq!(broker.lock().unwrap().state().int("pings"), Some(1));
     }
 
@@ -264,8 +295,7 @@ mod tests {
             .unwrap();
         assert_eq!(broker.lock().unwrap().state().str("mode"), Some("relay"));
         // A malformed effect fails the component (isolated by the container).
-        let r = container
-            .dispatch(Message::new("broker.setState").with("effect", "broken"));
+        let r = container.dispatch(Message::new("broker.setState").with("effect", "broken"));
         assert!(r.is_err());
     }
 

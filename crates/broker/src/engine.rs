@@ -7,19 +7,34 @@
 //! (simulated) resource.
 
 use crate::autonomic::{parse_step, AutonomicManager, AutonomicRule};
-use crate::model::{broker_metamodel, BROKER_METAMODEL};
+use crate::model::{broker_metamodel, Resilience, BROKER_METAMODEL};
 use crate::state::StateManager;
 use crate::{BrokerError, Result};
 use mddsm_meta::constraint::{self, Expr};
 use mddsm_meta::model::Model;
 use mddsm_sim::resource::{Args, Outcome};
-use mddsm_sim::{ResourceHub, SimDuration};
+use mddsm_sim::{ResourceHub, SimDuration, SimTime};
 use std::collections::BTreeMap;
+
+/// Maximum fallback chain length (fallback of fallback of …).
+const MAX_FALLBACK_DEPTH: usize = 4;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum HandlerKind {
     Call,
     Event,
+}
+
+/// State-manager key for a breaker variable of a logical resource:
+/// `breaker_<res>` (state), `breaker_<res>_failures`,
+/// `breaker_<res>_opened_at_us`. Using the logical name keeps the keys
+/// OCL-addressable (`self.breaker_media = "open"`).
+pub(crate) fn breaker_key(resource: &str, suffix: &str) -> String {
+    if suffix.is_empty() {
+        format!("breaker_{resource}")
+    } else {
+        format!("breaker_{resource}_{suffix}")
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -30,6 +45,7 @@ struct ActionSpec {
     arg_mapping: Vec<(String, String)>,
     guard: Option<String>,
     state_effects: Vec<String>,
+    resilience: Resilience,
 }
 
 #[derive(Debug, Clone)]
@@ -45,10 +61,14 @@ struct HandlerSpec {
 pub struct BrokerCallResult {
     /// Resource outcome.
     pub outcome: Outcome,
-    /// Virtual-time cost of the resource invocation.
+    /// Virtual-time cost of the whole call, including retries, backoff,
+    /// and any fallback dispatch.
     pub cost: SimDuration,
-    /// Name of the dispatched action.
+    /// Name of the action that produced the outcome (the fallback's name
+    /// when escalation happened).
     pub action: String,
+    /// Resource invocations performed (0 when a breaker short-circuited).
+    pub attempts: u32,
 }
 
 /// A broker engine configured entirely by a broker model.
@@ -62,6 +82,8 @@ pub struct GenericBroker {
     hub: ResourceHub,
     calls: u64,
     events: u64,
+    /// Virtual clock, advanced by invocation costs and retry backoff.
+    clock_us: u64,
 }
 
 impl GenericBroker {
@@ -100,10 +122,17 @@ impl GenericBroker {
             };
             let mut actions = Vec::new();
             for a in model.refs(h, "actions") {
+                let int_attr = |name: &str| model.attr_int(*a, name).unwrap_or(0).max(0) as u64;
                 actions.push(ActionSpec {
                     name: model.attr_str(*a, "name").unwrap_or_default().to_owned(),
-                    resource: model.attr_str(*a, "resource").unwrap_or_default().to_owned(),
-                    operation: model.attr_str(*a, "operation").unwrap_or_default().to_owned(),
+                    resource: model
+                        .attr_str(*a, "resource")
+                        .unwrap_or_default()
+                        .to_owned(),
+                    operation: model
+                        .attr_str(*a, "operation")
+                        .unwrap_or_default()
+                        .to_owned(),
                     arg_mapping: model
                         .attr_all(*a, "argMapping")
                         .iter()
@@ -119,7 +148,32 @@ impl GenericBroker {
                         .filter_map(|v| v.as_str())
                         .map(str::to_owned)
                         .collect(),
+                    resilience: Resilience {
+                        max_retries: int_attr("maxRetries") as u32,
+                        backoff_ms: int_attr("backoffMs"),
+                        timeout_ms: int_attr("timeoutMs"),
+                        breaker_threshold: int_attr("breakerThreshold") as u32,
+                        breaker_cooldown_ms: int_attr("breakerCooldownMs"),
+                        fallback: model.attr_str(*a, "fallback").map(str::to_owned),
+                    },
                 });
+            }
+            // Fallbacks must name a *different* sibling action.
+            for action in &actions {
+                if let Some(f) = &action.resilience.fallback {
+                    if f == &action.name {
+                        return Err(BrokerError::InvalidModel(format!(
+                            "action `{}` falls back to itself",
+                            action.name
+                        )));
+                    }
+                    if !actions.iter().any(|s| &s.name == f) {
+                        return Err(BrokerError::InvalidModel(format!(
+                            "action `{}` falls back to unknown action `{f}`",
+                            action.name
+                        )));
+                    }
+                }
             }
             handlers.push(HandlerSpec {
                 name: model.attr_str(h, "name").unwrap_or_default().to_owned(),
@@ -180,7 +234,11 @@ impl GenericBroker {
                     }
                 }
             }
-            rules.push(AutonomicRule { symptom: sname, condition, steps });
+            rules.push(AutonomicRule {
+                symptom: sname,
+                condition,
+                steps,
+            });
         }
 
         Ok(GenericBroker {
@@ -193,6 +251,7 @@ impl GenericBroker {
             hub,
             calls: 0,
             events: 0,
+            clock_us: 0,
         })
     }
 
@@ -214,7 +273,12 @@ impl GenericBroker {
         self.dispatch(HandlerKind::Event, topic, payload)
     }
 
-    fn dispatch(&mut self, kind: HandlerKind, selector: &str, args: &Args) -> Result<BrokerCallResult> {
+    fn dispatch(
+        &mut self,
+        kind: HandlerKind,
+        selector: &str,
+        args: &Args,
+    ) -> Result<BrokerCallResult> {
         let handler = self
             .handlers
             .iter()
@@ -246,6 +310,46 @@ impl GenericBroker {
             BrokerError::NoAction(format!("{selector} (handler `{}`)", handler.name))
         })?;
 
+        self.execute_action(&handler, &action, args, 0)
+    }
+
+    /// Executes one action under its model-defined resilience spec:
+    /// circuit-breaker gate, attempt loop with per-attempt timeout budget
+    /// and deterministic virtual-time exponential backoff, then fallback
+    /// escalation. All waiting is charged to the virtual clock — nothing
+    /// sleeps — so runs replay bit-for-bit.
+    fn execute_action(
+        &mut self,
+        handler: &HandlerSpec,
+        action: &ActionSpec,
+        args: &Args,
+        depth: usize,
+    ) -> Result<BrokerCallResult> {
+        let spec = action.resilience.clone();
+
+        // -- Circuit-breaker gate ------------------------------------------
+        if spec.breaker_threshold > 0 && self.breaker_state(&action.resource) == "open" {
+            let opened = self
+                .state
+                .int(&breaker_key(&action.resource, "opened_at_us"))
+                .unwrap_or(0);
+            if self.clock_us >= opened.max(0) as u64 + spec.breaker_cooldown_ms * 1_000 {
+                // Cooldown elapsed: allow one half-open trial.
+                self.state
+                    .set_str(&breaker_key(&action.resource, ""), "half-open");
+            } else {
+                // Fast-fail without touching the resource.
+                let failed = BrokerCallResult {
+                    outcome: Outcome::Failed(format!("circuit open for `{}`", action.resource)),
+                    cost: SimDuration::ZERO,
+                    action: action.name.clone(),
+                    attempts: 0,
+                };
+                return self.escalate(handler, action, args, depth, failed);
+            }
+        }
+
+        // -- Attempt loop ---------------------------------------------------
         // Map arguments: `$x` reads call argument x; literals pass through.
         let mapped: Args = action
             .arg_mapping
@@ -262,25 +366,150 @@ impl GenericBroker {
                 (k.clone(), value)
             })
             .collect();
+        let resource = self
+            .bindings
+            .get(&action.resource)
+            .cloned()
+            .unwrap_or_else(|| action.resource.clone());
 
-        let resource =
-            self.bindings.get(&action.resource).cloned().unwrap_or_else(|| action.resource.clone());
-        let (outcome, cost) = self.hub.invoke(&resource, &action.operation, &mapped);
-
-        // Monitoring for the autonomic loop.
-        if outcome.is_ok() {
-            for effect in &action.state_effects {
-                self.state.apply_effect(effect)?;
+        let mut attempts = 0u32;
+        let mut total = SimDuration::ZERO;
+        let last_outcome = loop {
+            attempts += 1;
+            let (mut outcome, mut cost) = self.hub.invoke(&resource, &action.operation, &mapped);
+            if spec.timeout_ms > 0 && cost > SimDuration::from_millis(spec.timeout_ms) {
+                // The caller stops waiting at the budget: a slow success is
+                // a failure, and only the budget is charged.
+                outcome = Outcome::Failed(format!(
+                    "`{}` exceeded its {}ms budget",
+                    action.resource, spec.timeout_ms
+                ));
+                cost = SimDuration::from_millis(spec.timeout_ms);
             }
-        } else {
+            total = total.saturating_add(cost);
+            self.clock_us += cost.as_micros();
+
+            if outcome.is_ok() {
+                if spec.breaker_threshold > 0 {
+                    self.state
+                        .set_str(&breaker_key(&action.resource, ""), "closed");
+                    self.state
+                        .set_int(&breaker_key(&action.resource, "failures"), 0);
+                }
+                for effect in &action.state_effects {
+                    self.state.apply_effect(effect)?;
+                }
+                return Ok(BrokerCallResult {
+                    outcome,
+                    cost: total,
+                    action: action.name.clone(),
+                    attempts,
+                });
+            }
+
+            // Monitoring for the autonomic loop: every failed attempt is a
+            // real failed invocation (it is in the hub log too).
             self.state.bump(&format!("failures_{}", action.resource), 1);
+
+            let mut opened = false;
+            if spec.breaker_threshold > 0 {
+                let was_half_open = self.breaker_state(&action.resource) == "half-open";
+                let fails = self
+                    .state
+                    .int(&breaker_key(&action.resource, "failures"))
+                    .unwrap_or(0)
+                    + 1;
+                self.state
+                    .set_int(&breaker_key(&action.resource, "failures"), fails);
+                if was_half_open || fails >= i64::from(spec.breaker_threshold) {
+                    self.state
+                        .set_str(&breaker_key(&action.resource, ""), "open");
+                    self.state.set_int(
+                        &breaker_key(&action.resource, "opened_at_us"),
+                        self.clock_us as i64,
+                    );
+                    opened = true;
+                }
+            }
+            if opened || attempts > spec.max_retries {
+                break outcome;
+            }
+            if spec.backoff_ms > 0 {
+                // Deterministic exponential backoff, charged as virtual time.
+                let backoff = SimDuration::from_millis(spec.backoff_ms << (attempts - 1).min(16));
+                total = total.saturating_add(backoff);
+                self.clock_us += backoff.as_micros();
+            }
+        };
+
+        let failed = BrokerCallResult {
+            outcome: last_outcome,
+            cost: total,
+            action: action.name.clone(),
+            attempts,
+        };
+        self.escalate(handler, action, args, depth, failed)
+    }
+
+    /// Dispatches the action's fallback (if any) after `failed`; the failed
+    /// attempts' cost and count carry over into the fallback's result.
+    fn escalate(
+        &mut self,
+        handler: &HandlerSpec,
+        action: &ActionSpec,
+        args: &Args,
+        depth: usize,
+        failed: BrokerCallResult,
+    ) -> Result<BrokerCallResult> {
+        let Some(fb) = &action.resilience.fallback else {
+            return Ok(failed);
+        };
+        if depth >= MAX_FALLBACK_DEPTH {
+            return Ok(failed);
         }
-        Ok(BrokerCallResult { outcome, cost, action: action.name })
+        let fb_action = handler
+            .actions
+            .iter()
+            .find(|a| &a.name == fb)
+            .cloned()
+            .ok_or_else(|| {
+                BrokerError::NoAction(format!(
+                    "fallback `{fb}` of action `{}` not found",
+                    action.name
+                ))
+            })?;
+        let mut result = self.execute_action(handler, &fb_action, args, depth + 1)?;
+        result.cost = failed.cost.saturating_add(result.cost);
+        result.attempts += failed.attempts;
+        Ok(result)
+    }
+
+    /// Current circuit-breaker state for a logical resource ("closed"
+    /// until the breaker has ever tripped).
+    fn breaker_state(&self, resource: &str) -> String {
+        self.state
+            .str(&breaker_key(resource, ""))
+            .unwrap_or("closed")
+            .to_owned()
     }
 
     /// Runs one autonomic MAPE cycle; returns emitted event topics.
     pub fn autonomic_tick(&mut self) -> Result<Vec<String>> {
-        self.autonomic.tick(&mut self.state, &mut self.hub, &self.bindings)
+        self.autonomic
+            .tick(&mut self.state, &mut self.hub, &self.bindings)
+    }
+
+    /// The broker's virtual clock: total virtual time charged to calls
+    /// handled so far (invocation costs, retry backoff, timeout budgets).
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.clock_us)
+    }
+
+    /// Advances the virtual clock by `d` (idle time between calls — lets a
+    /// fault driver or experiment align external events with breaker
+    /// cooldowns).
+    pub fn advance_clock(&mut self, d: SimDuration) {
+        self.clock_us += d.as_micros();
     }
 
     /// The state manager (monitoring data and mode variables).
@@ -337,9 +566,7 @@ mod tests {
             "sim.media",
             LatencyModel::fixed_ms(2),
             SimDuration::from_millis(100),
-            Box::new(|op: &str, a: &Args| {
-                Outcome::ok_with("echo", format!("{op}:{}", a.len()))
-            }),
+            Box::new(|op: &str, a: &Args| Outcome::ok_with("echo", format!("{op}:{}", a.len()))),
         );
         h.register_fn("sim.relay", |_, _| Outcome::ok());
         h
@@ -358,13 +585,26 @@ mod tests {
                 Some("direct"),
                 &["opens=+1"],
             )
-            .action("open", "openRelay", "relay", "open", &["peer=$peer"], None, &[])
+            .action(
+                "open",
+                "openRelay",
+                "relay",
+                "open",
+                &["peer=$peer"],
+                None,
+                &[],
+            )
             .event_handler("onLoss", "packetLoss")
             .action("onLoss", "report", "media", "report", &[], None, &[])
             .autonomic_rule(
                 "mediaFlaky",
                 "self.failures_media <> null and self.failures_media > 1",
-                &["heal media", "set failures_media 0", "set mode relay", "emit recovered"],
+                &[
+                    "heal media",
+                    "set failures_media 0",
+                    "set mode relay",
+                    "emit recovered",
+                ],
             )
             .bind_resource("media", "sim.media")
             .bind_resource("relay", "sim.relay")
@@ -404,8 +644,14 @@ mod tests {
         assert_eq!(r.action, "report");
         assert_eq!(b.stats(), (0, 1));
         // Call handler does not match events and vice versa.
-        assert!(matches!(b.call("packetLoss", &Args::new()), Err(BrokerError::NoHandler(_))));
-        assert!(matches!(b.event("openSession", &Args::new()), Err(BrokerError::NoHandler(_))));
+        assert!(matches!(
+            b.call("packetLoss", &Args::new()),
+            Err(BrokerError::NoHandler(_))
+        ));
+        assert!(matches!(
+            b.event("openSession", &Args::new()),
+            Err(BrokerError::NoHandler(_))
+        ));
     }
 
     #[test]
@@ -436,7 +682,10 @@ mod tests {
             .action("h", "a", "r", "o", &[], Some("ghost"), &[])
             .build();
         let mut b = GenericBroker::from_model(&m, ResourceHub::new(1)).unwrap();
-        assert!(matches!(b.call("op", &Args::new()), Err(BrokerError::PolicyFailed(_))));
+        assert!(matches!(
+            b.call("op", &Args::new()),
+            Err(BrokerError::PolicyFailed(_))
+        ));
     }
 
     #[test]
@@ -464,7 +713,246 @@ mod tests {
         let mut b = broker();
         let r = b.call("openSession", &Args::new()).unwrap();
         assert!(r.outcome.is_ok());
-        assert_eq!(b.hub().command_trace()[0], "sim.media.open(peer=, codec=h264)");
+        assert_eq!(
+            b.hub().command_trace()[0],
+            "sim.media.open(peer=, codec=h264)"
+        );
+    }
+
+    /// A hub whose `sim.flaky` resource fails the first `n` invocations of
+    /// any operation, then succeeds.
+    fn flaky_hub(n: u32) -> ResourceHub {
+        let mut h = ResourceHub::new(7);
+        let mut left = n;
+        h.register(
+            "sim.flaky",
+            LatencyModel::fixed_ms(10),
+            SimDuration::from_millis(500),
+            Box::new(move |_: &str, _: &Args| {
+                if left > 0 {
+                    left -= 1;
+                    Outcome::Failed("transient".into())
+                } else {
+                    Outcome::ok()
+                }
+            }),
+        );
+        h.register_fn("sim.backup", |_, _| Outcome::ok());
+        h
+    }
+
+    #[test]
+    fn retry_with_backoff_recovers_and_charges_virtual_time() {
+        use crate::model::Resilience;
+        let m = BrokerModelBuilder::lean("r")
+            .call_handler("h", "op")
+            .resilient_action(
+                "h",
+                "try",
+                "sim.flaky",
+                "go",
+                &[],
+                None,
+                &[],
+                &Resilience::retries(3, 20),
+            )
+            .build();
+        let mut b = GenericBroker::from_model(&m, flaky_hub(2)).unwrap();
+        let r = b.call("op", &Args::new()).unwrap();
+        assert!(r.outcome.is_ok());
+        assert_eq!(r.attempts, 3);
+        // 3 invocations à 10ms + backoffs 20ms and 40ms.
+        assert_eq!(r.cost, SimDuration::from_millis(10 + 20 + 10 + 40 + 10));
+        assert_eq!(b.now(), SimTime::from_millis(90));
+        // Both failed attempts were monitored.
+        assert_eq!(b.state().int("failures_sim.flaky"), Some(2));
+    }
+
+    #[test]
+    fn retries_exhaust_into_failure() {
+        use crate::model::Resilience;
+        let m = BrokerModelBuilder::lean("r")
+            .call_handler("h", "op")
+            .resilient_action(
+                "h",
+                "try",
+                "sim.flaky",
+                "go",
+                &[],
+                None,
+                &[],
+                &Resilience::retries(1, 0),
+            )
+            .build();
+        let mut b = GenericBroker::from_model(&m, flaky_hub(5)).unwrap();
+        let r = b.call("op", &Args::new()).unwrap();
+        assert!(!r.outcome.is_ok());
+        assert_eq!(r.attempts, 2);
+    }
+
+    #[test]
+    fn timeout_budget_converts_slow_calls_into_failures() {
+        use crate::model::Resilience;
+        let m = BrokerModelBuilder::lean("t")
+            .call_handler("h", "op")
+            .resilient_action(
+                "h",
+                "slow",
+                "sim.media",
+                "open",
+                &[],
+                None,
+                &[],
+                &Resilience::default().with_timeout(1),
+            )
+            .build();
+        // sim.media costs a fixed 2ms > the 1ms budget.
+        let mut b = GenericBroker::from_model(&m, hub()).unwrap();
+        let r = b.call("op", &Args::new()).unwrap();
+        assert!(!r.outcome.is_ok());
+        assert_eq!(r.cost, SimDuration::from_millis(1)); // charged the budget only
+        assert!(matches!(&r.outcome, Outcome::Failed(m) if m.contains("budget")));
+    }
+
+    #[test]
+    fn breaker_opens_half_opens_and_closes() {
+        use crate::model::Resilience;
+        let m = BrokerModelBuilder::lean("cb")
+            .call_handler("h", "op")
+            .resilient_action(
+                "h",
+                "guarded",
+                "sim.flaky",
+                "go",
+                &[],
+                None,
+                &[],
+                &Resilience::breaker(2, 100),
+            )
+            .build();
+        let mut b = GenericBroker::from_model(&m, flaky_hub(3)).unwrap();
+        // Two failures trip the breaker (threshold 2).
+        for _ in 0..2 {
+            assert!(!b.call("op", &Args::new()).unwrap().outcome.is_ok());
+        }
+        assert_eq!(b.state().str("breaker_sim.flaky"), Some("open"));
+        // While open: fast-fail, no hub invocation, zero cost.
+        let log_len = b.hub().log().len();
+        let r = b.call("op", &Args::new()).unwrap();
+        assert_eq!(r.attempts, 0);
+        assert_eq!(r.cost, SimDuration::ZERO);
+        assert!(matches!(&r.outcome, Outcome::Failed(m) if m.contains("circuit open")));
+        assert_eq!(b.hub().log().len(), log_len);
+        // After the cooldown: half-open trial; it fails -> reopens.
+        b.advance_clock(SimDuration::from_millis(100));
+        let r = b.call("op", &Args::new()).unwrap();
+        assert!(!r.outcome.is_ok());
+        assert_eq!(r.attempts, 1);
+        assert_eq!(b.state().str("breaker_sim.flaky"), Some("open"));
+        // Next cooldown: the resource has healed; trial succeeds -> closed.
+        b.advance_clock(SimDuration::from_millis(100));
+        let r = b.call("op", &Args::new()).unwrap();
+        assert!(r.outcome.is_ok());
+        assert_eq!(b.state().str("breaker_sim.flaky"), Some("closed"));
+        assert_eq!(b.state().int("breaker_sim.flaky_failures"), Some(0));
+    }
+
+    #[test]
+    fn fallback_escalates_and_accumulates_cost() {
+        use crate::model::Resilience;
+        let m = BrokerModelBuilder::lean("fb")
+            .call_handler("h", "op")
+            .resilient_action(
+                "h",
+                "primary",
+                "sim.flaky",
+                "go",
+                &[],
+                None,
+                &[],
+                &Resilience::retries(1, 5).with_fallback("backup"),
+            )
+            .action("h", "backup", "sim.backup", "go", &[], None, &[])
+            .build();
+        let mut b = GenericBroker::from_model(&m, flaky_hub(10)).unwrap();
+        let r = b.call("op", &Args::new()).unwrap();
+        assert!(r.outcome.is_ok());
+        assert_eq!(r.action, "backup");
+        // 2 failed attempts à 10ms + 5ms backoff + 0ms backup call.
+        assert_eq!(r.cost, SimDuration::from_millis(25));
+        assert_eq!(r.attempts, 3);
+    }
+
+    #[test]
+    fn fallback_to_unknown_or_self_rejected_at_load() {
+        use crate::model::Resilience;
+        let m = BrokerModelBuilder::lean("bad")
+            .call_handler("h", "op")
+            .resilient_action(
+                "h",
+                "a",
+                "r",
+                "o",
+                &[],
+                None,
+                &[],
+                &Resilience::default().with_fallback("ghost"),
+            )
+            .build();
+        assert!(matches!(
+            GenericBroker::from_model(&m, ResourceHub::new(1)).map(|_| ()),
+            Err(BrokerError::InvalidModel(msg)) if msg.contains("ghost")
+        ));
+        let m = BrokerModelBuilder::lean("bad2")
+            .call_handler("h", "op")
+            .resilient_action(
+                "h",
+                "a",
+                "r",
+                "o",
+                &[],
+                None,
+                &[],
+                &Resilience::default().with_fallback("a"),
+            )
+            .build();
+        assert!(matches!(
+            GenericBroker::from_model(&m, ResourceHub::new(1)).map(|_| ()),
+            Err(BrokerError::InvalidModel(msg)) if msg.contains("itself")
+        ));
+    }
+
+    #[test]
+    fn autonomic_plan_can_reset_a_breaker() {
+        use crate::model::Resilience;
+        let m = BrokerModelBuilder::new("ar")
+            .call_handler("h", "op")
+            .resilient_action(
+                "h",
+                "guarded",
+                "flaky",
+                "go",
+                &[],
+                None,
+                &[],
+                &Resilience::breaker(1, 1_000_000),
+            )
+            .autonomic_rule(
+                "breakerStuck",
+                "self.breaker_flaky = \"open\"",
+                &["heal flaky", "reset_breaker flaky"],
+            )
+            .bind_resource("flaky", "sim.flaky")
+            .build();
+        let mut b = GenericBroker::from_model(&m, flaky_hub(1)).unwrap();
+        assert!(!b.call("op", &Args::new()).unwrap().outcome.is_ok());
+        assert_eq!(b.state().str("breaker_flaky"), Some("open"));
+        b.autonomic_tick().unwrap();
+        assert_eq!(b.symptom_fired("breakerStuck"), 1);
+        assert_eq!(b.state().str("breaker_flaky"), Some("closed"));
+        // Breaker closed again: the next call goes through to the resource.
+        let r = b.call("op", &Args::new()).unwrap();
+        assert!(r.outcome.is_ok());
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   symptoms → change requests → change plans.
 
 #![warn(missing_docs)]
+// A crashed middleware is the opposite of graceful degradation: library
+// code must surface failures as typed `BrokerError`s, never panic. Tests
+// are exempt (the test harness is the right place for unwrap).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod autonomic;
 pub mod components;
@@ -31,7 +35,7 @@ pub mod model;
 pub mod state;
 
 pub use engine::{BrokerCallResult, GenericBroker};
-pub use model::{broker_metamodel, BrokerModelBuilder};
+pub use model::{broker_metamodel, BrokerModelBuilder, Resilience};
 pub use state::StateManager;
 
 /// Errors produced by the Broker layer.

@@ -28,7 +28,9 @@ pub fn broker_metamodel() -> Metamodel {
             c.attr("name", DataType::Str)
                 .contains("managers", "Manager", Multiplicity::SOME)
         })
-        .class("Manager", |c| c.abstract_class().attr("name", DataType::Str))
+        .class("Manager", |c| {
+            c.abstract_class().attr("name", DataType::Str)
+        })
         .class("MainManager", |c| {
             c.extends("Manager")
                 .contains("handlers", "Handler", Multiplicity::MANY)
@@ -36,7 +38,8 @@ pub fn broker_metamodel() -> Metamodel {
         })
         .class("StateManager", |c| c.extends("Manager"))
         .class("PolicyManager", |c| {
-            c.extends("Manager").contains("policies", "Policy", Multiplicity::MANY)
+            c.extends("Manager")
+                .contains("policies", "Policy", Multiplicity::MANY)
         })
         .class("AutonomicManager", |c| {
             c.extends("Manager")
@@ -45,7 +48,8 @@ pub fn broker_metamodel() -> Metamodel {
                 .contains("plans", "ChangePlan", Multiplicity::MANY)
         })
         .class("ResourceManager", |c| {
-            c.extends("Manager").contains("bindings", "ResourceBinding", Multiplicity::MANY)
+            c.extends("Manager")
+                .contains("bindings", "ResourceBinding", Multiplicity::MANY)
         })
         .class("Handler", |c| {
             c.attr("name", DataType::Str)
@@ -60,16 +64,26 @@ pub fn broker_metamodel() -> Metamodel {
                 .attr("resource", DataType::Str)
                 .attr("operation", DataType::Str)
                 // `k=v` argument mappings; `$x` pulls call argument `x`.
+                .attr_full("argMapping", DataType::Str, Multiplicity::MANY, Vec::new())
+                // Optional guard: name of a Policy that must hold.
+                .opt_attr("guard", DataType::Str)
+                // State bumps applied after a successful run (`k=+1`/`k=v`).
                 .attr_full(
-                    "argMapping",
+                    "stateEffects",
                     DataType::Str,
                     Multiplicity::MANY,
                     Vec::new(),
                 )
-                // Optional guard: name of a Policy that must hold.
-                .opt_attr("guard", DataType::Str)
-                // State bumps applied after a successful run (`k=+1`/`k=v`).
-                .attr_full("stateEffects", DataType::Str, Multiplicity::MANY, Vec::new())
+                // Resilience: retries with deterministic virtual-time
+                // exponential backoff, a per-call timeout budget, a circuit
+                // breaker, and a fallback action (all disabled at 0/absent).
+                .attr_default("maxRetries", DataType::Int, Value::from(0))
+                .attr_default("backoffMs", DataType::Int, Value::from(0))
+                .attr_default("timeoutMs", DataType::Int, Value::from(0))
+                .attr_default("breakerThreshold", DataType::Int, Value::from(0))
+                .attr_default("breakerCooldownMs", DataType::Int, Value::from(0))
+                // Name of a sibling action dispatched when this one fails.
+                .opt_attr("fallback", DataType::Str)
         })
         .class("Policy", |c| {
             c.attr("name", DataType::Str)
@@ -92,10 +106,77 @@ pub fn broker_metamodel() -> Metamodel {
                 .attr_full("steps", DataType::Str, Multiplicity::SOME, Vec::new())
         })
         .class("ResourceBinding", |c| {
-            c.attr("name", DataType::Str).attr("resource", DataType::Str)
+            c.attr("name", DataType::Str)
+                .attr("resource", DataType::Str)
         })
         .build()
         .expect("broker metamodel is well-formed")
+}
+
+/// Resilience parameters carried by an `Action` (all model-defined; every
+/// field disabled by default so plain actions behave exactly as before).
+///
+/// Retries and backoff run on *virtual* time: the engine charges the
+/// deterministic exponential backoff (`backoff_ms << attempt`) to the
+/// call's virtual cost instead of sleeping, so fault campaigns replay
+/// bit-for-bit. Circuit-breaker state is kept in the broker's
+/// `StateManager` under `breaker_<resource>` keys, observable by OCL-lite
+/// policies and autonomic symptoms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Resilience {
+    /// Additional attempts after the first failure (0 = no retry).
+    pub max_retries: u32,
+    /// Base virtual-time backoff before retry `n`, doubled each attempt.
+    pub backoff_ms: u64,
+    /// Per-attempt virtual-time budget; slower invocations count as failed
+    /// and are charged exactly this budget (0 = no timeout).
+    pub timeout_ms: u64,
+    /// Consecutive failures that trip the circuit breaker (0 = no breaker).
+    pub breaker_threshold: u32,
+    /// Virtual time an open breaker waits before allowing a half-open
+    /// trial invocation.
+    pub breaker_cooldown_ms: u64,
+    /// Sibling action (same handler) dispatched when this one fails.
+    pub fallback: Option<String>,
+}
+
+impl Resilience {
+    /// Convenience: retry policy only.
+    pub fn retries(max_retries: u32, backoff_ms: u64) -> Self {
+        Resilience {
+            max_retries,
+            backoff_ms,
+            ..Resilience::default()
+        }
+    }
+
+    /// Convenience: circuit breaker only.
+    pub fn breaker(threshold: u32, cooldown_ms: u64) -> Self {
+        Resilience {
+            breaker_threshold: threshold,
+            breaker_cooldown_ms: cooldown_ms,
+            ..Resilience::default()
+        }
+    }
+
+    /// Adds a circuit breaker to an existing policy.
+    pub fn with_breaker(mut self, threshold: u32, cooldown_ms: u64) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown_ms = cooldown_ms;
+        self
+    }
+
+    /// Adds a per-attempt timeout budget.
+    pub fn with_timeout(mut self, timeout_ms: u64) -> Self {
+        self.timeout_ms = timeout_ms;
+        self
+    }
+
+    /// Adds a fallback action name.
+    pub fn with_fallback(mut self, action: &str) -> Self {
+        self.fallback = Some(action.to_owned());
+        self
+    }
 }
 
 /// Convenience builder producing broker models (instances of the Fig. 6
@@ -129,7 +210,14 @@ impl BrokerModelBuilder {
         for m in [main, state, policy_mgr, autonomic_mgr, resource_mgr] {
             model.add_ref(layer, "managers", m);
         }
-        BrokerModelBuilder { model, layer, main, policy_mgr, autonomic_mgr, resource_mgr }
+        BrokerModelBuilder {
+            model,
+            layer,
+            main,
+            policy_mgr,
+            autonomic_mgr,
+            resource_mgr,
+        }
     }
 
     /// Starts a *lean* broker model: main manager only (the Fig. 8 remark
@@ -140,7 +228,9 @@ impl BrokerModelBuilder {
         // Drop the optional managers from the layer.
         for mgr in [b.policy_mgr, b.autonomic_mgr, b.resource_mgr] {
             b.model.remove_ref(b.layer, "managers", mgr);
-            b.model.destroy(mgr, None).expect("manager exists");
+            // `new` created the manager a moment ago; destroying an
+            // already-absent object is a no-op rather than a crash.
+            let _ = b.model.destroy(mgr, None);
         }
         b
     }
@@ -161,7 +251,8 @@ impl BrokerModelBuilder {
         let h = self.model.create("Handler");
         self.model.set_attr(h, "name", Value::from(name));
         self.model.set_attr(h, "selector", Value::from(selector));
-        self.model.set_attr(h, "kind", Value::enumeration("HandlerKind", kind));
+        self.model
+            .set_attr(h, "kind", Value::enumeration("HandlerKind", kind));
         self.model.add_ref(self.main, "handlers", h);
         self
     }
@@ -202,11 +293,64 @@ impl BrokerModelBuilder {
         self
     }
 
+    /// Attaches a resilient action: like [`BrokerModelBuilder::action`]
+    /// but with model-defined retry/timeout/breaker/fallback parameters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resilient_action(
+        self,
+        handler: &str,
+        name: &str,
+        resource: &str,
+        operation: &str,
+        arg_mapping: &[&str],
+        guard: Option<&str>,
+        state_effects: &[&str],
+        resilience: &Resilience,
+    ) -> Self {
+        let mut b = self.action(
+            handler,
+            name,
+            resource,
+            operation,
+            arg_mapping,
+            guard,
+            state_effects,
+        );
+        let h = b.find_handler(handler);
+        // `action` appended the new action to this handler a moment ago.
+        if let Some(a) = b.model.refs(h, "actions").last().copied() {
+            b.model.set_attr(
+                a,
+                "maxRetries",
+                Value::from(i64::from(resilience.max_retries)),
+            );
+            b.model
+                .set_attr(a, "backoffMs", Value::from(resilience.backoff_ms as i64));
+            b.model
+                .set_attr(a, "timeoutMs", Value::from(resilience.timeout_ms as i64));
+            b.model.set_attr(
+                a,
+                "breakerThreshold",
+                Value::from(i64::from(resilience.breaker_threshold)),
+            );
+            b.model.set_attr(
+                a,
+                "breakerCooldownMs",
+                Value::from(resilience.breaker_cooldown_ms as i64),
+            );
+            if let Some(f) = &resilience.fallback {
+                b.model.set_attr(a, "fallback", Value::from(f.as_str()));
+            }
+        }
+        b
+    }
+
     /// Declares a policy (OCL-lite expression over the state object).
     pub fn policy(mut self, name: &str, expression: &str) -> Self {
         let p = self.model.create("Policy");
         self.model.set_attr(p, "name", Value::from(name));
-        self.model.set_attr(p, "expression", Value::from(expression));
+        self.model
+            .set_attr(p, "expression", Value::from(expression));
         self.model.add_ref(self.policy_mgr, "policies", p);
         self
     }
@@ -219,12 +363,15 @@ impl BrokerModelBuilder {
         self.model.set_attr(s, "condition", Value::from(condition));
         self.model.add_ref(self.autonomic_mgr, "symptoms", s);
         let r = self.model.create("ChangeRequest");
-        self.model.set_attr(r, "name", Value::from(format!("{name}-request")));
+        self.model
+            .set_attr(r, "name", Value::from(format!("{name}-request")));
         self.model.set_attr(r, "symptom", Value::from(name));
         self.model.add_ref(self.autonomic_mgr, "requests", r);
         let p = self.model.create("ChangePlan");
-        self.model.set_attr(p, "name", Value::from(format!("{name}-plan")));
-        self.model.set_attr(p, "request", Value::from(format!("{name}-request")));
+        self.model
+            .set_attr(p, "name", Value::from(format!("{name}-plan")));
+        self.model
+            .set_attr(p, "request", Value::from(format!("{name}-request")));
         self.model
             .set_attr_many(p, "steps", steps.iter().map(|s| Value::from(*s)).collect());
         self.model.add_ref(self.autonomic_mgr, "plans", p);
@@ -274,9 +421,21 @@ mod tests {
         let mm = broker_metamodel();
         let model = BrokerModelBuilder::new("ncb")
             .call_handler("open", "openSession")
-            .action("open", "openDirect", "media", "open", &["peer=$peer"], None, &["opens=+1"])
+            .action(
+                "open",
+                "openDirect",
+                "media",
+                "open",
+                &["peer=$peer"],
+                None,
+                &["opens=+1"],
+            )
             .policy("preferDirect", "self.mode = \"direct\"")
-            .autonomic_rule("mediaFlaky", "self.failures_media > 2", &["heal media", "set mode direct"])
+            .autonomic_rule(
+                "mediaFlaky",
+                "self.failures_media > 2",
+                &["heal media", "set mode direct"],
+            )
             .bind_resource("media", "sim.media")
             .build();
         conformance::check(&model, &mm).unwrap();

@@ -6,11 +6,11 @@
 //! policies and autonomic symptoms are plain OCL-lite expressions evaluated
 //! with `self` bound to that object.
 
+use crate::{BrokerError, Result};
 use mddsm_meta::constraint::{eval_bool, EvalEnv, Expr};
 use mddsm_meta::metamodel::{Metamodel, MetamodelBuilder};
 use mddsm_meta::model::{Model, ObjectId};
 use mddsm_meta::Value;
-use crate::{BrokerError, Result};
 
 /// The Broker layer's mutable runtime state.
 #[derive(Debug, Clone)]
@@ -37,7 +37,12 @@ impl StateManager {
         let mm = MetamodelBuilder::new("mddsm.broker.state")
             .build()
             .expect("empty metamodel is well-formed");
-        StateManager { model, state_obj, mm, version: 0 }
+        StateManager {
+            model,
+            state_obj,
+            mm,
+            version: 0,
+        }
     }
 
     /// Sets a string variable.

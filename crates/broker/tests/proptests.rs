@@ -1,11 +1,14 @@
-//! Property-based tests for the Broker layer: any well-formed broker model
+//! Property-style tests for the Broker layer: any well-formed broker model
 //! dispatches deterministically, honours guard fall-through, and keeps its
 //! monitoring counters consistent with the invocation log.
+//!
+//! Cases are generated with the simulator's [`SimRng`] over fixed seeds,
+//! keeping the suite deterministic without an external property-testing
+//! dependency.
 
 use mddsm_broker::{BrokerModelBuilder, GenericBroker};
 use mddsm_sim::resource::{args, Args, Outcome};
-use mddsm_sim::ResourceHub;
-use proptest::prelude::*;
+use mddsm_sim::{ResourceHub, SimRng};
 
 fn hub() -> ResourceHub {
     let mut hub = ResourceHub::new(5);
@@ -41,19 +44,30 @@ fn guarded_broker(n: usize, k: usize) -> GenericBroker {
             );
         }
         // Unguarded fallback.
-        b = b.action(&hname, &format!("a{i}_fallback"), "svc", &format!("do{i}_fb"), &[], None, &[]);
+        b = b.action(
+            &hname,
+            &format!("a{i}_fallback"),
+            "svc",
+            &format!("do{i}_fb"),
+            &[],
+            None,
+            &[],
+        );
     }
     GenericBroker::from_model(&b.build(), hub()).expect("generated model is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// The selected action is exactly the one whose guard matches the current
+/// mode, falling back when none does.
+#[test]
+fn guard_selection_matches_mode() {
+    for case in 0..48u64 {
+        let mut gen = SimRng::seed_from_u64(0xB1_0000 + case);
+        let n = gen.range(1, 4) as usize;
+        let k = gen.range(1, 4) as usize;
+        let mode = gen.range(0, 6) as i64;
+        let op_idx = gen.range(0, 4) as usize;
 
-    /// The selected action is exactly the one whose guard matches the
-    /// current mode, falling back when none does.
-    #[test]
-    fn guard_selection_matches_mode(n in 1usize..4, k in 1usize..4,
-                                    mode in 0i64..6, op_idx in 0usize..4) {
         let mut broker = guarded_broker(n, k);
         broker.state_mut().set_int("mode", mode);
         let op = format!("op{}", op_idx % n);
@@ -63,51 +77,84 @@ proptest! {
         } else {
             format!("a{}_fallback", op_idx % n)
         };
-        prop_assert_eq!(result.action, expected);
+        assert_eq!(result.action, expected);
     }
+}
 
-    /// Stats and failure counters always agree with the hub log.
-    #[test]
-    fn counters_agree_with_log(ops in prop::collection::vec((0usize..3, any::<bool>()), 0..20)) {
+/// Stats and failure counters always agree with the hub log.
+#[test]
+fn counters_agree_with_log() {
+    for case in 0..48u64 {
+        let mut gen = SimRng::seed_from_u64(0xB2_0000 + case);
+        let len = gen.range(0, 20) as usize;
+        let ops: Vec<(usize, bool)> = (0..len)
+            .map(|_| (gen.range(0, 3) as usize, gen.chance(0.5)))
+            .collect();
+
         let mut b = BrokerModelBuilder::new("cb");
         for i in 0..3 {
             b = b
                 .call_handler(&format!("h{i}"), &format!("op{i}"))
-                .action(&format!("h{i}"), &format!("ok{i}"), "svc", &format!("go{i}"), &[], None, &[])
+                .action(
+                    &format!("h{i}"),
+                    &format!("ok{i}"),
+                    "svc",
+                    &format!("go{i}"),
+                    &[],
+                    None,
+                    &[],
+                )
                 .call_handler(&format!("hb{i}"), &format!("bad{i}"))
-                .action(&format!("hb{i}"), &format!("bad{i}"), "svc", &format!("bad{i}"), &[], None, &[]);
+                .action(
+                    &format!("hb{i}"),
+                    &format!("bad{i}"),
+                    "svc",
+                    &format!("bad{i}"),
+                    &[],
+                    None,
+                    &[],
+                );
         }
         let mut broker = GenericBroker::from_model(&b.build(), hub()).unwrap();
         let mut expected_calls = 0u64;
         let mut expected_failures = 0i64;
         for (i, fail) in &ops {
-            let op = if *fail { format!("bad{i}") } else { format!("op{i}") };
+            let op = if *fail {
+                format!("bad{i}")
+            } else {
+                format!("op{i}")
+            };
             let r = broker.call(&op, &args(&[("k", "v")])).unwrap();
             expected_calls += 1;
             if *fail {
-                prop_assert!(!r.outcome.is_ok());
+                assert!(!r.outcome.is_ok());
                 expected_failures += 1;
             } else {
-                prop_assert!(r.outcome.is_ok());
+                assert!(r.outcome.is_ok());
             }
         }
         let (calls, events) = broker.stats();
-        prop_assert_eq!(calls, expected_calls);
-        prop_assert_eq!(events, 0);
-        prop_assert_eq!(broker.hub().log().len() as u64, expected_calls);
-        prop_assert_eq!(broker.state().int("failures_svc").unwrap_or(0), expected_failures);
+        assert_eq!(calls, expected_calls);
+        assert_eq!(events, 0);
+        assert_eq!(broker.hub().log().len() as u64, expected_calls);
+        assert_eq!(
+            broker.state().int("failures_svc").unwrap_or(0),
+            expected_failures
+        );
     }
+}
 
-    /// Dispatch is deterministic: same model, same state, same call ->
-    /// same action and outcome.
-    #[test]
-    fn dispatch_is_deterministic(mode in 0i64..4) {
+/// Dispatch is deterministic: same model, same state, same call -> same
+/// action and outcome.
+#[test]
+fn dispatch_is_deterministic() {
+    for mode in 0i64..4 {
         let run = || {
             let mut broker = guarded_broker(2, 3);
             broker.state_mut().set_int("mode", mode);
             let r = broker.call("op1", &Args::new()).unwrap();
             (r.action, r.outcome.is_ok())
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

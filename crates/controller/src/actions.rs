@@ -14,7 +14,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The function body of a predefined action.
-pub type ActionFn = Arc<dyn Fn(&Command, &mut dyn BrokerPort) -> Result<ActionOutcome> + Send + Sync>;
+pub type ActionFn =
+    Arc<dyn Fn(&Command, &mut dyn BrokerPort) -> Result<ActionOutcome> + Send + Sync>;
 
 /// Result of running an action.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -90,11 +91,14 @@ impl ActionRegistry {
         classifier: &str,
         run: impl Fn(&Command, &mut dyn BrokerPort) -> Result<ActionOutcome> + Send + Sync + 'static,
     ) {
-        self.by_dsc.entry(DscId::new(classifier)).or_default().push(Action {
-            name: name.to_owned(),
-            classifier: DscId::new(classifier),
-            run: Arc::new(run),
-        });
+        self.by_dsc
+            .entry(DscId::new(classifier))
+            .or_default()
+            .push(Action {
+                name: name.to_owned(),
+                classifier: DscId::new(classifier),
+                run: Arc::new(run),
+            });
     }
 
     /// Selects the first registered action for the DSC (registration order

@@ -86,12 +86,16 @@ pub struct CommandClassifier {
 impl CommandClassifier {
     /// Creates a classifier with the given policy.
     pub fn new(policy: ClassificationPolicy) -> Self {
-        CommandClassifier { command_dscs: BTreeMap::new(), policy }
+        CommandClassifier {
+            command_dscs: BTreeMap::new(),
+            policy,
+        }
     }
 
     /// Maps a command name to its classifying DSC.
     pub fn map_command(&mut self, command: &str, dsc: &str) -> &mut Self {
-        self.command_dscs.insert(command.to_owned(), DscId::new(dsc));
+        self.command_dscs
+            .insert(command.to_owned(), DscId::new(dsc));
         self
     }
 
@@ -174,7 +178,11 @@ mod tests {
     fn unmapped_command_rejected() {
         let c = classifier();
         let e = c
-            .classify(&Command::new("zzz", ""), &ControllerContext::new(), &ActionRegistry::new())
+            .classify(
+                &Command::new("zzz", ""),
+                &ControllerContext::new(),
+                &ActionRegistry::new(),
+            )
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(e, ControllerError::UnmappedCommand(_)));
@@ -184,7 +192,11 @@ mod tests {
     fn prefers_predefined_when_action_exists() {
         let c = classifier();
         let (dsc, case) = c
-            .classify(&Command::new("openSession", ""), &ControllerContext::new(), &actions_with_connect())
+            .classify(
+                &Command::new("openSession", ""),
+                &ControllerContext::new(),
+                &actions_with_connect(),
+            )
             .unwrap();
         assert_eq!(dsc, DscId::new("Connect"));
         assert_eq!(case, Case::Predefined);
@@ -194,7 +206,11 @@ mod tests {
     fn degrades_to_dynamic_without_action() {
         let c = classifier();
         let (_, case) = c
-            .classify(&Command::new("analyze", ""), &ControllerContext::new(), &actions_with_connect())
+            .classify(
+                &Command::new("analyze", ""),
+                &ControllerContext::new(),
+                &actions_with_connect(),
+            )
             .unwrap();
         assert_eq!(case, Case::Dynamic);
     }
@@ -203,8 +219,13 @@ mod tests {
     fn low_memory_flips_to_dynamic() {
         let c = classifier();
         let ctx = ControllerContext::new().with("memory", "low");
-        let (_, case) =
-            c.classify(&Command::new("openSession", ""), &ctx, &actions_with_connect()).unwrap();
+        let (_, case) = c
+            .classify(
+                &Command::new("openSession", ""),
+                &ctx,
+                &actions_with_connect(),
+            )
+            .unwrap();
         assert_eq!(case, Case::Dynamic);
     }
 
@@ -213,7 +234,11 @@ mod tests {
         let policy = ClassificationPolicy::default().with_override("openSession", Case::Dynamic);
         let c = CommandClassifier::new(policy).with_command("openSession", "Connect");
         let (_, case) = c
-            .classify(&Command::new("openSession", ""), &ControllerContext::new(), &actions_with_connect())
+            .classify(
+                &Command::new("openSession", ""),
+                &ControllerContext::new(),
+                &actions_with_connect(),
+            )
             .unwrap();
         assert_eq!(case, Case::Dynamic);
     }
@@ -223,10 +248,14 @@ mod tests {
         let mut c = classifier();
         let ctx = ControllerContext::new();
         let a = actions_with_connect();
-        let (_, case) = c.classify(&Command::new("openSession", ""), &ctx, &a).unwrap();
+        let (_, case) = c
+            .classify(&Command::new("openSession", ""), &ctx, &a)
+            .unwrap();
         assert_eq!(case, Case::Predefined);
         c.set_policy(ClassificationPolicy::always_dynamic());
-        let (_, case) = c.classify(&Command::new("openSession", ""), &ctx, &a).unwrap();
+        let (_, case) = c
+            .classify(&Command::new("openSession", ""), &ctx, &a)
+            .unwrap();
         assert_eq!(case, Case::Dynamic);
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());

@@ -75,16 +75,15 @@ impl DscRegistry {
     /// Registers a DSC; the parent (when given) must already exist.
     pub fn register(&mut self, dsc: Dsc) -> Result<()> {
         if self.dscs.contains_key(&dsc.id) {
-            return Err(ControllerError::IllFormed(format!("duplicate DSC `{}`", dsc.id)));
+            return Err(ControllerError::IllFormed(format!(
+                "duplicate DSC `{}`",
+                dsc.id
+            )));
         }
         if let Some(p) = &dsc.parent {
-            let parent = self
-                .dscs
-                .get(p)
-                .ok_or_else(|| ControllerError::IllFormed(format!(
-                    "DSC `{}` has unknown parent `{p}`",
-                    dsc.id
-                )))?;
+            let parent = self.dscs.get(p).ok_or_else(|| {
+                ControllerError::IllFormed(format!("DSC `{}` has unknown parent `{p}`", dsc.id))
+            })?;
             if parent.category != dsc.category {
                 return Err(ControllerError::IllFormed(format!(
                     "DSC `{}` and parent `{p}` have different categories",
@@ -123,7 +122,8 @@ impl DscRegistry {
 
     /// Looks up a DSC, erroring when absent.
     pub fn get_or_err(&self, id: &DscId) -> Result<&Dsc> {
-        self.get(id).ok_or_else(|| ControllerError::UnknownDsc(id.to_string()))
+        self.get(id)
+            .ok_or_else(|| ControllerError::UnknownDsc(id.to_string()))
     }
 
     /// Returns `true` if `sub` equals `sup` or transitively specializes it.
@@ -163,9 +163,12 @@ mod tests {
 
     fn registry() -> DscRegistry {
         let mut r = DscRegistry::new();
-        r.operation("Connect", None, "establish connectivity").unwrap();
-        r.operation("ConnectVideo", Some("Connect"), "establish video").unwrap();
-        r.operation("ConnectVideoHD", Some("ConnectVideo"), "establish HD video").unwrap();
+        r.operation("Connect", None, "establish connectivity")
+            .unwrap();
+        r.operation("ConnectVideo", Some("Connect"), "establish video")
+            .unwrap();
+        r.operation("ConnectVideoHD", Some("ConnectVideo"), "establish HD video")
+            .unwrap();
         r.data("MediaStream", None, "a media stream").unwrap();
         r
     }
@@ -211,7 +214,10 @@ mod tests {
         assert!(!r.is_empty());
         assert!(r.get(&DscId::new("Connect")).is_some());
         assert!(r.get_or_err(&DscId::new("Zzz")).is_err());
-        assert_eq!(r.get(&DscId::new("ConnectVideo")).unwrap().category, Category::Operation);
+        assert_eq!(
+            r.get(&DscId::new("ConnectVideo")).unwrap().category,
+            Category::Operation
+        );
         assert_eq!(r.ids().len(), 4);
     }
 }

@@ -285,10 +285,17 @@ impl ControllerEngine {
                 Ok(out) => {
                     report.broker_calls += out.broker_calls;
                     report.virtual_cost_us += out.virtual_cost_us;
-                    report.events.extend(out.events.into_iter().map(|e| e.topic));
+                    report
+                        .events
+                        .extend(out.events.into_iter().map(|e| e.topic));
                     return Ok(report);
                 }
-                Err(ControllerError::BrokerFailure { proc, api, op, reason }) => {
+                Err(ControllerError::BrokerFailure {
+                    proc,
+                    api,
+                    op,
+                    reason,
+                }) => {
                     // Account the failed attempt's cost via a synthetic
                     // estimate: the port already charged its cost into the
                     // response; execute() dropped partial outcome, so we
@@ -334,7 +341,13 @@ impl ControllerEngine {
                 &self.config.generation,
             )
         } else {
-            crate::intent::generate(dsc, &self.repo, &self.dscs, &self.ctx, &self.config.generation)
+            crate::intent::generate(
+                dsc,
+                &self.repo,
+                &self.dscs,
+                &self.ctx,
+                &self.config.generation,
+            )
         }
     }
 
@@ -404,25 +417,37 @@ mod tests {
             .with_dependency("Media"),
         )
         .unwrap();
-        r.add(Procedure::simple(
-            "mediaPrimary",
-            "Media",
-            vec![
-                Instr::BrokerCall { api: "primary".into(), op: "open".into(), args: vec![] },
-                Instr::Complete,
-            ],
+        r.add(
+            Procedure::simple(
+                "mediaPrimary",
+                "Media",
+                vec![
+                    Instr::BrokerCall {
+                        api: "primary".into(),
+                        op: "open".into(),
+                        args: vec![],
+                    },
+                    Instr::Complete,
+                ],
+            )
+            .with_cost(1.0),
         )
-        .with_cost(1.0))
         .unwrap();
-        r.add(Procedure::simple(
-            "mediaBackup",
-            "Media",
-            vec![
-                Instr::BrokerCall { api: "backup".into(), op: "open".into(), args: vec![] },
-                Instr::Complete,
-            ],
+        r.add(
+            Procedure::simple(
+                "mediaBackup",
+                "Media",
+                vec![
+                    Instr::BrokerCall {
+                        api: "backup".into(),
+                        op: "open".into(),
+                        args: vec![],
+                    },
+                    Instr::Complete,
+                ],
+            )
+            .with_cost(2.0),
         )
-        .with_cost(2.0))
         .unwrap();
         r
     }
@@ -432,21 +457,40 @@ mod tests {
     }
 
     fn engine(adaptive: bool) -> ControllerEngine {
-        let config = EngineConfig { adaptive, max_adaptations: 3, max_retries: 3, ..Default::default() };
+        let config = EngineConfig {
+            adaptive,
+            max_adaptations: 3,
+            max_retries: 3,
+            ..Default::default()
+        };
         ControllerEngine::new(dscs(), repo(), ActionRegistry::new(), classifier(), config).unwrap()
     }
 
-    fn port() -> (TogglePort, Rc<RefCell<BTreeSet<String>>>, Rc<RefCell<Vec<String>>>) {
+    #[allow(clippy::type_complexity)]
+    fn port() -> (
+        TogglePort,
+        Rc<RefCell<BTreeSet<String>>>,
+        Rc<RefCell<Vec<String>>>,
+    ) {
         let down = Rc::new(RefCell::new(BTreeSet::new()));
         let calls = Rc::new(RefCell::new(Vec::new()));
-        (TogglePort { down: down.clone(), calls: calls.clone() }, down, calls)
+        (
+            TogglePort {
+                down: down.clone(),
+                calls: calls.clone(),
+            },
+            down,
+            calls,
+        )
     }
 
     #[test]
     fn dynamic_happy_path_uses_cheapest() {
         let mut e = engine(true);
         let (mut p, _down, calls) = port();
-        let r = e.execute_command(&Command::new("open", ""), &mut p).unwrap();
+        let r = e
+            .execute_command(&Command::new("open", ""), &mut p)
+            .unwrap();
         assert_eq!(r.commands, 1);
         assert_eq!(r.case2, 1);
         assert_eq!(r.adaptations, 0);
@@ -458,7 +502,9 @@ mod tests {
         let mut e = engine(true);
         let (mut p, down, calls) = port();
         down.borrow_mut().insert("primary".into());
-        let r = e.execute_command(&Command::new("open", ""), &mut p).unwrap();
+        let r = e
+            .execute_command(&Command::new("open", ""), &mut p)
+            .unwrap();
         assert_eq!(r.adaptations, 1);
         assert!(e.context().is_failed("mediaPrimary"));
         assert_eq!(
@@ -476,7 +522,10 @@ mod tests {
         let mut e = engine(false);
         let (mut p, down, calls) = port();
         down.borrow_mut().insert("primary".into());
-        let err = e.execute_command(&Command::new("open", ""), &mut p).map(|_| ()).unwrap_err();
+        let err = e
+            .execute_command(&Command::new("open", ""), &mut p)
+            .map(|_| ())
+            .unwrap_err();
         assert!(matches!(err, ControllerError::Exhausted(_)));
         // 1 initial + 3 retries, always the same primary path.
         assert_eq!(calls.borrow().len(), 4);
@@ -493,7 +542,9 @@ mod tests {
         let r = e.execute_command(&Command::new("open", ""), &mut p);
         assert!(r.is_err());
         down.borrow_mut().clear();
-        let r = e.execute_command(&Command::new("open", ""), &mut p).unwrap();
+        let r = e
+            .execute_command(&Command::new("open", ""), &mut p)
+            .unwrap();
         assert_eq!(r.retries, 0);
         assert!(calls.borrow().last().unwrap() == "primary.open");
     }
@@ -508,16 +559,19 @@ mod tests {
             Ok(out)
         });
         let config = EngineConfig::default();
-        let mut e =
-            ControllerEngine::new(dscs(), repo(), actions, classifier(), config).unwrap();
+        let mut e = ControllerEngine::new(dscs(), repo(), actions, classifier(), config).unwrap();
         let (mut p, down, calls) = port();
         // Healthy: Case 1 runs the action.
-        let r = e.execute_command(&Command::new("open", ""), &mut p).unwrap();
+        let r = e
+            .execute_command(&Command::new("open", ""), &mut p)
+            .unwrap();
         assert_eq!(r.case1, 1);
         assert_eq!(calls.borrow().as_slice(), &["fastpath.open".to_string()]);
         // Fast path down: adaptive engine falls back to dynamic generation.
         down.borrow_mut().insert("fastpath".into());
-        let r = e.execute_command(&Command::new("open", ""), &mut p).unwrap();
+        let r = e
+            .execute_command(&Command::new("open", ""), &mut p)
+            .unwrap();
         assert_eq!(r.case2, 1);
         assert_eq!(r.adaptations, 1);
         assert_eq!(calls.borrow().last().unwrap(), "primary.open");
@@ -529,15 +583,24 @@ mod tests {
         e.map_event("linkDown", Command::new("open", ""));
         let script = ControlScript::immediate(vec![Command::new("open", "")]);
         e.enqueue(Signal::Call(script));
-        e.enqueue(Signal::Event { topic: "linkDown".into(), payload: vec![] });
-        e.enqueue(Signal::Event { topic: "ignored".into(), payload: vec![] });
+        e.enqueue(Signal::Event {
+            topic: "linkDown".into(),
+            payload: vec![],
+        });
+        e.enqueue(Signal::Event {
+            topic: "ignored".into(),
+            payload: vec![],
+        });
         assert_eq!(e.queued(), 3);
         let (mut p, _down, _calls) = port();
         let r = e.process_signals(&mut p).unwrap();
         assert_eq!(e.queued(), 0);
         // Two command executions: one from the script, one from linkDown.
         assert_eq!(r.commands, 2);
-        assert_eq!(r.events, vec!["linkDown".to_string(), "ignored".to_string()]);
+        assert_eq!(
+            r.events,
+            vec!["linkDown".to_string(), "ignored".to_string()]
+        );
     }
 
     #[test]
@@ -545,7 +608,8 @@ mod tests {
         let mut e = engine(true);
         let (mut p, _down, _calls) = port();
         for _ in 0..10 {
-            e.execute_command(&Command::new("open", ""), &mut p).unwrap();
+            e.execute_command(&Command::new("open", ""), &mut p)
+                .unwrap();
         }
         let (hits, misses, entries) = e.cache_stats();
         assert_eq!(misses, 1);
@@ -558,7 +622,8 @@ mod tests {
         let mut e = engine(true);
         let (mut p, down, _calls) = port();
         down.borrow_mut().insert("primary".into());
-        e.execute_command(&Command::new("open", ""), &mut p).unwrap();
+        e.execute_command(&Command::new("open", ""), &mut p)
+            .unwrap();
         assert!(e.context().is_failed("mediaPrimary"));
         e.recover();
         assert!(!e.context().is_failed("mediaPrimary"));
@@ -582,7 +647,8 @@ mod tests {
     #[test]
     fn invalid_repo_rejected_at_construction() {
         let mut bad = repo();
-        bad.add(Procedure::simple("dangling", "Nope", vec![])).unwrap();
+        bad.add(Procedure::simple("dangling", "Nope", vec![]))
+            .unwrap();
         let r = ControllerEngine::new(
             dscs(),
             bad,

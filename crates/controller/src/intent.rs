@@ -140,13 +140,14 @@ pub fn generate(
     let mut path = Vec::new();
     let mut budget = config.max_expansions;
     let configs = resolve(dsc, repo, registry, ctx, config, &mut path, 0, &mut budget)?;
-    let (best, _score) = configs
-        .into_iter()
-        .next()
-        .ok_or_else(|| ControllerError::NoValidConfiguration {
-            dsc: dsc.to_string(),
-            reason: "no context-compatible, acyclic candidate".into(),
-        })?;
+    let (best, _score) =
+        configs
+            .into_iter()
+            .next()
+            .ok_or_else(|| ControllerError::NoValidConfiguration {
+                dsc: dsc.to_string(),
+                reason: "no context-compatible, acyclic candidate".into(),
+            })?;
     let im = IntentModel { root: best };
     validate(&im, repo, registry, dsc)?;
     Ok(im)
@@ -216,16 +217,24 @@ fn resolve(
         if feasible {
             // Enumerate combinations rank-by-rank up to the beam width: the
             // k-th configuration uses the k-th best choice where available.
-            let max_rank =
-                child_sets.iter().map(Vec::len).max().unwrap_or(1).min(config.beam_width);
+            let max_rank = child_sets
+                .iter()
+                .map(Vec::len)
+                .max()
+                .unwrap_or(1)
+                .min(config.beam_width);
             for rank in 0..max_rank {
                 let children: Vec<ImNode> = child_sets
                     .iter()
                     .map(|set| set[rank.min(set.len() - 1)].0.clone())
                     .collect();
-                let node = ImNode { proc: cand.id.clone(), children };
-                let score =
-                    config.policy.score(&IntentModel { root: node.clone() }, repo);
+                let node = ImNode {
+                    proc: cand.id.clone(),
+                    children,
+                };
+                let score = config
+                    .policy
+                    .score(&IntentModel { root: node.clone() }, repo);
                 configs.push((node, score));
             }
         }
@@ -315,8 +324,12 @@ impl ImCache {
         ctx: &ControllerContext,
         config: &GenerationConfig,
     ) -> Result<IntentModel> {
-        let key =
-            (dsc.clone(), ctx.fingerprint(), repo.revision(), config.policy.fingerprint());
+        let key = (
+            dsc.clone(),
+            ctx.fingerprint(),
+            repo.revision(),
+            config.policy.fingerprint(),
+        );
         if let Some(im) = self.map.get(&key) {
             self.hits += 1;
             return Ok(im.clone());
@@ -376,10 +389,14 @@ mod tests {
     fn repo() -> ProcedureRepository {
         let mut repo = ProcedureRepository::new();
         repo.add(
-            Procedure::simple("openAV", "ConnectVideo", vec![Instr::CallDep(0), Instr::CallDep(1), Instr::Complete])
-                .with_dependency("Auth")
-                .with_dependency("Media")
-                .with_cost(3.0),
+            Procedure::simple(
+                "openAV",
+                "ConnectVideo",
+                vec![Instr::CallDep(0), Instr::CallDep(1), Instr::Complete],
+            )
+            .with_dependency("Auth")
+            .with_dependency("Media")
+            .with_cost(3.0),
         )
         .unwrap();
         repo.add(Procedure::simple("authBasic", "Auth", vec![Instr::Complete]).with_cost(1.0))
@@ -480,7 +497,8 @@ mod tests {
         .map(|im| im.render());
         assert!(e.is_err());
         // Adding a leaf procedure for B breaks the cycle.
-        repo.add(Procedure::simple("bleaf", "B", vec![Instr::Complete])).unwrap();
+        repo.add(Procedure::simple("bleaf", "B", vec![Instr::Complete]))
+            .unwrap();
         let im = generate(
             &DscId::new("A"),
             &repo,
@@ -511,24 +529,45 @@ mod tests {
         let reg = registry();
         let dsc = DscId::new("Connect");
         // Wrong child count.
-        let im = IntentModel { root: ImNode { proc: "openAV".into(), children: vec![] } };
+        let im = IntentModel {
+            root: ImNode {
+                proc: "openAV".into(),
+                children: vec![],
+            },
+        };
         assert!(validate(&im, &repo, &reg, &dsc).is_err());
         // Child violating dependency DSC.
         let im = IntentModel {
             root: ImNode {
                 proc: "openAV".into(),
                 children: vec![
-                    ImNode { proc: "mediaSD".into(), children: vec![] }, // should be Auth
-                    ImNode { proc: "mediaSD".into(), children: vec![] },
+                    ImNode {
+                        proc: "mediaSD".into(),
+                        children: vec![],
+                    }, // should be Auth
+                    ImNode {
+                        proc: "mediaSD".into(),
+                        children: vec![],
+                    },
                 ],
             },
         };
         assert!(validate(&im, &repo, &reg, &dsc).is_err());
         // Root classifier mismatch.
-        let im = IntentModel { root: ImNode { proc: "authBasic".into(), children: vec![] } };
+        let im = IntentModel {
+            root: ImNode {
+                proc: "authBasic".into(),
+                children: vec![],
+            },
+        };
         assert!(validate(&im, &repo, &reg, &dsc).is_err());
         // Unknown procedure.
-        let im = IntentModel { root: ImNode { proc: "zzz".into(), children: vec![] } };
+        let im = IntentModel {
+            root: ImNode {
+                proc: "zzz".into(),
+                children: vec![],
+            },
+        };
         assert!(validate(&im, &repo, &reg, &dsc).is_err());
     }
 
@@ -540,18 +579,27 @@ mod tests {
         let ctx = ControllerContext::new();
         let cfg = GenerationConfig::default();
         let dsc = DscId::new("Connect");
-        let a = cache.get_or_generate(&dsc, &repo, &reg, &ctx, &cfg).unwrap();
-        let b = cache.get_or_generate(&dsc, &repo, &reg, &ctx, &cfg).unwrap();
+        let a = cache
+            .get_or_generate(&dsc, &repo, &reg, &ctx, &cfg)
+            .unwrap();
+        let b = cache
+            .get_or_generate(&dsc, &repo, &reg, &ctx, &cfg)
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         // Context change -> miss.
         let ctx2 = ControllerContext::new().with("network", "wifi");
-        cache.get_or_generate(&dsc, &repo, &reg, &ctx2, &cfg).unwrap();
+        cache
+            .get_or_generate(&dsc, &repo, &reg, &ctx2, &cfg)
+            .unwrap();
         assert_eq!(cache.misses(), 2);
         // Repository change -> revision bump -> miss.
-        repo.add(Procedure::simple("extra", "Auth", vec![Instr::Complete])).unwrap();
-        cache.get_or_generate(&dsc, &repo, &reg, &ctx, &cfg).unwrap();
+        repo.add(Procedure::simple("extra", "Auth", vec![Instr::Complete]))
+            .unwrap();
+        cache
+            .get_or_generate(&dsc, &repo, &reg, &ctx, &cfg)
+            .unwrap();
         assert_eq!(cache.misses(), 3);
         assert_eq!(cache.len(), 3);
         cache.clear();
@@ -569,7 +617,10 @@ mod tests {
             )
             .unwrap();
         }
-        let cfg = GenerationConfig { beam_width: 2, ..GenerationConfig::default() };
+        let cfg = GenerationConfig {
+            beam_width: 2,
+            ..GenerationConfig::default()
+        };
         let im = generate(
             &DscId::new("Connect"),
             &repo,

@@ -41,6 +41,10 @@
 //! execution (MoE) that experiment E5 measures.
 
 #![warn(missing_docs)]
+// Failures must surface as typed `ControllerError`s (and, since the
+// resilience work, as recoverable `on_error` paths) — library code never
+// panics. Tests are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod actions;
 pub mod classify;
@@ -116,8 +120,16 @@ impl std::fmt::Display for ControllerError {
             }
             ControllerError::InvalidIntentModel(m) => write!(f, "invalid intent model: {m}"),
             ControllerError::ExecutionLimit(m) => write!(f, "execution limit exceeded: {m}"),
-            ControllerError::BrokerFailure { proc, api, op, reason } => {
-                write!(f, "broker call {api}.{op} failed in procedure `{proc}`: {reason}")
+            ControllerError::BrokerFailure {
+                proc,
+                api,
+                op,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "broker call {api}.{op} failed in procedure `{proc}`: {reason}"
+                )
             }
             ControllerError::UnmappedCommand(c) => write!(f, "command `{c}` maps to no DSC"),
             ControllerError::NoAction(c) => write!(f, "no predefined action for command `{c}`"),

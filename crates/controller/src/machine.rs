@@ -31,12 +31,20 @@ pub struct PortResponse {
 impl PortResponse {
     /// A zero-cost success with no values.
     pub fn ok() -> Self {
-        PortResponse { ok: true, ..Default::default() }
+        PortResponse {
+            ok: true,
+            ..Default::default()
+        }
     }
 
     /// A failure with a reason.
     pub fn failed(reason: impl Into<String>, cost_us: u64) -> Self {
-        PortResponse { ok: false, reason: Some(reason.into()), cost_us, ..Default::default() }
+        PortResponse {
+            ok: false,
+            reason: Some(reason.into()),
+            cost_us,
+            ..Default::default()
+        }
     }
 }
 
@@ -90,6 +98,9 @@ pub struct ExecOutcome {
     pub messages: Vec<SentMessage>,
     /// Accumulated virtual-time cost (µs) of broker calls.
     pub virtual_cost_us: u64,
+    /// Broker failures absorbed by a procedure `on_error` handler instead
+    /// of aborting the execution.
+    pub recovered_failures: u64,
 }
 
 /// Execution limits.
@@ -103,7 +114,10 @@ pub struct MachineLimits {
 
 impl Default for MachineLimits {
     fn default() -> Self {
-        MachineLimits { max_steps: 100_000, max_depth: 64 }
+        MachineLimits {
+            max_steps: 100_000,
+            max_depth: 64,
+        }
     }
 }
 
@@ -119,6 +133,11 @@ struct Frame<'a> {
     program: Vec<&'a Instr>,
     pc: usize,
     locals: BTreeMap<String, String>,
+    /// The procedure's compensation EU, if any.
+    on_error: Option<&'a crate::procedure::ExecutionUnit>,
+    /// Set once the frame has switched to its `on_error` program — a
+    /// failure inside the handler unwinds further instead of re-entering.
+    in_error: bool,
 }
 
 impl StackMachine {
@@ -181,10 +200,17 @@ impl StackMachine {
                 Instr::Free(name) => {
                     top.locals.remove(name);
                 }
-                Instr::BrokerCall { api, op, args } | Instr::RemoteCall { node: api, op, args } => {
+                Instr::BrokerCall { api, op, args }
+                | Instr::RemoteCall {
+                    node: api,
+                    op,
+                    args,
+                } => {
                     let is_remote = matches!(instr, Instr::RemoteCall { .. });
-                    let resolved: Vec<(String, String)> =
-                        args.iter().map(|(k, v)| (k.clone(), resolve(v, &top.locals))).collect();
+                    let resolved: Vec<(String, String)> = args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), resolve(v, &top.locals)))
+                        .collect();
                     let (api_name, op_name) = if is_remote {
                         ("remote".to_string(), format!("{api}:{op}"))
                     } else {
@@ -198,12 +224,35 @@ impl StackMachine {
                             top.locals.insert(format!("result.{k}"), v);
                         }
                     } else {
-                        return Err(ControllerError::BrokerFailure {
-                            proc: top.node.proc.to_string(),
-                            api: api_name,
-                            op: op_name,
-                            reason: resp.reason.unwrap_or_else(|| "unspecified".into()),
-                        });
+                        let failed_proc = top.node.proc.to_string();
+                        let reason = resp.reason.unwrap_or_else(|| "unspecified".into());
+                        // Graceful degradation: unwind to the nearest frame
+                        // (from the top) whose procedure declares an
+                        // `on_error` handler that is not itself already
+                        // handling a failure; abort only when none exists.
+                        let Some(h) = stack
+                            .iter()
+                            .rposition(|f| f.on_error.is_some() && !f.in_error)
+                        else {
+                            return Err(ControllerError::BrokerFailure {
+                                proc: failed_proc,
+                                api: api_name,
+                                op: op_name,
+                                reason,
+                            });
+                        };
+                        stack.truncate(h + 1);
+                        outcome.recovered_failures += 1;
+                        let handler = &mut stack[h];
+                        if let Some(eu) = handler.on_error {
+                            handler.program = eu.instructions.iter().collect();
+                        }
+                        handler.pc = 0;
+                        handler.in_error = true;
+                        handler.locals.insert("error.proc".into(), failed_proc);
+                        handler.locals.insert("error.api".into(), api_name);
+                        handler.locals.insert("error.op".into(), op_name);
+                        handler.locals.insert("error.reason".into(), reason);
                     }
                 }
                 Instr::EmitEvent { topic, payload } => {
@@ -241,7 +290,12 @@ impl StackMachine {
                     let frame = self.frame(child, repo)?;
                     stack.push(frame);
                 }
-                Instr::IfVar { var, equals, then, otherwise } => {
+                Instr::IfVar {
+                    var,
+                    equals,
+                    then,
+                    otherwise,
+                } => {
                     let taken = top.locals.get(var).map(String::as_str) == Some(equals.as_str());
                     let branch = if taken { then } else { otherwise };
                     // Splice the branch in just after the current pc.
@@ -260,9 +314,19 @@ impl StackMachine {
 
     fn frame<'a>(&self, node: &'a ImNode, repo: &'a ProcedureRepository) -> Result<Frame<'a>> {
         let proc = repo.get_or_err(&node.proc)?;
-        let program: Vec<&Instr> =
-            proc.eus.iter().flat_map(|eu| eu.instructions.iter()).collect();
-        Ok(Frame { node, program, pc: 0, locals: BTreeMap::new() })
+        let program: Vec<&Instr> = proc
+            .eus
+            .iter()
+            .flat_map(|eu| eu.instructions.iter())
+            .collect();
+        Ok(Frame {
+            node,
+            program,
+            pc: 0,
+            locals: BTreeMap::new(),
+            on_error: proc.on_error.as_ref(),
+            in_error: false,
+        })
     }
 }
 
@@ -276,7 +340,13 @@ mod tests {
     }
 
     fn leaf(id: &str, instrs: Vec<Instr>) -> (ImNode, Procedure) {
-        (ImNode { proc: id.into(), children: vec![] }, Procedure::simple(id, "C", instrs))
+        (
+            ImNode {
+                proc: id.into(),
+                children: vec![],
+            },
+            Procedure::simple(id, "C", instrs),
+        )
     }
 
     fn repo_of(procs: Vec<Procedure>) -> ProcedureRepository {
@@ -292,13 +362,22 @@ mod tests {
         let (node, proc) = leaf(
             "p",
             vec![
-                Instr::SetVar { name: "x".into(), value: Operand::arg("who") },
+                Instr::SetVar {
+                    name: "x".into(),
+                    value: Operand::arg("who"),
+                },
                 Instr::BrokerCall {
                     api: "media".into(),
                     op: "open".into(),
-                    args: vec![("peer".into(), Operand::var("x")), ("q".into(), Operand::lit("hd"))],
+                    args: vec![
+                        ("peer".into(), Operand::var("x")),
+                        ("q".into(), Operand::lit("hd")),
+                    ],
                 },
-                Instr::SetVar { name: "sid".into(), value: Operand::var("result.session") },
+                Instr::SetVar {
+                    name: "sid".into(),
+                    value: Operand::var("result.session"),
+                },
                 Instr::Complete,
             ],
         );
@@ -328,23 +407,42 @@ mod tests {
         let parent = Procedure::simple(
             "parent",
             "C",
-            vec![Instr::CallDep(0), Instr::EmitEvent { topic: "done".into(), payload: vec![] }, Instr::Complete],
+            vec![
+                Instr::CallDep(0),
+                Instr::EmitEvent {
+                    topic: "done".into(),
+                    payload: vec![],
+                },
+                Instr::Complete,
+            ],
         )
         .with_dependency("D");
         let child = Procedure::simple(
             "child",
             "D",
-            vec![Instr::BrokerCall { api: "svc".into(), op: "x".into(), args: vec![] }, Instr::Complete],
+            vec![
+                Instr::BrokerCall {
+                    api: "svc".into(),
+                    op: "x".into(),
+                    args: vec![],
+                },
+                Instr::Complete,
+            ],
         );
         let repo = repo_of(vec![parent, child]);
         let im = IntentModel {
             root: ImNode {
                 proc: "parent".into(),
-                children: vec![ImNode { proc: "child".into(), children: vec![] }],
+                children: vec![ImNode {
+                    proc: "child".into(),
+                    children: vec![],
+                }],
             },
         };
         let mut port = ok_port();
-        let out = StackMachine::new().execute(&im, &repo, &[], &mut port).unwrap();
+        let out = StackMachine::new()
+            .execute(&im, &repo, &[], &mut port)
+            .unwrap();
         assert_eq!(out.broker_calls, 1);
         assert_eq!(out.events.len(), 1);
         assert_eq!(out.events[0].topic, "done");
@@ -354,11 +452,14 @@ mod tests {
     fn broker_failure_names_the_procedure() {
         let (node, proc) = leaf(
             "fragile",
-            vec![Instr::BrokerCall { api: "svc".into(), op: "x".into(), args: vec![] }],
+            vec![Instr::BrokerCall {
+                api: "svc".into(),
+                op: "x".into(),
+                args: vec![],
+            }],
         );
         let repo = repo_of(vec![proc]);
-        let mut port =
-            |_: &str, _: &str, _: &[(String, String)]| PortResponse::failed("down", 500);
+        let mut port = |_: &str, _: &str, _: &[(String, String)]| PortResponse::failed("down", 500);
         let e = StackMachine::new()
             .execute(&IntentModel { root: node }, &repo, &[], &mut port)
             .unwrap_err();
@@ -372,16 +473,142 @@ mod tests {
     }
 
     #[test]
+    fn on_error_handler_absorbs_broker_failures() {
+        let (node, proc) = leaf(
+            "resilient",
+            vec![
+                Instr::BrokerCall {
+                    api: "svc".into(),
+                    op: "x".into(),
+                    args: vec![],
+                },
+                Instr::Complete,
+            ],
+        );
+        let proc = proc.with_on_error(vec![
+            Instr::EmitEvent {
+                topic: "degraded".into(),
+                payload: vec![
+                    ("why".into(), Operand::var("error.reason")),
+                    ("api".into(), Operand::var("error.api")),
+                ],
+            },
+            Instr::Complete,
+        ]);
+        let repo = repo_of(vec![proc]);
+        let mut port = |_: &str, _: &str, _: &[(String, String)]| PortResponse::failed("down", 500);
+        let out = StackMachine::new()
+            .execute(&IntentModel { root: node }, &repo, &[], &mut port)
+            .unwrap();
+        assert_eq!(out.recovered_failures, 1);
+        assert_eq!(out.virtual_cost_us, 500);
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.events[0].topic, "degraded");
+        assert_eq!(
+            out.events[0].payload,
+            vec![("why".into(), "down".into()), ("api".into(), "svc".into())]
+        );
+    }
+
+    #[test]
+    fn failures_unwind_to_the_nearest_ancestor_handler() {
+        // parent (has on_error) -> child (no handler, fails).
+        let parent = Procedure::simple(
+            "parent",
+            "C",
+            vec![
+                Instr::CallDep(0),
+                Instr::EmitEvent {
+                    topic: "never".into(),
+                    payload: vec![],
+                },
+            ],
+        )
+        .with_dependency("D")
+        .with_on_error(vec![
+            Instr::EmitEvent {
+                topic: "compensated".into(),
+                payload: vec![("proc".into(), Operand::var("error.proc"))],
+            },
+            Instr::Complete,
+        ]);
+        let child = Procedure::simple(
+            "child",
+            "D",
+            vec![Instr::BrokerCall {
+                api: "svc".into(),
+                op: "x".into(),
+                args: vec![],
+            }],
+        );
+        let repo = repo_of(vec![parent, child]);
+        let im = IntentModel {
+            root: ImNode {
+                proc: "parent".into(),
+                children: vec![ImNode {
+                    proc: "child".into(),
+                    children: vec![],
+                }],
+            },
+        };
+        let mut port = |_: &str, _: &str, _: &[(String, String)]| PortResponse::failed("boom", 0);
+        let out = StackMachine::new()
+            .execute(&im, &repo, &[], &mut port)
+            .unwrap();
+        assert_eq!(out.recovered_failures, 1);
+        // The child frame was discarded: the parent's normal continuation
+        // ("never") is replaced by its compensation path.
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.events[0].topic, "compensated");
+        assert_eq!(out.events[0].payload, vec![("proc".into(), "child".into())]);
+    }
+
+    #[test]
+    fn failure_inside_a_handler_propagates() {
+        let (node, proc) = leaf(
+            "p",
+            vec![Instr::BrokerCall {
+                api: "svc".into(),
+                op: "x".into(),
+                args: vec![],
+            }],
+        );
+        let proc = proc.with_on_error(vec![Instr::BrokerCall {
+            api: "alt".into(),
+            op: "y".into(),
+            args: vec![],
+        }]);
+        let repo = repo_of(vec![proc]);
+        let mut port = |_: &str, _: &str, _: &[(String, String)]| PortResponse::failed("down", 0);
+        let e = StackMachine::new()
+            .execute(&IntentModel { root: node }, &repo, &[], &mut port)
+            .unwrap_err();
+        match e {
+            ControllerError::BrokerFailure { api, .. } => assert_eq!(api, "alt"),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
     fn conditionals_branch_on_locals() {
         let (node, proc) = leaf(
             "p",
             vec![
-                Instr::SetVar { name: "mode".into(), value: Operand::arg("mode") },
+                Instr::SetVar {
+                    name: "mode".into(),
+                    value: Operand::arg("mode"),
+                },
                 Instr::IfVar {
                     var: "mode".into(),
                     equals: "hd".into(),
-                    then: vec![Instr::EmitEvent { topic: "hd".into(), payload: vec![] }],
-                    otherwise: vec![Instr::EmitEvent { topic: "sd".into(), payload: vec![] }],
+                    then: vec![Instr::EmitEvent {
+                        topic: "hd".into(),
+                        payload: vec![],
+                    }],
+                    otherwise: vec![Instr::EmitEvent {
+                        topic: "sd".into(),
+                        payload: vec![],
+                    }],
                 },
                 Instr::Complete,
             ],
@@ -394,7 +621,9 @@ mod tests {
             .unwrap();
         assert_eq!(out.events[0].topic, "hd");
         let mut port = ok_port();
-        let out = StackMachine::new().execute(&im, &repo, &[], &mut port).unwrap();
+        let out = StackMachine::new()
+            .execute(&im, &repo, &[], &mut port)
+            .unwrap();
         assert_eq!(out.events[0].topic, "sd");
     }
 
@@ -404,14 +633,18 @@ mod tests {
         let (node, proc) = leaf(
             "p",
             vec![
-                Instr::SetVar { name: "x".into(), value: Operand::lit("1") },
+                Instr::SetVar {
+                    name: "x".into(),
+                    value: Operand::lit("1"),
+                },
                 Instr::Free("x".into()),
             ],
         );
         let repo = repo_of(vec![proc]);
         let mut port = ok_port();
-        let out =
-            StackMachine::new().execute(&IntentModel { root: node }, &repo, &[], &mut port).unwrap();
+        let out = StackMachine::new()
+            .execute(&IntentModel { root: node }, &repo, &[], &mut port)
+            .unwrap();
         assert_eq!(out.steps, 2);
     }
 
@@ -433,9 +666,14 @@ mod tests {
         }
         let (node, proc) = leaf("p", instrs);
         let repo = repo_of(vec![proc]);
-        let machine = StackMachine::with_limits(MachineLimits { max_steps: 5, max_depth: 4 });
+        let machine = StackMachine::with_limits(MachineLimits {
+            max_steps: 5,
+            max_depth: 4,
+        });
         let mut port = ok_port();
-        let e = machine.execute(&IntentModel { root: node }, &repo, &[], &mut port).unwrap_err();
+        let e = machine
+            .execute(&IntentModel { root: node }, &repo, &[], &mut port)
+            .unwrap_err();
         assert!(matches!(e, ControllerError::ExecutionLimit(_)));
     }
 
@@ -464,20 +702,31 @@ mod tests {
             PortResponse::ok()
         };
         let im = IntentModel { root: node };
-        let out = StackMachine::new().execute(&im, &repo, &[], &mut port).unwrap();
+        let out = StackMachine::new()
+            .execute(&im, &repo, &[], &mut port)
+            .unwrap();
         assert_eq!(out.messages.len(), 1);
         assert_eq!(out.messages[0].to, "ui");
-        assert_eq!(seen.borrow().as_slice(), &["remote.provider:collect".to_string()]);
+        assert_eq!(
+            seen.borrow().as_slice(),
+            &["remote.provider:collect".to_string()]
+        );
     }
 
     #[test]
     fn missing_child_is_invalid_im() {
-        let parent = Procedure::simple("parent", "C", vec![Instr::CallDep(0)])
-            .with_dependency("D");
+        let parent = Procedure::simple("parent", "C", vec![Instr::CallDep(0)]).with_dependency("D");
         let repo = repo_of(vec![parent]);
-        let im = IntentModel { root: ImNode { proc: "parent".into(), children: vec![] } };
+        let im = IntentModel {
+            root: ImNode {
+                proc: "parent".into(),
+                children: vec![],
+            },
+        };
         let mut port = ok_port();
-        let e = StackMachine::new().execute(&im, &repo, &[], &mut port).unwrap_err();
+        let e = StackMachine::new()
+            .execute(&im, &repo, &[], &mut port)
+            .unwrap_err();
         assert!(matches!(e, ControllerError::InvalidIntentModel(_)));
     }
 }

@@ -6,9 +6,10 @@ use crate::intent::IntentModel;
 use crate::repository::ProcedureRepository;
 
 /// The objective a policy optimizes over a candidate intent model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum PolicyObjective {
     /// Minimize summed procedure cost.
+    #[default]
     MinimizeCost,
     /// Maximize summed reliability (product, expressed as minimized
     /// negative log to stay additive and numerically stable).
@@ -28,12 +29,6 @@ pub enum PolicyObjective {
     },
 }
 
-impl Default for PolicyObjective {
-    fn default() -> Self {
-        PolicyObjective::MinimizeCost
-    }
-}
-
 impl PolicyObjective {
     /// Scores an intent model; **lower is better**.
     pub fn score(&self, im: &IntentModel, repo: &ProcedureRepository) -> f64 {
@@ -47,10 +42,11 @@ impl PolicyObjective {
                         -(p.meta.reliability.clamp(1e-9, 1.0)).ln()
                     }
                     PolicyObjective::MinimizeMemory => p.meta.memory,
-                    PolicyObjective::Weighted { w_cost, w_rel, w_mem } => {
-                        w_cost * p.meta.cost + w_mem * p.meta.memory
-                            - w_rel * p.meta.reliability
-                    }
+                    PolicyObjective::Weighted {
+                        w_cost,
+                        w_rel,
+                        w_mem,
+                    } => w_cost * p.meta.cost + w_mem * p.meta.memory - w_rel * p.meta.reliability,
                 };
             }
         });
@@ -63,7 +59,11 @@ impl PolicyObjective {
             PolicyObjective::MinimizeCost => 1,
             PolicyObjective::MaximizeReliability => 2,
             PolicyObjective::MinimizeMemory => 3,
-            PolicyObjective::Weighted { w_cost, w_rel, w_mem } => {
+            PolicyObjective::Weighted {
+                w_cost,
+                w_rel,
+                w_mem,
+            } => {
                 // Quantize weights; policies differing in the 4th decimal
                 // are the same policy for caching purposes.
                 let q = |x: f64| (x * 1000.0).round() as u64;
@@ -86,21 +86,30 @@ mod tests {
 
     fn repo() -> ProcedureRepository {
         let mut r = ProcedureRepository::new();
-        r.add(Procedure::simple("cheap", "C", vec![Instr::Complete])
-            .with_cost(1.0)
-            .with_reliability(0.5)
-            .with_memory(10.0))
-            .unwrap();
-        r.add(Procedure::simple("solid", "C", vec![Instr::Complete])
-            .with_cost(5.0)
-            .with_reliability(0.99)
-            .with_memory(2.0))
-            .unwrap();
+        r.add(
+            Procedure::simple("cheap", "C", vec![Instr::Complete])
+                .with_cost(1.0)
+                .with_reliability(0.5)
+                .with_memory(10.0),
+        )
+        .unwrap();
+        r.add(
+            Procedure::simple("solid", "C", vec![Instr::Complete])
+                .with_cost(5.0)
+                .with_reliability(0.99)
+                .with_memory(2.0),
+        )
+        .unwrap();
         r
     }
 
     fn im(proc_id: &str) -> IntentModel {
-        IntentModel { root: ImNode { proc: proc_id.into(), children: vec![] } }
+        IntentModel {
+            root: ImNode {
+                proc: proc_id.into(),
+                children: vec![],
+            },
+        }
     }
 
     #[test]
@@ -119,9 +128,17 @@ mod tests {
     #[test]
     fn weighted_blend() {
         let r = repo();
-        let w = PolicyObjective::Weighted { w_cost: 1.0, w_rel: 0.0, w_mem: 0.0 };
+        let w = PolicyObjective::Weighted {
+            w_cost: 1.0,
+            w_rel: 0.0,
+            w_mem: 0.0,
+        };
         assert_eq!(w.score(&im("cheap"), &r), 1.0);
-        let w = PolicyObjective::Weighted { w_cost: 0.0, w_rel: 0.0, w_mem: 1.0 };
+        let w = PolicyObjective::Weighted {
+            w_cost: 0.0,
+            w_rel: 0.0,
+            w_mem: 1.0,
+        };
         assert_eq!(w.score(&im("cheap"), &r), 10.0);
     }
 
@@ -129,12 +146,27 @@ mod tests {
     fn fingerprints_distinguish_policies() {
         let a = PolicyObjective::MinimizeCost.fingerprint();
         let b = PolicyObjective::MinimizeMemory.fingerprint();
-        let c = PolicyObjective::Weighted { w_cost: 1.0, w_rel: 2.0, w_mem: 3.0 }.fingerprint();
-        let c2 = PolicyObjective::Weighted { w_cost: 1.0, w_rel: 2.0, w_mem: 3.0 }.fingerprint();
+        let c = PolicyObjective::Weighted {
+            w_cost: 1.0,
+            w_rel: 2.0,
+            w_mem: 3.0,
+        }
+        .fingerprint();
+        let c2 = PolicyObjective::Weighted {
+            w_cost: 1.0,
+            w_rel: 2.0,
+            w_mem: 3.0,
+        }
+        .fingerprint();
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(c, c2);
-        let d = PolicyObjective::Weighted { w_cost: 1.1, w_rel: 2.0, w_mem: 3.0 }.fingerprint();
+        let d = PolicyObjective::Weighted {
+            w_cost: 1.1,
+            w_rel: 2.0,
+            w_mem: 3.0,
+        }
+        .fingerprint();
         assert_ne!(c, d);
     }
 
@@ -144,7 +176,10 @@ mod tests {
         let tree = IntentModel {
             root: ImNode {
                 proc: "cheap".into(),
-                children: vec![ImNode { proc: "solid".into(), children: vec![] }],
+                children: vec![ImNode {
+                    proc: "solid".into(),
+                    children: vec![],
+                }],
             },
         };
         assert_eq!(PolicyObjective::MinimizeCost.score(&tree, &r), 6.0);

@@ -145,7 +145,10 @@ pub struct ExecutionUnit {
 impl ExecutionUnit {
     /// Creates an EU.
     pub fn new(name: impl Into<String>, instructions: Vec<Instr>) -> Self {
-        ExecutionUnit { name: name.into(), instructions }
+        ExecutionUnit {
+            name: name.into(),
+            instructions,
+        }
     }
 }
 
@@ -165,7 +168,12 @@ pub struct ProcMeta {
 
 impl Default for ProcMeta {
     fn default() -> Self {
-        ProcMeta { cost: 1.0, reliability: 1.0, memory: 1.0, requires: Vec::new() }
+        ProcMeta {
+            cost: 1.0,
+            reliability: 1.0,
+            memory: 1.0,
+            requires: Vec::new(),
+        }
     }
 }
 
@@ -183,6 +191,13 @@ pub struct Procedure {
     pub meta: ProcMeta,
     /// Execution units, run in order by the stack machine.
     pub eus: Vec<ExecutionUnit>,
+    /// Compensation EU: when a broker call fails in this procedure (or in
+    /// one of its transitive dependencies with no handler of its own), the
+    /// stack machine unwinds to this procedure's frame and runs these
+    /// instructions instead of aborting the execution. The failure context
+    /// is exposed as the locals `error.reason`, `error.api`, `error.op`
+    /// and `error.proc`.
+    pub on_error: Option<ExecutionUnit>,
 }
 
 impl Procedure {
@@ -194,6 +209,7 @@ impl Procedure {
             dependencies: Vec::new(),
             meta: ProcMeta::default(),
             eus: vec![ExecutionUnit::new("main", instructions)],
+            on_error: None,
         }
     }
 
@@ -227,6 +243,13 @@ impl Procedure {
         self
     }
 
+    /// Builder-style compensation handler: instructions run when a broker
+    /// call fails inside this procedure (or an unhandled dependency).
+    pub fn with_on_error(mut self, instructions: Vec<Instr>) -> Self {
+        self.on_error = Some(ExecutionUnit::new("on_error", instructions));
+        self
+    }
+
     /// Builder-style context requirement.
     pub fn requires(mut self, key: &str, value: &str) -> Self {
         self.meta.requires.push((key.to_owned(), value.to_owned()));
@@ -235,7 +258,10 @@ impl Procedure {
 
     /// Returns `true` when every context requirement is satisfied.
     pub fn context_compatible(&self, ctx: &BTreeMap<String, String>) -> bool {
-        self.meta.requires.iter().all(|(k, v)| ctx.get(k) == Some(v))
+        self.meta
+            .requires
+            .iter()
+            .all(|(k, v)| ctx.get(k) == Some(v))
     }
 
     /// Total instruction count across EUs (for footprint accounting).
@@ -244,12 +270,18 @@ impl Procedure {
             instrs
                 .iter()
                 .map(|i| match i {
-                    Instr::IfVar { then, otherwise, .. } => 1 + count(then) + count(otherwise),
+                    Instr::IfVar {
+                        then, otherwise, ..
+                    } => 1 + count(then) + count(otherwise),
                     _ => 1,
                 })
                 .sum()
         }
-        self.eus.iter().map(|eu| count(&eu.instructions)).sum()
+        self.eus
+            .iter()
+            .chain(self.on_error.iter())
+            .map(|eu| count(&eu.instructions))
+            .sum()
     }
 }
 
@@ -274,7 +306,9 @@ mod tests {
 
     #[test]
     fn context_compatibility() {
-        let p = Procedure::simple("x", "C", vec![]).requires("net", "wifi").requires("pow", "ac");
+        let p = Procedure::simple("x", "C", vec![])
+            .requires("net", "wifi")
+            .requires("pow", "ac");
         let mut ctx = BTreeMap::new();
         assert!(!p.context_compatible(&ctx));
         ctx.insert("net".into(), "wifi".into());
@@ -293,7 +327,10 @@ mod tests {
             "x",
             "C",
             vec![
-                Instr::SetVar { name: "a".into(), value: Operand::lit("1") },
+                Instr::SetVar {
+                    name: "a".into(),
+                    value: Operand::lit("1"),
+                },
                 Instr::IfVar {
                     var: "a".into(),
                     equals: "1".into(),

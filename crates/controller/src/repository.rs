@@ -25,9 +25,15 @@ impl ProcedureRepository {
     /// Adds a procedure; ids are unique.
     pub fn add(&mut self, p: Procedure) -> Result<()> {
         if self.procedures.contains_key(&p.id) {
-            return Err(ControllerError::IllFormed(format!("duplicate procedure `{}`", p.id)));
+            return Err(ControllerError::IllFormed(format!(
+                "duplicate procedure `{}`",
+                p.id
+            )));
         }
-        self.by_classifier.entry(p.classifier.clone()).or_default().push(p.id.clone());
+        self.by_classifier
+            .entry(p.classifier.clone())
+            .or_default()
+            .push(p.id.clone());
         self.procedures.insert(p.id.clone(), p);
         self.revision += 1;
         Ok(())
@@ -50,7 +56,8 @@ impl ProcedureRepository {
 
     /// Looks up a procedure, erroring when absent.
     pub fn get_or_err(&self, id: &ProcId) -> Result<&Procedure> {
-        self.get(id).ok_or_else(|| ControllerError::UnknownProcedure(id.to_string()))
+        self.get(id)
+            .ok_or_else(|| ControllerError::UnknownProcedure(id.to_string()))
     }
 
     /// Procedures whose classifier is `dsc` or (via the registry taxonomy)
@@ -70,11 +77,7 @@ impl ProcedureRepository {
     /// and dependency must exist, and `CallDep` indices must be in range.
     pub fn validate(&self, registry: &DscRegistry) -> Result<()> {
         use crate::procedure::Instr;
-        fn check_deps(
-            instrs: &[Instr],
-            n_deps: usize,
-            id: &ProcId,
-        ) -> Result<()> {
+        fn check_deps(instrs: &[Instr], n_deps: usize, id: &ProcId) -> Result<()> {
             for i in instrs {
                 match i {
                     Instr::CallDep(idx) if *idx >= n_deps => {
@@ -82,7 +85,9 @@ impl ProcedureRepository {
                             "procedure `{id}`: CallDep({idx}) out of range ({n_deps} deps)"
                         )))
                     }
-                    Instr::IfVar { then, otherwise, .. } => {
+                    Instr::IfVar {
+                        then, otherwise, ..
+                    } => {
                         check_deps(then, n_deps, id)?;
                         check_deps(otherwise, n_deps, id)?;
                     }
@@ -151,7 +156,8 @@ mod tests {
     fn add_get_remove_and_revisions() {
         let mut repo = ProcedureRepository::new();
         assert_eq!(repo.revision(), 0);
-        repo.add(Procedure::simple("a", "Connect", vec![Instr::Complete])).unwrap();
+        repo.add(Procedure::simple("a", "Connect", vec![Instr::Complete]))
+            .unwrap();
         assert_eq!(repo.revision(), 1);
         assert!(repo.get(&ProcId::new("a")).is_some());
         assert!(repo.add(Procedure::simple("a", "Connect", vec![])).is_err());
@@ -166,9 +172,16 @@ mod tests {
     fn candidates_respect_subsumption() {
         let reg = registry();
         let mut repo = ProcedureRepository::new();
-        repo.add(Procedure::simple("base", "Connect", vec![Instr::Complete])).unwrap();
-        repo.add(Procedure::simple("video", "ConnectVideo", vec![Instr::Complete])).unwrap();
-        repo.add(Procedure::simple("auth", "Auth", vec![Instr::Complete])).unwrap();
+        repo.add(Procedure::simple("base", "Connect", vec![Instr::Complete]))
+            .unwrap();
+        repo.add(Procedure::simple(
+            "video",
+            "ConnectVideo",
+            vec![Instr::Complete],
+        ))
+        .unwrap();
+        repo.add(Procedure::simple("auth", "Auth", vec![Instr::Complete]))
+            .unwrap();
         let c = repo.candidates(&DscId::new("Connect"), &reg);
         let ids: Vec<_> = c.iter().map(|p| p.id.as_str()).collect();
         assert_eq!(ids, vec!["base", "video"]);
@@ -181,23 +194,28 @@ mod tests {
     fn validate_catches_dangling_and_out_of_range() {
         let reg = registry();
         let mut repo = ProcedureRepository::new();
-        repo.add(Procedure::simple("ok", "Connect", vec![Instr::CallDep(0), Instr::Complete])
-            .with_dependency("Auth"))
-            .unwrap();
+        repo.add(
+            Procedure::simple("ok", "Connect", vec![Instr::CallDep(0), Instr::Complete])
+                .with_dependency("Auth"),
+        )
+        .unwrap();
         assert!(repo.validate(&reg).is_ok());
 
         let mut bad = repo.clone();
-        bad.add(Procedure::simple("badclass", "Nope", vec![])).unwrap();
+        bad.add(Procedure::simple("badclass", "Nope", vec![]))
+            .unwrap();
         assert!(bad.validate(&reg).is_err());
 
         let mut bad = repo.clone();
-        bad.add(Procedure::simple("baddep", "Connect", vec![]).with_dependency("Nope")).unwrap();
+        bad.add(Procedure::simple("baddep", "Connect", vec![]).with_dependency("Nope"))
+            .unwrap();
         assert!(bad.validate(&reg).is_err());
 
         let mut bad = repo;
-        bad.add(Procedure::simple("badidx", "Connect", vec![Instr::CallDep(2)])
-            .with_dependency("Auth"))
-            .unwrap();
+        bad.add(
+            Procedure::simple("badidx", "Connect", vec![Instr::CallDep(2)]).with_dependency("Auth"),
+        )
+        .unwrap();
         let e = bad.validate(&reg).unwrap_err();
         assert!(e.to_string().contains("out of range"));
     }

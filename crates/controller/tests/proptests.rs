@@ -1,75 +1,103 @@
-//! Property-based tests for the Controller layer: intent-model generation
+//! Property-style tests for the Controller layer: intent-model generation
 //! over random repositories always yields valid (acyclic,
 //! dependency-complete, policy-consistent) models or fails cleanly.
+//!
+//! Repositories are generated with a small local SplitMix64 generator over
+//! fixed seeds, so the suite is deterministic and dependency-free.
 
 use mddsm_controller::procedure::{Instr, Procedure};
 use mddsm_controller::{
-    ControllerContext, DscId, DscRegistry, GenerationConfig, PolicyObjective,
-    ProcedureRepository,
+    ControllerContext, DscId, DscRegistry, GenerationConfig, PolicyObjective, ProcedureRepository,
 };
-use proptest::prelude::*;
 
-/// A random-but-wellformed repository over a fixed DSC universe: `n_dscs`
+/// Minimal deterministic generator (SplitMix64) for test-case shapes.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `[lo, hi)` (modulo bias is irrelevant here).
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// A random-but-wellformed repository over a fixed DSC universe: 6
 /// operation DSCs, each procedure classified by one DSC and depending on
 /// strictly-higher DSC indices (so an acyclic expansion always exists when
 /// every DSC has at least one leaf).
-fn arb_repo() -> impl Strategy<Value = (DscRegistry, ProcedureRepository)> {
+fn arb_repo(seed: u64) -> (DscRegistry, ProcedureRepository) {
     let n_dscs = 6usize;
-    // For each DSC: 1..4 procedures, each with deps drawn from higher DSCs.
-    let procs = prop::collection::vec(
-        (
-            0..n_dscs,
-            prop::collection::vec(0..n_dscs, 0..3),
-            1u32..10,
-        ),
-        1..24,
-    );
-    procs.prop_map(move |specs| {
-        let mut dscs = DscRegistry::new();
-        for i in 0..n_dscs {
-            dscs.operation(&format!("D{i}"), None, "generated").unwrap();
+    let mut gen = Gen(seed);
+    let n_procs = gen.range(1, 24) as usize;
+    let specs: Vec<(usize, Vec<usize>, u32)> = (0..n_procs)
+        .map(|_| {
+            let classifier = gen.range(0, n_dscs as u64) as usize;
+            let n_deps = gen.range(0, 3) as usize;
+            let deps = (0..n_deps)
+                .map(|_| gen.range(0, n_dscs as u64) as usize)
+                .collect();
+            let cost = gen.range(1, 10) as u32;
+            (classifier, deps, cost)
+        })
+        .collect();
+
+    let mut dscs = DscRegistry::new();
+    for i in 0..n_dscs {
+        dscs.operation(&format!("D{i}"), None, "generated").unwrap();
+    }
+    let mut repo = ProcedureRepository::new();
+    // Guarantee a leaf for every DSC.
+    for i in 0..n_dscs {
+        repo.add(Procedure::simple(
+            &format!("leaf{i}"),
+            &format!("D{i}"),
+            vec![Instr::Complete],
+        ))
+        .unwrap();
+    }
+    for (j, (classifier, deps, cost)) in specs.into_iter().enumerate() {
+        let mut p = Procedure::simple(
+            &format!("p{j}"),
+            &format!("D{classifier}"),
+            deps.iter()
+                .enumerate()
+                .map(|(k, _)| Instr::CallDep(k))
+                .chain(std::iter::once(Instr::Complete))
+                .collect(),
+        )
+        .with_cost(f64::from(cost));
+        for d in &deps {
+            // Only depend on strictly higher indices to keep the DSC
+            // graph acyclic at the *optimum*; cycles through equal or
+            // lower indices are still possible candidates the search
+            // must avoid.
+            let target = (d + classifier + 1) % 6;
+            p = p.with_dependency(&format!("D{target}"));
         }
-        let mut repo = ProcedureRepository::new();
-        // Guarantee a leaf for every DSC.
-        for i in 0..n_dscs {
-            repo.add(Procedure::simple(&format!("leaf{i}"), &format!("D{i}"), vec![Instr::Complete]))
-                .unwrap();
-        }
-        for (j, (classifier, deps, cost)) in specs.into_iter().enumerate() {
-            let mut p = Procedure::simple(
-                &format!("p{j}"),
-                &format!("D{classifier}"),
-                deps.iter()
-                    .enumerate()
-                    .map(|(k, _)| Instr::CallDep(k))
-                    .chain(std::iter::once(Instr::Complete))
-                    .collect(),
-            )
-            .with_cost(f64::from(cost));
-            for d in &deps {
-                // Only depend on strictly higher indices to keep the DSC
-                // graph acyclic at the *optimum*; cycles through equal or
-                // lower indices are still possible candidates the search
-                // must avoid.
-                let target = (d + classifier + 1) % 6;
-                p = p.with_dependency(&format!("D{target}"));
-            }
-            repo.add(p).unwrap();
-        }
-        (dscs, repo)
-    })
+        repo.add(p).unwrap();
+    }
+    (dscs, repo)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn generated_ims_always_validate((dscs, repo) in arb_repo(), root in 0usize..6) {
-        let root = DscId::new(format!("D{root}"));
+#[test]
+fn generated_ims_always_validate() {
+    for case in 0..32u64 {
+        let (dscs, repo) = arb_repo(0xC1_0000 + case);
+        let root = DscId::new(format!("D{}", case % 6));
         let ctx = ControllerContext::new();
         // Random repositories can be densely cyclic; cap the search.
         let config = GenerationConfig {
-            beam_width: 4, max_depth: 6, max_expansions: 20_000, ..Default::default()
+            beam_width: 4,
+            max_depth: 6,
+            max_expansions: 20_000,
+            ..Default::default()
         };
         if let Ok(im) = mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config) {
             mddsm_controller::intent::validate(&im, &repo, &dscs, &root)
@@ -79,54 +107,81 @@ proptest! {
             assert!(im.depth() <= config.max_depth);
         }
     }
+}
 
-    #[test]
-    fn wider_beam_never_worse((dscs, repo) in arb_repo()) {
+#[test]
+fn wider_beam_never_worse() {
+    for case in 0..32u64 {
+        let (dscs, repo) = arb_repo(0xC2_0000 + case);
         let root = DscId::new("D0");
         let ctx = ControllerContext::new();
         let base = GenerationConfig {
-            max_depth: 6, max_expansions: 20_000, ..GenerationConfig::default()
+            max_depth: 6,
+            max_expansions: 20_000,
+            ..GenerationConfig::default()
         };
-        let narrow = GenerationConfig { beam_width: 1, ..base.clone() };
-        let wide = GenerationConfig { beam_width: 8, ..base };
+        let narrow = GenerationConfig {
+            beam_width: 1,
+            ..base.clone()
+        };
+        let wide = GenerationConfig {
+            beam_width: 8,
+            ..base
+        };
         let score = |cfg: &GenerationConfig| {
             mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, cfg)
                 .ok()
                 .map(|im| cfg.policy.score(&im, &repo))
         };
         if let (Some(n), Some(w)) = (score(&narrow), score(&wide)) {
-            prop_assert!(w <= n + 1e-9, "beam 16 picked {w}, beam 1 picked {n}");
+            assert!(w <= n + 1e-9, "beam 8 picked {w}, beam 1 picked {n}");
         }
     }
+}
 
-    #[test]
-    fn failure_marks_strictly_shrink_candidates((dscs, repo) in arb_repo()) {
+#[test]
+fn failure_marks_strictly_shrink_candidates() {
+    for case in 0..32u64 {
+        let (dscs, repo) = arb_repo(0xC3_0000 + case);
         let root = DscId::new("D0");
         let config = GenerationConfig {
-            beam_width: 4, max_depth: 6, max_expansions: 20_000, ..Default::default()
+            beam_width: 4,
+            max_depth: 6,
+            max_expansions: 20_000,
+            ..Default::default()
         };
         let base = mddsm_controller::intent::generate(
-            &root, &repo, &dscs, &ControllerContext::new(), &config);
-        let Ok(im) = base else { return Ok(()); };
+            &root,
+            &repo,
+            &dscs,
+            &ControllerContext::new(),
+            &config,
+        );
+        let Ok(im) = base else { continue };
         // Marking the selected root procedure failed forbids it.
         let mut ctx = ControllerContext::new();
         ctx.mark_failed(im.root.proc.as_str());
-        if let Ok(im2) =
-            mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config)
-        {
-            prop_assert_ne!(&im2.root.proc, &im.root.proc);
+        if let Ok(im2) = mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config) {
+            assert_ne!(&im2.root.proc, &im.root.proc);
         }
     }
+}
 
-    #[test]
-    fn objective_scores_are_finite_and_ordered((dscs, repo) in arb_repo()) {
+#[test]
+fn objective_scores_are_finite_and_ordered() {
+    for case in 0..32u64 {
+        let (dscs, repo) = arb_repo(0xC4_0000 + case);
         let root = DscId::new("D0");
         let ctx = ControllerContext::new();
         for policy in [
             PolicyObjective::MinimizeCost,
             PolicyObjective::MaximizeReliability,
             PolicyObjective::MinimizeMemory,
-            PolicyObjective::Weighted { w_cost: 1.0, w_rel: 0.5, w_mem: 0.2 },
+            PolicyObjective::Weighted {
+                w_cost: 1.0,
+                w_rel: 0.5,
+                w_mem: 0.2,
+            },
         ] {
             let config = GenerationConfig {
                 policy: policy.clone(),
@@ -136,7 +191,7 @@ proptest! {
             };
             if let Ok(im) = mddsm_controller::intent::generate(&root, &repo, &dscs, &ctx, &config) {
                 let s = policy.score(&im, &repo);
-                prop_assert!(s.is_finite());
+                assert!(s.is_finite());
             }
         }
     }

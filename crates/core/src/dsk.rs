@@ -38,7 +38,11 @@ impl DomainKnowledge {
             .validate(&self.dscs)
             .map_err(|e| CoreError::InvalidDomainKnowledge(e.to_string()))?;
         for (cmd, dsc) in &self.command_map {
-            if self.dscs.get(&mddsm_controller::DscId::new(dsc.clone())).is_none() {
+            if self
+                .dscs
+                .get(&mddsm_controller::DscId::new(dsc.clone()))
+                .is_none()
+            {
                 return Err(CoreError::InvalidDomainKnowledge(format!(
                     "command `{cmd}` maps to unknown DSC `{dsc}`"
                 )));
@@ -71,7 +75,9 @@ mod tests {
         let mut dscs = DscRegistry::new();
         dscs.operation("Op", None, "").unwrap();
         let mut procedures = ProcedureRepository::new();
-        procedures.add(Procedure::simple("p", "Op", vec![Instr::Complete])).unwrap();
+        procedures
+            .add(Procedure::simple("p", "Op", vec![Instr::Complete]))
+            .unwrap();
         DomainKnowledge {
             dsml: MetamodelBuilder::new("toy").build().unwrap(),
             lts: LtsBuilder::new().state("s").initial("s").build().unwrap(),
@@ -92,7 +98,10 @@ mod tests {
     fn bad_command_map_rejected() {
         let mut d = dsk();
         d.command_map.push(("x".into(), "Ghost".into()));
-        assert!(matches!(d.validate(), Err(CoreError::InvalidDomainKnowledge(_))));
+        assert!(matches!(
+            d.validate(),
+            Err(CoreError::InvalidDomainKnowledge(_))
+        ));
     }
 
     #[test]

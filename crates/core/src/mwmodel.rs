@@ -145,13 +145,15 @@ impl PlatformSpec {
                     ..Default::default()
                 },
             });
-            controller_prefer =
-                Some(match model.attr(c, "prefer").and_then(Value::as_enum_literal) {
+            controller_prefer = Some(
+                match model.attr(c, "prefer").and_then(Value::as_enum_literal) {
                     Some("Dynamic") => mddsm_controller::Case::Dynamic,
                     _ => mddsm_controller::Case::Predefined,
-                });
-            controller_low_memory_dynamic =
-                model.attr_bool(c, "lowMemoryPrefersDynamic").unwrap_or(true);
+                },
+            );
+            controller_low_memory_dynamic = model
+                .attr_bool(c, "lowMemoryPrefersDynamic")
+                .unwrap_or(true);
         }
 
         let broker_model = model
@@ -201,17 +203,17 @@ impl PlatformModelBuilder {
     /// (`Skip` | `Error` | `Passthrough`).
     pub fn synthesis(mut self, unmatched: &str) -> Self {
         let s = self.model.create("SynthesisLayerSpec");
-        self.model
-            .set_attr(s, "unmatched", Value::enumeration("UnmatchedPolicy", unmatched));
+        self.model.set_attr(
+            s,
+            "unmatched",
+            Value::enumeration("UnmatchedPolicy", unmatched),
+        );
         self.model.add_ref(self.platform, "synthesis", s);
         self
     }
 
     /// Adds the Controller layer with defaults; tune through the closure.
-    pub fn controller(
-        mut self,
-        f: impl FnOnce(&mut Model, mddsm_meta::ObjectId),
-    ) -> Self {
+    pub fn controller(mut self, f: impl FnOnce(&mut Model, mddsm_meta::ObjectId)) -> Self {
         let mm = middleware_metamodel();
         let c = self
             .model
@@ -225,7 +227,8 @@ impl PlatformModelBuilder {
     /// Adds the Broker layer referencing a broker model by name.
     pub fn broker(mut self, broker_model: &str) -> Self {
         let b = self.model.create("BrokerLayerSpec");
-        self.model.set_attr(b, "brokerModel", Value::from(broker_model));
+        self.model
+            .set_attr(b, "brokerModel", Value::from(broker_model));
         self.model.add_ref(self.platform, "broker", b);
         self
     }
@@ -255,21 +258,31 @@ mod tests {
             .controller(|m, c| {
                 m.set_attr(c, "adaptive", Value::from(false));
                 m.set_attr(c, "prefer", Value::enumeration("CasePreference", "Dynamic"));
-                m.set_attr(c, "objective", Value::enumeration("Objective", "MinimizeMemory"));
+                m.set_attr(
+                    c,
+                    "objective",
+                    Value::enumeration("Objective", "MinimizeMemory"),
+                );
             })
             .broker("ncb")
             .build();
         let spec = PlatformSpec::from_model(&model).unwrap();
         assert_eq!(spec.name, "cvm");
         assert_eq!(spec.ui_dsml.as_deref(), Some("cml"));
-        assert_eq!(spec.synthesis_unmatched, Some(mddsm_synthesis::UnmatchedPolicy::Error));
+        assert_eq!(
+            spec.synthesis_unmatched,
+            Some(mddsm_synthesis::UnmatchedPolicy::Error)
+        );
         let c = spec.controller.unwrap();
         assert!(!c.adaptive);
         assert!(matches!(
             c.generation.policy,
             mddsm_controller::PolicyObjective::MinimizeMemory
         ));
-        assert_eq!(spec.controller_prefer, Some(mddsm_controller::Case::Dynamic));
+        assert_eq!(
+            spec.controller_prefer,
+            Some(mddsm_controller::Case::Dynamic)
+        );
         assert_eq!(spec.broker_model.as_deref(), Some("ncb"));
     }
 

@@ -36,7 +36,12 @@ impl PlatformBuilder {
                 )));
             }
         }
-        Ok(PlatformBuilder { spec, dsk, broker_model: None, hub: None })
+        Ok(PlatformBuilder {
+            spec,
+            dsk,
+            broker_model: None,
+            hub: None,
+        })
     }
 
     /// Supplies the broker model referenced by the platform's broker spec.
@@ -53,7 +58,12 @@ impl PlatformBuilder {
 
     /// Generates the platform.
     pub fn build(self) -> Result<MdDsmPlatform> {
-        let PlatformBuilder { spec, dsk, broker_model, hub } = self;
+        let PlatformBuilder {
+            spec,
+            dsk,
+            broker_model,
+            hub,
+        } = self;
 
         // UI layer.
         let ui = spec.ui_dsml.as_ref().map(|_| {
@@ -181,8 +191,10 @@ impl MdDsmPlatform {
     /// Submits an application model (the models@runtime entry point): the
     /// full UI → Synthesis → Controller → Broker pipeline.
     pub fn submit_model(&mut self, model: Model) -> Result<PlatformReport> {
-        let synthesis =
-            self.synthesis.as_mut().ok_or(CoreError::LayerSuppressed("synthesis"))?;
+        let synthesis = self
+            .synthesis
+            .as_mut()
+            .ok_or(CoreError::LayerSuppressed("synthesis"))?;
         let out = synthesis.submit(model)?;
         let mut report = PlatformReport {
             synthesized_commands: out.immediate.len(),
@@ -223,8 +235,7 @@ impl MdDsmPlatform {
     /// application"). Contradicting concerns are rejected with the full
     /// conflict list.
     pub fn submit_woven(&mut self, concerns: &[Model]) -> Result<PlatformReport> {
-        let woven = mddsm_meta::weave::weave_or_err(concerns)
-            .map_err(mddsm_ui::UiError::from)?;
+        let woven = mddsm_meta::weave::weave_or_err(concerns).map_err(mddsm_ui::UiError::from)?;
         self.submit_model(woven)
     }
 
@@ -248,8 +259,9 @@ impl MdDsmPlatform {
                 // broker, command name as selector.
                 let mut report = ExecutionReport::default();
                 for cmd in &script.commands {
-                    let result =
-                        broker.call(&cmd.name, &cmd.args.to_vec()).map_err(CoreError::Broker)?;
+                    let result = broker
+                        .call(&cmd.name, &cmd.args.to_vec())
+                        .map_err(CoreError::Broker)?;
                     report.commands += 1;
                     report.broker_calls += 1;
                     report.virtual_cost_us += result.cost.as_micros();
@@ -295,7 +307,10 @@ impl MdDsmPlatform {
             .installed
             .iter()
             .filter(|s| {
-                s.trigger.as_ref().map(|t| t.matches(topic, payload)).unwrap_or(false)
+                s.trigger
+                    .as_ref()
+                    .map(|t| t.matches(topic, payload))
+                    .unwrap_or(false)
             })
             .cloned()
             .collect();
@@ -318,7 +333,10 @@ impl MdDsmPlatform {
     /// Runs one autonomic MAPE cycle on the Broker layer; emitted events
     /// are routed like [`MdDsmPlatform::notify_event`].
     pub fn autonomic_tick(&mut self) -> Result<ExecutionReport> {
-        let broker = self.broker.as_mut().ok_or(CoreError::LayerSuppressed("broker"))?;
+        let broker = self
+            .broker
+            .as_mut()
+            .ok_or(CoreError::LayerSuppressed("broker"))?;
         let emitted = broker.autonomic_tick()?;
         let mut report = ExecutionReport::default();
         for topic in emitted {
@@ -362,7 +380,10 @@ impl MdDsmPlatform {
     /// The command trace of the underlying resources (experiment E1's
     /// observable).
     pub fn command_trace(&self) -> Vec<String> {
-        self.broker.as_ref().map(|b| b.hub().command_trace()).unwrap_or_default()
+        self.broker
+            .as_ref()
+            .map(|b| b.hub().command_trace())
+            .unwrap_or_default()
     }
 }
 
@@ -436,7 +457,10 @@ mod tests {
             dscs,
             procedures,
             actions: ActionRegistry::new(),
-            command_map: vec![("turnOn".into(), "Switch".into()), ("turnOff".into(), "Switch".into())],
+            command_map: vec![
+                ("turnOn".into(), "Switch".into()),
+                ("turnOff".into(), "Switch".into()),
+            ],
             event_commands: vec![],
         }
     }
@@ -444,7 +468,15 @@ mod tests {
     fn broker_model() -> Model {
         BrokerModelBuilder::new("lampBroker")
             .call_handler("power", "power.set")
-            .action("power", "set", "sim.power", "set", &["lamp=$lamp"], None, &["switches=+1"])
+            .action(
+                "power",
+                "set",
+                "sim.power",
+                "set",
+                &["lamp=$lamp"],
+                None,
+                &["switches=+1"],
+            )
             .build()
     }
 
@@ -511,7 +543,9 @@ mod tests {
             .submit_text("model m conformsTo lamps { Lamp l { name = \"hall\" } }")
             .unwrap();
         assert_eq!(r.execution.commands, 1);
-        assert!(p.submit_text("model m conformsTo lamps { Lamp l { } }").is_err());
+        assert!(p
+            .submit_text("model m conformsTo lamps { Lamp l { } }")
+            .is_err());
         assert!(p.submit_text("garbage").is_err());
     }
 
@@ -527,14 +561,18 @@ mod tests {
             .resources(hub())
             .build()
             .unwrap();
-        assert!(matches!(p.open_session(), Err(CoreError::LayerSuppressed("ui"))));
+        assert!(matches!(
+            p.open_session(),
+            Err(CoreError::LayerSuppressed("ui"))
+        ));
         assert!(matches!(
             p.submit_model(Model::new("lamps")),
             Err(CoreError::LayerSuppressed("synthesis"))
         ));
         // But direct script execution works (smart-object mode).
-        let script = ControlScript::immediate(vec![mddsm_synthesis::Command::new("turnOn", "")
-            .with("lamp", "desk")]);
+        let script = ControlScript::immediate(vec![
+            mddsm_synthesis::Command::new("turnOn", "").with("lamp", "desk")
+        ]);
         let r = p.run_script(&script).unwrap();
         assert_eq!(r.commands, 1);
         assert_eq!(p.command_trace(), vec!["sim.power.set(lamp=desk)"]);
@@ -542,18 +580,18 @@ mod tests {
 
     #[test]
     fn controllerless_node_calls_broker_directly() {
-        let pm = PlatformModelBuilder::new("thin", "lighting").broker("lampBroker").build();
+        let pm = PlatformModelBuilder::new("thin", "lighting")
+            .broker("lampBroker")
+            .build();
         let mut p = PlatformBuilder::new(&pm, dsk())
             .unwrap()
             .broker_model(broker_model())
             .resources(hub())
             .build()
             .unwrap();
-        let script = ControlScript::immediate(vec![mddsm_synthesis::Command::new(
-            "power.set",
-            "",
-        )
-        .with("lamp", "x")]);
+        let script = ControlScript::immediate(vec![
+            mddsm_synthesis::Command::new("power.set", "").with("lamp", "x")
+        ]);
         let r = p.run_script(&script).unwrap();
         assert_eq!(r.broker_calls, 1);
         assert_eq!(p.command_trace(), vec!["sim.power.set(lamp=x)"]);
@@ -565,10 +603,18 @@ mod tests {
         let pm = PlatformModelBuilder::new("x", "d").ui("other").build();
         assert!(PlatformBuilder::new(&pm, dsk()).is_err());
         // Missing broker model.
-        let pm = PlatformModelBuilder::new("x", "d").broker("lampBroker").build();
-        assert!(PlatformBuilder::new(&pm, dsk()).unwrap().resources(hub()).build().is_err());
+        let pm = PlatformModelBuilder::new("x", "d")
+            .broker("lampBroker")
+            .build();
+        assert!(PlatformBuilder::new(&pm, dsk())
+            .unwrap()
+            .resources(hub())
+            .build()
+            .is_err());
         // Broker model name mismatch.
-        let pm = PlatformModelBuilder::new("x", "d").broker("otherBroker").build();
+        let pm = PlatformModelBuilder::new("x", "d")
+            .broker("otherBroker")
+            .build();
         let r = PlatformBuilder::new(&pm, dsk())
             .unwrap()
             .broker_model(broker_model())

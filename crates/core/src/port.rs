@@ -25,7 +25,11 @@ impl<'a> BrokerAdapter<'a> {
 
 impl BrokerPort for BrokerAdapter<'_> {
     fn invoke(&mut self, api: &str, op: &str, args: &[(String, String)]) -> PortResponse {
-        let selector = if api.is_empty() { op.to_owned() } else { format!("{api}.{op}") };
+        let selector = if api.is_empty() {
+            op.to_owned()
+        } else {
+            format!("{api}.{op}")
+        };
         let args_vec: Vec<(String, String)> = args.to_vec();
         match self.broker.call(&selector, &args_vec) {
             Ok(result) => {

@@ -30,7 +30,15 @@ fn broker_models_roundtrip_and_behave_identically() {
     let model = BrokerModelBuilder::new("rt")
         .call_handler("h", "svc.op")
         .policy("always", "true")
-        .action("h", "a", "res", "op", &["k=$k"], Some("always"), &["count=+1"])
+        .action(
+            "h",
+            "a",
+            "res",
+            "op",
+            &["k=$k"],
+            Some("always"),
+            &["count=+1"],
+        )
         .bind_resource("res", "sim.res")
         .build();
     let transported = text::write(&model);
@@ -44,7 +52,11 @@ fn broker_models_roundtrip_and_behave_identically() {
         let result = b
             .call("svc.op", &vec![("k".to_owned(), "42".to_owned())])
             .unwrap();
-        (result.action, b.hub().command_trace(), b.state().int("count"))
+        (
+            result.action,
+            b.hub().command_trace(),
+            b.state().int("count"),
+        )
     };
     assert_eq!(run(&model), run(&parsed));
 }
@@ -76,7 +88,10 @@ fn hand_written_platform_model_text_is_accepted() {
     let model = text::parse(src).unwrap();
     let spec = PlatformSpec::from_model(&model).unwrap();
     assert_eq!(spec.name, "tinyvm");
-    assert_eq!(spec.synthesis_unmatched, Some(mddsm_synthesis::UnmatchedPolicy::Passthrough));
+    assert_eq!(
+        spec.synthesis_unmatched,
+        Some(mddsm_synthesis::UnmatchedPolicy::Passthrough)
+    );
     let c = spec.controller.unwrap();
     assert!(!c.adaptive);
     assert_eq!(c.max_retries, 1);

@@ -12,7 +12,10 @@ pub const CSML: &str = "csml";
 /// interest, a sampling rate, and an aggregation function.
 pub fn csml_metamodel() -> Metamodel {
     MetamodelBuilder::new(CSML)
-        .enumeration("Sensor", ["Gps", "Accelerometer", "Temperature", "Noise", "AirQuality"])
+        .enumeration(
+            "Sensor",
+            ["Gps", "Accelerometer", "Temperature", "Noise", "AirQuality"],
+        )
         .enumeration("Aggregation", ["Mean", "Min", "Max", "Count"])
         .class("SensingQuery", |c| {
             c.attr("name", DataType::Str)
@@ -37,16 +40,21 @@ pub fn csml_lts() -> Lts {
     LtsBuilder::new()
         .state("serving")
         .initial("serving")
-        .transition("serving", "serving", ChangePattern::create("SensingQuery"), |t| {
-            t.emit(
-                CommandTemplate::new("startQuery", "$key")
-                    .with("query", "$attr_name")
-                    .with("sensor", "$attr_sensor")
-                    .with("region", "$attr_region")
-                    .with("rate", "$attr_sampleRateHz")
-                    .with("aggregation", "$attr_aggregation"),
-            )
-        })
+        .transition(
+            "serving",
+            "serving",
+            ChangePattern::create("SensingQuery"),
+            |t| {
+                t.emit(
+                    CommandTemplate::new("startQuery", "$key")
+                        .with("query", "$attr_name")
+                        .with("sensor", "$attr_sensor")
+                        .with("region", "$attr_region")
+                        .with("rate", "$attr_sampleRateHz")
+                        .with("aggregation", "$attr_aggregation"),
+                )
+            },
+        )
         .transition(
             "serving",
             "serving",
@@ -71,9 +79,12 @@ pub fn csml_lts() -> Lts {
                 )
             },
         )
-        .transition("serving", "serving", ChangePattern::delete("SensingQuery"), |t| {
-            t.emit(CommandTemplate::new("stopQuery", "$key").with("query", "$id"))
-        })
+        .transition(
+            "serving",
+            "serving",
+            ChangePattern::delete("SensingQuery"),
+            |t| t.emit(CommandTemplate::new("stopQuery", "$key").with("query", "$id")),
+        )
         .build()
         .expect("CSML LTS is well-formed")
 }
@@ -133,7 +144,11 @@ mod tests {
         m2.set_attr(q, "sampleRateHz", Value::from(10));
         let changes = diff(&m, &m2, &DiffOptions::default());
         let out = interp.interpret(&changes, &m2, &mm).unwrap();
-        assert!(out.immediate.render().contains("retargetQuery"), "{}", out.immediate.render());
+        assert!(
+            out.immediate.render().contains("retargetQuery"),
+            "{}",
+            out.immediate.render()
+        );
         assert!(out.immediate.render().contains("rate=10"));
 
         // Deletion stops.

@@ -43,12 +43,14 @@ impl Aggregation {
             Aggregation::Count => Some(samples.len() as f64),
             _ if samples.is_empty() => None,
             Aggregation::Mean => Some(samples.iter().sum::<f64>() / samples.len() as f64),
-            Aggregation::Min => samples.iter().copied().fold(None, |m: Option<f64>, x| {
-                Some(m.map_or(x, |m| m.min(x)))
-            }),
-            Aggregation::Max => samples.iter().copied().fold(None, |m: Option<f64>, x| {
-                Some(m.map_or(x, |m| m.max(x)))
-            }),
+            Aggregation::Min => samples
+                .iter()
+                .copied()
+                .fold(None, |m: Option<f64>, x| Some(m.map_or(x, |m| m.min(x)))),
+            Aggregation::Max => samples
+                .iter()
+                .copied()
+                .fold(None, |m: Option<f64>, x| Some(m.map_or(x, |m| m.max(x)))),
         }
     }
 }
@@ -91,7 +93,11 @@ impl Fleet {
                 battery: 1.0,
             })
             .collect();
-        Fleet { devices, queries: BTreeMap::new(), rng: SimRng::seed_from_u64(seed) }
+        Fleet {
+            devices,
+            queries: BTreeMap::new(),
+            rng: SimRng::seed_from_u64(seed),
+        }
     }
 
     /// Number of devices currently in `region`.
@@ -167,7 +173,11 @@ impl Fleet {
         let mut samples = Vec::new();
         let mut participants = 0usize;
         let baseline = Self::baseline(&q.sensor, &q.region);
-        for d in self.devices.iter_mut().filter(|d| d.region == q.region && d.battery > 0.05) {
+        for d in self
+            .devices
+            .iter_mut()
+            .filter(|d| d.region == q.region && d.battery > 0.05)
+        {
             participants += 1;
             for _ in 0..q.rate_hz {
                 let noise = (self.rng.unit() - 0.5) * 4.0;
@@ -191,7 +201,10 @@ pub fn shared_fleet(n: usize, regions: &[&str], seed: u64) -> SharedFleet {
 }
 
 fn arg<'a>(args: &'a Args, key: &str) -> &'a str {
-    args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str()).unwrap_or("")
+    args.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("")
 }
 
 /// Registers the fleet as the `sim.fleet` resource: `start`, `retarget`,
@@ -205,10 +218,16 @@ pub fn register_fleet(hub: &mut ResourceHub, fleet: SharedFleet) {
             let mut fleet = fleet.lock().expect("fleet lock");
             match op {
                 "start" => {
-                    let agg = Aggregation::parse(arg(args, "aggregation"))
-                        .unwrap_or(Aggregation::Mean);
+                    let agg =
+                        Aggregation::parse(arg(args, "aggregation")).unwrap_or(Aggregation::Mean);
                     let rate: u32 = arg(args, "rate").parse().unwrap_or(1);
-                    fleet.start(arg(args, "query"), arg(args, "sensor"), arg(args, "region"), rate, agg);
+                    fleet.start(
+                        arg(args, "query"),
+                        arg(args, "sensor"),
+                        arg(args, "region"),
+                        rate,
+                        agg,
+                    );
                     Outcome::ok_with("query", arg(args, "query"))
                 }
                 "retarget" => {
@@ -235,7 +254,8 @@ pub fn register_fleet(hub: &mut ResourceHub, fleet: SharedFleet) {
                         let mut out = BTreeMap::new();
                         out.insert(
                             "value".into(),
-                            agg.map(|v| format!("{v:.3}")).unwrap_or_else(|| "nan".into()),
+                            agg.map(|v| format!("{v:.3}"))
+                                .unwrap_or_else(|| "nan".into()),
                         );
                         out.insert("samples".into(), n.to_string());
                         out.insert("participants".into(), participants.to_string());
@@ -277,7 +297,10 @@ mod tests {
         assert_eq!(n, 10);
         let v = agg.unwrap();
         let baseline = Fleet::baseline("Noise", "downtown");
-        assert!((v - baseline).abs() < 2.5, "value {v} vs baseline {baseline}");
+        assert!(
+            (v - baseline).abs() < 2.5,
+            "value {v} vs baseline {baseline}"
+        );
         assert!(f.retarget("q1", Some(5), None));
         let (_, n, _) = f.collect("q1").unwrap();
         assert_eq!(n, 25);
@@ -325,11 +348,19 @@ mod tests {
             ]),
         );
         assert!(o.is_ok());
-        let (o, _) = hub.invoke("sim.fleet", "collect", &mddsm_sim::resource::args(&[("query", "q1")]));
+        let (o, _) = hub.invoke(
+            "sim.fleet",
+            "collect",
+            &mddsm_sim::resource::args(&[("query", "q1")]),
+        );
         assert_eq!(o.get("participants"), Some("8"));
         let (o, _) = hub.invoke("sim.fleet", "status", &Args::new());
         assert_eq!(o.get("running"), Some("1"));
-        let (o, _) = hub.invoke("sim.fleet", "stop", &mddsm_sim::resource::args(&[("query", "zzz")]));
+        let (o, _) = hub.invoke(
+            "sim.fleet",
+            "stop",
+            &mddsm_sim::resource::args(&[("query", "zzz")]),
+        );
         assert!(!o.is_ok());
     }
 }

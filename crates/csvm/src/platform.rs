@@ -12,11 +12,16 @@ use mddsm_sim::ResourceHub;
 /// DSCs of the crowdsensing controller.
 pub fn cs_dscs() -> DscRegistry {
     let mut d = DscRegistry::new();
-    d.operation("ManageQuery", None, "query lifecycle").expect("unique DSC");
-    d.operation("StartQuery", Some("ManageQuery"), "start acquisition").expect("unique DSC");
-    d.operation("RetargetQuery", Some("ManageQuery"), "on-the-fly change").expect("unique DSC");
-    d.operation("StopQuery", Some("ManageQuery"), "stop acquisition").expect("unique DSC");
-    d.operation("CollectData", None, "one collection round").expect("unique DSC");
+    d.operation("ManageQuery", None, "query lifecycle")
+        .expect("unique DSC");
+    d.operation("StartQuery", Some("ManageQuery"), "start acquisition")
+        .expect("unique DSC");
+    d.operation("RetargetQuery", Some("ManageQuery"), "on-the-fly change")
+        .expect("unique DSC");
+    d.operation("StopQuery", Some("ManageQuery"), "stop acquisition")
+        .expect("unique DSC");
+    d.operation("CollectData", None, "one collection round")
+        .expect("unique DSC");
     d
 }
 
@@ -24,7 +29,10 @@ fn fleet_call(op: &str, args: &[(&str, Operand)]) -> Instr {
     Instr::BrokerCall {
         api: "fleet".into(),
         op: op.into(),
-        args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        args: args
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
     }
 }
 
@@ -38,6 +46,7 @@ pub fn cs_procedures() -> ProcedureRepository {
         // Starting a query performs an immediate first collection round.
         dependencies: vec!["CollectData".into()],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
@@ -66,11 +75,15 @@ pub fn cs_procedures() -> ProcedureRepository {
         classifier: "CollectData".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
                 fleet_call("collect", &[("query", a("query"))]),
-                Instr::SetVar { name: "value".into(), value: Operand::var("result.value") },
+                Instr::SetVar {
+                    name: "value".into(),
+                    value: Operand::var("result.value"),
+                },
                 Instr::Complete,
             ],
         )],
@@ -81,12 +94,17 @@ pub fn cs_procedures() -> ProcedureRepository {
         classifier: "RetargetQuery".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
                 fleet_call(
                     "retarget",
-                    &[("query", a("query")), ("rate", a("rate")), ("region", a("region"))],
+                    &[
+                        ("query", a("query")),
+                        ("rate", a("rate")),
+                        ("region", a("region")),
+                    ],
                 ),
                 Instr::Complete,
             ],
@@ -98,9 +116,13 @@ pub fn cs_procedures() -> ProcedureRepository {
         classifier: "StopQuery".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
-            vec![fleet_call("stop", &[("query", a("query"))]), Instr::Complete],
+            vec![
+                fleet_call("stop", &[("query", a("query"))]),
+                Instr::Complete,
+            ],
         )],
     })
     .expect("unique procedure");
@@ -128,15 +150,28 @@ pub fn cs_broker_model() -> Model {
             "start",
             "fleet.start",
             "start",
-            vec!["query=$query", "sensor=$sensor", "region=$region", "rate=$rate", "aggregation=$aggregation"],
+            vec![
+                "query=$query",
+                "sensor=$sensor",
+                "region=$region",
+                "rate=$rate",
+                "aggregation=$aggregation",
+            ],
         ),
-        ("retarget", "fleet.retarget", "retarget", vec!["query=$query", "rate=$rate", "region=$region"]),
+        (
+            "retarget",
+            "fleet.retarget",
+            "retarget",
+            vec!["query=$query", "rate=$rate", "region=$region"],
+        ),
         ("stop", "fleet.stop", "stop", vec!["query=$query"]),
         ("collect", "fleet.collect", "collect", vec!["query=$query"]),
         ("status", "fleet.status", "status", vec![]),
     ] {
-        let mapping: Vec<&str> = mapping.iter().copied().collect();
-        b = b.call_handler(h, sel).action(h, h, "fleet", op, &mapping, None, &[]);
+        let mapping = mapping.to_vec();
+        b = b
+            .call_handler(h, sel)
+            .action(h, h, "fleet", op, &mapping, None, &[]);
     }
     b.bind_resource("fleet", "sim.fleet").build()
 }
@@ -239,19 +274,32 @@ mod tests {
         s.set(q, "region", "downtown").unwrap();
         s.set(q, "sampleRateHz", "2").unwrap();
         let report = p.submit_model(s.submit().unwrap()).unwrap();
-        assert!(report.execution.events.contains(&"queryStarted".to_string()), "{report:?}");
+        assert!(
+            report
+                .execution
+                .events
+                .contains(&"queryStarted".to_string()),
+            "{report:?}"
+        );
         {
             let fleet = fleet.lock().unwrap();
             assert_eq!(fleet.running(), vec!["noise1"]);
         }
         let trace = p.command_trace();
         assert!(trace.iter().any(|t| t.contains("fleet.start")), "{trace:?}");
-        assert!(trace.iter().any(|t| t.contains("fleet.collect")), "{trace:?}");
+        assert!(
+            trace.iter().any(|t| t.contains("fleet.collect")),
+            "{trace:?}"
+        );
 
         // On-the-fly retarget.
         s.set(q, "sampleRateHz", "8").unwrap();
         p.submit_model(s.submit().unwrap()).unwrap();
-        assert!(p.command_trace().iter().any(|t| t.contains("retarget")), "{:?}", p.command_trace());
+        assert!(
+            p.command_trace().iter().any(|t| t.contains("retarget")),
+            "{:?}",
+            p.command_trace()
+        );
 
         // Stop by deleting the query.
         s.delete(q).unwrap();

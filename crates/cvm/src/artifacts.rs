@@ -58,6 +58,7 @@ pub fn cvm_procedures() -> ProcedureRepository {
         classifier: "SessionSetup".into(),
         dependencies: vec![],
         meta: ProcMeta { cost: 1.0, reliability: 0.99, memory: 1.0, requires: vec![] },
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
@@ -80,6 +81,7 @@ pub fn cvm_procedures() -> ProcedureRepository {
         classifier: "StreamMedia".into(),
         dependencies: vec![],
         meta: ProcMeta { cost: 1.0, reliability: 0.95, memory: 1.0, requires: vec![] },
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
@@ -103,6 +105,7 @@ pub fn cvm_procedures() -> ProcedureRepository {
         classifier: "StreamMedia".into(),
         dependencies: vec![],
         meta: ProcMeta { cost: 3.0, reliability: 0.99, memory: 1.5, requires: vec![] },
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![call("relay", "open", &[("session", a("session"))]), Instr::Complete],
@@ -116,6 +119,7 @@ pub fn cvm_procedures() -> ProcedureRepository {
         classifier: "EstablishSession".into(),
         dependencies: vec!["SessionSetup".into(), "StreamMedia".into()],
         meta: ProcMeta { cost: 2.0, reliability: 0.97, memory: 2.0, requires: vec![] },
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
@@ -134,6 +138,7 @@ pub fn cvm_procedures() -> ProcedureRepository {
         classifier: "AddParty".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
@@ -148,6 +153,7 @@ pub fn cvm_procedures() -> ProcedureRepository {
         classifier: "RemoveParty".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
@@ -164,6 +170,7 @@ pub fn cvm_procedures() -> ProcedureRepository {
         classifier: "ReconfigureMedia".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
@@ -178,6 +185,7 @@ pub fn cvm_procedures() -> ProcedureRepository {
         classifier: "TerminateSession".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
@@ -204,6 +212,7 @@ pub fn cvm_procedures() -> ProcedureRepository {
             memory: 1.0,
             requires: vec![("profile".into(), "audio-only".into())],
         },
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![Instr::CallDep(0), Instr::CallDep(1), Instr::Complete],
@@ -220,6 +229,7 @@ pub fn cvm_procedures() -> ProcedureRepository {
             memory: 0.5,
             requires: vec![("profile".into(), "audio-only".into())],
         },
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![

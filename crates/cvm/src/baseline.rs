@@ -45,8 +45,11 @@ impl HandcraftedNcb {
         self.streams
     }
 
-    fn pick<'a>(args: &'a Args, key: &str) -> String {
-        args.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()).unwrap_or_default()
+    fn pick(args: &Args, key: &str) -> String {
+        args.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
     }
 
     fn direct_mode(&self) -> bool {
@@ -179,11 +182,16 @@ mod tests {
     #[test]
     fn mirrors_model_based_behaviour() {
         let mut ncb = HandcraftedNcb::new(1, 10);
-        let o = ncb.call("signaling.invite", &args(&[("from", "ana"), ("to", "bob")])).unwrap();
+        let o = ncb
+            .call("signaling.invite", &args(&[("from", "ana"), ("to", "bob")]))
+            .unwrap();
         let sid = o.get("session").unwrap().to_owned();
         assert_eq!(ncb.sessions(), 1);
         let o = ncb
-            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .call(
+                "media.open",
+                &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]),
+            )
             .unwrap();
         assert!(o.get("stream").is_some());
         assert_eq!(ncb.streams(), 1);
@@ -199,21 +207,33 @@ mod tests {
     #[test]
     fn failure_relay_and_recovery_logic() {
         let mut ncb = HandcraftedNcb::new(1, 10);
-        let o = ncb.call("signaling.invite", &args(&[("from", "a"), ("to", "b")])).unwrap();
+        let o = ncb
+            .call("signaling.invite", &args(&[("from", "a"), ("to", "b")]))
+            .unwrap();
         let sid = o.get("session").unwrap().to_owned();
         ncb.set_media_healthy(false);
         let o = ncb
-            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .call(
+                "media.open",
+                &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]),
+            )
             .unwrap();
         assert!(!o.is_ok());
-        ncb.event("mediaFailure", &args(&[("session", &sid)])).unwrap();
+        ncb.event("mediaFailure", &args(&[("session", &sid)]))
+            .unwrap();
         let o = ncb
-            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .call(
+                "media.open",
+                &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]),
+            )
             .unwrap();
         assert!(o.get("relay").is_some());
         ncb.recover();
         let o = ncb
-            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .call(
+                "media.open",
+                &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]),
+            )
             .unwrap();
         assert!(o.get("stream").is_some());
     }

@@ -44,7 +44,14 @@ pub fn cml_metamodel() -> Metamodel {
         })
         .class("Connection", |c| {
             c.attr("name", DataType::Str)
-                .reference("parties", "Person", Multiplicity { lower: 2, upper: None })
+                .reference(
+                    "parties",
+                    "Person",
+                    Multiplicity {
+                        lower: 2,
+                        upper: None,
+                    },
+                )
                 .reference("media", "Medium", Multiplicity::SOME)
                 .invariant("enough-parties", "self.parties->size() >= 2")
                 .invariant("has-media", "self.media->notEmpty()")
@@ -119,7 +126,10 @@ mod tests {
         m.set_attr(medium, "kind", Value::enumeration("MediaKind", "Video"));
         m.set_attr(medium, "bandwidthKbps", Value::from(64));
         let v = conformance::violations(&m, &cml_metamodel());
-        assert!(v.iter().any(|x| x.contains("video-needs-bandwidth")), "{v:?}");
+        assert!(
+            v.iter().any(|x| x.contains("video-needs-bandwidth")),
+            "{v:?}"
+        );
         m.set_attr(medium, "bandwidthKbps", Value::from(512));
         assert!(conformance::check(&m, &cml_metamodel()).is_ok());
     }

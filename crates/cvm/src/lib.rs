@@ -33,15 +33,19 @@
 
 #![warn(missing_docs)]
 
+// E5 counts lines of code on `artifacts` and `monolithic` as written;
+// reformatting them would change the measurement, so rustfmt skips both.
+#[rustfmt::skip]
 pub mod artifacts;
 pub mod baseline;
 pub mod cml;
+#[rustfmt::skip]
 pub mod monolithic;
 pub mod ncb;
 pub mod platform;
 pub mod scenarios;
-pub mod synthesis_dsk;
 pub mod services;
+pub mod synthesis_dsk;
 
 pub use platform::build_cvm;
 pub use scenarios::{all_scenarios, Scenario};

@@ -356,6 +356,7 @@ mod tests {
     use std::rc::Rc;
 
     /// A port failing the media engine a configurable number of times.
+    #[allow(clippy::type_complexity)]
     fn flaky_port(
         failures: u32,
     ) -> (impl FnMut(&str, &str, &[(String, String)]) -> PortResponse, Rc<RefCell<Vec<String>>>) {

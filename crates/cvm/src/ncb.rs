@@ -45,9 +45,25 @@ pub fn ncb_broker_model() -> Model {
             &["sessions=+1"],
         )
         .call_handler("join", "signaling.join")
-        .action("join", "join", "signaling", "join", &["session=$session", "who=$who"], None, &[])
+        .action(
+            "join",
+            "join",
+            "signaling",
+            "join",
+            &["session=$session", "who=$who"],
+            None,
+            &[],
+        )
         .call_handler("leave", "signaling.leave")
-        .action("leave", "leave", "signaling", "leave", &["session=$session", "who=$who"], None, &[])
+        .action(
+            "leave",
+            "leave",
+            "signaling",
+            "leave",
+            &["session=$session", "who=$who"],
+            None,
+            &[],
+        )
         .call_handler("close", "signaling.close")
         .action(
             "close",
@@ -67,7 +83,12 @@ pub fn ncb_broker_model() -> Model {
             "openDirect",
             "media",
             "open",
-            &["session=$session", "kind=$kind", "codec=$codec", "stream=$stream"],
+            &[
+                "session=$session",
+                "kind=$kind",
+                "codec=$codec",
+                "stream=$stream",
+            ],
             Some("directMode"),
             &["streams=+1"],
         )
@@ -82,11 +103,35 @@ pub fn ncb_broker_model() -> Model {
         )
         // Direct relay access, used by the Controller's relay procedures.
         .call_handler("relayOpen", "relay.open")
-        .action("relayOpen", "relayOpen", "relay", "open", &["session=$session"], None, &["streams=+1"])
+        .action(
+            "relayOpen",
+            "relayOpen",
+            "relay",
+            "open",
+            &["session=$session"],
+            None,
+            &["streams=+1"],
+        )
         .call_handler("relayClose", "relay.close")
-        .action("relayClose", "relayClose", "relay", "close", &[], None, &["streams=-1"])
+        .action(
+            "relayClose",
+            "relayClose",
+            "relay",
+            "close",
+            &[],
+            None,
+            &["streams=-1"],
+        )
         .call_handler("mediaClose", "media.close")
-        .action("mediaClose", "closeStream", "media", "close", &["stream=$stream"], None, &["streams=-1"])
+        .action(
+            "mediaClose",
+            "closeStream",
+            "media",
+            "close",
+            &["stream=$stream"],
+            None,
+            &["streams=-1"],
+        )
         .call_handler("mediaReconf", "media.reconfigure")
         .action(
             "mediaReconf",
@@ -131,8 +176,8 @@ impl ModelBasedNcb {
     /// Builds the model-based NCB over the simulated services.
     pub fn new(seed: u64, work_per_call: u32) -> Self {
         let hub = service_hub(seed, work_per_call);
-        let broker = GenericBroker::from_model(&ncb_broker_model(), hub)
-            .expect("NCB broker model is valid");
+        let broker =
+            GenericBroker::from_model(&ncb_broker_model(), hub).expect("NCB broker model is valid");
         ModelBasedNcb { broker }
     }
 
@@ -144,11 +189,17 @@ impl ModelBasedNcb {
 
 impl Ncb for ModelBasedNcb {
     fn call(&mut self, op: &str, args: &Args) -> Result<Outcome, String> {
-        self.broker.call(op, args).map(|r| r.outcome).map_err(|e| e.to_string())
+        self.broker
+            .call(op, args)
+            .map(|r| r.outcome)
+            .map_err(|e| e.to_string())
     }
 
     fn event(&mut self, topic: &str, args: &Args) -> Result<Outcome, String> {
-        self.broker.event(topic, args).map(|r| r.outcome).map_err(|e| e.to_string())
+        self.broker
+            .event(topic, args)
+            .map(|r| r.outcome)
+            .map_err(|e| e.to_string())
     }
 
     fn recover(&mut self) {
@@ -172,7 +223,9 @@ mod tests {
     #[test]
     fn model_is_valid_and_serves_calls() {
         let mut ncb = ModelBasedNcb::new(1, 10);
-        let o = ncb.call("signaling.invite", &args(&[("from", "ana"), ("to", "bob")])).unwrap();
+        let o = ncb
+            .call("signaling.invite", &args(&[("from", "ana"), ("to", "bob")]))
+            .unwrap();
         let sid = o.get("session").unwrap().to_owned();
         let o = ncb
             .call(
@@ -195,24 +248,36 @@ mod tests {
     #[test]
     fn failure_switches_to_relay_then_recovers() {
         let mut ncb = ModelBasedNcb::new(1, 10);
-        let o = ncb.call("signaling.invite", &args(&[("from", "a"), ("to", "b")])).unwrap();
+        let o = ncb
+            .call("signaling.invite", &args(&[("from", "a"), ("to", "b")]))
+            .unwrap();
         let sid = o.get("session").unwrap().to_owned();
         ncb.set_media_healthy(false);
         // Direct open fails (media engine down).
         let o = ncb
-            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .call(
+                "media.open",
+                &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]),
+            )
             .unwrap();
         assert!(!o.is_ok());
         // The failure event switches mode to relay.
-        ncb.event("mediaFailure", &args(&[("session", &sid)])).unwrap();
+        ncb.event("mediaFailure", &args(&[("session", &sid)]))
+            .unwrap();
         let o = ncb
-            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .call(
+                "media.open",
+                &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]),
+            )
             .unwrap();
         assert!(o.get("relay").is_some());
         // Recovery heals the engine and restores direct mode.
         ncb.recover();
         let o = ncb
-            .call("media.open", &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]))
+            .call(
+                "media.open",
+                &args(&[("session", &sid), ("kind", "Audio"), ("codec", "opus")]),
+            )
             .unwrap();
         assert!(o.get("stream").is_some());
     }

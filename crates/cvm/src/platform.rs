@@ -2,10 +2,10 @@
 //! communication domain.
 
 use crate::artifacts::{cvm_actions, cvm_command_map, cvm_dscs, cvm_procedures};
-use crate::synthesis_dsk::cvm_lts;
 use crate::cml::cml_metamodel;
 use crate::ncb::ncb_broker_model;
 use crate::services::service_hub;
+use crate::synthesis_dsk::cvm_lts;
 use mddsm_core::{DomainKnowledge, MdDsmPlatform, PlatformBuilder, PlatformModelBuilder};
 use mddsm_synthesis::Command;
 
@@ -104,7 +104,10 @@ mod tests {
         let report = p.submit_model(s.submit().unwrap()).unwrap();
         assert_eq!(report.execution.commands, 1, "{report:?}");
         let trace = p.command_trace();
-        assert!(trace.last().unwrap().starts_with("sim.signaling.join"), "{trace:?}");
+        assert!(
+            trace.last().unwrap().starts_with("sim.signaling.join"),
+            "{trace:?}"
+        );
         let calls_so_far = calls_so_far + 1;
 
         // Reconfiguring the codec in the model reconfigures the stream —
@@ -114,7 +117,10 @@ mod tests {
         assert_eq!(report.execution.case1, 1);
         let trace = p.command_trace();
         assert_eq!(trace.len(), calls_so_far + 1);
-        assert!(trace.last().unwrap().starts_with("sim.media.reconfigure"), "{trace:?}");
+        assert!(
+            trace.last().unwrap().starts_with("sim.media.reconfigure"),
+            "{trace:?}"
+        );
         assert!(trace.last().unwrap().contains("codec=opus-hd"), "{trace:?}");
 
         // Dropping the connection tears the session down.
@@ -122,13 +128,19 @@ mod tests {
         let report = p.submit_model(s.submit().unwrap()).unwrap();
         assert!(report.execution.commands >= 1);
         let trace = p.command_trace();
-        assert!(trace.last().unwrap().starts_with("sim.signaling.close"), "{trace:?}");
+        assert!(
+            trace.last().unwrap().starts_with("sim.signaling.close"),
+            "{trace:?}"
+        );
     }
 
     #[test]
     fn broker_failure_triggers_controller_adaptation() {
         let mut p = build_cvm(1, 10);
-        p.broker_mut().unwrap().hub_mut().set_healthy("sim.media", false);
+        p.broker_mut()
+            .unwrap()
+            .hub_mut()
+            .set_healthy("sim.media", false);
         let src = r#"model m conformsTo cml {
             CommSchema s { name = "call" persons -> [a, b] media -> [v] connections -> [c] }
             Person a { name = "ana" userId = "ana@cvm" }
@@ -140,6 +152,9 @@ mod tests {
         // The adaptive controller excluded mediaDirect and used the relay.
         assert!(report.execution.adaptations >= 1, "{report:?}");
         let trace = p.command_trace();
-        assert!(trace.iter().any(|t| t.starts_with("sim.relay.open")), "{trace:?}");
+        assert!(
+            trace.iter().any(|t| t.starts_with("sim.relay.open")),
+            "{trace:?}"
+        );
     }
 }

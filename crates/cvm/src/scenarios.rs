@@ -64,11 +64,21 @@ fn call(
     args: &[(&'static str, &'static str)],
     bind: Option<(&'static str, &'static str)>,
 ) -> Step {
-    Step::Call { op, args: args.to_vec(), bind, expect_ok: true }
+    Step::Call {
+        op,
+        args: args.to_vec(),
+        bind,
+        expect_ok: true,
+    }
 }
 
 fn failing_call(op: &'static str, args: &[(&'static str, &'static str)]) -> Step {
-    Step::Call { op, args: args.to_vec(), bind: None, expect_ok: false }
+    Step::Call {
+        op,
+        args: args.to_vec(),
+        bind: None,
+        expect_ok: false,
+    }
 }
 
 /// The eight §VII-A scenarios.
@@ -77,7 +87,11 @@ pub fn all_scenarios() -> Vec<Scenario> {
         Scenario {
             name: "S1 two-party audio establishment",
             steps: vec![
-                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call(
+                    "signaling.invite",
+                    &[("from", "ana"), ("to", "bob")],
+                    Some(("session", "sid")),
+                ),
                 call(
                     "media.open",
                     &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
@@ -88,8 +102,16 @@ pub fn all_scenarios() -> Vec<Scenario> {
         Scenario {
             name: "S2 three-party video establishment",
             steps: vec![
-                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
-                call("signaling.join", &[("session", "$sid"), ("who", "carol")], None),
+                call(
+                    "signaling.invite",
+                    &[("from", "ana"), ("to", "bob")],
+                    Some(("session", "sid")),
+                ),
+                call(
+                    "signaling.join",
+                    &[("session", "$sid"), ("who", "carol")],
+                    None,
+                ),
                 call(
                     "media.open",
                     &[("session", "$sid"), ("kind", "Video"), ("codec", "h264")],
@@ -105,13 +127,21 @@ pub fn all_scenarios() -> Vec<Scenario> {
         Scenario {
             name: "S3 add party mid-session",
             steps: vec![
-                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call(
+                    "signaling.invite",
+                    &[("from", "ana"), ("to", "bob")],
+                    Some(("session", "sid")),
+                ),
                 call(
                     "media.open",
                     &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
                     Some(("stream", "audio")),
                 ),
-                call("signaling.join", &[("session", "$sid"), ("who", "dan")], None),
+                call(
+                    "signaling.join",
+                    &[("session", "$sid"), ("who", "dan")],
+                    None,
+                ),
                 call(
                     "media.open",
                     &[("session", "$sid"), ("kind", "Video"), ("codec", "vp8")],
@@ -122,14 +152,26 @@ pub fn all_scenarios() -> Vec<Scenario> {
         Scenario {
             name: "S4 remove party and teardown",
             steps: vec![
-                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
-                call("signaling.join", &[("session", "$sid"), ("who", "carol")], None),
+                call(
+                    "signaling.invite",
+                    &[("from", "ana"), ("to", "bob")],
+                    Some(("session", "sid")),
+                ),
+                call(
+                    "signaling.join",
+                    &[("session", "$sid"), ("who", "carol")],
+                    None,
+                ),
                 call(
                     "media.open",
                     &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
                     Some(("stream", "audio")),
                 ),
-                call("signaling.leave", &[("session", "$sid"), ("who", "bob")], None),
+                call(
+                    "signaling.leave",
+                    &[("session", "$sid"), ("who", "bob")],
+                    None,
+                ),
                 call("media.close", &[("stream", "$audio")], None),
                 call("signaling.close", &[("session", "$sid")], None),
             ],
@@ -137,7 +179,11 @@ pub fn all_scenarios() -> Vec<Scenario> {
         Scenario {
             name: "S5 add media stream (screen share)",
             steps: vec![
-                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call(
+                    "signaling.invite",
+                    &[("from", "ana"), ("to", "bob")],
+                    Some(("session", "sid")),
+                ),
                 call(
                     "media.open",
                     &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
@@ -153,20 +199,36 @@ pub fn all_scenarios() -> Vec<Scenario> {
         Scenario {
             name: "S6 codec reconfiguration",
             steps: vec![
-                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call(
+                    "signaling.invite",
+                    &[("from", "ana"), ("to", "bob")],
+                    Some(("session", "sid")),
+                ),
                 call(
                     "media.open",
                     &[("session", "$sid"), ("kind", "Video"), ("codec", "h264")],
                     Some(("stream", "video")),
                 ),
-                call("media.reconfigure", &[("stream", "$video"), ("codec", "vp9")], None),
-                call("media.reconfigure", &[("stream", "$video"), ("codec", "av1")], None),
+                call(
+                    "media.reconfigure",
+                    &[("stream", "$video"), ("codec", "vp9")],
+                    None,
+                ),
+                call(
+                    "media.reconfigure",
+                    &[("stream", "$video"), ("codec", "av1")],
+                    None,
+                ),
             ],
         },
         Scenario {
             name: "S7 media-engine failure recovery",
             steps: vec![
-                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call(
+                    "signaling.invite",
+                    &[("from", "ana"), ("to", "bob")],
+                    Some(("session", "sid")),
+                ),
                 Step::InjectMediaFailure,
                 failing_call(
                     "media.open",
@@ -176,7 +238,11 @@ pub fn all_scenarios() -> Vec<Scenario> {
                     topic: "mediaFailure",
                     args: vec![("session", "$sid")],
                 },
-                call("media.open", &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")], None),
+                call(
+                    "media.open",
+                    &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
+                    None,
+                ),
                 Step::Recover,
                 call(
                     "media.open",
@@ -188,7 +254,11 @@ pub fn all_scenarios() -> Vec<Scenario> {
         Scenario {
             name: "S8 session teardown and re-establishment",
             steps: vec![
-                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid"))),
+                call(
+                    "signaling.invite",
+                    &[("from", "ana"), ("to", "bob")],
+                    Some(("session", "sid")),
+                ),
                 call(
                     "media.open",
                     &[("session", "$sid"), ("kind", "Audio"), ("codec", "opus")],
@@ -196,7 +266,11 @@ pub fn all_scenarios() -> Vec<Scenario> {
                 ),
                 call("media.close", &[("stream", "$audio")], None),
                 call("signaling.close", &[("session", "$sid")], None),
-                call("signaling.invite", &[("from", "ana"), ("to", "bob")], Some(("session", "sid2"))),
+                call(
+                    "signaling.invite",
+                    &[("from", "ana"), ("to", "bob")],
+                    Some(("session", "sid2")),
+                ),
                 call(
                     "media.open",
                     &[("session", "$sid2"), ("kind", "Video"), ("codec", "h264")],
@@ -222,9 +296,16 @@ pub fn run_scenario(ncb: &mut dyn Ncb, scenario: &Scenario) -> ScenarioRun {
     };
     for step in &scenario.steps {
         match step {
-            Step::Call { op, args, bind, expect_ok } => {
-                let resolved: Args =
-                    args.iter().map(|(k, v)| ((*k).to_owned(), resolve(v, &vars))).collect();
+            Step::Call {
+                op,
+                args,
+                bind,
+                expect_ok,
+            } => {
+                let resolved: Args = args
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), resolve(v, &vars)))
+                    .collect();
                 let outcome = ncb
                     .call(op, &resolved)
                     .unwrap_or_else(|e| panic!("{}: call {op} errored: {e}", scenario.name));
@@ -243,8 +324,10 @@ pub fn run_scenario(ncb: &mut dyn Ncb, scenario: &Scenario) -> ScenarioRun {
                 }
             }
             Step::Event { topic, args } => {
-                let resolved: Args =
-                    args.iter().map(|(k, v)| ((*k).to_owned(), resolve(v, &vars))).collect();
+                let resolved: Args = args
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), resolve(v, &vars)))
+                    .collect();
                 ncb.event(topic, &resolved)
                     .unwrap_or_else(|e| panic!("{}: event {topic} errored: {e}", scenario.name));
             }
@@ -252,7 +335,11 @@ pub fn run_scenario(ncb: &mut dyn Ncb, scenario: &Scenario) -> ScenarioRun {
             Step::Recover => ncb.recover(),
         }
     }
-    ScenarioRun { name: scenario.name, steps: scenario.steps.len(), failed_calls }
+    ScenarioRun {
+        name: scenario.name,
+        steps: scenario.steps.len(),
+        failed_calls,
+    }
 }
 
 #[cfg(test)]
@@ -271,11 +358,17 @@ mod tests {
         for scenario in all_scenarios() {
             let mut model_based = ModelBasedNcb::new(11, 10);
             let run = run_scenario(&mut model_based, &scenario);
-            assert_eq!(run.failed_calls, usize::from(scenario.name.starts_with("S7")));
+            assert_eq!(
+                run.failed_calls,
+                usize::from(scenario.name.starts_with("S7"))
+            );
 
             let mut handcrafted = HandcraftedNcb::new(11, 10);
             let run = run_scenario(&mut handcrafted, &scenario);
-            assert_eq!(run.failed_calls, usize::from(scenario.name.starts_with("S7")));
+            assert_eq!(
+                run.failed_calls,
+                usize::from(scenario.name.starts_with("S7"))
+            );
         }
     }
 

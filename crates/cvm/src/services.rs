@@ -29,7 +29,10 @@ fn churn(seed: &str, rounds: u32) -> u64 {
 }
 
 fn arg<'a>(args: &'a Args, key: &str) -> &'a str {
-    args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str()).unwrap_or("")
+    args.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("")
 }
 
 /// The signaling service: sessions and membership.
@@ -178,22 +181,32 @@ impl Relay {
 /// `work_per_call` scales the per-invocation CPU work; virtual latencies
 /// model network round-trips (signaling slower than local media ops).
 pub fn register_services(hub: &mut ResourceHub, work_per_call: u32) {
-    let mut signaling =
-        Signaling { work: work_per_call, next_session: 0, sessions: BTreeMap::new() };
+    let mut signaling = Signaling {
+        work: work_per_call,
+        next_session: 0,
+        sessions: BTreeMap::new(),
+    };
     hub.register(
         "sim.signaling",
         LatencyModel::uniform_ms(8, 20),
         SimDuration::from_millis(1_000),
         Box::new(move |op: &str, args: &Args| signaling.invoke(op, args)),
     );
-    let mut media = MediaEngine { work: work_per_call, next_stream: 0, streams: BTreeMap::new() };
+    let mut media = MediaEngine {
+        work: work_per_call,
+        next_stream: 0,
+        streams: BTreeMap::new(),
+    };
     hub.register(
         "sim.media",
         LatencyModel::uniform_ms(2, 6),
         SimDuration::from_millis(1_000),
         Box::new(move |op: &str, args: &Args| media.invoke(op, args)),
     );
-    let mut relay = Relay { work: work_per_call, open: 0 };
+    let mut relay = Relay {
+        work: work_per_call,
+        open: 0,
+    };
     hub.register(
         "sim.relay",
         LatencyModel::uniform_ms(4, 10),
@@ -217,12 +230,24 @@ mod tests {
     #[test]
     fn signaling_session_lifecycle() {
         let mut hub = service_hub(1, 10);
-        let (o, _) = hub.invoke("sim.signaling", "invite", &args(&[("from", "ana"), ("to", "bob")]));
+        let (o, _) = hub.invoke(
+            "sim.signaling",
+            "invite",
+            &args(&[("from", "ana"), ("to", "bob")]),
+        );
         let sid = o.get("session").unwrap().to_owned();
         assert_eq!(sid, "s0");
-        let (o, _) = hub.invoke("sim.signaling", "join", &args(&[("session", &sid), ("who", "carol")]));
+        let (o, _) = hub.invoke(
+            "sim.signaling",
+            "join",
+            &args(&[("session", &sid), ("who", "carol")]),
+        );
         assert_eq!(o.get("members"), Some("3"));
-        let (o, _) = hub.invoke("sim.signaling", "leave", &args(&[("session", &sid), ("who", "bob")]));
+        let (o, _) = hub.invoke(
+            "sim.signaling",
+            "leave",
+            &args(&[("session", &sid), ("who", "bob")]),
+        );
         assert_eq!(o.get("members"), Some("2"));
         let (o, _) = hub.invoke("sim.signaling", "close", &args(&[("session", &sid)]));
         assert!(o.is_ok());
@@ -239,8 +264,11 @@ mod tests {
             &args(&[("session", "s0"), ("kind", "Audio"), ("codec", "opus")]),
         );
         let stream = o.get("stream").unwrap().to_owned();
-        let (o, _) =
-            hub.invoke("sim.media", "reconfigure", &args(&[("stream", &stream), ("codec", "h264")]));
+        let (o, _) = hub.invoke(
+            "sim.media",
+            "reconfigure",
+            &args(&[("stream", &stream), ("codec", "h264")]),
+        );
         assert_eq!(o.get("codec"), Some("h264"));
         let (o, _) = hub.invoke("sim.media", "status", &Args::new());
         assert_eq!(o.get("streams"), Some("1"));

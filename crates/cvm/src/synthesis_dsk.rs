@@ -13,56 +13,84 @@ pub fn cvm_lts() -> Lts {
         .state("idle")
         .state("inSession")
         .initial("idle")
-        .transition("idle", "inSession", ChangePattern::create("Connection"), |t| {
-            t.emit(
-                CommandTemplate::new("createConnection", "$key")
-                    .with("connection", "$id")
-                    .with("from", "ana")
-                    .with("to", "bob")
-                    .with("session", "$id")
-                    .with("kind", "Audio")
-                    .with("codec", "opus")
-                    .with("stream", "$ref_media"),
-            )
-        })
-        .transition("inSession", "inSession", ChangePattern::create("Connection"), |t| {
-            t.emit(
-                CommandTemplate::new("createConnection", "$key")
-                    .with("connection", "$id")
-                    .with("from", "ana")
-                    .with("to", "bob")
-                    .with("session", "$id")
-                    .with("kind", "Audio")
-                    .with("codec", "opus")
-                    .with("stream", "$ref_media"),
-            )
-        })
-        .transition("inSession", "inSession", ChangePattern::set_refs("Connection", "parties").on_existing(), |t| {
-            t.emit(
-                CommandTemplate::new("addParty", "$key")
-                    .with("session", "$id")
-                    .with("who", "$targets"),
-            )
-        })
-        .transition("inSession", "inSession", ChangePattern::set_refs("Connection", "media").on_existing(), |t| {
-            t.emit(
-                CommandTemplate::new("openMedia", "$key")
-                    .with("session", "$id")
-                    .with("kind", "Audio")
-                    .with("codec", "opus")
-                    .with("stream", "$targets"),
-            )
-        })
-        .transition("inSession", "inSession", ChangePattern::set_attr("Medium", "codec").on_existing(), |t| {
-            t.emit(
-                CommandTemplate::new("reconfigureMedia", "$key")
-                    .with("stream", "$id")
-                    .with("codec", "$value"),
-            )
-        })
-        .transition("inSession", "idle", ChangePattern::delete("Connection"), |t| {
-            t.emit(CommandTemplate::new("dropConnection", "$key").with("session", "$id"))
-        })
+        .transition(
+            "idle",
+            "inSession",
+            ChangePattern::create("Connection"),
+            |t| {
+                t.emit(
+                    CommandTemplate::new("createConnection", "$key")
+                        .with("connection", "$id")
+                        .with("from", "ana")
+                        .with("to", "bob")
+                        .with("session", "$id")
+                        .with("kind", "Audio")
+                        .with("codec", "opus")
+                        .with("stream", "$ref_media"),
+                )
+            },
+        )
+        .transition(
+            "inSession",
+            "inSession",
+            ChangePattern::create("Connection"),
+            |t| {
+                t.emit(
+                    CommandTemplate::new("createConnection", "$key")
+                        .with("connection", "$id")
+                        .with("from", "ana")
+                        .with("to", "bob")
+                        .with("session", "$id")
+                        .with("kind", "Audio")
+                        .with("codec", "opus")
+                        .with("stream", "$ref_media"),
+                )
+            },
+        )
+        .transition(
+            "inSession",
+            "inSession",
+            ChangePattern::set_refs("Connection", "parties").on_existing(),
+            |t| {
+                t.emit(
+                    CommandTemplate::new("addParty", "$key")
+                        .with("session", "$id")
+                        .with("who", "$targets"),
+                )
+            },
+        )
+        .transition(
+            "inSession",
+            "inSession",
+            ChangePattern::set_refs("Connection", "media").on_existing(),
+            |t| {
+                t.emit(
+                    CommandTemplate::new("openMedia", "$key")
+                        .with("session", "$id")
+                        .with("kind", "Audio")
+                        .with("codec", "opus")
+                        .with("stream", "$targets"),
+                )
+            },
+        )
+        .transition(
+            "inSession",
+            "inSession",
+            ChangePattern::set_attr("Medium", "codec").on_existing(),
+            |t| {
+                t.emit(
+                    CommandTemplate::new("reconfigureMedia", "$key")
+                        .with("stream", "$id")
+                        .with("codec", "$value"),
+                )
+            },
+        )
+        .transition(
+            "inSession",
+            "idle",
+            ChangePattern::delete("Connection"),
+            |t| t.emit(CommandTemplate::new("dropConnection", "$key").with("session", "$id")),
+        )
         .build()
         .expect("CVM LTS is well-formed")
 }

@@ -49,7 +49,10 @@ pub fn violations(model: &Model, mm: &Metamodel) -> Vec<String> {
         let attrs = mm.all_attributes(&obj.class);
         for (name, vals) in &obj.attrs {
             match attrs.iter().find(|a| &a.name == name) {
-                None => out.push(format!("{id} ({}): undeclared attribute `{name}`", obj.class)),
+                None => out.push(format!(
+                    "{id} ({}): undeclared attribute `{name}`",
+                    obj.class
+                )),
                 Some(a) => {
                     for v in vals {
                         if !v.conforms_to(&a.ty) {
@@ -98,7 +101,10 @@ pub fn violations(model: &Model, mm: &Metamodel) -> Vec<String> {
         let refs = mm.all_references(&obj.class);
         for (name, targets) in &obj.refs {
             match refs.iter().find(|r| &r.name == name) {
-                None => out.push(format!("{id} ({}): undeclared reference `{name}`", obj.class)),
+                None => out.push(format!(
+                    "{id} ({}): undeclared reference `{name}`",
+                    obj.class
+                )),
                 Some(r) => {
                     for t in targets {
                         match model.object(*t) {
@@ -136,7 +142,10 @@ pub fn violations(model: &Model, mm: &Metamodel) -> Vec<String> {
     // Single containment.
     for (obj, cs) in &containers {
         if cs.len() > 1 {
-            out.push(format!("{obj}: contained by {} objects (must be at most 1)", cs.len()));
+            out.push(format!(
+                "{obj}: contained by {} objects (must be at most 1)",
+                cs.len()
+            ));
         }
     }
 
@@ -194,8 +203,11 @@ mod tests {
                     .invariant("named", "self.name <> null and self.name <> \"\"")
             })
             .class("Graph", |c| {
-                c.contains("nodes", "Node", Multiplicity::SOME)
-                    .reference("root", "Node", Multiplicity::OPT)
+                c.contains("nodes", "Node", Multiplicity::SOME).reference(
+                    "root",
+                    "Node",
+                    Multiplicity::OPT,
+                )
             })
             .build()
             .unwrap()
@@ -227,7 +239,9 @@ mod tests {
     fn unknown_class_reported() {
         let mut m = valid_model();
         m.create("Bogus");
-        assert!(violations(&m, &mm()).iter().any(|v| v.contains("unknown class")));
+        assert!(violations(&m, &mm())
+            .iter()
+            .any(|v| v.contains("unknown class")));
     }
 
     #[test]
@@ -237,7 +251,9 @@ mod tests {
         let g = m.all_of_class("Graph")[0];
         m.add_ref(g, "nodes", n2);
         let v = violations(&m, &mm());
-        assert!(v.iter().any(|v| v.contains("attribute `name` has 0 value(s)")));
+        assert!(v
+            .iter()
+            .any(|v| v.contains("attribute `name` has 0 value(s)")));
     }
 
     #[test]
@@ -245,7 +261,9 @@ mod tests {
         let mut m = valid_model();
         let n = m.all_of_class("Node")[0];
         m.set_attr(n, "name", Value::from(3));
-        assert!(violations(&m, &mm()).iter().any(|v| v.contains("expects Str")));
+        assert!(violations(&m, &mm())
+            .iter()
+            .any(|v| v.contains("expects Str")));
     }
 
     #[test]
@@ -253,7 +271,9 @@ mod tests {
         let mut m = valid_model();
         let n = m.all_of_class("Node")[0];
         m.set_attr(n, "color", Value::enumeration("Color", "Green"));
-        assert!(violations(&m, &mm()).iter().any(|v| v.contains("not a literal")));
+        assert!(violations(&m, &mm())
+            .iter()
+            .any(|v| v.contains("not a literal")));
     }
 
     #[test]
@@ -273,7 +293,9 @@ mod tests {
         let mut m = valid_model();
         let g = m.all_of_class("Graph")[0];
         m.add_ref(g, "root", g);
-        assert!(violations(&m, &mm()).iter().any(|v| v.contains("expects `Node`")));
+        assert!(violations(&m, &mm())
+            .iter()
+            .any(|v| v.contains("expects `Node`")));
     }
 
     #[test]
@@ -281,7 +303,9 @@ mod tests {
         let mut m = Model::new("m");
         m.create("Graph");
         let v = violations(&m, &mm());
-        assert!(v.iter().any(|v| v.contains("reference `nodes` has 0 target(s)")));
+        assert!(v
+            .iter()
+            .any(|v| v.contains("reference `nodes` has 0 target(s)")));
     }
 
     #[test]
@@ -290,7 +314,9 @@ mod tests {
         let n = m.all_of_class("Node")[0];
         let g2 = m.create("Graph");
         m.add_ref(g2, "nodes", n);
-        assert!(violations(&m, &mm()).iter().any(|v| v.contains("contained by 2")));
+        assert!(violations(&m, &mm())
+            .iter()
+            .any(|v| v.contains("contained by 2")));
     }
 
     #[test]
@@ -304,7 +330,9 @@ mod tests {
         let b = m.create("Box");
         m.add_ref(a, "inner", b);
         m.add_ref(b, "inner", a);
-        assert!(violations(&m, &mm).iter().any(|v| v.contains("containment cycle")));
+        assert!(violations(&m, &mm)
+            .iter()
+            .any(|v| v.contains("containment cycle")));
     }
 
     #[test]
@@ -312,7 +340,9 @@ mod tests {
         let mut m = valid_model();
         let n = m.all_of_class("Node")[0];
         m.set_attr(n, "name", Value::from(""));
-        assert!(violations(&m, &mm()).iter().any(|v| v.contains("invariant `named` violated")));
+        assert!(violations(&m, &mm())
+            .iter()
+            .any(|v| v.contains("invariant `named` violated")));
     }
 
     #[test]
@@ -325,6 +355,8 @@ mod tests {
         // Bypass destroy()'s cleanup by rebuilding the ref afterwards.
         m.destroy(n2, None).unwrap();
         m.add_ref(g, "root", n2);
-        assert!(violations(&m, &mm()).iter().any(|v| v.contains("dead object")));
+        assert!(violations(&m, &mm())
+            .iter()
+            .any(|v| v.contains("dead object")));
     }
 }

@@ -125,7 +125,9 @@ impl Expr {
                     a.collect_free(bound, out);
                 }
             }
-            Expr::CollOp { recv, var, body, .. } => {
+            Expr::CollOp {
+                recv, var, body, ..
+            } => {
                 recv.collect_free(bound, out);
                 if let Some(b) = body {
                     if let Some(v) = var {

@@ -42,7 +42,11 @@ pub struct EvalEnv<'a> {
 impl<'a> EvalEnv<'a> {
     /// Environment with no variable bindings.
     pub fn new(model: &'a Model, metamodel: &'a Metamodel) -> Self {
-        EvalEnv { model, metamodel, vars: HashMap::new() }
+        EvalEnv {
+            model,
+            metamodel,
+            vars: HashMap::new(),
+        }
     }
 
     /// Environment with `self` bound to the given object — the usual setup
@@ -66,7 +70,11 @@ impl<'a> EvalEnv<'a> {
     }
 
     fn child(&self) -> EvalEnv<'a> {
-        EvalEnv { model: self.model, metamodel: self.metamodel, vars: self.vars.clone() }
+        EvalEnv {
+            model: self.model,
+            metamodel: self.metamodel,
+            vars: self.vars.clone(),
+        }
     }
 }
 
@@ -85,7 +93,12 @@ pub fn eval(expr: &Expr, env: &EvalEnv<'_>) -> Result<Val> {
             let r = eval(recv, env)?;
             call(&r, name, args, env)
         }
-        Expr::CollOp { recv, op, var, body } => {
+        Expr::CollOp {
+            recv,
+            op,
+            var,
+            body,
+        } => {
             let r = eval(recv, env)?;
             coll_op(&r, op, var.as_deref(), body.as_deref(), env)
         }
@@ -115,8 +128,11 @@ fn navigate(recv: &Val, name: &str, env: &EvalEnv<'_>) -> Result<Val> {
                 let vals = env.model.attr_all(*id, name);
                 // An unset slot with a declared default reads as that
                 // default (EMF getter semantics).
-                let vals: Vec<Value> =
-                    if vals.is_empty() { attr.default.clone() } else { vals.to_vec() };
+                let vals: Vec<Value> = if vals.is_empty() {
+                    attr.default.clone()
+                } else {
+                    vals.to_vec()
+                };
                 return Ok(slot_val(
                     vals.iter().map(|v| Val::Scalar(v.clone())).collect(),
                     attr.multiplicity.upper == Some(1),
@@ -142,7 +158,9 @@ fn navigate(recv: &Val, name: &str, env: &EvalEnv<'_>) -> Result<Val> {
             Ok(Val::Null)
         }
         Val::Null => Ok(Val::Null),
-        other => Err(MetaError::Eval(format!("cannot navigate `{name}` on {other:?}"))),
+        other => Err(MetaError::Eval(format!(
+            "cannot navigate `{name}` on {other:?}"
+        ))),
     }
 }
 
@@ -164,14 +182,20 @@ fn call(recv: &Val, name: &str, args: &[Expr], env: &EvalEnv<'_>) -> Result<Val>
                 [Expr::Lit(Value::Str(s))] => s.clone(),
                 [other] => match eval(other, env)? {
                     Val::Scalar(Value::Str(s)) => s,
-                    v => return Err(MetaError::Eval(format!("isKindOf expects a class name, got {v:?}"))),
+                    v => {
+                        return Err(MetaError::Eval(format!(
+                            "isKindOf expects a class name, got {v:?}"
+                        )))
+                    }
                 },
                 _ => return Err(MetaError::Eval("isKindOf takes one argument".into())),
             };
             match recv {
                 Val::Obj(id) => {
                     let obj = env.model.object(*id)?;
-                    Ok(Val::Scalar(Value::Bool(env.metamodel.is_subclass_of(&obj.class, &class))))
+                    Ok(Val::Scalar(Value::Bool(
+                        env.metamodel.is_subclass_of(&obj.class, &class),
+                    )))
                 }
                 Val::Null => Ok(Val::Scalar(Value::Bool(false))),
                 other => Err(MetaError::Eval(format!("isKindOf on non-object {other:?}"))),
@@ -221,25 +245,30 @@ fn coll_op(
                     other => return Err(MetaError::Eval(format!("sum over non-number {other:?}"))),
                 }
             }
-            Ok(Val::Scalar(if is_float { Value::Float(float_sum) } else { Value::Int(int_sum) }))
+            Ok(Val::Scalar(if is_float {
+                Value::Float(float_sum)
+            } else {
+                Value::Int(int_sum)
+            }))
         }
         "includes" | "excludes" => {
-            let body = body
-                .ok_or_else(|| MetaError::Eval(format!("{op} requires an argument")))?;
+            let body = body.ok_or_else(|| MetaError::Eval(format!("{op} requires an argument")))?;
             let needle = eval(body, env)?;
             let found = items.iter().any(|i| vals_eq(i, &needle));
-            Ok(Val::Scalar(Value::Bool(if op == "includes" { found } else { !found })))
+            Ok(Val::Scalar(Value::Bool(if op == "includes" {
+                found
+            } else {
+                !found
+            })))
         }
         "count" => {
-            let body =
-                body.ok_or_else(|| MetaError::Eval("count requires an argument".into()))?;
+            let body = body.ok_or_else(|| MetaError::Eval("count requires an argument".into()))?;
             let needle = eval(body, env)?;
             let n = items.iter().filter(|i| vals_eq(i, &needle)).count();
             Ok(Val::Scalar(Value::Int(n as i64)))
         }
         "forAll" | "exists" => {
-            let body =
-                body.ok_or_else(|| MetaError::Eval(format!("{op} requires a body")))?;
+            let body = body.ok_or_else(|| MetaError::Eval(format!("{op} requires a body")))?;
             for it in &items {
                 let b = iterate(var, body, it)?.as_bool()?;
                 if op == "forAll" && !b {
@@ -252,8 +281,7 @@ fn coll_op(
             Ok(Val::Scalar(Value::Bool(op == "forAll")))
         }
         "select" | "reject" => {
-            let body =
-                body.ok_or_else(|| MetaError::Eval(format!("{op} requires a body")))?;
+            let body = body.ok_or_else(|| MetaError::Eval(format!("{op} requires a body")))?;
             let mut out = Vec::new();
             for it in &items {
                 let b = iterate(var, body, it)?.as_bool()?;
@@ -264,15 +292,16 @@ fn coll_op(
             Ok(Val::Coll(out))
         }
         "collect" => {
-            let body =
-                body.ok_or_else(|| MetaError::Eval("collect requires a body".into()))?;
+            let body = body.ok_or_else(|| MetaError::Eval("collect requires a body".into()))?;
             let mut out = Vec::new();
             for it in &items {
                 out.push(iterate(var, body, it)?);
             }
             Ok(Val::Coll(out))
         }
-        other => Err(MetaError::Eval(format!("unknown collection operation `{other}`"))),
+        other => Err(MetaError::Eval(format!(
+            "unknown collection operation `{other}`"
+        ))),
     }
 }
 
@@ -337,8 +366,15 @@ fn compare(a: &Val, b: &Val) -> Result<std::cmp::Ordering> {
         (Val::Scalar(Value::Str(x)), Val::Scalar(Value::Str(y))) => Ok(x.cmp(y)),
         _ => {
             let (x, y) = (num(a)?, num(b)?);
-            x.partial_cmp(&y).ok_or_else(|| MetaError::Eval("incomparable floats (NaN)".into()))
-                .map(|o| if o == Ordering::Equal { Ordering::Equal } else { o })
+            x.partial_cmp(&y)
+                .ok_or_else(|| MetaError::Eval("incomparable floats (NaN)".into()))
+                .map(|o| {
+                    if o == Ordering::Equal {
+                        Ordering::Equal
+                    } else {
+                        o
+                    }
+                })
         }
     }
 }
@@ -414,7 +450,10 @@ mod tests {
 
     #[test]
     fn string_concat() {
-        assert_eq!(ev("\"a\" + \"b\"").unwrap(), Val::Scalar(Value::Str("ab".into())));
+        assert_eq!(
+            ev("\"a\" + \"b\"").unwrap(),
+            Val::Scalar(Value::Str("ab".into()))
+        );
     }
 
     #[test]
@@ -431,9 +470,18 @@ mod tests {
     #[test]
     fn short_circuit_avoids_rhs_error() {
         // `1/0` on the rhs must not evaluate.
-        assert_eq!(ev("false and 1 / 0 = 1").unwrap(), Val::Scalar(Value::Bool(false)));
-        assert_eq!(ev("true or 1 / 0 = 1").unwrap(), Val::Scalar(Value::Bool(true)));
-        assert_eq!(ev("false implies 1 / 0 = 1").unwrap(), Val::Scalar(Value::Bool(true)));
+        assert_eq!(
+            ev("false and 1 / 0 = 1").unwrap(),
+            Val::Scalar(Value::Bool(false))
+        );
+        assert_eq!(
+            ev("true or 1 / 0 = 1").unwrap(),
+            Val::Scalar(Value::Bool(true))
+        );
+        assert_eq!(
+            ev("false implies 1 / 0 = 1").unwrap(),
+            Val::Scalar(Value::Bool(true))
+        );
     }
 
     #[test]
@@ -450,14 +498,23 @@ mod tests {
 
     #[test]
     fn collection_ops_on_null_treat_as_empty() {
-        assert_eq!(ev("null->size() = 0").unwrap(), Val::Scalar(Value::Bool(true)));
-        assert_eq!(ev("null->isEmpty()").unwrap(), Val::Scalar(Value::Bool(true)));
+        assert_eq!(
+            ev("null->size() = 0").unwrap(),
+            Val::Scalar(Value::Bool(true))
+        );
+        assert_eq!(
+            ev("null->isEmpty()").unwrap(),
+            Val::Scalar(Value::Bool(true))
+        );
     }
 
     #[test]
     fn singleton_coercion() {
         assert_eq!(ev("1->size() = 1").unwrap(), Val::Scalar(Value::Bool(true)));
-        assert_eq!(ev("1->includes(1)").unwrap(), Val::Scalar(Value::Bool(true)));
+        assert_eq!(
+            ev("1->includes(1)").unwrap(),
+            Val::Scalar(Value::Bool(true))
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
 
     macro_rules! push {
         ($kind:expr, $line:expr, $col:expr) => {
-            out.push(Token { kind: $kind, line: $line, col: $col })
+            out.push(Token {
+                kind: $kind,
+                line: $line,
+                col: $col,
+            })
         };
     }
 
@@ -256,7 +260,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             other => return Err(err(tl, tc, format!("unexpected character `{other}`"))),
         }
     }
-    out.push(Token { kind: TokKind::Eof, line, col });
+    out.push(Token {
+        kind: TokKind::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -297,7 +305,10 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(kinds(r#""a\"b\n""#), vec![TokKind::Str("a\"b\n".into()), TokKind::Eof]);
+        assert_eq!(
+            kinds(r#""a\"b\n""#),
+            vec![TokKind::Str("a\"b\n".into()), TokKind::Eof]
+        );
         assert!(lex("\"open").is_err());
         assert!(lex(r#""\q""#).is_err());
     }
@@ -310,7 +321,15 @@ mod tests {
 
     #[test]
     fn minus_vs_arrow() {
-        assert_eq!(kinds("1-2"), vec![TokKind::Int(1), TokKind::Minus, TokKind::Int(2), TokKind::Eof]);
+        assert_eq!(
+            kinds("1-2"),
+            vec![
+                TokKind::Int(1),
+                TokKind::Minus,
+                TokKind::Int(2),
+                TokKind::Eof
+            ]
+        );
     }
 
     #[test]
@@ -319,7 +338,12 @@ mod tests {
         // later eval error, but lexing must not swallow the dot).
         assert_eq!(
             kinds("1.x"),
-            vec![TokKind::Int(1), TokKind::Dot, TokKind::Ident("x".into()), TokKind::Eof]
+            vec![
+                TokKind::Int(1),
+                TokKind::Dot,
+                TokKind::Ident("x".into()),
+                TokKind::Eof
+            ]
         );
     }
 }

@@ -123,7 +123,9 @@ mod tests {
     #[test]
     fn enums_and_implies() {
         assert!(check("self.kind = Kind::Video"));
-        assert!(check("self.kind = Kind::Video implies self.parties->size() >= 2"));
+        assert!(check(
+            "self.kind = Kind::Video implies self.parties->size() >= 2"
+        ));
         assert!(!check("self.kind = Kind::Audio"));
     }
 

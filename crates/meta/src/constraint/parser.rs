@@ -6,7 +6,10 @@ use crate::error::MetaError;
 use crate::{Result, Value};
 
 pub fn parse_tokens(tokens: &[Token]) -> Result<Expr> {
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
     let e = p.implies()?;
     p.expect_eof()?;
     Ok(e)
@@ -30,7 +33,11 @@ impl<'a> Parser<'a> {
 
     fn err(&self, message: impl Into<String>) -> MetaError {
         let t = self.peek();
-        MetaError::Syntax { line: t.line, col: t.col, message: message.into() }
+        MetaError::Syntax {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
     }
 
     fn eat(&mut self, kind: &TokKind) -> bool {
@@ -197,7 +204,12 @@ impl<'a> Parser<'a> {
                 let op = self.ident("collection operation after `->`")?;
                 self.expect(&TokKind::LParen, "`(` after collection operation")?;
                 if self.eat(&TokKind::RParen) {
-                    e = Expr::CollOp { recv: Box::new(e), op, var: None, body: None };
+                    e = Expr::CollOp {
+                        recv: Box::new(e),
+                        op,
+                        var: None,
+                        body: None,
+                    };
                     continue;
                 }
                 // Either `var | body` or a single argument expression.
@@ -216,7 +228,12 @@ impl<'a> Parser<'a> {
                 };
                 let body = self.implies()?;
                 self.expect(&TokKind::RParen, "`)` closing collection operation")?;
-                e = Expr::CollOp { recv: Box::new(e), op, var, body: Some(Box::new(body)) };
+                e = Expr::CollOp {
+                    recv: Box::new(e),
+                    op,
+                    var,
+                    body: Some(Box::new(body)),
+                };
             } else {
                 break;
             }

@@ -25,7 +25,9 @@ pub struct DiffOptions {
 
 impl Default for DiffOptions {
     fn default() -> Self {
-        DiffOptions { key_attrs: vec!["id".into(), "name".into()] }
+        DiffOptions {
+            key_attrs: vec!["id".into(), "name".into()],
+        }
     }
 }
 
@@ -133,13 +135,25 @@ pub fn keys_of(model: &Model, opts: &DiffOptions) -> BTreeMap<ObjectId, ObjectKe
                 k
             }
         };
-        out.insert(id, ObjectKey { class: obj.class.clone(), key });
+        out.insert(
+            id,
+            ObjectKey {
+                class: obj.class.clone(),
+                key,
+            },
+        );
     }
     out
 }
 
 /// A canonical, id-free rendering of a model used for equivalence checks.
-pub type Canonical = BTreeMap<ObjectKey, (BTreeMap<String, Vec<Value>>, BTreeMap<String, Vec<ObjectKey>>)>;
+pub type Canonical = BTreeMap<
+    ObjectKey,
+    (
+        BTreeMap<String, Vec<Value>>,
+        BTreeMap<String, Vec<ObjectKey>>,
+    ),
+>;
 
 /// Canonicalizes a model: objects keyed by [`ObjectKey`], references
 /// rewritten to keys.
@@ -154,7 +168,10 @@ pub fn canonical(model: &Model, opts: &DiffOptions) -> Canonical {
             .map(|(slot, targets)| {
                 (
                     slot.clone(),
-                    targets.iter().filter_map(|t| keys.get(t).cloned()).collect::<Vec<_>>(),
+                    targets
+                        .iter()
+                        .filter_map(|t| keys.get(t).cloned())
+                        .collect::<Vec<_>>(),
                 )
             })
             .filter(|(_, t): &(String, Vec<ObjectKey>)| !t.is_empty())
@@ -208,7 +225,7 @@ pub fn diff(old: &Model, new: &Model, opts: &DiffOptions) -> ChangeList {
                         });
                     }
                 }
-                for (attr, _) in oattrs {
+                for attr in oattrs.keys() {
                     if !nattrs.contains_key(attr) {
                         updates.push(Change::SetAttr {
                             key: key.clone(),
@@ -226,7 +243,7 @@ pub fn diff(old: &Model, new: &Model, opts: &DiffOptions) -> ChangeList {
                         });
                     }
                 }
-                for (reference, _) in orefs {
+                for reference in orefs.keys() {
                     if !nrefs.contains_key(reference) {
                         updates.push(Change::SetRefs {
                             key: key.clone(),
@@ -253,14 +270,20 @@ pub fn diff(old: &Model, new: &Model, opts: &DiffOptions) -> ChangeList {
 /// Applies a change list to a model in place.
 pub fn apply(model: &mut Model, changes: &ChangeList, opts: &DiffOptions) -> Result<()> {
     // key -> id index, kept up to date as creations/deletions happen.
-    let mut index: BTreeMap<ObjectKey, ObjectId> =
-        keys_of(model, opts).into_iter().map(|(id, k)| (k, id)).collect();
+    let mut index: BTreeMap<ObjectKey, ObjectId> = keys_of(model, opts)
+        .into_iter()
+        .map(|(id, k)| (k, id))
+        .collect();
 
     // Positional keys (`~N`) must be assigned on creation too: track next
     // ordinal per class.
     let mut next_ordinal: BTreeMap<String, u32> = BTreeMap::new();
     for key in index.keys() {
-        if let Some(n) = key.key.strip_prefix('~').and_then(|s| s.parse::<u32>().ok()) {
+        if let Some(n) = key
+            .key
+            .strip_prefix('~')
+            .and_then(|s| s.parse::<u32>().ok())
+        {
             let e = next_ordinal.entry(key.class.clone()).or_insert(0);
             *e = (*e).max(n + 1);
         }
@@ -277,7 +300,9 @@ pub fn apply(model: &mut Model, changes: &ChangeList, opts: &DiffOptions) -> Res
         match change {
             Change::Create { key } => {
                 if index.contains_key(key) {
-                    return Err(MetaError::ApplyFailed(format!("object {key} already exists")));
+                    return Err(MetaError::ApplyFailed(format!(
+                        "object {key} already exists"
+                    )));
                 }
                 let id = model.create(key.class.clone());
                 index.insert(key.clone(), id);
@@ -295,7 +320,11 @@ pub fn apply(model: &mut Model, changes: &ChangeList, opts: &DiffOptions) -> Res
                     model.set_attr_many(id, attr.clone(), values.clone());
                 }
             }
-            Change::SetRefs { key, reference, targets } => {
+            Change::SetRefs {
+                key,
+                reference,
+                targets,
+            } => {
                 let id = resolve(&index, key)?;
                 let mut ids = Vec::with_capacity(targets.len());
                 for t in targets {
@@ -317,7 +346,9 @@ pub fn apply(model: &mut Model, changes: &ChangeList, opts: &DiffOptions) -> Res
     let keys = keys_of(model, opts);
     let distinct: BTreeSet<_> = keys.values().collect();
     if distinct.len() != keys.len() {
-        return Err(MetaError::ApplyFailed("duplicate object keys after apply".into()));
+        return Err(MetaError::ApplyFailed(
+            "duplicate object keys after apply".into(),
+        ));
     }
     Ok(())
 }
@@ -357,8 +388,12 @@ mod tests {
         let _ = a;
 
         let cl = diff(&old, &new, &opts());
-        assert!(cl.iter().any(|c| matches!(c, Change::Create { key } if key.key == "\"c\"")));
-        assert!(cl.iter().any(|c| matches!(c, Change::Delete { key } if key.key == "\"b\"")));
+        assert!(cl
+            .iter()
+            .any(|c| matches!(c, Change::Create { key } if key.key == "\"c\"")));
+        assert!(cl
+            .iter()
+            .any(|c| matches!(c, Change::Delete { key } if key.key == "\"b\"")));
         assert!(cl
             .iter()
             .any(|c| matches!(c, Change::SetAttr { attr, .. } if attr == "w")));
@@ -434,7 +469,10 @@ mod tests {
         let mut m = Model::new("m");
         let cl = ChangeList {
             changes: vec![Change::Delete {
-                key: ObjectKey { class: "X".into(), key: "\"nope\"".into() },
+                key: ObjectKey {
+                    class: "X".into(),
+                    key: "\"nope\"".into(),
+                },
             }],
         };
         assert!(apply(&mut m, &cl, &opts()).is_err());
@@ -446,7 +484,10 @@ mod tests {
         named(&mut m, "Node", "a");
         let cl = ChangeList {
             changes: vec![Change::Create {
-                key: ObjectKey { class: "Node".into(), key: "\"a\"".into() },
+                key: ObjectKey {
+                    class: "Node".into(),
+                    key: "\"a\"".into(),
+                },
             }],
         };
         // The created object has no name attr yet, so its key would be

@@ -54,7 +54,11 @@ impl fmt::Display for MetaError {
                 write!(f, "type mismatch: expected {expected}, got {actual}")
             }
             MetaError::NonConformant(v) => {
-                write!(f, "model does not conform to metamodel ({} violation(s)):", v.len())?;
+                write!(
+                    f,
+                    "model does not conform to metamodel ({} violation(s)):",
+                    v.len()
+                )?;
                 for msg in v {
                     write!(f, "\n  - {msg}")?;
                 }
@@ -74,7 +78,10 @@ impl std::error::Error for MetaError {}
 impl MetaError {
     /// Shorthand for an [`MetaError::Unknown`] error.
     pub fn unknown(kind: &'static str, name: impl Into<String>) -> Self {
-        MetaError::Unknown { kind, name: name.into() }
+        MetaError::Unknown {
+            kind,
+            name: name.into(),
+        }
     }
 }
 

@@ -49,13 +49,25 @@ pub struct Multiplicity {
 
 impl Multiplicity {
     /// Exactly one value (`1..1`), the default for attributes.
-    pub const ONE: Multiplicity = Multiplicity { lower: 1, upper: Some(1) };
+    pub const ONE: Multiplicity = Multiplicity {
+        lower: 1,
+        upper: Some(1),
+    };
     /// Zero or one value (`0..1`).
-    pub const OPT: Multiplicity = Multiplicity { lower: 0, upper: Some(1) };
+    pub const OPT: Multiplicity = Multiplicity {
+        lower: 0,
+        upper: Some(1),
+    };
     /// Any number of values (`0..*`), the default for references.
-    pub const MANY: Multiplicity = Multiplicity { lower: 0, upper: None };
+    pub const MANY: Multiplicity = Multiplicity {
+        lower: 0,
+        upper: None,
+    };
     /// At least one value (`1..*`).
-    pub const SOME: Multiplicity = Multiplicity { lower: 1, upper: None };
+    pub const SOME: Multiplicity = Multiplicity {
+        lower: 1,
+        upper: None,
+    };
 
     /// Returns `true` if a slot with `n` values satisfies this multiplicity.
     pub fn admits(&self, n: usize) -> bool {
@@ -161,7 +173,8 @@ impl Metamodel {
 
     /// Looks up a class by name, returning an error when absent.
     pub fn class_or_err(&self, name: &str) -> Result<&MetaClass> {
-        self.class(name).ok_or_else(|| MetaError::unknown("class", name))
+        self.class(name)
+            .ok_or_else(|| MetaError::unknown("class", name))
     }
 
     /// Iterates over all classes in name order.
@@ -184,7 +197,9 @@ impl Metamodel {
         if sub == sup {
             return true;
         }
-        let Some(c) = self.classes.get(sub) else { return false };
+        let Some(c) = self.classes.get(sub) else {
+            return false;
+        };
         c.supers.iter().any(|s| self.is_subclass_of(s, sup))
     }
 
@@ -217,12 +232,16 @@ impl Metamodel {
 
     /// Finds the attribute `name` on `class`, searching supertypes.
     pub fn attribute(&self, class: &str, name: &str) -> Option<&Attribute> {
-        self.all_attributes(class).into_iter().find(|a| a.name == name)
+        self.all_attributes(class)
+            .into_iter()
+            .find(|a| a.name == name)
     }
 
     /// Finds the reference `name` on `class`, searching supertypes.
     pub fn reference(&self, class: &str, name: &str) -> Option<&Reference> {
-        self.all_references(class).into_iter().find(|r| r.name == name)
+        self.all_references(class)
+            .into_iter()
+            .find(|r| r.name == name)
     }
 
     fn collect<'a>(
@@ -313,7 +332,12 @@ impl ClassBuilder {
         multiplicity: Multiplicity,
         default: Vec<crate::Value>,
     ) -> Self {
-        self.class.attributes.push(Attribute { name: name.into(), ty, multiplicity, default });
+        self.class.attributes.push(Attribute {
+            name: name.into(),
+            ty,
+            multiplicity,
+            default,
+        });
         self
     }
 
@@ -359,11 +383,12 @@ impl ClassBuilder {
                 expr,
             }),
             Err(e) => {
-                self.error.get_or_insert(MetaError::IllFormedMetamodel(format!(
-                    "constraint `{}` on class `{}` failed to parse: {e}",
-                    name.into(),
-                    self.class.name
-                )));
+                self.error
+                    .get_or_insert(MetaError::IllFormedMetamodel(format!(
+                        "constraint `{}` on class `{}` failed to parse: {e}",
+                        name.into(),
+                        self.class.name
+                    )));
             }
         }
         self
@@ -373,7 +398,11 @@ impl ClassBuilder {
 impl MetamodelBuilder {
     /// Starts a new metamodel with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        MetamodelBuilder { name: name.into(), classes: Vec::new(), enums: Vec::new() }
+        MetamodelBuilder {
+            name: name.into(),
+            classes: Vec::new(),
+            enums: Vec::new(),
+        }
     }
 
     /// Declares an enumeration.
@@ -449,10 +478,17 @@ impl MetamodelBuilder {
                 )));
             }
             if enums.insert(e.name.clone(), e.clone()).is_some() {
-                return Err(MetaError::IllFormedMetamodel(format!("duplicate enum `{}`", e.name)));
+                return Err(MetaError::IllFormedMetamodel(format!(
+                    "duplicate enum `{}`",
+                    e.name
+                )));
             }
         }
-        let mm = Metamodel { name: self.name, classes, enums };
+        let mm = Metamodel {
+            name: self.name,
+            classes,
+            enums,
+        };
         mm.check_well_formed()?;
         Ok(mm)
     }
@@ -594,7 +630,9 @@ mod tests {
 
     #[test]
     fn rejects_unknown_supertype() {
-        let r = MetamodelBuilder::new("m").class("A", |c| c.extends("B")).build();
+        let r = MetamodelBuilder::new("m")
+            .class("A", |c| c.extends("B"))
+            .build();
         assert!(r.is_err());
     }
 
@@ -635,7 +673,9 @@ mod tests {
     #[test]
     fn rejects_bad_default() {
         let r = MetamodelBuilder::new("m")
-            .class("A", |c| c.attr_default("x", DataType::Int, crate::Value::from("no")))
+            .class("A", |c| {
+                c.attr_default("x", DataType::Int, crate::Value::from("no"))
+            })
             .build();
         assert!(r.is_err());
     }
@@ -646,7 +686,10 @@ mod tests {
             .enumeration("E", Vec::<String>::new())
             .build()
             .is_err());
-        assert!(MetamodelBuilder::new("m").enumeration("E", ["A", "A"]).build().is_err());
+        assert!(MetamodelBuilder::new("m")
+            .enumeration("E", ["A", "A"])
+            .build()
+            .is_err());
     }
 
     #[test]

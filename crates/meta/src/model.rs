@@ -56,7 +56,10 @@ pub struct Model {
 impl Model {
     /// Creates an empty model claiming conformance to `metamodel`.
     pub fn new(metamodel: impl Into<String>) -> Self {
-        Model { metamodel: metamodel.into(), objects: Vec::new() }
+        Model {
+            metamodel: metamodel.into(),
+            objects: Vec::new(),
+        }
     }
 
     /// Name of the metamodel this model claims to conform to.
@@ -96,7 +99,9 @@ impl Model {
         let id = self.create(class);
         for a in mm.all_attributes(class) {
             if !a.default.is_empty() {
-                self.object_mut(id)?.attrs.insert(a.name.clone(), a.default.clone());
+                self.object_mut(id)?
+                    .attrs
+                    .insert(a.name.clone(), a.default.clone());
             }
         }
         Ok(id)
@@ -114,8 +119,10 @@ impl Model {
             .ok_or_else(|| MetaError::DanglingObject(id.to_string()))?;
         if let Some(mm) = mm {
             for (slot, targets) in &obj.refs {
-                let is_containment =
-                    mm.reference(&obj.class, slot).map(|r| r.containment).unwrap_or(false);
+                let is_containment = mm
+                    .reference(&obj.class, slot)
+                    .map(|r| r.containment)
+                    .unwrap_or(false);
                 if is_containment {
                     for t in targets {
                         // Contained objects die with their container.
@@ -163,7 +170,10 @@ impl Model {
 
     /// Ids of all live objects of the given class (exact match).
     pub fn all_of_class(&self, class: &str) -> Vec<ObjectId> {
-        self.iter().filter(|(_, o)| o.class == class).map(|(i, _)| i).collect()
+        self.iter()
+            .filter(|(_, o)| o.class == class)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Ids of all live objects whose class is `class` or a subclass of it.
@@ -197,12 +207,18 @@ impl Model {
 
     /// The first value of an attribute slot, if present.
     pub fn attr(&self, id: ObjectId, name: &str) -> Option<&Value> {
-        self.object(id).ok().and_then(|o| o.attrs.get(name)).and_then(|v| v.first())
+        self.object(id)
+            .ok()
+            .and_then(|o| o.attrs.get(name))
+            .and_then(|v| v.first())
     }
 
     /// All values of an attribute slot (empty if unset).
     pub fn attr_all(&self, id: ObjectId, name: &str) -> &[Value] {
-        self.object(id).ok().and_then(|o| o.attrs.get(name)).map_or(&[], Vec::as_slice)
+        self.object(id)
+            .ok()
+            .and_then(|o| o.attrs.get(name))
+            .map_or(&[], Vec::as_slice)
     }
 
     /// String shorthand: the attribute's first value, as `&str`.
@@ -253,7 +269,10 @@ impl Model {
 
     /// All targets of a reference slot (empty if unset).
     pub fn refs(&self, id: ObjectId, name: &str) -> &[ObjectId] {
-        self.object(id).ok().and_then(|o| o.refs.get(name)).map_or(&[], Vec::as_slice)
+        self.object(id)
+            .ok()
+            .and_then(|o| o.refs.get(name))
+            .map_or(&[], Vec::as_slice)
     }
 
     /// The first target of a reference slot, if any.
@@ -264,11 +283,16 @@ impl Model {
     /// The container of `id` under `mm`'s containment references, if any.
     pub fn container_of(&self, id: ObjectId, mm: &Metamodel) -> Option<ObjectId> {
         self.iter().find_map(|(oid, o)| {
-            o.refs.iter().any(|(slot, targets)| {
-                targets.contains(&id)
-                    && mm.reference(&o.class, slot).map(|r| r.containment).unwrap_or(false)
-            })
-            .then_some(oid)
+            o.refs
+                .iter()
+                .any(|(slot, targets)| {
+                    targets.contains(&id)
+                        && mm
+                            .reference(&o.class, slot)
+                            .map(|r| r.containment)
+                            .unwrap_or(false)
+                })
+                .then_some(oid)
         })
     }
 
@@ -277,12 +301,19 @@ impl Model {
         let mut contained: Vec<ObjectId> = Vec::new();
         for (_, o) in self.iter() {
             for (slot, targets) in &o.refs {
-                if mm.reference(&o.class, slot).map(|r| r.containment).unwrap_or(false) {
+                if mm
+                    .reference(&o.class, slot)
+                    .map(|r| r.containment)
+                    .unwrap_or(false)
+                {
                     contained.extend(targets.iter().copied());
                 }
             }
         }
-        self.iter().map(|(i, _)| i).filter(|i| !contained.contains(i)).collect()
+        self.iter()
+            .map(|(i, _)| i)
+            .filter(|i| !contained.contains(i))
+            .collect()
     }
 }
 
@@ -294,11 +325,15 @@ mod tests {
     fn mm() -> Metamodel {
         MetamodelBuilder::new("m")
             .class("Node", |c| {
-                c.attr_default("w", DataType::Int, Value::from(7)).opt_attr("name", DataType::Str)
+                c.attr_default("w", DataType::Int, Value::from(7))
+                    .opt_attr("name", DataType::Str)
             })
             .class("Graph", |c| {
-                c.contains("nodes", "Node", Multiplicity::MANY)
-                    .reference("root", "Node", Multiplicity::OPT)
+                c.contains("nodes", "Node", Multiplicity::MANY).reference(
+                    "root",
+                    "Node",
+                    Multiplicity::OPT,
+                )
             })
             .build()
             .unwrap()
@@ -369,7 +404,10 @@ mod tests {
         let mm = MetamodelBuilder::new("m")
             .class("Base", |c| c.abstract_class())
             .class("Node", |c| c.extends("Base"))
-            .class("Graph", |c| c.extends("Base").contains("nodes", "Node", Multiplicity::MANY))
+            .class("Graph", |c| {
+                c.extends("Base")
+                    .contains("nodes", "Node", Multiplicity::MANY)
+            })
             .build()
             .unwrap();
         let mut m = Model::new("m");

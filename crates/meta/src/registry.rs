@@ -37,7 +37,8 @@ impl MetamodelRegistry {
 
     /// Resolves a metamodel by name, erroring when absent.
     pub fn get_or_err(&self, name: &str) -> Result<Arc<Metamodel>> {
-        self.get(name).ok_or_else(|| MetaError::unknown("metamodel", name))
+        self.get(name)
+            .ok_or_else(|| MetaError::unknown("metamodel", name))
     }
 
     /// Resolves the metamodel a model claims conformance to.

@@ -31,7 +31,12 @@ use std::fmt::Write as _;
 /// Serializes a model to the textual format.
 pub fn write(model: &Model) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "model {} conformsTo {} {{", ident_or_str("m"), ident_or_str(model.metamodel_name()));
+    let _ = writeln!(
+        out,
+        "model {} conformsTo {} {{",
+        ident_or_str("m"),
+        ident_or_str(model.metamodel_name())
+    );
     for (id, obj) in model.iter() {
         let _ = writeln!(out, "  {} o{} {{", obj.class, id.index());
         for (name, vals) in &obj.attrs {
@@ -65,7 +70,9 @@ pub fn write(model: &Model) -> String {
 
 fn ident_or_str(s: &str) -> String {
     let is_ident = !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_alphanumeric() || c == '_');
     if is_ident {
         s.to_owned()
@@ -102,8 +109,7 @@ fn lex(src: &str) -> Result<Lexed> {
     let chars: Vec<char> = src.chars().collect();
     let mut toks = Vec::new();
     let (mut i, mut line, mut col) = (0usize, 1u32, 1u32);
-    let err =
-        |line: u32, col: u32, message: String| MetaError::Syntax { line, col, message };
+    let err = |line: u32, col: u32, message: String| MetaError::Syntax { line, col, message };
     while i < chars.len() {
         let c = chars[i];
         let (tl, tc) = (line, col);
@@ -237,13 +243,19 @@ fn lex(src: &str) -> Result<Lexed> {
                 let text: String = chars[start..i].iter().collect();
                 if is_float {
                     toks.push((
-                        Tok::Float(text.parse().map_err(|e| err(tl, tc, format!("bad float: {e}")))?),
+                        Tok::Float(
+                            text.parse()
+                                .map_err(|e| err(tl, tc, format!("bad float: {e}")))?,
+                        ),
                         tl,
                         tc,
                     ));
                 } else {
                     toks.push((
-                        Tok::Int(text.parse().map_err(|e| err(tl, tc, format!("bad int: {e}")))?),
+                        Tok::Int(
+                            text.parse()
+                                .map_err(|e| err(tl, tc, format!("bad int: {e}")))?,
+                        ),
                         tl,
                         tc,
                     ));
@@ -269,7 +281,10 @@ fn lex(src: &str) -> Result<Lexed> {
 /// Parses a model from its textual form.
 pub fn parse(src: &str) -> Result<Model> {
     let lexed = lex(src)?;
-    let mut p = P { toks: &lexed.toks, pos: 0 };
+    let mut p = P {
+        toks: &lexed.toks,
+        pos: 0,
+    };
     p.model()
 }
 
@@ -285,7 +300,11 @@ impl<'a> P<'a> {
 
     fn err(&self, message: impl Into<String>) -> MetaError {
         let (_, line, col) = self.peek();
-        MetaError::Syntax { line: *line, col: *col, message: message.into() }
+        MetaError::Syntax {
+            line: *line,
+            col: *col,
+            message: message.into(),
+        }
     }
 
     fn eat(&mut self, t: &Tok) -> bool {
@@ -338,10 +357,13 @@ impl<'a> P<'a> {
         let mm = self.ident("metamodel name")?;
         self.expect(&Tok::LBrace, "`{`")?;
 
+        // A local reference: target local id plus the source line/column
+        // for error reporting.
+        type LocalRef = (String, u32, u32);
         let mut model = Model::new(mm);
         let mut local: BTreeMap<String, ObjectId> = BTreeMap::new();
         // (object, slot, local ids) resolved after all objects are created.
-        let mut pending_refs: Vec<(ObjectId, String, Vec<(String, u32, u32)>)> = Vec::new();
+        let mut pending_refs: Vec<(ObjectId, String, Vec<LocalRef>)> = Vec::new();
 
         while !self.eat(&Tok::RBrace) {
             if self.peek().0 == Tok::Eof {
@@ -549,7 +571,10 @@ mod tests {
     #[test]
     fn duplicate_local_id_rejected() {
         let src = "model m conformsTo mm { A x { } B x { } }";
-        assert!(parse(src).unwrap_err().to_string().contains("duplicate object id"));
+        assert!(parse(src)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate object id"));
     }
 
     #[test]

@@ -72,15 +72,21 @@ pub fn weave_or_err(models: &[Model]) -> Result<Model> {
         MetaError::ApplyFailed(format!(
             "weaving failed with {} conflict(s): {}",
             conflicts.len(),
-            conflicts.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ")
+            conflicts
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
         ))
     })
 }
 
 fn weave_into(woven: &mut Model, incoming: &Model, conflicts: &mut Vec<WeaveConflict>) {
     let opts = DiffOptions::default();
-    let woven_keys: BTreeMap<ObjectKey, ObjectId> =
-        keys_of(woven, &opts).into_iter().map(|(id, k)| (k, id)).collect();
+    let woven_keys: BTreeMap<ObjectKey, ObjectId> = keys_of(woven, &opts)
+        .into_iter()
+        .map(|(id, k)| (k, id))
+        .collect();
     let incoming_keys = keys_of(incoming, &opts);
 
     // First pass: create missing objects, remember the id mapping.
@@ -130,7 +136,9 @@ fn weave_into(woven: &mut Model, incoming: &Model, conflicts: &mut Vec<WeaveConf
         }
         for (slot, targets) in &obj.refs {
             for t in targets {
-                let Some(mapped) = id_map.get(t) else { continue };
+                let Some(mapped) = id_map.get(t) else {
+                    continue;
+                };
                 if !woven.refs(target, slot).contains(mapped) {
                     woven.add_ref(target, slot.clone(), *mapped);
                 }

@@ -14,8 +14,16 @@ pub fn mgrid_dscs() -> DscRegistry {
     let mut d = DscRegistry::new();
     for (id, parent, desc) in [
         ("ConfigurePlant", None, "attach/detach plant equipment"),
-        ("AttachSource", Some("ConfigurePlant"), "bring a source under management"),
-        ("AttachLoad", Some("ConfigurePlant"), "bring a load under management"),
+        (
+            "AttachSource",
+            Some("ConfigurePlant"),
+            "bring a source under management",
+        ),
+        (
+            "AttachLoad",
+            Some("ConfigurePlant"),
+            "bring a load under management",
+        ),
         ("DetachLoad", Some("ConfigurePlant"), "remove a load"),
         ("SwitchLoad", None, "enable/disable a load"),
         ("BalanceEnergy", None, "run the energy-management dispatch"),
@@ -23,7 +31,8 @@ pub fn mgrid_dscs() -> DscRegistry {
     ] {
         d.operation(id, parent, desc).expect("unique DSC");
     }
-    d.data("PlantState", None, "metered plant state").expect("unique DSC");
+    d.data("PlantState", None, "metered plant state")
+        .expect("unique DSC");
     d
 }
 
@@ -31,7 +40,10 @@ fn plant_call(op: &str, args: &[(&str, Operand)]) -> Instr {
     Instr::BrokerCall {
         api: "plant".into(),
         op: op.into(),
-        args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        args: args
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
     }
 }
 
@@ -45,12 +57,17 @@ pub fn mgrid_procedures() -> ProcedureRepository {
         classifier: "AttachSource".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
                 plant_call(
                     "attachSource",
-                    &[("name", a("name")), ("kind", a("kind")), ("capacityKw", a("capacityKw"))],
+                    &[
+                        ("name", a("name")),
+                        ("kind", a("kind")),
+                        ("capacityKw", a("capacityKw")),
+                    ],
                 ),
                 Instr::Complete,
             ],
@@ -64,12 +81,17 @@ pub fn mgrid_procedures() -> ProcedureRepository {
         // Attaching a load immediately rebalances the plant.
         dependencies: vec!["BalanceEnergy".into()],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
                 plant_call(
                     "attachLoad",
-                    &[("name", a("name")), ("demandKw", a("demandKw")), ("priority", a("priority"))],
+                    &[
+                        ("name", a("name")),
+                        ("demandKw", a("demandKw")),
+                        ("priority", a("priority")),
+                    ],
                 ),
                 Instr::CallDep(0),
                 Instr::Complete,
@@ -83,9 +105,14 @@ pub fn mgrid_procedures() -> ProcedureRepository {
         classifier: "DetachLoad".into(),
         dependencies: vec!["BalanceEnergy".into()],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
-            vec![plant_call("detachLoad", &[("name", a("name"))]), Instr::CallDep(0), Instr::Complete],
+            vec![
+                plant_call("detachLoad", &[("name", a("name"))]),
+                Instr::CallDep(0),
+                Instr::Complete,
+            ],
         )],
     })
     .expect("unique procedure");
@@ -95,10 +122,14 @@ pub fn mgrid_procedures() -> ProcedureRepository {
         classifier: "SwitchLoad".into(),
         dependencies: vec!["BalanceEnergy".into()],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
-                plant_call("switchLoad", &[("name", a("name")), ("enabled", a("enabled"))]),
+                plant_call(
+                    "switchLoad",
+                    &[("name", a("name")), ("enabled", a("enabled"))],
+                ),
                 Instr::CallDep(0),
                 Instr::Complete,
             ],
@@ -110,12 +141,21 @@ pub fn mgrid_procedures() -> ProcedureRepository {
         id: "balanceGreedy".into(),
         classifier: "BalanceEnergy".into(),
         dependencies: vec![],
-        meta: ProcMeta { cost: 1.0, reliability: 0.98, memory: 1.0, requires: vec![] },
+        meta: ProcMeta {
+            cost: 1.0,
+            reliability: 0.98,
+            memory: 1.0,
+            requires: vec![],
+        },
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
                 plant_call("dispatch", &[("hours", Operand::lit("1"))]),
-                Instr::SetVar { name: "shed".into(), value: Operand::var("result.shed") },
+                Instr::SetVar {
+                    name: "shed".into(),
+                    value: Operand::var("result.shed"),
+                },
                 Instr::IfVar {
                     var: "shed".into(),
                     equals: "".into(),
@@ -137,7 +177,13 @@ pub fn mgrid_procedures() -> ProcedureRepository {
         id: "balanceMetered".into(),
         classifier: "BalanceEnergy".into(),
         dependencies: vec![],
-        meta: ProcMeta { cost: 2.0, reliability: 0.995, memory: 1.5, requires: vec![] },
+        meta: ProcMeta {
+            cost: 2.0,
+            reliability: 0.995,
+            memory: 1.5,
+            requires: vec![],
+        },
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
@@ -154,12 +200,16 @@ pub fn mgrid_procedures() -> ProcedureRepository {
         classifier: "ConfigureStorage".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
                 plant_call(
                     "battery",
-                    &[("capacityKwh", a("capacityKwh")), ("chargeKwh", a("chargeKwh"))],
+                    &[
+                        ("capacityKwh", a("capacityKwh")),
+                        ("chargeKwh", a("chargeKwh")),
+                    ],
                 ),
                 Instr::Complete,
             ],
@@ -177,7 +227,10 @@ pub fn mgrid_actions() -> ActionRegistry {
         let mut out = ActionOutcome::default();
         let args: Vec<(String, String)> = vec![
             ("name".into(), cmd.arg("name").unwrap_or("").to_owned()),
-            ("enabled".into(), cmd.arg("enabled").unwrap_or("true").to_owned()),
+            (
+                "enabled".into(),
+                cmd.arg("enabled").unwrap_or("true").to_owned(),
+            ),
         ];
         let resp = port.invoke("plant", "switchLoad", &args);
         out.absorb(resp, "fastSwitch", "plant", "switchLoad")?;
@@ -210,22 +263,32 @@ pub fn mgrid_lts() -> Lts {
     LtsBuilder::new()
         .state("managing")
         .initial("managing")
-        .transition("managing", "managing", ChangePattern::create("PowerSource"), |t| {
-            t.emit(
-                CommandTemplate::new("attachSource", "$key")
-                    .with("name", "$attr_name")
-                    .with("kind", "$attr_kind")
-                    .with("capacityKw", "$attr_capacityKw"),
-            )
-        })
-        .transition("managing", "managing", ChangePattern::set_attr("PowerSource", "capacityKw").on_existing(), |t| {
-            t.emit(
-                CommandTemplate::new("attachSource", "$key")
-                    .with("name", "$id")
-                    .with("kind", "Solar")
-                    .with("capacityKw", "$value"),
-            )
-        })
+        .transition(
+            "managing",
+            "managing",
+            ChangePattern::create("PowerSource"),
+            |t| {
+                t.emit(
+                    CommandTemplate::new("attachSource", "$key")
+                        .with("name", "$attr_name")
+                        .with("kind", "$attr_kind")
+                        .with("capacityKw", "$attr_capacityKw"),
+                )
+            },
+        )
+        .transition(
+            "managing",
+            "managing",
+            ChangePattern::set_attr("PowerSource", "capacityKw").on_existing(),
+            |t| {
+                t.emit(
+                    CommandTemplate::new("attachSource", "$key")
+                        .with("name", "$id")
+                        .with("kind", "Solar")
+                        .with("capacityKw", "$value"),
+                )
+            },
+        )
         .transition("managing", "managing", ChangePattern::create("Load"), |t| {
             t.emit(
                 CommandTemplate::new("attachLoad", "$key")
@@ -234,31 +297,46 @@ pub fn mgrid_lts() -> Lts {
                     .with("priority", "$attr_priority"),
             )
         })
-        .transition("managing", "managing", ChangePattern::set_attr("Load", "demandKw").on_existing(), |t| {
-            t.emit(
-                CommandTemplate::new("attachLoad", "$key")
-                    .with("name", "$id")
-                    .with("demandKw", "$value")
-                    .with("priority", "Normal"),
-            )
-        })
-        .transition("managing", "managing", ChangePattern::set_attr("Load", "enabled").on_existing(), |t| {
-            t.emit(
-                CommandTemplate::new("switchLoad", "$key")
-                    .with("name", "$id")
-                    .with("enabled", "$value"),
-            )
-        })
+        .transition(
+            "managing",
+            "managing",
+            ChangePattern::set_attr("Load", "demandKw").on_existing(),
+            |t| {
+                t.emit(
+                    CommandTemplate::new("attachLoad", "$key")
+                        .with("name", "$id")
+                        .with("demandKw", "$value")
+                        .with("priority", "Normal"),
+                )
+            },
+        )
+        .transition(
+            "managing",
+            "managing",
+            ChangePattern::set_attr("Load", "enabled").on_existing(),
+            |t| {
+                t.emit(
+                    CommandTemplate::new("switchLoad", "$key")
+                        .with("name", "$id")
+                        .with("enabled", "$value"),
+                )
+            },
+        )
         .transition("managing", "managing", ChangePattern::delete("Load"), |t| {
             t.emit(CommandTemplate::new("detachLoad", "$key").with("name", "$id"))
         })
-        .transition("managing", "managing", ChangePattern::set_attr("StorageUnit", "chargeKwh").on_existing(), |t| {
-            t.emit(
-                CommandTemplate::new("configureStorage", "$key")
-                    .with("capacityKwh", "10")
-                    .with("chargeKwh", "$value"),
-            )
-        })
+        .transition(
+            "managing",
+            "managing",
+            ChangePattern::set_attr("StorageUnit", "chargeKwh").on_existing(),
+            |t| {
+                t.emit(
+                    CommandTemplate::new("configureStorage", "$key")
+                        .with("capacityKwh", "10")
+                        .with("chargeKwh", "$value"),
+                )
+            },
+        )
         .build()
         .expect("MGrid LTS is well-formed")
 }

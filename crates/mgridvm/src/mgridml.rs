@@ -32,7 +32,10 @@ pub fn mgridml_metamodel() -> Metamodel {
             c.attr("name", DataType::Str)
                 .attr("capacityKwh", DataType::Float)
                 .attr_default("chargeKwh", DataType::Float, Value::from(0.0))
-                .invariant("charge-within-capacity", "self.chargeKwh >= 0.0 and self.chargeKwh <= self.capacityKwh")
+                .invariant(
+                    "charge-within-capacity",
+                    "self.chargeKwh >= 0.0 and self.chargeKwh <= self.capacityKwh",
+                )
         })
         .class("Load", |c| {
             c.attr("name", DataType::Str)
@@ -46,12 +49,11 @@ pub fn mgridml_metamodel() -> Metamodel {
                 .invariant("demand-non-negative", "self.demandKw >= 0.0")
         })
         .class("EnergyPolicy", |c| {
-            c.attr("name", DataType::Str)
-                .attr_default(
-                    "objective",
-                    DataType::Enum("Objective".into()),
-                    Value::enumeration("Objective", "MinimizeCost"),
-                )
+            c.attr("name", DataType::Str).attr_default(
+                "objective",
+                DataType::Enum("Objective".into()),
+                Value::enumeration("Objective", "MinimizeCost"),
+            )
         })
         .build()
         .expect("MGridML metamodel is well-formed")

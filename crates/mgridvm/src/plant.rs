@@ -112,7 +112,14 @@ impl Plant {
 
     /// Attaches (or replaces) a source.
     pub fn attach_source(&mut self, name: &str, kind: SourceKind, capacity_kw: f64) {
-        self.sources.insert(name.to_owned(), Source { kind, capacity_kw, online: true });
+        self.sources.insert(
+            name.to_owned(),
+            Source {
+                kind,
+                capacity_kw,
+                online: true,
+            },
+        );
     }
 
     /// Sets a source online/offline; `false` if unknown.
@@ -128,8 +135,15 @@ impl Plant {
 
     /// Attaches (or replaces) a load.
     pub fn attach_load(&mut self, name: &str, demand_kw: f64, priority: LoadPriority) {
-        self.loads
-            .insert(name.to_owned(), Load { demand_kw, priority, enabled: true, shed: false });
+        self.loads.insert(
+            name.to_owned(),
+            Load {
+                demand_kw,
+                priority,
+                enabled: true,
+                shed: false,
+            },
+        );
     }
 
     /// Enables/disables a load; `false` if unknown.
@@ -197,7 +211,11 @@ impl Plant {
             .filter(|s| s.online && !s.kind.is_renewable())
             .map(|s| s.capacity_kw)
             .sum();
-        let battery_kw = if hours > 0.0 { self.battery_charge_kwh / hours } else { 0.0 };
+        let battery_kw = if hours > 0.0 {
+            self.battery_charge_kwh / hours
+        } else {
+            0.0
+        };
 
         let mut shed = Vec::new();
         loop {
@@ -214,13 +232,18 @@ impl Plant {
                 let import_kw = (demand - renewable_kw - storage_kw).max(0.0);
                 // Battery bookkeeping: discharge what was used; charge from
                 // renewable surplus.
-                self.battery_charge_kwh =
-                    (self.battery_charge_kwh - storage_kw * hours).max(0.0);
+                self.battery_charge_kwh = (self.battery_charge_kwh - storage_kw * hours).max(0.0);
                 let surplus = (renewable_cap - renewable_kw).max(0.0);
-                self.battery_charge_kwh = (self.battery_charge_kwh + surplus * hours)
-                    .min(self.battery_capacity_kwh);
+                self.battery_charge_kwh =
+                    (self.battery_charge_kwh + surplus * hours).min(self.battery_capacity_kwh);
                 self.dispatches += 0;
-                return Dispatch { demand_kw: demand, renewable_kw, storage_kw, import_kw, shed };
+                return Dispatch {
+                    demand_kw: demand,
+                    renewable_kw,
+                    storage_kw,
+                    import_kw,
+                    shed,
+                };
             }
             // Shed the lowest-priority, largest load still running.
             let victim = self
@@ -228,8 +251,16 @@ impl Plant {
                 .iter()
                 .filter(|(_, l)| l.enabled && !l.shed && l.priority != LoadPriority::Critical)
                 .min_by(|(an, a), (bn, b)| {
-                    (a.priority, std::cmp::Reverse((a.demand_kw * 1000.0) as i64), an.as_str())
-                        .cmp(&(b.priority, std::cmp::Reverse((b.demand_kw * 1000.0) as i64), bn.as_str()))
+                    (
+                        a.priority,
+                        std::cmp::Reverse((a.demand_kw * 1000.0) as i64),
+                        an.as_str(),
+                    )
+                        .cmp(&(
+                            b.priority,
+                            std::cmp::Reverse((b.demand_kw * 1000.0) as i64),
+                            bn.as_str(),
+                        ))
                 })
                 .map(|(n, _)| n.clone());
             match victim {
@@ -249,8 +280,9 @@ impl Plant {
                         .sum();
                     let renewable_kw = demand.min(renewable_cap);
                     let storage_kw = (demand - renewable_kw).min(battery_kw).max(0.0);
-                    let import_kw =
-                        (demand - renewable_kw - storage_kw).max(0.0).min(import_cap);
+                    let import_kw = (demand - renewable_kw - storage_kw)
+                        .max(0.0)
+                        .min(import_cap);
                     self.battery_charge_kwh =
                         (self.battery_charge_kwh - storage_kw * hours).max(0.0);
                     return Dispatch {
@@ -275,7 +307,10 @@ pub fn shared_plant() -> SharedPlant {
 }
 
 fn arg<'a>(args: &'a Args, key: &str) -> &'a str {
-    args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str()).unwrap_or("")
+    args.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("")
 }
 
 fn farg(args: &Args, key: &str) -> f64 {
@@ -296,14 +331,19 @@ pub fn register_plant(hub: &mut ResourceHub, plant: SharedPlant) {
                 "attachSource" => {
                     let kind = match SourceKind::parse(arg(args, "kind")) {
                         Some(k) => k,
-                        None => return Outcome::Failed(format!("bad source kind `{}`", arg(args, "kind"))),
+                        None => {
+                            return Outcome::Failed(format!(
+                                "bad source kind `{}`",
+                                arg(args, "kind")
+                            ))
+                        }
                     };
                     plant.attach_source(arg(args, "name"), kind, farg(args, "capacityKw"));
                     Outcome::ok()
                 }
                 "attachLoad" => {
-                    let p = LoadPriority::parse(arg(args, "priority"))
-                        .unwrap_or(LoadPriority::Normal);
+                    let p =
+                        LoadPriority::parse(arg(args, "priority")).unwrap_or(LoadPriority::Normal);
                     plant.attach_load(arg(args, "name"), farg(args, "demandKw"), p);
                     Outcome::ok()
                 }
@@ -369,7 +409,10 @@ pub fn register_plant(hub: &mut ResourceHub, plant: SharedPlant) {
 mod tests {
     use super::*;
 
-    fn plant_with(sources: &[(&str, SourceKind, f64)], loads: &[(&str, f64, LoadPriority)]) -> Plant {
+    fn plant_with(
+        sources: &[(&str, SourceKind, f64)],
+        loads: &[(&str, f64, LoadPriority)],
+    ) -> Plant {
         let mut p = Plant::new();
         for (n, k, c) in sources {
             p.attach_source(n, *k, *c);
@@ -383,7 +426,10 @@ mod tests {
     #[test]
     fn renewables_dispatch_first() {
         let mut p = plant_with(
-            &[("pv", SourceKind::Solar, 5.0), ("grid", SourceKind::Grid, 10.0)],
+            &[
+                ("pv", SourceKind::Solar, 5.0),
+                ("grid", SourceKind::Grid, 10.0),
+            ],
             &[("hvac", 3.0, LoadPriority::Normal)],
         );
         let d = p.dispatch(1.0);
@@ -395,7 +441,10 @@ mod tests {
     #[test]
     fn storage_before_import_and_surplus_charges() {
         let mut p = plant_with(
-            &[("pv", SourceKind::Solar, 2.0), ("grid", SourceKind::Grid, 10.0)],
+            &[
+                ("pv", SourceKind::Solar, 2.0),
+                ("grid", SourceKind::Grid, 10.0),
+            ],
             &[("hvac", 3.0, LoadPriority::Normal)],
         );
         p.set_battery(10.0, 5.0);
@@ -444,7 +493,10 @@ mod tests {
     #[test]
     fn offline_sources_do_not_contribute() {
         let mut p = plant_with(
-            &[("pv", SourceKind::Solar, 5.0), ("grid", SourceKind::Grid, 5.0)],
+            &[
+                ("pv", SourceKind::Solar, 5.0),
+                ("grid", SourceKind::Grid, 5.0),
+            ],
             &[("hvac", 3.0, LoadPriority::Normal)],
         );
         assert!(p.set_source_online("pv", false));
@@ -468,11 +520,18 @@ mod tests {
         let (o, _) = hub.invoke(
             "sim.plant",
             "attachLoad",
-            &mddsm_sim::resource::args(&[("name", "hvac"), ("demandKw", "2"), ("priority", "Normal")]),
+            &mddsm_sim::resource::args(&[
+                ("name", "hvac"),
+                ("demandKw", "2"),
+                ("priority", "Normal"),
+            ]),
         );
         assert!(o.is_ok());
-        let (o, _) =
-            hub.invoke("sim.plant", "dispatch", &mddsm_sim::resource::args(&[("hours", "1")]));
+        let (o, _) = hub.invoke(
+            "sim.plant",
+            "dispatch",
+            &mddsm_sim::resource::args(&[("hours", "1")]),
+        );
         assert_eq!(o.get("renewableKw"), Some("2.000"));
         let (o, _) = hub.invoke("sim.plant", "meter", &Args::new());
         assert_eq!(o.get("dispatches"), Some("1"));

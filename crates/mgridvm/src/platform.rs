@@ -11,20 +11,48 @@ use mddsm_sim::ResourceHub;
 /// plant operation, all bound to the simulated plant.
 pub fn mhb_broker_model() -> mddsm_meta::Model {
     let ops: &[(&str, &str, &[&str])] = &[
-        ("attachSource", "plant.attachSource", &["name=$name", "kind=$kind", "capacityKw=$capacityKw"]),
-        ("attachLoad", "plant.attachLoad", &["name=$name", "demandKw=$demandKw", "priority=$priority"]),
+        (
+            "attachSource",
+            "plant.attachSource",
+            &["name=$name", "kind=$kind", "capacityKw=$capacityKw"],
+        ),
+        (
+            "attachLoad",
+            "plant.attachLoad",
+            &["name=$name", "demandKw=$demandKw", "priority=$priority"],
+        ),
         ("detachLoad", "plant.detachLoad", &["name=$name"]),
         ("detachSource", "plant.detachSource", &["name=$name"]),
-        ("switchLoad", "plant.switchLoad", &["name=$name", "enabled=$enabled"]),
-        ("switchSource", "plant.switchSource", &["name=$name", "online=$online"]),
-        ("battery", "plant.battery", &["capacityKwh=$capacityKwh", "chargeKwh=$chargeKwh"]),
+        (
+            "switchLoad",
+            "plant.switchLoad",
+            &["name=$name", "enabled=$enabled"],
+        ),
+        (
+            "switchSource",
+            "plant.switchSource",
+            &["name=$name", "online=$online"],
+        ),
+        (
+            "battery",
+            "plant.battery",
+            &["capacityKwh=$capacityKwh", "chargeKwh=$chargeKwh"],
+        ),
         ("dispatch", "plant.dispatch", &["hours=$hours"]),
         ("meter", "plant.meter", &[]),
     ];
     let mut b = BrokerModelBuilder::new("mhb");
     for (handler, selector, mapping) in ops {
         let op = selector.split('.').nth(1).expect("selector has op");
-        b = b.call_handler(handler, selector).action(handler, handler, "plant", op, mapping, None, &[]);
+        b = b.call_handler(handler, selector).action(
+            handler,
+            handler,
+            "plant",
+            op,
+            mapping,
+            None,
+            &[],
+        );
     }
     b.autonomic_rule(
         "plantUnresponsive",
@@ -103,7 +131,10 @@ mod tests {
             assert!(plant.dispatches() >= 1);
         }
         let trace = p.command_trace();
-        assert!(trace.iter().any(|t| t.contains("attachSource")), "{trace:?}");
+        assert!(
+            trace.iter().any(|t| t.contains("attachSource")),
+            "{trace:?}"
+        );
         assert!(trace.iter().any(|t| t.contains("attachLoad")), "{trace:?}");
         assert!(trace.iter().any(|t| t.contains("dispatch")), "{trace:?}");
 
@@ -111,7 +142,11 @@ mod tests {
         s.set(hvac, "enabled", "false").unwrap();
         let report = p.submit_model(s.submit().unwrap()).unwrap();
         assert_eq!(report.execution.case1, 1, "{report:?}");
-        assert!(p.command_trace().iter().any(|t| t.contains("switchLoad")), "{:?}", p.command_trace());
+        assert!(
+            p.command_trace().iter().any(|t| t.contains("switchLoad")),
+            "{:?}",
+            p.command_trace()
+        );
     }
 
     #[test]
@@ -126,6 +161,9 @@ mod tests {
         }"#;
         let report = p.submit_text(src).unwrap();
         // The balancer shed something and raised the loadsShed event.
-        assert!(report.execution.events.iter().any(|e| e == "loadsShed"), "{report:?}");
+        assert!(
+            report.execution.events.iter().any(|e| e == "loadsShed"),
+            "{report:?}"
+        );
     }
 }

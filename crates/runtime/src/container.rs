@@ -43,7 +43,12 @@ impl Container {
         let subscriptions = component.subscriptions();
         self.slots.insert(
             name.to_owned(),
-            Slot { component, state: Lifecycle::Created, subscriptions, handled: 0 },
+            Slot {
+                component,
+                state: Lifecycle::Created,
+                subscriptions,
+                handled: 0,
+            },
         );
         self.order.push(name.to_owned());
         Ok(())
@@ -101,7 +106,10 @@ impl Container {
                     Err(e) => {
                         let reason = e.to_string();
                         slot.state = Lifecycle::Failed(reason.clone());
-                        Err(RuntimeError::ComponentFailed { component: name.to_owned(), reason })
+                        Err(RuntimeError::ComponentFailed {
+                            component: name.to_owned(),
+                            reason,
+                        })
                     }
                 }
             }
@@ -128,7 +136,10 @@ impl Container {
                 Err(e) => {
                     let reason = e.to_string();
                     slot.state = Lifecycle::Failed(reason.clone());
-                    Err(RuntimeError::ComponentFailed { component: name.to_owned(), reason })
+                    Err(RuntimeError::ComponentFailed {
+                        component: name.to_owned(),
+                        reason,
+                    })
                 }
             },
             s => Err(RuntimeError::BadLifecycle {
@@ -177,10 +188,10 @@ impl Container {
                 });
             }
             for name in self.order.clone() {
-                let Some(slot) = self.slots.get_mut(&name) else { continue };
-                if slot.state != Lifecycle::Started
-                    || !slot.subscriptions.iter().any(|t| *t == msg.topic)
-                {
+                let Some(slot) = self.slots.get_mut(&name) else {
+                    continue;
+                };
+                if slot.state != Lifecycle::Started || !slot.subscriptions.contains(&msg.topic) {
                     continue;
                 }
                 let mut ctx = Ctx::at_depth(depth);
@@ -215,9 +226,14 @@ impl Container {
 
 impl std::fmt::Debug for Container {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let states: Vec<String> =
-            self.order.iter().map(|n| format!("{n}:{}", self.slots[n].state)).collect();
-        f.debug_struct("Container").field("components", &states).finish()
+        let states: Vec<String> = self
+            .order
+            .iter()
+            .map(|n| format!("{n}:{}", self.slots[n].state))
+            .collect();
+        f.debug_struct("Container")
+            .field("components", &states)
+            .finish()
     }
 }
 
@@ -273,7 +289,10 @@ mod tests {
         c.start("p").unwrap();
         assert_eq!(*c.state("p").unwrap(), Lifecycle::Started);
         // Double start rejected.
-        assert!(matches!(c.start("p"), Err(RuntimeError::BadLifecycle { .. })));
+        assert!(matches!(
+            c.start("p"),
+            Err(RuntimeError::BadLifecycle { .. })
+        ));
         c.dispatch(Message::new("t")).unwrap();
         assert_eq!(seen.load(Ordering::SeqCst), 1);
         c.stop("p").unwrap();

@@ -59,7 +59,9 @@ impl ComponentFactory {
     pub fn populate(&self, model: &Model, container: &mut Container) -> Result<Vec<String>> {
         let mut created = Vec::new();
         for (id, _) in model.iter() {
-            let Some(template) = model.attr_str(id, "template") else { continue };
+            let Some(template) = model.attr_str(id, "template") else {
+                continue;
+            };
             let metadata = Metadata::from_object(model, id)?;
             let name = model
                 .attr_str(id, "name")
@@ -120,14 +122,20 @@ mod tests {
     #[test]
     fn unknown_template_rejected() {
         let f = factory();
-        let e = f.instantiate("nope", &Metadata::new()).map(drop).unwrap_err();
+        let e = f
+            .instantiate("nope", &Metadata::new())
+            .map(drop)
+            .unwrap_err();
         assert!(matches!(e, RuntimeError::UnknownTemplate(_)));
     }
 
     #[test]
     fn template_metadata_validation() {
         let f = factory();
-        let e = f.instantiate("echo", &Metadata::new()).map(drop).unwrap_err();
+        let e = f
+            .instantiate("echo", &Metadata::new())
+            .map(drop)
+            .unwrap_err();
         assert!(matches!(e, RuntimeError::BadMetadata(_)));
     }
 
@@ -147,7 +155,10 @@ mod tests {
 
         let mut c = Container::new();
         let names = f.populate(&m, &mut c).unwrap();
-        assert_eq!(names, vec!["mainMgr".to_string(), format!("o{}", b.index())]);
+        assert_eq!(
+            names,
+            vec!["mainMgr".to_string(), format!("o{}", b.index())]
+        );
         assert_eq!(c.names().len(), 2);
     }
 
@@ -159,6 +170,9 @@ mod tests {
         m.set_attr(a, "template", Value::from("echo"));
         // Missing `topic` -> BadMetadata.
         let mut c = Container::new();
-        assert!(matches!(f.populate(&m, &mut c), Err(RuntimeError::BadMetadata(_))));
+        assert!(matches!(
+            f.populate(&m, &mut c),
+            Err(RuntimeError::BadMetadata(_))
+        ));
     }
 }

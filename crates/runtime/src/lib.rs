@@ -20,7 +20,7 @@
 //!   messages by topic (deterministic dispatch), manages lifecycle, and
 //!   supports failure + restart.
 //! * [`threaded`] — the threaded concurrency model: each component runs on
-//!   its own thread with a crossbeam-channel mailbox.
+//!   its own thread with an mpsc-channel mailbox.
 //! * [`runtime_model`] — models@runtime: the platform's own model held
 //!   behind a versioned read-write lock; reflective changes take immediate
 //!   effect and notify watchers.
@@ -81,8 +81,15 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::ComponentFailed { component, reason } => {
                 write!(f, "component `{component}` failed: {reason}")
             }
-            RuntimeError::BadLifecycle { component, operation, state } => {
-                write!(f, "cannot {operation} component `{component}` in state {state}")
+            RuntimeError::BadLifecycle {
+                component,
+                operation,
+                state,
+            } => {
+                write!(
+                    f,
+                    "cannot {operation} component `{component}` in state {state}"
+                )
             }
             RuntimeError::Meta(m) => write!(f, "model error: {m}"),
         }

@@ -5,9 +5,8 @@
 //! services are handled").
 
 use mddsm_meta::model::Model;
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Callback invoked after each runtime-model mutation with the new version.
 pub type Watcher = Box<dyn Fn(u64, &Model) + Send + Sync>;
@@ -47,24 +46,34 @@ impl RuntimeModel {
 
     /// Runs a closure with read access to the model.
     pub fn read<R>(&self, f: impl FnOnce(&Model) -> R) -> R {
-        f(&self.inner.model.read())
+        f(&self.inner.model.read().expect("runtime model poisoned"))
     }
 
     /// Clones the current model (a consistent snapshot).
     pub fn snapshot(&self) -> Model {
-        self.inner.model.read().clone()
+        self.inner
+            .model
+            .read()
+            .expect("runtime model poisoned")
+            .clone()
     }
 
     /// Mutates the model, bumps the version, and notifies watchers while no
     /// lock is held (watchers may read the model again).
     pub fn update<R>(&self, f: impl FnOnce(&mut Model) -> R) -> R {
         let r = {
-            let mut guard = self.inner.model.write();
+            let mut guard = self.inner.model.write().expect("runtime model poisoned");
             f(&mut guard)
         };
         let v = self.inner.version.fetch_add(1, Ordering::AcqRel) + 1;
         let snapshot = self.snapshot();
-        for w in self.inner.watchers.lock().expect("watcher registry poisoned").iter() {
+        for w in self
+            .inner
+            .watchers
+            .lock()
+            .expect("watcher registry poisoned")
+            .iter()
+        {
             w(v, &snapshot);
         }
         r
@@ -77,7 +86,11 @@ impl RuntimeModel {
 
     /// Registers a watcher notified after every update.
     pub fn watch(&self, w: impl Fn(u64, &Model) + Send + Sync + 'static) {
-        self.inner.watchers.lock().expect("watcher registry poisoned").push(Box::new(w));
+        self.inner
+            .watchers
+            .lock()
+            .expect("watcher registry poisoned")
+            .push(Box::new(w));
     }
 }
 

@@ -1,5 +1,5 @@
 //! The threaded concurrency model: each component runs on its own thread
-//! with a crossbeam-channel mailbox.
+//! with an mpsc-channel mailbox.
 //!
 //! The paper's runtime environment "provides threads (and the underlying
 //! concurrency model) to run the middleware components". The deterministic
@@ -10,8 +10,8 @@
 
 use crate::component::{Component, Ctx, Message};
 use crate::{Result, RuntimeError};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::BTreeMap;
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
 
 enum Control {
@@ -50,10 +50,12 @@ impl ThreadedContainer {
             let (tx, rx): (Sender<Control>, Receiver<Control>) = unbounded();
             let emit_tx = router_tx.clone();
             let wname = name.clone();
-            component.on_start().map_err(|e| RuntimeError::ComponentFailed {
-                component: wname.clone(),
-                reason: e.to_string(),
-            })?;
+            component
+                .on_start()
+                .map_err(|e| RuntimeError::ComponentFailed {
+                    component: wname.clone(),
+                    reason: e.to_string(),
+                })?;
             let handle = std::thread::Builder::new()
                 .name(format!("mddsm-{name}"))
                 .spawn(move || {
@@ -79,18 +81,27 @@ impl ThreadedContainer {
                     handled
                 })
                 .expect("failed to spawn component thread");
-            workers.insert(name, Worker { tx, handle, subscriptions });
+            workers.insert(
+                name,
+                Worker {
+                    tx,
+                    handle,
+                    subscriptions,
+                },
+            );
         }
 
         // Router: fans messages out to subscribed mailboxes.
-        let routes: Vec<(Vec<String>, Sender<Control>)> =
-            workers.values().map(|w| (w.subscriptions.clone(), w.tx.clone())).collect();
+        let routes: Vec<(Vec<String>, Sender<Control>)> = workers
+            .values()
+            .map(|w| (w.subscriptions.clone(), w.tx.clone()))
+            .collect();
         let router = std::thread::Builder::new()
             .name("mddsm-router".into())
             .spawn(move || {
                 while let Ok(msg) = router_rx.recv() {
                     for (subs, tx) in &routes {
-                        if subs.iter().any(|t| *t == msg.topic) {
+                        if subs.contains(&msg.topic) {
                             let _ = tx.send(Control::Deliver(msg.clone()));
                         }
                     }
@@ -98,7 +109,11 @@ impl ThreadedContainer {
             })
             .expect("failed to spawn router thread");
 
-        Ok(ThreadedContainer { workers, router_tx, router: Some(router) })
+        Ok(ThreadedContainer {
+            workers,
+            router_tx,
+            router: Some(router),
+        })
     }
 
     /// Injects a message into the system (asynchronously).
@@ -177,11 +192,19 @@ mod tests {
         let tc = ThreadedContainer::start(vec![
             (
                 "a".into(),
-                Box::new(Counter { topic: "x".into(), seen: a.clone(), relay_to: None }) as _,
+                Box::new(Counter {
+                    topic: "x".into(),
+                    seen: a.clone(),
+                    relay_to: None,
+                }) as _,
             ),
             (
                 "b".into(),
-                Box::new(Counter { topic: "x".into(), seen: b.clone(), relay_to: None }) as _,
+                Box::new(Counter {
+                    topic: "x".into(),
+                    seen: b.clone(),
+                    relay_to: None,
+                }) as _,
             ),
         ])
         .unwrap();
@@ -210,7 +233,11 @@ mod tests {
             ),
             (
                 "sink".into(),
-                Box::new(Counter { topic: "out".into(), seen: b.clone(), relay_to: None }) as _,
+                Box::new(Counter {
+                    topic: "out".into(),
+                    seen: b.clone(),
+                    relay_to: None,
+                }) as _,
             ),
         ])
         .unwrap();
@@ -225,7 +252,11 @@ mod tests {
     fn duplicate_component_rejected() {
         let a = Arc::new(AtomicU32::new(0));
         let mk = |seen: Arc<AtomicU32>| {
-            Box::new(Counter { topic: "x".into(), seen, relay_to: None }) as Box<dyn Component>
+            Box::new(Counter {
+                topic: "x".into(),
+                seen,
+                relay_to: None,
+            }) as Box<dyn Component>
         };
         let r = ThreadedContainer::start(vec![("a".into(), mk(a.clone())), ("a".into(), mk(a))]);
         assert!(matches!(r, Err(RuntimeError::DuplicateComponent(_))));
@@ -236,7 +267,11 @@ mod tests {
         let a = Arc::new(AtomicU32::new(0));
         let tc = ThreadedContainer::start(vec![(
             "a".into(),
-            Box::new(Counter { topic: "x".into(), seen: a, relay_to: None }) as _,
+            Box::new(Counter {
+                topic: "x".into(),
+                seen: a,
+                relay_to: None,
+            }) as _,
         )])
         .unwrap();
         assert_eq!(tc.names(), vec!["a"]);

@@ -69,7 +69,12 @@ impl Default for Simulator {
 impl Simulator {
     /// Creates a simulator at `t = 0` with an empty queue.
     pub fn new() -> Self {
-        Simulator { now: SimTime::ZERO, seq: 0, executed: 0, queue: BinaryHeap::new() }
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            queue: BinaryHeap::new(),
+        }
     }
 
     /// The current virtual instant.
@@ -97,7 +102,11 @@ impl Simulator {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(OrderedScheduled(Scheduled { at, seq, f: Box::new(f) })));
+        self.queue.push(Reverse(OrderedScheduled(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        })));
     }
 
     /// Executes the next event; returns `false` when the queue is empty.

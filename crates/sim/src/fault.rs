@@ -1,0 +1,732 @@
+//! Model-driven fault injection: fault *plans* are models@runtime.
+//!
+//! Following the paper's core theme — everything the middleware consumes is
+//! a model conforming to a metamodel, interpreted by a generic engine — the
+//! failure scenarios used by the resilience experiments are themselves
+//! models. A [`fault_metamodel`] defines `FaultPlan`/`FaultEvent`; plans
+//! are authored with [`FaultPlanBuilder`] (or generated randomly from a
+//! seed with [`random_campaign`]), conformance-checked, compiled by
+//! [`FaultPlan::from_model`], and executed against the simulation substrate
+//! by a [`FaultDriver`] on the virtual clock.
+//!
+//! Two execution styles mirror the crate's two usage styles:
+//!
+//! * **Synchronous-with-cost**: call [`FaultDriver::advance_to`] with the
+//!   current virtual time before each resource invocation; all due events
+//!   are applied to the [`ResourceHub`] (and optionally a [`Network`]).
+//! * **Event-driven**: [`schedule_network_events`] registers the
+//!   network-affecting events of a plan as [`Simulator`] events.
+
+use crate::engine::Simulator;
+use crate::net::Network;
+use crate::resource::ResourceHub;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use mddsm_meta::metamodel::{DataType, Metamodel, MetamodelBuilder, Multiplicity};
+use mddsm_meta::model::{Model, ObjectId};
+use mddsm_meta::{conformance, Value};
+
+/// Name under which the fault metamodel registers.
+pub const FAULT_METAMODEL: &str = "mddsm.fault";
+
+/// Builds the fault metamodel: a `FaultPlan` (name, seed) containing timed
+/// `FaultEvent`s. Every event has a virtual-time instant (`atUs`), a kind,
+/// and a target; link events add a `peer`, degradations an `amountUs`, and
+/// loss spikes a `loss` probability.
+pub fn fault_metamodel() -> Metamodel {
+    MetamodelBuilder::new(FAULT_METAMODEL)
+        .enumeration(
+            "FaultKind",
+            [
+                "Crash",
+                "Heal",
+                "Degrade",
+                "LinkDown",
+                "LinkUp",
+                "LossSpike",
+                "Partition",
+                "HealNode",
+            ],
+        )
+        .class("FaultPlan", |c| {
+            c.attr("name", DataType::Str)
+                .attr_default("seed", DataType::Int, Value::from(0))
+                .contains("events", "FaultEvent", Multiplicity::MANY)
+                .invariant("nonneg-times", "self.events->forAll(e | e.atUs >= 0)")
+        })
+        .class("FaultEvent", |c| {
+            c.attr("atUs", DataType::Int)
+                .attr("kind", DataType::Enum("FaultKind".into()))
+                .attr("target", DataType::Str)
+                .opt_attr("peer", DataType::Str)
+                .attr_default("amountUs", DataType::Int, Value::from(0))
+                .attr_default("loss", DataType::Float, Value::from(0.0))
+        })
+        .build()
+        .expect("fault metamodel is well-formed")
+}
+
+/// Errors raised while compiling or executing a fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// The model does not describe a usable plan.
+    BadPlan(String),
+    /// An error bubbled up from the modeling substrate.
+    Meta(String),
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::BadPlan(m) => write!(f, "bad fault plan: {m}"),
+            FaultError::Meta(m) => write!(f, "model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// What a fault event does when it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Mark a hub resource unhealthy (invocations time out).
+    Crash {
+        /// Resource name in the hub.
+        resource: String,
+    },
+    /// Mark a hub resource healthy again and clear its degradation.
+    Heal {
+        /// Resource name in the hub.
+        resource: String,
+    },
+    /// Add constant extra latency to every invocation of a resource.
+    Degrade {
+        /// Resource name in the hub.
+        resource: String,
+        /// Extra per-invocation latency.
+        extra: SimDuration,
+    },
+    /// Take a directed network link down.
+    LinkDown {
+        /// Source node.
+        from: String,
+        /// Destination node.
+        to: String,
+    },
+    /// Bring a directed network link back up.
+    LinkUp {
+        /// Source node.
+        from: String,
+        /// Destination node.
+        to: String,
+    },
+    /// Set the loss probability of a directed link.
+    LossSpike {
+        /// Source node.
+        from: String,
+        /// Destination node.
+        to: String,
+        /// New loss probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// Partition a node from every configured peer.
+    Partition {
+        /// Node name.
+        node: String,
+    },
+    /// Heal all links touching a node.
+    HealNode {
+        /// Node name.
+        node: String,
+    },
+}
+
+impl FaultAction {
+    /// Whether this action targets the network (vs the resource hub).
+    pub fn is_network(&self) -> bool {
+        matches!(
+            self,
+            FaultAction::LinkDown { .. }
+                | FaultAction::LinkUp { .. }
+                | FaultAction::LossSpike { .. }
+                | FaultAction::Partition { .. }
+                | FaultAction::HealNode { .. }
+        )
+    }
+}
+
+/// A compiled fault event: an action at a virtual-time instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What it does.
+    pub action: FaultAction,
+}
+
+/// A compiled fault plan: events sorted by time (ties keep model order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Plan name (from the model).
+    pub name: String,
+    /// Seed recorded in the model (0 for hand-written plans).
+    pub seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Conformance-checks `model` against the fault metamodel and compiles
+    /// it into a time-sorted plan.
+    pub fn from_model(model: &Model) -> Result<FaultPlan, FaultError> {
+        let mm = fault_metamodel();
+        conformance::check(model, &mm).map_err(|e| FaultError::Meta(e.to_string()))?;
+        let plans = model.all_of_class("FaultPlan");
+        let plan = match plans.as_slice() {
+            [p] => *p,
+            [] => return Err(FaultError::BadPlan("model contains no FaultPlan".into())),
+            _ => {
+                return Err(FaultError::BadPlan(
+                    "model contains multiple FaultPlans".into(),
+                ))
+            }
+        };
+        let name = model
+            .attr_str(plan, "name")
+            .ok_or_else(|| FaultError::BadPlan("FaultPlan has no name".into()))?
+            .to_owned();
+        let seed = model.attr_int(plan, "seed").unwrap_or(0).max(0) as u64;
+        let mut events = Vec::new();
+        for &e in model.refs(plan, "events") {
+            events.push(compile_event(model, e)?);
+        }
+        events.sort_by_key(|e| e.at); // stable: same-instant events keep model order
+        Ok(FaultPlan { name, seed, events })
+    }
+
+    /// The compiled events, in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events in the plan.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+fn compile_event(model: &Model, e: ObjectId) -> Result<FaultEvent, FaultError> {
+    let at_us = model
+        .attr_int(e, "atUs")
+        .ok_or_else(|| FaultError::BadPlan("FaultEvent has no atUs".into()))?;
+    if at_us < 0 {
+        return Err(FaultError::BadPlan(format!("negative event time {at_us}")));
+    }
+    let target = model
+        .attr_str(e, "target")
+        .ok_or_else(|| FaultError::BadPlan("FaultEvent has no target".into()))?
+        .to_owned();
+    let kind = match model.attr(e, "kind") {
+        Some(Value::Enum(_, literal)) => literal.clone(),
+        _ => return Err(FaultError::BadPlan("FaultEvent has no kind".into())),
+    };
+    let peer = model
+        .attr_str(e, "peer")
+        .map(str::to_owned)
+        .ok_or_else(|| FaultError::BadPlan(format!("{kind} event on `{target}` needs a peer")));
+    let action = match kind.as_str() {
+        "Crash" => FaultAction::Crash { resource: target },
+        "Heal" => FaultAction::Heal { resource: target },
+        "Degrade" => {
+            let us = model.attr_int(e, "amountUs").unwrap_or(0).max(0) as u64;
+            FaultAction::Degrade {
+                resource: target,
+                extra: SimDuration::from_micros(us),
+            }
+        }
+        "LinkDown" => FaultAction::LinkDown {
+            from: target,
+            to: peer?,
+        },
+        "LinkUp" => FaultAction::LinkUp {
+            from: target,
+            to: peer?,
+        },
+        "LossSpike" => {
+            let loss = model.attr_float(e, "loss").unwrap_or(0.0).clamp(0.0, 1.0);
+            FaultAction::LossSpike {
+                from: target,
+                to: peer?,
+                loss,
+            }
+        }
+        "Partition" => FaultAction::Partition { node: target },
+        "HealNode" => FaultAction::HealNode { node: target },
+        other => return Err(FaultError::BadPlan(format!("unknown fault kind `{other}`"))),
+    };
+    Ok(FaultEvent {
+        at: SimTime::from_micros(at_us as u64),
+        action,
+    })
+}
+
+/// Fluent builder producing fault-plan *models* (instances of the fault
+/// metamodel). `build()` returns the model; compile it with
+/// [`FaultPlan::from_model`].
+#[derive(Debug)]
+pub struct FaultPlanBuilder {
+    model: Model,
+    plan: ObjectId,
+}
+
+impl FaultPlanBuilder {
+    /// Starts an empty plan.
+    pub fn new(name: &str) -> Self {
+        let mut model = Model::new(FAULT_METAMODEL);
+        let plan = model.create("FaultPlan");
+        model.set_attr(plan, "name", Value::from(name));
+        model.set_attr(plan, "seed", Value::from(0));
+        FaultPlanBuilder { model, plan }
+    }
+
+    /// Records the seed the plan was generated from (informational).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.model
+            .set_attr(self.plan, "seed", Value::from(seed as i64));
+        self
+    }
+
+    fn event(mut self, at: SimTime, kind: &str, target: &str) -> Self {
+        let e = self.model.create("FaultEvent");
+        self.model
+            .set_attr(e, "atUs", Value::from(at.as_micros() as i64));
+        self.model
+            .set_attr(e, "kind", Value::enumeration("FaultKind", kind));
+        self.model.set_attr(e, "target", Value::from(target));
+        self.model.add_ref(self.plan, "events", e);
+        self
+    }
+
+    fn last_event(&self) -> ObjectId {
+        *self
+            .model
+            .refs(self.plan, "events")
+            .last()
+            .expect("event just added")
+    }
+
+    /// Crashes a hub resource at `at`.
+    pub fn crash(self, at: SimTime, resource: &str) -> Self {
+        self.event(at, "Crash", resource)
+    }
+
+    /// Heals a hub resource at `at` (also clears degradation).
+    pub fn heal(self, at: SimTime, resource: &str) -> Self {
+        self.event(at, "Heal", resource)
+    }
+
+    /// Degrades a hub resource by `extra` per invocation from `at` on.
+    pub fn degrade(self, at: SimTime, resource: &str, extra: SimDuration) -> Self {
+        let mut b = self.event(at, "Degrade", resource);
+        let e = b.last_event();
+        b.model
+            .set_attr(e, "amountUs", Value::from(extra.as_micros() as i64));
+        b
+    }
+
+    /// Takes the directed link `from -> to` down at `at`.
+    pub fn link_down(self, at: SimTime, from: &str, to: &str) -> Self {
+        let mut b = self.event(at, "LinkDown", from);
+        let e = b.last_event();
+        b.model.set_attr(e, "peer", Value::from(to));
+        b
+    }
+
+    /// Brings the directed link `from -> to` back up at `at`.
+    pub fn link_up(self, at: SimTime, from: &str, to: &str) -> Self {
+        let mut b = self.event(at, "LinkUp", from);
+        let e = b.last_event();
+        b.model.set_attr(e, "peer", Value::from(to));
+        b
+    }
+
+    /// Sets the loss probability of `from -> to` at `at`.
+    pub fn loss_spike(self, at: SimTime, from: &str, to: &str, loss: f64) -> Self {
+        let mut b = self.event(at, "LossSpike", from);
+        let e = b.last_event();
+        b.model.set_attr(e, "peer", Value::from(to));
+        b.model.set_attr(e, "loss", Value::from(loss));
+        b
+    }
+
+    /// Partitions `node` from every configured peer at `at`.
+    pub fn partition(self, at: SimTime, node: &str) -> Self {
+        self.event(at, "Partition", node)
+    }
+
+    /// Heals all links touching `node` at `at`.
+    pub fn heal_node(self, at: SimTime, node: &str) -> Self {
+        self.event(at, "HealNode", node)
+    }
+
+    /// Finishes and returns the fault-plan model.
+    pub fn build(self) -> Model {
+        self.model
+    }
+}
+
+/// Shape of a randomized crash/heal campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Hub resources subjected to faults.
+    pub resources: Vec<String>,
+    /// Campaign horizon: no event fires at or after this instant.
+    pub horizon: SimDuration,
+    /// Mean time between failures per resource (exponential).
+    pub mean_uptime: SimDuration,
+    /// Mean time to repair per outage (exponential).
+    pub mean_downtime: SimDuration,
+    /// Probability a failure is a degradation instead of a crash.
+    pub degrade_chance: f64,
+    /// Extra per-invocation latency applied by degradations.
+    pub degrade_extra: SimDuration,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            resources: Vec::new(),
+            horizon: SimDuration::from_millis(10_000),
+            mean_uptime: SimDuration::from_millis(1_500),
+            mean_downtime: SimDuration::from_millis(400),
+            degrade_chance: 0.25,
+            degrade_extra: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// Generates a randomized fault-plan model: each resource alternates
+/// exponentially-distributed uptime and downtime windows until the horizon;
+/// a failure is a crash (healed at the end of the outage) or, with
+/// `degrade_chance`, a degradation (cleared by the heal). Deterministic in
+/// `seed` — the same seed always yields the identical model.
+pub fn random_campaign(name: &str, seed: u64, cfg: &CampaignConfig) -> Model {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut b = FaultPlanBuilder::new(name).seed(seed);
+    for resource in &cfg.resources {
+        let mut t = 0u64;
+        loop {
+            let up = rng.exponential(cfg.mean_uptime.as_micros() as f64).max(1.0) as u64;
+            t = t.saturating_add(up);
+            if t >= cfg.horizon.as_micros() {
+                break;
+            }
+            let fail_at = SimTime::from_micros(t);
+            let down = rng
+                .exponential(cfg.mean_downtime.as_micros() as f64)
+                .max(1.0) as u64;
+            let degrade = rng.chance(cfg.degrade_chance);
+            b = if degrade {
+                b.degrade(fail_at, resource, cfg.degrade_extra)
+            } else {
+                b.crash(fail_at, resource)
+            };
+            t = t.saturating_add(down);
+            let heal_at = t.min(cfg.horizon.as_micros().saturating_sub(1));
+            b = b.heal(SimTime::from_micros(heal_at), resource);
+            if t >= cfg.horizon.as_micros() {
+                break;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Executes a compiled [`FaultPlan`] against the simulation substrate as
+/// virtual time advances.
+///
+/// The driver keeps a cursor into the time-sorted event list; each call to
+/// [`FaultDriver::advance_to`] applies every event due at or before `now`.
+/// Resource events need a [`ResourceHub`]; network events are applied to
+/// the [`Network`] when one is supplied and are skipped (but still counted
+/// as applied) otherwise.
+#[derive(Debug, Clone)]
+pub struct FaultDriver {
+    events: Vec<FaultEvent>,
+    next: usize,
+}
+
+impl FaultDriver {
+    /// Builds a driver over a compiled plan.
+    pub fn new(plan: &FaultPlan) -> Self {
+        FaultDriver {
+            events: plan.events.clone(),
+            next: 0,
+        }
+    }
+
+    /// Compiles `model` and builds a driver in one step.
+    pub fn from_model(model: &Model) -> Result<Self, FaultError> {
+        Ok(Self::new(&FaultPlan::from_model(model)?))
+    }
+
+    /// Events not yet applied.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+
+    /// Applies every event due at or before `now`; returns how many fired.
+    pub fn advance_to(
+        &mut self,
+        now: SimTime,
+        hub: &mut ResourceHub,
+        net: Option<&Network>,
+    ) -> usize {
+        let mut fired = 0;
+        while let Some(e) = self.events.get(self.next) {
+            if e.at > now {
+                break;
+            }
+            apply_action(&e.action, hub, net);
+            self.next += 1;
+            fired += 1;
+        }
+        fired
+    }
+}
+
+fn apply_action(action: &FaultAction, hub: &mut ResourceHub, net: Option<&Network>) {
+    match action {
+        FaultAction::Crash { resource } => {
+            hub.set_healthy(resource, false);
+        }
+        FaultAction::Heal { resource } => {
+            hub.set_healthy(resource, true);
+            hub.degrade(resource, SimDuration::ZERO);
+        }
+        FaultAction::Degrade { resource, extra } => {
+            hub.degrade(resource, *extra);
+        }
+        FaultAction::LinkDown { from, to } => {
+            if let Some(n) = net {
+                n.set_link_up(from, to, false);
+            }
+        }
+        FaultAction::LinkUp { from, to } => {
+            if let Some(n) = net {
+                n.set_link_up(from, to, true);
+            }
+        }
+        FaultAction::LossSpike { from, to, loss } => {
+            if let Some(n) = net {
+                n.set_link_loss(from, to, *loss);
+            }
+        }
+        FaultAction::Partition { node } => {
+            if let Some(n) = net {
+                n.partition_node(node);
+            }
+        }
+        FaultAction::HealNode { node } => {
+            if let Some(n) = net {
+                n.heal_node(node);
+            }
+        }
+    }
+}
+
+/// Schedules the *network-affecting* events of a plan on a [`Simulator`],
+/// for the event-driven usage style (the hub-affecting events need a
+/// `&mut ResourceHub` at fire time and are driven by [`FaultDriver`]).
+/// Returns the number of events scheduled.
+pub fn schedule_network_events(sim: &mut Simulator, plan: &FaultPlan, net: &Network) -> usize {
+    let mut scheduled = 0;
+    for e in &plan.events {
+        if !e.action.is_network() {
+            continue;
+        }
+        let action = e.action.clone();
+        let net = net.clone();
+        sim.schedule_at(e.at, move |_| {
+            // Network-only actions never touch the hub.
+            let mut unused = ResourceHub::new(0);
+            apply_action(&action, &mut unused, Some(&net));
+        });
+        scheduled += 1;
+    }
+    scheduled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::net::Link;
+    use crate::resource::{Args, Outcome};
+
+    fn hub() -> ResourceHub {
+        let mut hub = ResourceHub::new(3);
+        hub.register(
+            "svc",
+            LatencyModel::fixed_ms(2),
+            SimDuration::from_millis(100),
+            Box::new(|_: &str, _: &Args| Outcome::ok()),
+        );
+        hub
+    }
+
+    #[test]
+    fn metamodel_and_built_plans_conform() {
+        let mm = fault_metamodel();
+        let model = FaultPlanBuilder::new("p")
+            .crash(SimTime::from_millis(10), "svc")
+            .heal(SimTime::from_millis(20), "svc")
+            .degrade(SimTime::from_millis(30), "svc", SimDuration::from_millis(5))
+            .link_down(SimTime::from_millis(40), "a", "b")
+            .loss_spike(SimTime::from_millis(50), "a", "b", 0.5)
+            .partition(SimTime::from_millis(60), "a")
+            .heal_node(SimTime::from_millis(70), "a")
+            .link_up(SimTime::from_millis(80), "a", "b")
+            .build();
+        conformance::check(&model, &mm).unwrap();
+        let plan = FaultPlan::from_model(&model).unwrap();
+        assert_eq!(plan.len(), 8);
+        assert!(plan.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn events_sort_by_time_with_stable_ties() {
+        let model = FaultPlanBuilder::new("p")
+            .heal(SimTime::from_millis(20), "svc")
+            .crash(SimTime::from_millis(10), "svc")
+            .degrade(SimTime::from_millis(10), "svc", SimDuration::from_millis(1))
+            .build();
+        let plan = FaultPlan::from_model(&model).unwrap();
+        assert!(matches!(plan.events()[0].action, FaultAction::Crash { .. }));
+        assert!(matches!(
+            plan.events()[1].action,
+            FaultAction::Degrade { .. }
+        ));
+        assert!(matches!(plan.events()[2].action, FaultAction::Heal { .. }));
+    }
+
+    #[test]
+    fn link_event_without_peer_rejected() {
+        let mut model = FaultPlanBuilder::new("p").build();
+        let plan = model.all_of_class("FaultPlan")[0];
+        let e = model.create("FaultEvent");
+        model.set_attr(e, "atUs", Value::from(0));
+        model.set_attr(e, "kind", Value::enumeration("FaultKind", "LinkDown"));
+        model.set_attr(e, "target", Value::from("a"));
+        model.add_ref(plan, "events", e);
+        let err = FaultPlan::from_model(&model).unwrap_err();
+        assert!(matches!(err, FaultError::BadPlan(m) if m.contains("needs a peer")));
+    }
+
+    #[test]
+    fn driver_applies_due_events_in_order() {
+        let model = FaultPlanBuilder::new("p")
+            .crash(SimTime::from_millis(10), "svc")
+            .heal(SimTime::from_millis(30), "svc")
+            .build();
+        let mut driver = FaultDriver::from_model(&model).unwrap();
+        let mut hub = hub();
+        assert_eq!(
+            driver.advance_to(SimTime::from_millis(5), &mut hub, None),
+            0
+        );
+        assert!(hub.is_healthy("svc"));
+        assert_eq!(
+            driver.advance_to(SimTime::from_millis(10), &mut hub, None),
+            1
+        );
+        assert!(!hub.is_healthy("svc"));
+        assert_eq!(
+            driver.advance_to(SimTime::from_millis(100), &mut hub, None),
+            1
+        );
+        assert!(hub.is_healthy("svc"));
+        assert_eq!(driver.remaining(), 0);
+    }
+
+    #[test]
+    fn heal_clears_degradation() {
+        let model = FaultPlanBuilder::new("p")
+            .degrade(SimTime::from_millis(1), "svc", SimDuration::from_millis(40))
+            .heal(SimTime::from_millis(2), "svc")
+            .build();
+        let mut driver = FaultDriver::from_model(&model).unwrap();
+        let mut hub = hub();
+        driver.advance_to(SimTime::from_millis(1), &mut hub, None);
+        let (_, cost) = hub.invoke("svc", "op", &Args::new());
+        assert_eq!(cost, SimDuration::from_millis(42));
+        driver.advance_to(SimTime::from_millis(2), &mut hub, None);
+        let (_, cost) = hub.invoke("svc", "op", &Args::new());
+        assert_eq!(cost, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn network_events_apply_through_driver() {
+        let model = FaultPlanBuilder::new("p")
+            .link_down(SimTime::from_millis(10), "a", "b")
+            .link_up(SimTime::from_millis(20), "a", "b")
+            .build();
+        let mut driver = FaultDriver::from_model(&model).unwrap();
+        let mut hub = hub();
+        let net = Network::new(Link::default(), 1);
+        let mut sim = Simulator::new();
+        driver.advance_to(SimTime::from_millis(10), &mut hub, Some(&net));
+        assert_eq!(
+            net.send(&mut sim, "a", "b", |_| {}),
+            crate::net::SendOutcome::Dropped
+        );
+        driver.advance_to(SimTime::from_millis(20), &mut hub, Some(&net));
+        assert!(matches!(
+            net.send(&mut sim, "a", "b", |_| {}),
+            crate::net::SendOutcome::Scheduled(_)
+        ));
+    }
+
+    #[test]
+    fn scheduled_network_events_fire_on_the_simulator() {
+        let model = FaultPlanBuilder::new("p")
+            .link_down(SimTime::from_millis(10), "a", "b")
+            .crash(SimTime::from_millis(10), "svc") // resource event: not scheduled
+            .build();
+        let plan = FaultPlan::from_model(&model).unwrap();
+        let net = Network::new(Link::default(), 1);
+        let mut sim = Simulator::new();
+        assert_eq!(schedule_network_events(&mut sim, &plan, &net), 1);
+        sim.run();
+        let mut sim2 = Simulator::new();
+        assert_eq!(
+            net.send(&mut sim2, "a", "b", |_| {}),
+            crate::net::SendOutcome::Dropped
+        );
+    }
+
+    #[test]
+    fn random_campaigns_are_deterministic_and_conform() {
+        let cfg = CampaignConfig {
+            resources: vec!["svc".into(), "db".into()],
+            ..CampaignConfig::default()
+        };
+        let a = random_campaign("c", 99, &cfg);
+        let b = random_campaign("c", 99, &cfg);
+        assert_eq!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&b));
+        conformance::check(&a, &fault_metamodel()).unwrap();
+        let plan = FaultPlan::from_model(&a).unwrap();
+        assert!(!plan.is_empty(), "default config produces events");
+        assert_eq!(plan.seed, 99);
+        // Crashes and heals alternate per resource, all inside the horizon.
+        for e in plan.events() {
+            assert!(e.at.as_micros() < cfg.horizon.as_micros());
+        }
+        let c = random_campaign("c", 100, &cfg);
+        assert_ne!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&c));
+    }
+}

@@ -29,7 +29,10 @@ impl LatencyModel {
 
     /// Uniform latency between `lo_ms` and `hi_ms` milliseconds.
     pub const fn uniform_ms(lo_ms: u64, hi_ms: u64) -> Self {
-        LatencyModel::Uniform(SimDuration::from_millis(lo_ms), SimDuration::from_millis(hi_ms))
+        LatencyModel::Uniform(
+            SimDuration::from_millis(lo_ms),
+            SimDuration::from_millis(hi_ms),
+        )
     }
 
     /// Samples a latency.

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod latency;
 pub mod net;
 pub mod resource;
@@ -31,6 +32,7 @@ pub mod rng;
 pub mod time;
 
 pub use engine::Simulator;
+pub use fault::{FaultDriver, FaultPlan, FaultPlanBuilder};
 pub use latency::LatencyModel;
 pub use resource::{Invocation, Outcome, ResourceHub};
 pub use rng::SimRng;

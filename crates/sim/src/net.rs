@@ -25,7 +25,11 @@ pub struct Link {
 
 impl Default for Link {
     fn default() -> Self {
-        Link { latency: LatencyModel::fixed_ms(1), loss: 0.0, up: true }
+        Link {
+            latency: LatencyModel::fixed_ms(1),
+            loss: 0.0,
+            up: true,
+        }
     }
 }
 
@@ -80,7 +84,10 @@ impl Network {
 
     /// Configures the directed link `from -> to`.
     pub fn set_link(&self, from: &str, to: &str, link: Link) {
-        self.inner.borrow_mut().links.insert((from.into(), to.into()), link);
+        self.inner
+            .borrow_mut()
+            .links
+            .insert((from.into(), to.into()), link);
     }
 
     /// Brings a directed link up or down (creating it from the default if
@@ -88,9 +95,23 @@ impl Network {
     pub fn set_link_up(&self, from: &str, to: &str, up: bool) {
         let mut inner = self.inner.borrow_mut();
         let default = inner.default_link.clone();
-        let link =
-            inner.links.entry((from.into(), to.into())).or_insert_with(|| default);
+        let link = inner
+            .links
+            .entry((from.into(), to.into()))
+            .or_insert_with(|| default);
         link.up = up;
+    }
+
+    /// Sets the loss probability of the directed link `from -> to`
+    /// (creating it from the default if it was not configured).
+    pub fn set_link_loss(&self, from: &str, to: &str, loss: f64) {
+        let mut inner = self.inner.borrow_mut();
+        let default = inner.default_link.clone();
+        let link = inner
+            .links
+            .entry((from.into(), to.into()))
+            .or_insert_with(|| default);
+        link.loss = loss.clamp(0.0, 1.0);
     }
 
     /// Partitions `node` from every currently-configured peer, in both
@@ -169,7 +190,14 @@ mod tests {
     #[test]
     fn delivery_takes_link_latency() {
         let (mut sim, net) = setup();
-        net.set_link("a", "b", Link { latency: LatencyModel::fixed_ms(7), ..Link::default() });
+        net.set_link(
+            "a",
+            "b",
+            Link {
+                latency: LatencyModel::fixed_ms(7),
+                ..Link::default()
+            },
+        );
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
         let out = net.send(&mut sim, "a", "b", move |s| {
@@ -204,7 +232,14 @@ mod tests {
     #[test]
     fn lossy_link_drops_roughly_at_rate() {
         let (mut sim, net) = setup();
-        net.set_link("a", "b", Link { loss: 0.5, ..Link::default() });
+        net.set_link(
+            "a",
+            "b",
+            Link {
+                loss: 0.5,
+                ..Link::default()
+            },
+        );
         let mut dropped = 0;
         for _ in 0..1000 {
             if net.send(&mut sim, "a", "b", |_| {}) == SendOutcome::Dropped {
@@ -224,7 +259,10 @@ mod tests {
         assert_eq!(net.partition_node("a"), 3);
         assert_eq!(net.send(&mut sim, "a", "b", |_| {}), SendOutcome::Dropped);
         assert_eq!(net.heal_node("a"), 3);
-        assert!(matches!(net.send(&mut sim, "a", "b", |_| {}), SendOutcome::Scheduled(_)));
+        assert!(matches!(
+            net.send(&mut sim, "a", "b", |_| {}),
+            SendOutcome::Scheduled(_)
+        ));
         // Partitioning is idempotent.
         assert_eq!(net.heal_node("a"), 0);
     }

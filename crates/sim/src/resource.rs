@@ -109,7 +109,12 @@ pub struct ResourceHub {
 impl ResourceHub {
     /// Creates an empty hub with deterministic latency sampling.
     pub fn new(seed: u64) -> Self {
-        ResourceHub { entries: BTreeMap::new(), log: Vec::new(), rng: SimRng::seed_from_u64(seed), seq: 0 }
+        ResourceHub {
+            entries: BTreeMap::new(),
+            log: Vec::new(),
+            rng: SimRng::seed_from_u64(seed),
+            seq: 0,
+        }
     }
 
     /// Registers a resource with its per-invocation latency model and the
@@ -123,7 +128,13 @@ impl ResourceHub {
     ) {
         self.entries.insert(
             name.into(),
-            Entry { resource, latency, timeout, healthy: true, degradation: SimDuration::ZERO },
+            Entry {
+                resource,
+                latency,
+                timeout,
+                healthy: true,
+                degradation: SimDuration::ZERO,
+            },
         );
     }
 
@@ -134,7 +145,12 @@ impl ResourceHub {
         name: impl Into<String>,
         f: impl FnMut(&str, &Args) -> Outcome + Send + 'static,
     ) {
-        self.register(name, LatencyModel::zero(), SimDuration::from_millis(2_000), Box::new(f));
+        self.register(
+            name,
+            LatencyModel::zero(),
+            SimDuration::from_millis(2_000),
+            Box::new(f),
+        );
     }
 
     /// Names of registered resources, sorted.
@@ -197,7 +213,10 @@ impl ResourceHub {
                         args: args.clone(),
                         ok: false,
                     });
-                    return (Outcome::Failed(format!("resource `{name}` timed out")), e.timeout);
+                    return (
+                        Outcome::Failed(format!("resource `{name}` timed out")),
+                        e.timeout,
+                    );
                 }
                 let outcome = e.resource.invoke(op, args);
                 let cost = e.latency.sample(&mut self.rng) + e.degradation;
@@ -236,7 +255,10 @@ impl ResourceHub {
 
 /// Builds `Args` from `(&str, &str)` pairs.
 pub fn args(pairs: &[(&str, &str)]) -> Args {
-    pairs.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect()
+    pairs
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -332,7 +354,7 @@ mod tests {
         hub.invoke("svc", "bad", &Args::new());
         assert!(hub.log()[0].ok);
         assert!(!hub.log()[1].ok);
-        assert!(hub.set_healthy("missing", true) == false);
+        assert!(!hub.set_healthy("missing", true));
         assert!(!hub.degrade("missing", SimDuration::ZERO));
     }
 

@@ -1,17 +1,24 @@
-//! Property-based tests for the simulation substrate.
+//! Property-style tests for the simulation substrate.
+//!
+//! Cases are generated with the crate's own [`SimRng`] over a fixed set of
+//! seeds, so the suite is deterministic and needs no external
+//! property-testing dependency while still exercising randomized inputs.
 
 use mddsm_sim::{LatencyModel, SimDuration, SimRng, SimTime, Simulator};
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// The virtual clock never goes backwards, regardless of scheduling
-    /// order, and events run in nondecreasing time order.
-    #[test]
-    fn clock_is_monotone(delays in prop::collection::vec(0u64..10_000, 1..40)) {
+/// The virtual clock never goes backwards, regardless of scheduling order,
+/// and events run in nondecreasing time order.
+#[test]
+fn clock_is_monotone() {
+    for case in 0..CASES {
+        let mut gen = SimRng::seed_from_u64(0x51_0000 + case);
+        let n = gen.range(1, 40) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| gen.range(0, 10_000)).collect();
+
         let mut sim = Simulator::new();
         let times: Rc<RefCell<Vec<u64>>> = Rc::default();
         for d in delays {
@@ -22,62 +29,77 @@ proptest! {
         }
         sim.run();
         let times = times.borrow();
-        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
     }
+}
 
-    /// Same-instant events preserve scheduling (FIFO) order.
-    #[test]
-    fn same_instant_fifo(n in 1usize..30) {
+/// Same-instant events preserve scheduling (FIFO) order.
+#[test]
+fn same_instant_fifo() {
+    for n in 1usize..30 {
         let mut sim = Simulator::new();
         let order: Rc<RefCell<Vec<usize>>> = Rc::default();
         for i in 0..n {
             let o = order.clone();
-            sim.schedule(SimDuration::from_micros(100), move |_| o.borrow_mut().push(i));
+            sim.schedule(SimDuration::from_micros(100), move |_| {
+                o.borrow_mut().push(i)
+            });
         }
         sim.run();
         let order = order.borrow();
-        prop_assert!(order.windows(2).all(|w| w[0] < w[1]));
+        assert!(order.windows(2).all(|w| w[0] < w[1]));
     }
+}
 
-    /// run_until splits a run without changing the executed set.
-    #[test]
-    fn run_until_is_a_prefix(delays in prop::collection::vec(1u64..10_000, 1..30),
-                             cut in 1u64..10_000) {
-        let run_all = |delays: &[u64]| {
-            let mut sim = Simulator::new();
-            let hits: Rc<RefCell<Vec<u64>>> = Rc::default();
-            for d in delays {
-                let h = hits.clone();
-                let d = *d;
-                sim.schedule(SimDuration::from_micros(d), move |s| {
-                    h.borrow_mut().push(s.now().as_micros());
-                });
-            }
-            sim.run();
-            let out = hits.borrow().clone();
-            out
-        };
-        let split_run = |delays: &[u64], cut: u64| {
-            let mut sim = Simulator::new();
-            let hits: Rc<RefCell<Vec<u64>>> = Rc::default();
-            for d in delays {
-                let h = hits.clone();
-                let d = *d;
-                sim.schedule(SimDuration::from_micros(d), move |s| {
-                    h.borrow_mut().push(s.now().as_micros());
-                });
-            }
-            sim.run_until(SimTime::from_micros(cut));
-            sim.run();
-            let out = hits.borrow().clone();
-            out
-        };
-        prop_assert_eq!(run_all(&delays), split_run(&delays, cut));
+/// run_until splits a run without changing the executed set.
+#[test]
+fn run_until_is_a_prefix() {
+    let run_all = |delays: &[u64]| {
+        let mut sim = Simulator::new();
+        let hits: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for d in delays {
+            let h = hits.clone();
+            let d = *d;
+            sim.schedule(SimDuration::from_micros(d), move |s| {
+                h.borrow_mut().push(s.now().as_micros());
+            });
+        }
+        sim.run();
+        let out = hits.borrow().clone();
+        out
+    };
+    let split_run = |delays: &[u64], cut: u64| {
+        let mut sim = Simulator::new();
+        let hits: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for d in delays {
+            let h = hits.clone();
+            let d = *d;
+            sim.schedule(SimDuration::from_micros(d), move |s| {
+                h.borrow_mut().push(s.now().as_micros());
+            });
+        }
+        sim.run_until(SimTime::from_micros(cut));
+        sim.run();
+        let out = hits.borrow().clone();
+        out
+    };
+    for case in 0..CASES {
+        let mut gen = SimRng::seed_from_u64(0x52_0000 + case);
+        let n = gen.range(1, 30) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| gen.range(1, 10_000)).collect();
+        let cut = gen.range(1, 10_000);
+        assert_eq!(run_all(&delays), split_run(&delays, cut));
     }
+}
 
-    /// Latency samples stay within the declared bounds.
-    #[test]
-    fn uniform_latency_in_bounds(lo in 0u64..1_000, width in 0u64..1_000, seed: u64) {
+/// Latency samples stay within the declared bounds.
+#[test]
+fn uniform_latency_in_bounds() {
+    for case in 0..CASES {
+        let mut gen = SimRng::seed_from_u64(0x53_0000 + case);
+        let lo = gen.range(0, 1_000);
+        let width = gen.range(0, 1_000);
+        let seed = gen.next_u64();
         let model = LatencyModel::Uniform(
             SimDuration::from_micros(lo),
             SimDuration::from_micros(lo + width),
@@ -85,23 +107,29 @@ proptest! {
         let mut rng = SimRng::seed_from_u64(seed);
         for _ in 0..50 {
             let d = model.sample(&mut rng).as_micros();
-            prop_assert!((lo..=lo + width).contains(&d));
+            assert!((lo..=lo + width).contains(&d));
         }
     }
+}
 
-    /// Same seed, same trace — over any op sequence.
-    #[test]
-    fn rng_determinism(seed: u64, ops in prop::collection::vec(0u8..3, 0..50)) {
-        let run = |seed: u64, ops: &[u8]| -> Vec<u64> {
-            let mut rng = SimRng::seed_from_u64(seed);
-            ops.iter()
-                .map(|op| match op {
-                    0 => rng.range(0, 1_000),
-                    1 => (rng.unit() * 1e6) as u64,
-                    _ => u64::from(rng.chance(0.5)),
-                })
-                .collect()
-        };
-        prop_assert_eq!(run(seed, &ops), run(seed, &ops));
+/// Same seed, same trace — over any op sequence.
+#[test]
+fn rng_determinism() {
+    let run = |seed: u64, ops: &[u8]| -> Vec<u64> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        ops.iter()
+            .map(|op| match op {
+                0 => rng.range(0, 1_000),
+                1 => (rng.unit() * 1e6) as u64,
+                _ => u64::from(rng.chance(0.5)),
+            })
+            .collect()
+    };
+    for case in 0..CASES {
+        let mut gen = SimRng::seed_from_u64(0x54_0000 + case);
+        let seed = gen.next_u64();
+        let n = gen.range(0, 50) as usize;
+        let ops: Vec<u8> = (0..n).map(|_| gen.range(0, 3) as u8).collect();
+        assert_eq!(run(seed, &ops), run(seed, &ops));
     }
 }

@@ -11,7 +11,9 @@
 use crate::objects::{build_object_node, shared_devices, SharedDevices};
 use crate::twosml::{twosml_lts, twosml_metamodel, TWOSML};
 use mddsm_controller::ExecutionReport;
-use mddsm_core::{CoreError, DomainKnowledge, MdDsmPlatform, PlatformBuilder, PlatformModelBuilder};
+use mddsm_core::{
+    CoreError, DomainKnowledge, MdDsmPlatform, PlatformBuilder, PlatformModelBuilder,
+};
 use mddsm_meta::model::Model;
 use mddsm_sim::{SimDuration, SimRng};
 use mddsm_synthesis::{Command, ControlScript};
@@ -54,7 +56,10 @@ impl SmartSpaceDeployment {
             .iter()
             .enumerate()
             .map(|(i, n)| {
-                ((*n).to_owned(), build_object_node(n, seed.wrapping_add(i as u64), devices.clone()))
+                (
+                    (*n).to_owned(),
+                    build_object_node(n, seed.wrapping_add(i as u64), devices.clone()),
+                )
             })
             .collect();
         SmartSpaceDeployment {
@@ -103,7 +108,7 @@ impl SmartSpaceDeployment {
             self.dispatched_scripts += 1;
             self.virtual_network_us += self.dispatch_latency.as_micros();
             for (node_name, node) in self.nodes.iter_mut() {
-                if script_targets(&script).map_or(true, |t| t == *node_name) {
+                if script_targets(&script).is_none_or(|t| t == *node_name) {
                     node.install_script(script.clone());
                 }
             }
@@ -115,8 +120,7 @@ impl SmartSpaceDeployment {
     /// `object` argument (every node when absent or unknown).
     fn dispatch(&mut self, script: &ControlScript) -> mddsm_core::Result<ExecutionReport> {
         self.dispatched_scripts += 1;
-        self.virtual_network_us +=
-            self.dispatch_latency.as_micros() + self.rng.range(0, 2_000);
+        self.virtual_network_us += self.dispatch_latency.as_micros() + self.rng.range(0, 2_000);
         let mut report = ExecutionReport::default();
         for cmd in &script.commands {
             let target = cmd.arg("object").map(node_of);
@@ -124,7 +128,7 @@ impl SmartSpaceDeployment {
             // Route to the matching node, or broadcast.
             let names: Vec<String> = self.nodes.keys().cloned().collect();
             for name in names {
-                let matches = target.as_deref().map_or(true, |t| t == name);
+                let matches = target.as_deref().is_none_or(|t| t == name);
                 if matches {
                     let node = self.nodes.get_mut(&name).expect("node exists");
                     let single = ControlScript::immediate(vec![cmd.clone()]);
@@ -192,7 +196,11 @@ fn node_of(object: &str) -> String {
 }
 
 fn script_targets(script: &ControlScript) -> Option<String> {
-    script.commands.first().and_then(|c: &Command| c.arg("object")).map(node_of)
+    script
+        .commands
+        .first()
+        .and_then(|c: &Command| c.arg("object"))
+        .map(node_of)
 }
 
 #[cfg(test)]
@@ -239,7 +247,7 @@ mod tests {
         // The rule produced no immediate actuation...
         assert_eq!(d.devices().lock().unwrap()["node1:lamp"].state, "");
         assert_eq!(report.commands, 1); // only configureObject
-        // ...until the event arrives.
+                                        // ...until the event arrives.
         let report = d.notify_event("objectEntered", &[]).unwrap();
         assert_eq!(report.commands, 1);
         assert_eq!(d.devices().lock().unwrap()["node1:lamp"].state, "on");

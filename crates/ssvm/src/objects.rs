@@ -33,7 +33,10 @@ pub fn shared_devices() -> SharedDevices {
 }
 
 fn arg<'a>(args: &'a Args, key: &str) -> &'a str {
-    args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str()).unwrap_or("")
+    args.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("")
 }
 
 /// Registers the device bus resource on a hub.
@@ -77,9 +80,12 @@ pub fn register_devices(hub: &mut ResourceHub, devices: SharedDevices) {
 /// DSCs of the object-node controller.
 pub fn object_dscs() -> DscRegistry {
     let mut d = DscRegistry::new();
-    d.operation("ConfigureObject", None, "enroll a smart object").expect("unique DSC");
-    d.operation("Actuate", None, "apply an action to an object").expect("unique DSC");
-    d.operation("RemoveObject", None, "retire a smart object").expect("unique DSC");
+    d.operation("ConfigureObject", None, "enroll a smart object")
+        .expect("unique DSC");
+    d.operation("Actuate", None, "apply an action to an object")
+        .expect("unique DSC");
+    d.operation("RemoveObject", None, "retire a smart object")
+        .expect("unique DSC");
     d
 }
 
@@ -90,13 +96,17 @@ pub fn object_procedures() -> ProcedureRepository {
     let bus = |op: &str, args: &[(&str, Operand)]| Instr::BrokerCall {
         api: "object".into(),
         op: op.into(),
-        args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        args: args
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
     };
     r.add(Procedure {
         id: "configure".into(),
         classifier: "ConfigureObject".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
@@ -111,10 +121,14 @@ pub fn object_procedures() -> ProcedureRepository {
         classifier: "Actuate".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![
-                bus("actuate", &[("object", a("object")), ("action", a("action"))]),
+                bus(
+                    "actuate",
+                    &[("object", a("object")), ("action", a("action"))],
+                ),
                 Instr::Complete,
             ],
         )],
@@ -125,6 +139,7 @@ pub fn object_procedures() -> ProcedureRepository {
         classifier: "RemoveObject".into(),
         dependencies: vec![],
         meta: ProcMeta::default(),
+        on_error: None,
         eus: vec![ExecutionUnit::new(
             "main",
             vec![bus("remove", &[("object", a("object"))]), Instr::Complete],
@@ -138,11 +153,35 @@ pub fn object_procedures() -> ProcedureRepository {
 pub fn object_broker_model(name: &str) -> mddsm_meta::Model {
     BrokerModelBuilder::new(name)
         .call_handler("configure", "object.configure")
-        .action("configure", "configure", "bus", "configure", &["object=$object", "kind=$kind"], None, &[])
+        .action(
+            "configure",
+            "configure",
+            "bus",
+            "configure",
+            &["object=$object", "kind=$kind"],
+            None,
+            &[],
+        )
         .call_handler("actuate", "object.actuate")
-        .action("actuate", "actuate", "bus", "actuate", &["object=$object", "action=$action"], None, &["actuations=+1"])
+        .action(
+            "actuate",
+            "actuate",
+            "bus",
+            "actuate",
+            &["object=$object", "action=$action"],
+            None,
+            &["actuations=+1"],
+        )
         .call_handler("remove", "object.remove")
-        .action("remove", "remove", "bus", "remove", &["object=$object"], None, &[])
+        .action(
+            "remove",
+            "remove",
+            "bus",
+            "remove",
+            &["object=$object"],
+            None,
+            &[],
+        )
         .bind_resource("bus", "sim.object")
         .build()
 }
@@ -187,8 +226,12 @@ mod tests {
         let mut node = build_object_node("node1", 1, devices.clone());
         assert!(node.open_session().is_err());
         let script = ControlScript::immediate(vec![
-            Command::new("configureObject", "").with("object", "lamp1").with("kind", "Lamp"),
-            Command::new("actuate", "").with("object", "lamp1").with("action", "on"),
+            Command::new("configureObject", "")
+                .with("object", "lamp1")
+                .with("kind", "Lamp"),
+            Command::new("actuate", "")
+                .with("object", "lamp1")
+                .with("action", "on"),
         ]);
         let report = node.run_script(&script).unwrap();
         assert_eq!(report.commands, 2);
@@ -201,9 +244,9 @@ mod tests {
     fn actuating_unknown_object_exhausts_nonadaptively() {
         let devices = shared_devices();
         let mut node = build_object_node("node1", 1, devices);
-        let script = ControlScript::immediate(vec![
-            Command::new("actuate", "").with("object", "ghost").with("action", "on"),
-        ]);
+        let script = ControlScript::immediate(vec![Command::new("actuate", "")
+            .with("object", "ghost")
+            .with("action", "on")]);
         assert!(node.run_script(&script).is_err());
     }
 
@@ -211,13 +254,18 @@ mod tests {
     fn triggered_scripts_run_on_events() {
         let devices = shared_devices();
         let mut node = build_object_node("node1", 1, devices.clone());
-        node.run_script(&ControlScript::immediate(vec![Command::new("configureObject", "")
-            .with("object", "lamp1")
-            .with("kind", "Lamp")]))
+        node.run_script(&ControlScript::immediate(vec![Command::new(
+            "configureObject",
+            "",
+        )
+        .with("object", "lamp1")
+        .with("kind", "Lamp")]))
             .unwrap();
         node.install_script(ControlScript::triggered(
             mddsm_synthesis::script::EventTrigger::on("objectEntered"),
-            vec![Command::new("actuate", "").with("object", "lamp1").with("action", "on")],
+            vec![Command::new("actuate", "")
+                .with("object", "lamp1")
+                .with("action", "on")],
         ));
         let report = node.notify_event("objectEntered", &[]).unwrap();
         assert_eq!(report.commands, 1);

@@ -12,8 +12,14 @@ pub const TWOSML: &str = "2sml";
 /// automation rules binding events to object actions.
 pub fn twosml_metamodel() -> Metamodel {
     MetamodelBuilder::new(TWOSML)
-        .enumeration("ObjectKind", ["Lamp", "Door", "Thermostat", "Speaker", "Sensor"])
-        .enumeration("SpaceEvent", ["objectEntered", "objectLeft", "motionDetected"])
+        .enumeration(
+            "ObjectKind",
+            ["Lamp", "Door", "Thermostat", "Speaker", "Sensor"],
+        )
+        .enumeration(
+            "SpaceEvent",
+            ["objectEntered", "objectLeft", "motionDetected"],
+        )
         .class("SmartSpace", |c| {
             c.attr("name", DataType::Str)
                 .contains("users", "User", Multiplicity::MANY)
@@ -50,26 +56,39 @@ pub fn twosml_metamodel() -> Metamodel {
 /// attributes via `$attr_*` variables).
 pub fn twosml_lts() -> Lts {
     let mut b = LtsBuilder::new().state("running").initial("running");
-    b = b.transition("running", "running", ChangePattern::create("SmartObject"), |t| {
-        t.emit(
-            CommandTemplate::new("configureObject", "$key")
-                .with("object", "$attr_name")
-                .with("kind", "$attr_kind"),
-        )
-    });
-    b = b.transition("running", "running", ChangePattern::delete("SmartObject"), |t| {
-        t.emit(CommandTemplate::new("removeObject", "$key").with("object", "$id"))
-    });
+    b = b.transition(
+        "running",
+        "running",
+        ChangePattern::create("SmartObject"),
+        |t| {
+            t.emit(
+                CommandTemplate::new("configureObject", "$key")
+                    .with("object", "$attr_name")
+                    .with("kind", "$attr_kind"),
+            )
+        },
+    );
+    b = b.transition(
+        "running",
+        "running",
+        ChangePattern::delete("SmartObject"),
+        |t| t.emit(CommandTemplate::new("removeObject", "$key").with("object", "$id")),
+    );
     for event in ["objectEntered", "objectLeft", "motionDetected"] {
-        b = b.transition("running", "running", ChangePattern::create("AutomationRule"), |t| {
-            t.guard(&format!("self.onEvent = SpaceEvent::{event}"))
-                .install_on(event)
-                .emit(
-                    CommandTemplate::new("actuate", "$key")
-                        .with("object", "$attr_object")
-                        .with("action", "$attr_action"),
-                )
-        });
+        b = b.transition(
+            "running",
+            "running",
+            ChangePattern::create("AutomationRule"),
+            |t| {
+                t.guard(&format!("self.onEvent = SpaceEvent::{event}"))
+                    .install_on(event)
+                    .emit(
+                        CommandTemplate::new("actuate", "$key")
+                            .with("object", "$attr_object")
+                            .with("action", "$attr_action"),
+                    )
+            },
+        );
     }
     b.build().expect("2SML LTS is well-formed")
 }
@@ -91,7 +110,11 @@ mod tests {
         m.set_attr(lamp, "kind", Value::enumeration("ObjectKind", "Lamp"));
         let rule = m.create("AutomationRule");
         m.set_attr(rule, "name", Value::from("welcome"));
-        m.set_attr(rule, "onEvent", Value::enumeration("SpaceEvent", "objectEntered"));
+        m.set_attr(
+            rule,
+            "onEvent",
+            Value::enumeration("SpaceEvent", "objectEntered"),
+        );
         m.set_attr(rule, "object", Value::from("lamp1"));
         m.set_attr(rule, "action", Value::from("on"));
         m.add_ref(space, "objects", lamp);
@@ -112,7 +135,11 @@ mod tests {
         let mut new = Model::new(TWOSML);
         let rule = new.create("AutomationRule");
         new.set_attr(rule, "name", Value::from("welcome"));
-        new.set_attr(rule, "onEvent", Value::enumeration("SpaceEvent", "objectLeft"));
+        new.set_attr(
+            rule,
+            "onEvent",
+            Value::enumeration("SpaceEvent", "objectLeft"),
+        );
         new.set_attr(rule, "object", Value::from("lamp1"));
         new.set_attr(rule, "action", Value::from("off"));
         let changes = diff(&old, &new, &DiffOptions::default());
@@ -121,6 +148,9 @@ mod tests {
         assert_eq!(out.installed.len(), 1);
         let script = &out.installed[0];
         assert_eq!(script.trigger.as_ref().unwrap().topic, "objectLeft");
-        assert_eq!(script.render(), "actuate@AutomationRule[\"welcome\"](object=lamp1, action=off)");
+        assert_eq!(
+            script.render(),
+            "actuate@AutomationRule[\"welcome\"](object=lamp1, action=off)"
+        );
     }
 }

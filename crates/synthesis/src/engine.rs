@@ -74,7 +74,9 @@ impl SynthesisEngine {
         conformance::check(&new_model, &self.metamodel)
             .map_err(|e| SynthesisError::InvalidModel(e.to_string()))?;
         let changes = diff(&self.current, &new_model, &self.diff_opts);
-        let out = self.interpreter.interpret(&changes, &new_model, &self.metamodel)?;
+        let out = self
+            .interpreter
+            .interpret(&changes, &new_model, &self.metamodel)?;
         self.current = new_model;
         self.submissions += 1;
         Ok(out)
@@ -140,7 +142,10 @@ mod tests {
             })
             .build()
             .unwrap();
-        SynthesisEngine::new(mm(), ChangeInterpreter::new(lts, InterpreterConfig::default()))
+        SynthesisEngine::new(
+            mm(),
+            ChangeInterpreter::new(lts, InterpreterConfig::default()),
+        )
     }
 
     fn model_with_session() -> Model {

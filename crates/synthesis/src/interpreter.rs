@@ -166,9 +166,10 @@ impl ChangeInterpreter {
                     t.emit.iter().map(|tmpl| tmpl.instantiate(&vars)).collect();
                 match &t.install_on {
                     None => out.immediate.commands.extend(commands),
-                    Some(topic) => out
-                        .installed
-                        .push(ControlScript::triggered(EventTrigger::on(topic.clone()), commands)),
+                    Some(topic) => out.installed.push(ControlScript::triggered(
+                        EventTrigger::on(topic.clone()),
+                        commands,
+                    )),
                 }
                 self.state = t.to;
                 taken = true;
@@ -237,14 +238,24 @@ fn change_vars(change: &Change) -> BTreeMap<String, String> {
             }
             vars.insert(
                 "values".into(),
-                values.iter().map(render_value).collect::<Vec<_>>().join(","),
+                values
+                    .iter()
+                    .map(render_value)
+                    .collect::<Vec<_>>()
+                    .join(","),
             );
         }
-        Change::SetRefs { reference, targets, .. } => {
+        Change::SetRefs {
+            reference, targets, ..
+        } => {
             vars.insert("slot".into(), reference.clone());
             vars.insert(
                 "targets".into(),
-                targets.iter().map(|t| t.key.trim_matches('"').to_owned()).collect::<Vec<_>>().join(","),
+                targets
+                    .iter()
+                    .map(|t| t.key.trim_matches('"').to_owned())
+                    .collect::<Vec<_>>()
+                    .join(","),
             );
         }
         _ => {}
@@ -276,7 +287,9 @@ mod tests {
                     .opt_attr("kind", DataType::Str)
                     .reference("parties", "Party", Multiplicity::MANY)
             })
-            .class("Party", |c| c.attr("name", DataType::Str).opt_attr("bw", DataType::Int))
+            .class("Party", |c| {
+                c.attr("name", DataType::Str).opt_attr("bw", DataType::Int)
+            })
             .build()
             .unwrap()
     }
@@ -349,8 +362,13 @@ mod tests {
         assert!(out.immediate.is_empty(), "{}", out.immediate.render());
         // With bw>0 the guard passes.
         let out = run(100);
-        assert!(out.immediate.render().contains("addParty@Party[\"ana\"](id=ana)"),
-            "{}", out.immediate.render());
+        assert!(
+            out.immediate
+                .render()
+                .contains("addParty@Party[\"ana\"](id=ana)"),
+            "{}",
+            out.immediate.render()
+        );
     }
 
     #[test]
@@ -371,7 +389,9 @@ mod tests {
         // Error.
         let mut interp = ChangeInterpreter::new(
             lts(),
-            InterpreterConfig { unmatched: UnmatchedPolicy::Error },
+            InterpreterConfig {
+                unmatched: UnmatchedPolicy::Error,
+            },
         );
         assert!(matches!(
             interp.interpret(&changes, &new, &mm),
@@ -381,7 +401,9 @@ mod tests {
         // Passthrough.
         let mut interp = ChangeInterpreter::new(
             lts(),
-            InterpreterConfig { unmatched: UnmatchedPolicy::Passthrough },
+            InterpreterConfig {
+                unmatched: UnmatchedPolicy::Passthrough,
+            },
         );
         let out = interp.interpret(&changes, &new, &mm).unwrap();
         assert_eq!(out.immediate.len(), 1);

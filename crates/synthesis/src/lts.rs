@@ -176,7 +176,11 @@ pub struct CommandTemplate {
 impl CommandTemplate {
     /// Creates a template with no arguments.
     pub fn new(name: impl Into<String>, target: impl Into<String>) -> Self {
-        CommandTemplate { name: name.into(), target: target.into(), args: Vec::new() }
+        CommandTemplate {
+            name: name.into(),
+            target: target.into(),
+            args: Vec::new(),
+        }
     }
 
     /// Builder-style argument.
@@ -190,7 +194,11 @@ impl CommandTemplate {
         crate::script::Command {
             name: subst(&self.name, vars),
             target: subst(&self.target, vars),
-            args: self.args.iter().map(|(k, v)| (k.clone(), subst(v, vars))).collect(),
+            args: self
+                .args
+                .iter()
+                .map(|(k, v)| (k.clone(), subst(v, vars)))
+                .collect(),
         }
     }
 }
@@ -436,7 +444,11 @@ impl LtsBuilder {
                 install_on: p.install_on,
             });
         }
-        Ok(Lts { states: self.states, initial, transitions })
+        Ok(Lts {
+            states: self.states,
+            initial,
+            transitions,
+        })
     }
 }
 
@@ -446,23 +458,37 @@ mod tests {
     use mddsm_meta::diff::ObjectKey;
 
     fn key(class: &str, k: &str) -> ObjectKey {
-        ObjectKey { class: class.into(), key: k.into() }
+        ObjectKey {
+            class: class.into(),
+            key: k.into(),
+        }
     }
 
     #[test]
     fn pattern_matching() {
-        let create = Change::Create { key: key("Session", "\"s\"") };
-        let set = Change::SetAttr { key: key("Session", "\"s\""), attr: "kind".into(), values: vec![] };
+        let create = Change::Create {
+            key: key("Session", "\"s\""),
+        };
+        let set = Change::SetAttr {
+            key: key("Session", "\"s\""),
+            attr: "kind".into(),
+            values: vec![],
+        };
         assert!(ChangePattern::any().matches(&create));
         assert!(ChangePattern::create("Session").matches(&create));
         assert!(!ChangePattern::create("Party").matches(&create));
         assert!(!ChangePattern::create("Session").matches(&set));
         assert!(ChangePattern::set_attr("Session", "kind").matches(&set));
         assert!(!ChangePattern::set_attr("Session", "name").matches(&set));
-        let refs =
-            Change::SetRefs { key: key("Session", "\"s\""), reference: "parties".into(), targets: vec![] };
+        let refs = Change::SetRefs {
+            key: key("Session", "\"s\""),
+            reference: "parties".into(),
+            targets: vec![],
+        };
         assert!(ChangePattern::set_refs("Session", "parties").matches(&refs));
-        assert!(ChangePattern::delete("Session").matches(&Change::Delete { key: key("Session", "\"s\"") }));
+        assert!(ChangePattern::delete("Session").matches(&Change::Delete {
+            key: key("Session", "\"s\"")
+        }));
     }
 
     #[test]
@@ -479,9 +505,17 @@ mod tests {
 
     #[test]
     fn builder_validates() {
-        assert!(matches!(LtsBuilder::new().build(), Err(SynthesisError::IllFormedLts(_))));
+        assert!(matches!(
+            LtsBuilder::new().build(),
+            Err(SynthesisError::IllFormedLts(_))
+        ));
         assert!(LtsBuilder::new().state("a").build().is_err()); // no initial
-        assert!(LtsBuilder::new().state("a").state("a").initial("a").build().is_err());
+        assert!(LtsBuilder::new()
+            .state("a")
+            .state("a")
+            .initial("a")
+            .build()
+            .is_err());
         assert!(LtsBuilder::new().state("a").initial("b").build().is_err());
         let r = LtsBuilder::new()
             .state("a")

@@ -20,7 +20,11 @@ pub struct Command {
 impl Command {
     /// Creates a command with no arguments.
     pub fn new(name: impl Into<String>, target: impl Into<String>) -> Self {
-        Command { name: name.into(), target: target.into(), args: Vec::new() }
+        Command {
+            name: name.into(),
+            target: target.into(),
+            args: Vec::new(),
+        }
     }
 
     /// Builder-style argument insertion.
@@ -31,7 +35,10 @@ impl Command {
 
     /// Looks up an argument value.
     pub fn arg(&self, key: &str) -> Option<&str> {
-        self.args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.args
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -59,7 +66,10 @@ pub struct EventTrigger {
 impl EventTrigger {
     /// Creates a trigger on a topic with no payload conditions.
     pub fn on(topic: impl Into<String>) -> Self {
-        EventTrigger { topic: topic.into(), conditions: Vec::new() }
+        EventTrigger {
+            topic: topic.into(),
+            conditions: Vec::new(),
+        }
     }
 
     /// Builder-style payload condition.
@@ -92,12 +102,18 @@ pub struct ControlScript {
 impl ControlScript {
     /// An immediate (untriggered) script.
     pub fn immediate(commands: Vec<Command>) -> Self {
-        ControlScript { commands, trigger: None }
+        ControlScript {
+            commands,
+            trigger: None,
+        }
     }
 
     /// A script installed to run on matching events.
     pub fn triggered(trigger: EventTrigger, commands: Vec<Command>) -> Self {
-        ControlScript { commands, trigger: Some(trigger) }
+        ControlScript {
+            commands,
+            trigger: Some(trigger),
+        }
     }
 
     /// Returns `true` when the script has no commands.
@@ -112,7 +128,11 @@ impl ControlScript {
 
     /// Canonical rendering, one command per line.
     pub fn render(&self) -> String {
-        self.commands.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        self.commands
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -133,7 +153,10 @@ mod tests {
     #[test]
     fn trigger_matching() {
         let t = EventTrigger::on("objectEntered").when("kind", "lamp");
-        let payload = vec![("kind".to_string(), "lamp".to_string()), ("id".into(), "7".into())];
+        let payload = vec![
+            ("kind".to_string(), "lamp".to_string()),
+            ("id".into(), "7".into()),
+        ];
         assert!(t.matches("objectEntered", &payload));
         assert!(!t.matches("objectLeft", &payload));
         let wrong = vec![("kind".to_string(), "door".to_string())];

@@ -30,7 +30,9 @@ impl DsmlEnvironment {
 
     /// Resolves a DSML metamodel.
     pub fn metamodel(&self, dsml: &str) -> Result<Arc<Metamodel>> {
-        self.registry.get(dsml).ok_or_else(|| UiError::UnknownDsml(dsml.to_owned()))
+        self.registry
+            .get(dsml)
+            .ok_or_else(|| UiError::UnknownDsml(dsml.to_owned()))
     }
 
     /// Opens an editing session on a fresh, empty model of the DSML.
@@ -71,7 +73,9 @@ mod tests {
     fn open_from_text() {
         let mut env = DsmlEnvironment::new();
         env.register(mm());
-        let s = env.open_text("model m conformsTo toy { Thing t { name = \"x\" } }").unwrap();
+        let s = env
+            .open_text("model m conformsTo toy { Thing t { name = \"x\" } }")
+            .unwrap();
         assert_eq!(s.model().len(), 1);
         // Unknown DSML in the text.
         assert!(env.open_text("model m conformsTo other { }").is_err());

@@ -48,7 +48,11 @@ impl std::fmt::Display for UiError {
         match self {
             UiError::UnknownDsml(d) => write!(f, "unknown DSML `{d}`"),
             UiError::BadEdit(m) => write!(f, "bad edit: {m}"),
-            UiError::BadValue { slot, text, expected } => {
+            UiError::BadValue {
+                slot,
+                text,
+                expected,
+            } => {
                 write!(f, "cannot read `{text}` as {expected} for slot `{slot}`")
             }
             UiError::InvalidModel(v) => {

@@ -42,12 +42,20 @@ impl EditingSession {
     /// Starts with an empty model.
     pub fn new(metamodel: Arc<Metamodel>) -> Self {
         let model = Model::new(metamodel.name());
-        EditingSession { metamodel, model, undo: Vec::new() }
+        EditingSession {
+            metamodel,
+            model,
+            undo: Vec::new(),
+        }
     }
 
     /// Starts from an existing model.
     pub fn from_model(metamodel: Arc<Metamodel>, model: Model) -> Self {
-        EditingSession { metamodel, model, undo: Vec::new() }
+        EditingSession {
+            metamodel,
+            model,
+            undo: Vec::new(),
+        }
     }
 
     /// The current model.
@@ -97,18 +105,20 @@ impl EditingSession {
     /// Deletes an element (cleaning references, cascading containment).
     pub fn delete(&mut self, id: ObjectId) -> Result<()> {
         self.checkpoint();
-        self.model.destroy(id, Some(&self.metamodel)).map_err(|e| UiError::BadEdit(e.to_string()))
+        self.model
+            .destroy(id, Some(&self.metamodel))
+            .map_err(|e| UiError::BadEdit(e.to_string()))
     }
 
     /// Sets an attribute from text, converting to the declared type.
     pub fn set(&mut self, id: ObjectId, slot: &str, text: &str) -> Result<()> {
-        let obj = self.model.object(id).map_err(|e| UiError::BadEdit(e.to_string()))?;
-        let attr = self
-            .metamodel
-            .attribute(&obj.class, slot)
-            .ok_or_else(|| {
-                UiError::BadEdit(format!("class `{}` has no attribute `{slot}`", obj.class))
-            })?;
+        let obj = self
+            .model
+            .object(id)
+            .map_err(|e| UiError::BadEdit(e.to_string()))?;
+        let attr = self.metamodel.attribute(&obj.class, slot).ok_or_else(|| {
+            UiError::BadEdit(format!("class `{}` has no attribute `{slot}`", obj.class))
+        })?;
         let value = convert(text, &attr.ty, slot)?;
         self.checkpoint();
         self.model.set_attr(id, slot, value);
@@ -125,14 +135,17 @@ impl EditingSession {
     /// Adds a reference target; the slot must be declared and the target
     /// class-compatible.
     pub fn link(&mut self, from: ObjectId, slot: &str, to: ObjectId) -> Result<()> {
-        let obj = self.model.object(from).map_err(|e| UiError::BadEdit(e.to_string()))?;
-        let r = self
-            .metamodel
-            .reference(&obj.class, slot)
-            .ok_or_else(|| {
-                UiError::BadEdit(format!("class `{}` has no reference `{slot}`", obj.class))
-            })?;
-        let target = self.model.object(to).map_err(|e| UiError::BadEdit(e.to_string()))?;
+        let obj = self
+            .model
+            .object(from)
+            .map_err(|e| UiError::BadEdit(e.to_string()))?;
+        let r = self.metamodel.reference(&obj.class, slot).ok_or_else(|| {
+            UiError::BadEdit(format!("class `{}` has no reference `{slot}`", obj.class))
+        })?;
+        let target = self
+            .model
+            .object(to)
+            .map_err(|e| UiError::BadEdit(e.to_string()))?;
         if !self.metamodel.is_subclass_of(&target.class, &r.target) {
             return Err(UiError::BadEdit(format!(
                 "reference `{slot}` expects `{}`, got `{}`",
@@ -168,7 +181,10 @@ impl EditingSession {
     pub fn validate(&self) -> Vec<Diagnostic> {
         conformance::violations(&self.model, &self.metamodel)
             .into_iter()
-            .map(|message| Diagnostic { severity: Severity::Error, message })
+            .map(|message| Diagnostic {
+                severity: Severity::Error,
+                message,
+            })
             .collect()
     }
 
@@ -230,7 +246,8 @@ mod tests {
                         .opt_attr("color", DataType::Enum("Color".into()))
                 })
                 .class("Bag", |c| {
-                    c.attr("name", DataType::Str).contains("things", "Thing", Multiplicity::MANY)
+                    c.attr("name", DataType::Str)
+                        .contains("things", "Thing", Multiplicity::MANY)
                 })
                 .build()
                 .unwrap(),
@@ -259,8 +276,14 @@ mod tests {
     fn conversion_failures_are_typed() {
         let mut s = session();
         let t = s.create("Thing").unwrap();
-        assert!(matches!(s.set(t, "size", "many"), Err(UiError::BadValue { .. })));
-        assert!(matches!(s.set(t, "on", "yes"), Err(UiError::BadValue { .. })));
+        assert!(matches!(
+            s.set(t, "size", "many"),
+            Err(UiError::BadValue { .. })
+        ));
+        assert!(matches!(
+            s.set(t, "on", "yes"),
+            Err(UiError::BadValue { .. })
+        ));
         assert!(matches!(s.set(t, "bogus", "1"), Err(UiError::BadEdit(_))));
         // Bad enum literal converts but fails validation.
         s.set(t, "name", "x").unwrap();

@@ -13,7 +13,11 @@ use mddsm::cvm;
 
 fn main() {
     let mut platform = cvm::build_cvm(7, 1_000);
-    println!("platform `{}` (domain `{}`)\n", platform.name(), platform.domain());
+    println!(
+        "platform `{}` (domain `{}`)\n",
+        platform.name(),
+        platform.domain()
+    );
 
     let mut session = platform.open_session().expect("CVM has a UI layer");
 
@@ -59,7 +63,11 @@ fn main() {
     println!("   case1 executions: {}", report.execution.case1);
 
     println!("\n4) media engine fails; the Controller adapts to the relay:");
-    platform.broker_mut().unwrap().hub_mut().set_healthy("sim.media", false);
+    platform
+        .broker_mut()
+        .unwrap()
+        .hub_mut()
+        .set_healthy("sim.media", false);
     let video = session.create("Medium").unwrap();
     session.set(video, "name", "screen").unwrap();
     session.set(video, "kind", "Video").unwrap();

@@ -7,8 +7,8 @@
 //! cargo run --example crowdsensing_queries
 //! ```
 
-use mddsm::csvm::fleet::shared_fleet;
 use mddsm::csvm::build_csvm;
+use mddsm::csvm::fleet::shared_fleet;
 
 fn main() {
     let fleet = shared_fleet(40, &["downtown", "harbor", "park"], 2024);
@@ -40,7 +40,10 @@ fn main() {
         let mut fleet = fleet.lock().unwrap();
         fleet.move_device("phone1", "downtown");
         fleet.move_device("phone2", "downtown");
-        println!("   devices now in downtown: {}", fleet.devices_in("downtown"));
+        println!(
+            "   devices now in downtown: {}",
+            fleet.devices_in("downtown")
+        );
     }
 
     println!("\n4) stopping the query by deleting it from the model:");

@@ -17,7 +17,15 @@ fn main() {
     // rule: too many pings trip a cool-down.
     let model = BrokerModelBuilder::new("pingBroker")
         .call_handler("ping", "ping")
-        .action("ping", "pong", "svc", "ping", &["from=$from"], None, &["pings=+1"])
+        .action(
+            "ping",
+            "pong",
+            "svc",
+            "ping",
+            &["from=$from"],
+            None,
+            &["pings=+1"],
+        )
         .autonomic_rule(
             "overheated",
             "self.pings <> null and self.pings > 2",
@@ -27,7 +35,11 @@ fn main() {
 
     let mut hub = ResourceHub::new(1);
     hub.register_fn("svc", |_, args| {
-        let from = args.iter().find(|(k, _)| k == "from").map(|(_, v)| v.as_str()).unwrap_or("?");
+        let from = args
+            .iter()
+            .find(|(k, _)| k == "from")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("?");
         println!("   [svc] ping from {from}");
         Outcome::ok()
     });
@@ -42,14 +54,26 @@ fn main() {
     println!("driving the broker through the message bus:");
     for who in ["ana", "bob", "carol"] {
         container
-            .dispatch(Message::new("broker.call").with("op", "ping").with("from", who))
+            .dispatch(
+                Message::new("broker.call")
+                    .with("op", "ping")
+                    .with("from", who),
+            )
             .expect("dispatch succeeds");
     }
-    println!("   pings counted by the state manager: {:?}", broker.lock().unwrap().state().int("pings"));
+    println!(
+        "   pings counted by the state manager: {:?}",
+        broker.lock().unwrap().state().int("pings")
+    );
 
     println!("\nautonomic tick (MAPE-K over the model-defined rule):");
-    container.dispatch(Message::new("broker.tick")).expect("tick succeeds");
-    println!("   pings after cool-down: {:?}", broker.lock().unwrap().state().int("pings"));
+    container
+        .dispatch(Message::new("broker.tick"))
+        .expect("tick succeeds");
+    println!(
+        "   pings after cool-down: {:?}",
+        broker.lock().unwrap().state().int("pings")
+    );
 
     println!("\nreflective state change through the state-manager component:");
     container

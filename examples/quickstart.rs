@@ -49,8 +49,10 @@ fn main() {
 
     // 2b. Controller knowledge: one DSC, one procedure per operation.
     let mut dscs = DscRegistry::new();
-    dscs.operation("Water", None, "open a zone's valve for a while").unwrap();
-    dscs.operation("Stop", None, "close a zone's valve").unwrap();
+    dscs.operation("Water", None, "open a zone's valve for a while")
+        .unwrap();
+    dscs.operation("Stop", None, "close a zone's valve")
+        .unwrap();
     let mut procedures = ProcedureRepository::new();
     procedures
         .add(Procedure::simple(
@@ -90,7 +92,10 @@ fn main() {
         dscs,
         procedures,
         actions: ActionRegistry::new(),
-        command_map: vec![("water".into(), "Water".into()), ("stop".into(), "Stop".into())],
+        command_map: vec![
+            ("water".into(), "Water".into()),
+            ("stop".into(), "Stop".into()),
+        ],
         event_commands: vec![],
     };
 
@@ -103,15 +108,35 @@ fn main() {
         .build();
     let broker_model = BrokerModelBuilder::new("valveBroker")
         .call_handler("open", "valves.open")
-        .action("open", "open", "sim.valves", "open", &["zone=$zone", "minutes=$minutes"], None, &["watering=+1"])
+        .action(
+            "open",
+            "open",
+            "sim.valves",
+            "open",
+            &["zone=$zone", "minutes=$minutes"],
+            None,
+            &["watering=+1"],
+        )
         .call_handler("close", "valves.close")
-        .action("close", "close", "sim.valves", "close", &["zone=$zone"], None, &["watering=-1"])
+        .action(
+            "close",
+            "close",
+            "sim.valves",
+            "close",
+            &["zone=$zone"],
+            None,
+            &["watering=-1"],
+        )
         .build();
 
     // The simulated valve controller.
     let mut hub = ResourceHub::new(42);
     hub.register_fn("sim.valves", |op, args| {
-        let zone = args.iter().find(|(k, _)| k == "zone").map(|(_, v)| v.as_str()).unwrap_or("?");
+        let zone = args
+            .iter()
+            .find(|(k, _)| k == "zone")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("?");
         println!("   [valves] {op} zone={zone}");
         Outcome::ok()
     });
@@ -123,7 +148,11 @@ fn main() {
         .resources(hub)
         .build()
         .expect("platform assembles");
-    println!("generated platform `{}` for domain `{}`", platform.name(), platform.domain());
+    println!(
+        "generated platform `{}` for domain `{}`",
+        platform.name(),
+        platform.domain()
+    );
 
     let mut session = platform.open_session().expect("UI layer present");
     let lawn = session.create("Zone").unwrap();

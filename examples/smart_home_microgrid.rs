@@ -7,13 +7,17 @@
 //! cargo run --example smart_home_microgrid
 //! ```
 
-use mddsm::mgridvm::plant::shared_plant;
 use mddsm::mgridvm::build_mgridvm;
+use mddsm::mgridvm::plant::shared_plant;
 
 fn main() {
     let plant = shared_plant();
     let mut platform = build_mgridvm(11, plant.clone());
-    println!("platform `{}` (domain `{}`)\n", platform.name(), platform.domain());
+    println!(
+        "platform `{}` (domain `{}`)\n",
+        platform.name(),
+        platform.domain()
+    );
 
     let mut session = platform.open_session().expect("MGridVM has a UI layer");
 
@@ -41,7 +45,10 @@ fn main() {
     );
     {
         let plant = plant.lock().unwrap();
-        println!("   plant now tracks {} dispatch round(s)", plant.dispatches());
+        println!(
+            "   plant now tracks {} dispatch round(s)",
+            plant.dispatches()
+        );
     }
 
     println!("\n2) evening: demand spikes (hvac 3 -> 6 kW); deferrable load is shed");

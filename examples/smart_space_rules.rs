@@ -37,11 +37,17 @@ fn main() {
     session.set(rule, "action", "on").unwrap();
     space.submit_model(session.submit().unwrap()).unwrap();
     println!("   rule installed (not executed yet)");
-    println!("   hall lamp state: {:?}", space.devices().lock().unwrap()["hall:lamp"].state);
+    println!(
+        "   hall lamp state: {:?}",
+        space.devices().lock().unwrap()["hall:lamp"].state
+    );
 
     println!("\n3) the event arrives — the installed script fires on the object node:");
     space.notify_event("objectEntered", &[]).unwrap();
-    println!("   hall lamp state: {:?}", space.devices().lock().unwrap()["hall:lamp"].state);
+    println!(
+        "   hall lamp state: {:?}",
+        space.devices().lock().unwrap()["hall:lamp"].state
+    );
 
     println!("\nper-node command traces:");
     for node in ["hall", "office"] {

@@ -41,8 +41,8 @@
 
 #![warn(missing_docs)]
 
-pub use cvm;
 pub use csvm;
+pub use cvm;
 pub use mddsm_broker as broker;
 pub use mddsm_controller as controller;
 pub use mddsm_core as core;

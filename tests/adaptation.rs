@@ -8,7 +8,10 @@ use mddsm::runtime::RuntimeModel;
 #[test]
 fn controller_adapts_around_failed_procedures() {
     let mut p = mddsm::cvm::build_cvm(8, 50);
-    p.broker_mut().unwrap().hub_mut().set_healthy("sim.media", false);
+    p.broker_mut()
+        .unwrap()
+        .hub_mut()
+        .set_healthy("sim.media", false);
     let report = p
         .submit_text(
             r#"model m conformsTo cml {
@@ -23,13 +26,19 @@ fn controller_adapts_around_failed_procedures() {
     // The failed procedure is excluded from the context.
     assert!(p.controller().unwrap().context().is_failed("mediaDirect"));
     // The relay served the session instead.
-    assert!(p.command_trace().iter().any(|t| t.starts_with("sim.relay.open")));
+    assert!(p
+        .command_trace()
+        .iter()
+        .any(|t| t.starts_with("sim.relay.open")));
 }
 
 #[test]
 fn autonomic_loop_heals_the_broker_and_controller_recovers() {
     let mut p = mddsm::cvm::build_cvm(8, 50);
-    p.broker_mut().unwrap().hub_mut().set_healthy("sim.media", false);
+    p.broker_mut()
+        .unwrap()
+        .hub_mut()
+        .set_healthy("sim.media", false);
     p.submit_text(
         r#"model m conformsTo cml {
             Person a { name = "ana" userId = "a@x" }
@@ -76,7 +85,9 @@ fn classification_policy_changes_take_immediate_effect() {
 
     // ...until we reflectively flip the policy to always-dynamic (the
     // models@runtime knob of Fig. 8): the next identical edit takes Case 2.
-    p.controller_mut().unwrap().set_classification_policy(ClassificationPolicy::always_dynamic());
+    p.controller_mut()
+        .unwrap()
+        .set_classification_policy(ClassificationPolicy::always_dynamic());
     session.set(v, "codec", "av1").unwrap();
     let r = p.submit_model(session.submit().unwrap()).unwrap();
     assert_eq!(r.execution.case1, 0);
@@ -105,7 +116,10 @@ fn low_memory_context_prefers_dynamic_generation() {
     .unwrap();
     // The Fig. 8 memory rationale: under memory pressure, prefer dynamic
     // IM generation over stored predefined actions.
-    p.controller_mut().unwrap().context_mut().set("memory", "low");
+    p.controller_mut()
+        .unwrap()
+        .context_mut()
+        .set("memory", "low");
     let r = p
         .submit_text(
             r#"model m conformsTo cml {
@@ -144,8 +158,14 @@ fn runtime_model_updates_notify_watchers_immediately() {
 fn engine_exhausts_when_no_alternative_exists() {
     let mut p = mddsm::cvm::build_cvm(8, 50);
     // Take down both media paths: no adaptation can succeed.
-    p.broker_mut().unwrap().hub_mut().set_healthy("sim.media", false);
-    p.broker_mut().unwrap().hub_mut().set_healthy("sim.relay", false);
+    p.broker_mut()
+        .unwrap()
+        .hub_mut()
+        .set_healthy("sim.media", false);
+    p.broker_mut()
+        .unwrap()
+        .hub_mut()
+        .set_healthy("sim.relay", false);
     let r = p.submit_text(
         r#"model m conformsTo cml {
             Person a { name = "ana" userId = "a@x" }
@@ -154,5 +174,8 @@ fn engine_exhausts_when_no_alternative_exists() {
             Connection c { name = "call" parties -> [a, b] media -> [v] }
         }"#,
     );
-    assert!(r.is_err(), "with every media path down, establishment must fail loudly");
+    assert!(
+        r.is_err(),
+        "with every media path down, establishment must fail loudly"
+    );
 }

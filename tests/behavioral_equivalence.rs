@@ -36,8 +36,18 @@ fn bookkeeping_state_matches_too() {
         run_scenario(&mut handcrafted, &scenario);
         let mb_sessions = model_based.broker().state().int("sessions").unwrap_or(0);
         let mb_streams = model_based.broker().state().int("streams").unwrap_or(0);
-        assert_eq!(mb_sessions, handcrafted.sessions(), "{}: sessions", scenario.name);
-        assert_eq!(mb_streams, handcrafted.streams(), "{}: streams", scenario.name);
+        assert_eq!(
+            mb_sessions,
+            handcrafted.sessions(),
+            "{}: sessions",
+            scenario.name
+        );
+        assert_eq!(
+            mb_streams,
+            handcrafted.streams(),
+            "{}: streams",
+            scenario.name
+        );
     }
 }
 
@@ -46,7 +56,10 @@ fn scenario_seven_exercises_failure_and_recovery() {
     // The recovery scenario must actually fail once, fall back to the
     // relay, and return to the direct engine after recovery — on both
     // implementations.
-    let scenario = all_scenarios().into_iter().find(|s| s.name.starts_with("S7")).unwrap();
+    let scenario = all_scenarios()
+        .into_iter()
+        .find(|s| s.name.starts_with("S7"))
+        .unwrap();
     for make in [true, false] {
         let trace = if make {
             let mut ncb = ModelBasedNcb::new(4, 100);
@@ -57,8 +70,14 @@ fn scenario_seven_exercises_failure_and_recovery() {
             run_scenario(&mut ncb, &scenario);
             ncb.trace()
         };
-        let relays = trace.iter().filter(|t| t.starts_with("sim.relay.open")).count();
-        let opens = trace.iter().filter(|t| t.starts_with("sim.media.open")).count();
+        let relays = trace
+            .iter()
+            .filter(|t| t.starts_with("sim.relay.open"))
+            .count();
+        let opens = trace
+            .iter()
+            .filter(|t| t.starts_with("sim.media.open"))
+            .count();
         assert_eq!(relays, 2, "one failover + one relay-mode open: {trace:?}");
         assert_eq!(opens, 2, "one failed + one recovered open: {trace:?}");
     }

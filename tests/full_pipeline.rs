@@ -58,7 +58,9 @@ fn csvm_full_pipeline() {
 #[test]
 fn one_controller_engine_two_domains() {
     // A port that accepts anything and records the APIs touched.
-    fn ok_port(seen: std::rc::Rc<std::cell::RefCell<Vec<String>>>) -> impl FnMut(&str, &str, &[(String, String)]) -> PortResponse {
+    fn ok_port(
+        seen: std::rc::Rc<std::cell::RefCell<Vec<String>>>,
+    ) -> impl FnMut(&str, &str, &[(String, String)]) -> PortResponse {
         move |api: &str, op: &str, _args: &[(String, String)]| {
             seen.borrow_mut().push(format!("{api}.{op}"));
             let mut r = PortResponse::ok();
@@ -89,7 +91,9 @@ fn one_controller_engine_two_domains() {
     let mut port = ok_port(seen.clone());
     comm_engine
         .execute_command(
-            &Command::new("createConnection", "").with("from", "a").with("to", "b"),
+            &Command::new("createConnection", "")
+                .with("from", "a")
+                .with("to", "b"),
             &mut port,
         )
         .unwrap();
@@ -169,6 +173,9 @@ fn invalid_models_never_touch_resources() {
             Connection bad { name = "x" parties -> [lonely] media -> [v] }
         }"#,
     );
-    assert!(r.is_err(), "a one-party connection violates the CML invariant");
+    assert!(
+        r.is_err(),
+        "a one-party connection violates the CML invariant"
+    );
     assert!(p.command_trace().is_empty());
 }

@@ -2,55 +2,57 @@
 //! edit sequences flow through the full pipeline without panics, and
 //! pipeline invariants hold (delta-based synthesis, trace monotonicity,
 //! IM acyclicity under arbitrary failure marks).
+//!
+//! Cases are generated with the simulator's [`SimRng`] over fixed seeds,
+//! keeping the suite deterministic without an external property-testing
+//! dependency.
 
 use mddsm::controller::{ControllerContext, DscId, GenerationConfig};
-use proptest::prelude::*;
+use mddsm::sim::SimRng;
 
-/// Random CML person/medium/connection populations (always valid).
-fn arb_call_model() -> impl Strategy<Value = (u8, u8)> {
-    // (extra parties beyond 2, extra audio media beyond 1)
-    (0u8..4, 0u8..3)
+#[test]
+fn random_valid_call_models_execute() {
+    for extra_parties in 0u8..4 {
+        for extra_media in 0u8..3 {
+            let mut p = mddsm::cvm::build_cvm(1, 10);
+            let mut s = p.open_session().unwrap();
+            let mut parties = Vec::new();
+            for i in 0..(2 + extra_parties) {
+                let person = s.create("Person").unwrap();
+                s.set(person, "name", &format!("p{i}")).unwrap();
+                s.set(person, "userId", &format!("p{i}@x")).unwrap();
+                parties.push(person);
+            }
+            let mut media = Vec::new();
+            for i in 0..(1 + extra_media) {
+                let m = s.create("Medium").unwrap();
+                s.set(m, "name", &format!("m{i}")).unwrap();
+                s.set(m, "kind", "Audio").unwrap();
+                media.push(m);
+            }
+            let c = s.create("Connection").unwrap();
+            s.set(c, "name", "call").unwrap();
+            for party in &parties {
+                s.link(c, "parties", *party).unwrap();
+            }
+            for m in &media {
+                s.link(c, "media", *m).unwrap();
+            }
+            let report = p.submit_model(s.submit().unwrap()).unwrap();
+            assert!(report.execution.commands >= 1);
+            // Establishment always invites + opens at least one stream.
+            let trace = p.command_trace();
+            assert!(trace.iter().any(|t| t.starts_with("sim.signaling.invite")));
+            assert!(trace.iter().any(|t| t.starts_with("sim.media.open")));
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_valid_call_models_execute((extra_parties, extra_media) in arb_call_model()) {
-        let mut p = mddsm::cvm::build_cvm(1, 10);
-        let mut s = p.open_session().unwrap();
-        let mut parties = Vec::new();
-        for i in 0..(2 + extra_parties) {
-            let person = s.create("Person").unwrap();
-            s.set(person, "name", &format!("p{i}")).unwrap();
-            s.set(person, "userId", &format!("p{i}@x")).unwrap();
-            parties.push(person);
-        }
-        let mut media = Vec::new();
-        for i in 0..(1 + extra_media) {
-            let m = s.create("Medium").unwrap();
-            s.set(m, "name", &format!("m{i}")).unwrap();
-            s.set(m, "kind", "Audio").unwrap();
-            media.push(m);
-        }
-        let c = s.create("Connection").unwrap();
-        s.set(c, "name", "call").unwrap();
-        for party in &parties {
-            s.link(c, "parties", *party).unwrap();
-        }
-        for m in &media {
-            s.link(c, "media", *m).unwrap();
-        }
-        let report = p.submit_model(s.submit().unwrap()).unwrap();
-        prop_assert!(report.execution.commands >= 1);
-        // Establishment always invites + opens at least one stream.
-        let trace = p.command_trace();
-        prop_assert!(trace.iter().any(|t| t.starts_with("sim.signaling.invite")));
-        prop_assert!(trace.iter().any(|t| t.starts_with("sim.media.open")));
-    }
-
-    #[test]
-    fn resubmission_is_always_a_noop(seed in 0u64..1000) {
+#[test]
+fn resubmission_is_always_a_noop() {
+    let mut gen = SimRng::seed_from_u64(0xF1_0000);
+    for _ in 0..24 {
+        let seed = gen.range(0, 1000);
         let mut p = mddsm::cvm::build_cvm(seed, 10);
         let src = r#"model m conformsTo cml {
             Person a { name = "ana" userId = "a@x" }
@@ -61,12 +63,16 @@ proptest! {
         p.submit_text(src).unwrap();
         let before = p.command_trace().len();
         let report = p.submit_text(src).unwrap();
-        prop_assert_eq!(report.synthesized_commands, 0);
-        prop_assert_eq!(p.command_trace().len(), before);
+        assert_eq!(report.synthesized_commands, 0);
+        assert_eq!(p.command_trace().len(), before);
     }
+}
 
-    #[test]
-    fn im_generation_never_yields_cycles_under_failures(fail_mask in 0u32..256) {
+#[test]
+fn im_generation_never_yields_cycles_under_failures() {
+    let mut gen = SimRng::seed_from_u64(0xF2_0000);
+    for _ in 0..24 {
+        let fail_mask = gen.range(0, 256) as u32;
         // Arbitrarily mark procedures failed; generation must either fail
         // cleanly or produce a valid (acyclic, dependency-complete) IM.
         let dscs = mddsm::cvm::artifacts::cvm_dscs();
@@ -78,7 +84,12 @@ proptest! {
                 ctx.mark_failed(id.as_str());
             }
         }
-        for dsc in ["EstablishSession", "StreamMedia", "ManageParty", "ReconfigureMedia"] {
+        for dsc in [
+            "EstablishSession",
+            "StreamMedia",
+            "ManageParty",
+            "ReconfigureMedia",
+        ] {
             let result = mddsm::controller::intent::generate(
                 &DscId::new(dsc),
                 &repo,
@@ -92,10 +103,15 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn microgrid_dispatch_conserves_power(demands in prop::collection::vec(0.1f64..5.0, 1..6)) {
-        use mddsm::mgridvm::plant::{LoadPriority, Plant, SourceKind};
+#[test]
+fn microgrid_dispatch_conserves_power() {
+    use mddsm::mgridvm::plant::{LoadPriority, Plant, SourceKind};
+    let mut gen = SimRng::seed_from_u64(0xF3_0000);
+    for _ in 0..24 {
+        let n = gen.range(1, 6) as usize;
+        let demands: Vec<f64> = (0..n).map(|_| 0.1 + gen.unit() * 4.9).collect();
         let mut plant = Plant::new();
         plant.attach_source("pv", SourceKind::Solar, 4.0);
         plant.attach_source("grid", SourceKind::Grid, 6.0);
@@ -105,13 +121,15 @@ proptest! {
         }
         let d = plant.dispatch(1.0);
         // Supply always covers the served demand.
-        prop_assert!(d.renewable_kw + d.storage_kw + d.import_kw >= d.demand_kw - 1e-9,
-            "dispatch under-supplies: {d:?}");
+        assert!(
+            d.renewable_kw + d.storage_kw + d.import_kw >= d.demand_kw - 1e-9,
+            "dispatch under-supplies: {d:?}"
+        );
         // No source over-delivers its capacity.
-        prop_assert!(d.renewable_kw <= 4.0 + 1e-9);
-        prop_assert!(d.import_kw <= 6.0 + 1e-9);
+        assert!(d.renewable_kw <= 4.0 + 1e-9);
+        assert!(d.import_kw <= 6.0 + 1e-9);
         // Battery stays within bounds.
         let (cap, charge) = plant.battery();
-        prop_assert!(charge >= -1e-9 && charge <= cap + 1e-9);
+        assert!(charge >= -1e-9 && charge <= cap + 1e-9);
     }
 }

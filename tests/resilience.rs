@@ -1,0 +1,193 @@
+//! Integration tests for the model-defined resilience layer.
+//!
+//! Covers the full path: resilience parameters declared on `Action` objects
+//! of a Fig. 6 broker model → interpreted by the generic engine (retries,
+//! backoff, timeout budgets, circuit breaker, fallback) → observed by the
+//! Controller as recoverable `on_error` paths → exercised end-to-end by the
+//! E6 fault-recovery experiment, which must replay bit-for-bit.
+
+use mddsm::broker::{BrokerModelBuilder, GenericBroker, Resilience};
+use mddsm::controller::intent::{ImNode, IntentModel};
+use mddsm::controller::machine::{PortResponse, StackMachine};
+use mddsm::controller::procedure::{Instr, Procedure};
+use mddsm::controller::repository::ProcedureRepository;
+use mddsm::sim::resource::{Args, Outcome};
+use mddsm::sim::{LatencyModel, ResourceHub, SimDuration, SimTime};
+
+/// A hub whose `sim.flaky` fails the first `fails` invocations (10 ms
+/// each, 400 ms resource timeout), plus an instant healthy `sim.backup`.
+fn flaky_hub(fails: u32) -> ResourceHub {
+    let mut h = ResourceHub::new(5);
+    let mut left = fails;
+    h.register(
+        "sim.flaky",
+        LatencyModel::fixed_ms(10),
+        SimDuration::from_millis(400),
+        Box::new(move |_: &str, _: &Args| {
+            if left > 0 {
+                left -= 1;
+                Outcome::Failed("transient".into())
+            } else {
+                Outcome::ok()
+            }
+        }),
+    );
+    h.register_fn("sim.backup", |_, _| Outcome::ok());
+    h
+}
+
+fn resilient_model(r: &Resilience) -> mddsm::meta::Model {
+    BrokerModelBuilder::lean("itest")
+        .call_handler("h", "op")
+        .resilient_action("h", "primary", "sim.flaky", "go", &[], None, &[], r)
+        .action("h", "backup", "sim.backup", "go", &[], None, &[])
+        .build()
+}
+
+#[test]
+fn retry_with_backoff_recovers_in_virtual_time() {
+    let m = resilient_model(&Resilience::retries(3, 20));
+    let mut b = GenericBroker::from_model(&m, flaky_hub(2)).unwrap();
+    let r = b.call("op", &Args::new()).unwrap();
+    assert!(r.outcome.is_ok());
+    assert_eq!(r.attempts, 3);
+    // Two 10 ms failures with 20 ms and 40 ms backoffs, then 10 ms success;
+    // all charged to the virtual clock, none slept.
+    assert_eq!(r.cost, SimDuration::from_millis(90));
+    assert_eq!(b.now(), SimTime::from_millis(90));
+}
+
+#[test]
+fn timeout_budget_bounds_slow_calls() {
+    let m = resilient_model(&Resilience::default().with_timeout(4));
+    // Healthy resource, but its 10 ms latency exceeds the 4 ms budget.
+    let mut b = GenericBroker::from_model(&m, flaky_hub(0)).unwrap();
+    let r = b.call("op", &Args::new()).unwrap();
+    assert!(!r.outcome.is_ok());
+    assert_eq!(r.cost, SimDuration::from_millis(4));
+}
+
+#[test]
+fn breaker_cycles_open_half_open_closed() {
+    let m = resilient_model(&Resilience::breaker(2, 100));
+    let mut b = GenericBroker::from_model(&m, flaky_hub(3)).unwrap();
+    for _ in 0..2 {
+        assert!(!b.call("op", &Args::new()).unwrap().outcome.is_ok());
+    }
+    assert_eq!(b.state().str("breaker_sim.flaky"), Some("open"));
+    // Open: fast-fail without touching the resource.
+    let calls_before = b.hub().log().len();
+    let r = b.call("op", &Args::new()).unwrap();
+    assert_eq!(r.attempts, 0);
+    assert_eq!(r.cost, SimDuration::ZERO);
+    assert_eq!(b.hub().log().len(), calls_before);
+    // Cooldown -> half-open trial fails (flaky still has one failure
+    // left) -> reopens; next cooldown -> trial succeeds -> closed.
+    b.advance_clock(SimDuration::from_millis(100));
+    assert!(!b.call("op", &Args::new()).unwrap().outcome.is_ok());
+    assert_eq!(b.state().str("breaker_sim.flaky"), Some("open"));
+    b.advance_clock(SimDuration::from_millis(100));
+    assert!(b.call("op", &Args::new()).unwrap().outcome.is_ok());
+    assert_eq!(b.state().str("breaker_sim.flaky"), Some("closed"));
+}
+
+#[test]
+fn fallback_escalation_reaches_the_backup() {
+    let m = resilient_model(&Resilience::retries(1, 5).with_fallback("backup"));
+    let mut b = GenericBroker::from_model(&m, flaky_hub(10)).unwrap();
+    let r = b.call("op", &Args::new()).unwrap();
+    assert!(r.outcome.is_ok());
+    assert_eq!(r.action, "backup");
+    // Failed attempts' cost and count carry into the escalated result.
+    assert_eq!(r.attempts, 3);
+    assert_eq!(r.cost, SimDuration::from_millis(10 + 5 + 10));
+}
+
+#[test]
+fn controller_absorbs_broker_failures_via_on_error() {
+    // A resilient broker that still fails (no fallback, retries exhausted)
+    // surfaces the failure to the Controller, whose procedure compensates.
+    let m = BrokerModelBuilder::lean("ctl")
+        .call_handler("h", "op")
+        .resilient_action(
+            "h",
+            "primary",
+            "sim.flaky",
+            "go",
+            &[],
+            None,
+            &[],
+            &Resilience::retries(1, 5),
+        )
+        .build();
+    let mut b = GenericBroker::from_model(&m, flaky_hub(100)).unwrap();
+
+    let proc = Procedure::simple(
+        "task",
+        "C",
+        vec![
+            Instr::BrokerCall {
+                api: "any".into(),
+                op: "op".into(),
+                args: vec![],
+            },
+            Instr::Complete,
+        ],
+    )
+    .with_on_error(vec![
+        Instr::EmitEvent {
+            topic: "degraded".into(),
+            payload: vec![],
+        },
+        Instr::Complete,
+    ]);
+    let mut repo = ProcedureRepository::new();
+    repo.add(proc).unwrap();
+    let im = IntentModel {
+        root: ImNode {
+            proc: "task".into(),
+            children: vec![],
+        },
+    };
+    let mut port = |_: &str, op: &str, args: &[(String, String)]| {
+        let r = b.call(op, &args.to_vec()).expect("handler exists");
+        if r.outcome.is_ok() {
+            PortResponse {
+                ok: true,
+                cost_us: r.cost.as_micros(),
+                ..Default::default()
+            }
+        } else {
+            PortResponse::failed("broker gave up", r.cost.as_micros())
+        }
+    };
+    let out = StackMachine::new()
+        .execute(&im, &repo, &[], &mut port)
+        .unwrap();
+    assert_eq!(out.recovered_failures, 1);
+    assert_eq!(out.events.len(), 1);
+    assert_eq!(out.events[0].topic, "degraded");
+    // Two attempts (10 ms each) + one 5 ms backoff were charged.
+    assert_eq!(out.virtual_cost_us, 25_000);
+}
+
+#[test]
+fn fault_campaigns_replay_byte_for_byte() {
+    // Acceptance criterion: a fixed-seed campaign run twice produces
+    // byte-identical invocation traces and identical E6 metrics.
+    let a = bench::e6::run(2024, 250, 20);
+    let b = bench::e6::run(2024, 250, 20);
+    assert_eq!(
+        a.baseline.trace.join("\n"),
+        b.baseline.trace.join("\n"),
+        "baseline traces must be byte-identical"
+    );
+    assert_eq!(
+        a.resilient.trace.join("\n"),
+        b.resilient.trace.join("\n"),
+        "resilient traces must be byte-identical"
+    );
+    assert_eq!(a, b, "all E6 metrics must be identical across replays");
+    // And the experiment's headline claim holds on this seed.
+    assert!(a.resilient.success_rate >= a.baseline.success_rate);
+}

@@ -56,7 +56,10 @@ fn rules_fire_repeatedly_and_only_on_their_event() {
 fn smart_object_nodes_have_no_upper_layers() {
     let space = SmartSpaceDeployment::new("lab", &["hall"], 5);
     let node = space.node("hall").unwrap();
-    assert!(node.open_session().is_err(), "object nodes must not host the UI layer");
+    assert!(
+        node.open_session().is_err(),
+        "object nodes must not host the UI layer"
+    );
     assert!(node.synthesis().is_none());
     assert!(node.controller().is_some());
     assert!(node.broker().is_some());
@@ -77,7 +80,10 @@ fn crowdsensing_models_author_on_device_execute_on_provider() {
     // On-the-fly change from the device, reflected by the provider.
     s.set(q, "sampleRateHz", "7").unwrap();
     d.upload(s.submit().unwrap()).unwrap();
-    assert!(d.provider_trace().iter().any(|t| t.contains("retarget") && t.contains("rate=7")));
+    assert!(d
+        .provider_trace()
+        .iter()
+        .any(|t| t.contains("retarget") && t.contains("rate=7")));
 }
 
 #[test]

@@ -65,7 +65,10 @@ fn cml_fixture_executes_on_cvm() {
     let mut p = mddsm::cvm::build_cvm(13, 20);
     let report = p.submit_text(CML_MODEL).unwrap();
     assert!(report.execution.commands >= 1);
-    assert!(p.command_trace().iter().any(|t| t.starts_with("sim.signaling.invite")));
+    assert!(p
+        .command_trace()
+        .iter()
+        .any(|t| t.starts_with("sim.signaling.invite")));
 }
 
 #[test]
@@ -91,9 +94,6 @@ fn broken_fixtures_fail_with_positions() {
     assert!(e.to_string().contains("syntax error"));
     // A structurally fine model that violates the DSML still parses but is
     // rejected at conformance.
-    let m = text::parse(
-        "model m conformsTo cml { Connection c { name = \"x\" } }",
-    )
-    .unwrap();
+    let m = text::parse("model m conformsTo cml { Connection c { name = \"x\" } }").unwrap();
     assert!(mddsm::meta::conformance::check(&m, &mddsm::cvm::cml::cml_metamodel()).is_err());
 }
