@@ -1,0 +1,326 @@
+//! Validation of the `BENCH_*.json` artifacts the experiments emit.
+//!
+//! CI regenerates the artifacts (`experiments -- quick`) and then runs the
+//! `check_artifacts` binary, which uses this module to verify that every
+//! `BENCH_*.json` in the working directory parses as JSON and carries the
+//! keys downstream tooling relies on. The parser is hand-rolled and
+//! deliberately minimal (objects, arrays, strings, numbers, booleans,
+//! null) — the workspace is dependency-free by design, so no serde.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (just enough for artifact checking).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as f64; artifact values are small).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, key-ordered.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, why: &str) -> String {
+        format!("{why} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let ch_len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + ch_len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("bad UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document; trailing content (other than whitespace) is an
+/// error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(v)
+}
+
+/// Required top-level keys per experiment id (`"experiment"` itself is
+/// always required).
+pub fn required_keys(experiment: &str) -> &'static [&'static str] {
+    match experiment {
+        "e6" => &["seed", "calls", "period_ms", "baseline", "resilient"],
+        "e7" => &[
+            "seed",
+            "calls",
+            "period_ms",
+            "supervised_trace_identical",
+            "naive_trace_identical",
+            "baseline",
+            "supervised",
+            "naive",
+        ],
+        _ => &["seed"],
+    }
+}
+
+/// Checks one artifact's text: parses it and verifies the experiment's
+/// required keys exist. Returns the experiment id.
+pub fn check_artifact(name: &str, text: &str) -> Result<String, String> {
+    let v = parse(text).map_err(|e| format!("{name}: does not parse: {e}"))?;
+    let exp = v
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{name}: missing string key \"experiment\""))?
+        .to_owned();
+    for key in required_keys(&exp) {
+        if v.get(key).is_none() {
+            return Err(format!(
+                "{name}: experiment `{exp}` is missing key \"{key}\""
+            ));
+        }
+    }
+    Ok(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_and_objects() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(
+            parse("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Json::Str("a\n\"bA".into())
+        );
+        let v = parse("{\"a\": [1, 2, {\"b\": false}], \"c\": null}").unwrap();
+        assert!(matches!(v.get("a"), Some(Json::Arr(items)) if items.len() == 3));
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), Json::Obj(BTreeMap::new()));
+    }
+
+    #[test]
+    fn rejects_garbage_and_trailing_content() {
+        assert!(parse("nope").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("[1, 2").is_err());
+    }
+
+    #[test]
+    fn real_artifacts_pass_the_check() {
+        let e6 = crate::e6::run(3, 50, 20).to_json();
+        assert_eq!(check_artifact("BENCH_e6.json", &e6).unwrap(), "e6");
+        let e7 = crate::e7::run(3, 80, 20).to_json();
+        assert_eq!(check_artifact("BENCH_e7.json", &e7).unwrap(), "e7");
+    }
+
+    #[test]
+    fn missing_keys_are_reported() {
+        let bad = "{\"experiment\": \"e7\", \"seed\": 1}";
+        let err = check_artifact("x.json", bad).unwrap_err();
+        assert!(err.contains("missing key"), "{err}");
+        let no_exp = "{\"seed\": 1}";
+        assert!(check_artifact("x.json", no_exp).is_err());
+    }
+}

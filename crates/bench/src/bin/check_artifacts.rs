@@ -1,0 +1,63 @@
+//! Validates every `BENCH_*.json` artifact in the working directory.
+//!
+//! ```text
+//! cargo run --release -p bench --bin check_artifacts
+//! ```
+//!
+//! Exits non-zero if no artifacts are found, any file fails to parse, or
+//! an artifact is missing a key its experiment is required to carry
+//! (see `bench::artifacts::required_keys`).
+
+use bench::artifacts;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("check_artifacts: cannot read `{dir}`: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+
+    if names.is_empty() {
+        eprintln!("check_artifacts: no BENCH_*.json files in `{dir}`");
+        std::process::exit(1);
+    }
+
+    let mut failures = 0usize;
+    for name in &names {
+        let path = format!("{dir}/{name}");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {name}: unreadable: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match artifacts::check_artifact(name, &text) {
+            Ok(exp) => println!("ok   {name} (experiment {exp}, {} bytes)", text.len()),
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "check_artifacts: {failures}/{} artifacts failed",
+            names.len()
+        );
+        std::process::exit(1);
+    }
+    println!("check_artifacts: all {} artifacts valid", names.len());
+}

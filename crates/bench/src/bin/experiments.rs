@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin experiments -- quick   # CI-sized run
 //! ```
 
-use bench::{ablation, e1, e2, e3, e4, e5, e6};
+use bench::{ablation, e1, e2, e3, e4, e5, e6, e7};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +35,9 @@ fn main() {
     }
     if want("e6") {
         run_e6(quick);
+    }
+    if want("e7") {
+        run_e7(quick);
     }
     if want("ablations") {
         run_ablations(quick);
@@ -71,6 +74,57 @@ fn run_e6(quick: bool) {
         r.resilient.success_rate * 100.0,
         r.baseline.mean_recovery_ms,
         r.resilient.mean_recovery_ms
+    );
+}
+
+fn run_e7(quick: bool) {
+    println!("E7 — crash-consistent recovery: journal + supervisor vs naive restart");
+    println!("----------------------------------------------------------------------");
+    let calls = if quick { 300 } else { 2_000 };
+    let r = e7::run(2024, calls, 20);
+    println!(
+        "  campaign: seed {}, {} calls every {} virtual ms",
+        r.seed, r.calls, r.period_ms
+    );
+    for (name, v) in [
+        ("baseline", &r.baseline),
+        ("supervised", &r.supervised),
+        ("naive", &r.naive),
+    ] {
+        println!(
+            "  {:<11} ok {:>4}/{:<4}  crashes {:>2}  stalls {:>2}  restarts {:>2}  replayed {:>5} ops / {:>5} cmds  mean RTO {:>7.2} ms  worst {:>7.2} ms",
+            name,
+            v.succeeded,
+            v.calls,
+            v.crashes,
+            v.stalls,
+            v.restarts,
+            v.replayed_ops,
+            v.replayed_commands,
+            v.mean_rto_ms,
+            v.max_rto_ms
+        );
+    }
+    println!(
+        "  trace vs uncrashed baseline: supervised {}  naive {}",
+        if r.supervised_trace_identical {
+            "IDENTICAL"
+        } else {
+            "DIVERGED"
+        },
+        if r.naive_trace_identical {
+            "identical"
+        } else {
+            "diverged (state lost)"
+        }
+    );
+    match std::fs::write("BENCH_e7.json", r.to_json()) {
+        Ok(()) => println!("  artifact: BENCH_e7.json"),
+        Err(e) => println!("  artifact: BENCH_e7.json not written: {e}"),
+    }
+    println!(
+        "\n  expectation: snapshot+journal recovery replays the middleware to the\n               exact pre-crash model, so the recovered command trace is\n               byte-identical to an uncrashed run; naive restarts lose\n               runtime state and diverge\n  measured: supervised identical={} over {} recoveries; naive identical={}\n",
+        r.supervised_trace_identical, r.supervised.restarts, r.naive_trace_identical
     );
 }
 

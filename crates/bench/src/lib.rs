@@ -12,19 +12,23 @@
 //! | E5 | LoC reduction 1402 → 1176 from separating domain concerns | [`e5`] |
 //!
 //! | E6 | fault recovery: resilience model on vs off under fault campaigns | [`e6`] |
+//! | E7 | crash-consistent recovery: journal + supervisor vs naive restart | [`e7`] |
 //!
 //! The same functions back the micro-benches (`benches/`, via [`micro`])
 //! and the `experiments` binary that prints the paper-style tables.
+//! [`artifacts`] validates the emitted `BENCH_*.json` files in CI.
 
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod artifacts;
 pub mod e1;
 pub mod e2;
 pub mod e3;
 pub mod e4;
 pub mod e5;
 pub mod e6;
+pub mod e7;
 pub mod micro;
 pub mod port;
 

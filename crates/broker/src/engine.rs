@@ -7,6 +7,7 @@
 //! (simulated) resource.
 
 use crate::autonomic::{parse_step, AutonomicManager, AutonomicRule};
+use crate::journal::{self, CommandKind, Journal, JournalRecord, MemorySink};
 use crate::model::{broker_metamodel, Resilience, BROKER_METAMODEL};
 use crate::state::StateManager;
 use crate::{BrokerError, Result};
@@ -71,6 +72,24 @@ pub struct BrokerCallResult {
     pub attempts: u32,
 }
 
+/// What [`GenericBroker::recover`] did to rebuild the engine: how far the
+/// journal reached and how much work replay had to redo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// State ops replayed after the newest snapshot.
+    pub ops_replayed: u64,
+    /// Command records replayed after the newest snapshot.
+    pub commands_replayed: u64,
+    /// Version the newest snapshot carried.
+    pub snapshot_version: u64,
+    /// State version after recovery.
+    pub recovered_version: u64,
+    /// Virtual clock (µs) after recovery.
+    pub clock_us: u64,
+    /// Invariants checked on the recovered model.
+    pub invariants_checked: u64,
+}
+
 /// A broker engine configured entirely by a broker model.
 pub struct GenericBroker {
     name: String,
@@ -84,6 +103,8 @@ pub struct GenericBroker {
     events: u64,
     /// Virtual clock, advanced by invocation costs and retry backoff.
     clock_us: u64,
+    /// Write-ahead journal; `None` until [`GenericBroker::enable_journal`].
+    journal: Option<Journal>,
 }
 
 impl GenericBroker {
@@ -252,6 +273,7 @@ impl GenericBroker {
             calls: 0,
             events: 0,
             clock_us: 0,
+            journal: None,
         })
     }
 
@@ -264,13 +286,17 @@ impl GenericBroker {
     /// name, the first guard-passing action, and dispatches it.
     pub fn call(&mut self, op: &str, args: &Args) -> Result<BrokerCallResult> {
         self.calls += 1;
-        self.dispatch(HandlerKind::Call, op, args)
+        let result = self.dispatch(HandlerKind::Call, op, args);
+        self.journal_command(CommandKind::Call, op, &result);
+        result
     }
 
     /// Handles an event from the underlying resources.
     pub fn event(&mut self, topic: &str, payload: &Args) -> Result<BrokerCallResult> {
         self.events += 1;
-        self.dispatch(HandlerKind::Event, topic, payload)
+        let result = self.dispatch(HandlerKind::Event, topic, payload);
+        self.journal_command(CommandKind::Event, topic, &result);
+        result
     }
 
     fn dispatch(
@@ -495,8 +521,12 @@ impl GenericBroker {
 
     /// Runs one autonomic MAPE cycle; returns emitted event topics.
     pub fn autonomic_tick(&mut self) -> Result<Vec<String>> {
-        self.autonomic
-            .tick(&mut self.state, &mut self.hub, &self.bindings)
+        let r = self
+            .autonomic
+            .tick(&mut self.state, &mut self.hub, &self.bindings);
+        self.journal_state_ops();
+        self.maybe_snapshot();
+        r
     }
 
     /// The broker's virtual clock: total virtual time charged to calls
@@ -510,6 +540,187 @@ impl GenericBroker {
     /// cooldowns).
     pub fn advance_clock(&mut self, d: SimDuration) {
         self.clock_us += d.as_micros();
+        let clock_us = self.clock_us;
+        if let Some(j) = self.journal.as_mut() {
+            j.record(&JournalRecord::Clock { clock_us });
+        }
+    }
+
+    // -- Write-ahead journaling + crash recovery ---------------------------
+
+    /// Turns on write-ahead journaling over a fresh in-memory sink, taking
+    /// an initial full snapshot (so replay always has a base even when the
+    /// state was already mutated) and then a new snapshot every
+    /// `snapshot_every` journal entries.
+    pub fn enable_journal(&mut self, snapshot_every: u64) {
+        let mut j = Journal::over(Box::new(MemorySink::new()), snapshot_every);
+        j.record(&JournalRecord::Snapshot {
+            state: self.state.snapshot(),
+            clock_us: self.clock_us,
+            calls: self.calls,
+            events: self.events,
+        });
+        self.state.record_ops(true);
+        self.journal = Some(j);
+    }
+
+    /// The journal's full byte contents — what survives a crash. `None`
+    /// when journaling was never enabled.
+    pub fn journal_bytes(&self) -> Option<&[u8]> {
+        self.journal.as_ref().map(Journal::bytes)
+    }
+
+    /// `(entries, snapshots)` appended so far, when journaling is on.
+    pub fn journal_stats(&self) -> Option<(u64, u64)> {
+        self.journal.as_ref().map(|j| (j.entries(), j.snapshots()))
+    }
+
+    /// Drains pending state ops into the journal (WAL order: state ops
+    /// precede the command record that caused them).
+    fn journal_state_ops(&mut self) {
+        if self.journal.is_none() {
+            return;
+        }
+        let ops = self.state.take_ops();
+        if let Some(j) = self.journal.as_mut() {
+            for op in ops {
+                j.record(&JournalRecord::Op(op));
+            }
+        }
+    }
+
+    /// Journals one executed command (even a failed dispatch — the
+    /// call/event counters bumped, and recovery must agree with them).
+    fn journal_command(
+        &mut self,
+        kind: CommandKind,
+        selector: &str,
+        result: &Result<BrokerCallResult>,
+    ) {
+        if self.journal.is_none() {
+            return;
+        }
+        self.journal_state_ops();
+        let clock_us = self.clock_us;
+        let rec = match result {
+            Ok(r) => JournalRecord::Command {
+                clock_us,
+                kind,
+                selector: selector.to_owned(),
+                action: r.action.clone(),
+                ok: r.outcome.is_ok(),
+                attempts: r.attempts,
+                cost_us: r.cost.as_micros(),
+            },
+            Err(e) => JournalRecord::Command {
+                clock_us,
+                kind,
+                selector: selector.to_owned(),
+                action: format!("<{e}>"),
+                ok: false,
+                attempts: 0,
+                cost_us: 0,
+            },
+        };
+        if let Some(j) = self.journal.as_mut() {
+            j.record(&rec);
+        }
+        self.maybe_snapshot();
+    }
+
+    /// Takes a periodic snapshot when the journal's policy says one is due,
+    /// bounding how much tail the next recovery has to replay.
+    fn maybe_snapshot(&mut self) {
+        let due = self.journal.as_ref().is_some_and(Journal::snapshot_due);
+        if !due {
+            return;
+        }
+        let snap = JournalRecord::Snapshot {
+            state: self.state.snapshot(),
+            clock_us: self.clock_us,
+            calls: self.calls,
+            events: self.events,
+        };
+        if let Some(j) = self.journal.as_mut() {
+            j.record(&snap);
+        }
+    }
+
+    /// Rebuilds a broker deterministically from its model, the surviving
+    /// resource hub, and the journal bytes of the crashed instance:
+    /// restores the newest snapshot, replays the tail (LSN-checked), then
+    /// verifies each OCL-lite `invariant` against the recovered runtime
+    /// model — refusing with [`BrokerError::RecoveryDiverged`] when one
+    /// fails to parse, fails to evaluate, or evaluates to `false`.
+    ///
+    /// The recovered broker journals into a sink pre-loaded with the old
+    /// bytes and appends a fresh snapshot, so a later crash replays only a
+    /// short tail.
+    pub fn recover(
+        model: &Model,
+        hub: ResourceHub,
+        journal_bytes: &[u8],
+        invariants: &[&str],
+    ) -> Result<(Self, RecoveryReport)> {
+        let mut broker = Self::from_model(model, hub)?;
+        let recovered = journal::replay(journal_bytes)?;
+
+        for inv in invariants {
+            let expr = constraint::parse(inv).map_err(|e| {
+                BrokerError::RecoveryDiverged(format!("invariant `{inv}` failed to parse: {e}"))
+            })?;
+            let holds = recovered.state.eval(&expr).map_err(|e| {
+                BrokerError::RecoveryDiverged(format!("invariant `{inv}` failed to evaluate: {e}"))
+            })?;
+            if !holds {
+                return Err(BrokerError::RecoveryDiverged(format!(
+                    "invariant `{inv}` does not hold on the recovered model"
+                )));
+            }
+        }
+
+        broker.state = recovered.state;
+        broker.clock_us = recovered.clock_us;
+        broker.calls = recovered.calls;
+        broker.events = recovered.events;
+
+        // Resume journaling over the inherited history, and checkpoint the
+        // recovered state immediately.
+        let mut j = Journal::over(Box::new(MemorySink::with_bytes(journal_bytes.to_vec())), 0);
+        j.record(&JournalRecord::Snapshot {
+            state: broker.state.snapshot(),
+            clock_us: broker.clock_us,
+            calls: broker.calls,
+            events: broker.events,
+        });
+        broker.state.record_ops(true);
+        broker.journal = Some(j);
+
+        let report = RecoveryReport {
+            ops_replayed: recovered.ops_replayed,
+            commands_replayed: recovered.commands_replayed,
+            snapshot_version: recovered.snapshot_version,
+            recovered_version: broker.state.version(),
+            clock_us: broker.clock_us,
+            invariants_checked: invariants.len() as u64,
+        };
+        Ok((broker, report))
+    }
+
+    /// Recovers journaling cadence after [`GenericBroker::recover`] (which
+    /// resumes with periodic snapshots off): a snapshot every
+    /// `snapshot_every` entries.
+    pub fn set_snapshot_every(&mut self, snapshot_every: u64) {
+        if let Some(j) = self.journal.as_mut() {
+            j.set_snapshot_every(snapshot_every);
+        }
+    }
+
+    /// Consumes the broker and returns its resource hub — the resources
+    /// outlive a middleware crash, so a supervisor extracts the hub from
+    /// the dead instance and hands it to the recovered one.
+    pub fn into_hub(self) -> ResourceHub {
+        self.hub
     }
 
     /// The state manager (monitoring data and mode variables).
@@ -953,6 +1164,154 @@ mod tests {
         // Breaker closed again: the next call goes through to the resource.
         let r = b.call("op", &Args::new()).unwrap();
         assert!(r.outcome.is_ok());
+    }
+
+    #[test]
+    fn breaker_half_open_transitions_interleaved_with_autonomic_resets() {
+        use crate::model::Resilience;
+        // Breaker threshold 2, 100ms cooldown, plus an autonomic rule that
+        // force-closes the breaker when too many total failures pile up.
+        let m = BrokerModelBuilder::new("cbx")
+            .call_handler("h", "op")
+            .resilient_action(
+                "h",
+                "guarded",
+                "flaky",
+                "go",
+                &[],
+                None,
+                &[],
+                &Resilience::breaker(2, 100),
+            )
+            .autonomic_rule(
+                "stuckOpen",
+                "self.breaker_flaky = \"open\" and self.failures_flaky > 2",
+                &["heal flaky", "reset_breaker flaky", "set failures_flaky 0"],
+            )
+            .bind_resource("flaky", "sim.flaky")
+            .build();
+        // First 3 invocations fail: 2 to trip the breaker + 1 failed
+        // half-open trial; everything after succeeds.
+        let mut b = GenericBroker::from_model(&m, flaky_hub(3)).unwrap();
+
+        // Trip the breaker (2 failures >= threshold).
+        for _ in 0..2 {
+            assert!(!b.call("op", &Args::new()).unwrap().outcome.is_ok());
+        }
+        assert_eq!(b.state().str("breaker_flaky"), Some("open"));
+
+        // Cooldown elapses -> half-open trial; resource still down -> the
+        // trial fails and the breaker reopens from half-open.
+        b.advance_clock(SimDuration::from_millis(100));
+        let r = b.call("op", &Args::new()).unwrap();
+        assert_eq!(r.attempts, 1);
+        assert_eq!(b.state().str("breaker_flaky"), Some("open"));
+        assert_eq!(b.state().int("failures_flaky"), Some(3));
+
+        // Autonomic tick: symptom fires, heals the resource and closes the
+        // breaker *without* waiting for another cooldown.
+        b.autonomic_tick().unwrap();
+        assert_eq!(b.symptom_fired("stuckOpen"), 1);
+        assert_eq!(b.state().str("breaker_flaky"), Some("closed"));
+
+        // Closed again: next call reaches the (now healed) resource, and
+        // the success path resets the failure counter.
+        let r = b.call("op", &Args::new()).unwrap();
+        assert!(r.outcome.is_ok());
+        assert_eq!(r.attempts, 1);
+        assert_eq!(b.state().str("breaker_flaky"), Some("closed"));
+        assert_eq!(b.state().int("breaker_flaky_failures"), Some(0));
+
+        // Interleave the other direction: trip it again, then let the
+        // half-open trial *succeed* -> closed (no autonomic help needed).
+        b.hub_mut().set_healthy("sim.flaky", false);
+        for _ in 0..2 {
+            assert!(!b.call("op", &Args::new()).unwrap().outcome.is_ok());
+        }
+        assert_eq!(b.state().str("breaker_flaky"), Some("open"));
+        b.hub_mut().set_healthy("sim.flaky", true);
+        b.advance_clock(SimDuration::from_millis(100));
+        let r = b.call("op", &Args::new()).unwrap();
+        assert!(r.outcome.is_ok());
+        assert_eq!(b.state().str("breaker_flaky"), Some("closed"));
+    }
+
+    #[test]
+    fn journaled_broker_recovers_with_identical_state_and_counters() {
+        let mut b = broker();
+        b.enable_journal(4);
+        for i in 0..5 {
+            let peer = format!("p{i}");
+            b.call("openSession", &args(&[("peer", &peer)])).unwrap();
+        }
+        b.event("packetLoss", &Args::new()).unwrap();
+        b.advance_clock(SimDuration::from_millis(7));
+        b.autonomic_tick().unwrap();
+        let (entries, snapshots) = b.journal_stats().unwrap();
+        assert!(entries > 0);
+        assert!(snapshots >= 2, "initial + at least one periodic");
+
+        let pre_state = b.state().snapshot();
+        let pre_now = b.now();
+        let pre_stats = b.stats();
+        let bytes = b.journal_bytes().unwrap().to_vec();
+        let hub = b.into_hub(); // the crash: the engine is gone, resources survive
+
+        let (r, report) = GenericBroker::recover(
+            &model(),
+            hub,
+            &bytes,
+            &["self.opens >= 0", "self.opens <= 5"],
+        )
+        .unwrap();
+        assert_eq!(r.state().snapshot(), pre_state);
+        assert_eq!(r.now(), pre_now);
+        assert_eq!(r.stats(), pre_stats);
+        assert_eq!(report.invariants_checked, 2);
+        assert!(report.snapshot_version > 0);
+        assert_eq!(report.recovered_version, pre_state.version);
+
+        // The recovered broker keeps journaling: it can crash and recover
+        // again, and the second recovery replays only the post-crash tail.
+        let mut r = r;
+        r.call("openSession", &args(&[("peer", "pz")])).unwrap();
+        let bytes2 = r.journal_bytes().unwrap().to_vec();
+        let hub2 = r.into_hub();
+        let (r2, report2) = GenericBroker::recover(&model(), hub2, &bytes2, &[]).unwrap();
+        assert_eq!(r2.state().int("opens"), Some(6));
+        assert!(report2.commands_replayed <= 1 + report2.ops_replayed);
+    }
+
+    #[test]
+    fn recovery_refuses_violated_or_broken_invariants() {
+        let mut b = broker();
+        b.enable_journal(0);
+        b.call("openSession", &args(&[("peer", "a")])).unwrap();
+        let bytes = b.journal_bytes().unwrap().to_vec();
+
+        // A violated invariant is a typed refusal.
+        let err = GenericBroker::recover(&model(), hub(), &bytes, &["self.opens > 99"])
+            .expect_err("must refuse");
+        assert!(matches!(err, BrokerError::RecoveryDiverged(ref m) if m.contains("does not hold")));
+
+        // So is an unparsable one.
+        let err =
+            GenericBroker::recover(&model(), hub(), &bytes, &["self."]).expect_err("must refuse");
+        assert!(matches!(err, BrokerError::RecoveryDiverged(ref m) if m.contains("parse")));
+
+        // And corrupt journal bytes.
+        let mut corrupt = bytes.clone();
+        corrupt.extend_from_slice(b"op 99 int x 1\n");
+        let err = GenericBroker::recover(&model(), hub(), &corrupt, &[]).expect_err("must refuse");
+        assert!(matches!(err, BrokerError::RecoveryDiverged(_)));
+    }
+
+    #[test]
+    fn unjournaled_broker_pays_nothing_and_recovers_nothing() {
+        let mut b = broker();
+        b.call("openSession", &args(&[("peer", "a")])).unwrap();
+        assert!(b.journal_bytes().is_none());
+        assert!(b.journal_stats().is_none());
     }
 
     #[test]

@@ -1,0 +1,610 @@
+//! Write-ahead journal + periodic snapshots for the Broker runtime model.
+//!
+//! KMF's lesson is that models@runtime must be cheap to serialize and clone
+//! to be usable for recovery; this module applies it to the Fig. 6
+//! `StateManager`. Every primitive mutation of the runtime model (an LSN'd
+//! [`StateOp`]) and every executed broker command is appended to a
+//! [`Journal`] behind a pluggable [`JournalSink`]; every `snapshot_every`
+//! appended entries the journal takes a full [`StateSnapshot`]. Recovery
+//! ([`replay`]) restores the newest snapshot and replays the tail,
+//! refusing with [`BrokerError::RecoveryDiverged`] on LSN gaps or corrupt
+//! records.
+//!
+//! The record format is a dependency-free framed text format: one record
+//! per line, fields separated by single spaces, each field percent-escaped
+//! so values may contain spaces and newlines.
+
+use crate::state::{SnapValue, StateManager, StateOp, StateSnapshot};
+use crate::{BrokerError, Result};
+
+/// Where journal bytes go. The default [`MemorySink`] is `Vec<u8>`-backed;
+/// a durable deployment would put a file or replicated log behind this.
+/// (`Send + Sync` so journaled brokers still fit the component factory.)
+pub trait JournalSink: Send + Sync {
+    /// Appends one framed record (including its trailing newline).
+    fn append(&mut self, record: &[u8]);
+    /// The full journal contents, oldest record first.
+    fn bytes(&self) -> &[u8];
+}
+
+/// An in-memory, `Vec<u8>`-backed sink.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    buf: Vec<u8>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink pre-loaded with existing journal bytes (recovery continues
+    /// appending to the history it was rebuilt from).
+    pub fn with_bytes(bytes: Vec<u8>) -> Self {
+        MemorySink { buf: bytes }
+    }
+}
+
+impl JournalSink for MemorySink {
+    fn append(&mut self, record: &[u8]) {
+        self.buf.extend_from_slice(record);
+    }
+    fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// What kind of engine entry point produced a command record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// An upper-layer call.
+    Call,
+    /// A resource event.
+    Event,
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A primitive runtime-model mutation.
+    Op(StateOp),
+    /// An executed broker command (call or event) and the virtual clock
+    /// after it completed.
+    Command {
+        /// Virtual clock (µs) after the command.
+        clock_us: u64,
+        /// Call or event.
+        kind: CommandKind,
+        /// Operation name / event topic.
+        selector: String,
+        /// Action that produced the outcome.
+        action: String,
+        /// Whether the outcome was a success.
+        ok: bool,
+        /// Resource invocations performed.
+        attempts: u32,
+        /// Virtual-time cost (µs).
+        cost_us: u64,
+    },
+    /// An explicit virtual-clock advance (idle time between calls).
+    Clock {
+        /// Virtual clock (µs) after the advance.
+        clock_us: u64,
+    },
+    /// A full state snapshot plus the engine counters at snapshot time.
+    Snapshot {
+        /// The state at snapshot time.
+        state: StateSnapshot,
+        /// Virtual clock (µs).
+        clock_us: u64,
+        /// Calls handled so far.
+        calls: u64,
+        /// Events handled so far.
+        events: u64,
+    },
+}
+
+// -- Framing ----------------------------------------------------------------
+
+/// Percent-escapes `%`, space, tab, and newline so a field never breaks
+/// record framing.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0A"),
+            '\t' => out.push_str("%09"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next();
+        let lo = chars.next();
+        match (hi, lo) {
+            (Some('2'), Some('5')) => out.push('%'),
+            (Some('2'), Some('0')) => out.push(' '),
+            (Some('0'), Some('A')) => out.push('\n'),
+            (Some('0'), Some('9')) => out.push('\t'),
+            _ => {
+                return Err(BrokerError::RecoveryDiverged(format!(
+                    "corrupt escape in journal field `{s}`"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn frame(rec: &JournalRecord) -> String {
+    let mut line = match rec {
+        JournalRecord::Op(StateOp::SetStr { lsn, key, value }) => {
+            format!("op {lsn} str {} {}", escape(key), escape(value))
+        }
+        JournalRecord::Op(StateOp::SetInt { lsn, key, value }) => {
+            format!("op {lsn} int {} {value}", escape(key))
+        }
+        JournalRecord::Op(StateOp::Unset { lsn, key }) => {
+            format!("op {lsn} del {}", escape(key))
+        }
+        JournalRecord::Command {
+            clock_us,
+            kind,
+            selector,
+            action,
+            ok,
+            attempts,
+            cost_us,
+        } => {
+            let k = match kind {
+                CommandKind::Call => "call",
+                CommandKind::Event => "event",
+            };
+            format!(
+                "cmd {clock_us} {k} {} {} {} {attempts} {cost_us}",
+                escape(selector),
+                escape(action),
+                u8::from(*ok),
+            )
+        }
+        JournalRecord::Clock { clock_us } => format!("clk {clock_us}"),
+        JournalRecord::Snapshot {
+            state,
+            clock_us,
+            calls,
+            events,
+        } => {
+            let mut s = format!("snap {} {clock_us} {calls} {events}", state.version);
+            for (key, value) in &state.vars {
+                match value {
+                    SnapValue::Str(v) => {
+                        s.push_str(&format!(" {} str {}", escape(key), escape(v)));
+                    }
+                    SnapValue::Int(v) => {
+                        s.push_str(&format!(" {} int {v}", escape(key)));
+                    }
+                }
+            }
+            s
+        }
+    };
+    line.push('\n');
+    line
+}
+
+fn bad(line: &str, why: &str) -> BrokerError {
+    BrokerError::RecoveryDiverged(format!("corrupt journal record `{line}`: {why}"))
+}
+
+fn parse_u64(line: &str, field: Option<&str>, what: &str) -> Result<u64> {
+    field
+        .and_then(|f| f.parse::<u64>().ok())
+        .ok_or_else(|| bad(line, &format!("bad {what}")))
+}
+
+fn parse_record(line: &str) -> Result<JournalRecord> {
+    let mut f = line.split(' ');
+    let tag = f.next().unwrap_or_default();
+    match tag {
+        "op" => {
+            let lsn = parse_u64(line, f.next(), "lsn")?;
+            let ty = f.next().ok_or_else(|| bad(line, "missing op type"))?;
+            let key = unescape(f.next().ok_or_else(|| bad(line, "missing key"))?)?;
+            let op = match ty {
+                "str" => StateOp::SetStr {
+                    lsn,
+                    key,
+                    value: unescape(f.next().ok_or_else(|| bad(line, "missing value"))?)?,
+                },
+                "int" => StateOp::SetInt {
+                    lsn,
+                    key,
+                    value: f
+                        .next()
+                        .and_then(|v| v.parse::<i64>().ok())
+                        .ok_or_else(|| bad(line, "bad int value"))?,
+                },
+                "del" => StateOp::Unset { lsn, key },
+                other => return Err(bad(line, &format!("unknown op type `{other}`"))),
+            };
+            Ok(JournalRecord::Op(op))
+        }
+        "cmd" => {
+            let clock_us = parse_u64(line, f.next(), "clock")?;
+            let kind = match f.next() {
+                Some("call") => CommandKind::Call,
+                Some("event") => CommandKind::Event,
+                _ => return Err(bad(line, "bad command kind")),
+            };
+            let selector = unescape(f.next().ok_or_else(|| bad(line, "missing selector"))?)?;
+            let action = unescape(f.next().ok_or_else(|| bad(line, "missing action"))?)?;
+            let ok = match f.next() {
+                Some("0") => false,
+                Some("1") => true,
+                _ => return Err(bad(line, "bad ok flag")),
+            };
+            let attempts = parse_u64(line, f.next(), "attempts")? as u32;
+            let cost_us = parse_u64(line, f.next(), "cost")?;
+            Ok(JournalRecord::Command {
+                clock_us,
+                kind,
+                selector,
+                action,
+                ok,
+                attempts,
+                cost_us,
+            })
+        }
+        "clk" => Ok(JournalRecord::Clock {
+            clock_us: parse_u64(line, f.next(), "clock")?,
+        }),
+        "snap" => {
+            let version = parse_u64(line, f.next(), "version")?;
+            let clock_us = parse_u64(line, f.next(), "clock")?;
+            let calls = parse_u64(line, f.next(), "calls")?;
+            let events = parse_u64(line, f.next(), "events")?;
+            let mut vars = Vec::new();
+            while let Some(key) = f.next() {
+                let key = unescape(key)?;
+                let ty = f.next().ok_or_else(|| bad(line, "missing var type"))?;
+                let raw = f.next().ok_or_else(|| bad(line, "missing var value"))?;
+                let value = match ty {
+                    "str" => SnapValue::Str(unescape(raw)?),
+                    "int" => {
+                        SnapValue::Int(raw.parse::<i64>().map_err(|_| bad(line, "bad var int"))?)
+                    }
+                    other => return Err(bad(line, &format!("unknown var type `{other}`"))),
+                };
+                vars.push((key, value));
+            }
+            Ok(JournalRecord::Snapshot {
+                state: StateSnapshot { version, vars },
+                clock_us,
+                calls,
+                events,
+            })
+        }
+        other => Err(bad(line, &format!("unknown record tag `{other}`"))),
+    }
+}
+
+// -- The journal ------------------------------------------------------------
+
+/// A write-ahead journal over a pluggable sink, with automatic periodic
+/// snapshots.
+pub struct Journal {
+    sink: Box<dyn JournalSink>,
+    snapshot_every: u64,
+    since_snapshot: u64,
+    entries: u64,
+    snapshots: u64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("snapshot_every", &self.snapshot_every)
+            .field("entries", &self.entries)
+            .field("snapshots", &self.snapshots)
+            .field("bytes", &self.sink.bytes().len())
+            .finish()
+    }
+}
+
+impl Journal {
+    /// A journal over a fresh in-memory sink; a snapshot is taken every
+    /// `snapshot_every` appended entries (0 disables periodic snapshots).
+    pub fn in_memory(snapshot_every: u64) -> Self {
+        Self::over(Box::new(MemorySink::new()), snapshot_every)
+    }
+
+    /// A journal over any sink.
+    pub fn over(sink: Box<dyn JournalSink>, snapshot_every: u64) -> Self {
+        Journal {
+            sink,
+            snapshot_every,
+            since_snapshot: 0,
+            entries: 0,
+            snapshots: 0,
+        }
+    }
+
+    /// Appends one record.
+    pub fn record(&mut self, rec: &JournalRecord) {
+        self.sink.append(frame(rec).as_bytes());
+        if matches!(rec, JournalRecord::Snapshot { .. }) {
+            self.snapshots += 1;
+            self.since_snapshot = 0;
+        } else {
+            self.entries += 1;
+            self.since_snapshot += 1;
+        }
+    }
+
+    /// Whether the periodic-snapshot policy calls for a snapshot now.
+    pub fn snapshot_due(&self) -> bool {
+        self.snapshot_every > 0 && self.since_snapshot >= self.snapshot_every
+    }
+
+    /// Changes the periodic-snapshot cadence (0 disables it).
+    pub fn set_snapshot_every(&mut self, snapshot_every: u64) {
+        self.snapshot_every = snapshot_every;
+    }
+
+    /// Total non-snapshot records appended.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Snapshots taken.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots
+    }
+
+    /// The full journal bytes (oldest record first).
+    pub fn bytes(&self) -> &[u8] {
+        self.sink.bytes()
+    }
+}
+
+// -- Recovery ---------------------------------------------------------------
+
+/// Everything [`replay`] rebuilds from journal bytes.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The rebuilt runtime model.
+    pub state: StateManager,
+    /// Virtual clock (µs) at the journal head.
+    pub clock_us: u64,
+    /// Calls handled up to the journal head.
+    pub calls: u64,
+    /// Events handled up to the journal head.
+    pub events: u64,
+    /// State ops replayed after the newest snapshot.
+    pub ops_replayed: u64,
+    /// Command records replayed after the newest snapshot.
+    pub commands_replayed: u64,
+    /// Version the newest snapshot carried (0 when no snapshot existed).
+    pub snapshot_version: u64,
+}
+
+/// Deterministically rebuilds runtime state from journal bytes: restores
+/// the newest snapshot, then replays every later record in order. Refuses
+/// with [`BrokerError::RecoveryDiverged`] on corrupt records or LSN gaps.
+pub fn replay(bytes: &[u8]) -> Result<Recovered> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| BrokerError::RecoveryDiverged(format!("journal is not UTF-8: {e}")))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    // Find the newest snapshot; recovery replays only the tail after it.
+    let start = lines
+        .iter()
+        .rposition(|l| l.starts_with("snap "))
+        .unwrap_or(usize::MAX);
+
+    let mut state = StateManager::new();
+    let mut clock_us = 0u64;
+    let mut calls = 0u64;
+    let mut events = 0u64;
+    let mut ops_replayed = 0u64;
+    let mut commands_replayed = 0u64;
+    let mut snapshot_version = 0u64;
+
+    let tail: Box<dyn Iterator<Item = &&str>> = if start == usize::MAX {
+        Box::new(lines.iter())
+    } else {
+        Box::new(lines[start..].iter())
+    };
+    for line in tail {
+        match parse_record(line)? {
+            JournalRecord::Snapshot {
+                state: snap,
+                clock_us: c,
+                calls: n,
+                events: m,
+            } => {
+                state.restore(&snap);
+                clock_us = c;
+                calls = n;
+                events = m;
+                snapshot_version = snap.version;
+            }
+            JournalRecord::Op(op) => {
+                state.apply_op(&op)?;
+                ops_replayed += 1;
+            }
+            JournalRecord::Command {
+                clock_us: c, kind, ..
+            } => {
+                clock_us = c;
+                match kind {
+                    CommandKind::Call => calls += 1,
+                    CommandKind::Event => events += 1,
+                }
+                commands_replayed += 1;
+            }
+            JournalRecord::Clock { clock_us: c } => {
+                clock_us = c;
+            }
+        }
+    }
+    Ok(Recovered {
+        state,
+        clock_us,
+        calls,
+        events,
+        ops_replayed,
+        commands_replayed,
+        snapshot_version,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(clock_us: u64) -> JournalRecord {
+        JournalRecord::Command {
+            clock_us,
+            kind: CommandKind::Call,
+            selector: "op".into(),
+            action: "a".into(),
+            ok: true,
+            attempts: 1,
+            cost_us: 100,
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_framing() {
+        let mut s = StateManager::new();
+        s.set_str("mode", "two words % and\nnewline\ttab");
+        s.set_int("n", -3);
+        let records = vec![
+            JournalRecord::Snapshot {
+                state: s.snapshot(),
+                clock_us: 5,
+                calls: 2,
+                events: 1,
+            },
+            JournalRecord::Op(StateOp::SetStr {
+                lsn: 3,
+                key: "k e y".into(),
+                value: "v%".into(),
+            }),
+            JournalRecord::Op(StateOp::SetInt {
+                lsn: 4,
+                key: "n".into(),
+                value: 9,
+            }),
+            JournalRecord::Op(StateOp::Unset {
+                lsn: 5,
+                key: "mode".into(),
+            }),
+            cmd(77),
+            JournalRecord::Clock { clock_us: 99 },
+        ];
+        for r in &records {
+            let line = frame(r);
+            assert!(line.ends_with('\n'));
+            let back = parse_record(line.trim_end()).unwrap();
+            assert_eq!(&back, r);
+        }
+    }
+
+    #[test]
+    fn journal_counts_and_periodic_snapshots() {
+        let mut j = Journal::in_memory(2);
+        assert!(!j.snapshot_due());
+        j.record(&cmd(1));
+        assert!(!j.snapshot_due());
+        j.record(&cmd(2));
+        assert!(j.snapshot_due());
+        j.record(&JournalRecord::Snapshot {
+            state: StateManager::new().snapshot(),
+            clock_us: 2,
+            calls: 2,
+            events: 0,
+        });
+        assert!(!j.snapshot_due());
+        assert_eq!(j.entries(), 2);
+        assert_eq!(j.snapshots(), 1);
+        assert_eq!(j.bytes().iter().filter(|b| **b == b'\n').count(), 3);
+    }
+
+    #[test]
+    fn replay_restores_snapshot_plus_tail() {
+        let mut live = StateManager::new();
+        live.record_ops(true);
+        let mut j = Journal::in_memory(0);
+        live.set_str("mode", "direct");
+        live.set_int("opens", 1);
+        for op in live.take_ops() {
+            j.record(&JournalRecord::Op(op));
+        }
+        j.record(&JournalRecord::Snapshot {
+            state: live.snapshot(),
+            clock_us: 10,
+            calls: 1,
+            events: 0,
+        });
+        live.bump("opens", 2);
+        for op in live.take_ops() {
+            j.record(&JournalRecord::Op(op));
+        }
+        j.record(&cmd(25));
+
+        let r = replay(j.bytes()).unwrap();
+        assert_eq!(r.state.int("opens"), Some(3));
+        assert_eq!(r.state.str("mode"), Some("direct"));
+        assert_eq!(r.state.version(), live.version());
+        assert_eq!(r.clock_us, 25);
+        assert_eq!(r.calls, 2);
+        assert_eq!(r.ops_replayed, 1);
+        assert_eq!(r.commands_replayed, 1);
+        assert_eq!(r.snapshot_version, 2);
+    }
+
+    #[test]
+    fn replay_without_snapshot_replays_from_origin() {
+        let mut live = StateManager::new();
+        live.record_ops(true);
+        let mut j = Journal::in_memory(0);
+        live.set_int("x", 7);
+        for op in live.take_ops() {
+            j.record(&JournalRecord::Op(op));
+        }
+        let r = replay(j.bytes()).unwrap();
+        assert_eq!(r.state.int("x"), Some(7));
+        assert_eq!(r.snapshot_version, 0);
+        assert_eq!(r.ops_replayed, 1);
+    }
+
+    #[test]
+    fn corrupt_records_and_lsn_gaps_are_typed_errors() {
+        assert!(matches!(
+            replay(b"nonsense record\n"),
+            Err(BrokerError::RecoveryDiverged(_))
+        ));
+        assert!(matches!(
+            replay(&[0xFF, 0xFE]),
+            Err(BrokerError::RecoveryDiverged(_))
+        ));
+        // LSN 2 with no LSN 1 before it: a lost entry.
+        assert!(matches!(
+            replay(b"op 2 int x 1\n"),
+            Err(BrokerError::RecoveryDiverged(_))
+        ));
+    }
+}

@@ -31,12 +31,16 @@
 pub mod autonomic;
 pub mod components;
 pub mod engine;
+pub mod journal;
 pub mod model;
 pub mod state;
+pub mod supervisor;
 
-pub use engine::{BrokerCallResult, GenericBroker};
+pub use engine::{BrokerCallResult, GenericBroker, RecoveryReport};
+pub use journal::{Journal, JournalSink, MemorySink};
 pub use model::{broker_metamodel, BrokerModelBuilder, Resilience};
 pub use state::StateManager;
+pub use supervisor::{RestartPolicy, Supervisor, SupervisorDecision};
 
 /// Errors produced by the Broker layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +55,9 @@ pub enum BrokerError {
     PolicyFailed(String),
     /// A change-plan step could not be parsed or applied.
     BadPlanStep(String),
+    /// Crash recovery found the journal and the rebuilt runtime model in
+    /// disagreement (LSN gap, corrupt record, or a violated invariant).
+    RecoveryDiverged(String),
     /// An error bubbled up from the modeling substrate.
     Meta(String),
 }
@@ -63,6 +70,7 @@ impl std::fmt::Display for BrokerError {
             BrokerError::NoAction(m) => write!(f, "no applicable action for `{m}`"),
             BrokerError::PolicyFailed(m) => write!(f, "policy evaluation failed: {m}"),
             BrokerError::BadPlanStep(m) => write!(f, "bad change-plan step: {m}"),
+            BrokerError::RecoveryDiverged(m) => write!(f, "recovery diverged: {m}"),
             BrokerError::Meta(m) => write!(f, "model error: {m}"),
         }
     }

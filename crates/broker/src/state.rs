@@ -8,9 +8,72 @@
 
 use crate::{BrokerError, Result};
 use mddsm_meta::constraint::{eval_bool, EvalEnv, Expr};
-use mddsm_meta::metamodel::{Metamodel, MetamodelBuilder};
+use mddsm_meta::metamodel::Metamodel;
 use mddsm_meta::model::{Model, ObjectId};
 use mddsm_meta::Value;
+
+/// One journaled primitive mutation of the runtime model. The `lsn` is the
+/// [`StateManager::version`] value *after* the write — versions bump by one
+/// per primitive write, so LSNs of consecutive ops are contiguous, which
+/// recovery exploits to detect lost entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateOp {
+    /// A string variable was set.
+    SetStr {
+        /// Log sequence number (the version after the write).
+        lsn: u64,
+        /// Variable name.
+        key: String,
+        /// New value.
+        value: String,
+    },
+    /// An integer variable was set.
+    SetInt {
+        /// Log sequence number (the version after the write).
+        lsn: u64,
+        /// Variable name.
+        key: String,
+        /// New value.
+        value: i64,
+    },
+    /// A variable was removed.
+    Unset {
+        /// Log sequence number (the version after the write).
+        lsn: u64,
+        /// Variable name.
+        key: String,
+    },
+}
+
+impl StateOp {
+    /// The op's log sequence number.
+    pub fn lsn(&self) -> u64 {
+        match self {
+            StateOp::SetStr { lsn, .. }
+            | StateOp::SetInt { lsn, .. }
+            | StateOp::Unset { lsn, .. } => *lsn,
+        }
+    }
+}
+
+/// A point-in-time copy of every state variable plus the version counter —
+/// what a journal snapshot stores and what recovery restores before replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSnapshot {
+    /// The version (LSN) at snapshot time.
+    pub version: u64,
+    /// All variables, in key order.
+    pub vars: Vec<(String, SnapValue)>,
+}
+
+/// A snapshotted variable value (the state model only holds these two).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapValue {
+    /// String variable.
+    Str(String),
+    /// Integer variable.
+    Int(i64),
+}
 
 /// The Broker layer's mutable runtime state.
 #[derive(Debug, Clone)]
@@ -21,6 +84,10 @@ pub struct StateManager {
     // fallback of the constraint evaluator.
     mm: Metamodel,
     version: u64,
+    /// When `true`, every primitive write is mirrored into `pending` for a
+    /// journal to drain; off by default so unjournaled managers pay nothing.
+    recording: bool,
+    pending: Vec<StateOp>,
 }
 
 impl Default for StateManager {
@@ -30,31 +97,59 @@ impl Default for StateManager {
 }
 
 impl StateManager {
-    /// Creates an empty state.
+    /// Creates an empty state. Infallible: the empty metamodel is trivially
+    /// well-formed, so no failure path (and no panic path) exists.
     pub fn new() -> Self {
         let mut model = Model::new("mddsm.broker.state");
         let state_obj = model.create("State");
-        let mm = MetamodelBuilder::new("mddsm.broker.state")
-            .build()
-            .expect("empty metamodel is well-formed");
         StateManager {
             model,
             state_obj,
-            mm,
+            mm: Metamodel::empty("mddsm.broker.state"),
             version: 0,
+            recording: false,
+            pending: Vec::new(),
         }
+    }
+
+    /// Turns journaling support on or off: while on, primitive writes are
+    /// mirrored as [`StateOp`]s retrievable with [`StateManager::take_ops`].
+    pub fn record_ops(&mut self, on: bool) {
+        self.recording = on;
+        if !on {
+            self.pending.clear();
+        }
+    }
+
+    /// Drains the ops recorded since the last drain.
+    pub fn take_ops(&mut self) -> Vec<StateOp> {
+        std::mem::take(&mut self.pending)
     }
 
     /// Sets a string variable.
     pub fn set_str(&mut self, key: &str, value: &str) {
         self.model.set_attr(self.state_obj, key, Value::from(value));
         self.version += 1;
+        if self.recording {
+            self.pending.push(StateOp::SetStr {
+                lsn: self.version,
+                key: key.to_owned(),
+                value: value.to_owned(),
+            });
+        }
     }
 
     /// Sets an integer variable.
     pub fn set_int(&mut self, key: &str, value: i64) {
         self.model.set_attr(self.state_obj, key, Value::from(value));
         self.version += 1;
+        if self.recording {
+            self.pending.push(StateOp::SetInt {
+                lsn: self.version,
+                key: key.to_owned(),
+                value,
+            });
+        }
     }
 
     /// Adds `delta` to an integer variable (0 when unset).
@@ -79,11 +174,80 @@ impl StateManager {
     pub fn unset(&mut self, key: &str) {
         self.model.unset_attr(self.state_obj, key);
         self.version += 1;
+        if self.recording {
+            self.pending.push(StateOp::Unset {
+                lsn: self.version,
+                key: key.to_owned(),
+            });
+        }
     }
 
-    /// Mutation counter (each write bumps it).
+    /// Mutation counter (each write bumps it). Doubles as the journal LSN.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Captures every variable plus the version counter.
+    pub fn snapshot(&self) -> StateSnapshot {
+        let mut vars = Vec::new();
+        if let Ok(obj) = self.model.object(self.state_obj) {
+            for (key, values) in &obj.attrs {
+                let Some(v) = values.first() else { continue };
+                if let Some(s) = v.as_str() {
+                    vars.push((key.clone(), SnapValue::Str(s.to_owned())));
+                } else if let Some(i) = v.as_int() {
+                    vars.push((key.clone(), SnapValue::Int(i)));
+                }
+            }
+        }
+        StateSnapshot {
+            version: self.version,
+            vars,
+        }
+    }
+
+    /// Replaces the entire state with a snapshot's contents (recording and
+    /// pending ops are untouched — restore is not itself a mutation).
+    pub fn restore(&mut self, snap: &StateSnapshot) {
+        let mut model = Model::new("mddsm.broker.state");
+        let state_obj = model.create("State");
+        for (key, value) in &snap.vars {
+            match value {
+                SnapValue::Str(s) => model.set_attr(state_obj, key, Value::from(s.as_str())),
+                SnapValue::Int(i) => model.set_attr(state_obj, key, Value::from(*i)),
+            }
+        }
+        self.model = model;
+        self.state_obj = state_obj;
+        self.version = snap.version;
+    }
+
+    /// Replays one journaled op. Refuses (with a typed error) when the
+    /// op's LSN is not exactly `version + 1` — a gap or reorder means the
+    /// journal and the model have diverged.
+    pub fn apply_op(&mut self, op: &StateOp) -> Result<()> {
+        if op.lsn() != self.version + 1 {
+            return Err(BrokerError::RecoveryDiverged(format!(
+                "journal LSN {} does not follow state version {}",
+                op.lsn(),
+                self.version
+            )));
+        }
+        match op {
+            StateOp::SetStr { key, value, .. } => {
+                self.model
+                    .set_attr(self.state_obj, key, Value::from(value.as_str()));
+            }
+            StateOp::SetInt { key, value, .. } => {
+                self.model
+                    .set_attr(self.state_obj, key, Value::from(*value));
+            }
+            StateOp::Unset { key, .. } => {
+                self.model.unset_attr(self.state_obj, key);
+            }
+        }
+        self.version = op.lsn();
+        Ok(())
     }
 
     /// Evaluates an OCL-lite expression with `self` bound to the state
@@ -143,6 +307,81 @@ mod tests {
         assert!(!s.eval(&parse("self.failures > 5").unwrap()).unwrap());
         // Non-boolean expression is a policy failure.
         assert!(s.eval(&parse("self.failures + 1").unwrap()).is_err());
+    }
+
+    #[test]
+    fn recording_mirrors_primitive_writes() {
+        let mut s = StateManager::new();
+        s.set_int("quiet", 1); // not recording yet
+        s.record_ops(true);
+        s.set_str("mode", "direct");
+        s.bump("opens", 2);
+        s.unset("mode");
+        let ops = s.take_ops();
+        assert_eq!(
+            ops,
+            vec![
+                StateOp::SetStr {
+                    lsn: 2,
+                    key: "mode".into(),
+                    value: "direct".into()
+                },
+                StateOp::SetInt {
+                    lsn: 3,
+                    key: "opens".into(),
+                    value: 2
+                },
+                StateOp::Unset {
+                    lsn: 4,
+                    key: "mode".into()
+                },
+            ]
+        );
+        assert!(s.take_ops().is_empty());
+        s.record_ops(false);
+        s.set_int("quiet", 2);
+        assert!(s.take_ops().is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_and_replay_roundtrip() {
+        let mut s = StateManager::new();
+        s.set_str("mode", "direct");
+        s.set_int("opens", 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.version, 2);
+
+        s.record_ops(true);
+        s.set_int("opens", 4);
+        s.unset("mode");
+        let ops = s.take_ops();
+
+        // Restore the snapshot into a fresh manager and replay the tail.
+        let mut r = StateManager::new();
+        r.restore(&snap);
+        assert_eq!(r.int("opens"), Some(3));
+        assert_eq!(r.str("mode"), Some("direct"));
+        for op in &ops {
+            r.apply_op(op).unwrap();
+        }
+        assert_eq!(r.version(), s.version());
+        assert_eq!(r.int("opens"), Some(4));
+        assert_eq!(r.str("mode"), None);
+        assert_eq!(r.snapshot(), s.snapshot());
+    }
+
+    #[test]
+    fn replay_refuses_lsn_gaps() {
+        let mut s = StateManager::new();
+        let op = StateOp::SetInt {
+            lsn: 5,
+            key: "x".into(),
+            value: 1,
+        };
+        match s.apply_op(&op) {
+            Err(BrokerError::RecoveryDiverged(m)) => assert!(m.contains("LSN 5"), "{m}"),
+            other => panic!("expected RecoveryDiverged, got {other:?}"),
+        }
     }
 
     #[test]

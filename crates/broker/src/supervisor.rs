@@ -1,0 +1,342 @@
+//! An OTP-style supervisor for middleware components, built on the
+//! autonomic-manager machinery.
+//!
+//! The paper's autonomic manager reacts to *application* symptoms
+//! (resource failures, breaker trips). This module points the same MAPE-K
+//! idea at the *middleware itself*: each supervised component (a broker
+//! instance, a controller) emits heartbeats into the supervisor's own
+//! runtime model — a [`StateManager`], so liveness symptoms are genuine
+//! OCL-lite expressions over it — and the supervisor detects dead
+//! (crashed) or wedged (stalled) components and decides between restarting
+//! from the last checkpoint and escalating, under a bounded
+//! restart-intensity policy (one-for-one restarts, escalate after
+//! `max_restarts` within `window`).
+//!
+//! Crash vs stall mirrors OTP practice: a crash is detected immediately
+//! (the supervisor holds the equivalent of a process link), while a stall
+//! only shows up as heartbeat staleness and is detected on the first tick
+//! after `stall_after` of silence.
+
+use crate::state::StateManager;
+use crate::{BrokerError, Result};
+use mddsm_meta::constraint;
+use mddsm_sim::fault::ComponentTarget;
+use mddsm_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Bounded-escalation restart policy (OTP "restart intensity").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Restarts tolerated within [`RestartPolicy::window`] before the
+    /// supervisor gives up on the component and escalates.
+    pub max_restarts: u32,
+    /// Sliding window for counting restarts.
+    pub window: SimDuration,
+    /// Heartbeat staleness after which a silent component counts as
+    /// wedged.
+    pub stall_after: SimDuration,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 3,
+            window: SimDuration::from_millis(5_000),
+            stall_after: SimDuration::from_millis(300),
+        }
+    }
+}
+
+/// What the supervisor decided about one unhealthy component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorDecision {
+    /// Restart the component from its last checkpoint (one-for-one).
+    Restart {
+        /// The unhealthy component.
+        component: String,
+        /// Which liveness symptom fired.
+        reason: String,
+        /// Restarts of this component inside the current window,
+        /// counting this one.
+        restarts_in_window: u32,
+    },
+    /// Too many restarts inside the window: give up and hand the failure
+    /// to the next tier.
+    Escalate {
+        /// The component the supervisor gave up on.
+        component: String,
+    },
+}
+
+impl SupervisorDecision {
+    /// The component the decision is about.
+    pub fn component(&self) -> &str {
+        match self {
+            SupervisorDecision::Restart { component, .. }
+            | SupervisorDecision::Escalate { component } => component,
+        }
+    }
+}
+
+/// A heartbeat-driven supervisor over named middleware components.
+#[derive(Debug)]
+pub struct Supervisor {
+    /// The supervisor's own runtime model: `hb_<c>` (last heartbeat, µs),
+    /// `crashed_<c>` / `wedged_<c>` flags, `restarts_<c>` counters — all
+    /// OCL-addressable.
+    state: StateManager,
+    policy: RestartPolicy,
+    components: Vec<String>,
+    /// Virtual-time stamps of past restarts, per component (for the
+    /// sliding restart-intensity window).
+    restart_log: BTreeMap<String, Vec<u64>>,
+    escalated: Vec<String>,
+}
+
+fn key(prefix: &str, component: &str) -> String {
+    // State keys are OCL identifiers: dots in component names would split
+    // attribute navigation, so they are flattened.
+    format!("{prefix}_{}", component.replace('.', "_"))
+}
+
+impl Supervisor {
+    /// A supervisor over `components`, all initially healthy with a
+    /// heartbeat at time zero.
+    pub fn new(components: &[&str], policy: RestartPolicy) -> Self {
+        let mut state = StateManager::new();
+        for c in components {
+            state.set_int(&key("hb", c), 0);
+            state.set_int(&key("crashed", c), 0);
+            state.set_int(&key("wedged", c), 0);
+        }
+        Supervisor {
+            state,
+            policy,
+            components: components.iter().map(|c| (*c).to_owned()).collect(),
+            restart_log: BTreeMap::new(),
+            escalated: Vec::new(),
+        }
+    }
+
+    /// Records a heartbeat from a live component. A wedged component's
+    /// heartbeats are suppressed — that is what being wedged means.
+    pub fn heartbeat(&mut self, component: &str, now: SimTime) {
+        if self.state.int(&key("wedged", component)) == Some(1)
+            || self.state.int(&key("crashed", component)) == Some(1)
+        {
+            return;
+        }
+        self.state
+            .set_int(&key("hb", component), now.as_micros() as i64);
+    }
+
+    /// The supervisor's runtime model (for symptom inspection in tests and
+    /// experiments).
+    pub fn state(&self) -> &StateManager {
+        &self.state
+    }
+
+    /// Whether the supervisor has given up on the component.
+    pub fn escalated(&self, component: &str) -> bool {
+        self.escalated.iter().any(|c| c == component)
+    }
+
+    /// Total restarts performed for a component.
+    pub fn restarts(&self, component: &str) -> u32 {
+        self.restart_log
+            .get(component)
+            .map_or(0, |l| l.len() as u32)
+    }
+
+    /// The liveness symptom for one component, as an OCL-lite condition
+    /// over the supervisor's runtime model. `deadline_us` is
+    /// `now - stall_after`: a heartbeat older than it means wedged.
+    fn symptom(&self, component: &str, deadline_us: i64) -> String {
+        format!(
+            "self.{crashed} = 1 or self.{wedged} = 1 or self.{hb} < {deadline_us}",
+            crashed = key("crashed", component),
+            wedged = key("wedged", component),
+            hb = key("hb", component),
+        )
+    }
+
+    /// One monitoring cycle at virtual time `now`: evaluates every
+    /// component's liveness symptom and returns a decision per unhealthy
+    /// component. A `Restart` decision resets the component's flags and
+    /// heartbeat (the caller performs the actual recovery); an `Escalate`
+    /// removes it from supervision.
+    pub fn tick(&mut self, now: SimTime) -> Result<Vec<SupervisorDecision>> {
+        let now_us = now.as_micros();
+        let deadline_us = now_us.saturating_sub(self.policy.stall_after.as_micros()) as i64;
+        let mut decisions = Vec::new();
+        for component in self.components.clone() {
+            if self.escalated(&component) {
+                continue;
+            }
+            let src = self.symptom(&component, deadline_us);
+            let expr = constraint::parse(&src)
+                .map_err(|e| BrokerError::PolicyFailed(format!("symptom `{src}`: {e}")))?;
+            if !self.state.eval(&expr)? {
+                continue;
+            }
+            let reason = if self.state.int(&key("crashed", &component)) == Some(1) {
+                "crashed"
+            } else if self.state.int(&key("wedged", &component)) == Some(1) {
+                "wedged"
+            } else {
+                "heartbeat-stale"
+            };
+
+            // Restart-intensity check over the sliding window.
+            let log = self.restart_log.entry(component.clone()).or_default();
+            let window_start = now_us.saturating_sub(self.policy.window.as_micros());
+            log.retain(|t| *t >= window_start);
+            if log.len() as u32 >= self.policy.max_restarts {
+                self.escalated.push(component.clone());
+                decisions.push(SupervisorDecision::Escalate {
+                    component: component.clone(),
+                });
+                continue;
+            }
+            log.push(now_us);
+            let restarts_in_window = log.len() as u32;
+            self.state.set_int(&key("crashed", &component), 0);
+            self.state.set_int(&key("wedged", &component), 0);
+            self.state.set_int(&key("hb", &component), now_us as i64);
+            self.state.bump(&key("restarts", &component), 1);
+            decisions.push(SupervisorDecision::Restart {
+                component,
+                reason: reason.to_owned(),
+                restarts_in_window,
+            });
+        }
+        Ok(decisions)
+    }
+}
+
+impl ComponentTarget for Supervisor {
+    fn crash_component(&mut self, component: &str) {
+        if self.components.iter().any(|c| c == component) {
+            self.state.set_int(&key("crashed", component), 1);
+        }
+    }
+
+    fn stall_component(&mut self, component: &str) {
+        if self.components.iter().any(|c| c == component) {
+            self.state.set_int(&key("wedged", component), 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RestartPolicy {
+        RestartPolicy {
+            max_restarts: 2,
+            window: SimDuration::from_millis(1_000),
+            stall_after: SimDuration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn healthy_components_produce_no_decisions() {
+        let mut s = Supervisor::new(&["broker"], policy());
+        s.heartbeat("broker", SimTime::from_millis(50));
+        assert!(s.tick(SimTime::from_millis(60)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn crash_is_detected_immediately_and_restarted() {
+        let mut s = Supervisor::new(&["broker"], policy());
+        s.heartbeat("broker", SimTime::from_millis(10));
+        s.crash_component("broker");
+        // Crashed components stop heartbeating.
+        s.heartbeat("broker", SimTime::from_millis(11));
+        let d = s.tick(SimTime::from_millis(12)).unwrap();
+        assert_eq!(
+            d,
+            vec![SupervisorDecision::Restart {
+                component: "broker".into(),
+                reason: "crashed".into(),
+                restarts_in_window: 1,
+            }]
+        );
+        // Restart resets the flags: next tick is quiet.
+        assert!(s.tick(SimTime::from_millis(13)).unwrap().is_empty());
+        assert_eq!(s.restarts("broker"), 1);
+        assert_eq!(s.state().int("restarts_broker"), Some(1));
+    }
+
+    #[test]
+    fn stall_is_detected_by_heartbeat_staleness() {
+        let mut s = Supervisor::new(&["ctl"], policy());
+        s.heartbeat("ctl", SimTime::from_millis(10));
+        s.stall_component("ctl");
+        // Wedged: heartbeats are suppressed from now on.
+        s.heartbeat("ctl", SimTime::from_millis(20));
+        assert_eq!(s.state().int("hb_ctl"), Some(10_000));
+        let d = s.tick(SimTime::from_millis(50)).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(matches!(&d[0], SupervisorDecision::Restart { reason, .. } if reason == "wedged"));
+    }
+
+    #[test]
+    fn silent_component_goes_stale_without_a_fault_event() {
+        let mut s = Supervisor::new(&["b"], policy());
+        s.heartbeat("b", SimTime::from_millis(10));
+        // Quiet for longer than stall_after without any injected fault.
+        let d = s.tick(SimTime::from_millis(500)).unwrap();
+        assert!(
+            matches!(&d[0], SupervisorDecision::Restart { reason, .. } if reason == "heartbeat-stale")
+        );
+    }
+
+    #[test]
+    fn restart_intensity_escalates_then_stays_escalated() {
+        let mut s = Supervisor::new(&["b"], policy());
+        for i in 0..2u64 {
+            s.crash_component("b");
+            let d = s.tick(SimTime::from_millis(10 + i)).unwrap();
+            assert!(matches!(&d[0], SupervisorDecision::Restart { .. }));
+        }
+        // Third crash inside the 1s window: escalate.
+        s.crash_component("b");
+        let d = s.tick(SimTime::from_millis(20)).unwrap();
+        assert_eq!(
+            d,
+            vec![SupervisorDecision::Escalate {
+                component: "b".into()
+            }]
+        );
+        assert!(s.escalated("b"));
+        // Escalated components are no longer supervised.
+        assert!(s.tick(SimTime::from_millis(21)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn restart_window_slides() {
+        let mut s = Supervisor::new(&["b"], policy());
+        for t in [0u64, 500] {
+            s.crash_component("b");
+            assert_eq!(s.tick(SimTime::from_millis(10 + t)).unwrap().len(), 1);
+        }
+        // 1.6s later, both prior restarts fell out of the 1s window.
+        s.crash_component("b");
+        let d = s.tick(SimTime::from_millis(1_600)).unwrap();
+        assert!(
+            matches!(&d[0], SupervisorDecision::Restart { restarts_in_window, .. } if *restarts_in_window == 1)
+        );
+        assert_eq!(s.restarts("b"), 1); // pruned log only counts the window
+    }
+
+    #[test]
+    fn unknown_components_are_ignored() {
+        let mut s = Supervisor::new(&["b"], policy());
+        s.crash_component("ghost");
+        s.stall_component("ghost");
+        s.heartbeat("b", SimTime::from_millis(1));
+        assert!(s.tick(SimTime::from_millis(2)).unwrap().is_empty());
+    }
+}

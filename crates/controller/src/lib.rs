@@ -63,7 +63,9 @@ pub use context::ControllerContext;
 pub use dsc::{Category, Dsc, DscId, DscRegistry};
 pub use engine::{ControllerEngine, EngineConfig, ExecutionReport};
 pub use intent::{GenerationConfig, ImCache, IntentModel};
-pub use machine::{BrokerPort, PortResponse, StackMachine};
+pub use machine::{
+    BrokerPort, Execution, FrameCheckpoint, MachineCheckpoint, PortResponse, StackMachine,
+};
 pub use policy::PolicyObjective;
 pub use procedure::{ExecutionUnit, Instr, Operand, ProcId, Procedure};
 pub use repository::ProcedureRepository;

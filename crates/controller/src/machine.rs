@@ -121,6 +121,44 @@ impl Default for MachineLimits {
     }
 }
 
+/// A checkpointed stack frame: everything needed to rebuild the frame
+/// against the same intent model and repository. The procedure is
+/// identified by its *path* (child indexes from the IM root), so resume
+/// re-resolves nodes and `on_error` handlers instead of trusting pointers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameCheckpoint {
+    /// Child indexes from the intent-model root to this frame's node.
+    pub path: Vec<usize>,
+    /// The frame's (possibly branch-spliced) program.
+    pub program: Vec<Instr>,
+    /// Next instruction.
+    pub pc: usize,
+    /// Local variables.
+    pub locals: BTreeMap<String, String>,
+    /// Whether the frame is running its `on_error` program.
+    pub in_error: bool,
+}
+
+/// A paused execution: the full frame stack plus the outcome accumulated
+/// so far. Feed it back to [`StackMachine::resume`] to continue exactly
+/// where the execution stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineCheckpoint {
+    /// The frame stack, bottom first.
+    pub frames: Vec<FrameCheckpoint>,
+    /// Side effects and statistics accumulated before the pause.
+    pub outcome: ExecOutcome,
+}
+
+/// Result of a budgeted execution: done, or paused at a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Execution {
+    /// The stack emptied; the operation completed.
+    Complete(ExecOutcome),
+    /// The step budget ran out mid-procedure.
+    Paused(Box<MachineCheckpoint>),
+}
+
 /// The stack machine; stateless between executions apart from limits.
 #[derive(Debug, Clone, Default)]
 pub struct StackMachine {
@@ -129,8 +167,11 @@ pub struct StackMachine {
 
 struct Frame<'a> {
     node: &'a ImNode,
-    /// Flattened program of the procedure's EUs.
-    program: Vec<&'a Instr>,
+    /// Child indexes from the IM root to `node` (checkpoint identity).
+    path: Vec<usize>,
+    /// Flattened program of the procedure's EUs, owned so `IfVar` splicing
+    /// and checkpointing need no lifetime games.
+    program: Vec<Instr>,
     pc: usize,
     locals: BTreeMap<String, String>,
     /// The procedure's compensation EU, if any.
@@ -161,9 +202,108 @@ impl StackMachine {
         cmd_args: &[(String, String)],
         port: &mut dyn BrokerPort,
     ) -> Result<ExecOutcome> {
-        let mut outcome = ExecOutcome::default();
-        let mut stack: Vec<Frame<'_>> = vec![self.frame(&im.root, repo)?];
+        let stack = vec![self.frame(&im.root, Vec::new(), repo)?];
+        match self.run(
+            im,
+            repo,
+            cmd_args,
+            port,
+            stack,
+            ExecOutcome::default(),
+            None,
+        )? {
+            Execution::Complete(outcome) => Ok(outcome),
+            // Unreachable with no budget, but keep the type honest.
+            Execution::Paused(cp) => Ok(cp.outcome),
+        }
+    }
 
+    /// Like [`StackMachine::execute`], but pauses after at most `budget`
+    /// instructions, returning a [`MachineCheckpoint`] that captures the
+    /// in-flight procedure stack. This is what crash-consistent execution
+    /// builds on: checkpoint between budget slices, and after a crash,
+    /// [`StackMachine::resume`] from the last checkpoint.
+    pub fn execute_budgeted(
+        &self,
+        im: &IntentModel,
+        repo: &ProcedureRepository,
+        cmd_args: &[(String, String)],
+        port: &mut dyn BrokerPort,
+        budget: u64,
+    ) -> Result<Execution> {
+        let stack = vec![self.frame(&im.root, Vec::new(), repo)?];
+        self.run(
+            im,
+            repo,
+            cmd_args,
+            port,
+            stack,
+            ExecOutcome::default(),
+            Some(budget),
+        )
+    }
+
+    /// Continues a paused execution from its checkpoint, running at most
+    /// `budget` further instructions (`None` = to completion). Frames are
+    /// revalidated against the intent model and repository: a checkpoint
+    /// that no longer matches them is refused, not misexecuted.
+    pub fn resume(
+        &self,
+        im: &IntentModel,
+        repo: &ProcedureRepository,
+        cmd_args: &[(String, String)],
+        port: &mut dyn BrokerPort,
+        checkpoint: MachineCheckpoint,
+        budget: Option<u64>,
+    ) -> Result<Execution> {
+        let mut stack = Vec::with_capacity(checkpoint.frames.len());
+        for fc in checkpoint.frames {
+            let node = Self::node_at(im, &fc.path)?;
+            let proc = repo.get_or_err(&node.proc)?;
+            if fc.pc > fc.program.len() {
+                return Err(ControllerError::InvalidIntentModel(format!(
+                    "checkpoint pc {} is outside `{}`'s program",
+                    fc.pc, node.proc
+                )));
+            }
+            stack.push(Frame {
+                node,
+                path: fc.path,
+                program: fc.program,
+                pc: fc.pc,
+                locals: fc.locals,
+                on_error: proc.on_error.as_ref(),
+                in_error: fc.in_error,
+            });
+        }
+        self.run(im, repo, cmd_args, port, stack, checkpoint.outcome, budget)
+    }
+
+    /// Resolves an intent-model node by its child-index path.
+    fn node_at<'a>(im: &'a IntentModel, path: &[usize]) -> Result<&'a ImNode> {
+        let mut node = &im.root;
+        for idx in path {
+            node = node.children.get(*idx).ok_or_else(|| {
+                ControllerError::InvalidIntentModel(format!(
+                    "checkpoint path {path:?} does not resolve in the intent model"
+                ))
+            })?;
+        }
+        Ok(node)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run<'a>(
+        &self,
+        _im: &'a IntentModel,
+        repo: &'a ProcedureRepository,
+        cmd_args: &[(String, String)],
+        port: &mut dyn BrokerPort,
+        mut stack: Vec<Frame<'a>>,
+        mut outcome: ExecOutcome,
+        budget: Option<u64>,
+    ) -> Result<Execution> {
+        let mut executed_this_run = 0u64;
         while let Some(top) = stack.last_mut() {
             if outcome.steps >= self.limits.max_steps {
                 return Err(ControllerError::ExecutionLimit(format!(
@@ -171,13 +311,33 @@ impl StackMachine {
                     self.limits.max_steps
                 )));
             }
-            let Some(instr) = top.program.get(top.pc).copied() else {
+            if let Some(b) = budget {
+                if executed_this_run >= b {
+                    let frames = stack
+                        .iter()
+                        .map(|f| FrameCheckpoint {
+                            path: f.path.clone(),
+                            program: f.program.clone(),
+                            pc: f.pc,
+                            locals: f.locals.clone(),
+                            in_error: f.in_error,
+                        })
+                        .collect();
+                    return Ok(Execution::Paused(Box::new(MachineCheckpoint {
+                        frames,
+                        outcome,
+                    })));
+                }
+            }
+            let Some(instr) = top.program.get(top.pc).cloned() else {
                 // Falling off the end of the program implies completion.
                 stack.pop();
                 continue;
             };
             top.pc += 1;
             outcome.steps += 1;
+            executed_this_run += 1;
+            let instr = &instr;
 
             // Resolve an operand against the frame and command args.
             let resolve = |o: &Operand, locals: &BTreeMap<String, String>| -> String {
@@ -245,7 +405,7 @@ impl StackMachine {
                         outcome.recovered_failures += 1;
                         let handler = &mut stack[h];
                         if let Some(eu) = handler.on_error {
-                            handler.program = eu.instructions.iter().collect();
+                            handler.program = eu.instructions.clone();
                         }
                         handler.pc = 0;
                         handler.in_error = true;
@@ -281,13 +441,15 @@ impl StackMachine {
                             top.node.proc
                         ))
                     })?;
+                    let mut path = top.path.clone();
+                    path.push(*idx);
                     if stack.len() >= self.limits.max_depth {
                         return Err(ControllerError::ExecutionLimit(format!(
                             "stack depth {}",
                             self.limits.max_depth
                         )));
                     }
-                    let frame = self.frame(child, repo)?;
+                    let frame = self.frame(child, path, repo)?;
                     stack.push(frame);
                 }
                 Instr::IfVar {
@@ -301,7 +463,7 @@ impl StackMachine {
                     // Splice the branch in just after the current pc.
                     let pc = top.pc;
                     for (i, ins) in branch.iter().enumerate() {
-                        top.program.insert(pc + i, ins);
+                        top.program.insert(pc + i, ins.clone());
                     }
                 }
                 Instr::Complete => {
@@ -309,18 +471,24 @@ impl StackMachine {
                 }
             }
         }
-        Ok(outcome)
+        Ok(Execution::Complete(outcome))
     }
 
-    fn frame<'a>(&self, node: &'a ImNode, repo: &'a ProcedureRepository) -> Result<Frame<'a>> {
+    fn frame<'a>(
+        &self,
+        node: &'a ImNode,
+        path: Vec<usize>,
+        repo: &'a ProcedureRepository,
+    ) -> Result<Frame<'a>> {
         let proc = repo.get_or_err(&node.proc)?;
-        let program: Vec<&Instr> = proc
+        let program: Vec<Instr> = proc
             .eus
             .iter()
-            .flat_map(|eu| eu.instructions.iter())
+            .flat_map(|eu| eu.instructions.iter().cloned())
             .collect();
         Ok(Frame {
             node,
+            path,
             program,
             pc: 0,
             locals: BTreeMap::new(),
@@ -675,6 +843,263 @@ mod tests {
             .execute(&IntentModel { root: node }, &repo, &[], &mut port)
             .unwrap_err();
         assert!(matches!(e, ControllerError::ExecutionLimit(_)));
+    }
+
+    #[test]
+    fn budgeted_execution_pauses_and_resumes_identically() {
+        // parent calls child mid-way, so pausing at various budgets lands
+        // inside nested frames.
+        let parent = Procedure::simple(
+            "parent",
+            "C",
+            vec![
+                Instr::SetVar {
+                    name: "x".into(),
+                    value: Operand::lit("1"),
+                },
+                Instr::CallDep(0),
+                Instr::EmitEvent {
+                    topic: "done".into(),
+                    payload: vec![("x".into(), Operand::var("x"))],
+                },
+                Instr::Complete,
+            ],
+        )
+        .with_dependency("D");
+        let child = Procedure::simple(
+            "child",
+            "D",
+            vec![
+                Instr::BrokerCall {
+                    api: "svc".into(),
+                    op: "a".into(),
+                    args: vec![],
+                },
+                Instr::BrokerCall {
+                    api: "svc".into(),
+                    op: "b".into(),
+                    args: vec![],
+                },
+                Instr::Complete,
+            ],
+        );
+        let repo = repo_of(vec![parent, child]);
+        let im = IntentModel {
+            root: ImNode {
+                proc: "parent".into(),
+                children: vec![ImNode {
+                    proc: "child".into(),
+                    children: vec![],
+                }],
+            },
+        };
+        let machine = StackMachine::new();
+        let mut port = ok_port();
+        let uninterrupted = machine.execute(&im, &repo, &[], &mut port).unwrap();
+
+        // Every possible pause point yields the same final outcome.
+        for budget in 1..8 {
+            let mut port = ok_port();
+            let mut exec = machine
+                .execute_budgeted(&im, &repo, &[], &mut port, budget)
+                .unwrap();
+            let mut pauses = 0;
+            let outcome = loop {
+                match exec {
+                    Execution::Complete(o) => break o,
+                    Execution::Paused(cp) => {
+                        pauses += 1;
+                        assert!(!cp.frames.is_empty());
+                        // The checkpoint is plain data: a clone restores
+                        // the same execution (crash/restore simulation).
+                        let restored = cp.clone();
+                        let mut port = ok_port();
+                        exec = machine
+                            .resume(&im, &repo, &[], &mut port, *restored, Some(budget))
+                            .unwrap();
+                    }
+                }
+            };
+            assert_eq!(outcome, uninterrupted, "budget {budget}");
+            assert!(pauses > 0 || budget >= uninterrupted.steps);
+        }
+    }
+
+    #[test]
+    fn checkpoint_captures_nested_frames_and_locals() {
+        let parent = Procedure::simple(
+            "parent",
+            "C",
+            vec![
+                Instr::SetVar {
+                    name: "pv".into(),
+                    value: Operand::lit("keep"),
+                },
+                Instr::CallDep(0),
+                Instr::Complete,
+            ],
+        )
+        .with_dependency("D");
+        let child = Procedure::simple(
+            "child",
+            "D",
+            vec![
+                Instr::SetVar {
+                    name: "cv".into(),
+                    value: Operand::lit("inner"),
+                },
+                Instr::BrokerCall {
+                    api: "svc".into(),
+                    op: "x".into(),
+                    args: vec![],
+                },
+                Instr::Complete,
+            ],
+        );
+        let repo = repo_of(vec![parent, child]);
+        let im = IntentModel {
+            root: ImNode {
+                proc: "parent".into(),
+                children: vec![ImNode {
+                    proc: "child".into(),
+                    children: vec![],
+                }],
+            },
+        };
+        let mut port = ok_port();
+        // 3 steps: SetVar pv, CallDep, SetVar cv -> paused inside child.
+        let Execution::Paused(cp) = StackMachine::new()
+            .execute_budgeted(&im, &repo, &[], &mut port, 3)
+            .unwrap()
+        else {
+            panic!("expected a pause");
+        };
+        assert_eq!(cp.frames.len(), 2);
+        assert_eq!(cp.frames[0].path, Vec::<usize>::new());
+        assert_eq!(cp.frames[1].path, vec![0]);
+        assert_eq!(
+            cp.frames[0].locals.get("pv").map(String::as_str),
+            Some("keep")
+        );
+        assert_eq!(
+            cp.frames[1].locals.get("cv").map(String::as_str),
+            Some("inner")
+        );
+        assert_eq!(cp.outcome.steps, 3);
+    }
+
+    #[test]
+    fn stale_checkpoints_are_refused() {
+        let (node, proc) = leaf(
+            "p",
+            vec![
+                Instr::SetVar {
+                    name: "x".into(),
+                    value: Operand::lit("1"),
+                },
+                Instr::Complete,
+            ],
+        );
+        let repo = repo_of(vec![proc]);
+        let im = IntentModel { root: node };
+        let machine = StackMachine::new();
+        let mut port = ok_port();
+        let Execution::Paused(cp) = machine
+            .execute_budgeted(&im, &repo, &[], &mut port, 1)
+            .unwrap()
+        else {
+            panic!("expected a pause");
+        };
+
+        // Path that no longer resolves in the intent model.
+        let mut bad = (*cp).clone();
+        bad.frames[0].path = vec![3];
+        let mut port = ok_port();
+        let e = machine
+            .resume(&im, &repo, &[], &mut port, bad, None)
+            .unwrap_err();
+        assert!(matches!(e, ControllerError::InvalidIntentModel(_)));
+
+        // pc outside the program.
+        let mut bad = (*cp).clone();
+        bad.frames[0].pc = 99;
+        let mut port = ok_port();
+        let e = machine
+            .resume(&im, &repo, &[], &mut port, bad, None)
+            .unwrap_err();
+        assert!(matches!(e, ControllerError::InvalidIntentModel(_)));
+    }
+
+    #[test]
+    fn nested_handlers_failing_handler_unwinds_to_ancestor_handler() {
+        // parent (has on_error) -> child (has on_error whose own program
+        // fails): the child handler's failure must unwind to the parent's
+        // handler, not re-enter the child's.
+        let parent = Procedure::simple(
+            "parent",
+            "C",
+            vec![
+                Instr::CallDep(0),
+                Instr::EmitEvent {
+                    topic: "never".into(),
+                    payload: vec![],
+                },
+            ],
+        )
+        .with_dependency("D")
+        .with_on_error(vec![
+            Instr::EmitEvent {
+                topic: "outer-compensated".into(),
+                payload: vec![("proc".into(), Operand::var("error.proc"))],
+            },
+            Instr::Complete,
+        ]);
+        let child = Procedure::simple(
+            "child",
+            "D",
+            vec![Instr::BrokerCall {
+                api: "svc".into(),
+                op: "first".into(),
+                args: vec![],
+            }],
+        )
+        .with_on_error(vec![
+            Instr::EmitEvent {
+                topic: "inner-compensating".into(),
+                payload: vec![],
+            },
+            Instr::BrokerCall {
+                api: "svc".into(),
+                op: "undo".into(),
+                args: vec![],
+            },
+            Instr::Complete,
+        ]);
+        let repo = repo_of(vec![parent, child]);
+        let im = IntentModel {
+            root: ImNode {
+                proc: "parent".into(),
+                children: vec![ImNode {
+                    proc: "child".into(),
+                    children: vec![],
+                }],
+            },
+        };
+        // Everything fails: the child call, then the child handler's undo.
+        let mut port = |_: &str, op: &str, _: &[(String, String)]| {
+            PortResponse::failed(format!("{op} down"), 10)
+        };
+        let out = StackMachine::new()
+            .execute(&im, &repo, &[], &mut port)
+            .unwrap();
+        // Both failures were absorbed: first by the child's handler, then
+        // by the parent's.
+        assert_eq!(out.recovered_failures, 2);
+        let topics: Vec<&str> = out.events.iter().map(|e| e.topic.as_str()).collect();
+        assert_eq!(topics, vec!["inner-compensating", "outer-compensated"]);
+        // The parent handler saw the *child* as the failing procedure.
+        assert_eq!(out.events[1].payload, vec![("proc".into(), "child".into())]);
+        assert_eq!(out.virtual_cost_us, 20);
     }
 
     #[test]

@@ -161,6 +161,20 @@ pub struct Metamodel {
 }
 
 impl Metamodel {
+    /// An empty metamodel (no classes, no enums) under the given name.
+    ///
+    /// Trivially well-formed, so — unlike [`MetamodelBuilder::build`] —
+    /// this constructor is infallible. Useful for runtime models whose
+    /// attribute slots resolve through the constraint evaluator's raw-slot
+    /// fallback rather than declared metaclasses.
+    pub fn empty(name: impl Into<String>) -> Self {
+        Metamodel {
+            name: name.into(),
+            classes: BTreeMap::new(),
+            enums: BTreeMap::new(),
+        }
+    }
+
     /// The metamodel's name.
     pub fn name(&self) -> &str {
         &self.name

@@ -46,6 +46,8 @@ pub fn fault_metamodel() -> Metamodel {
                 "LossSpike",
                 "Partition",
                 "HealNode",
+                "CrashComponent",
+                "StallComponent",
             ],
         )
         .class("FaultPlan", |c| {
@@ -139,6 +141,20 @@ pub enum FaultAction {
         /// Node name.
         node: String,
     },
+    /// Kill a *middleware* component (a broker engine, a controller, a
+    /// container slot) — the process dies, its in-memory runtime model with
+    /// it. Unlike [`FaultAction::Crash`], the underlying resources stay up.
+    CrashComponent {
+        /// Middleware component name.
+        component: String,
+    },
+    /// Wedge a middleware component: it stays "alive" but stops making
+    /// progress (and stops heartbeating), so only staleness detection can
+    /// catch it.
+    StallComponent {
+        /// Middleware component name.
+        component: String,
+    },
 }
 
 impl FaultAction {
@@ -153,6 +169,25 @@ impl FaultAction {
                 | FaultAction::HealNode { .. }
         )
     }
+
+    /// Whether this action targets the middleware itself (vs resources or
+    /// the network).
+    pub fn is_component(&self) -> bool {
+        matches!(
+            self,
+            FaultAction::CrashComponent { .. } | FaultAction::StallComponent { .. }
+        )
+    }
+}
+
+/// Receiver of middleware-level fault events: whatever supervises (or
+/// embodies) middleware components implements this so a [`FaultDriver`]
+/// can kill or wedge them. Resource and network faults never reach it.
+pub trait ComponentTarget {
+    /// The named component dies abruptly (in-memory state lost).
+    fn crash_component(&mut self, component: &str);
+    /// The named component wedges: alive but making no progress.
+    fn stall_component(&mut self, component: &str);
 }
 
 /// A compiled fault event: an action at a virtual-time instant.
@@ -266,6 +301,8 @@ fn compile_event(model: &Model, e: ObjectId) -> Result<FaultEvent, FaultError> {
         }
         "Partition" => FaultAction::Partition { node: target },
         "HealNode" => FaultAction::HealNode { node: target },
+        "CrashComponent" => FaultAction::CrashComponent { component: target },
+        "StallComponent" => FaultAction::StallComponent { component: target },
         other => return Err(FaultError::BadPlan(format!("unknown fault kind `{other}`"))),
     };
     Ok(FaultEvent {
@@ -373,6 +410,16 @@ impl FaultPlanBuilder {
         self.event(at, "HealNode", node)
     }
 
+    /// Crashes the middleware component `component` at `at`.
+    pub fn crash_component(self, at: SimTime, component: &str) -> Self {
+        self.event(at, "CrashComponent", component)
+    }
+
+    /// Wedges the middleware component `component` at `at`.
+    pub fn stall_component(self, at: SimTime, component: &str) -> Self {
+        self.event(at, "StallComponent", component)
+    }
+
     /// Finishes and returns the fault-plan model.
     pub fn build(self) -> Model {
         self.model
@@ -446,6 +493,59 @@ pub fn random_campaign(name: &str, seed: u64, cfg: &CampaignConfig) -> Model {
     b.build()
 }
 
+/// Shape of a randomized *middleware* crash/stall campaign (the E7
+/// workload): components die or wedge at seeded instants and stay down
+/// until a supervisor restarts them — there are no Heal events, recovery
+/// is the supervisor's job.
+#[derive(Debug, Clone)]
+pub struct CrashCampaignConfig {
+    /// Middleware components subjected to crashes.
+    pub components: Vec<String>,
+    /// Campaign horizon: no event fires at or after this instant.
+    pub horizon: SimDuration,
+    /// Mean time between middleware failures per component (exponential).
+    pub mean_uptime: SimDuration,
+    /// Probability a failure is a stall (wedged) instead of a crash.
+    pub stall_chance: f64,
+}
+
+impl Default for CrashCampaignConfig {
+    fn default() -> Self {
+        CrashCampaignConfig {
+            components: Vec::new(),
+            horizon: SimDuration::from_millis(10_000),
+            mean_uptime: SimDuration::from_millis(2_000),
+            stall_chance: 0.25,
+        }
+    }
+}
+
+/// Generates a randomized middleware-crash plan: each component fails at
+/// exponentially-distributed intervals until the horizon; each failure is
+/// a [`FaultAction::CrashComponent`] or, with `stall_chance`, a
+/// [`FaultAction::StallComponent`]. Deterministic in `seed`.
+pub fn random_crash_campaign(name: &str, seed: u64, cfg: &CrashCampaignConfig) -> Model {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut b = FaultPlanBuilder::new(name).seed(seed);
+    for component in &cfg.components {
+        let mut t = 0u64;
+        loop {
+            let up = rng.exponential(cfg.mean_uptime.as_micros() as f64).max(1.0) as u64;
+            t = t.saturating_add(up);
+            if t >= cfg.horizon.as_micros() {
+                break;
+            }
+            let at = SimTime::from_micros(t);
+            b = if rng.chance(cfg.stall_chance) {
+                b.stall_component(at, component)
+            } else {
+                b.crash_component(at, component)
+            };
+        }
+    }
+    b.build()
+}
+
 /// Executes a compiled [`FaultPlan`] against the simulation substrate as
 /// virtual time advances.
 ///
@@ -480,26 +580,54 @@ impl FaultDriver {
     }
 
     /// Applies every event due at or before `now`; returns how many fired.
+    /// Middleware-level events are skipped (but counted) — use
+    /// [`FaultDriver::advance_full`] to deliver them.
     pub fn advance_to(
         &mut self,
         now: SimTime,
         hub: &mut ResourceHub,
         net: Option<&Network>,
     ) -> usize {
+        self.advance_full(now, hub, net, None)
+    }
+
+    /// Like [`FaultDriver::advance_to`], but also delivers middleware
+    /// crash/stall events to `target` when one is supplied.
+    pub fn advance_full(
+        &mut self,
+        now: SimTime,
+        hub: &mut ResourceHub,
+        net: Option<&Network>,
+        mut target: Option<&mut dyn ComponentTarget>,
+    ) -> usize {
         let mut fired = 0;
         while let Some(e) = self.events.get(self.next) {
             if e.at > now {
                 break;
             }
-            apply_action(&e.action, hub, net);
+            match target {
+                Some(ref mut t) => apply_action(&e.action, hub, net, Some(&mut **t)),
+                None => apply_action(&e.action, hub, net, None),
+            }
             self.next += 1;
             fired += 1;
         }
         fired
     }
+
+    /// The firing instant of the next pending event, if any — lets a
+    /// harness align its virtual clock with the campaign.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.events.get(self.next).map(|e| e.at)
+    }
 }
 
-fn apply_action(action: &FaultAction, hub: &mut ResourceHub, net: Option<&Network>) {
+fn apply_action(
+    action: &FaultAction,
+    hub: &mut ResourceHub,
+    net: Option<&Network>,
+    target: Option<&mut dyn ComponentTarget>,
+) {
     match action {
         FaultAction::Crash { resource } => {
             hub.set_healthy(resource, false);
@@ -536,6 +664,16 @@ fn apply_action(action: &FaultAction, hub: &mut ResourceHub, net: Option<&Networ
                 n.heal_node(node);
             }
         }
+        FaultAction::CrashComponent { component } => {
+            if let Some(t) = target {
+                t.crash_component(component);
+            }
+        }
+        FaultAction::StallComponent { component } => {
+            if let Some(t) = target {
+                t.stall_component(component);
+            }
+        }
     }
 }
 
@@ -554,7 +692,7 @@ pub fn schedule_network_events(sim: &mut Simulator, plan: &FaultPlan, net: &Netw
         sim.schedule_at(e.at, move |_| {
             // Network-only actions never touch the hub.
             let mut unused = ResourceHub::new(0);
-            apply_action(&action, &mut unused, Some(&net));
+            apply_action(&action, &mut unused, Some(&net), None);
         });
         scheduled += 1;
     }
@@ -707,6 +845,73 @@ mod tests {
             net.send(&mut sim2, "a", "b", |_| {}),
             crate::net::SendOutcome::Dropped
         );
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        crashed: Vec<String>,
+        stalled: Vec<String>,
+    }
+
+    impl ComponentTarget for Recorder {
+        fn crash_component(&mut self, component: &str) {
+            self.crashed.push(component.to_owned());
+        }
+        fn stall_component(&mut self, component: &str) {
+            self.stalled.push(component.to_owned());
+        }
+    }
+
+    #[test]
+    fn component_events_reach_the_component_target() {
+        let model = FaultPlanBuilder::new("p")
+            .crash_component(SimTime::from_millis(10), "broker")
+            .stall_component(SimTime::from_millis(20), "controller")
+            .crash(SimTime::from_millis(30), "svc")
+            .build();
+        conformance::check(&model, &fault_metamodel()).unwrap();
+        let plan = FaultPlan::from_model(&model).unwrap();
+        assert!(plan.events()[0].action.is_component());
+        assert!(!plan.events()[0].action.is_network());
+        assert!(!plan.events()[2].action.is_component());
+
+        let mut driver = FaultDriver::new(&plan);
+        assert_eq!(driver.next_at(), Some(SimTime::from_millis(10)));
+        let mut hub = hub();
+        let mut rec = Recorder::default();
+        let fired = driver.advance_full(SimTime::from_millis(25), &mut hub, None, Some(&mut rec));
+        assert_eq!(fired, 2);
+        assert_eq!(rec.crashed, vec!["broker".to_string()]);
+        assert_eq!(rec.stalled, vec!["controller".to_string()]);
+        assert!(hub.is_healthy("svc"));
+        // Without a target, component events are skipped but still counted.
+        assert_eq!(
+            driver.advance_to(SimTime::from_millis(30), &mut hub, None),
+            1
+        );
+        assert!(!hub.is_healthy("svc"));
+        assert_eq!(driver.next_at(), None);
+    }
+
+    #[test]
+    fn random_crash_campaigns_are_deterministic_and_component_only() {
+        let cfg = CrashCampaignConfig {
+            components: vec!["broker".into()],
+            horizon: SimDuration::from_millis(60_000),
+            ..CrashCampaignConfig::default()
+        };
+        let a = random_crash_campaign("c", 11, &cfg);
+        let b = random_crash_campaign("c", 11, &cfg);
+        assert_eq!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&b));
+        conformance::check(&a, &fault_metamodel()).unwrap();
+        let plan = FaultPlan::from_model(&a).unwrap();
+        assert!(!plan.is_empty(), "default config produces events");
+        assert!(plan.events().iter().all(|e| e.action.is_component()));
+        for e in plan.events() {
+            assert!(e.at.as_micros() < cfg.horizon.as_micros());
+        }
+        let c = random_crash_campaign("c", 12, &cfg);
+        assert_ne!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&c));
     }
 
     #[test]
