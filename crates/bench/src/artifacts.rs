@@ -255,6 +255,17 @@ pub fn required_keys(experiment: &str) -> &'static [&'static str] {
             "supervised",
             "naive",
         ],
+        "e8" => &[
+            "seed",
+            "horizon_ms",
+            "shed_beats_naive",
+            "brownout_beats_naive",
+            "crash_trace_identical",
+            "recovered_mode_matches",
+            "naive",
+            "shed",
+            "brownout",
+        ],
         _ => &["seed"],
     }
 }
@@ -313,6 +324,8 @@ mod tests {
         assert_eq!(check_artifact("BENCH_e6.json", &e6).unwrap(), "e6");
         let e7 = crate::e7::run(3, 80, 20).to_json();
         assert_eq!(check_artifact("BENCH_e7.json", &e7).unwrap(), "e7");
+        let e8 = crate::e8::run(3, 300).to_json();
+        assert_eq!(check_artifact("BENCH_e8.json", &e8).unwrap(), "e8");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin experiments -- quick   # CI-sized run
 //! ```
 
-use bench::{ablation, e1, e2, e3, e4, e5, e6, e7};
+use bench::{ablation, e1, e2, e3, e4, e5, e6, e7, e8};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +38,9 @@ fn main() {
     }
     if want("e7") {
         run_e7(quick);
+    }
+    if want("e8") {
+        run_e8(quick);
     }
     if want("ablations") {
         run_ablations(quick);
@@ -125,6 +128,61 @@ fn run_e7(quick: bool) {
     println!(
         "\n  expectation: snapshot+journal recovery replays the middleware to the\n               exact pre-crash model, so the recovered command trace is\n               byte-identical to an uncrashed run; naive restarts lose\n               runtime state and diverge\n  measured: supervised identical={} over {} recoveries; naive identical={}\n",
         r.supervised_trace_identical, r.supervised.restarts, r.naive_trace_identical
+    );
+}
+
+fn run_e8(quick: bool) {
+    println!("E8 — overload robustness: admission control + brownout vs naive FIFO");
+    println!("---------------------------------------------------------------------");
+    let horizon_ms = if quick { 400 } else { 1_500 };
+    let r = e8::run(2024, horizon_ms);
+    println!(
+        "  campaign: seed {}, {} virtual ms, interactive arrivals x{:.0} in [{}, {}) ms",
+        r.seed, r.horizon_ms, r.spike_factor, r.spike_start_ms, r.spike_end_ms
+    );
+    for (name, v) in [
+        ("naive", &r.naive),
+        ("shed", &r.shed),
+        ("brownout", &r.brownout),
+    ] {
+        println!(
+            "  {:<9} timely {:>4}/{:<4}  shed {:>3}  dropped {:>3}  goodput {:>7.1}/s  miss {:>6.2}%  p99 {:>9.3} ms  transitions {:>2}",
+            name,
+            v.timely,
+            v.arrivals,
+            v.shed,
+            v.dropped,
+            v.goodput_per_s,
+            v.miss_rate * 100.0,
+            v.p99_latency_ms,
+            v.brownout_transitions
+        );
+    }
+    println!(
+        "  mid-overload crash: trace {}  recovered mode {}",
+        if r.crash_trace_identical {
+            "IDENTICAL"
+        } else {
+            "DIVERGED"
+        },
+        if r.recovered_mode_matches {
+            "PRESERVED"
+        } else {
+            "LOST"
+        }
+    );
+    match std::fs::write("BENCH_e8.json", r.to_json()) {
+        Ok(()) => println!("  artifact: BENCH_e8.json"),
+        Err(e) => println!("  artifact: BENCH_e8.json not written: {e}"),
+    }
+    println!(
+        "\n  expectation: model-defined admission keeps admitted work fresh and the\n               declared brownout mode trades fidelity for capacity, so both\n               beat FIFO on goodput and deadline misses under the same spike\n  measured: goodput {:.1} -> {:.1} -> {:.1} /s; miss {:.1}% -> {:.1}% -> {:.1}%\n",
+        r.naive.goodput_per_s,
+        r.shed.goodput_per_s,
+        r.brownout.goodput_per_s,
+        r.naive.miss_rate * 100.0,
+        r.shed.miss_rate * 100.0,
+        r.brownout.miss_rate * 100.0
     );
 }
 

@@ -13,11 +13,13 @@
 //!
 //! | E6 | fault recovery: resilience model on vs off under fault campaigns | [`e6`] |
 //! | E7 | crash-consistent recovery: journal + supervisor vs naive restart | [`e7`] |
+//! | E8 | overload robustness: admission control + brownout vs naive FIFO | [`e8`] |
 //!
 //! The same functions back the micro-benches (`benches/`, via [`micro`])
 //! and the `experiments` binary that prints the paper-style tables.
 //! [`artifacts`] validates the emitted `BENCH_*.json` files in CI.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
@@ -29,6 +31,7 @@ pub mod e4;
 pub mod e5;
 pub mod e6;
 pub mod e7;
+pub mod e8;
 pub mod micro;
 pub mod port;
 

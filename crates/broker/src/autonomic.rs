@@ -10,6 +10,7 @@
 use crate::state::StateManager;
 use crate::{BrokerError, Result};
 use mddsm_meta::constraint::Expr;
+use mddsm_meta::model::Model;
 use mddsm_sim::{ResourceHub, SimDuration};
 use std::collections::BTreeMap;
 
@@ -67,6 +68,42 @@ pub fn parse_step(s: &str) -> Result<PlanStep> {
             "unknown verb `{other}` in `{s}`"
         ))),
     }
+}
+
+/// Executes a sequence of plan steps against the runtime model and hub;
+/// returns the emitted event topics. `bindings` maps logical resource
+/// names to hub resources. Shared by autonomic plans and brownout mode
+/// transitions.
+pub(crate) fn run_steps(
+    steps: &[PlanStep],
+    state: &mut StateManager,
+    hub: &mut ResourceHub,
+    bindings: &BTreeMap<String, String>,
+) -> Result<Vec<String>> {
+    let mut emitted = Vec::new();
+    let resolve = |r: &String| bindings.get(r).cloned().unwrap_or_else(|| r.clone());
+    for step in steps {
+        match step {
+            PlanStep::Heal(r) => {
+                hub.set_healthy(&resolve(r), true);
+            }
+            PlanStep::Fail(r) => {
+                hub.set_healthy(&resolve(r), false);
+            }
+            PlanStep::Degrade(r, ms) => {
+                hub.degrade(&resolve(r), SimDuration::from_millis(*ms));
+            }
+            PlanStep::Set(k, v) => state.apply_effect(&format!("{k}={v}"))?,
+            PlanStep::Emit(topic) => emitted.push(topic.clone()),
+            PlanStep::ResetBreaker(r) => {
+                // Breaker keys use the logical resource name (the same
+                // scheme the engine writes).
+                state.set_str(&crate::engine::breaker_key(r, ""), "closed");
+                state.set_int(&crate::engine::breaker_key(r, "failures"), 0);
+            }
+        }
+    }
+    Ok(emitted)
 }
 
 /// A compiled autonomic rule: symptom condition plus plan steps.
@@ -133,30 +170,194 @@ impl AutonomicManager {
         for i in due {
             let rule = self.rules[i].clone();
             *self.fired.entry(rule.symptom.clone()).or_insert(0) += 1;
-            for step in &rule.steps {
-                let resolve = |r: &String| bindings.get(r).cloned().unwrap_or_else(|| r.clone());
-                match step {
-                    PlanStep::Heal(r) => {
-                        hub.set_healthy(&resolve(r), true);
-                    }
-                    PlanStep::Fail(r) => {
-                        hub.set_healthy(&resolve(r), false);
-                    }
-                    PlanStep::Degrade(r, ms) => {
-                        hub.degrade(&resolve(r), SimDuration::from_millis(*ms));
-                    }
-                    PlanStep::Set(k, v) => state.apply_effect(&format!("{k}={v}"))?,
-                    PlanStep::Emit(topic) => emitted.push(topic.clone()),
-                    PlanStep::ResetBreaker(r) => {
-                        // Breaker keys use the logical resource name (the
-                        // same scheme the engine writes).
-                        state.set_str(&crate::engine::breaker_key(r, ""), "closed");
-                        state.set_int(&crate::engine::breaker_key(r, "failures"), 0);
-                    }
-                }
-            }
+            emitted.extend(run_steps(&rule.steps, state, hub, bindings)?);
         }
         Ok(emitted)
+    }
+}
+
+/// A declared brownout (degraded-service) mode, compiled from a
+/// `BrownoutMode` model object.
+#[derive(Debug, Clone)]
+pub struct BrownoutMode {
+    /// Mode name (`lite`, `audio-only`, …). Level 0 — full service — is
+    /// implicit and needs no declaration.
+    pub name: String,
+    /// Severity order; deeper degradations have higher levels.
+    pub level: i64,
+    /// Enter when `adm_queue_delay_us` reaches this (0 = trigger off).
+    pub enter_delay_us: i64,
+    /// Exit hysteresis: leave only once the delay is back at or below
+    /// this (strictly less than `enter_delay_us` for real hysteresis).
+    pub exit_delay_us: i64,
+    /// Enter when the per-tick shed count reaches this (0 = trigger off).
+    pub enter_shed: i64,
+    /// Exit only once the per-tick shed count is at or below this.
+    pub exit_shed: i64,
+    /// Steps run on entering the mode.
+    pub enter_steps: Vec<PlanStep>,
+    /// Steps run on leaving the mode.
+    pub exit_steps: Vec<PlanStep>,
+}
+
+/// One brownout mode change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrownoutTransition {
+    /// Mode left (`full` for level 0).
+    pub from: String,
+    /// Mode entered (`full` for level 0).
+    pub to: String,
+    /// Level entered.
+    pub level: i64,
+}
+
+/// The brownout controller: switches the platform between model-declared
+/// degraded modes when overload metrics (`adm_queue_delay_us`, per-tick
+/// `adm_shed_recent`) cross the modes' enter thresholds, and restores
+/// service with hysteresis once both metrics are back under the exit
+/// thresholds.
+///
+/// The controller holds **no mutable mode state of its own**: the current
+/// mode lives in the state manager (`brownout_mode` / `brownout_level`),
+/// so mode transitions are journaled like any other state write and crash
+/// recovery resumes in the correct degraded mode.
+#[derive(Debug, Clone, Default)]
+pub struct BrownoutController {
+    /// Declared modes, sorted by ascending level.
+    modes: Vec<BrownoutMode>,
+    transitions: u64,
+}
+
+impl BrownoutController {
+    /// Compiles the `BrownoutMode` objects of a broker model (empty
+    /// controller when the model declares none).
+    pub fn from_model(model: &Model) -> Result<Self> {
+        let mut modes = Vec::new();
+        for m in model.all_of_class("BrownoutMode") {
+            let int_attr = |name: &str| model.attr_int(m, name).unwrap_or(0);
+            let steps = |attr: &str| -> Result<Vec<PlanStep>> {
+                model
+                    .attr_all(m, attr)
+                    .iter()
+                    .filter_map(|v| v.as_str())
+                    .map(parse_step)
+                    .collect()
+            };
+            modes.push(BrownoutMode {
+                name: model.attr_str(m, "name").unwrap_or_default().to_owned(),
+                level: int_attr("level").max(1),
+                enter_delay_us: int_attr("enterDelayUs").max(0),
+                exit_delay_us: int_attr("exitDelayUs").max(0),
+                enter_shed: int_attr("enterShed").max(0),
+                exit_shed: int_attr("exitShed").max(0),
+                enter_steps: steps("enterSteps")?,
+                exit_steps: steps("exitSteps")?,
+            });
+        }
+        modes.sort_by(|a, b| a.level.cmp(&b.level).then_with(|| a.name.cmp(&b.name)));
+        Ok(BrownoutController {
+            modes,
+            transitions: 0,
+        })
+    }
+
+    /// The declared modes.
+    pub fn modes(&self) -> &[BrownoutMode] {
+        &self.modes
+    }
+
+    /// Mode transitions performed so far (diagnostics only; not part of
+    /// the replayed state).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    fn mode_at(&self, level: i64) -> Option<&BrownoutMode> {
+        self.modes.iter().find(|m| m.level == level)
+    }
+
+    /// The deepest mode whose enter condition holds for the metrics.
+    fn target_level(&self, delay: i64, shed: i64) -> i64 {
+        self.modes
+            .iter()
+            .filter(|m| {
+                (m.enter_delay_us > 0 && delay >= m.enter_delay_us)
+                    || (m.enter_shed > 0 && shed >= m.enter_shed)
+            })
+            .map(|m| m.level)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// One control cycle: reads the overload metrics from the runtime
+    /// model, decides the mode, runs enter/exit steps on a change, and
+    /// resets the per-tick shed window. Returns the transition (if any)
+    /// and the event topics the steps emitted.
+    pub fn tick(
+        &mut self,
+        state: &mut StateManager,
+        hub: &mut ResourceHub,
+        bindings: &BTreeMap<String, String>,
+    ) -> Result<(Option<BrownoutTransition>, Vec<String>)> {
+        if self.modes.is_empty() {
+            return Ok((None, Vec::new()));
+        }
+        let delay = state.int("adm_queue_delay_us").unwrap_or(0);
+        let shed = state.int("adm_shed_recent").unwrap_or(0);
+        let current = state.int("brownout_level").unwrap_or(0);
+        let target = self.target_level(delay, shed);
+
+        let mut transition = None;
+        let mut emitted = Vec::new();
+        if target > current {
+            // Escalate straight to the deepest triggered mode.
+            if let Some(mode) = self.mode_at(target).cloned() {
+                emitted.extend(run_steps(&mode.enter_steps, state, hub, bindings)?);
+                let from = state.str("brownout_mode").unwrap_or("full").to_owned();
+                state.set_str("brownout_mode", &mode.name);
+                state.set_int("brownout_level", mode.level);
+                self.transitions += 1;
+                transition = Some(BrownoutTransition {
+                    from,
+                    to: mode.name,
+                    level: mode.level,
+                });
+            }
+        } else if target < current {
+            // Hysteresis: leave the current mode only once both metrics
+            // are back at or below its exit thresholds.
+            let calm = self
+                .mode_at(current)
+                .is_none_or(|m| delay <= m.exit_delay_us && shed <= m.exit_shed);
+            if calm {
+                if let Some(m) = self.mode_at(current) {
+                    let steps = m.exit_steps.clone();
+                    emitted.extend(run_steps(&steps, state, hub, bindings)?);
+                }
+                let from = state.str("brownout_mode").unwrap_or("full").to_owned();
+                let (to, level) = match self.mode_at(target) {
+                    Some(m) if target > 0 => {
+                        let steps = m.enter_steps.clone();
+                        let name = m.name.clone();
+                        let level = m.level;
+                        emitted.extend(run_steps(&steps, state, hub, bindings)?);
+                        (name, level)
+                    }
+                    _ => ("full".to_owned(), 0),
+                };
+                state.set_str("brownout_mode", &to);
+                state.set_int("brownout_level", level);
+                self.transitions += 1;
+                transition = Some(BrownoutTransition { from, to, level });
+            }
+        }
+
+        // The shed window is per control cycle; only touch the key when it
+        // carries a non-zero count so idle ticks journal nothing.
+        if shed != 0 {
+            state.set_int("adm_shed_recent", 0);
+        }
+        Ok((transition, emitted))
     }
 }
 
@@ -293,6 +494,110 @@ mod tests {
         assert!(emitted.is_empty());
         let emitted = mgr.tick(&mut state, &mut hub, &bindings).unwrap();
         assert_eq!(emitted, vec!["late".to_string()]);
+    }
+
+    fn lite_mode() -> BrownoutMode {
+        BrownoutMode {
+            name: "lite".into(),
+            level: 1,
+            enter_delay_us: 10_000,
+            exit_delay_us: 2_000,
+            enter_shed: 5,
+            exit_shed: 0,
+            enter_steps: vec![parse_step("set svc lite").unwrap()],
+            exit_steps: vec![parse_step("set svc full").unwrap()],
+        }
+    }
+
+    #[test]
+    fn brownout_enters_and_exits_with_hysteresis() {
+        let mut ctl = BrownoutController {
+            modes: vec![lite_mode()],
+            transitions: 0,
+        };
+        let mut state = StateManager::new();
+        let mut hub = hub();
+        let bindings = BTreeMap::new();
+
+        // Calm: nothing happens.
+        let (t, _) = ctl.tick(&mut state, &mut hub, &bindings).unwrap();
+        assert!(t.is_none());
+
+        // Queue delay over the enter threshold: enter `lite`.
+        state.set_int("adm_queue_delay_us", 12_000);
+        let (t, _) = ctl.tick(&mut state, &mut hub, &bindings).unwrap();
+        assert_eq!(t.unwrap().to, "lite");
+        assert_eq!(state.str("brownout_mode"), Some("lite"));
+        assert_eq!(state.int("brownout_level"), Some(1));
+        assert_eq!(state.str("svc"), Some("lite"));
+
+        // Delay back below enter but above exit: hysteresis holds the mode.
+        state.set_int("adm_queue_delay_us", 5_000);
+        let (t, _) = ctl.tick(&mut state, &mut hub, &bindings).unwrap();
+        assert!(t.is_none());
+        assert_eq!(state.str("brownout_mode"), Some("lite"));
+
+        // Delay at the exit threshold: restore full service.
+        state.set_int("adm_queue_delay_us", 2_000);
+        let (t, _) = ctl.tick(&mut state, &mut hub, &bindings).unwrap();
+        let t = t.unwrap();
+        assert_eq!(
+            (t.from.as_str(), t.to.as_str(), t.level),
+            ("lite", "full", 0)
+        );
+        assert_eq!(state.str("svc"), Some("full"));
+        assert_eq!(ctl.transitions(), 2);
+    }
+
+    #[test]
+    fn brownout_shed_trigger_fires_and_window_resets() {
+        let mut ctl = BrownoutController {
+            modes: vec![lite_mode()],
+            transitions: 0,
+        };
+        let mut state = StateManager::new();
+        let mut hub = hub();
+        let bindings = BTreeMap::new();
+        state.set_int("adm_shed_recent", 6);
+        let (t, _) = ctl.tick(&mut state, &mut hub, &bindings).unwrap();
+        assert_eq!(t.unwrap().to, "lite");
+        // The per-tick shed window was consumed.
+        assert_eq!(state.int("adm_shed_recent"), Some(0));
+        // Next tick: sheds stopped and delay is zero -> exit.
+        let (t, _) = ctl.tick(&mut state, &mut hub, &bindings).unwrap();
+        assert_eq!(t.unwrap().to, "full");
+    }
+
+    #[test]
+    fn brownout_escalates_straight_to_the_deepest_triggered_mode() {
+        let audio = BrownoutMode {
+            name: "audio-only".into(),
+            level: 2,
+            enter_delay_us: 50_000,
+            exit_delay_us: 10_000,
+            enter_shed: 0,
+            exit_shed: 0,
+            enter_steps: vec![parse_step("set svc audio").unwrap()],
+            exit_steps: vec![],
+        };
+        let mut ctl = BrownoutController {
+            modes: vec![lite_mode(), audio],
+            transitions: 0,
+        };
+        let mut state = StateManager::new();
+        let mut hub = hub();
+        let bindings = BTreeMap::new();
+        state.set_int("adm_queue_delay_us", 60_000);
+        let (t, _) = ctl.tick(&mut state, &mut hub, &bindings).unwrap();
+        let t = t.unwrap();
+        assert_eq!((t.to.as_str(), t.level), ("audio-only", 2));
+        // Calming to lite territory steps down one declared mode, running
+        // the deeper mode's exit steps and the lighter mode's enter steps.
+        state.set_int("adm_queue_delay_us", 10_000);
+        let (t, _) = ctl.tick(&mut state, &mut hub, &bindings).unwrap();
+        let t = t.unwrap();
+        assert_eq!((t.from.as_str(), t.to.as_str()), ("audio-only", "lite"));
+        assert_eq!(state.str("svc"), Some("lite"));
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! the first whose policy guard holds is dispatched against the underlying
 //! (simulated) resource.
 
-use crate::autonomic::{parse_step, AutonomicManager, AutonomicRule};
+use crate::admission::adm_key;
+use crate::admission::{AdmissionController, AdmissionDecision, CallMeta, ShedReason};
+use crate::autonomic::{
+    parse_step, AutonomicManager, AutonomicRule, BrownoutController, BrownoutTransition,
+};
 use crate::journal::{self, CommandKind, Journal, JournalRecord, MemorySink};
 use crate::model::{broker_metamodel, Resilience, BROKER_METAMODEL};
 use crate::state::StateManager;
@@ -47,6 +51,12 @@ struct ActionSpec {
     guard: Option<String>,
     state_effects: Vec<String>,
     resilience: Resilience,
+    /// Model-declared work cost in virtual µs (`costUs`), consumed from the
+    /// action's admission class's token bucket; 0 = uncontrolled.
+    cost_us: u64,
+    /// Admission class this action bills against (`admissionClass`); when
+    /// absent, the caller's [`CallMeta`] class is used.
+    admission_class: Option<String>,
 }
 
 #[derive(Debug, Clone)]
@@ -70,6 +80,45 @@ pub struct BrokerCallResult {
     pub action: String,
     /// Resource invocations performed (0 when a breaker short-circuited).
     pub attempts: u32,
+}
+
+/// Typed outcome of an admission-gated call
+/// ([`GenericBroker::call_admitted`]).
+///
+/// Shedding and deferral are *expected* overload responses, not faults, so
+/// they are first-class variants rather than `BrokerError`s — the circuit
+/// breaker and failure counters never see them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmittedOutcome {
+    /// The call was admitted and dispatched.
+    Executed {
+        /// The underlying brokered-call result.
+        result: BrokerCallResult,
+        /// Time the call spent queued before admission (virtual µs).
+        queue_delay_us: u64,
+        /// Absolute deadline that governed admission (virtual µs; 0 when
+        /// the call's class declares none).
+        deadline_us: u64,
+    },
+    /// The call's class token bucket is empty; retry after `wait`.
+    Deferred {
+        /// Virtual time until the bucket refills enough to cover the cost.
+        wait: SimDuration,
+    },
+    /// The call was rejected outright.
+    Shed {
+        /// Why admission rejected it.
+        reason: ShedReason,
+        /// The admission class that shed it.
+        class: String,
+    },
+}
+
+impl AdmittedOutcome {
+    /// `true` when the call actually executed.
+    pub fn is_executed(&self) -> bool {
+        matches!(self, AdmittedOutcome::Executed { .. })
+    }
 }
 
 /// What [`GenericBroker::recover`] did to rebuild the engine: how far the
@@ -98,6 +147,12 @@ pub struct GenericBroker {
     bindings: BTreeMap<String, String>,
     state: StateManager,
     autonomic: AutonomicManager,
+    /// Token-bucket admission control; `None` when the model declares no
+    /// `AdmissionClass` objects (every call is then admitted untouched).
+    admission: Option<AdmissionController>,
+    /// Model-defined brownout (degraded-mode) controller; empty when the
+    /// model declares no `BrownoutMode` objects.
+    brownout: BrownoutController,
     hub: ResourceHub,
     calls: u64,
     events: u64,
@@ -163,6 +218,8 @@ impl GenericBroker {
                         })
                         .collect(),
                     guard: model.attr_str(*a, "guard").map(str::to_owned),
+                    cost_us: int_attr("costUs"),
+                    admission_class: model.attr_str(*a, "admissionClass").map(str::to_owned),
                     state_effects: model
                         .attr_all(*a, "stateEffects")
                         .iter()
@@ -262,13 +319,26 @@ impl GenericBroker {
             });
         }
 
+        // Overload control: admission classes and brownout modes are part
+        // of the model too. Class limits are seeded into the state manager
+        // so change plans can retune them through the same OCL-addressable
+        // keys recovery replays.
+        let mut state = StateManager::new();
+        let admission = AdmissionController::from_model(model);
+        if let Some(ctrl) = &admission {
+            ctrl.seed_state(&mut state);
+        }
+        let brownout = BrownoutController::from_model(model)?;
+
         Ok(GenericBroker {
             name,
             handlers,
             policies,
             bindings,
-            state: StateManager::new(),
+            state,
             autonomic: AutonomicManager::new(rules),
+            admission,
+            brownout,
             hub,
             calls: 0,
             events: 0,
@@ -291,6 +361,87 @@ impl GenericBroker {
         result
     }
 
+    /// Handles a call through model-defined admission control: the chosen
+    /// action's declared `costUs` is billed against its admission class's
+    /// token bucket *before* anything touches a resource, so shed and
+    /// deferred calls never perturb breaker or failure accounting. Every
+    /// decision is journaled as a command record (`<shed:…>` /
+    /// `<deferred>`), making overload behavior crash-replayable.
+    pub fn call_admitted(
+        &mut self,
+        op: &str,
+        args: &Args,
+        meta: &CallMeta,
+    ) -> Result<AdmittedOutcome> {
+        self.calls += 1;
+        let (handler, action) = match self.select_action(HandlerKind::Call, op) {
+            Ok(sel) => sel,
+            Err(e) => {
+                let result: Result<BrokerCallResult> = Err(e.clone());
+                self.journal_command(CommandKind::Call, op, &result);
+                return Err(e);
+            }
+        };
+        // The action's model-declared class wins over the caller's claim.
+        let class = action
+            .admission_class
+            .clone()
+            .unwrap_or_else(|| meta.class.clone());
+        let controlled = self.admission.as_ref().is_some_and(|c| c.has_class(&class));
+        let eff = CallMeta {
+            class: class.clone(),
+            ..meta.clone()
+        };
+        let decision = match &self.admission {
+            Some(ctrl) => ctrl.decide(&mut self.state, self.clock_us, &eff, action.cost_us),
+            None => AdmissionDecision::Admit {
+                queue_delay_us: self.clock_us.saturating_sub(meta.arrival_us),
+                deadline_us: meta.deadline_us,
+            },
+        };
+        match decision {
+            AdmissionDecision::Admit {
+                queue_delay_us,
+                deadline_us,
+            } => {
+                if controlled {
+                    self.state.bump(&adm_key(&class, "admitted"), 1);
+                }
+                let result = self.execute_action(&handler, &action, args, 0);
+                self.journal_command(CommandKind::Call, op, &result);
+                result.map(|r| AdmittedOutcome::Executed {
+                    result: r,
+                    queue_delay_us,
+                    deadline_us,
+                })
+            }
+            AdmissionDecision::Defer { wait } => {
+                self.state.bump(&adm_key(&class, "deferred"), 1);
+                self.journal_admission(op, "<deferred>");
+                Ok(AdmittedOutcome::Deferred { wait })
+            }
+            AdmissionDecision::Shed { reason } => {
+                self.state.bump(&adm_key(&class, "shed"), 1);
+                self.state.bump("adm_shed_recent", 1);
+                self.journal_admission(op, &format!("<shed:{reason}>"));
+                Ok(AdmittedOutcome::Shed { reason, class })
+            }
+        }
+    }
+
+    /// Journals a shed/deferred admission decision as a synthetic command
+    /// record: not ok, zero attempts, zero cost — replay counts it exactly
+    /// like the live run did.
+    fn journal_admission(&mut self, selector: &str, action: &str) {
+        let synthetic: Result<BrokerCallResult> = Ok(BrokerCallResult {
+            outcome: Outcome::Failed(action.to_owned()),
+            cost: SimDuration::ZERO,
+            action: action.to_owned(),
+            attempts: 0,
+        });
+        self.journal_command(CommandKind::Call, selector, &synthetic);
+    }
+
     /// Handles an event from the underlying resources.
     pub fn event(&mut self, topic: &str, payload: &Args) -> Result<BrokerCallResult> {
         self.events += 1;
@@ -305,6 +456,20 @@ impl GenericBroker {
         selector: &str,
         args: &Args,
     ) -> Result<BrokerCallResult> {
+        let (handler, action) = self.select_action(kind, selector)?;
+        self.execute_action(&handler, &action, args, 0)
+    }
+
+    /// Finds the handler for `selector` and the first action whose policy
+    /// guard holds against the current state — the selection half of
+    /// dispatch, shared by [`GenericBroker::call`] and
+    /// [`GenericBroker::call_admitted`] (which must know the chosen
+    /// action's declared cost *before* deciding to execute it).
+    fn select_action(
+        &self,
+        kind: HandlerKind,
+        selector: &str,
+    ) -> Result<(HandlerSpec, ActionSpec)> {
         let handler = self
             .handlers
             .iter()
@@ -335,8 +500,7 @@ impl GenericBroker {
         let action = chosen.ok_or_else(|| {
             BrokerError::NoAction(format!("{selector} (handler `{}`)", handler.name))
         })?;
-
-        self.execute_action(&handler, &action, args, 0)
+        Ok((handler, action))
     }
 
     /// Executes one action under its model-defined resilience spec:
@@ -529,6 +693,32 @@ impl GenericBroker {
         r
     }
 
+    /// Runs one brownout-control cycle: reads the admission metrics from
+    /// state, enters/exits model-declared degraded modes with hysteresis,
+    /// and journals the resulting state writes so recovery resumes in the
+    /// same mode. Returns the transition taken (if any) and the event
+    /// topics its change-plan steps emitted.
+    pub fn brownout_tick(&mut self) -> Result<(Option<BrownoutTransition>, Vec<String>)> {
+        let r = self
+            .brownout
+            .tick(&mut self.state, &mut self.hub, &self.bindings);
+        self.journal_state_ops();
+        self.maybe_snapshot();
+        r
+    }
+
+    /// Mode-change transitions taken by the brownout controller so far
+    /// (in this instance's lifetime — a recovered broker starts at 0 but
+    /// resumes in the journaled mode).
+    pub fn brownout_transitions(&self) -> u64 {
+        self.brownout.transitions()
+    }
+
+    /// The current brownout mode name (`"full"` when not degraded).
+    pub fn brownout_mode(&self) -> String {
+        self.state.str("brownout_mode").unwrap_or("full").to_owned()
+    }
+
     /// The broker's virtual clock: total virtual time charged to calls
     /// handled so far (invocation costs, retry backoff, timeout budgets).
     pub fn now(&self) -> SimTime {
@@ -576,15 +766,33 @@ impl GenericBroker {
     }
 
     /// Drains pending state ops into the journal (WAL order: state ops
-    /// precede the command record that caused them).
+    /// precede the command record that caused them). Runs of consecutive
+    /// writes to the same key within the frame are coalesced into one
+    /// [`JournalRecord::OpCoalesced`] carrying only the final value —
+    /// exact, because nothing can observe the state between the ops of
+    /// one frame — which keeps hot keys (token buckets, shed counters)
+    /// from ballooning the journal under load.
     fn journal_state_ops(&mut self) {
         if self.journal.is_none() {
             return;
         }
         let ops = self.state.take_ops();
         if let Some(j) = self.journal.as_mut() {
-            for op in ops {
-                j.record(&JournalRecord::Op(op));
+            let mut i = 0;
+            while i < ops.len() {
+                let mut end = i;
+                while end + 1 < ops.len() && ops[end + 1].key() == ops[i].key() {
+                    end += 1;
+                }
+                if end == i {
+                    j.record(&JournalRecord::Op(ops[i].clone()));
+                } else {
+                    j.record(&JournalRecord::OpCoalesced {
+                        first_lsn: ops[i].lsn(),
+                        op: ops[end].clone(),
+                    });
+                }
+                i = end + 1;
             }
         }
     }
@@ -824,6 +1032,202 @@ mod tests {
 
     fn broker() -> GenericBroker {
         GenericBroker::from_model(&model(), hub()).unwrap()
+    }
+
+    /// Tight admission: burst covers one 1000µs call, trickle refill.
+    fn overload_model() -> Model {
+        BrokerModelBuilder::new("olb")
+            .call_handler("req", "serve")
+            .resilient_action(
+                "req",
+                "serveFull",
+                "media",
+                "serve",
+                &[],
+                None,
+                &[],
+                &Resilience {
+                    max_retries: 0,
+                    backoff_ms: 0,
+                    timeout_ms: 0,
+                    breaker_threshold: 2,
+                    breaker_cooldown_ms: 50,
+                    fallback: None,
+                },
+            )
+            .with_admission("req", 1_000, "interactive")
+            .admission_class("interactive", 100, 1_000, 20_000, 50_000)
+            .bind_resource("media", "sim.media")
+            .build()
+    }
+
+    #[test]
+    fn shed_and_deferred_outcomes_never_touch_the_breaker() {
+        let mut b = GenericBroker::from_model(&overload_model(), hub()).unwrap();
+        // One admitted call drains the bucket (burst 1000 = one cost).
+        let r = b
+            .call_admitted("serve", &args(&[]), &CallMeta::new("interactive", 0))
+            .unwrap();
+        assert!(r.is_executed());
+        // Bucket empty, refill is slow: the next call is deferred.
+        let now = b.now().as_micros();
+        let r2 = b
+            .call_admitted("serve", &args(&[]), &CallMeta::new("interactive", now))
+            .unwrap();
+        assert!(matches!(r2, AdmittedOutcome::Deferred { .. }));
+        // A call whose deadline already passed is shed.
+        let r3 = b
+            .call_admitted(
+                "serve",
+                &args(&[]),
+                &CallMeta::new("interactive", 0).with_deadline(1),
+            )
+            .unwrap();
+        assert!(matches!(
+            r3,
+            AdmittedOutcome::Shed {
+                reason: ShedReason::DeadlineExpired,
+                ..
+            }
+        ));
+        // Satellite regression: neither defer nor shed is a *failure* —
+        // the breaker stays closed with zero recorded failures (the one
+        // admitted success reset it), and the resource saw exactly the
+        // one admitted call.
+        assert_eq!(b.state().str("breaker_media"), Some("closed"));
+        assert_eq!(b.state().int("breaker_media_failures"), Some(0));
+        assert_eq!(b.state().int("failures_media"), None);
+        assert_eq!(b.hub().command_trace().len(), 1);
+        // But the overload ledger saw all three decisions.
+        assert_eq!(b.state().int("adm_interactive_admitted"), Some(1));
+        assert_eq!(b.state().int("adm_interactive_deferred"), Some(1));
+        assert_eq!(b.state().int("adm_interactive_shed"), Some(1));
+        assert_eq!(b.state().int("adm_shed_recent"), Some(1));
+        assert_eq!(b.stats(), (3, 0));
+    }
+
+    #[test]
+    fn breaker_still_trips_on_real_failures_under_admission() {
+        // Rate 0 = unlimited: admission passes everything through, so the
+        // only failure signal left is the resource genuinely failing.
+        let model = BrokerModelBuilder::new("olb")
+            .call_handler("req", "serve")
+            .resilient_action(
+                "req",
+                "serveFull",
+                "media",
+                "serve",
+                &[],
+                None,
+                &[],
+                &Resilience {
+                    max_retries: 0,
+                    backoff_ms: 0,
+                    timeout_ms: 0,
+                    breaker_threshold: 2,
+                    breaker_cooldown_ms: 50,
+                    fallback: None,
+                },
+            )
+            .with_admission("req", 1_000, "interactive")
+            .admission_class("interactive", 0, 0, 0, 0)
+            .bind_resource("media", "sim.media")
+            .build();
+        let mut b = GenericBroker::from_model(&model, hub()).unwrap();
+        b.hub_mut().set_healthy("sim.media", false);
+        for _ in 0..2 {
+            let now = b.now().as_micros();
+            let r = b
+                .call_admitted("serve", &args(&[]), &CallMeta::new("interactive", now))
+                .unwrap();
+            assert!(r.is_executed());
+        }
+        assert_eq!(b.state().str("breaker_media"), Some("open"));
+        assert_eq!(b.state().int("failures_media"), Some(2));
+    }
+
+    #[test]
+    fn brownout_mode_survives_crash_recovery() {
+        let model = BrokerModelBuilder::new("bb")
+            .call_handler("req", "serve")
+            .policy("lite", "self.svc_mode = \"lite\"")
+            .action("req", "serveLite", "relay", "serve", &[], Some("lite"), &[])
+            .action("req", "serveFull", "media", "serve", &[], None, &[])
+            .with_admission("req", 1_000, "interactive")
+            .admission_class("interactive", 100, 1_000, 20_000, 50_000)
+            .brownout_mode(
+                "lite",
+                1,
+                1_000_000,
+                2_000,
+                2,
+                0,
+                &["set svc_mode lite"],
+                &["set svc_mode full"],
+            )
+            .bind_resource("media", "sim.media")
+            .bind_resource("relay", "sim.relay")
+            .build();
+        let mut b = GenericBroker::from_model(&model, hub()).unwrap();
+        b.enable_journal(0);
+        b.advance_clock(SimDuration::from_millis(1));
+        // Two expired-deadline calls shed -> the shed trigger fires.
+        for _ in 0..2 {
+            let r = b
+                .call_admitted(
+                    "serve",
+                    &args(&[]),
+                    &CallMeta::new("interactive", 0).with_deadline(1),
+                )
+                .unwrap();
+            assert!(matches!(r, AdmittedOutcome::Shed { .. }));
+        }
+        let (t, _) = b.brownout_tick().unwrap();
+        assert_eq!(t.map(|t| t.to), Some("lite".to_owned()));
+        assert_eq!(b.brownout_mode(), "lite");
+        // Degraded mode steers dispatch to the lite action.
+        let r = b
+            .call_admitted("serve", &args(&[]), &CallMeta::new("interactive", 1_000))
+            .unwrap();
+        let AdmittedOutcome::Executed { result, .. } = r else {
+            panic!("expected execution, got {r:?}");
+        };
+        assert_eq!(result.action, "serveLite");
+        // Crash mid-brownout; recovery must resume in the same mode.
+        let bytes = b.journal_bytes().expect("journaling on").to_vec();
+        let hub = b.into_hub();
+        let (recovered, _) = GenericBroker::recover(&model, hub, &bytes, &[]).unwrap();
+        assert_eq!(recovered.brownout_mode(), "lite");
+        assert_eq!(recovered.state().str("svc_mode"), Some("lite"));
+    }
+
+    #[test]
+    fn journal_coalesces_hot_keys_and_replays_exactly() {
+        let model = BrokerModelBuilder::new("cj")
+            .call_handler("do", "doIt")
+            .action(
+                "do",
+                "act",
+                "relay",
+                "go",
+                &[],
+                None,
+                &["hot=+1", "hot=+1", "hot=+1", "cold=1"],
+            )
+            .bind_resource("relay", "sim.relay")
+            .build();
+        let mut b = GenericBroker::from_model(&model, hub()).unwrap();
+        b.enable_journal(0);
+        b.call("doIt", &args(&[])).unwrap();
+        let text = String::from_utf8(b.journal_bytes().unwrap().to_vec()).unwrap();
+        let opc = text.lines().filter(|l| l.starts_with("opc ")).count();
+        let op = text.lines().filter(|l| l.starts_with("op ")).count();
+        assert_eq!((opc, op), (1, 1), "journal:\n{text}");
+        assert_eq!(b.state().int("hot"), Some(3));
+        let snap = b.state().snapshot();
+        let bytes = b.journal_bytes().expect("journaling on").to_vec();
+        let (rec, _) = GenericBroker::recover(&model, b.into_hub(), &bytes, &[]).unwrap();
+        assert_eq!(rec.state().snapshot(), snap);
     }
 
     #[test]

@@ -69,6 +69,19 @@ pub enum CommandKind {
 pub enum JournalRecord {
     /// A primitive runtime-model mutation.
     Op(StateOp),
+    /// A run of consecutive writes to the *same* key within one command
+    /// frame, coalesced to its final value: `op` is the last write of the
+    /// run and `first_lsn` the LSN of the first. Only the final value can
+    /// be observed (nothing reads the state mid-frame), so replaying just
+    /// `op` and advancing the version across the run is exact — and keeps
+    /// hot-key journals (admission token buckets under load) from
+    /// ballooning.
+    OpCoalesced {
+        /// LSN of the first write in the coalesced run.
+        first_lsn: u64,
+        /// The last write of the run (its LSN closes the run).
+        op: StateOp,
+    },
     /// An executed broker command (call or event) and the virtual clock
     /// after it completed.
     Command {
@@ -148,16 +161,22 @@ fn unescape(s: &str) -> Result<String> {
     Ok(out)
 }
 
+/// Frames an op's LSN + mutation (shared by the `op` and `opc` tags).
+fn frame_op_body(op: &StateOp) -> String {
+    match op {
+        StateOp::SetStr { lsn, key, value } => {
+            format!("{lsn} str {} {}", escape(key), escape(value))
+        }
+        StateOp::SetInt { lsn, key, value } => format!("{lsn} int {} {value}", escape(key)),
+        StateOp::Unset { lsn, key } => format!("{lsn} del {}", escape(key)),
+    }
+}
+
 fn frame(rec: &JournalRecord) -> String {
     let mut line = match rec {
-        JournalRecord::Op(StateOp::SetStr { lsn, key, value }) => {
-            format!("op {lsn} str {} {}", escape(key), escape(value))
-        }
-        JournalRecord::Op(StateOp::SetInt { lsn, key, value }) => {
-            format!("op {lsn} int {} {value}", escape(key))
-        }
-        JournalRecord::Op(StateOp::Unset { lsn, key }) => {
-            format!("op {lsn} del {}", escape(key))
+        JournalRecord::Op(op) => format!("op {}", frame_op_body(op)),
+        JournalRecord::OpCoalesced { first_lsn, op } => {
+            format!("opc {first_lsn} {}", frame_op_body(op))
         }
         JournalRecord::Command {
             clock_us,
@@ -214,32 +233,39 @@ fn parse_u64(line: &str, field: Option<&str>, what: &str) -> Result<u64> {
         .ok_or_else(|| bad(line, &format!("bad {what}")))
 }
 
+/// Parses an op's LSN + mutation (the shared tail of `op` and `opc`).
+fn parse_op_body(line: &str, f: &mut std::str::Split<'_, char>) -> Result<StateOp> {
+    let lsn = parse_u64(line, f.next(), "lsn")?;
+    let ty = f.next().ok_or_else(|| bad(line, "missing op type"))?;
+    let key = unescape(f.next().ok_or_else(|| bad(line, "missing key"))?)?;
+    match ty {
+        "str" => Ok(StateOp::SetStr {
+            lsn,
+            key,
+            value: unescape(f.next().ok_or_else(|| bad(line, "missing value"))?)?,
+        }),
+        "int" => Ok(StateOp::SetInt {
+            lsn,
+            key,
+            value: f
+                .next()
+                .and_then(|v| v.parse::<i64>().ok())
+                .ok_or_else(|| bad(line, "bad int value"))?,
+        }),
+        "del" => Ok(StateOp::Unset { lsn, key }),
+        other => Err(bad(line, &format!("unknown op type `{other}`"))),
+    }
+}
+
 fn parse_record(line: &str) -> Result<JournalRecord> {
     let mut f = line.split(' ');
     let tag = f.next().unwrap_or_default();
     match tag {
-        "op" => {
-            let lsn = parse_u64(line, f.next(), "lsn")?;
-            let ty = f.next().ok_or_else(|| bad(line, "missing op type"))?;
-            let key = unescape(f.next().ok_or_else(|| bad(line, "missing key"))?)?;
-            let op = match ty {
-                "str" => StateOp::SetStr {
-                    lsn,
-                    key,
-                    value: unescape(f.next().ok_or_else(|| bad(line, "missing value"))?)?,
-                },
-                "int" => StateOp::SetInt {
-                    lsn,
-                    key,
-                    value: f
-                        .next()
-                        .and_then(|v| v.parse::<i64>().ok())
-                        .ok_or_else(|| bad(line, "bad int value"))?,
-                },
-                "del" => StateOp::Unset { lsn, key },
-                other => return Err(bad(line, &format!("unknown op type `{other}`"))),
-            };
-            Ok(JournalRecord::Op(op))
+        "op" => Ok(JournalRecord::Op(parse_op_body(line, &mut f)?)),
+        "opc" => {
+            let first_lsn = parse_u64(line, f.next(), "first lsn")?;
+            let op = parse_op_body(line, &mut f)?;
+            Ok(JournalRecord::OpCoalesced { first_lsn, op })
         }
         "cmd" => {
             let clock_us = parse_u64(line, f.next(), "clock")?;
@@ -444,6 +470,11 @@ pub fn replay(bytes: &[u8]) -> Result<Recovered> {
                 state.apply_op(&op)?;
                 ops_replayed += 1;
             }
+            JournalRecord::OpCoalesced { first_lsn, op } => {
+                // `apply_coalesced` validates first_lsn <= op.lsn().
+                state.apply_coalesced(first_lsn, &op)?;
+                ops_replayed += op.lsn() - first_lsn + 1;
+            }
             JournalRecord::Command {
                 clock_us: c, kind, ..
             } => {
@@ -589,6 +620,52 @@ mod tests {
         assert_eq!(r.state.int("x"), Some(7));
         assert_eq!(r.snapshot_version, 0);
         assert_eq!(r.ops_replayed, 1);
+    }
+
+    #[test]
+    fn coalesced_runs_roundtrip_and_replay_exactly() {
+        // A hot key written three times in one frame, plus a neighbor.
+        let mut live = StateManager::new();
+        live.record_ops(true);
+        let mut j = Journal::in_memory(0);
+        live.set_int("tokens", 10);
+        live.set_int("tokens", 7);
+        live.set_int("tokens", 3);
+        live.set_str("mode", "lite");
+        let ops = live.take_ops();
+        // Coalesce the run by hand (the engine does the same).
+        j.record(&JournalRecord::OpCoalesced {
+            first_lsn: ops[0].lsn(),
+            op: ops[2].clone(),
+        });
+        j.record(&JournalRecord::Op(ops[3].clone()));
+
+        let r = replay(j.bytes()).unwrap();
+        assert_eq!(r.state.int("tokens"), Some(3));
+        assert_eq!(r.state.str("mode"), Some("lite"));
+        assert_eq!(r.state.version(), live.version());
+        assert_eq!(r.state.snapshot(), live.snapshot());
+        assert_eq!(r.ops_replayed, 4);
+        // Framing roundtrip of the coalesced record itself.
+        let rec = JournalRecord::OpCoalesced {
+            first_lsn: 1,
+            op: ops[2].clone(),
+        };
+        assert_eq!(parse_record(frame(&rec).trim_end()).unwrap(), rec);
+    }
+
+    #[test]
+    fn coalesced_runs_with_gaps_are_refused() {
+        // First LSN 2 over a fresh state (version 0) is a lost entry.
+        assert!(matches!(
+            replay(b"opc 2 4 int x 1\n"),
+            Err(BrokerError::RecoveryDiverged(_))
+        ));
+        // A run that ends before it starts is corrupt.
+        assert!(matches!(
+            replay(b"opc 1 0 int x 1\n"),
+            Err(BrokerError::RecoveryDiverged(_))
+        ));
     }
 
     #[test]

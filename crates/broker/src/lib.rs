@@ -20,14 +20,21 @@
 //!   selects actions by policy guard, executes them against the simulated
 //!   [`ResourceHub`](mddsm_sim::ResourceHub), and tracks failures.
 //! * [`autonomic`] — the autonomic manager: a MAPE-K loop over model-defined
-//!   symptoms → change requests → change plans.
+//!   symptoms → change requests → change plans, plus the brownout
+//!   controller that moves the platform through model-declared degraded
+//!   modes under overload.
+//! * [`admission`] — model-defined overload control: per-class token-bucket
+//!   admission with deadline-aware shedding, limits stored OCL-addressably
+//!   in the state manager so change plans can retune them at runtime.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // A crashed middleware is the opposite of graceful degradation: library
 // code must surface failures as typed `BrokerError`s, never panic. Tests
 // are exempt (the test harness is the right place for unwrap).
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod admission;
 pub mod autonomic;
 pub mod components;
 pub mod engine;
@@ -36,7 +43,9 @@ pub mod model;
 pub mod state;
 pub mod supervisor;
 
-pub use engine::{BrokerCallResult, GenericBroker, RecoveryReport};
+pub use admission::{AdmissionController, AdmissionDecision, CallMeta, ShedReason};
+pub use autonomic::{BrownoutController, BrownoutMode, BrownoutTransition};
+pub use engine::{AdmittedOutcome, BrokerCallResult, GenericBroker, RecoveryReport};
 pub use journal::{Journal, JournalSink, MemorySink};
 pub use model::{broker_metamodel, BrokerModelBuilder, Resilience};
 pub use state::StateManager;

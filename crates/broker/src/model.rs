@@ -16,11 +16,13 @@ pub const BROKER_METAMODEL: &str = "mddsm.broker";
 
 /// Builds the Fig. 6 metamodel.
 ///
-/// Class inventory: the abstract `Manager` with its five concrete
+/// Class inventory: the abstract `Manager` with its six concrete
 /// specializations (`MainManager`, `StateManager`, `PolicyManager`,
-/// `AutonomicManager`, `ResourceManager`), the `Handler`/`Action` pair for
-/// call/event dispatch, `Policy` guards, the autonomic triple
-/// `Symptom`/`ChangeRequest`/`ChangePlan`, and `ResourceBinding`.
+/// `AutonomicManager`, `ResourceManager`, `AdmissionManager`), the
+/// `Handler`/`Action` pair for call/event dispatch, `Policy` guards, the
+/// autonomic triple `Symptom`/`ChangeRequest`/`ChangePlan`,
+/// `ResourceBinding`, and the overload-control pair
+/// `AdmissionClass`/`BrownoutMode`.
 pub fn broker_metamodel() -> Metamodel {
     MetamodelBuilder::new(BROKER_METAMODEL)
         .enumeration("HandlerKind", ["Call", "Event"])
@@ -50,6 +52,11 @@ pub fn broker_metamodel() -> Metamodel {
         .class("ResourceManager", |c| {
             c.extends("Manager")
                 .contains("bindings", "ResourceBinding", Multiplicity::MANY)
+        })
+        .class("AdmissionManager", |c| {
+            c.extends("Manager")
+                .contains("classes", "AdmissionClass", Multiplicity::MANY)
+                .contains("modes", "BrownoutMode", Multiplicity::MANY)
         })
         .class("Handler", |c| {
             c.attr("name", DataType::Str)
@@ -84,6 +91,11 @@ pub fn broker_metamodel() -> Metamodel {
                 .attr_default("breakerCooldownMs", DataType::Int, Value::from(0))
                 // Name of a sibling action dispatched when this one fails.
                 .opt_attr("fallback", DataType::Str)
+                // Declared virtual-time cost of one execution, charged
+                // against the admission class's token bucket (0 = free).
+                .attr_default("costUs", DataType::Int, Value::from(0))
+                // Admission class this action's calls are accounted to.
+                .opt_attr("admissionClass", DataType::Str)
         })
         .class("Policy", |c| {
             c.attr("name", DataType::Str)
@@ -108,6 +120,36 @@ pub fn broker_metamodel() -> Metamodel {
         .class("ResourceBinding", |c| {
             c.attr("name", DataType::Str)
                 .attr("resource", DataType::Str)
+        })
+        .class("AdmissionClass", |c| {
+            c.attr("name", DataType::Str)
+                // Token bucket: `rateUsPerMs` µs of admitted work refilled
+                // per virtual millisecond, capped at `burstUs` (0 = the
+                // class is not rate-limited).
+                .attr_default("rateUsPerMs", DataType::Int, Value::from(0))
+                .attr_default("burstUs", DataType::Int, Value::from(0))
+                // Bound on the queueing delay a waiting call may absorb
+                // before it is shed (0 = unbounded queue).
+                .attr_default("queueBoundUs", DataType::Int, Value::from(0))
+                // Default relative deadline for calls that carry none.
+                .attr_default("deadlineUs", DataType::Int, Value::from(0))
+        })
+        .class("BrownoutMode", |c| {
+            c.attr("name", DataType::Str)
+                // Severity order: higher levels are deeper degradations.
+                .attr_default("level", DataType::Int, Value::from(1))
+                // Enter when queue delay or the per-tick shed count crosses
+                // the enter threshold; exit (with hysteresis) only once both
+                // metrics fall back to the exit thresholds. A zero enter
+                // threshold disables that trigger.
+                .attr_default("enterDelayUs", DataType::Int, Value::from(0))
+                .attr_default("exitDelayUs", DataType::Int, Value::from(0))
+                .attr_default("enterShed", DataType::Int, Value::from(0))
+                .attr_default("exitShed", DataType::Int, Value::from(0))
+                // Plan steps run on entering / leaving the mode (same verbs
+                // as ChangePlan steps).
+                .attr_full("enterSteps", DataType::Str, Multiplicity::MANY, Vec::new())
+                .attr_full("exitSteps", DataType::Str, Multiplicity::MANY, Vec::new())
         })
         .build()
         .expect("broker metamodel is well-formed")
@@ -189,6 +231,9 @@ pub struct BrokerModelBuilder {
     policy_mgr: ObjectId,
     autonomic_mgr: ObjectId,
     resource_mgr: ObjectId,
+    // Created lazily on the first admission-class or brownout-mode
+    // declaration, so models without overload control stay lean.
+    admission_mgr: Option<ObjectId>,
 }
 
 impl BrokerModelBuilder {
@@ -217,6 +262,7 @@ impl BrokerModelBuilder {
             policy_mgr,
             autonomic_mgr,
             resource_mgr,
+            admission_mgr: None,
         }
     }
 
@@ -378,6 +424,102 @@ impl BrokerModelBuilder {
         self
     }
 
+    fn ensure_admission_mgr(&mut self) -> ObjectId {
+        if let Some(m) = self.admission_mgr {
+            return m;
+        }
+        let m = self.model.create("AdmissionManager");
+        self.model.set_attr(m, "name", Value::from("admission"));
+        self.model.add_ref(self.layer, "managers", m);
+        self.admission_mgr = Some(m);
+        m
+    }
+
+    /// Declares an admission class: a token bucket of `rate_us_per_ms` µs
+    /// of work per virtual millisecond (burst `burst_us`), a queueing-delay
+    /// bound, and a default relative deadline. All limits live in the
+    /// broker's `StateManager` under `adm_<class>_*` keys at runtime, so
+    /// autonomic plans can retune them with `set` steps.
+    pub fn admission_class(
+        mut self,
+        name: &str,
+        rate_us_per_ms: u64,
+        burst_us: u64,
+        queue_bound_us: u64,
+        deadline_us: u64,
+    ) -> Self {
+        let mgr = self.ensure_admission_mgr();
+        let c = self.model.create("AdmissionClass");
+        self.model.set_attr(c, "name", Value::from(name));
+        self.model
+            .set_attr(c, "rateUsPerMs", Value::from(rate_us_per_ms as i64));
+        self.model
+            .set_attr(c, "burstUs", Value::from(burst_us as i64));
+        self.model
+            .set_attr(c, "queueBoundUs", Value::from(queue_bound_us as i64));
+        self.model
+            .set_attr(c, "deadlineUs", Value::from(deadline_us as i64));
+        self.model.add_ref(mgr, "classes", c);
+        self
+    }
+
+    /// Declares a brownout (degraded-service) mode. The broker enters the
+    /// mode when `adm_queue_delay_us >= enter_delay_us` or the per-tick
+    /// shed count reaches `enter_shed` (zero thresholds never trigger),
+    /// runs `enter_steps`, and — with hysteresis — leaves it only once the
+    /// delay is back at or below `exit_delay_us` *and* the tick sheds at or
+    /// below `exit_shed`, running `exit_steps`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn brownout_mode(
+        mut self,
+        name: &str,
+        level: i64,
+        enter_delay_us: u64,
+        exit_delay_us: u64,
+        enter_shed: u64,
+        exit_shed: u64,
+        enter_steps: &[&str],
+        exit_steps: &[&str],
+    ) -> Self {
+        let mgr = self.ensure_admission_mgr();
+        let m = self.model.create("BrownoutMode");
+        self.model.set_attr(m, "name", Value::from(name));
+        self.model.set_attr(m, "level", Value::from(level));
+        self.model
+            .set_attr(m, "enterDelayUs", Value::from(enter_delay_us as i64));
+        self.model
+            .set_attr(m, "exitDelayUs", Value::from(exit_delay_us as i64));
+        self.model
+            .set_attr(m, "enterShed", Value::from(enter_shed as i64));
+        self.model
+            .set_attr(m, "exitShed", Value::from(exit_shed as i64));
+        self.model.set_attr_many(
+            m,
+            "enterSteps",
+            enter_steps.iter().map(|s| Value::from(*s)).collect(),
+        );
+        self.model.set_attr_many(
+            m,
+            "exitSteps",
+            exit_steps.iter().map(|s| Value::from(*s)).collect(),
+        );
+        self.model.add_ref(mgr, "modes", m);
+        self
+    }
+
+    /// Annotates the most recently attached action of `handler` with a
+    /// declared per-execution cost (µs of work) and the admission class it
+    /// is accounted to.
+    pub fn with_admission(mut self, handler: &str, cost_us: u64, class: &str) -> Self {
+        let h = self.find_handler(handler);
+        if let Some(a) = self.model.refs(h, "actions").last().copied() {
+            self.model
+                .set_attr(a, "costUs", Value::from(cost_us as i64));
+            self.model.set_attr(a, "admissionClass", Value::from(class));
+        }
+        self
+    }
+
     /// Binds a logical resource name used by actions to a hub resource.
     pub fn bind_resource(mut self, name: &str, resource: &str) -> Self {
         let b = self.model.create("ResourceBinding");
@@ -451,6 +593,35 @@ mod tests {
         conformance::check(&model, &mm).unwrap();
         assert_eq!(model.all_of_class("PolicyManager").len(), 0);
         assert_eq!(model.all_of_class("MainManager").len(), 1);
+    }
+
+    #[test]
+    fn admission_models_conform_and_the_manager_is_lazy() {
+        let mm = broker_metamodel();
+        // No admission declarations -> no AdmissionManager instance.
+        let plain = BrokerModelBuilder::new("p").build();
+        assert_eq!(plain.all_of_class("AdmissionManager").len(), 0);
+
+        let model = BrokerModelBuilder::new("ac")
+            .call_handler("h", "op")
+            .action("h", "a", "r", "o", &[], None, &[])
+            .with_admission("h", 700, "interactive")
+            .admission_class("interactive", 800, 4_000, 50_000, 100_000)
+            .brownout_mode(
+                "lite",
+                1,
+                20_000,
+                5_000,
+                3,
+                0,
+                &["set svc_mode lite"],
+                &["set svc_mode full"],
+            )
+            .build();
+        conformance::check(&model, &mm).unwrap();
+        assert_eq!(model.all_of_class("AdmissionManager").len(), 1);
+        assert_eq!(model.all_of_class("AdmissionClass").len(), 1);
+        assert_eq!(model.all_of_class("BrownoutMode").len(), 1);
     }
 
     #[test]

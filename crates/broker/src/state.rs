@@ -54,6 +54,15 @@ impl StateOp {
             | StateOp::Unset { lsn, .. } => *lsn,
         }
     }
+
+    /// The variable the op writes.
+    pub fn key(&self) -> &str {
+        match self {
+            StateOp::SetStr { key, .. }
+            | StateOp::SetInt { key, .. }
+            | StateOp::Unset { key, .. } => key,
+        }
+    }
 }
 
 /// A point-in-time copy of every state variable plus the version counter —
@@ -229,6 +238,37 @@ impl StateManager {
         if op.lsn() != self.version + 1 {
             return Err(BrokerError::RecoveryDiverged(format!(
                 "journal LSN {} does not follow state version {}",
+                op.lsn(),
+                self.version
+            )));
+        }
+        match op {
+            StateOp::SetStr { key, value, .. } => {
+                self.model
+                    .set_attr(self.state_obj, key, Value::from(value.as_str()));
+            }
+            StateOp::SetInt { key, value, .. } => {
+                self.model
+                    .set_attr(self.state_obj, key, Value::from(*value));
+            }
+            StateOp::Unset { key, .. } => {
+                self.model.unset_attr(self.state_obj, key);
+            }
+        }
+        self.version = op.lsn();
+        Ok(())
+    }
+
+    /// Replays a coalesced journal record: `op` is the *last* of a run of
+    /// consecutive writes to the same key whose first LSN was `first_lsn`
+    /// — only the final value matters, so the intermediate writes were
+    /// never journaled. Requires the run to start exactly at
+    /// `version + 1` (same gap detection as [`StateManager::apply_op`])
+    /// and advances the version over the whole run in one step.
+    pub fn apply_coalesced(&mut self, first_lsn: u64, op: &StateOp) -> Result<()> {
+        if first_lsn != self.version + 1 || op.lsn() < first_lsn {
+            return Err(BrokerError::RecoveryDiverged(format!(
+                "coalesced journal run {first_lsn}..={} does not follow state version {}",
                 op.lsn(),
                 self.version
             )));

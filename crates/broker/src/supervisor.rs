@@ -28,9 +28,16 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RestartPolicy {
     /// Restarts tolerated within [`RestartPolicy::window`] before the
-    /// supervisor gives up on the component and escalates.
+    /// supervisor gives up on the component and escalates. Exactly
+    /// `max_restarts` restarts are *performed*; the next unhealthy event
+    /// while all of them are still inside the window (count `>=`
+    /// `max_restarts`) escalates instead of restarting.
     pub max_restarts: u32,
-    /// Sliding window for counting restarts.
+    /// Sliding window for counting restarts. The window edge is
+    /// *inclusive*: a restart that happened exactly `window` ago (its
+    /// timestamp `>= now - window`) still counts against
+    /// [`RestartPolicy::max_restarts`]; one virtual microsecond older and
+    /// it ages out.
     pub window: SimDuration,
     /// Heartbeat staleness after which a silent component counts as
     /// wedged.
@@ -187,7 +194,13 @@ impl Supervisor {
                 "heartbeat-stale"
             };
 
-            // Restart-intensity check over the sliding window.
+            // Restart-intensity check over the sliding window. Both
+            // comparisons are deliberate about their edges: a restart
+            // stamped exactly at `now - window` still counts (`>=`,
+            // inclusive edge), and the supervisor escalates as soon as the
+            // in-window count has *reached* `max_restarts` (`>=`) — i.e.
+            // it performs at most `max_restarts` restarts per window and
+            // the (max_restarts + 1)-th unhealthy event escalates.
             let log = self.restart_log.entry(component.clone()).or_default();
             let window_start = now_us.saturating_sub(self.policy.window.as_micros());
             log.retain(|t| *t >= window_start);
@@ -329,6 +342,51 @@ mod tests {
             matches!(&d[0], SupervisorDecision::Restart { restarts_in_window, .. } if *restarts_in_window == 1)
         );
         assert_eq!(s.restarts("b"), 1); // pruned log only counts the window
+    }
+
+    /// Drives two restarts at t=0 and t=500ms (filling the 1s window of
+    /// [`policy`]) and leaves a third crash pending.
+    fn filled_window() -> Supervisor {
+        let mut s = Supervisor::new(&["b"], policy());
+        for t in [0u64, 500] {
+            s.crash_component("b");
+            assert_eq!(s.tick(SimTime::from_millis(t)).unwrap().len(), 1);
+        }
+        s.crash_component("b");
+        s
+    }
+
+    #[test]
+    fn restart_exactly_at_the_window_edge_still_counts() {
+        // now - window == 0 == the first restart's stamp: the inclusive
+        // edge keeps it in the window, so the count is 2 >= max 2 and the
+        // third crash escalates.
+        let mut s = filled_window();
+        let d = s.tick(SimTime::from_millis(1_000)).unwrap();
+        assert_eq!(
+            d,
+            vec![SupervisorDecision::Escalate {
+                component: "b".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn restart_one_microsecond_past_the_edge_ages_out() {
+        // One µs later the t=0 restart is strictly older than the window:
+        // only the t=500ms restart remains, 1 < max 2, so the component
+        // is restarted (and the new restart makes 2 in-window).
+        let mut s = filled_window();
+        let d = s.tick(SimTime::from_micros(1_000_001)).unwrap();
+        assert!(
+            matches!(
+                &d[0],
+                SupervisorDecision::Restart {
+                    restarts_in_window, ..
+                } if *restarts_in_window == 2
+            ),
+            "{d:?}"
+        );
     }
 
     #[test]

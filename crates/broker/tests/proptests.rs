@@ -207,6 +207,89 @@ fn snapshot_plus_replay_reproduces_any_mutation_sequence() {
     }
 }
 
+/// Any seeded interleaving of admitted calls, shed calls, deferred calls,
+/// clock advances, and brownout-controller ticks, journaled as it runs,
+/// recovers to the exact same runtime model — same state snapshot, same
+/// version, same brownout mode, same counters, same clock. This is the
+/// overload-control extension of the crash-consistency contract: admission
+/// buckets and degraded modes live in the journaled state, so a crashed
+/// broker resumes shedding and serving in exactly the mode it died in.
+#[test]
+fn overload_interleavings_replay_to_exact_state_and_mode() {
+    use mddsm_broker::CallMeta;
+    use mddsm_sim::SimDuration;
+
+    for case in 0..32u64 {
+        let mut gen = SimRng::seed_from_u64(0xB8_0000 + case);
+        let model = BrokerModelBuilder::new("ob")
+            .call_handler("req", "serve")
+            .policy("lite", "self.svc_mode = \"lite\"")
+            .action("req", "serveLite", "svc", "lite", &[], Some("lite"), &[])
+            .action("req", "serveFull", "svc", "full", &[], None, &[])
+            .with_admission("req", 800, "interactive")
+            .admission_class(
+                "interactive",
+                gen.range(50, 400),
+                gen.range(500, 3_000),
+                15_000,
+                40_000,
+            )
+            .brownout_mode(
+                "lite",
+                1,
+                8_000,
+                1_000,
+                gen.range(1, 4),
+                0,
+                &["set svc_mode lite"],
+                &["set svc_mode full"],
+            )
+            .build();
+        let mut broker = GenericBroker::from_model(&model, hub()).unwrap();
+        broker.enable_journal(0);
+
+        let steps = gen.range(5, 60);
+        for _ in 0..steps {
+            match gen.range(0, 5) {
+                0 | 1 => {
+                    // A call that queued for a random while; may admit,
+                    // defer, or shed depending on bucket and bounds.
+                    let now = broker.now().as_micros();
+                    let back = gen.range(0, 30_000);
+                    let meta = CallMeta::new("interactive", now.saturating_sub(back));
+                    broker.call_admitted("serve", &Args::new(), &meta).unwrap();
+                }
+                2 => {
+                    broker.advance_clock(SimDuration::from_micros(gen.range(100, 10_000)));
+                }
+                3 => {
+                    broker.brownout_tick().unwrap();
+                }
+                _ => {
+                    // A call whose deadline is already behind the clock:
+                    // guaranteed shed once the clock has moved at all.
+                    let now = broker.now().as_micros();
+                    let meta = CallMeta::new("interactive", now).with_deadline(1);
+                    broker.call_admitted("serve", &Args::new(), &meta).unwrap();
+                }
+            }
+        }
+
+        let bytes = broker.journal_bytes().expect("journaling on").to_vec();
+        let snap = broker.state().snapshot();
+        let mode = broker.brownout_mode();
+        let stats = broker.stats();
+        let clock = broker.now().as_micros();
+        let (rec, _) =
+            GenericBroker::recover(&model, broker.into_hub(), &bytes, &[]).expect("recovers");
+        assert_eq!(rec.state().snapshot(), snap, "case {case}: state diverged");
+        assert_eq!(rec.state().version(), snap.version, "case {case}");
+        assert_eq!(rec.brownout_mode(), mode, "case {case}: mode diverged");
+        assert_eq!(rec.stats(), stats, "case {case}");
+        assert_eq!(rec.now().as_micros(), clock, "case {case}");
+    }
+}
+
 /// Dispatch is deterministic: same model, same state, same call -> same
 /// action and outcome.
 #[test]

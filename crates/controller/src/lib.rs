@@ -40,6 +40,7 @@
 //! the separation of domain-specific knowledge (DSK) from the model of
 //! execution (MoE) that experiment E5 measures.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Failures must surface as typed `ControllerError`s (and, since the
 // resilience work, as recoverable `on_error` paths) — library code never
@@ -58,13 +59,14 @@ pub mod procedure;
 pub mod repository;
 
 pub use actions::{Action, ActionRegistry};
-pub use classify::{Case, ClassificationPolicy, CommandClassifier};
+pub use classify::{Case, ClassificationPolicy, Classified, CommandClassifier, Priority};
 pub use context::ControllerContext;
 pub use dsc::{Category, Dsc, DscId, DscRegistry};
 pub use engine::{ControllerEngine, EngineConfig, ExecutionReport};
 pub use intent::{GenerationConfig, ImCache, IntentModel};
 pub use machine::{
-    BrokerPort, Execution, FrameCheckpoint, MachineCheckpoint, PortResponse, StackMachine,
+    BrokerPort, Execution, FrameCheckpoint, MachineCheckpoint, MachineLimits, PortResponse,
+    StackMachine,
 };
 pub use policy::PolicyObjective;
 pub use procedure::{ExecutionUnit, Instr, Operand, ProcId, Procedure};

@@ -110,6 +110,14 @@ pub struct MachineLimits {
     pub max_steps: u64,
     /// Maximum stack depth.
     pub max_depth: usize,
+    /// Relative virtual-time deadline (µs of accumulated broker-call
+    /// cost); 0 = none. Once `virtual_cost_us` reaches it the machine
+    /// stops *before* the next instruction and returns
+    /// [`Execution::DeadlineExpired`] — a typed result, not an error:
+    /// under overload, abandoning work whose deadline passed is expected
+    /// behavior, and the checkpoint lets a caller still inspect (or
+    /// compensate) what ran.
+    pub deadline_us: u64,
 }
 
 impl Default for MachineLimits {
@@ -117,6 +125,7 @@ impl Default for MachineLimits {
         MachineLimits {
             max_steps: 100_000,
             max_depth: 64,
+            deadline_us: 0,
         }
     }
 }
@@ -157,6 +166,11 @@ pub enum Execution {
     Complete(ExecOutcome),
     /// The step budget ran out mid-procedure.
     Paused(Box<MachineCheckpoint>),
+    /// The [`MachineLimits::deadline_us`] virtual-time deadline passed
+    /// mid-procedure: the work was abandoned (shed) at the captured
+    /// checkpoint. Distinct from [`Execution::Paused`] because resuming
+    /// is pointless — the result is already too late.
+    DeadlineExpired(Box<MachineCheckpoint>),
 }
 
 /// The stack machine; stateless between executions apart from limits.
@@ -213,8 +227,10 @@ impl StackMachine {
             None,
         )? {
             Execution::Complete(outcome) => Ok(outcome),
-            // Unreachable with no budget, but keep the type honest.
-            Execution::Paused(cp) => Ok(cp.outcome),
+            // Paused is unreachable with no budget; an expired deadline
+            // surfaces the partial outcome (callers needing the typed
+            // distinction use `execute_budgeted`).
+            Execution::Paused(cp) | Execution::DeadlineExpired(cp) => Ok(cp.outcome),
         }
     }
 
@@ -303,6 +319,21 @@ impl StackMachine {
         mut outcome: ExecOutcome,
         budget: Option<u64>,
     ) -> Result<Execution> {
+        let checkpoint = |stack: &[Frame<'_>], outcome: ExecOutcome| {
+            Box::new(MachineCheckpoint {
+                frames: stack
+                    .iter()
+                    .map(|f| FrameCheckpoint {
+                        path: f.path.clone(),
+                        program: f.program.clone(),
+                        pc: f.pc,
+                        locals: f.locals.clone(),
+                        in_error: f.in_error,
+                    })
+                    .collect(),
+                outcome,
+            })
+        };
         let mut executed_this_run = 0u64;
         while let Some(top) = stack.last_mut() {
             if outcome.steps >= self.limits.max_steps {
@@ -311,22 +342,17 @@ impl StackMachine {
                     self.limits.max_steps
                 )));
             }
+            // Deadline propagation: once the accumulated virtual cost has
+            // passed the declared deadline, any further work is worthless
+            // — abandon *before* the next instruction runs.
+            if self.limits.deadline_us > 0 && outcome.virtual_cost_us >= self.limits.deadline_us {
+                let cp = checkpoint(&stack, outcome);
+                return Ok(Execution::DeadlineExpired(cp));
+            }
             if let Some(b) = budget {
                 if executed_this_run >= b {
-                    let frames = stack
-                        .iter()
-                        .map(|f| FrameCheckpoint {
-                            path: f.path.clone(),
-                            program: f.program.clone(),
-                            pc: f.pc,
-                            locals: f.locals.clone(),
-                            in_error: f.in_error,
-                        })
-                        .collect();
-                    return Ok(Execution::Paused(Box::new(MachineCheckpoint {
-                        frames,
-                        outcome,
-                    })));
+                    let cp = checkpoint(&stack, outcome);
+                    return Ok(Execution::Paused(cp));
                 }
             }
             let Some(instr) = top.program.get(top.pc).cloned() else {
@@ -837,12 +863,70 @@ mod tests {
         let machine = StackMachine::with_limits(MachineLimits {
             max_steps: 5,
             max_depth: 4,
+            ..MachineLimits::default()
         });
         let mut port = ok_port();
         let e = machine
             .execute(&IntentModel { root: node }, &repo, &[], &mut port)
             .unwrap_err();
         assert!(matches!(e, ControllerError::ExecutionLimit(_)));
+    }
+
+    #[test]
+    fn deadline_expiry_is_a_typed_result_not_an_error() {
+        let (node, proc) = leaf(
+            "p",
+            vec![
+                Instr::BrokerCall {
+                    api: "svc".into(),
+                    op: "a".into(),
+                    args: vec![],
+                },
+                Instr::BrokerCall {
+                    api: "svc".into(),
+                    op: "b".into(),
+                    args: vec![],
+                },
+                Instr::BrokerCall {
+                    api: "svc".into(),
+                    op: "c".into(),
+                    args: vec![],
+                },
+                Instr::Complete,
+            ],
+        );
+        let repo = repo_of(vec![proc]);
+        let im = IntentModel { root: node };
+        let machine = StackMachine::with_limits(MachineLimits {
+            deadline_us: 1_000,
+            ..MachineLimits::default()
+        });
+        let mut port = |_: &str, _: &str, _: &[(String, String)]| {
+            let mut r = PortResponse::ok();
+            r.cost_us = 500;
+            r
+        };
+        let exec = machine
+            .execute_budgeted(&im, &repo, &[], &mut port, 1_000)
+            .unwrap();
+        let Execution::DeadlineExpired(cp) = exec else {
+            panic!("expected deadline expiry, got {exec:?}");
+        };
+        // Two calls fit under the 1000µs deadline; the third was
+        // abandoned before touching the broker.
+        assert_eq!(cp.outcome.broker_calls, 2);
+        assert_eq!(cp.outcome.virtual_cost_us, 1_000);
+        // The same program completes with no deadline declared.
+        let mut port = |_: &str, _: &str, _: &[(String, String)]| {
+            let mut r = PortResponse::ok();
+            r.cost_us = 500;
+            r
+        };
+        let out = StackMachine::new()
+            .execute(&im, &repo, &[], &mut port)
+            .unwrap();
+        assert_eq!(out.broker_calls, 3);
+        assert_eq!(out.virtual_cost_us, 1_500);
     }
 
     #[test]
@@ -907,6 +991,7 @@ mod tests {
             let outcome = loop {
                 match exec {
                     Execution::Complete(o) => break o,
+                    Execution::DeadlineExpired(cp) => panic!("no deadline set: {cp:?}"),
                     Execution::Paused(cp) => {
                         pauses += 1;
                         assert!(!cp.frames.is_empty());

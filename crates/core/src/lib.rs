@@ -28,6 +28,7 @@
 //! runnable walk-through of defining a tiny domain and executing an
 //! application model on the generated platform.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dsk;

@@ -19,6 +19,7 @@
 //!   three bottom layers, since creation and modification of user models
 //!   only happens in the mobile devices").
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csml;

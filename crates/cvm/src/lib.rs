@@ -31,6 +31,7 @@
 //!   §VII-B), used by experiments E4 and E5.
 //! * [`platform`] — the fully assembled four-layer CVM platform.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 // E5 counts lines of code on `artifacts` and `monolithic` as written;

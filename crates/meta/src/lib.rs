@@ -43,6 +43,7 @@
 //! mddsm_meta::conformance::check(&m, &mm).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod conformance;

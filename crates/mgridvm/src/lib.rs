@@ -18,6 +18,7 @@
 //!   synthesis LTS, and the command map.
 //! * [`platform`] — the assembled MGridVM (MUI/MSE/MCM/MHB stack).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dsk;

@@ -25,6 +25,7 @@
 //!   behind a versioned read-write lock; reflective changes take immediate
 //!   effect and notify watchers.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod component;

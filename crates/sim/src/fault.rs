@@ -48,6 +48,8 @@ pub fn fault_metamodel() -> Metamodel {
                 "HealNode",
                 "CrashComponent",
                 "StallComponent",
+                "LoadSpike",
+                "LoadNormal",
             ],
         )
         .class("FaultPlan", |c| {
@@ -63,6 +65,7 @@ pub fn fault_metamodel() -> Metamodel {
                 .opt_attr("peer", DataType::Str)
                 .attr_default("amountUs", DataType::Int, Value::from(0))
                 .attr_default("loss", DataType::Float, Value::from(0.0))
+                .attr_default("factor", DataType::Float, Value::from(1.0))
         })
         .build()
         .expect("fault metamodel is well-formed")
@@ -155,6 +158,21 @@ pub enum FaultAction {
         /// Middleware component name.
         component: String,
     },
+    /// Multiply the arrival rate of a workload class — the overload
+    /// campaigns of experiment E8. Unlike the other kinds, this targets
+    /// neither a resource nor the network: it is delivered to the
+    /// [`ComponentTarget`] (typically an arrival generator).
+    LoadSpike {
+        /// Workload class whose arrivals spike.
+        class: String,
+        /// Arrival-rate multiplier (> 1 means overload).
+        factor: f64,
+    },
+    /// Return a workload class to its baseline arrival rate.
+    LoadNormal {
+        /// Workload class whose arrivals return to baseline.
+        class: String,
+    },
 }
 
 impl FaultAction {
@@ -178,6 +196,14 @@ impl FaultAction {
             FaultAction::CrashComponent { .. } | FaultAction::StallComponent { .. }
         )
     }
+
+    /// Whether this action changes workload arrival rates.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            FaultAction::LoadSpike { .. } | FaultAction::LoadNormal { .. }
+        )
+    }
 }
 
 /// Receiver of middleware-level fault events: whatever supervises (or
@@ -188,6 +214,13 @@ pub trait ComponentTarget {
     fn crash_component(&mut self, component: &str);
     /// The named component wedges: alive but making no progress.
     fn stall_component(&mut self, component: &str);
+    /// The arrival rate of workload class `class` is multiplied by
+    /// `factor`. Default no-op so supervisors that only care about
+    /// crash/stall events need not handle load.
+    fn load_spike(&mut self, _class: &str, _factor: f64) {}
+    /// Workload class `class` returns to its baseline arrival rate.
+    /// Default no-op, like [`ComponentTarget::load_spike`].
+    fn load_normal(&mut self, _class: &str) {}
 }
 
 /// A compiled fault event: an action at a virtual-time instant.
@@ -303,6 +336,14 @@ fn compile_event(model: &Model, e: ObjectId) -> Result<FaultEvent, FaultError> {
         "HealNode" => FaultAction::HealNode { node: target },
         "CrashComponent" => FaultAction::CrashComponent { component: target },
         "StallComponent" => FaultAction::StallComponent { component: target },
+        "LoadSpike" => {
+            let factor = model.attr_float(e, "factor").unwrap_or(1.0).max(0.0);
+            FaultAction::LoadSpike {
+                class: target,
+                factor,
+            }
+        }
+        "LoadNormal" => FaultAction::LoadNormal { class: target },
         other => return Err(FaultError::BadPlan(format!("unknown fault kind `{other}`"))),
     };
     Ok(FaultEvent {
@@ -418,6 +459,20 @@ impl FaultPlanBuilder {
     /// Wedges the middleware component `component` at `at`.
     pub fn stall_component(self, at: SimTime, component: &str) -> Self {
         self.event(at, "StallComponent", component)
+    }
+
+    /// Multiplies the arrival rate of workload class `class` by `factor`
+    /// from `at` on.
+    pub fn load_spike(self, at: SimTime, class: &str, factor: f64) -> Self {
+        let mut b = self.event(at, "LoadSpike", class);
+        let e = b.last_event();
+        b.model.set_attr(e, "factor", Value::from(factor));
+        b
+    }
+
+    /// Returns workload class `class` to its baseline arrival rate at `at`.
+    pub fn load_normal(self, at: SimTime, class: &str) -> Self {
+        self.event(at, "LoadNormal", class)
     }
 
     /// Finishes and returns the fault-plan model.
@@ -672,6 +727,16 @@ fn apply_action(
         FaultAction::StallComponent { component } => {
             if let Some(t) = target {
                 t.stall_component(component);
+            }
+        }
+        FaultAction::LoadSpike { class, factor } => {
+            if let Some(t) = target {
+                t.load_spike(class, *factor);
+            }
+        }
+        FaultAction::LoadNormal { class } => {
+            if let Some(t) = target {
+                t.load_normal(class);
             }
         }
     }

@@ -21,8 +21,10 @@
 //! Determinism: all randomness flows through a seeded [`rng::SimRng`], so a
 //! simulation with the same seed reproduces the same trace.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod engine;
 pub mod fault;
 pub mod latency;
@@ -31,8 +33,9 @@ pub mod resource;
 pub mod rng;
 pub mod time;
 
+pub use arrival::{Arrival, ArrivalClass, ArrivalGenerator};
 pub use engine::Simulator;
-pub use fault::{FaultDriver, FaultPlan, FaultPlanBuilder};
+pub use fault::{ComponentTarget, FaultDriver, FaultPlan, FaultPlanBuilder};
 pub use latency::LatencyModel;
 pub use resource::{Invocation, Outcome, ResourceHub};
 pub use rng::SimRng;

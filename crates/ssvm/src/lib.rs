@@ -19,6 +19,7 @@
 //!    objects enter or leave the environment" — realized by 2SML
 //!    automation rules synthesized into installed scripts.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod deployment;

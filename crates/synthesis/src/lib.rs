@@ -22,6 +22,7 @@
 //! comparator/interpreter/dispatcher machinery, which is fully
 //! domain-independent.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

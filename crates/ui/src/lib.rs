@@ -13,6 +13,7 @@
 //! the DSML metamodel; the MoE is this environment, which contains no
 //! domain vocabulary.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod environment;

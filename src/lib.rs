@@ -39,6 +39,7 @@
 //! 4. generate the platform with [`core::PlatformBuilder`] and submit
 //!    application models to it.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use csvm;
