@@ -266,6 +266,17 @@ pub fn required_keys(experiment: &str) -> &'static [&'static str] {
             "shed",
             "brownout",
         ],
+        "e9" => &[
+            "seed",
+            "seeds",
+            "calls",
+            "period_ms",
+            "ack_zero_lost",
+            "ack_zero_divergence",
+            "async_loss_observed",
+            "replays_consistent",
+            "campaigns",
+        ],
         _ => &["seed"],
     }
 }
@@ -326,6 +337,8 @@ mod tests {
         assert_eq!(check_artifact("BENCH_e7.json", &e7).unwrap(), "e7");
         let e8 = crate::e8::run(3, 300).to_json();
         assert_eq!(check_artifact("BENCH_e8.json", &e8).unwrap(), "e8");
+        let e9 = crate::e9::run(&[3], 120, 20).to_json();
+        assert_eq!(check_artifact("BENCH_e9.json", &e9).unwrap(), "e9");
     }
 
     #[test]

@@ -205,6 +205,11 @@ pub fn run_variant(seed: u64, calls: u64, period_ms: u64, variant: Variant) -> E
                 escalated = true;
                 break;
             }
+            // E7 designates no standby, so the supervisor can never decide
+            // to fail over (that is E9's territory).
+            Some(SupervisorDecision::Failover { .. }) => {
+                unreachable!("no standby designated in E7")
+            }
             Some(SupervisorDecision::Restart { reason, .. }) => {
                 restarts += 1;
                 if reason == "crashed" {

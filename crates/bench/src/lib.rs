@@ -14,6 +14,7 @@
 //! | E6 | fault recovery: resilience model on vs off under fault campaigns | [`e6`] |
 //! | E7 | crash-consistent recovery: journal + supervisor vs naive restart | [`e7`] |
 //! | E8 | overload robustness: admission control + brownout vs naive FIFO | [`e8`] |
+//! | E9 | replicated models@runtime: journal shipping, failover, fencing | [`e9`] |
 //!
 //! The same functions back the micro-benches (`benches/`, via [`micro`])
 //! and the `experiments` binary that prints the paper-style tables.
@@ -32,6 +33,7 @@ pub mod e5;
 pub mod e6;
 pub mod e7;
 pub mod e8;
+pub mod e9;
 pub mod micro;
 pub mod port;
 

@@ -176,6 +176,46 @@ impl AutonomicManager {
     }
 }
 
+/// The standard autonomic rules for a replicated broker, expressed over
+/// the replicator's OCL-addressable metrics (`repl_lag`, `repl_fenced`):
+/// raise `repl_lag_alert` and emit `replicationLagging` once the unacked
+/// window reaches `lag_alert` records, clear it (emitting
+/// `replicationCaughtUp`) when the standby catches back up, and surface a
+/// fenced stale primary as a `staleEpochFenced` event. Run these against
+/// the replicator's metrics state, not the journaled runtime model.
+pub fn replication_rules(lag_alert: i64) -> Result<Vec<AutonomicRule>> {
+    let rule = |symptom: &str, condition: &str, steps: &[&str]| -> Result<AutonomicRule> {
+        Ok(AutonomicRule {
+            symptom: symptom.to_owned(),
+            condition: mddsm_meta::constraint::parse(condition)
+                .map_err(|e| BrokerError::InvalidModel(e.to_string()))?,
+            steps: steps.iter().map(|s| parse_step(s)).collect::<Result<_>>()?,
+        })
+    };
+    let mut rules = Vec::new();
+    if lag_alert > 0 {
+        rules.push(rule(
+            "replLagging",
+            &format!(
+                "self.repl_lag <> null and self.repl_lag >= {lag_alert} \
+                 and self.repl_lag_alert <> 1"
+            ),
+            &["set repl_lag_alert 1", "emit replicationLagging"],
+        )?);
+        rules.push(rule(
+            "replCaughtUp",
+            "self.repl_lag_alert = 1 and (self.repl_lag = null or self.repl_lag = 0)",
+            &["set repl_lag_alert 0", "emit replicationCaughtUp"],
+        )?);
+    }
+    rules.push(rule(
+        "replFenced",
+        "self.repl_fenced <> null and self.repl_fenced > 0 and self.repl_fenced_alert <> 1",
+        &["set repl_fenced_alert 1", "emit staleEpochFenced"],
+    )?);
+    Ok(rules)
+}
+
 /// A declared brownout (degraded-service) mode, compiled from a
 /// `BrownoutMode` model object.
 #[derive(Debug, Clone)]
@@ -494,6 +534,45 @@ mod tests {
         assert!(emitted.is_empty());
         let emitted = mgr.tick(&mut state, &mut hub, &bindings).unwrap();
         assert_eq!(emitted, vec!["late".to_string()]);
+    }
+
+    #[test]
+    fn replication_rules_alert_and_clear_on_lag() {
+        let mut mgr = AutonomicManager::new(replication_rules(8).unwrap());
+        let mut metrics = StateManager::new();
+        let mut hub = hub();
+        let bindings = BTreeMap::new();
+
+        // No metrics yet: nothing fires (null-safe conditions).
+        assert!(mgr
+            .tick(&mut metrics, &mut hub, &bindings)
+            .unwrap()
+            .is_empty());
+
+        metrics.set_int("repl_lag", 9);
+        let emitted = mgr.tick(&mut metrics, &mut hub, &bindings).unwrap();
+        assert_eq!(emitted, vec!["replicationLagging".to_string()]);
+        // Alert latched: no re-emission while still lagging.
+        assert!(mgr
+            .tick(&mut metrics, &mut hub, &bindings)
+            .unwrap()
+            .is_empty());
+
+        metrics.set_int("repl_lag", 0);
+        let emitted = mgr.tick(&mut metrics, &mut hub, &bindings).unwrap();
+        assert_eq!(emitted, vec!["replicationCaughtUp".to_string()]);
+
+        // A fenced stale primary surfaces exactly once.
+        metrics.set_int("repl_fenced", 2);
+        let emitted = mgr.tick(&mut metrics, &mut hub, &bindings).unwrap();
+        assert_eq!(emitted, vec!["staleEpochFenced".to_string()]);
+        assert!(mgr
+            .tick(&mut metrics, &mut hub, &bindings)
+            .unwrap()
+            .is_empty());
+
+        // lag_alert = 0 disables the lag rules but keeps the fence rule.
+        assert_eq!(replication_rules(0).unwrap().len(), 1);
     }
 
     fn lite_mode() -> BrownoutMode {

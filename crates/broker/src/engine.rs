@@ -160,6 +160,8 @@ pub struct GenericBroker {
     clock_us: u64,
     /// Write-ahead journal; `None` until [`GenericBroker::enable_journal`].
     journal: Option<Journal>,
+    /// Fencing epoch this engine serves under (1 until a promotion).
+    epoch: u64,
 }
 
 impl GenericBroker {
@@ -344,6 +346,7 @@ impl GenericBroker {
             events: 0,
             clock_us: 0,
             journal: None,
+            epoch: 1,
         })
     }
 
@@ -765,6 +768,29 @@ impl GenericBroker {
         self.journal.as_ref().map(|j| (j.entries(), j.snapshots()))
     }
 
+    /// The fencing epoch this engine serves under (1 until a failover
+    /// promotes it).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Adopts a new fencing epoch (a promotion), journaling the fence so
+    /// recovery — and any replication peer — refuses records from older
+    /// epochs from here on.
+    pub fn adopt_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        if let Some(j) = self.journal.as_mut() {
+            j.record(&JournalRecord::Epoch { epoch });
+        }
+    }
+
+    /// Compacts the journal down to the newest snapshot at or below `lsn`
+    /// (typically the replica-acknowledged LSN). Returns bytes reclaimed;
+    /// 0 when journaling is off or no snapshot qualifies.
+    pub fn truncate_journal_to(&mut self, lsn: u64) -> usize {
+        self.journal.as_mut().map_or(0, |j| j.truncate_to(lsn))
+    }
+
     /// Drains pending state ops into the journal (WAL order: state ops
     /// precede the command record that caused them). Runs of consecutive
     /// writes to the same key within the frame are coalesced into one
@@ -891,6 +917,7 @@ impl GenericBroker {
         broker.clock_us = recovered.clock_us;
         broker.calls = recovered.calls;
         broker.events = recovered.events;
+        broker.epoch = recovered.epoch;
 
         // Resume journaling over the inherited history, and checkpoint the
         // recovered state immediately.

@@ -25,6 +25,13 @@ pub trait JournalSink: Send + Sync {
     fn append(&mut self, record: &[u8]);
     /// The full journal contents, oldest record first.
     fn bytes(&self) -> &[u8];
+    /// Replaces the sink's entire contents (journal compaction). Sinks
+    /// that cannot rewrite history return `false` and keep their bytes —
+    /// which is what the default does.
+    fn replace(&mut self, bytes: Vec<u8>) -> bool {
+        let _ = bytes;
+        false
+    }
 }
 
 /// An in-memory, `Vec<u8>`-backed sink.
@@ -52,6 +59,10 @@ impl JournalSink for MemorySink {
     }
     fn bytes(&self) -> &[u8] {
         &self.buf
+    }
+    fn replace(&mut self, bytes: Vec<u8>) -> bool {
+        self.buf = bytes;
+        true
     }
 }
 
@@ -104,6 +115,13 @@ pub enum JournalRecord {
     Clock {
         /// Virtual clock (µs) after the advance.
         clock_us: u64,
+    },
+    /// An epoch fence. Appended when a standby is promoted to primary;
+    /// replication refuses shipped records carrying an older epoch, so a
+    /// healed stale primary cannot split-brain the model state.
+    Epoch {
+        /// The fencing epoch (monotonically increasing across failovers).
+        epoch: u64,
     },
     /// A full state snapshot plus the engine counters at snapshot time.
     Snapshot {
@@ -199,6 +217,7 @@ fn frame(rec: &JournalRecord) -> String {
             )
         }
         JournalRecord::Clock { clock_us } => format!("clk {clock_us}"),
+        JournalRecord::Epoch { epoch } => format!("ep {epoch}"),
         JournalRecord::Snapshot {
             state,
             clock_us,
@@ -296,6 +315,9 @@ fn parse_record(line: &str) -> Result<JournalRecord> {
         "clk" => Ok(JournalRecord::Clock {
             clock_us: parse_u64(line, f.next(), "clock")?,
         }),
+        "ep" => Ok(JournalRecord::Epoch {
+            epoch: parse_u64(line, f.next(), "epoch")?,
+        }),
         "snap" => {
             let version = parse_u64(line, f.next(), "version")?;
             let clock_us = parse_u64(line, f.next(), "clock")?;
@@ -324,6 +346,18 @@ fn parse_record(line: &str) -> Result<JournalRecord> {
         }
         other => Err(bad(line, &format!("unknown record tag `{other}`"))),
     }
+}
+
+/// Frames `rec` as its one-line wire form, trailing newline included —
+/// the unit the replication layer ships over the network.
+pub fn frame_record(rec: &JournalRecord) -> String {
+    frame(rec)
+}
+
+/// Parses one framed line (without its trailing newline) back into a
+/// [`JournalRecord`]. The inverse of [`frame_record`].
+pub fn parse_line(line: &str) -> Result<JournalRecord> {
+    parse_record(line)
 }
 
 // -- The journal ------------------------------------------------------------
@@ -403,6 +437,49 @@ impl Journal {
     pub fn bytes(&self) -> &[u8] {
         self.sink.bytes()
     }
+
+    /// Compacts the journal down to the newest snapshot at or below `lsn`
+    /// (typically the replica-acknowledged LSN): every record before that
+    /// snapshot is dropped — replay from it still covers every op the
+    /// replica has not acknowledged. The newest epoch fence in the dropped
+    /// prefix is retained so fencing survives compaction. Returns the
+    /// bytes reclaimed (0 when no snapshot qualifies or the sink cannot
+    /// rewrite history). `entries()`/`snapshots()` remain lifetime
+    /// counters and are not rewound.
+    pub fn truncate_to(&mut self, lsn: u64) -> usize {
+        let bytes = self.sink.bytes();
+        let Ok(text) = std::str::from_utf8(bytes) else {
+            return 0;
+        };
+        let mut cut = 0usize;
+        let mut offset = 0usize;
+        for line in text.split_inclusive('\n') {
+            if let Some(rest) = line.strip_prefix("snap ") {
+                let version = rest.split(' ').next().and_then(|v| v.parse::<u64>().ok());
+                if version.is_some_and(|v| v <= lsn) {
+                    cut = offset;
+                }
+            }
+            offset += line.len();
+        }
+        if cut == 0 {
+            return 0;
+        }
+        let epoch_line = text[..cut]
+            .split_inclusive('\n')
+            .rfind(|l| l.starts_with("ep "));
+        let mut kept = Vec::with_capacity(bytes.len() - cut + 16);
+        if let Some(ep) = epoch_line {
+            kept.extend_from_slice(ep.as_bytes());
+        }
+        kept.extend_from_slice(&bytes[cut..]);
+        let reclaimed = bytes.len() - kept.len();
+        if self.sink.replace(kept) {
+            reclaimed
+        } else {
+            0
+        }
+    }
 }
 
 // -- Recovery ---------------------------------------------------------------
@@ -424,6 +501,8 @@ pub struct Recovered {
     pub commands_replayed: u64,
     /// Version the newest snapshot carried (0 when no snapshot existed).
     pub snapshot_version: u64,
+    /// The newest epoch fence in the journal (1 when none was recorded).
+    pub epoch: u64,
 }
 
 /// Deterministically rebuilds runtime state from journal bytes: restores
@@ -446,6 +525,19 @@ pub fn replay(bytes: &[u8]) -> Result<Recovered> {
     let mut ops_replayed = 0u64;
     let mut commands_replayed = 0u64;
     let mut snapshot_version = 0u64;
+    let mut epoch = 1u64;
+
+    // Epoch fences live outside snapshots; scan the prefix the snapshot
+    // cut skips so a fence recorded before the newest snapshot survives.
+    if start != usize::MAX {
+        for line in &lines[..start] {
+            if line.starts_with("ep ") {
+                if let JournalRecord::Epoch { epoch: e } = parse_record(line)? {
+                    epoch = e;
+                }
+            }
+        }
+    }
 
     let tail: Box<dyn Iterator<Item = &&str>> = if start == usize::MAX {
         Box::new(lines.iter())
@@ -488,6 +580,9 @@ pub fn replay(bytes: &[u8]) -> Result<Recovered> {
             JournalRecord::Clock { clock_us: c } => {
                 clock_us = c;
             }
+            JournalRecord::Epoch { epoch: e } => {
+                epoch = e;
+            }
         }
     }
     Ok(Recovered {
@@ -498,6 +593,7 @@ pub fn replay(bytes: &[u8]) -> Result<Recovered> {
         ops_replayed,
         commands_replayed,
         snapshot_version,
+        epoch,
     })
 }
 
@@ -666,6 +762,93 @@ mod tests {
             replay(b"opc 1 0 int x 1\n"),
             Err(BrokerError::RecoveryDiverged(_))
         ));
+    }
+
+    #[test]
+    fn epoch_fences_roundtrip_and_survive_snapshots() {
+        let rec = JournalRecord::Epoch { epoch: 3 };
+        assert_eq!(parse_record(frame(&rec).trim_end()).unwrap(), rec);
+        // No fence recorded: epoch defaults to 1.
+        assert_eq!(replay(b"op 1 int x 1\n").unwrap().epoch, 1);
+        // A fence after the newest snapshot is replayed from the tail.
+        assert_eq!(replay(b"snap 0 0 0 0\nep 2\n").unwrap().epoch, 2);
+        // A fence *before* the newest snapshot must survive the cut.
+        assert_eq!(replay(b"ep 4\nsnap 0 0 0 0\n").unwrap().epoch, 4);
+        assert!(matches!(
+            replay(b"ep nope\n"),
+            Err(BrokerError::RecoveryDiverged(_))
+        ));
+    }
+
+    /// Builds a journal with two snapshots and op tails after each; returns
+    /// it plus the live state it mirrors.
+    fn journal_with_two_snapshots() -> (Journal, StateManager) {
+        let mut live = StateManager::new();
+        live.record_ops(true);
+        let mut j = Journal::in_memory(0);
+        live.set_int("x", 1);
+        for op in live.take_ops() {
+            j.record(&JournalRecord::Op(op));
+        }
+        j.record(&JournalRecord::Snapshot {
+            state: live.snapshot(),
+            clock_us: 10,
+            calls: 1,
+            events: 0,
+        });
+        live.set_int("y", 2);
+        for op in live.take_ops() {
+            j.record(&JournalRecord::Op(op));
+        }
+        j.record(&JournalRecord::Snapshot {
+            state: live.snapshot(),
+            clock_us: 20,
+            calls: 2,
+            events: 0,
+        });
+        live.bump("y", 5);
+        for op in live.take_ops() {
+            j.record(&JournalRecord::Op(op));
+        }
+        (j, live)
+    }
+
+    #[test]
+    fn truncate_to_keeps_a_recoverable_suffix() {
+        let (mut j, live) = journal_with_two_snapshots();
+        let full = replay(j.bytes()).unwrap();
+        let before = j.bytes().len();
+        // Nothing at or below LSN 0 qualifies: no-op.
+        assert_eq!(j.truncate_to(0), 0);
+        // Acknowledged up to the second snapshot's version: the first
+        // snapshot and its tail can go.
+        let reclaimed = j.truncate_to(live.version());
+        assert!(reclaimed > 0);
+        assert_eq!(j.bytes().len(), before - reclaimed);
+        assert!(!std::str::from_utf8(j.bytes()).unwrap().contains("snap 1 "));
+        // Recovery from the retained suffix matches recovery from the
+        // full journal exactly.
+        let r = replay(j.bytes()).unwrap();
+        assert_eq!(r.state.snapshot(), full.state.snapshot());
+        assert_eq!(r.state.int("y"), Some(7));
+        assert_eq!(r.clock_us, full.clock_us);
+        assert_eq!(r.calls, full.calls);
+        // And the journal still accepts appends afterwards.
+        j.record(&cmd(30));
+        assert_eq!(replay(j.bytes()).unwrap().clock_us, 30);
+    }
+
+    #[test]
+    fn truncate_to_preserves_the_epoch_fence() {
+        let (j, live) = journal_with_two_snapshots();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"ep 3\n");
+        bytes.extend_from_slice(j.bytes());
+        let mut j = Journal::over(Box::new(MemorySink::with_bytes(bytes)), 0);
+        assert!(j.truncate_to(live.version()) > 0);
+        let r = replay(j.bytes()).unwrap();
+        assert_eq!(r.epoch, 3, "fence survives compaction");
+        assert_eq!(r.state.int("y"), Some(7));
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //! * [`admission`] — model-defined overload control: per-class token-bucket
 //!   admission with deadline-aware shedding, limits stored OCL-addressably
 //!   in the state manager so change plans can retune them at runtime.
+//! * [`replication`] — replicated models@runtime: the primary ships its
+//!   journal over the simulated network to a hot standby that replays it
+//!   into its own state manager; promotion fences the old primary behind a
+//!   journaled epoch number, and reconciliation replays the divergent
+//!   journal suffix through the normal recovery path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +45,7 @@ pub mod components;
 pub mod engine;
 pub mod journal;
 pub mod model;
+pub mod replication;
 pub mod state;
 pub mod supervisor;
 
@@ -48,6 +54,7 @@ pub use autonomic::{BrownoutController, BrownoutMode, BrownoutTransition};
 pub use engine::{AdmittedOutcome, BrokerCallResult, GenericBroker, RecoveryReport};
 pub use journal::{Journal, JournalSink, MemorySink};
 pub use model::{broker_metamodel, BrokerModelBuilder, Resilience};
+pub use replication::{ReplicationConfig, Replicator, ShipMode, Standby};
 pub use state::StateManager;
 pub use supervisor::{RestartPolicy, Supervisor, SupervisorDecision};
 
@@ -67,6 +74,15 @@ pub enum BrokerError {
     /// Crash recovery found the journal and the rebuilt runtime model in
     /// disagreement (LSN gap, corrupt record, or a violated invariant).
     RecoveryDiverged(String),
+    /// Split-brain fence: a journal record arrived from an epoch older
+    /// than the receiver's — a stale primary kept writing after a standby
+    /// was promoted, and its writes are refused.
+    StaleEpoch {
+        /// Epoch the rejected record was shipped under.
+        got: u64,
+        /// Epoch the receiver currently serves under.
+        current: u64,
+    },
     /// An error bubbled up from the modeling substrate.
     Meta(String),
 }
@@ -80,6 +96,10 @@ impl std::fmt::Display for BrokerError {
             BrokerError::PolicyFailed(m) => write!(f, "policy evaluation failed: {m}"),
             BrokerError::BadPlanStep(m) => write!(f, "bad change-plan step: {m}"),
             BrokerError::RecoveryDiverged(m) => write!(f, "recovery diverged: {m}"),
+            BrokerError::StaleEpoch { got, current } => write!(
+                f,
+                "stale epoch: record from epoch {got} refused by epoch {current}"
+            ),
             BrokerError::Meta(m) => write!(f, "model error: {m}"),
         }
     }

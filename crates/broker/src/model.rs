@@ -26,6 +26,11 @@ pub const BROKER_METAMODEL: &str = "mddsm.broker";
 pub fn broker_metamodel() -> Metamodel {
     MetamodelBuilder::new(BROKER_METAMODEL)
         .enumeration("HandlerKind", ["Call", "Event"])
+        // Journal-shipping discipline of a `ReplicationManager`: `Async`
+        // ships best-effort (one attempt per tick, no delivery guarantee);
+        // `AckWindowed` keeps an in-flight window and retransmits until the
+        // standby acknowledges, so commit implies replicated.
+        .enumeration("ShipMode", ["Async", "AckWindowed"])
         .class("BrokerLayer", |c| {
             c.attr("name", DataType::Str)
                 .contains("managers", "Manager", Multiplicity::SOME)
@@ -57,6 +62,21 @@ pub fn broker_metamodel() -> Metamodel {
             c.extends("Manager")
                 .contains("classes", "AdmissionClass", Multiplicity::MANY)
                 .contains("modes", "BrownoutMode", Multiplicity::MANY)
+        })
+        .class("ReplicationManager", |c| {
+            c.extends("Manager")
+                // Simulated-network node the hot standby listens on.
+                .attr("standby", DataType::Str)
+                .attr("mode", DataType::Enum("ShipMode".into()))
+                // AckWindowed: max unacknowledged journal records in flight.
+                .attr_default("windowRecords", DataType::Int, Value::from(32))
+                // AckWindowed: virtual time before an unacked batch is
+                // retransmitted (go-back-N from the acked cursor).
+                .attr_default("ackTimeoutUs", DataType::Int, Value::from(10_000))
+                // Lag (records shipped but unacked) at which the standard
+                // replication autonomic rule raises `repl_lag_alert`
+                // (0 = no alert).
+                .attr_default("lagAlertRecords", DataType::Int, Value::from(0))
         })
         .class("Handler", |c| {
             c.attr("name", DataType::Str)
@@ -234,6 +254,8 @@ pub struct BrokerModelBuilder {
     // Created lazily on the first admission-class or brownout-mode
     // declaration, so models without overload control stay lean.
     admission_mgr: Option<ObjectId>,
+    // Created lazily by `replication`, so unreplicated models stay lean.
+    replication_mgr: Option<ObjectId>,
 }
 
 impl BrokerModelBuilder {
@@ -263,6 +285,7 @@ impl BrokerModelBuilder {
             autonomic_mgr,
             resource_mgr,
             admission_mgr: None,
+            replication_mgr: None,
         }
     }
 
@@ -520,6 +543,43 @@ impl BrokerModelBuilder {
         self
     }
 
+    /// Declares journal replication to a hot standby: the engine's journal
+    /// is shipped over the simulated network to node `standby` and applied
+    /// there record-by-record. `mode` is `"Async"` (best-effort) or
+    /// `"AckWindowed"` (at most `window_records` unacked records in flight,
+    /// retransmitted after `ack_timeout_us` of virtual time).
+    /// `lag_alert_records` arms the standard `repl_lag_alert` autonomic
+    /// symptom (0 disables it).
+    pub fn replication(
+        mut self,
+        standby: &str,
+        mode: &str,
+        window_records: u64,
+        ack_timeout_us: u64,
+        lag_alert_records: u64,
+    ) -> Self {
+        let m = match self.replication_mgr {
+            Some(m) => m,
+            None => {
+                let m = self.model.create("ReplicationManager");
+                self.model.set_attr(m, "name", Value::from("replication"));
+                self.model.add_ref(self.layer, "managers", m);
+                self.replication_mgr = Some(m);
+                m
+            }
+        };
+        self.model.set_attr(m, "standby", Value::from(standby));
+        self.model
+            .set_attr(m, "mode", Value::enumeration("ShipMode", mode));
+        self.model
+            .set_attr(m, "windowRecords", Value::from(window_records as i64));
+        self.model
+            .set_attr(m, "ackTimeoutUs", Value::from(ack_timeout_us as i64));
+        self.model
+            .set_attr(m, "lagAlertRecords", Value::from(lag_alert_records as i64));
+        self
+    }
+
     /// Binds a logical resource name used by actions to a hub resource.
     pub fn bind_resource(mut self, name: &str, resource: &str) -> Self {
         let b = self.model.create("ResourceBinding");
@@ -622,6 +682,31 @@ mod tests {
         assert_eq!(model.all_of_class("AdmissionManager").len(), 1);
         assert_eq!(model.all_of_class("AdmissionClass").len(), 1);
         assert_eq!(model.all_of_class("BrownoutMode").len(), 1);
+    }
+
+    #[test]
+    fn replicated_models_conform_and_the_manager_is_lazy() {
+        let mm = broker_metamodel();
+        let plain = BrokerModelBuilder::new("p").build();
+        assert_eq!(plain.all_of_class("ReplicationManager").len(), 0);
+
+        let model = BrokerModelBuilder::new("rep")
+            .replication("b", "AckWindowed", 16, 8_000, 24)
+            .build();
+        conformance::check(&model, &mm).unwrap();
+        let mgrs = model.all_of_class("ReplicationManager");
+        assert_eq!(mgrs.len(), 1);
+        assert_eq!(model.attr_str(mgrs[0], "standby"), Some("b"));
+
+        // Re-declaring retunes the same manager instead of adding another.
+        let retuned = BrokerModelBuilder::new("rep2")
+            .replication("b", "Async", 16, 8_000, 0)
+            .replication("c", "AckWindowed", 8, 4_000, 12)
+            .build();
+        conformance::check(&retuned, &mm).unwrap();
+        let mgrs = retuned.all_of_class("ReplicationManager");
+        assert_eq!(mgrs.len(), 1);
+        assert_eq!(retuned.attr_str(mgrs[0], "standby"), Some("c"));
     }
 
     #[test]

@@ -1,0 +1,840 @@
+//! Replicated models@runtime: journal shipping to a hot standby.
+//!
+//! The primary's write-ahead journal (see [`crate::journal`]) already
+//! captures every runtime-model mutation, so replication is journal
+//! shipping: a [`Replicator`] on the primary streams journal lines over
+//! the simulated [`Network`] to a [`Standby`] on another node, which
+//! applies each record into its own [`StateManager`] *and* keeps a
+//! byte-for-byte mirror of the journal — promotion is then just the
+//! normal crash-recovery path ([`GenericBroker::recover`]) run over the
+//! mirrored bytes.
+//!
+//! Shipping is go-back-N with a cumulative ack: the standby acknowledges
+//! the count of contiguous lines received, the primary retransmits from
+//! that cursor after an ack timeout. Two model-declared disciplines
+//! ([`ShipMode`]) share the machinery:
+//!
+//! * `Async` — ship everything pending each tick, best effort. The
+//!   primary commits locally without waiting, so records not yet
+//!   acknowledged at failover are lost.
+//! * `AckWindowed` — at most `window_records` unacknowledged lines in
+//!   flight; the caller gates commit on [`Replicator::synced`], so a
+//!   committed update is by construction on the standby.
+//!
+//! Split brain is prevented by *epoch fencing*: promotion appends a
+//! journaled epoch record, and the standby (or the promoted primary)
+//! refuses shipped records from an older epoch with the typed
+//! [`BrokerError::StaleEpoch`]. A healed stale primary is reconciled by
+//! diffing the two journals and replaying the authoritative suffix
+//! through recovery ([`reconcile`]).
+
+use crate::engine::{GenericBroker, RecoveryReport};
+use crate::journal::{self, CommandKind, JournalRecord};
+use crate::state::StateManager;
+use crate::{BrokerError, Result};
+use mddsm_meta::model::Model;
+use mddsm_sim::net::{Network, SendOutcome};
+use mddsm_sim::resource::ResourceHub;
+use mddsm_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Journal-shipping discipline (the `ShipMode` enumeration of the
+/// Fig. 6 metamodel extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipMode {
+    /// Best-effort: ship everything pending, commit without waiting.
+    Async,
+    /// Windowed with retransmission: commit implies replicated.
+    AckWindowed,
+}
+
+/// Compiled replication parameters of a broker model's
+/// `ReplicationManager` (all model-defined).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// Simulated-network node the standby listens on.
+    pub standby_node: String,
+    /// Shipping discipline.
+    pub mode: ShipMode,
+    /// `AckWindowed`: max unacknowledged journal lines in flight.
+    pub window_records: u64,
+    /// Virtual time before an unacked batch is retransmitted.
+    pub ack_timeout: SimDuration,
+    /// Lag at which the standard autonomic rule alerts (0 = off).
+    pub lag_alert_records: u64,
+}
+
+impl ReplicationConfig {
+    /// Compiles the `ReplicationManager` of a broker model; `None` when
+    /// the model declares no replication.
+    pub fn from_model(model: &Model) -> Result<Option<Self>> {
+        let Some(&mgr) = model.all_of_class("ReplicationManager").first() else {
+            return Ok(None);
+        };
+        let standby_node = model
+            .attr_str(mgr, "standby")
+            .ok_or_else(|| {
+                BrokerError::InvalidModel("ReplicationManager needs a standby node".into())
+            })?
+            .to_owned();
+        let mode = match model.attr(mgr, "mode").and_then(|v| v.as_enum_literal()) {
+            Some("Async") => ShipMode::Async,
+            Some("AckWindowed") => ShipMode::AckWindowed,
+            other => {
+                return Err(BrokerError::InvalidModel(format!(
+                    "ReplicationManager has bad mode {other:?}"
+                )))
+            }
+        };
+        let int = |name: &str, default: i64| model.attr_int(mgr, name).unwrap_or(default).max(0);
+        Ok(Some(ReplicationConfig {
+            standby_node,
+            mode,
+            window_records: int("windowRecords", 32) as u64,
+            ack_timeout: SimDuration::from_micros(int("ackTimeoutUs", 10_000) as u64),
+            lag_alert_records: int("lagAlertRecords", 0) as u64,
+        }))
+    }
+}
+
+/// What one [`Replicator::tick`] did.
+#[derive(Debug, Clone, Default)]
+pub struct ShipReport {
+    /// Journal lines attempted on the wire this tick.
+    pub shipped: u64,
+    /// Lines newly covered by the standby's cumulative ack.
+    pub newly_acked: u64,
+    /// Attempts that re-sent a line already shipped before (go-back-N).
+    pub retransmitted: u64,
+    /// Virtual link time both legs consumed (the caller charges it).
+    pub latency: SimDuration,
+    /// Set when the receiver fenced us: we shipped under a stale epoch.
+    pub fenced: Option<BrokerError>,
+}
+
+/// The primary-side shipping engine. Reads new lines from the primary's
+/// journal bytes, keeps the in-flight window, retransmits on ack
+/// timeout, and exposes its health OCL-addressably through a small
+/// (non-journaled) metrics [`StateManager`]:
+///
+/// | key | meaning |
+/// |---|---|
+/// | `repl_lag` | journal lines enqueued but not yet acked |
+/// | `repl_acked_lsn` | newest state LSN known applied on the standby |
+/// | `repl_epoch` | epoch the replicator currently ships under |
+/// | `repl_retransmits` | ack-timeout go-backs so far |
+/// | `repl_fenced` | times a receiver refused us as stale |
+///
+/// [`crate::autonomic::replication_rules`] are written over these keys.
+#[derive(Debug)]
+pub struct Replicator {
+    cfg: ReplicationConfig,
+    node: String,
+    epoch: u64,
+    /// Bytes of the primary journal already ingested into the outbox.
+    read_offset: usize,
+    /// Unacked lines: `(seq, state LSN the line commits, framed line)`.
+    outbox: VecDeque<(u64, Option<u64>, String)>,
+    next_seq: u64,
+    acked_seq: u64,
+    /// Lines below this were attempted since the last go-back.
+    shipped_high: u64,
+    /// High-water mark of every attempt ever (detects retransmissions).
+    ever_shipped: u64,
+    last_ship: Option<SimTime>,
+    acked_lsn: u64,
+    retransmit_events: u64,
+    fenced_count: u64,
+    metrics: StateManager,
+}
+
+impl Replicator {
+    /// Creates a replicator for a primary living on network node `node`.
+    pub fn new(cfg: ReplicationConfig, node: &str) -> Self {
+        let mut metrics = StateManager::new();
+        metrics.set_int("repl_lag", 0);
+        metrics.set_int("repl_acked_lsn", 0);
+        metrics.set_int("repl_epoch", 1);
+        metrics.set_int("repl_retransmits", 0);
+        metrics.set_int("repl_fenced", 0);
+        Replicator {
+            cfg,
+            node: node.to_owned(),
+            epoch: 1,
+            read_offset: 0,
+            outbox: VecDeque::new(),
+            next_seq: 0,
+            acked_seq: 0,
+            shipped_high: 0,
+            ever_shipped: 0,
+            last_ship: None,
+            acked_lsn: 0,
+            retransmit_events: 0,
+            fenced_count: 0,
+            metrics,
+        }
+    }
+
+    /// Compiles the model's `ReplicationManager` and builds the
+    /// replicator; `None` when the model declares no replication.
+    pub fn from_model(model: &Model, node: &str) -> Result<Option<Self>> {
+        Ok(ReplicationConfig::from_model(model)?.map(|cfg| Self::new(cfg, node)))
+    }
+
+    /// The compiled configuration.
+    pub fn config(&self) -> &ReplicationConfig {
+        &self.cfg
+    }
+
+    /// Journal lines enqueued but not yet acknowledged.
+    pub fn lag(&self) -> u64 {
+        self.next_seq - self.acked_seq
+    }
+
+    /// `true` once every ingested journal line is acknowledged.
+    pub fn synced(&self) -> bool {
+        self.lag() == 0
+    }
+
+    /// Newest state LSN known applied on the standby.
+    pub fn acked_lsn(&self) -> u64 {
+        self.acked_lsn
+    }
+
+    /// Ack-timeout go-back events so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmit_events
+    }
+
+    /// The OCL-addressable metrics model (see the type docs for keys).
+    pub fn metrics(&self) -> &StateManager {
+        &self.metrics
+    }
+
+    /// Mutable metrics access — the autonomic manager ticks its
+    /// replication rules against this state.
+    pub fn metrics_mut(&mut self) -> &mut StateManager {
+        &mut self.metrics
+    }
+
+    /// One shipping cycle at virtual instant `now`, under fencing epoch
+    /// `epoch` (the primary's [`GenericBroker::epoch`]): ingests new
+    /// journal bytes, goes back to the acked cursor when the ack timeout
+    /// expired, ships the window, and processes synchronous acks.
+    ///
+    /// Corrupt journal lines surface as errors; being *fenced* by the
+    /// receiver is reported in-band ([`ShipReport::fenced`]) because the
+    /// replicator itself is healthy — its primary is just stale.
+    pub fn tick(
+        &mut self,
+        now: SimTime,
+        epoch: u64,
+        net: &Network,
+        journal_bytes: &[u8],
+        standby: &mut Standby,
+    ) -> Result<ShipReport> {
+        self.epoch = epoch;
+        self.ingest(journal_bytes)?;
+        let mut report = ShipReport::default();
+
+        // Ack timeout: go back to the cumulative-ack cursor.
+        if self.acked_seq < self.shipped_high {
+            if let Some(t) = self.last_ship {
+                if now.since(t) >= self.cfg.ack_timeout {
+                    self.shipped_high = self.acked_seq;
+                    self.retransmit_events += 1;
+                    self.metrics
+                        .set_int("repl_retransmits", self.retransmit_events as i64);
+                }
+            }
+        }
+
+        let window_end = match self.cfg.mode {
+            ShipMode::Async => self.next_seq,
+            ShipMode::AckWindowed => self.acked_seq + self.cfg.window_records,
+        }
+        .min(self.next_seq);
+
+        let batch: Vec<(u64, String)> = self
+            .outbox
+            .iter()
+            .filter(|(seq, _, _)| *seq >= self.shipped_high && *seq < window_end)
+            .map(|(seq, _, line)| (*seq, line.clone()))
+            .collect();
+
+        for (seq, line) in batch {
+            if seq < self.ever_shipped {
+                report.retransmitted += 1;
+            }
+            self.shipped_high = seq + 1;
+            self.ever_shipped = self.ever_shipped.max(self.shipped_high);
+            self.last_ship = Some(now);
+            report.shipped += 1;
+            let SendOutcome::Scheduled(out) = net.transmit(&self.node, &self.cfg.standby_node)
+            else {
+                // Data leg dropped: the rest of the batch would arrive as
+                // a gap and be refused anyway — wait for the ack timeout.
+                break;
+            };
+            report.latency = report.latency.saturating_add(out);
+            match standby.receive(seq, &line, self.epoch) {
+                Err(e @ BrokerError::StaleEpoch { .. }) => {
+                    self.fenced_count += 1;
+                    self.metrics
+                        .set_int("repl_fenced", self.fenced_count as i64);
+                    report.fenced = Some(e);
+                    break;
+                }
+                Err(e) => return Err(e),
+                Ok(received) => {
+                    // Ack leg: the cumulative ack only counts when it
+                    // makes it back.
+                    if let SendOutcome::Scheduled(back) =
+                        net.transmit(&self.cfg.standby_node, &self.node)
+                    {
+                        report.latency = report.latency.saturating_add(back);
+                        if received > self.acked_seq {
+                            report.newly_acked += received - self.acked_seq;
+                            self.advance_ack(received);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.metrics.set_int("repl_lag", self.lag() as i64);
+        self.metrics
+            .set_int("repl_acked_lsn", self.acked_lsn as i64);
+        self.metrics.set_int("repl_epoch", self.epoch as i64);
+        Ok(report)
+    }
+
+    /// Drops journal history the standby has acknowledged:
+    /// [`GenericBroker::truncate_journal_to`] at the acked LSN, with the
+    /// replicator's read cursor shifted to match the rewritten bytes.
+    /// Returns the bytes reclaimed.
+    pub fn truncate_primary(&mut self, broker: &mut GenericBroker) -> usize {
+        let reclaimed = broker.truncate_journal_to(self.acked_lsn);
+        // The cut prefix was fully ingested (it is acked), so the cursor
+        // shifts left by exactly the reclaimed byte count.
+        self.read_offset = self.read_offset.saturating_sub(reclaimed);
+        reclaimed
+    }
+
+    fn advance_ack(&mut self, received: u64) {
+        while let Some((seq, lsn, _)) = self.outbox.front() {
+            if *seq >= received {
+                break;
+            }
+            if let Some(lsn) = lsn {
+                self.acked_lsn = self.acked_lsn.max(*lsn);
+            }
+            self.outbox.pop_front();
+        }
+        self.acked_seq = received;
+    }
+
+    /// Ingests complete journal lines appended since the last tick.
+    fn ingest(&mut self, journal_bytes: &[u8]) -> Result<()> {
+        while let Some(nl) = journal_bytes[self.read_offset..]
+            .iter()
+            .position(|&b| b == b'\n')
+        {
+            let end = self.read_offset + nl;
+            let line = std::str::from_utf8(&journal_bytes[self.read_offset..end])
+                .map_err(|e| BrokerError::RecoveryDiverged(format!("journal is not UTF-8: {e}")))?
+                .to_owned();
+            self.read_offset = end + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let lsn = match journal::parse_line(&line)? {
+                JournalRecord::Op(op) => Some(op.lsn()),
+                JournalRecord::OpCoalesced { op, .. } => Some(op.lsn()),
+                JournalRecord::Snapshot { state, .. } => Some(state.version),
+                _ => None,
+            };
+            self.outbox.push_back((self.next_seq, lsn, line));
+            self.next_seq += 1;
+        }
+        Ok(())
+    }
+}
+
+/// The hot standby: applies shipped journal records into its own runtime
+/// model as they arrive and mirrors the journal bytes, so promotion is
+/// the ordinary recovery path over the mirror. Tracks the fencing epoch
+/// and refuses records shipped under an older one.
+#[derive(Debug)]
+pub struct Standby {
+    node: String,
+    bytes: Vec<u8>,
+    received: u64,
+    epoch: u64,
+    state: StateManager,
+    clock_us: u64,
+    calls: u64,
+    events: u64,
+}
+
+impl Standby {
+    /// Creates an empty standby on network node `node` (epoch 1, like a
+    /// fresh primary).
+    pub fn new(node: &str) -> Self {
+        Standby {
+            node: node.to_owned(),
+            bytes: Vec::new(),
+            received: 0,
+            epoch: 1,
+            state: StateManager::new(),
+            clock_us: 0,
+            calls: 0,
+            events: 0,
+        }
+    }
+
+    /// The network node this standby listens on.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// Contiguous journal lines received so far (the cumulative ack).
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Fencing epoch this standby currently honors.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The mirrored journal bytes.
+    pub fn journal_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The standby's live runtime model (continuously applied).
+    pub fn state(&self) -> &StateManager {
+        &self.state
+    }
+
+    /// Newest state LSN applied into the standby's runtime model.
+    pub fn applied_lsn(&self) -> u64 {
+        self.state.version()
+    }
+
+    /// Raises the standby's fencing epoch without promoting it — used by
+    /// a promoted broker that keeps its `Standby` shell around purely to
+    /// fence reconnecting stale primaries.
+    pub fn fence(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// Receives one shipped journal line. Enforces, in order:
+    ///
+    /// 1. **Epoch fence** — a line shipped under `epoch` older than ours
+    ///    is refused with [`BrokerError::StaleEpoch`] (split-brain
+    ///    protection); a *newer* epoch is adopted.
+    /// 2. **Sequencing** — a duplicate (`seq` below the cursor) is
+    ///    dropped, a gap (`seq` above it) is not applied; both just
+    ///    re-ack the cursor so the primary goes back.
+    /// 3. **Application** — the record is parsed and applied into the
+    ///    standby's runtime model (LSN-checked like recovery), and the
+    ///    line is appended to the journal mirror.
+    ///
+    /// Returns the cumulative ack: the contiguous line count received.
+    pub fn receive(&mut self, seq: u64, line: &str, epoch: u64) -> Result<u64> {
+        if epoch < self.epoch {
+            return Err(BrokerError::StaleEpoch {
+                got: epoch,
+                current: self.epoch,
+            });
+        }
+        self.epoch = epoch;
+        if seq != self.received {
+            return Ok(self.received);
+        }
+        match journal::parse_line(line)? {
+            JournalRecord::Op(op) => self.state.apply_op(&op)?,
+            JournalRecord::OpCoalesced { first_lsn, op } => {
+                self.state.apply_coalesced(first_lsn, &op)?
+            }
+            JournalRecord::Command { clock_us, kind, .. } => {
+                self.clock_us = clock_us;
+                match kind {
+                    CommandKind::Call => self.calls += 1,
+                    CommandKind::Event => self.events += 1,
+                }
+            }
+            JournalRecord::Clock { clock_us } => self.clock_us = clock_us,
+            JournalRecord::Epoch { epoch } => self.epoch = self.epoch.max(epoch),
+            JournalRecord::Snapshot {
+                state,
+                clock_us,
+                calls,
+                events,
+            } => {
+                self.state.restore(&state);
+                self.clock_us = clock_us;
+                self.calls = calls;
+                self.events = events;
+            }
+        }
+        self.bytes.extend_from_slice(line.as_bytes());
+        self.bytes.push(b'\n');
+        self.received += 1;
+        Ok(self.received)
+    }
+
+    /// Promotes the standby to primary under fencing epoch `epoch`: runs
+    /// the ordinary recovery path over the journal mirror, then journals
+    /// the epoch fence on the new primary so stale-epoch refusal survives
+    /// *its* crashes too. The standby keeps its raised epoch and can stay
+    /// behind as a fence for reconnecting stale primaries.
+    pub fn promote(
+        &mut self,
+        epoch: u64,
+        model: &Model,
+        hub: ResourceHub,
+        invariants: &[&str],
+    ) -> Result<(GenericBroker, RecoveryReport)> {
+        let (mut broker, report) = GenericBroker::recover(model, hub, &self.bytes, invariants)?;
+        self.epoch = self.epoch.max(epoch);
+        broker.adopt_epoch(self.epoch);
+        Ok((broker, report))
+    }
+}
+
+/// What [`reconcile`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconcileReport {
+    /// Journal lines the two histories share (longest common prefix).
+    pub common_lines: usize,
+    /// Stale-side suffix lines discarded (writes a fenced primary made
+    /// after the histories diverged — the "committed but lost" set when
+    /// the stale side had acked them to clients).
+    pub discarded_stale_lines: usize,
+    /// Authoritative-side suffix lines replayed past the common prefix.
+    pub replayed_lines: usize,
+}
+
+/// Reconciles a healed stale primary with the authoritative history: the
+/// journals are diffed line-by-line to find the divergence point, the
+/// stale suffix is discarded, and a fresh broker is rebuilt from the
+/// *authoritative* journal through the normal recovery path (snapshot +
+/// LSN-checked replay + invariants). The rebuilt runtime model is
+/// cross-checked against an independent replay with
+/// [`StateManager::first_divergence`] before it is handed back.
+pub fn reconcile(
+    authoritative: &[u8],
+    stale: &[u8],
+    model: &Model,
+    hub: ResourceHub,
+    invariants: &[&str],
+) -> Result<(GenericBroker, ReconcileReport)> {
+    let a_lines: Vec<&[u8]> = authoritative.split_inclusive(|&b| b == b'\n').collect();
+    let s_lines: Vec<&[u8]> = stale.split_inclusive(|&b| b == b'\n').collect();
+    let common = a_lines
+        .iter()
+        .zip(&s_lines)
+        .take_while(|(a, s)| a == s)
+        .count();
+    let (broker, _report) = GenericBroker::recover(model, hub, authoritative, invariants)?;
+    let independent = journal::replay(authoritative)?;
+    if let Some(d) = broker.state().first_divergence(&independent.state) {
+        return Err(BrokerError::RecoveryDiverged(format!(
+            "reconciled model disagrees with journal replay: {d}"
+        )));
+    }
+    Ok((
+        broker,
+        ReconcileReport {
+            common_lines: common,
+            discarded_stale_lines: s_lines.len() - common,
+            replayed_lines: a_lines.len() - common,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BrokerModelBuilder;
+    use mddsm_sim::net::Link;
+    use mddsm_sim::resource::{args, Outcome};
+
+    const SNAPSHOT_EVERY: u64 = 8;
+
+    fn hub() -> ResourceHub {
+        let mut h = ResourceHub::new(7);
+        h.register_fn("sim.ctr", |_, _| Outcome::ok());
+        h
+    }
+
+    fn model() -> Model {
+        BrokerModelBuilder::new("rep")
+            .call_handler("inc", "inc")
+            .action("inc", "doInc", "ctr", "inc", &[], None, &["count=+1"])
+            .bind_resource("ctr", "sim.ctr")
+            .replication("b", "AckWindowed", 4, 5_000, 8)
+            .build()
+    }
+
+    fn net() -> Network {
+        Network::new(Link::default(), 99)
+    }
+
+    fn primary() -> GenericBroker {
+        let mut b = GenericBroker::from_model(&model(), hub()).unwrap();
+        b.enable_journal(SNAPSHOT_EVERY);
+        b
+    }
+
+    /// Ships until synced or `rounds` timeouts elapse; returns the tick
+    /// count used.
+    fn drain(
+        rep: &mut Replicator,
+        net: &Network,
+        broker: &GenericBroker,
+        standby: &mut Standby,
+        rounds: u32,
+    ) -> u32 {
+        let step = rep.config().ack_timeout;
+        let mut now = SimTime::ZERO;
+        for tick in 0..rounds {
+            let bytes = broker.journal_bytes().unwrap();
+            rep.tick(now, broker.epoch(), net, bytes, standby).unwrap();
+            if rep.synced() {
+                return tick + 1;
+            }
+            now = now + step;
+        }
+        rounds
+    }
+
+    #[test]
+    fn config_compiles_from_the_model() {
+        assert!(
+            ReplicationConfig::from_model(&BrokerModelBuilder::new("p").build())
+                .unwrap()
+                .is_none()
+        );
+        let cfg = ReplicationConfig::from_model(&model()).unwrap().unwrap();
+        assert_eq!(
+            cfg,
+            ReplicationConfig {
+                standby_node: "b".into(),
+                mode: ShipMode::AckWindowed,
+                window_records: 4,
+                ack_timeout: SimDuration::from_micros(5_000),
+                lag_alert_records: 8,
+            }
+        );
+        // A ReplicationManager without a standby node is an invalid model.
+        let mut broken = Model::new(crate::model::BROKER_METAMODEL);
+        broken.create("ReplicationManager");
+        match ReplicationConfig::from_model(&broken) {
+            Err(BrokerError::InvalidModel(m)) => assert!(m.contains("standby"), "{m}"),
+            other => panic!("expected InvalidModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn journal_ships_and_the_standby_tracks_the_primary() {
+        let mut broker = primary();
+        let mut rep = Replicator::from_model(&model(), "a").unwrap().unwrap();
+        let mut standby = Standby::new("b");
+        let net = net();
+
+        for _ in 0..10 {
+            broker.call("inc", &args(&[])).unwrap();
+            drain(&mut rep, &net, &broker, &mut standby, 4);
+        }
+        assert!(rep.synced());
+        assert_eq!(rep.lag(), 0);
+        assert_eq!(rep.metrics().int("repl_lag"), Some(0));
+        // The standby's live model matches the primary's, and the mirror
+        // is byte-identical — promotion would recover exactly this state.
+        assert_eq!(
+            broker.state().first_divergence(standby.state()),
+            None,
+            "standby diverged"
+        );
+        assert_eq!(standby.journal_bytes(), broker.journal_bytes().unwrap());
+        assert_eq!(rep.acked_lsn(), broker.state().version());
+        assert_eq!(standby.state().int("count"), Some(10));
+    }
+
+    #[test]
+    fn lossy_links_retransmit_until_the_standby_converges() {
+        let mut broker = primary();
+        let mut rep = Replicator::from_model(&model(), "a").unwrap().unwrap();
+        let mut standby = Standby::new("b");
+        let net = net();
+        net.set_link_loss("a", "b", 0.5);
+        net.set_link_loss("b", "a", 0.5);
+
+        for _ in 0..20 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        drain(&mut rep, &net, &broker, &mut standby, 400);
+        assert!(rep.synced(), "never converged under loss");
+        assert!(rep.retransmits() > 0, "0.5 loss must force retransmission");
+        assert_eq!(
+            rep.metrics().int("repl_retransmits"),
+            Some(rep.retransmits() as i64)
+        );
+        assert_eq!(broker.state().first_divergence(standby.state()), None);
+        assert_eq!(standby.journal_bytes(), broker.journal_bytes().unwrap());
+    }
+
+    #[test]
+    fn the_ack_window_bounds_what_goes_on_the_wire() {
+        let mut broker = primary();
+        let mut rep = Replicator::from_model(&model(), "a").unwrap().unwrap();
+        let mut standby = Standby::new("b");
+        let net = net();
+        net.partition_node("b");
+
+        for _ in 0..20 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        let bytes = broker.journal_bytes().unwrap().to_vec();
+        let r = rep
+            .tick(SimTime::ZERO, 1, &net, &bytes, &mut standby)
+            .unwrap();
+        // Go-back-N stops a batch on the first dropped leg, so at most
+        // one line hits a partitioned wire — and never more than the
+        // window even on healthy ones.
+        assert!(r.shipped <= rep.config().window_records);
+        assert!(rep.lag() > rep.config().window_records);
+        assert_eq!(standby.received(), 0);
+    }
+
+    #[test]
+    fn promotion_fences_the_stale_primary() {
+        let m = model();
+        let mut broker = primary();
+        let mut rep = Replicator::from_model(&m, "a").unwrap().unwrap();
+        let mut standby = Standby::new("b");
+        let net = net();
+
+        // Healthy replication, then a partition strands the primary.
+        for _ in 0..5 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        drain(&mut rep, &net, &broker, &mut standby, 4);
+        net.partition_node("a");
+        // The stranded primary keeps serving (split brain in the making).
+        broker.call("inc", &args(&[])).unwrap();
+
+        // Supervisor-side: promote the standby under epoch 2.
+        let (promoted, report) = standby.promote(2, &m, hub(), &[]).unwrap();
+        assert_eq!(promoted.epoch(), 2);
+        assert_eq!(promoted.state().int("count"), Some(5));
+        assert!(report.ops_replayed > 0 || report.snapshot_version > 0);
+
+        // The old primary heals and tries to ship its stale writes.
+        net.heal_node("a");
+        let bytes = broker.journal_bytes().unwrap().to_vec();
+        let r = rep
+            .tick(
+                SimTime::from_millis(100),
+                broker.epoch(),
+                &net,
+                &bytes,
+                &mut standby,
+            )
+            .unwrap();
+        match r.fenced {
+            Some(BrokerError::StaleEpoch { got, current }) => {
+                assert_eq!((got, current), (1, 2));
+            }
+            other => panic!("stale primary must be fenced, got {other:?}"),
+        }
+        assert_eq!(rep.metrics().int("repl_fenced"), Some(1));
+        // Direct receive refuses with the typed error too, and applies
+        // nothing.
+        let applied_before = standby.applied_lsn();
+        match standby.receive(standby.received(), "op 99 set x i 1", 1) {
+            Err(BrokerError::StaleEpoch { got: 1, current: 2 }) => {}
+            other => panic!("expected StaleEpoch, got {other:?}"),
+        }
+        assert_eq!(standby.applied_lsn(), applied_before);
+
+        // The fence itself is journaled: even after the *promoted*
+        // broker crashes and recovers, the epoch holds.
+        let (recovered, _) =
+            GenericBroker::recover(&m, hub(), promoted.journal_bytes().unwrap(), &[]).unwrap();
+        assert_eq!(recovered.epoch(), 2);
+    }
+
+    #[test]
+    fn reconcile_discards_the_stale_suffix_and_rebuilds() {
+        let m = model();
+        let mut broker = primary();
+        let mut rep = Replicator::from_model(&m, "a").unwrap().unwrap();
+        let mut standby = Standby::new("b");
+        let net = net();
+
+        for _ in 0..4 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        drain(&mut rep, &net, &broker, &mut standby, 4);
+        // Partition; both sides write: the primary's writes are doomed.
+        net.partition_node("a");
+        broker.call("inc", &args(&[])).unwrap();
+        broker.call("inc", &args(&[])).unwrap();
+        let (mut promoted, _) = standby.promote(2, &m, hub(), &[]).unwrap();
+        promoted.call("inc", &args(&[])).unwrap();
+
+        let (rebuilt, rr) = reconcile(
+            promoted.journal_bytes().unwrap(),
+            broker.journal_bytes().unwrap(),
+            &m,
+            hub(),
+            &[],
+        )
+        .unwrap();
+        assert!(rr.common_lines > 0);
+        // Each call journals two lines (the state op and the command
+        // record), so the two doomed calls discard four.
+        assert_eq!(rr.discarded_stale_lines, 4, "two doomed calls: {rr:?}");
+        assert!(rr.replayed_lines > 0);
+        // The reconciled broker carries the authoritative history: the
+        // promoted side's count and epoch, not the stale writes.
+        assert_eq!(rebuilt.state().int("count"), Some(5));
+        assert_eq!(rebuilt.epoch(), 2);
+    }
+
+    #[test]
+    fn truncation_keeps_the_ship_cursor_consistent() {
+        let mut broker = primary();
+        let mut rep = Replicator::from_model(&model(), "a").unwrap().unwrap();
+        let mut standby = Standby::new("b");
+        let net = net();
+
+        for _ in 0..SNAPSHOT_EVERY + 2 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        drain(&mut rep, &net, &broker, &mut standby, 8);
+        assert!(rep.synced());
+        let reclaimed = rep.truncate_primary(&mut broker);
+        assert!(
+            reclaimed > 0,
+            "acked history behind a snapshot must free bytes"
+        );
+
+        // Shipping continues seamlessly over the rewritten journal.
+        for _ in 0..3 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        drain(&mut rep, &net, &broker, &mut standby, 8);
+        assert!(rep.synced());
+        assert_eq!(broker.state().first_divergence(standby.state()), None);
+        assert_eq!(
+            standby.state().int("count"),
+            Some(SNAPSHOT_EVERY as i64 + 5)
+        );
+    }
+}

@@ -290,6 +290,43 @@ impl StateManager {
         Ok(())
     }
 
+    /// Compares two states variable-by-variable and reports the first
+    /// difference (in key order) as a human-readable description, or `None`
+    /// when the states agree on every variable. Versions are compared too:
+    /// reconciliation uses this to prove a promoted standby converged with
+    /// what the failed primary had committed.
+    pub fn first_divergence(&self, other: &StateManager) -> Option<String> {
+        let (a, b) = (self.snapshot(), other.snapshot());
+        if a.version != b.version {
+            return Some(format!("version {} vs {}", a.version, b.version));
+        }
+        let show = |v: &SnapValue| match v {
+            SnapValue::Str(s) => format!("\"{s}\""),
+            SnapValue::Int(i) => i.to_string(),
+        };
+        let mut left = a.vars.iter();
+        let mut right = b.vars.iter();
+        loop {
+            match (left.next(), right.next()) {
+                (None, None) => return None,
+                (Some((k, v)), None) => {
+                    return Some(format!("{k}={} vs unset", show(v)));
+                }
+                (None, Some((k, v))) => {
+                    return Some(format!("{k} unset vs {}", show(v)));
+                }
+                (Some((ka, va)), Some((kb, vb))) => {
+                    if ka != kb {
+                        return Some(format!("key {ka} vs {kb}"));
+                    }
+                    if va != vb {
+                        return Some(format!("{ka}={} vs {}", show(va), show(vb)));
+                    }
+                }
+            }
+        }
+    }
+
     /// Evaluates an OCL-lite expression with `self` bound to the state
     /// object; missing variables read as `null`.
     pub fn eval(&self, expr: &Expr) -> Result<bool> {
@@ -422,6 +459,26 @@ mod tests {
             Err(BrokerError::RecoveryDiverged(m)) => assert!(m.contains("LSN 5"), "{m}"),
             other => panic!("expected RecoveryDiverged, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn first_divergence_reports_the_difference() {
+        let mut a = StateManager::new();
+        let mut b = StateManager::new();
+        assert_eq!(a.first_divergence(&b), None);
+        a.set_int("x", 1);
+        // Version mismatch is itself a divergence.
+        assert_eq!(a.first_divergence(&b), Some("version 1 vs 0".into()));
+        b.set_int("x", 2);
+        let d = a.first_divergence(&b).unwrap();
+        assert!(d.contains("x=1 vs 2"), "{d}");
+        a.set_str("m", "on"); // a now v2
+        b.set_str("n", "on"); // b now v2 with a different inventory
+        let d = a.first_divergence(&b).unwrap();
+        assert!(d.contains('m'), "{d}");
+        // Restoring a's snapshot into b makes them agree again.
+        b.restore(&a.snapshot());
+        assert_eq!(a.first_divergence(&b), None);
     }
 
     #[test]

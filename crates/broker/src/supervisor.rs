@@ -73,6 +73,19 @@ pub enum SupervisorDecision {
         /// The component the supervisor gave up on.
         component: String,
     },
+    /// The component has a designated reachable standby: promote the
+    /// standby instead of restarting. The failed component leaves
+    /// supervision until [`Supervisor::rejoin`].
+    Failover {
+        /// The failed (or force-failed-over) primary.
+        component: String,
+        /// The standby being promoted.
+        standby: String,
+        /// Which liveness symptom fired (`forced` for drills).
+        reason: String,
+        /// The new fencing epoch the promoted standby must journal.
+        epoch: u64,
+    },
 }
 
 impl SupervisorDecision {
@@ -80,7 +93,8 @@ impl SupervisorDecision {
     pub fn component(&self) -> &str {
         match self {
             SupervisorDecision::Restart { component, .. }
-            | SupervisorDecision::Escalate { component } => component,
+            | SupervisorDecision::Escalate { component }
+            | SupervisorDecision::Failover { component, .. } => component,
         }
     }
 }
@@ -98,6 +112,16 @@ pub struct Supervisor {
     /// sliding restart-intensity window).
     restart_log: BTreeMap<String, Vec<u64>>,
     escalated: Vec<String>,
+    /// primary -> designated hot standby.
+    standbys: BTreeMap<String, String>,
+    /// Components failed over and awaiting [`Supervisor::rejoin`].
+    awaiting_rejoin: Vec<String>,
+    /// Forced failovers queued by [`ComponentTarget::failover_to`].
+    forced: Vec<(String, String)>,
+    /// Fencing epoch; bumped by every promotion.
+    epoch: u64,
+    /// `(epoch, promoted component)` per promotion, in order.
+    promotions: Vec<(u64, String)>,
 }
 
 fn key(prefix: &str, component: &str) -> String {
@@ -115,26 +139,115 @@ impl Supervisor {
             state.set_int(&key("hb", c), 0);
             state.set_int(&key("crashed", c), 0);
             state.set_int(&key("wedged", c), 0);
+            state.set_int(&key("partitioned", c), 0);
         }
+        state.set_int("epoch", 1);
         Supervisor {
             state,
             policy,
             components: components.iter().map(|c| (*c).to_owned()).collect(),
             restart_log: BTreeMap::new(),
             escalated: Vec::new(),
+            standbys: BTreeMap::new(),
+            awaiting_rejoin: Vec::new(),
+            forced: Vec::new(),
+            epoch: 1,
+            promotions: Vec::new(),
         }
     }
 
     /// Records a heartbeat from a live component. A wedged component's
-    /// heartbeats are suppressed — that is what being wedged means.
+    /// heartbeats are suppressed — that is what being wedged means — and
+    /// so are a partitioned component's: it may be alive, but its
+    /// heartbeats cannot reach the supervisor.
     pub fn heartbeat(&mut self, component: &str, now: SimTime) {
         if self.state.int(&key("wedged", component)) == Some(1)
             || self.state.int(&key("crashed", component)) == Some(1)
+            || self.state.int(&key("partitioned", component)) == Some(1)
         {
             return;
         }
         self.state
             .set_int(&key("hb", component), now.as_micros() as i64);
+    }
+
+    /// Designates `standby` as the hot standby of `primary`: as long as
+    /// the standby is reachable, an unhealthy primary is failed over to
+    /// it instead of restarted. Unknown components are ignored.
+    pub fn designate_standby(&mut self, primary: &str, standby: &str) {
+        if self.known(primary) && self.known(standby) && primary != standby {
+            self.standbys.insert(primary.to_owned(), standby.to_owned());
+            self.state.set_str(&key("standby", primary), standby);
+        }
+    }
+
+    /// Marks a component (un)reachable over the network. Set by whoever
+    /// watches the [`mddsm_sim::net::Network`] — a partitioned component
+    /// stops being heard from and its symptom fires on the next tick.
+    pub fn note_partitioned(&mut self, component: &str, partitioned: bool) {
+        if self.known(component) {
+            self.state
+                .set_int(&key("partitioned", component), i64::from(partitioned));
+        }
+    }
+
+    /// Readmits a failed-over (or healed) component to supervision with
+    /// clean flags and a fresh heartbeat. The caller re-registers it as a
+    /// standby via [`Supervisor::designate_standby`] once it has been
+    /// fenced and reconciled.
+    pub fn rejoin(&mut self, component: &str, now: SimTime) {
+        if !self.known(component) {
+            return;
+        }
+        self.awaiting_rejoin.retain(|c| c != component);
+        self.state.set_int(&key("crashed", component), 0);
+        self.state.set_int(&key("wedged", component), 0);
+        self.state.set_int(&key("partitioned", component), 0);
+        self.state
+            .set_int(&key("hb", component), now.as_micros() as i64);
+    }
+
+    fn known(&self, component: &str) -> bool {
+        self.components.iter().any(|c| c == component)
+    }
+
+    /// Whether the standby is fit to take over right now.
+    fn reachable(&self, component: &str) -> bool {
+        self.state.int(&key("crashed", component)) != Some(1)
+            && self.state.int(&key("wedged", component)) != Some(1)
+            && self.state.int(&key("partitioned", component)) != Some(1)
+            && !self.awaiting_rejoin.iter().any(|c| c == component)
+            && !self.escalated(component)
+    }
+
+    /// Current fencing epoch (1 until the first promotion).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `(epoch, promoted component)` per promotion, oldest first.
+    pub fn promotions(&self) -> &[(u64, String)] {
+        &self.promotions
+    }
+
+    /// Whether the component was failed over and has not rejoined yet.
+    pub fn awaiting_rejoin(&self, component: &str) -> bool {
+        self.awaiting_rejoin.iter().any(|c| c == component)
+    }
+
+    fn promote(&mut self, component: String, standby: String, reason: &str) -> SupervisorDecision {
+        self.epoch += 1;
+        self.standbys.remove(&component);
+        self.awaiting_rejoin.push(component.clone());
+        self.promotions.push((self.epoch, standby.clone()));
+        self.state.set_int("epoch", self.epoch as i64);
+        self.state.set_str("primary", &standby);
+        SupervisorDecision::Failover {
+            component,
+            standby,
+            reason: reason.to_owned(),
+            epoch: self.epoch,
+        }
     }
 
     /// The supervisor's runtime model (for symptom inspection in tests and
@@ -160,9 +273,10 @@ impl Supervisor {
     /// `now - stall_after`: a heartbeat older than it means wedged.
     fn symptom(&self, component: &str, deadline_us: i64) -> String {
         format!(
-            "self.{crashed} = 1 or self.{wedged} = 1 or self.{hb} < {deadline_us}",
+            "self.{crashed} = 1 or self.{wedged} = 1 or self.{part} = 1 or self.{hb} < {deadline_us}",
             crashed = key("crashed", component),
             wedged = key("wedged", component),
+            part = key("partitioned", component),
             hb = key("hb", component),
         )
     }
@@ -176,8 +290,19 @@ impl Supervisor {
         let now_us = now.as_micros();
         let deadline_us = now_us.saturating_sub(self.policy.stall_after.as_micros()) as i64;
         let mut decisions = Vec::new();
+        // Forced failovers (drills) first: promote even a healthy primary,
+        // as long as the standby could actually take over.
+        for (component, standby) in std::mem::take(&mut self.forced) {
+            if self.known(&component)
+                && !self.escalated(&component)
+                && !self.awaiting_rejoin(&component)
+                && self.reachable(&standby)
+            {
+                decisions.push(self.promote(component, standby, "forced"));
+            }
+        }
         for component in self.components.clone() {
-            if self.escalated(&component) {
+            if self.escalated(&component) || self.awaiting_rejoin(&component) {
                 continue;
             }
             let src = self.symptom(&component, deadline_us);
@@ -190,9 +315,21 @@ impl Supervisor {
                 "crashed"
             } else if self.state.int(&key("wedged", &component)) == Some(1) {
                 "wedged"
+            } else if self.state.int(&key("partitioned", &component)) == Some(1) {
+                "partitioned"
             } else {
                 "heartbeat-stale"
             };
+
+            // A primary with a reachable hot standby fails over instead of
+            // restarting; restart intensity is not charged (the standby is
+            // fresh, not a restart of the failed component).
+            if let Some(standby) = self.standbys.get(&component).cloned() {
+                if self.reachable(&standby) {
+                    decisions.push(self.promote(component, standby, reason));
+                    continue;
+                }
+            }
 
             // Restart-intensity check over the sliding window. Both
             // comparisons are deliberate about their edges: a restart
@@ -215,6 +352,7 @@ impl Supervisor {
             let restarts_in_window = log.len() as u32;
             self.state.set_int(&key("crashed", &component), 0);
             self.state.set_int(&key("wedged", &component), 0);
+            self.state.set_int(&key("partitioned", &component), 0);
             self.state.set_int(&key("hb", &component), now_us as i64);
             self.state.bump(&key("restarts", &component), 1);
             decisions.push(SupervisorDecision::Restart {
@@ -237,6 +375,12 @@ impl ComponentTarget for Supervisor {
     fn stall_component(&mut self, component: &str) {
         if self.components.iter().any(|c| c == component) {
             self.state.set_int(&key("wedged", component), 1);
+        }
+    }
+
+    fn failover_to(&mut self, component: &str, standby: &str) {
+        if self.known(component) && self.known(standby) && component != standby {
+            self.forced.push((component.to_owned(), standby.to_owned()));
         }
     }
 }
@@ -396,5 +540,95 @@ mod tests {
         s.stall_component("ghost");
         s.heartbeat("b", SimTime::from_millis(1));
         assert!(s.tick(SimTime::from_millis(2)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn crashed_primary_fails_over_to_its_standby() {
+        let mut s = Supervisor::new(&["a", "b"], policy());
+        s.designate_standby("a", "b");
+        s.heartbeat("b", SimTime::from_millis(9));
+        s.crash_component("a");
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert_eq!(
+            d,
+            vec![SupervisorDecision::Failover {
+                component: "a".into(),
+                standby: "b".into(),
+                reason: "crashed".into(),
+                epoch: 2,
+            }]
+        );
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.promotions(), &[(2, "b".to_string())]);
+        assert!(s.awaiting_rejoin("a"));
+        assert_eq!(s.state().int("epoch"), Some(2));
+        assert_eq!(s.state().str("primary"), Some("b"));
+        // The failed-over primary is out of supervision: no more decisions
+        // about it, even though its crashed flag is still set.
+        s.heartbeat("b", SimTime::from_millis(11));
+        assert!(s.tick(SimTime::from_millis(12)).unwrap().is_empty());
+        // After fencing + reconcile the old primary rejoins as standby.
+        s.rejoin("a", SimTime::from_millis(20));
+        s.designate_standby("b", "a");
+        s.crash_component("b");
+        let d = s.tick(SimTime::from_millis(21)).unwrap();
+        assert!(matches!(
+            &d[0],
+            SupervisorDecision::Failover { standby, epoch: 3, .. } if standby == "a"
+        ));
+    }
+
+    #[test]
+    fn partition_fires_the_symptom_and_fails_over() {
+        let mut s = Supervisor::new(&["a", "b"], policy());
+        s.designate_standby("a", "b");
+        s.heartbeat("b", SimTime::from_millis(9));
+        s.note_partitioned("a", true);
+        // A partitioned node's heartbeats never arrive.
+        s.heartbeat("a", SimTime::from_millis(9));
+        assert_eq!(s.state().int("hb_a"), Some(0));
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert!(matches!(
+            &d[0],
+            SupervisorDecision::Failover { reason, .. } if reason == "partitioned"
+        ));
+    }
+
+    #[test]
+    fn unreachable_standby_falls_back_to_restart() {
+        let mut s = Supervisor::new(&["a", "b"], policy());
+        s.designate_standby("a", "b");
+        // Simultaneous crash + partition: the standby cannot take over.
+        s.crash_component("a");
+        s.note_partitioned("b", true);
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(matches!(&d[0], SupervisorDecision::Restart { component, .. } if component == "a"));
+        assert!(
+            matches!(&d[1], SupervisorDecision::Restart { component, reason, .. }
+                if component == "b" && reason == "partitioned")
+        );
+        assert_eq!(s.epoch(), 1, "no promotion happened");
+    }
+
+    #[test]
+    fn forced_failover_promotes_a_healthy_primary() {
+        let mut s = Supervisor::new(&["a", "b"], policy());
+        s.heartbeat("a", SimTime::from_millis(9));
+        s.heartbeat("b", SimTime::from_millis(9));
+        s.failover_to("a", "b");
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert_eq!(
+            d,
+            vec![SupervisorDecision::Failover {
+                component: "a".into(),
+                standby: "b".into(),
+                reason: "forced".into(),
+                epoch: 2,
+            }]
+        );
+        // The queue drains: no repeat on the next tick.
+        s.heartbeat("b", SimTime::from_millis(11));
+        assert!(s.tick(SimTime::from_millis(12)).unwrap().is_empty());
     }
 }

@@ -290,6 +290,101 @@ fn overload_interleavings_replay_to_exact_state_and_mode() {
     }
 }
 
+/// Any seeded interleaving of crash, stall, heal, and partition events
+/// against a supervised primary/standby group yields exactly one promoted
+/// primary per epoch: epochs are unique and strictly increasing, every
+/// promotion names exactly one component, and a failed-over component
+/// produces no further decisions until it rejoins.
+#[test]
+fn failover_interleavings_yield_one_primary_per_epoch() {
+    use mddsm_broker::supervisor::{RestartPolicy, Supervisor, SupervisorDecision};
+    use mddsm_sim::fault::ComponentTarget;
+    use mddsm_sim::{SimDuration, SimTime};
+    use std::collections::BTreeSet;
+
+    const NODES: &[&str] = &["a", "b", "c"];
+    for case in 0..64u64 {
+        let mut gen = SimRng::seed_from_u64(0xB9_0000 + case);
+        let mut sup = Supervisor::new(
+            NODES,
+            RestartPolicy {
+                max_restarts: 1_000, // keep escalation out of this property
+                window: SimDuration::from_millis(60_000),
+                stall_after: SimDuration::from_millis(300),
+            },
+        );
+        let mut primary = "a".to_string();
+        sup.designate_standby("a", "b");
+
+        let mut t_us = 0u64;
+        let mut seen_epochs = BTreeSet::new();
+        let steps = gen.range(10, 60);
+        for _ in 0..steps {
+            t_us += gen.range(1_000, 400_000);
+            let now = SimTime::from_micros(t_us);
+            let node = NODES[gen.index(NODES.len())];
+            match gen.range(0, 6) {
+                0 => sup.crash_component(node),
+                1 => sup.stall_component(node),
+                2 => sup.note_partitioned(node, true),
+                3 => sup.note_partitioned(node, false),
+                _ => {
+                    for n in NODES {
+                        sup.heartbeat(n, now);
+                    }
+                }
+            }
+            // Sometimes a failed-over node finishes fencing + reconcile
+            // and rejoins as the standby of the current primary.
+            if gen.chance(0.3) {
+                for n in NODES {
+                    if sup.awaiting_rejoin(n) {
+                        sup.rejoin(n, now);
+                        sup.designate_standby(&primary, n);
+                        break;
+                    }
+                }
+            }
+
+            for d in sup.tick(now).unwrap() {
+                assert!(
+                    !sup.awaiting_rejoin(d.component())
+                        || matches!(d, SupervisorDecision::Failover { .. }),
+                    "case {case}: decision about a node that already left supervision: {d:?}"
+                );
+                if let SupervisorDecision::Failover {
+                    component,
+                    standby,
+                    epoch,
+                    ..
+                } = d
+                {
+                    assert!(
+                        seen_epochs.insert(epoch),
+                        "case {case}: two promotions share epoch {epoch}"
+                    );
+                    assert_eq!(epoch, sup.epoch(), "case {case}");
+                    assert_ne!(component, standby, "case {case}");
+                    primary = standby;
+                }
+            }
+        }
+
+        // The promotion log agrees: one promoted component per epoch,
+        // epochs strictly increasing from 2.
+        let epochs: Vec<u64> = sup.promotions().iter().map(|(e, _)| *e).collect();
+        assert_eq!(epochs.len(), seen_epochs.len(), "case {case}");
+        assert!(
+            epochs.windows(2).all(|w| w[0] < w[1]),
+            "case {case}: epochs not strictly increasing: {epochs:?}"
+        );
+        for (e, promoted) in sup.promotions() {
+            assert!(*e >= 2, "case {case}");
+            assert!(NODES.contains(&promoted.as_str()), "case {case}");
+        }
+    }
+}
+
 /// Dispatch is deterministic: same model, same state, same call -> same
 /// action and outcome.
 #[test]

@@ -50,6 +50,7 @@ pub fn fault_metamodel() -> Metamodel {
                 "StallComponent",
                 "LoadSpike",
                 "LoadNormal",
+                "FailoverTo",
             ],
         )
         .class("FaultPlan", |c| {
@@ -173,6 +174,16 @@ pub enum FaultAction {
         /// Workload class whose arrivals return to baseline.
         class: String,
     },
+    /// Force a failover: the named middleware component hands its primary
+    /// role to `standby`. Delivered to the [`ComponentTarget`] like the
+    /// other middleware events — the supervisor (or harness) decides what
+    /// promotion actually means.
+    FailoverTo {
+        /// Component currently holding the primary role.
+        component: String,
+        /// Component that should take over.
+        standby: String,
+    },
 }
 
 impl FaultAction {
@@ -193,7 +204,9 @@ impl FaultAction {
     pub fn is_component(&self) -> bool {
         matches!(
             self,
-            FaultAction::CrashComponent { .. } | FaultAction::StallComponent { .. }
+            FaultAction::CrashComponent { .. }
+                | FaultAction::StallComponent { .. }
+                | FaultAction::FailoverTo { .. }
         )
     }
 
@@ -221,6 +234,9 @@ pub trait ComponentTarget {
     /// Workload class `class` returns to its baseline arrival rate.
     /// Default no-op, like [`ComponentTarget::load_spike`].
     fn load_normal(&mut self, _class: &str) {}
+    /// The named component must hand its primary role to `standby`.
+    /// Default no-op so targets without replication need not handle it.
+    fn failover_to(&mut self, _component: &str, _standby: &str) {}
 }
 
 /// A compiled fault event: an action at a virtual-time instant.
@@ -344,6 +360,10 @@ fn compile_event(model: &Model, e: ObjectId) -> Result<FaultEvent, FaultError> {
             }
         }
         "LoadNormal" => FaultAction::LoadNormal { class: target },
+        "FailoverTo" => FaultAction::FailoverTo {
+            component: target,
+            standby: peer?,
+        },
         other => return Err(FaultError::BadPlan(format!("unknown fault kind `{other}`"))),
     };
     Ok(FaultEvent {
@@ -475,6 +495,14 @@ impl FaultPlanBuilder {
         self.event(at, "LoadNormal", class)
     }
 
+    /// Forces `component` to hand its primary role to `standby` at `at`.
+    pub fn failover_to(self, at: SimTime, component: &str, standby: &str) -> Self {
+        let mut b = self.event(at, "FailoverTo", component);
+        let e = b.last_event();
+        b.model.set_attr(e, "peer", Value::from(standby));
+        b
+    }
+
     /// Finishes and returns the fault-plan model.
     pub fn build(self) -> Model {
         self.model
@@ -596,6 +624,95 @@ pub fn random_crash_campaign(name: &str, seed: u64, cfg: &CrashCampaignConfig) -
             } else {
                 b.crash_component(at, component)
             };
+        }
+    }
+    b.build()
+}
+
+/// Shape of a randomized *failover* campaign (the E9 workload): one flaky
+/// node alternates healthy windows with outages that are partitions,
+/// middleware crashes, or loss spikes on its links; partitions and loss
+/// spikes heal after the outage, crashes are left for a supervisor.
+#[derive(Debug, Clone)]
+pub struct FailoverCampaignConfig {
+    /// Network node the campaign picks on.
+    pub node: String,
+    /// Middleware component hosted on `node` (crash events target it).
+    pub component: String,
+    /// Peers of `node`; loss spikes hit the directed links both ways.
+    pub peers: Vec<String>,
+    /// Campaign horizon: no event fires at or after this instant.
+    pub horizon: SimDuration,
+    /// Mean healthy time between outages (exponential).
+    pub mean_uptime: SimDuration,
+    /// Mean outage duration for partitions and loss spikes (exponential).
+    pub mean_downtime: SimDuration,
+    /// Probability an outage is a network partition of `node`.
+    pub partition_chance: f64,
+    /// Probability an outage is a loss spike (else a component crash).
+    pub loss_chance: f64,
+    /// Loss probability applied on `node`'s links during a spike.
+    pub spike_loss: f64,
+}
+
+impl Default for FailoverCampaignConfig {
+    fn default() -> Self {
+        FailoverCampaignConfig {
+            node: String::new(),
+            component: String::new(),
+            peers: Vec::new(),
+            horizon: SimDuration::from_millis(10_000),
+            mean_uptime: SimDuration::from_millis(2_000),
+            mean_downtime: SimDuration::from_millis(500),
+            partition_chance: 0.4,
+            loss_chance: 0.3,
+            spike_loss: 0.6,
+        }
+    }
+}
+
+/// Generates a randomized failover plan for one flaky node: outages arrive
+/// at exponentially-distributed intervals and are, per the configured
+/// chances, a [`FaultAction::Partition`] (healed by a `HealNode` after the
+/// outage), a [`FaultAction::LossSpike`] on every directed link touching
+/// the node (reset to lossless after the outage), or a
+/// [`FaultAction::CrashComponent`] whose recovery is the supervisor's job.
+/// Deterministic in `seed`.
+pub fn random_failover_campaign(name: &str, seed: u64, cfg: &FailoverCampaignConfig) -> Model {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut b = FaultPlanBuilder::new(name).seed(seed);
+    let mut t = 0u64;
+    loop {
+        let up = rng.exponential(cfg.mean_uptime.as_micros() as f64).max(1.0) as u64;
+        t = t.saturating_add(up);
+        if t >= cfg.horizon.as_micros() {
+            break;
+        }
+        let at = SimTime::from_micros(t);
+        let down = rng
+            .exponential(cfg.mean_downtime.as_micros() as f64)
+            .max(1.0) as u64;
+        let heal_at = SimTime::from_micros(
+            t.saturating_add(down)
+                .min(cfg.horizon.as_micros().saturating_sub(1)),
+        );
+        let roll = rng.unit();
+        if roll < cfg.partition_chance {
+            b = b.partition(at, &cfg.node).heal_node(heal_at, &cfg.node);
+        } else if roll < cfg.partition_chance + cfg.loss_chance {
+            for peer in &cfg.peers {
+                b = b
+                    .loss_spike(at, &cfg.node, peer, cfg.spike_loss)
+                    .loss_spike(at, peer, &cfg.node, cfg.spike_loss)
+                    .loss_spike(heal_at, &cfg.node, peer, 0.0)
+                    .loss_spike(heal_at, peer, &cfg.node, 0.0);
+            }
+        } else {
+            b = b.crash_component(at, &cfg.component);
+        }
+        t = t.saturating_add(down);
+        if t >= cfg.horizon.as_micros() {
+            break;
         }
     }
     b.build()
@@ -737,6 +854,11 @@ fn apply_action(
         FaultAction::LoadNormal { class } => {
             if let Some(t) = target {
                 t.load_normal(class);
+            }
+        }
+        FaultAction::FailoverTo { component, standby } => {
+            if let Some(t) = target {
+                t.failover_to(component, standby);
             }
         }
     }
@@ -976,6 +1098,89 @@ mod tests {
             assert!(e.at.as_micros() < cfg.horizon.as_micros());
         }
         let c = random_crash_campaign("c", 12, &cfg);
+        assert_ne!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&c));
+    }
+
+    #[test]
+    fn failover_events_reach_the_component_target() {
+        #[derive(Default)]
+        struct Promotions(Vec<(String, String)>);
+        impl ComponentTarget for Promotions {
+            fn crash_component(&mut self, _: &str) {}
+            fn stall_component(&mut self, _: &str) {}
+            fn failover_to(&mut self, component: &str, standby: &str) {
+                self.0.push((component.to_owned(), standby.to_owned()));
+            }
+        }
+
+        let model = FaultPlanBuilder::new("p")
+            .failover_to(SimTime::from_millis(10), "broker.a", "broker.b")
+            .build();
+        conformance::check(&model, &fault_metamodel()).unwrap();
+        let plan = FaultPlan::from_model(&model).unwrap();
+        assert!(plan.events()[0].action.is_component());
+
+        let mut driver = FaultDriver::new(&plan);
+        let mut hub = hub();
+        let mut promos = Promotions::default();
+        driver.advance_full(SimTime::from_millis(10), &mut hub, None, Some(&mut promos));
+        assert_eq!(
+            promos.0,
+            vec![("broker.a".to_string(), "broker.b".to_string())]
+        );
+
+        // A FailoverTo without a standby peer does not compile.
+        let mut bad = FaultPlanBuilder::new("p").build();
+        let p = bad.all_of_class("FaultPlan")[0];
+        let e = bad.create("FaultEvent");
+        bad.set_attr(e, "atUs", Value::from(0));
+        bad.set_attr(e, "kind", Value::enumeration("FaultKind", "FailoverTo"));
+        bad.set_attr(e, "target", Value::from("broker.a"));
+        bad.add_ref(p, "events", e);
+        let err = FaultPlan::from_model(&bad).unwrap_err();
+        assert!(matches!(err, FaultError::BadPlan(m) if m.contains("needs a peer")));
+    }
+
+    #[test]
+    fn random_failover_campaigns_are_deterministic_and_self_healing() {
+        let cfg = FailoverCampaignConfig {
+            node: "a".into(),
+            component: "broker.a".into(),
+            peers: vec!["b".into()],
+            horizon: SimDuration::from_millis(60_000),
+            ..FailoverCampaignConfig::default()
+        };
+        let a = random_failover_campaign("f", 5, &cfg);
+        let b = random_failover_campaign("f", 5, &cfg);
+        assert_eq!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&b));
+        conformance::check(&a, &fault_metamodel()).unwrap();
+        let plan = FaultPlan::from_model(&a).unwrap();
+        assert!(!plan.is_empty(), "default config produces events");
+        // Every partition is paired with a later heal, and loss spikes come
+        // in onset/reset pairs per directed link; crashes have no heal.
+        let mut parts = 0i64;
+        for e in plan.events() {
+            assert!(e.at.as_micros() < cfg.horizon.as_micros());
+            match &e.action {
+                FaultAction::Partition { node } => {
+                    assert_eq!(node, "a");
+                    parts += 1;
+                }
+                FaultAction::HealNode { node } => {
+                    assert_eq!(node, "a");
+                    parts -= 1;
+                }
+                FaultAction::LossSpike { from, to, .. } => {
+                    assert!(from == "a" || to == "a");
+                }
+                FaultAction::CrashComponent { component } => {
+                    assert_eq!(component, "broker.a");
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(parts, 0, "every partition heals inside the horizon");
+        let c = random_failover_campaign("f", 6, &cfg);
         assert_ne!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&c));
     }
 

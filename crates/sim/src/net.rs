@@ -9,7 +9,7 @@ use crate::latency::LatencyModel;
 use crate::rng::SimRng;
 use crate::time::SimDuration;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 /// Properties of one directed link.
@@ -65,8 +65,36 @@ pub struct Network {
 struct NetworkInner {
     default_link: Link,
     links: BTreeMap<(String, String), Link>,
+    /// Nodes currently cut off from everyone. Tracked at node level so a
+    /// partition also severs pairs that never had a configured link (those
+    /// would otherwise fall back to the default link and sail through).
+    partitioned: BTreeSet<String>,
     rng: SimRng,
     stats: NetStats,
+}
+
+impl NetworkInner {
+    /// Classifies the attempt and samples loss/latency; both [`Network::send`]
+    /// and [`Network::transmit`] go through here so down links, partitions,
+    /// and random loss are accounted identically regardless of entry point.
+    fn attempt(&mut self, from: &str, to: &str) -> SendOutcome {
+        let link = self
+            .links
+            .get(&(from.to_owned(), to.to_owned()))
+            .cloned()
+            .unwrap_or_else(|| self.default_link.clone());
+        if !link.up || self.partitioned.contains(from) || self.partitioned.contains(to) {
+            self.stats.partitioned += 1;
+            return SendOutcome::Dropped;
+        }
+        if self.rng.chance(link.loss) {
+            self.stats.lost += 1;
+            return SendOutcome::Dropped;
+        }
+        let latency = link.latency.sample(&mut self.rng);
+        self.stats.delivered += 1;
+        SendOutcome::Scheduled(latency)
+    }
 }
 
 impl Network {
@@ -76,6 +104,7 @@ impl Network {
             inner: Rc::new(RefCell::new(NetworkInner {
                 default_link,
                 links: BTreeMap::new(),
+                partitioned: BTreeSet::new(),
                 rng: SimRng::seed_from_u64(seed),
                 stats: NetStats::default(),
             })),
@@ -114,10 +143,22 @@ impl Network {
         link.loss = loss.clamp(0.0, 1.0);
     }
 
-    /// Partitions `node` from every currently-configured peer, in both
-    /// directions; returns the number of links taken down.
+    /// Takes the directed link `from -> to` down. Equivalent to
+    /// [`Network::set_link_up`] with `false`; messages dropped on the link
+    /// count under [`NetStats::partitioned`], exactly as partition drops do.
+    pub fn set_link_down(&self, from: &str, to: &str) {
+        self.set_link_up(from, to, false);
+    }
+
+    /// Partitions `node` from *every* peer, in both directions — including
+    /// pairs with no configured link (which would otherwise use the default
+    /// link). Configured links touching the node are also taken down;
+    /// returns how many were. Idempotent.
     pub fn partition_node(&self, node: &str) -> usize {
         let mut inner = self.inner.borrow_mut();
+        if !inner.partitioned.insert(node.to_owned()) {
+            return 0;
+        }
         let mut n = 0;
         for ((from, to), link) in inner.links.iter_mut() {
             if (from == node || to == node) && link.up {
@@ -128,9 +169,12 @@ impl Network {
         n
     }
 
-    /// Heals all links touching `node`.
+    /// Heals all links touching `node` and lifts its node-level partition.
     pub fn heal_node(&self, node: &str) -> usize {
         let mut inner = self.inner.borrow_mut();
+        if !inner.partitioned.remove(node) {
+            return 0;
+        }
         let mut n = 0;
         for ((from, to), link) in inner.links.iter_mut() {
             if (from == node || to == node) && !link.up {
@@ -141,9 +185,48 @@ impl Network {
         n
     }
 
+    /// Whether `from -> to` is currently traversable (link up and neither
+    /// endpoint partitioned). Does not touch statistics or the RNG.
+    pub fn is_up(&self, from: &str, to: &str) -> bool {
+        let inner = self.inner.borrow();
+        if inner.partitioned.contains(from) || inner.partitioned.contains(to) {
+            return false;
+        }
+        inner
+            .links
+            .get(&(from.to_owned(), to.to_owned()))
+            .map_or(inner.default_link.up, |l| l.up)
+    }
+
     /// Current delivery statistics.
     pub fn stats(&self) -> NetStats {
         self.inner.borrow().stats
+    }
+
+    /// Attempts one message `from -> to` *synchronously*: samples the link
+    /// exactly like [`Network::send`] (same loss/partition accounting, same
+    /// RNG stream) but returns the outcome instead of scheduling a
+    /// delivery closure. This is the building block for request/ack
+    /// protocols driven on a virtual clock outside the event loop — the
+    /// caller charges the returned latency itself and decides whether to
+    /// retransmit on a dropped leg.
+    pub fn transmit(&self, from: &str, to: &str) -> SendOutcome {
+        self.inner.borrow_mut().attempt(from, to)
+    }
+
+    /// One request/ack round trip: a `from -> to` leg followed, when the
+    /// first leg is delivered, by a `to -> from` leg. Returns the total
+    /// latency when both legs are delivered, `None` when either drops —
+    /// the ack-timeout case the caller retransmits on.
+    pub fn round_trip(&self, from: &str, to: &str) -> Option<SimDuration> {
+        let mut inner = self.inner.borrow_mut();
+        let SendOutcome::Scheduled(out) = inner.attempt(from, to) else {
+            return None;
+        };
+        let SendOutcome::Scheduled(back) = inner.attempt(to, from) else {
+            return None;
+        };
+        Some(out + back)
     }
 
     /// Sends a message from `from` to `to`; on success `deliver` is
@@ -155,25 +238,11 @@ impl Network {
         to: &str,
         deliver: impl FnOnce(&mut Simulator) + 'static,
     ) -> SendOutcome {
-        let mut inner = self.inner.borrow_mut();
-        let link = inner
-            .links
-            .get(&(from.to_owned(), to.to_owned()))
-            .cloned()
-            .unwrap_or_else(|| inner.default_link.clone());
-        if !link.up {
-            inner.stats.partitioned += 1;
-            return SendOutcome::Dropped;
+        let outcome = self.inner.borrow_mut().attempt(from, to);
+        if let SendOutcome::Scheduled(latency) = outcome {
+            sim.schedule(latency, deliver);
         }
-        if inner.rng.chance(link.loss) {
-            inner.stats.lost += 1;
-            return SendOutcome::Dropped;
-        }
-        let latency = link.latency.sample(&mut inner.rng);
-        inner.stats.delivered += 1;
-        drop(inner);
-        sim.schedule(latency, deliver);
-        SendOutcome::Scheduled(latency)
+        outcome
     }
 }
 
@@ -265,5 +334,65 @@ mod tests {
         ));
         // Partitioning is idempotent.
         assert_eq!(net.heal_node("a"), 0);
+    }
+
+    #[test]
+    fn partition_severs_unconfigured_pairs_too() {
+        // Regression: `partition_node` used to flip only *configured*
+        // links, so a partitioned node could still talk to a peer it had
+        // never exchanged a configured link with (the pair fell back to
+        // the default link, which was up). Partitions are node-level now.
+        let (mut sim, net) = setup();
+        net.partition_node("a");
+        assert_eq!(net.send(&mut sim, "a", "z", |_| {}), SendOutcome::Dropped);
+        assert_eq!(net.send(&mut sim, "z", "a", |_| {}), SendOutcome::Dropped);
+        assert!(!net.is_up("a", "z"));
+        assert_eq!(net.stats().partitioned, 2);
+        net.heal_node("a");
+        assert!(net.is_up("a", "z"));
+        assert!(matches!(
+            net.send(&mut sim, "a", "z", |_| {}),
+            SendOutcome::Scheduled(_)
+        ));
+    }
+
+    #[test]
+    fn set_link_down_and_partition_account_identically() {
+        let (mut sim, net) = setup();
+        // One drop via the link helper, one via the partition helper: both
+        // must land in the same `partitioned` counter.
+        net.set_link_down("a", "b");
+        assert_eq!(net.send(&mut sim, "a", "b", |_| {}), SendOutcome::Dropped);
+        net.partition_node("c");
+        assert_eq!(net.send(&mut sim, "c", "d", |_| {}), SendOutcome::Dropped);
+        let s = net.stats();
+        assert_eq!(s.partitioned, 2);
+        assert_eq!(s.lost, 0);
+        assert_eq!(s.delivered, 0);
+    }
+
+    #[test]
+    fn transmit_matches_send_accounting() {
+        let (_sim, net) = setup();
+        assert!(matches!(
+            net.transmit("a", "b"),
+            SendOutcome::Scheduled(d) if d == SimDuration::from_millis(1)
+        ));
+        net.set_link_down("a", "b");
+        assert_eq!(net.transmit("a", "b"), SendOutcome::Dropped);
+        let s = net.stats();
+        assert_eq!((s.delivered, s.partitioned, s.lost), (1, 1, 0));
+    }
+
+    #[test]
+    fn round_trip_needs_both_legs() {
+        let (_sim, net) = setup();
+        assert_eq!(net.round_trip("a", "b"), Some(SimDuration::from_millis(2)));
+        // Ack leg down: the round trip fails even though the data leg
+        // delivers (that delivery is still counted).
+        net.set_link_down("b", "a");
+        assert_eq!(net.round_trip("a", "b"), None);
+        let s = net.stats();
+        assert_eq!((s.delivered, s.partitioned), (3, 1));
     }
 }

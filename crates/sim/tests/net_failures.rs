@@ -118,7 +118,8 @@ fn partition_event_isolates_the_node_in_both_directions() {
     let mut sim = Simulator::new();
     let mut rhub = ResourceHub::new(0);
     let net = clean_net(3);
-    // Partitioning only takes down *configured* links — set up a star.
+    // Configure a star so the stats below have known link setups (node-
+    // level partitioning severs unconfigured pairs too).
     for peer in ["n1", "n2"] {
         net.set_link("hub", peer, Link::default());
         net.set_link(peer, "hub", Link::default());
