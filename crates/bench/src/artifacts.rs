@@ -275,6 +275,20 @@ pub fn required_keys(experiment: &str) -> &'static [&'static str] {
             "ack_zero_divergence",
             "async_loss_observed",
             "replays_consistent",
+            "one_primary_per_epoch",
+            "campaigns",
+        ],
+        "e10" => &[
+            "seed",
+            "seeds",
+            "calls",
+            "period_ms",
+            "unmonitored_divergence_observed",
+            "monitors_caught_all",
+            "zero_divergence_monitored",
+            "standby_caught_all",
+            "replays_consistent",
+            "overhead_pct",
             "campaigns",
         ],
         _ => &["seed"],
@@ -339,6 +353,8 @@ mod tests {
         assert_eq!(check_artifact("BENCH_e8.json", &e8).unwrap(), "e8");
         let e9 = crate::e9::run(&[3], 120, 20).to_json();
         assert_eq!(check_artifact("BENCH_e9.json", &e9).unwrap(), "e9");
+        let e10 = crate::e10::run(&[3], 120, 20).to_json();
+        assert_eq!(check_artifact("BENCH_e10.json", &e10).unwrap(), "e10");
     }
 
     #[test]

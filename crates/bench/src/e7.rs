@@ -205,10 +205,14 @@ pub fn run_variant(seed: u64, calls: u64, period_ms: u64, variant: Variant) -> E
                 escalated = true;
                 break;
             }
-            // E7 designates no standby, so the supervisor can never decide
-            // to fail over (that is E9's territory).
+            // E7 designates no standby and arms no monitors, so the
+            // supervisor can never decide to fail over or quarantine
+            // (E9's and E10's territory respectively).
             Some(SupervisorDecision::Failover { .. }) => {
                 unreachable!("no standby designated in E7")
+            }
+            Some(SupervisorDecision::Quarantine { .. }) => {
+                unreachable!("no monitors armed in E7")
             }
             Some(SupervisorDecision::Restart { reason, .. }) => {
                 restarts += 1;

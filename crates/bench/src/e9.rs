@@ -35,7 +35,10 @@
 //! loses everything at each crash. Everything is virtual-time and seeded,
 //! so `BENCH_e9.json` reproduces byte-for-byte.
 
+use std::collections::BTreeMap;
+
 use mddsm_broker::journal::{self, JournalRecord};
+use mddsm_broker::monitor;
 use mddsm_broker::replication::reconcile;
 use mddsm_broker::{
     BrokerModelBuilder, GenericBroker, ReplicationConfig, Replicator, RestartPolicy, Standby,
@@ -190,6 +193,9 @@ pub struct E9Run {
     pub replay_consistent: bool,
     /// Whether the supervisor gave up on a component.
     pub escalated: bool,
+    /// Whether the online `onePrimaryPerEpoch` temporal property held
+    /// through every supervision cycle (zero observed trips).
+    pub one_primary_per_epoch: bool,
 }
 
 fn other(node: &str) -> &'static str {
@@ -314,6 +320,13 @@ pub fn run_variant(seed: u64, calls: u64, period_ms: u64, variant: Variant) -> E
     let mut retrans_retired = 0u64;
     let mut escalated = false;
     let mut fo_times_us: Vec<u64> = Vec::new();
+    // The shipped `onePrimaryPerEpoch` temporal property, observed online
+    // against the supervisor's runtime model during the campaign
+    // (promoted from a property test; see `monitor::failover_properties`).
+    let failover_props = monitor::failover_properties();
+    let prop_watched = failover_props.watched_keys();
+    let mut prop_shadow: BTreeMap<String, String> = BTreeMap::new();
+    let mut property_trips = 0u64;
     // Virtual instant the currently-unhandled primary fault fired.
     let mut fault_at: Option<u64> = None;
     // A partitioned-out old primary (with its replicator and the promoted
@@ -380,6 +393,12 @@ pub fn run_variant(seed: u64, calls: u64, period_ms: u64, variant: Variant) -> E
                             // catches it up), but a crash forces a resync.
                             sb_reset = true;
                         }
+                    }
+                    // E9 arms no runtime-verification monitors on the
+                    // broker, so no trip symptom ever reaches the
+                    // supervisor (that is E10's territory).
+                    SupervisorDecision::Quarantine { .. } => {
+                        unreachable!("no monitors armed in E9")
                     }
                 }
             }
@@ -490,6 +509,17 @@ pub fn run_variant(seed: u64, calls: u64, period_ms: u64, variant: Variant) -> E
                 ));
                 rejoins += 1;
             }
+
+            // Online temporal-property check (the shipped
+            // `onePrimaryPerEpoch` monitor): observe the supervisor's
+            // runtime model after every control-plane cycle. A trip here
+            // would mean two different primaries were promoted under the
+            // same fencing epoch — the split-brain the epoch fence exists
+            // to prevent.
+            let dirty: Vec<&str> = prop_watched.iter().map(String::as_str).collect();
+            property_trips += failover_props
+                .check_observed(supervisor.state(), &dirty, &mut prop_shadow)
+                .len() as u64;
         }
 
         // A crashed-but-undetected primary serves nothing.
@@ -630,6 +660,7 @@ pub fn run_variant(seed: u64, calls: u64, period_ms: u64, variant: Variant) -> E
         state_version: broker.state().version(),
         replay_consistent,
         escalated,
+        one_primary_per_epoch: property_trips == 0,
     }
 }
 
@@ -678,6 +709,9 @@ pub struct E9Result {
     /// Every surviving journal replays to the live runtime model, in every
     /// configuration, on every seed.
     pub replays_consistent: bool,
+    /// The online `onePrimaryPerEpoch` temporal property held in every
+    /// configuration on every seed.
+    pub one_primary_per_epoch: bool,
 }
 
 /// Runs E9 across `seeds`.
@@ -696,6 +730,11 @@ pub fn run(seeds: &[u64], calls: u64, period_ms: u64) -> E9Result {
             && c.async_ship.replay_consistent
             && c.ack_ship.replay_consistent
     });
+    let one_primary_per_epoch = campaigns.iter().all(|c| {
+        c.no_replica.one_primary_per_epoch
+            && c.async_ship.one_primary_per_epoch
+            && c.ack_ship.one_primary_per_epoch
+    });
     E9Result {
         seeds: seeds.to_vec(),
         calls,
@@ -705,6 +744,7 @@ pub fn run(seeds: &[u64], calls: u64, period_ms: u64) -> E9Result {
         ack_zero_divergence,
         async_loss_observed,
         replays_consistent,
+        one_primary_per_epoch,
     }
 }
 
@@ -718,7 +758,8 @@ fn json_run(r: &E9Run) -> String {
             "\"divergent_commits\": {}, \"mean_failover_ms\": {:.3}, ",
             "\"max_failover_ms\": {:.3}, \"retransmits\": {}, \"journal_bytes\": {}, ",
             "\"served_alpha\": {}, \"served_beta\": {}, \"state_version\": {}, ",
-            "\"replay_consistent\": {}, \"escalated\": {}}}"
+            "\"replay_consistent\": {}, \"escalated\": {}, ",
+            "\"one_primary_per_epoch\": {}}}"
         ),
         r.calls,
         r.served,
@@ -744,6 +785,7 @@ fn json_run(r: &E9Run) -> String {
         r.state_version,
         r.replay_consistent,
         r.escalated,
+        r.one_primary_per_epoch,
     )
 }
 
@@ -780,6 +822,7 @@ impl E9Result {
                 "  \"calls\": {},\n  \"period_ms\": {},\n  \"supervise_every\": {},\n",
                 "  \"ack_zero_lost\": {},\n  \"ack_zero_divergence\": {},\n",
                 "  \"async_loss_observed\": {},\n  \"replays_consistent\": {},\n",
+                "  \"one_primary_per_epoch\": {},\n",
                 "  \"campaigns\": [\n{}\n  ]\n}}\n"
             ),
             self.seeds.first().copied().unwrap_or(0),
@@ -791,6 +834,7 @@ impl E9Result {
             self.ack_zero_divergence,
             self.async_loss_observed,
             self.replays_consistent,
+            self.one_primary_per_epoch,
             campaigns,
         )
     }
@@ -811,6 +855,10 @@ mod tests {
             "ack-windowed committed trace diverged"
         );
         assert!(r.replays_consistent);
+        assert!(
+            r.one_primary_per_epoch,
+            "two primaries promoted under one epoch"
+        );
         for c in &r.campaigns {
             assert!(!c.ack_ship.escalated);
             assert_eq!(c.ack_ship.committed_lost, 0, "seed {}", c.seed);
@@ -910,6 +958,7 @@ mod tests {
             "\"divergent_commits\"",
             "\"fenced_events\"",
             "\"mean_failover_ms\"",
+            "\"one_primary_per_epoch\"",
         ] {
             assert!(j.contains(key), "missing {key}");
         }

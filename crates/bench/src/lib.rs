@@ -15,6 +15,7 @@
 //! | E7 | crash-consistent recovery: journal + supervisor vs naive restart | [`e7`] |
 //! | E8 | overload robustness: admission control + brownout vs naive FIFO | [`e8`] |
 //! | E9 | replicated models@runtime: journal shipping, failover, fencing | [`e9`] |
+//! | E10 | online runtime verification: in-stream journal monitors | [`e10`] |
 //!
 //! The same functions back the micro-benches (`benches/`, via [`micro`])
 //! and the `experiments` binary that prints the paper-style tables.
@@ -26,6 +27,7 @@
 pub mod ablation;
 pub mod artifacts;
 pub mod e1;
+pub mod e10;
 pub mod e2;
 pub mod e3;
 pub mod e4;

@@ -13,6 +13,7 @@ use crate::autonomic::{
 };
 use crate::journal::{self, CommandKind, Journal, JournalRecord, MemorySink};
 use crate::model::{broker_metamodel, Resilience, BROKER_METAMODEL};
+use crate::monitor::{MonitorSet, MonitorTrip, TRIP_COUNTER_KEY};
 use crate::state::StateManager;
 use crate::{BrokerError, Result};
 use mddsm_meta::constraint::{self, Expr};
@@ -162,6 +163,12 @@ pub struct GenericBroker {
     journal: Option<Journal>,
     /// Fencing epoch this engine serves under (1 until a promotion).
     epoch: u64,
+    /// Compiled in-stream runtime monitors; `None` when the model declares
+    /// no `Monitor` objects.
+    monitors: Option<MonitorSet>,
+    /// Trips this instance observed, in order. The latches themselves live
+    /// in the (journaled) runtime model; this is only the lifetime log.
+    monitor_trips: Vec<MonitorTrip>,
 }
 
 impl GenericBroker {
@@ -332,7 +339,29 @@ impl GenericBroker {
         }
         let brownout = BrownoutController::from_model(model)?;
 
-        Ok(GenericBroker {
+        // Runtime monitors: every model-declared `Monitor` is compiled
+        // once, up front — a broken property surfaces as a deployment-time
+        // `MonitorParse`, not a latent recovery surprise.
+        let monitor_specs: Vec<(String, String)> = model
+            .all_of_class("Monitor")
+            .into_iter()
+            .map(|mo| {
+                (
+                    model.attr_str(mo, "name").unwrap_or_default().to_owned(),
+                    model
+                        .attr_str(mo, "property")
+                        .unwrap_or_default()
+                        .to_owned(),
+                )
+            })
+            .collect();
+        let monitors = if monitor_specs.is_empty() {
+            None
+        } else {
+            Some(MonitorSet::compile(&monitor_specs)?)
+        };
+
+        let mut broker = GenericBroker {
             name,
             handlers,
             policies,
@@ -347,7 +376,16 @@ impl GenericBroker {
             clock_us: 0,
             journal: None,
             epoch: 1,
-        })
+            monitors,
+            monitor_trips: Vec::new(),
+        };
+        // In-stream monitoring derives its dirty-key set from the same
+        // recorded ops the journal frames, so recording must be on even
+        // before (or without) `enable_journal`.
+        if broker.monitors.is_some() {
+            broker.state.record_ops(true);
+        }
+        Ok(broker)
     }
 
     /// The layer name from the model.
@@ -359,7 +397,13 @@ impl GenericBroker {
     /// name, the first guard-passing action, and dispatches it.
     pub fn call(&mut self, op: &str, args: &Args) -> Result<BrokerCallResult> {
         self.calls += 1;
+        if let Err(e) = self.monitor_gate() {
+            let result: Result<BrokerCallResult> = Err(e);
+            self.journal_command(CommandKind::Call, op, &result);
+            return result;
+        }
         let result = self.dispatch(HandlerKind::Call, op, args);
+        let result = self.monitor_commit(result);
         self.journal_command(CommandKind::Call, op, &result);
         result
     }
@@ -377,6 +421,11 @@ impl GenericBroker {
         meta: &CallMeta,
     ) -> Result<AdmittedOutcome> {
         self.calls += 1;
+        if let Err(e) = self.monitor_gate() {
+            let result: Result<BrokerCallResult> = Err(e.clone());
+            self.journal_command(CommandKind::Call, op, &result);
+            return Err(e);
+        }
         let (handler, action) = match self.select_action(HandlerKind::Call, op) {
             Ok(sel) => sel,
             Err(e) => {
@@ -411,6 +460,7 @@ impl GenericBroker {
                     self.state.bump(&adm_key(&class, "admitted"), 1);
                 }
                 let result = self.execute_action(&handler, &action, args, 0);
+                let result = self.monitor_commit(result);
                 self.journal_command(CommandKind::Call, op, &result);
                 result.map(|r| AdmittedOutcome::Executed {
                     result: r,
@@ -448,7 +498,13 @@ impl GenericBroker {
     /// Handles an event from the underlying resources.
     pub fn event(&mut self, topic: &str, payload: &Args) -> Result<BrokerCallResult> {
         self.events += 1;
+        if let Err(e) = self.monitor_gate() {
+            let result: Result<BrokerCallResult> = Err(e);
+            self.journal_command(CommandKind::Event, topic, &result);
+            return result;
+        }
         let result = self.dispatch(HandlerKind::Event, topic, payload);
+        let result = self.monitor_commit(result);
         self.journal_command(CommandKind::Event, topic, &result);
         result
     }
@@ -722,6 +778,152 @@ impl GenericBroker {
         self.state.str("brownout_mode").unwrap_or("full").to_owned()
     }
 
+    // -- Online runtime verification ---------------------------------------
+
+    /// Pre-dispatch gate: once any monitor's trip is latched in the
+    /// runtime model, every further command is refused (typed) until the
+    /// violation is repaired or rolled back — a tripped deployment must
+    /// not keep executing commands against a divergent model.
+    fn monitor_gate(&self) -> Result<()> {
+        if self.monitors.is_none() || self.state.int(TRIP_COUNTER_KEY).unwrap_or(0) == 0 {
+            return Ok(());
+        }
+        let (monitor, detail) = self
+            .monitors
+            .iter()
+            .flat_map(MonitorSet::monitors)
+            .find(|m| self.state.str(m.trip_key()).is_some())
+            .map(|m| {
+                (
+                    m.name().to_owned(),
+                    format!("latched violation of `{}`", m.source()),
+                )
+            })
+            .unwrap_or_else(|| ("mon".to_owned(), "latched violation".to_owned()));
+        Err(BrokerError::MonitorTripped { monitor, detail })
+    }
+
+    /// Post-dispatch, pre-journal check: evaluates every monitor watching
+    /// a key the command just wrote (the pending journal ops *are* the
+    /// dirty set — no extra tracking), records verdicts into the runtime
+    /// model, and turns a trip into a typed refusal of the violating call
+    /// — before its command record is framed, so nothing externally
+    /// visible ever rests on an unverified state.
+    fn monitor_commit(&mut self, result: Result<BrokerCallResult>) -> Result<BrokerCallResult> {
+        let Some(monitors) = &self.monitors else {
+            return result;
+        };
+        let trips = monitors.check_live_pending(&mut self.state);
+        if self.journal.is_none() {
+            // Without a journal nothing drains the recorded ops; drop them
+            // so monitoring alone cannot grow memory without bound.
+            let _ = self.state.take_ops();
+        }
+        match trips.first() {
+            Some(t) => {
+                let err = BrokerError::MonitorTripped {
+                    monitor: t.monitor.clone(),
+                    detail: t.detail.clone(),
+                };
+                self.monitor_trips.extend(trips);
+                Err(err)
+            }
+            None => result,
+        }
+    }
+
+    /// Applies one raw (faulty) write straight into the runtime model —
+    /// the injection point of the E10 invariant-violating-mutation
+    /// campaign, standing in for a buggy change plan or a corrupted
+    /// mutation. The write goes through the state manager like any other
+    /// mutation (journaled, shipped to replicas) and the monitors see it
+    /// in-stream, immediately: the returned trips are what the online
+    /// verifier caught before any later command could act on the
+    /// divergent model.
+    pub fn corrupt_state(&mut self, key: &str, value: &str) -> Vec<MonitorTrip> {
+        match value.parse::<i64>() {
+            Ok(i) => self.state.set_int(key, i),
+            Err(_) => self.state.set_str(key, value),
+        }
+        let trips = match &self.monitors {
+            Some(m) => m.check_live(&mut self.state, &[key]),
+            None => Vec::new(),
+        };
+        self.monitor_trips.extend(trips.iter().cloned());
+        self.journal_state_ops();
+        self.maybe_snapshot();
+        if self.journal.is_none() {
+            let _ = self.state.take_ops();
+        }
+        trips
+    }
+
+    /// Rolls the runtime model back to the newest **verified** journaled
+    /// snapshot — the autonomic repair for a tripped monitor. A snapshot
+    /// whose captured state carries a tripped latch (the periodic cadence
+    /// can fire right after a violating write, trip latches included) is
+    /// skipped: rolling back to it would restore the violation. The
+    /// violating mutation and everything after it (including the trip
+    /// latches, which were written after the chosen snapshot) are
+    /// discarded, and a fresh snapshot of the restored state is appended
+    /// under the *current* call/event counters, so replaying the journal
+    /// reproduces the rolled-back state byte-identically. Returns the
+    /// state version rolled back to.
+    pub fn rollback_to_snapshot(&mut self) -> Result<u64> {
+        let Some(j) = self.journal.as_ref() else {
+            return Err(BrokerError::RecoveryDiverged(
+                "rollback requires journaling".to_owned(),
+            ));
+        };
+        let text = std::str::from_utf8(j.bytes())
+            .map_err(|e| BrokerError::RecoveryDiverged(format!("journal is not UTF-8: {e}")))?;
+        let mut clean = None;
+        for line in text.lines().rev().filter(|l| l.starts_with("snap ")) {
+            let JournalRecord::Snapshot { state, .. } = journal::parse_line(line)? else {
+                return Err(BrokerError::RecoveryDiverged(
+                    "snapshot record is corrupt".to_owned(),
+                ));
+            };
+            let mut probe = StateManager::new();
+            probe.restore(&state);
+            if probe.int(TRIP_COUNTER_KEY).unwrap_or(0) == 0 {
+                clean = Some(state);
+                break;
+            }
+        }
+        let state = clean.ok_or_else(|| {
+            BrokerError::RecoveryDiverged("no verified snapshot to roll back to".to_owned())
+        })?;
+        let _ = self.state.take_ops();
+        self.state.restore(&state);
+        let version = self.state.version();
+        let rec = JournalRecord::Snapshot {
+            state: self.state.snapshot(),
+            clock_us: self.clock_us,
+            calls: self.calls,
+            events: self.events,
+        };
+        if let Some(j) = self.journal.as_mut() {
+            j.record(&rec);
+        }
+        Ok(version)
+    }
+
+    /// The compiled monitor set, when the model declares monitors.
+    pub fn monitors(&self) -> Option<&MonitorSet> {
+        self.monitors.as_ref()
+    }
+
+    /// Trips this instance observed, in order.
+    pub fn monitor_trips(&self) -> &[MonitorTrip] {
+        &self.monitor_trips
+    }
+
+    /// `true` while a latched monitor trip is refusing commands.
+    pub fn monitor_latched(&self) -> bool {
+        self.state.int(TRIP_COUNTER_KEY).unwrap_or(0) != 0
+    }
+
     /// The broker's virtual clock: total virtual time charged to calls
     /// handled so far (invocation costs, retry backoff, timeout budgets).
     pub fn now(&self) -> SimTime {
@@ -884,8 +1086,11 @@ impl GenericBroker {
     /// resource hub, and the journal bytes of the crashed instance:
     /// restores the newest snapshot, replays the tail (LSN-checked), then
     /// verifies each OCL-lite `invariant` against the recovered runtime
-    /// model — refusing with [`BrokerError::RecoveryDiverged`] when one
-    /// fails to parse, fails to evaluate, or evaluates to `false`.
+    /// model through compiled monitors — refusing with the typed
+    /// [`BrokerError::MonitorParse`] when one fails to parse and
+    /// [`BrokerError::MonitorTripped`] when one fails to evaluate or
+    /// evaluates to `false` (journal-level divergence — LSN gaps, corrupt
+    /// records — is still [`BrokerError::RecoveryDiverged`]).
     ///
     /// The recovered broker journals into a sink pre-loaded with the old
     /// bytes and appends a fresh snapshot, so a later crash replays only a
@@ -899,19 +1104,15 @@ impl GenericBroker {
         let mut broker = Self::from_model(model, hub)?;
         let recovered = journal::replay(journal_bytes)?;
 
-        for inv in invariants {
-            let expr = constraint::parse(inv).map_err(|e| {
-                BrokerError::RecoveryDiverged(format!("invariant `{inv}` failed to parse: {e}"))
-            })?;
-            let holds = recovered.state.eval(&expr).map_err(|e| {
-                BrokerError::RecoveryDiverged(format!("invariant `{inv}` failed to evaluate: {e}"))
-            })?;
-            if !holds {
-                return Err(BrokerError::RecoveryDiverged(format!(
-                    "invariant `{inv}` does not hold on the recovered model"
-                )));
-            }
-        }
+        // Recovery-time invariant checking goes through the same compiled
+        // monitors as the online path (one compile, pre-resolved state
+        // paths) instead of re-parsing every string on every recover. A
+        // broken invariant is the typed [`BrokerError::MonitorParse`], a
+        // violated one the typed [`BrokerError::MonitorTripped`] — callers
+        // can finally tell them apart. Already-latched trips pass: the
+        // recovered instance resumes exactly where the live run was,
+        // refusing commands until repaired.
+        MonitorSet::from_invariants(invariants)?.check_full(&recovered.state)?;
 
         broker.state = recovered.state;
         broker.clock_us = recovered.clock_us;
@@ -1720,15 +1921,19 @@ mod tests {
         b.call("openSession", &args(&[("peer", "a")])).unwrap();
         let bytes = b.journal_bytes().unwrap().to_vec();
 
-        // A violated invariant is a typed refusal.
+        // A violated invariant is a typed refusal, distinct from a broken
+        // one: callers can tell "the model diverged" from "the property
+        // source is wrong".
         let err = GenericBroker::recover(&model(), hub(), &bytes, &["self.opens > 99"])
             .expect_err("must refuse");
-        assert!(matches!(err, BrokerError::RecoveryDiverged(ref m) if m.contains("does not hold")));
+        assert!(
+            matches!(err, BrokerError::MonitorTripped { ref detail, .. } if detail.contains("does not hold"))
+        );
 
-        // So is an unparsable one.
+        // An unparsable one is a compile error, not a violation.
         let err =
             GenericBroker::recover(&model(), hub(), &bytes, &["self."]).expect_err("must refuse");
-        assert!(matches!(err, BrokerError::RecoveryDiverged(ref m) if m.contains("parse")));
+        assert!(matches!(err, BrokerError::MonitorParse { ref monitor, .. } if monitor == "self."));
 
         // And corrupt journal bytes.
         let mut corrupt = bytes.clone();
@@ -1755,5 +1960,173 @@ mod tests {
         let r = b.call("ping", &Args::new()).unwrap();
         assert!(r.outcome.is_ok());
         assert_eq!(b.name(), "tiny");
+    }
+
+    // -- Online runtime verification ---------------------------------------
+
+    /// The standard model plus one capacity monitor on `opens`.
+    fn monitored_model(property: &str) -> Model {
+        BrokerModelBuilder::new("ncb")
+            .call_handler("open", "openSession")
+            .action(
+                "open",
+                "openDirect",
+                "media",
+                "open",
+                &["peer=$peer"],
+                None,
+                &["opens=+1"],
+            )
+            .monitor("cap", property)
+            .bind_resource("media", "sim.media")
+            .build()
+    }
+
+    #[test]
+    fn violating_call_is_refused_in_stream_and_latches() {
+        let mut b =
+            GenericBroker::from_model(&monitored_model("always self.opens <= 2"), hub()).unwrap();
+        b.enable_journal(0);
+        for _ in 0..2 {
+            b.call("openSession", &args(&[("peer", "a")])).unwrap();
+        }
+        // The third call's state effect drives opens to 3: the monitor
+        // sees it before the command record is framed and refuses.
+        let err = b
+            .call("openSession", &args(&[("peer", "a")]))
+            .expect_err("monitor must trip");
+        assert!(
+            matches!(err, BrokerError::MonitorTripped { ref monitor, .. } if monitor == "cap"),
+            "{err}"
+        );
+        assert!(b.monitor_latched());
+        assert_eq!(b.monitor_trips().len(), 1);
+        assert_eq!(b.state().int("mon_trips"), Some(1));
+        // Latched: the next call is refused before dispatch (no resource
+        // invocation, no state effect).
+        let trace_len = b.hub().command_trace().len();
+        let err = b
+            .call("openSession", &args(&[("peer", "a")]))
+            .expect_err("latched");
+        assert!(
+            matches!(err, BrokerError::MonitorTripped { ref detail, .. } if detail.contains("latched"))
+        );
+        assert_eq!(b.hub().command_trace().len(), trace_len);
+        assert_eq!(b.state().int("opens"), Some(3), "no further effects");
+
+        // The trip is journaled state: recovery resumes latched, still
+        // refusing commands — byte-identical monitoring.
+        let bytes = b.journal_bytes().unwrap().to_vec();
+        let live_snap = b.state().snapshot();
+        let (mut r, _) = GenericBroker::recover(
+            &monitored_model("always self.opens <= 2"),
+            b.into_hub(),
+            &bytes,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(r.state().snapshot(), live_snap);
+        assert!(r.monitor_latched());
+        assert!(r.call("openSession", &args(&[("peer", "a")])).is_err());
+    }
+
+    #[test]
+    fn corruption_is_caught_in_stream_and_rolled_back() {
+        let mut b = GenericBroker::from_model(&monitored_model("self.opens >= 0"), hub()).unwrap();
+        b.enable_journal(0);
+        b.call("openSession", &args(&[("peer", "a")])).unwrap();
+
+        // An invariant-violating mutation is caught as it is journaled —
+        // before any subsequent command could act on the divergent model.
+        let trips = b.corrupt_state("opens", "-5");
+        assert_eq!(trips.len(), 1);
+        assert!(b.monitor_latched());
+        assert!(b.call("openSession", &args(&[("peer", "x")])).is_err());
+
+        // Rollback to the last snapshot discards the corrupt write and
+        // the latches (both are post-snapshot), and service resumes.
+        b.rollback_to_snapshot().unwrap();
+        assert!(!b.monitor_latched());
+        assert_eq!(b.state().int("opens"), None, "back to the snapshot");
+        b.call("openSession", &args(&[("peer", "b")])).unwrap();
+        assert_eq!(b.state().int("opens"), Some(1));
+
+        // The whole history — trip, rollback, resumption — replays
+        // byte-identically from the journal.
+        let replayed = journal::replay(b.journal_bytes().unwrap()).unwrap();
+        assert_eq!(replayed.state.snapshot(), b.state().snapshot());
+        assert_eq!(
+            b.state().first_divergence(&replayed.state),
+            None,
+            "live and replayed models agree"
+        );
+    }
+
+    #[test]
+    fn clean_calls_journal_identically_with_and_without_monitors() {
+        // Monitor memory is written only on transitions, so a clean run's
+        // journal is byte-for-byte what an unmonitored broker writes —
+        // the in-stream checks add zero journal lines and zero state ops.
+        let unmonitored = BrokerModelBuilder::new("ncb")
+            .call_handler("open", "openSession")
+            .action(
+                "open",
+                "openDirect",
+                "media",
+                "open",
+                &["peer=$peer"],
+                None,
+                &["opens=+1"],
+            )
+            .bind_resource("media", "sim.media")
+            .build();
+        let mut plain = GenericBroker::from_model(&unmonitored, hub()).unwrap();
+        let mut monitored =
+            GenericBroker::from_model(&monitored_model("always self.opens <= 99"), hub()).unwrap();
+        plain.enable_journal(0);
+        monitored.enable_journal(0);
+        for _ in 0..5 {
+            plain.call("openSession", &args(&[("peer", "a")])).unwrap();
+            monitored
+                .call("openSession", &args(&[("peer", "a")]))
+                .unwrap();
+        }
+        assert_eq!(plain.journal_bytes(), monitored.journal_bytes());
+    }
+
+    #[test]
+    fn rollback_skips_snapshots_that_captured_a_violation() {
+        let mut b = GenericBroker::from_model(&monitored_model("self.opens >= 0"), hub()).unwrap();
+        // Snapshot after every journal entry: the corrupt write's batch is
+        // immediately followed by a snapshot of the *violated* state.
+        b.enable_journal(1);
+        b.call("openSession", &args(&[("peer", "a")])).unwrap();
+        assert_eq!(b.corrupt_state("opens", "-3").len(), 1);
+        let text = String::from_utf8(b.journal_bytes().unwrap().to_vec()).unwrap();
+        let last_snap = text.lines().rev().find(|l| l.starts_with("snap ")).unwrap();
+        assert!(
+            last_snap.contains("mon_trips"),
+            "newest snapshot must hold the latched violation: {last_snap}"
+        );
+        // Rollback must reach past it to the last verified snapshot.
+        b.rollback_to_snapshot().unwrap();
+        assert!(!b.monitor_latched());
+        assert!(b.state().int("opens").unwrap_or(0) >= 0);
+        b.call("openSession", &args(&[("peer", "b")])).unwrap();
+    }
+
+    #[test]
+    fn unjournaled_monitored_broker_still_trips_without_growing_ops() {
+        let mut b =
+            GenericBroker::from_model(&monitored_model("always self.opens <= 1"), hub()).unwrap();
+        b.call("openSession", &args(&[("peer", "a")])).unwrap();
+        assert!(b.state().pending_ops().is_empty(), "ops drained per call");
+        let err = b
+            .call("openSession", &args(&[("peer", "a")]))
+            .expect_err("trips without a journal too");
+        assert!(matches!(err, BrokerError::MonitorTripped { .. }));
+        assert!(b.state().pending_ops().is_empty());
+        // But rollback needs a journal.
+        assert!(b.rollback_to_snapshot().is_err());
     }
 }

@@ -26,6 +26,11 @@
 //! * [`admission`] — model-defined overload control: per-class token-bucket
 //!   admission with deadline-aware shedding, limits stored OCL-addressably
 //!   in the state manager so change plans can retune them at runtime.
+//! * [`monitor`] — online runtime verification: the model's OCL-lite
+//!   invariants and temporal properties compiled into incremental
+//!   in-stream monitors with pre-resolved state paths, evaluated as
+//!   journal records are produced (primary) or applied (standby), tripping
+//!   *before* a violating command becomes externally visible.
 //! * [`replication`] — replicated models@runtime: the primary ships its
 //!   journal over the simulated network to a hot standby that replays it
 //!   into its own state manager; promotion fences the old primary behind a
@@ -45,6 +50,7 @@ pub mod components;
 pub mod engine;
 pub mod journal;
 pub mod model;
+pub mod monitor;
 pub mod replication;
 pub mod state;
 pub mod supervisor;
@@ -54,6 +60,7 @@ pub use autonomic::{BrownoutController, BrownoutMode, BrownoutTransition};
 pub use engine::{AdmittedOutcome, BrokerCallResult, GenericBroker, RecoveryReport};
 pub use journal::{Journal, JournalSink, MemorySink};
 pub use model::{broker_metamodel, BrokerModelBuilder, Resilience};
+pub use monitor::{CompiledMonitor, MonitorSet, MonitorTrip};
 pub use replication::{ReplicationConfig, Replicator, ShipMode, Standby};
 pub use state::StateManager;
 pub use supervisor::{RestartPolicy, Supervisor, SupervisorDecision};
@@ -83,6 +90,24 @@ pub enum BrokerError {
         /// Epoch the receiver currently serves under.
         current: u64,
     },
+    /// A runtime monitor's property source failed to compile — distinct
+    /// from [`BrokerError::MonitorTripped`] so callers can tell a broken
+    /// property from a violated one.
+    MonitorParse {
+        /// The monitor whose source is broken.
+        monitor: String,
+        /// The underlying parse error.
+        error: String,
+    },
+    /// An online runtime monitor tripped: the runtime model violates a
+    /// compiled invariant or temporal property. The violating call is
+    /// refused before its command record becomes externally visible.
+    MonitorTripped {
+        /// The tripped monitor's name.
+        monitor: String,
+        /// What the monitor saw.
+        detail: String,
+    },
     /// An error bubbled up from the modeling substrate.
     Meta(String),
 }
@@ -100,6 +125,12 @@ impl std::fmt::Display for BrokerError {
                 f,
                 "stale epoch: record from epoch {got} refused by epoch {current}"
             ),
+            BrokerError::MonitorParse { monitor, error } => {
+                write!(f, "monitor `{monitor}` failed to parse: {error}")
+            }
+            BrokerError::MonitorTripped { monitor, detail } => {
+                write!(f, "runtime monitor `{monitor}` tripped: {detail}")
+            }
             BrokerError::Meta(m) => write!(f, "model error: {m}"),
         }
     }

@@ -78,6 +78,18 @@ pub fn broker_metamodel() -> Metamodel {
                 // (0 = no alert).
                 .attr_default("lagAlertRecords", DataType::Int, Value::from(0))
         })
+        .class("MonitorManager", |c| {
+            c.extends("Manager")
+                .contains("monitors", "Monitor", Multiplicity::MANY)
+        })
+        // An online runtime monitor: the property source is a bare OCL-lite
+        // invariant, `always <expr>`, `never <expr> during <expr>`, or
+        // `at-most-one <key> per <key>`; the engine compiles it into an
+        // incremental in-stream journal monitor at `from_model` time.
+        .class("Monitor", |c| {
+            c.attr("name", DataType::Str)
+                .attr("property", DataType::Str)
+        })
         .class("Handler", |c| {
             c.attr("name", DataType::Str)
                 .attr("kind", DataType::Enum("HandlerKind".into()))
@@ -256,6 +268,8 @@ pub struct BrokerModelBuilder {
     admission_mgr: Option<ObjectId>,
     // Created lazily by `replication`, so unreplicated models stay lean.
     replication_mgr: Option<ObjectId>,
+    // Created lazily by `monitor`, so unmonitored models stay lean.
+    monitor_mgr: Option<ObjectId>,
 }
 
 impl BrokerModelBuilder {
@@ -286,6 +300,7 @@ impl BrokerModelBuilder {
             resource_mgr,
             admission_mgr: None,
             replication_mgr: None,
+            monitor_mgr: None,
         }
     }
 
@@ -580,6 +595,30 @@ impl BrokerModelBuilder {
         self
     }
 
+    /// Declares an online runtime monitor. `property` is a bare OCL-lite
+    /// invariant (`self.opens >= 0`), an `always <expr>`, a
+    /// `never <expr> during <expr>`, or an `at-most-one <key> per <key>`
+    /// temporal property; the engine compiles it at `from_model` time into
+    /// an incremental in-stream journal monitor that trips *before* a
+    /// violating command becomes externally visible.
+    pub fn monitor(mut self, name: &str, property: &str) -> Self {
+        let mgr = match self.monitor_mgr {
+            Some(m) => m,
+            None => {
+                let m = self.model.create("MonitorManager");
+                self.model.set_attr(m, "name", Value::from("monitor"));
+                self.model.add_ref(self.layer, "managers", m);
+                self.monitor_mgr = Some(m);
+                m
+            }
+        };
+        let mon = self.model.create("Monitor");
+        self.model.set_attr(mon, "name", Value::from(name));
+        self.model.set_attr(mon, "property", Value::from(property));
+        self.model.add_ref(mgr, "monitors", mon);
+        self
+    }
+
     /// Binds a logical resource name used by actions to a hub resource.
     pub fn bind_resource(mut self, name: &str, resource: &str) -> Self {
         let b = self.model.create("ResourceBinding");
@@ -707,6 +746,39 @@ mod tests {
         let mgrs = retuned.all_of_class("ReplicationManager");
         assert_eq!(mgrs.len(), 1);
         assert_eq!(retuned.attr_str(mgrs[0], "standby"), Some("c"));
+    }
+
+    #[test]
+    fn monitor_builder_declares_conforming_monitors() {
+        let mm = broker_metamodel();
+        let plain = BrokerModelBuilder::new("p").build();
+        assert_eq!(plain.all_of_class("Monitor").len(), 0);
+
+        let model = BrokerModelBuilder::new("mon")
+            .monitor("nonneg", "always self.opens >= 0")
+            .monitor("onePrimary", "at-most-one primary per epoch")
+            .build();
+        conformance::check(&model, &mm).unwrap();
+        let monitors = model.all_of_class("Monitor");
+        assert_eq!(monitors.len(), 2);
+        let mut pairs: Vec<(String, String)> = monitors
+            .iter()
+            .map(|&m| {
+                (
+                    model.attr_str(m, "name").unwrap().to_owned(),
+                    model.attr_str(m, "property").unwrap().to_owned(),
+                )
+            })
+            .collect();
+        pairs.sort();
+        assert_eq!(pairs[0].0, "nonneg");
+        assert_eq!(pairs[0].1, "always self.opens >= 0");
+        assert_eq!(
+            pairs[1],
+            ("onePrimary".into(), "at-most-one primary per epoch".into())
+        );
+        // One MonitorManager holds both.
+        assert_eq!(model.all_of_class("MonitorManager").len(), 1);
     }
 
     #[test]

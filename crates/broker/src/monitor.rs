@@ -1,0 +1,854 @@
+//! Online runtime verification: invariants and temporal properties
+//! compiled into in-stream journal monitors.
+//!
+//! Before this module, OCL-lite invariants were checked only at recovery
+//! time — a corrupted or buggy mutation could drive divergent commands
+//! long before anyone re-parsed the invariant strings. Here the model's
+//! invariants plus the temporal properties of
+//! [`mddsm_meta::constraint::temporal`] are *compiled once* into
+//! [`CompiledMonitor`]s and evaluated incrementally, in-stream, as journal
+//! records are produced (on the primary, inside the journaled commit path)
+//! or applied (on the standby, inside [`crate::replication::Standby`]'s
+//! apply path).
+//!
+//! Two compilation steps keep monitoring off the hot path, following
+//! KMF's pre-resolved-access lesson:
+//!
+//! * **Pre-resolved watched keys.** Each property's `self.<key>`
+//!   navigations are extracted at compile time; a monitor is re-evaluated
+//!   only when a journaled op touches one of its watched keys.
+//! * **Pre-resolved predicates.** Comparisons of `self.<key>` against
+//!   literals (the overwhelmingly common invariant shape) compile to a
+//!   direct-read predicate over the [`StateManager`] — no evaluation
+//!   environment, no expression walk. Anything richer falls back to the
+//!   full OCL-lite evaluator, and so does any fast predicate whose
+//!   operand types do not match the live value, keeping verdicts exactly
+//!   those of [`StateManager::eval`].
+//!
+//! Monitor *memory* (the period/owner cells of `at-most-one`, the tripped
+//! latches) lives in ordinary `mon_*` state variables, so it is journaled,
+//! snapshotted, truncated, and replicated like every other part of the
+//! runtime model — recovery and failover resume monitoring byte-identically
+//! for free. A standby evaluating replicated records keeps its memory in a
+//! local shadow map instead ([`MonitorSet::check_observed`]): the mirror
+//! must stay byte-identical to the primary's journal, so observation must
+//! not write.
+
+use std::collections::BTreeMap;
+
+use crate::state::StateManager;
+use crate::{BrokerError, Result};
+use mddsm_meta::constraint::temporal::{parse_property, Property};
+use mddsm_meta::constraint::{BinOp, Expr, UnOp};
+
+/// State variable counting monitor trips; non-zero latches the broker
+/// into refusing calls until the violation is repaired or rolled back.
+pub const TRIP_COUNTER_KEY: &str = "mon_trips";
+
+/// The tripped-latch state variable of one monitor.
+pub fn trip_key(monitor: &str) -> String {
+    format!("mon_{monitor}_tripped")
+}
+
+fn period_key(monitor: &str) -> String {
+    format!("mon_{monitor}_per")
+}
+
+fn owner_key(monitor: &str) -> String {
+    format!("mon_{monitor}_owner")
+}
+
+/// A monitor verdict: which monitor tripped, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorTrip {
+    /// The tripped monitor's name.
+    pub monitor: String,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+/// A predicate pre-resolved against the flat state model. The fast forms
+/// read state variables directly; [`Pred::General`] is the full-evaluator
+/// fallback for everything else.
+#[derive(Debug, Clone)]
+enum Pred {
+    /// `self.<key> <cmp> <int literal>`.
+    CmpInt {
+        key: String,
+        op: BinOp,
+        rhs: i64,
+    },
+    /// `self.<key> = "<lit>"` (`eq: false` for `<>`).
+    CmpStr {
+        key: String,
+        eq: bool,
+        rhs: String,
+    },
+    /// `self.<key> = null` (`eq: false` for `<> null`).
+    IsNull {
+        key: String,
+        eq: bool,
+    },
+    Not(Box<Pred>),
+    All(Vec<Pred>),
+    Any(Vec<Pred>),
+    /// Fallback marker: evaluate with the full OCL-lite engine.
+    General,
+}
+
+/// Compiles an expression into a pre-resolved predicate; falls back to
+/// [`Pred::General`] wherever the shape is not a literal comparison.
+fn compile_pred(e: &Expr) -> Pred {
+    match e {
+        Expr::Binary(BinOp::And, a, b) => Pred::All(vec![compile_pred(a), compile_pred(b)]),
+        Expr::Binary(BinOp::Or, a, b) => Pred::Any(vec![compile_pred(a), compile_pred(b)]),
+        Expr::Binary(BinOp::Implies, a, b) => {
+            Pred::Any(vec![Pred::Not(Box::new(compile_pred(a))), compile_pred(b)])
+        }
+        Expr::Unary(UnOp::Not, inner) => Pred::Not(Box::new(compile_pred(inner))),
+        Expr::Binary(op, a, b) => compile_cmp(*op, a, b).unwrap_or(Pred::General),
+        _ => Pred::General,
+    }
+}
+
+/// The `self.<key>` navigated by a one-step navigation expression.
+fn self_key(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Prop(recv, name) if matches!(recv.as_ref(), Expr::Var(v) if v == "self") => {
+            Some(name)
+        }
+        _ => None,
+    }
+}
+
+/// Mirrors a comparison operator so `lit <op> self.k` becomes
+/// `self.k <mirror(op)> lit`.
+fn mirror(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn compile_cmp(op: BinOp, a: &Expr, b: &Expr) -> Option<Pred> {
+    let (key, op, lit) = match (self_key(a), self_key(b)) {
+        (Some(k), None) => (k.to_owned(), op, b),
+        (None, Some(k)) => (k.to_owned(), mirror(op), a),
+        _ => return None,
+    };
+    match lit {
+        Expr::Null if op == BinOp::Eq => Some(Pred::IsNull { key, eq: true }),
+        Expr::Null if op == BinOp::Neq => Some(Pred::IsNull { key, eq: false }),
+        Expr::Lit(v) => {
+            if let Some(i) = v.as_int() {
+                matches!(
+                    op,
+                    BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                )
+                .then_some(Pred::CmpInt { key, op, rhs: i })
+            } else if let Some(s) = v.as_str() {
+                match op {
+                    BinOp::Eq => Some(Pred::CmpStr {
+                        key,
+                        eq: true,
+                        rhs: s.to_owned(),
+                    }),
+                    BinOp::Neq => Some(Pred::CmpStr {
+                        key,
+                        eq: false,
+                        rhs: s.to_owned(),
+                    }),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+impl Pred {
+    /// Evaluates the predicate against the live state. `fallback` is the
+    /// whole property expression, used whenever a fast form cannot decide
+    /// exactly (missing variable, type mismatch): the full evaluator is
+    /// the semantic authority, the fast path only a shortcut.
+    fn eval(&self, state: &StateManager, fallback: &Expr) -> Result<bool> {
+        match self.try_eval(state) {
+            Some(v) => Ok(v),
+            None => state.eval(fallback),
+        }
+    }
+
+    /// Fast evaluation; `None` means "defer to the full evaluator".
+    fn try_eval(&self, state: &StateManager) -> Option<bool> {
+        match self {
+            Pred::CmpInt { key, op, rhs } => {
+                let v = state.int(key)?;
+                Some(match op {
+                    BinOp::Eq => v == *rhs,
+                    BinOp::Neq => v != *rhs,
+                    BinOp::Lt => v < *rhs,
+                    BinOp::Le => v <= *rhs,
+                    BinOp::Gt => v > *rhs,
+                    BinOp::Ge => v >= *rhs,
+                    _ => return None,
+                })
+            }
+            Pred::CmpStr { key, eq, rhs } => {
+                let v = state.str(key)?;
+                Some((v == rhs) == *eq)
+            }
+            Pred::IsNull { key, eq } => {
+                let present = state.str(key).is_some() || state.int(key).is_some();
+                Some(present != *eq)
+            }
+            Pred::Not(p) => p.try_eval(state).map(|v| !v),
+            Pred::All(ps) => {
+                let mut all = true;
+                for p in ps {
+                    match p.try_eval(state) {
+                        Some(true) => {}
+                        Some(false) => all = false,
+                        None => return None,
+                    }
+                }
+                Some(all)
+            }
+            Pred::Any(ps) => {
+                let mut any = false;
+                for p in ps {
+                    match p.try_eval(state) {
+                        Some(true) => any = true,
+                        Some(false) => {}
+                        None => return None,
+                    }
+                }
+                Some(any)
+            }
+            Pred::General => None,
+        }
+    }
+}
+
+/// The compiled (pre-resolved) form of one property.
+#[derive(Debug, Clone)]
+enum CompiledProperty {
+    Always {
+        pred: Pred,
+        expr: Expr,
+    },
+    NeverDuring {
+        never: Pred,
+        never_expr: Expr,
+        during: Pred,
+        during_expr: Expr,
+    },
+    AtMostOnePer {
+        key: String,
+        per: String,
+        period_key: String,
+        owner_key: String,
+    },
+}
+
+/// One compiled monitor: a named property plus its pre-resolved watched
+/// keys and predicates.
+#[derive(Debug, Clone)]
+pub struct CompiledMonitor {
+    name: String,
+    source: String,
+    property: CompiledProperty,
+    watched: Vec<String>,
+    /// Pre-rendered tripped-latch key — the hot path must not `format!`.
+    trip_key: String,
+}
+
+impl CompiledMonitor {
+    /// Compiles one property source. Parse failures are the typed
+    /// [`BrokerError::MonitorParse`], never a generic recovery error.
+    pub fn compile(name: &str, source: &str) -> Result<CompiledMonitor> {
+        let property = parse_property(source).map_err(|e| BrokerError::MonitorParse {
+            monitor: name.to_owned(),
+            error: e.to_string(),
+        })?;
+        let watched = property.watched_keys();
+        let property = match property {
+            Property::Always(expr) => CompiledProperty::Always {
+                pred: compile_pred(&expr),
+                expr,
+            },
+            Property::NeverDuring { never, during } => CompiledProperty::NeverDuring {
+                never: compile_pred(&never),
+                during: compile_pred(&during),
+                never_expr: never,
+                during_expr: during,
+            },
+            Property::AtMostOnePer { key, per } => CompiledProperty::AtMostOnePer {
+                period_key: period_key(name),
+                owner_key: owner_key(name),
+                key,
+                per,
+            },
+        };
+        Ok(CompiledMonitor {
+            name: name.to_owned(),
+            source: source.to_owned(),
+            property,
+            watched,
+            trip_key: trip_key(name),
+        })
+    }
+
+    /// The monitor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The property source the monitor was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The pre-resolved state variables the monitor watches.
+    pub fn watched_keys(&self) -> &[String] {
+        &self.watched
+    }
+
+    /// The journaled tripped-latch state variable of this monitor
+    /// (pre-rendered at compile time).
+    pub fn trip_key(&self) -> &str {
+        &self.trip_key
+    }
+
+    fn watches_any(&self, dirty: &[&str]) -> bool {
+        dirty.iter().any(|d| self.watched.iter().any(|w| w == d))
+    }
+
+    /// Evaluates the stateless part of the property against `state`;
+    /// `memory` resolves the monitor's journaled (or shadowed) cells.
+    /// Returns a violation description, and for `at-most-one` the memory
+    /// writes that bring its cells up to date.
+    fn evaluate(
+        &self,
+        state: &StateManager,
+        memory: &dyn Fn(&str) -> Option<String>,
+    ) -> (Option<String>, Vec<(String, String)>) {
+        match &self.property {
+            CompiledProperty::Always { pred, expr } => match pred.eval(state, expr) {
+                Ok(true) => (None, Vec::new()),
+                Ok(false) => (
+                    Some(format!("invariant `{}` does not hold", self.source)),
+                    Vec::new(),
+                ),
+                Err(e) => (
+                    Some(format!(
+                        "invariant `{}` failed to evaluate: {e}",
+                        self.source
+                    )),
+                    Vec::new(),
+                ),
+            },
+            CompiledProperty::NeverDuring {
+                never,
+                never_expr,
+                during,
+                during_expr,
+            } => {
+                let d = match during.eval(state, during_expr) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        return (
+                            Some(format!(
+                                "property `{}` failed to evaluate: {e}",
+                                self.source
+                            )),
+                            Vec::new(),
+                        )
+                    }
+                };
+                if !d {
+                    return (None, Vec::new());
+                }
+                match never.eval(state, never_expr) {
+                    Ok(false) => (None, Vec::new()),
+                    Ok(true) => (
+                        Some(format!("property `{}` is violated", self.source)),
+                        Vec::new(),
+                    ),
+                    Err(e) => (
+                        Some(format!(
+                            "property `{}` failed to evaluate: {e}",
+                            self.source
+                        )),
+                        Vec::new(),
+                    ),
+                }
+            }
+            CompiledProperty::AtMostOnePer {
+                key,
+                per,
+                period_key,
+                owner_key,
+            } => {
+                let cur_per = render(state, per);
+                let cur_key = render(state, key);
+                let mem_per = memory(period_key);
+                if mem_per.as_deref() != Some(cur_per.as_str()) {
+                    // A new period: remember it and its first owner.
+                    return (
+                        None,
+                        vec![(period_key.clone(), cur_per), (owner_key.clone(), cur_key)],
+                    );
+                }
+                let owner = memory(owner_key).unwrap_or_else(|| NULL_RENDER.to_owned());
+                if owner == NULL_RENDER && cur_key != NULL_RENDER {
+                    return (None, vec![(owner_key.clone(), cur_key)]);
+                }
+                if owner != NULL_RENDER && cur_key != NULL_RENDER && cur_key != owner {
+                    let detail = format!(
+                        "property `{}` is violated: `{key}` changed from {owner} to {cur_key} \
+                         within one `{per}` period ({cur_per})",
+                        self.source
+                    );
+                    return (Some(detail), Vec::new());
+                }
+                (None, Vec::new())
+            }
+        }
+    }
+}
+
+/// Rendering of a state variable's value for monitor memory cells:
+/// tagged so `1` and `"1"` stay distinct, `-` for unset.
+const NULL_RENDER: &str = "-";
+
+fn render(state: &StateManager, key: &str) -> String {
+    if let Some(s) = state.str(key) {
+        format!("s:{s}")
+    } else if let Some(i) = state.int(key) {
+        format!("i:{i}")
+    } else {
+        NULL_RENDER.to_owned()
+    }
+}
+
+/// An ordered set of compiled monitors sharing one stream of states.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorSet {
+    monitors: Vec<CompiledMonitor>,
+}
+
+impl MonitorSet {
+    /// Compiles named `(name, property-source)` pairs.
+    pub fn compile<N: AsRef<str>, S: AsRef<str>>(specs: &[(N, S)]) -> Result<MonitorSet> {
+        let monitors = specs
+            .iter()
+            .map(|(n, s)| CompiledMonitor::compile(n.as_ref(), s.as_ref()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(MonitorSet { monitors })
+    }
+
+    /// Compiles bare invariant strings; each monitor is named by its
+    /// source, so violation reports read like the invariant.
+    pub fn from_invariants(invariants: &[&str]) -> Result<MonitorSet> {
+        let monitors = invariants
+            .iter()
+            .map(|inv| CompiledMonitor::compile(inv, inv))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(MonitorSet { monitors })
+    }
+
+    /// No monitors compiled.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// Number of compiled monitors.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// The compiled monitors.
+    pub fn monitors(&self) -> &[CompiledMonitor] {
+        &self.monitors
+    }
+
+    /// In-stream check on the **primary**: evaluates every monitor whose
+    /// watched keys intersect `dirty` and records verdicts *into the
+    /// runtime model* — `at-most-one` memory cells, tripped latches and
+    /// the [`TRIP_COUNTER_KEY`] counter are ordinary journaled state
+    /// writes, which is what makes monitoring survive recovery and
+    /// failover byte-identically. Already-tripped monitors stay silent
+    /// until their latch is cleared (by repair or rollback).
+    pub fn check_live(&self, state: &mut StateManager, dirty: &[&str]) -> Vec<MonitorTrip> {
+        let mut trips = Vec::new();
+        let any_latched = state.int(TRIP_COUNTER_KEY).unwrap_or(0) != 0;
+        for m in &self.monitors {
+            if !m.watches_any(dirty) {
+                continue;
+            }
+            if let Some(trip) = live_step(m, state, any_latched) {
+                trips.push(trip);
+            }
+        }
+        trips
+    }
+
+    /// [`MonitorSet::check_live`] with the dirty-key set derived directly
+    /// from the state manager's own pending journal ops — the zero-copy
+    /// form the broker's per-call commit path uses. A monitor evaluated
+    /// by an earlier monitor's own `mon_*` writes sees unchanged watched
+    /// variables, so verdicts are identical to [`MonitorSet::check_live`]
+    /// over the pre-existing dirty set.
+    pub fn check_live_pending(&self, state: &mut StateManager) -> Vec<MonitorTrip> {
+        let mut trips = Vec::new();
+        let any_latched = state.int(TRIP_COUNTER_KEY).unwrap_or(0) != 0;
+        for m in &self.monitors {
+            let hit = state
+                .pending_ops()
+                .iter()
+                .any(|o| m.watched.iter().any(|w| w == o.key()));
+            if !hit {
+                continue;
+            }
+            if let Some(trip) = live_step(m, state, any_latched) {
+                trips.push(trip);
+            }
+        }
+        trips
+    }
+
+    /// In-stream check on a **standby** (or any pure observer): identical
+    /// verdicts, but memory lives in the caller's `shadow` map and the
+    /// observed state is never written — the standby's mirror must stay
+    /// byte-identical to what the primary shipped.
+    pub fn check_observed(
+        &self,
+        state: &StateManager,
+        dirty: &[&str],
+        shadow: &mut BTreeMap<String, String>,
+    ) -> Vec<MonitorTrip> {
+        let mut trips = Vec::new();
+        for m in &self.monitors {
+            if !m.watches_any(dirty) {
+                continue;
+            }
+            if shadow.contains_key(&m.trip_key) {
+                continue;
+            }
+            let (violation, writes) = m.evaluate(state, &|k| shadow.get(k).cloned());
+            for (k, v) in writes {
+                shadow.insert(k, v);
+            }
+            if let Some(detail) = violation {
+                shadow.insert(m.trip_key.clone(), "1".to_owned());
+                trips.push(MonitorTrip {
+                    monitor: m.name.clone(),
+                    detail,
+                });
+            }
+        }
+        trips
+    }
+
+    /// Clears an observer's tripped latches (after the primary repaired
+    /// or rolled back the violation) so monitoring resumes.
+    pub fn clear_observed_trips(&self, shadow: &mut BTreeMap<String, String>) {
+        for m in &self.monitors {
+            shadow.remove(&m.trip_key);
+        }
+    }
+
+    /// Full (non-incremental) sweep, used at recovery time and when
+    /// monitors are first armed: every monitor is evaluated against
+    /// `state`, memory cells are read from the journaled `mon_*`
+    /// variables, and nothing is written. The first violation is
+    /// returned as the typed [`BrokerError::MonitorTripped`].
+    pub fn check_full(&self, state: &StateManager) -> Result<()> {
+        for m in &self.monitors {
+            if state.str(&m.trip_key).is_some() {
+                // An already-journaled trip is a finding, not a failure:
+                // recovery must resume exactly where the live run was.
+                continue;
+            }
+            let (violation, _writes) = m.evaluate(state, &|k| state.str(k).map(str::to_owned));
+            if let Some(detail) = violation {
+                return Err(BrokerError::MonitorTripped {
+                    monitor: m.name.clone(),
+                    detail,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The union of every monitor's watched keys, sorted.
+    pub fn watched_keys(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .monitors
+            .iter()
+            .flat_map(|m| m.watched.iter().cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// One monitor's live evaluation step: skip if latched, evaluate against
+/// the runtime model, persist `at-most-one` memory and (on violation) the
+/// tripped latch plus [`TRIP_COUNTER_KEY`] as ordinary journaled writes.
+/// `any_latched` is the caller's one [`TRIP_COUNTER_KEY`] read: when zero,
+/// no per-monitor latch can be set and its lookup is skipped. A monitor
+/// tripping earlier in the same pass only sets its *own* latch, so the
+/// snapshot stays exact for the remaining monitors.
+fn live_step(
+    m: &CompiledMonitor,
+    state: &mut StateManager,
+    any_latched: bool,
+) -> Option<MonitorTrip> {
+    if any_latched && state.str(&m.trip_key).is_some() {
+        return None;
+    }
+    let (violation, writes) = {
+        let s: &StateManager = state;
+        m.evaluate(s, &|k| s.str(k).map(str::to_owned))
+    };
+    for (k, v) in writes {
+        state.set_str(&k, &v);
+    }
+    violation.map(|detail| {
+        state.set_str(&m.trip_key, "1");
+        state.bump(TRIP_COUNTER_KEY, 1);
+        MonitorTrip {
+            monitor: m.name.clone(),
+            detail,
+        }
+    })
+}
+
+/// The temporal properties every replicated deployment ships with: the
+/// E9 failover guarantee "at most one primary is promoted per epoch",
+/// previously only a property test, now monitored online against the
+/// supervisor's runtime model during failover campaigns.
+pub fn failover_properties() -> MonitorSet {
+    // The sources are compile-time constants; a failure here would be a
+    // defect in this module, caught by the test right below.
+    MonitorSet::compile(&[("onePrimaryPerEpoch", "at-most-one primary per epoch")])
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dirty<'a>(keys: &'a [&'a str]) -> &'a [&'a str] {
+        keys
+    }
+
+    #[test]
+    fn always_monitors_trip_on_violation_and_latch() {
+        let set = MonitorSet::compile(&[("nonneg", "always self.opens >= 0")]).unwrap();
+        let mut s = StateManager::new();
+        s.set_int("opens", 2);
+        assert!(set.check_live(&mut s, dirty(&["opens"])).is_empty());
+        s.set_int("opens", -1);
+        let trips = set.check_live(&mut s, dirty(&["opens"]));
+        assert_eq!(trips.len(), 1);
+        assert_eq!(trips[0].monitor, "nonneg");
+        assert!(
+            trips[0].detail.contains("does not hold"),
+            "{}",
+            trips[0].detail
+        );
+        assert_eq!(s.str("mon_nonneg_tripped"), Some("1"));
+        assert_eq!(s.int(TRIP_COUNTER_KEY), Some(1));
+        // Latched: no second trip for the same violation.
+        assert!(set.check_live(&mut s, dirty(&["opens"])).is_empty());
+    }
+
+    #[test]
+    fn monitors_skip_unwatched_keys() {
+        let set = MonitorSet::compile(&[("nonneg", "self.opens >= 0")]).unwrap();
+        let mut s = StateManager::new();
+        s.set_int("opens", -5);
+        // `other` is not watched: the violation goes unexamined.
+        assert!(set.check_live(&mut s, dirty(&["other"])).is_empty());
+        assert_eq!(set.check_live(&mut s, dirty(&["opens", "other"])).len(), 1);
+    }
+
+    #[test]
+    fn never_during_requires_both_conditions() {
+        let set = MonitorSet::compile(&[(
+            "frozenBeta",
+            "never self.frozen = 1 during self.tier = \"beta\"",
+        )])
+        .unwrap();
+        let mut s = StateManager::new();
+        s.set_str("tier", "beta");
+        assert!(set.check_live(&mut s, dirty(&["tier"])).is_empty());
+        s.set_int("frozen", 1);
+        assert_eq!(set.check_live(&mut s, dirty(&["frozen"])).len(), 1);
+        let mut s2 = StateManager::new();
+        s2.set_str("tier", "alpha");
+        s2.set_int("frozen", 1);
+        assert!(set
+            .check_live(&mut s2, dirty(&["frozen", "tier"]))
+            .is_empty());
+    }
+
+    #[test]
+    fn at_most_one_per_trips_on_a_second_owner() {
+        let set = failover_properties();
+        let mut s = StateManager::new();
+        s.set_int("epoch", 1);
+        s.set_str("primary", "a");
+        assert!(set
+            .check_live(&mut s, dirty(&["epoch", "primary"]))
+            .is_empty());
+        // Same epoch, new primary: violation.
+        s.set_str("primary", "b");
+        let trips = set.check_live(&mut s, dirty(&["primary"]));
+        assert_eq!(trips.len(), 1);
+        assert!(trips[0].detail.contains("primary"), "{}", trips[0].detail);
+
+        // A fresh epoch resets the period: promotion is legal again.
+        let mut s = StateManager::new();
+        s.set_int("epoch", 1);
+        s.set_str("primary", "a");
+        set.check_live(&mut s, dirty(&["epoch", "primary"]));
+        s.set_int("epoch", 2);
+        s.set_str("primary", "b");
+        assert!(set
+            .check_live(&mut s, dirty(&["epoch", "primary"]))
+            .is_empty());
+    }
+
+    #[test]
+    fn observed_checks_match_live_checks_without_writing() {
+        let set = MonitorSet::compile(&[
+            ("nonneg", "self.opens >= 0"),
+            ("onePer", "at-most-one primary per epoch"),
+        ])
+        .unwrap();
+        let mut live = StateManager::new();
+        let mut observed = StateManager::new();
+        let mut shadow = BTreeMap::new();
+        let script: &[(&str, Option<i64>, Option<&str>)] = &[
+            ("epoch", Some(1), None),
+            ("primary", None, Some("a")),
+            ("opens", Some(3), None),
+            ("opens", Some(-2), None),
+            ("primary", None, Some("b")),
+        ];
+        for (key, int, strv) in script {
+            match (int, strv) {
+                (Some(i), _) => {
+                    live.set_int(key, *i);
+                    observed.set_int(key, *i);
+                }
+                (_, Some(v)) => {
+                    live.set_str(key, v);
+                    observed.set_str(key, v);
+                }
+                _ => unreachable!(),
+            }
+            let lt = set.check_live(&mut live, dirty(&[key]));
+            let ot = set.check_observed(&observed, dirty(&[key]), &mut shadow);
+            assert_eq!(
+                lt.iter().map(|t| &t.monitor).collect::<Vec<_>>(),
+                ot.iter().map(|t| &t.monitor).collect::<Vec<_>>(),
+                "live and observed verdicts diverge at {key}"
+            );
+        }
+        let ver = observed.version();
+        set.check_observed(&observed, dirty(&["opens"]), &mut shadow);
+        assert_eq!(observed.version(), ver, "observation must not write");
+    }
+
+    #[test]
+    fn check_full_reports_the_typed_violation() {
+        let set = MonitorSet::from_invariants(&["self.opens >= 0"]).unwrap();
+        let mut s = StateManager::new();
+        s.set_int("opens", 1);
+        assert!(set.check_full(&s).is_ok());
+        s.set_int("opens", -1);
+        match set.check_full(&s) {
+            Err(BrokerError::MonitorTripped { monitor, detail }) => {
+                assert_eq!(monitor, "self.opens >= 0");
+                assert!(detail.contains("does not hold"), "{detail}");
+            }
+            other => panic!("expected MonitorTripped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_failures_are_typed_and_name_the_monitor() {
+        match MonitorSet::compile(&[("broken", "self.")]) {
+            Err(BrokerError::MonitorParse { monitor, error }) => {
+                assert_eq!(monitor, "broken");
+                assert!(!error.is_empty());
+            }
+            other => panic!("expected MonitorParse, got {other:?}"),
+        }
+        assert!(MonitorSet::compile(&[("bad", "never self.x = 1")]).is_err());
+    }
+
+    #[test]
+    fn fast_predicates_agree_with_the_full_evaluator() {
+        // Shapes the fast path handles, evaluated both ways.
+        let cases = [
+            "self.n >= 0",
+            "self.n < 10",
+            "0 <= self.n",
+            "self.mode = \"direct\"",
+            "self.mode <> \"relay\"",
+            "self.gone = null",
+            "self.n <> null",
+            "self.n >= 0 and self.mode = \"direct\"",
+            "self.n < 0 or self.mode = \"direct\"",
+            "self.n > 100 implies self.mode = \"relay\"",
+            "not (self.n > 100)",
+            // And one the fast path cannot handle (falls back).
+            "self.n + 1 > self.m",
+        ];
+        let mut s = StateManager::new();
+        s.set_int("n", 5);
+        s.set_int("m", 3);
+        s.set_str("mode", "direct");
+        for src in cases {
+            let expr = mddsm_meta::constraint::parse(src).unwrap();
+            let pred = compile_pred(&expr);
+            let slow = s.eval(&expr).unwrap();
+            let fast = pred.eval(&s, &expr).unwrap();
+            assert_eq!(fast, slow, "fast/slow disagree on `{src}`");
+        }
+        // Missing variable: fast path must defer, not guess.
+        let expr = mddsm_meta::constraint::parse("self.absent >= 0").unwrap();
+        let pred = compile_pred(&expr);
+        assert!(pred.try_eval(&s).is_none());
+        assert_eq!(pred.eval(&s, &expr).ok(), s.eval(&expr).ok());
+    }
+
+    #[test]
+    fn watched_keys_are_the_union() {
+        let set = MonitorSet::compile(&[
+            ("a", "self.x >= 0 and self.y = null"),
+            ("b", "at-most-one primary per epoch"),
+        ])
+        .unwrap();
+        assert_eq!(
+            set.watched_keys(),
+            vec![
+                "epoch".to_string(),
+                "primary".to_string(),
+                "x".to_string(),
+                "y".to_string()
+            ]
+        );
+    }
+}

@@ -30,13 +30,14 @@
 
 use crate::engine::{GenericBroker, RecoveryReport};
 use crate::journal::{self, CommandKind, JournalRecord};
+use crate::monitor::{MonitorSet, MonitorTrip};
 use crate::state::StateManager;
 use crate::{BrokerError, Result};
 use mddsm_meta::model::Model;
 use mddsm_sim::net::{Network, SendOutcome};
 use mddsm_sim::resource::ResourceHub;
 use mddsm_sim::{SimDuration, SimTime};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Journal-shipping discipline (the `ShipMode` enumeration of the
 /// Fig. 6 metamodel extension).
@@ -375,6 +376,14 @@ pub struct Standby {
     clock_us: u64,
     calls: u64,
     events: u64,
+    /// Monitors evaluated against every applied record; `None` until
+    /// [`Standby::arm_monitors`].
+    monitors: Option<MonitorSet>,
+    /// Observer-side monitor memory. The mirror must stay byte-identical
+    /// to the primary's journal, so observation writes its latches and
+    /// `at-most-one` cells here, never into the mirrored state.
+    monitor_memory: BTreeMap<String, String>,
+    monitor_trips: Vec<MonitorTrip>,
 }
 
 impl Standby {
@@ -390,7 +399,33 @@ impl Standby {
             clock_us: 0,
             calls: 0,
             events: 0,
+            monitors: None,
+            monitor_memory: BTreeMap::new(),
+            monitor_trips: Vec::new(),
         }
+    }
+
+    /// Arms in-stream monitors over the apply path: from here on every
+    /// shipped record is checked as it is applied, with the same compiled
+    /// monitors (and therefore the same verdicts) as the primary — an
+    /// independent observer that catches a divergent primary even when
+    /// the primary's own monitoring is off or compromised.
+    pub fn arm_monitors(&mut self, monitors: MonitorSet) {
+        self.monitors = Some(monitors);
+    }
+
+    /// Trips this standby observed while applying shipped records.
+    pub fn monitor_trips(&self) -> &[MonitorTrip] {
+        &self.monitor_trips
+    }
+
+    /// Clears the observer's tripped latches (after the primary repaired
+    /// or rolled back the violation) so monitoring resumes.
+    pub fn clear_monitor_trips(&mut self) {
+        if let Some(m) = &self.monitors {
+            m.clear_observed_trips(&mut self.monitor_memory);
+        }
+        self.monitor_trips.clear();
     }
 
     /// The network node this standby listens on.
@@ -454,10 +489,19 @@ impl Standby {
         if seq != self.received {
             return Ok(self.received);
         }
+        // The key the record wrote, for the in-stream monitor check below
+        // (`None` = nothing watched changed; a snapshot restore can change
+        // anything, so it re-checks the full watched set).
+        let mut dirty_key: Option<String> = None;
+        let mut dirty_all = false;
         match journal::parse_line(line)? {
-            JournalRecord::Op(op) => self.state.apply_op(&op)?,
+            JournalRecord::Op(op) => {
+                self.state.apply_op(&op)?;
+                dirty_key = Some(op.key().to_owned());
+            }
             JournalRecord::OpCoalesced { first_lsn, op } => {
-                self.state.apply_coalesced(first_lsn, &op)?
+                self.state.apply_coalesced(first_lsn, &op)?;
+                dirty_key = Some(op.key().to_owned());
             }
             JournalRecord::Command { clock_us, kind, .. } => {
                 self.clock_us = clock_us;
@@ -478,6 +522,21 @@ impl Standby {
                 self.clock_us = clock_us;
                 self.calls = calls;
                 self.events = events;
+                dirty_all = true;
+            }
+        }
+        if let Some(monitors) = &self.monitors {
+            if dirty_key.is_some() || dirty_all {
+                let watched;
+                let dirty: Vec<&str> = match &dirty_key {
+                    Some(k) => vec![k.as_str()],
+                    None => {
+                        watched = monitors.watched_keys();
+                        watched.iter().map(String::as_str).collect()
+                    }
+                };
+                let trips = monitors.check_observed(&self.state, &dirty, &mut self.monitor_memory);
+                self.monitor_trips.extend(trips);
             }
         }
         self.bytes.extend_from_slice(line.as_bytes());

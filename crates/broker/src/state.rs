@@ -135,6 +135,13 @@ impl StateManager {
         std::mem::take(&mut self.pending)
     }
 
+    /// The ops recorded since the last drain, without draining them.
+    /// In-stream monitors peek here for the dirty keys of the current
+    /// command frame before the journal drains the queue.
+    pub fn pending_ops(&self) -> &[StateOp] {
+        &self.pending
+    }
+
     /// Sets a string variable.
     pub fn set_str(&mut self, key: &str, value: &str) {
         self.model.set_attr(self.state_obj, key, Value::from(value));

@@ -86,6 +86,18 @@ pub enum SupervisorDecision {
         /// The new fencing epoch the promoted standby must journal.
         epoch: u64,
     },
+    /// A runtime monitor tripped on the component: its model diverged
+    /// from its own invariants while the process is still alive, so
+    /// neither restart nor failover fits — the caller must stop trusting
+    /// its outputs and repair the model (typically
+    /// [`crate::engine::GenericBroker::rollback_to_snapshot`]) before the
+    /// component rejoins service.
+    Quarantine {
+        /// The component whose monitor tripped.
+        component: String,
+        /// The tripped monitor's name.
+        monitor: String,
+    },
 }
 
 impl SupervisorDecision {
@@ -94,7 +106,8 @@ impl SupervisorDecision {
         match self {
             SupervisorDecision::Restart { component, .. }
             | SupervisorDecision::Escalate { component }
-            | SupervisorDecision::Failover { component, .. } => component,
+            | SupervisorDecision::Failover { component, .. }
+            | SupervisorDecision::Quarantine { component, .. } => component,
         }
     }
 }
@@ -188,6 +201,18 @@ impl Supervisor {
         if self.known(component) {
             self.state
                 .set_int(&key("partitioned", component), i64::from(partitioned));
+        }
+    }
+
+    /// Feeds a runtime-monitor trip into the supervisor's runtime model
+    /// as a symptom: the next [`Supervisor::tick`] emits a
+    /// [`SupervisorDecision::Quarantine`] for the component. Unknown
+    /// components are ignored.
+    pub fn note_monitor_trip(&mut self, component: &str, monitor: &str) {
+        if self.known(component) {
+            self.state.set_int(&key("montrip", component), 1);
+            self.state
+                .set_str(&key("montrip_monitor", component), monitor);
         }
     }
 
@@ -299,6 +324,24 @@ impl Supervisor {
                 && self.reachable(&standby)
             {
                 decisions.push(self.promote(component, standby, "forced"));
+            }
+        }
+        // Monitor-trip symptoms: the component's process is alive but its
+        // runtime model diverged — quarantine, don't restart. The flag is
+        // consumed (one decision per trip); the tripped instance itself
+        // stays latched until the caller repairs it.
+        for component in self.components.clone() {
+            if self.escalated(&component) || self.awaiting_rejoin(&component) {
+                continue;
+            }
+            if self.state.int(&key("montrip", &component)) == Some(1) {
+                self.state.set_int(&key("montrip", &component), 0);
+                let monitor = self
+                    .state
+                    .str(&key("montrip_monitor", &component))
+                    .unwrap_or_default()
+                    .to_owned();
+                decisions.push(SupervisorDecision::Quarantine { component, monitor });
             }
         }
         for component in self.components.clone() {
@@ -609,6 +652,26 @@ mod tests {
                 if component == "b" && reason == "partitioned")
         );
         assert_eq!(s.epoch(), 1, "no promotion happened");
+    }
+
+    #[test]
+    fn monitor_trips_quarantine_without_charging_restart_intensity() {
+        let mut s = Supervisor::new(&["b"], policy());
+        s.heartbeat("b", SimTime::from_millis(9));
+        s.note_monitor_trip("b", "nonneg");
+        s.note_monitor_trip("ghost", "nonneg"); // unknown: ignored
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert_eq!(
+            d,
+            vec![SupervisorDecision::Quarantine {
+                component: "b".into(),
+                monitor: "nonneg".into(),
+            }]
+        );
+        assert_eq!(s.restarts("b"), 0, "quarantine is not a restart");
+        // The symptom was consumed: quiet until the next trip.
+        s.heartbeat("b", SimTime::from_millis(11));
+        assert!(s.tick(SimTime::from_millis(12)).unwrap().is_empty());
     }
 
     #[test]

@@ -385,6 +385,146 @@ fn failover_interleavings_yield_one_primary_per_epoch() {
     }
 }
 
+/// Any seeded interleaving of clean calls, corrupting writes (violating
+/// and benign), quarantine rollbacks, and journal truncations yields
+/// **identical monitor verdicts** between the live run and an independent
+/// replay of its journal: same state (trip latches and counters are
+/// journaled writes), and a recovered broker is latched exactly when the
+/// live one was — refusing commands iff the live one would.
+#[test]
+fn monitor_verdicts_identical_between_live_run_and_replay() {
+    use mddsm_broker::BrokerError;
+
+    for case in 0..32u64 {
+        let mut gen = SimRng::seed_from_u64(0xBA_0000 + case);
+        let model = BrokerModelBuilder::new("mb")
+            .call_handler("h", "open")
+            .action("h", "doOpen", "svc", "open", &[], None, &["opens=+1"])
+            .monitor("nonneg", "always self.opens = null or self.opens >= 0")
+            .build();
+        let mut broker = GenericBroker::from_model(&model, hub()).unwrap();
+        broker.enable_journal(gen.range(0, 6));
+
+        let steps = gen.range(5, 50);
+        let mut live_trips = 0usize;
+        for _ in 0..steps {
+            match gen.range(0, 8) {
+                0 => {
+                    // A write that violates the invariant ~half the time.
+                    let v = gen.range(0, 7) as i64 - 3;
+                    live_trips += broker.corrupt_state("opens", &v.to_string()).len();
+                }
+                1 if broker.monitor_latched() => {
+                    // The quarantine repair; may legitimately fail when a
+                    // truncation discarded every verified snapshot.
+                    let _ = broker.rollback_to_snapshot();
+                }
+                2 => {
+                    broker.truncate_journal_to(broker.state().version());
+                }
+                _ => match broker.call("open", &Args::new()) {
+                    Ok(_) | Err(BrokerError::MonitorTripped { .. }) => {}
+                    Err(e) => panic!("case {case}: unexpected refusal: {e}"),
+                },
+            }
+        }
+
+        let bytes = broker.journal_bytes().unwrap().to_vec();
+        let replayed = journal::replay(&bytes).expect("journal replays");
+        assert_eq!(
+            replayed.state.snapshot(),
+            broker.state().snapshot(),
+            "case {case}: replayed monitor state diverged"
+        );
+        let latched = broker.monitor_latched();
+        if live_trips > 0 {
+            assert!(
+                broker.monitor_trips().len() >= live_trips,
+                "case {case}: trips lost"
+            );
+        }
+        let (mut rec, _) =
+            GenericBroker::recover(&model, broker.into_hub(), &bytes, &[]).expect("recovers");
+        assert_eq!(rec.monitor_latched(), latched, "case {case}");
+        assert_eq!(
+            rec.call("open", &Args::new()).is_err(),
+            latched,
+            "case {case}: recovered broker's refusal disagrees with the live latch"
+        );
+    }
+}
+
+/// A standby with armed monitors detects an invariant violation purely
+/// from the shipped record stream — even when the primary itself is
+/// unmonitored and keeps serving against the divergent model — without
+/// ever diverging its byte-identical mirror.
+#[test]
+fn armed_standby_detects_divergence_an_unmonitored_primary_misses() {
+    use mddsm_broker::monitor::MonitorSet;
+    use mddsm_broker::Standby;
+
+    let model = BrokerModelBuilder::new("ub")
+        .call_handler("h", "open")
+        .action("h", "doOpen", "svc", "open", &[], None, &["opens=+1"])
+        .build();
+    let mut primary = GenericBroker::from_model(&model, hub()).unwrap();
+    primary.enable_journal(0);
+    for _ in 0..3 {
+        primary.call("open", &Args::new()).unwrap();
+    }
+    // Nothing armed on the primary: the violation lands silently and the
+    // primary keeps executing commands against the corrupt model.
+    assert!(primary.corrupt_state("opens", "-2").is_empty());
+    assert!(!primary.monitor_latched());
+    primary.call("open", &Args::new()).unwrap();
+
+    let mut sb = Standby::new("b");
+    sb.arm_monitors(
+        MonitorSet::from_invariants(&["self.opens = null or self.opens >= 0"]).unwrap(),
+    );
+    let text = String::from_utf8(primary.journal_bytes().unwrap().to_vec()).unwrap();
+    for (i, line) in text.lines().enumerate() {
+        sb.receive(i as u64, line, primary.epoch()).unwrap();
+    }
+    // One trip (the latch holds through the follow-up write), and the
+    // mirror still matches the primary byte for byte.
+    assert_eq!(sb.monitor_trips().len(), 1);
+    assert!(
+        sb.monitor_trips()[0].detail.contains("does not hold"),
+        "{}",
+        sb.monitor_trips()[0].detail
+    );
+    assert_eq!(primary.state().first_divergence(sb.state()), None);
+}
+
+/// A tripped latch is ordinary journaled state: it survives journal
+/// truncation (the retained suffix's snapshot carries it) and a crash —
+/// the recovered broker resumes fail-stopped, mid-violation.
+#[test]
+fn monitor_latch_survives_truncation_and_crash_recovery() {
+    let model = BrokerModelBuilder::new("tb")
+        .call_handler("h", "open")
+        .action("h", "doOpen", "svc", "open", &[], None, &["opens=+1"])
+        .monitor("nonneg", "always self.opens = null or self.opens >= 0")
+        .build();
+    let mut b = GenericBroker::from_model(&model, hub()).unwrap();
+    b.enable_journal(2);
+    for _ in 0..5 {
+        b.call("open", &Args::new()).unwrap();
+    }
+    assert_eq!(b.corrupt_state("opens", "-9").len(), 1);
+    // Compact past the violating write: the snapshot heading the retained
+    // suffix captured the latched state.
+    let reclaimed = b.truncate_journal_to(b.state().version());
+    assert!(reclaimed > 0, "truncation reclaimed nothing");
+    let bytes = b.journal_bytes().unwrap().to_vec();
+    let live_snap = b.state().snapshot();
+    let (mut rec, _) = GenericBroker::recover(&model, b.into_hub(), &bytes, &[]).expect("recovers");
+    assert_eq!(rec.state().snapshot(), live_snap);
+    assert!(rec.monitor_latched(), "latch lost across truncate + crash");
+    assert!(rec.call("open", &Args::new()).is_err());
+}
+
 /// Dispatch is deterministic: same model, same state, same call -> same
 /// action and outcome.
 #[test]

@@ -28,9 +28,11 @@ mod ast;
 mod eval;
 mod lexer;
 mod parser;
+pub mod temporal;
 
 pub use ast::{BinOp, Expr, UnOp};
 pub use eval::{eval, eval_bool, EvalEnv, Val};
+pub use temporal::{parse_property, Property};
 
 use crate::Result;
 

@@ -51,6 +51,7 @@ pub fn fault_metamodel() -> Metamodel {
                 "LoadSpike",
                 "LoadNormal",
                 "FailoverTo",
+                "CorruptState",
             ],
         )
         .class("FaultPlan", |c| {
@@ -184,6 +185,19 @@ pub enum FaultAction {
         /// Component that should take over.
         standby: String,
     },
+    /// Corrupt one variable of a component's runtime model — the
+    /// invariant-violating mutation of the E10 verification campaigns,
+    /// standing in for a buggy change plan, a bad reflective write, or
+    /// bit-rot. The component's process stays alive and keeps serving:
+    /// only an online monitor can notice.
+    CorruptState {
+        /// Middleware component whose runtime model is corrupted.
+        component: String,
+        /// State variable to overwrite.
+        key: String,
+        /// The corrupt value (integers are written as ints).
+        value: String,
+    },
 }
 
 impl FaultAction {
@@ -207,6 +221,7 @@ impl FaultAction {
             FaultAction::CrashComponent { .. }
                 | FaultAction::StallComponent { .. }
                 | FaultAction::FailoverTo { .. }
+                | FaultAction::CorruptState { .. }
         )
     }
 
@@ -237,6 +252,10 @@ pub trait ComponentTarget {
     /// The named component must hand its primary role to `standby`.
     /// Default no-op so targets without replication need not handle it.
     fn failover_to(&mut self, _component: &str, _standby: &str) {}
+    /// One variable of the component's runtime model is overwritten with
+    /// a corrupt value. Default no-op so targets without runtime
+    /// verification need not handle it.
+    fn corrupt_state(&mut self, _component: &str, _key: &str, _value: &str) {}
 }
 
 /// A compiled fault event: an action at a virtual-time instant.
@@ -364,6 +383,21 @@ fn compile_event(model: &Model, e: ObjectId) -> Result<FaultEvent, FaultError> {
             component: target,
             standby: peer?,
         },
+        // The corrupt write rides in `peer` as `key=value` (the fault
+        // metamodel stays a flat event record).
+        "CorruptState" => {
+            let kv = peer?;
+            let (key, value) = kv.split_once('=').ok_or_else(|| {
+                FaultError::BadPlan(format!(
+                    "CorruptState event on `{target}` needs peer `key=value`, got `{kv}`"
+                ))
+            })?;
+            FaultAction::CorruptState {
+                component: target,
+                key: key.to_owned(),
+                value: value.to_owned(),
+            }
+        }
         other => return Err(FaultError::BadPlan(format!("unknown fault kind `{other}`"))),
     };
     Ok(FaultEvent {
@@ -500,6 +534,16 @@ impl FaultPlanBuilder {
         let mut b = self.event(at, "FailoverTo", component);
         let e = b.last_event();
         b.model.set_attr(e, "peer", Value::from(standby));
+        b
+    }
+
+    /// Overwrites `key` in `component`'s runtime model with `value` at
+    /// `at` (an invariant-violating mutation for verification campaigns).
+    pub fn corrupt_state(self, at: SimTime, component: &str, key: &str, value: &str) -> Self {
+        let mut b = self.event(at, "CorruptState", component);
+        let e = b.last_event();
+        b.model
+            .set_attr(e, "peer", Value::from(format!("{key}={value}").as_str()));
         b
     }
 
@@ -718,6 +762,59 @@ pub fn random_failover_campaign(name: &str, seed: u64, cfg: &FailoverCampaignCon
     b.build()
 }
 
+/// Shape of a randomized *state-corruption* campaign (the E10 workload):
+/// a component's runtime model is hit by invariant-violating mutations at
+/// seeded instants; each mutation picks one of the configured
+/// `(key, corrupt value)` pairs. There are no heal events — undoing the
+/// damage is the runtime verifier's job (refuse, quarantine, roll back).
+#[derive(Debug, Clone)]
+pub struct CorruptionCampaignConfig {
+    /// Middleware component whose runtime model is corrupted.
+    pub component: String,
+    /// Candidate corruptions: `(state key, corrupt value)` pairs, each
+    /// chosen to violate a deployed invariant.
+    pub corruptions: Vec<(String, String)>,
+    /// Campaign horizon: no event fires at or after this instant.
+    pub horizon: SimDuration,
+    /// Mean time between corruptions (exponential).
+    pub mean_uptime: SimDuration,
+}
+
+impl Default for CorruptionCampaignConfig {
+    fn default() -> Self {
+        CorruptionCampaignConfig {
+            component: String::new(),
+            corruptions: Vec::new(),
+            horizon: SimDuration::from_millis(10_000),
+            mean_uptime: SimDuration::from_millis(1_500),
+        }
+    }
+}
+
+/// Generates a randomized corruption plan: mutations arrive at
+/// exponentially-distributed intervals until the horizon, each drawing a
+/// uniform `(key, value)` pair from `cfg.corruptions`. Deterministic in
+/// `seed` — the same seed always yields the identical model.
+pub fn random_corruption_campaign(name: &str, seed: u64, cfg: &CorruptionCampaignConfig) -> Model {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut b = FaultPlanBuilder::new(name).seed(seed);
+    if cfg.corruptions.is_empty() {
+        return b.build();
+    }
+    let mut t = 0u64;
+    loop {
+        let up = rng.exponential(cfg.mean_uptime.as_micros() as f64).max(1.0) as u64;
+        t = t.saturating_add(up);
+        if t >= cfg.horizon.as_micros() {
+            break;
+        }
+        let pick = (rng.unit() * cfg.corruptions.len() as f64) as usize;
+        let (key, value) = &cfg.corruptions[pick.min(cfg.corruptions.len() - 1)];
+        b = b.corrupt_state(SimTime::from_micros(t), &cfg.component, key, value);
+    }
+    b.build()
+}
+
 /// Executes a compiled [`FaultPlan`] against the simulation substrate as
 /// virtual time advances.
 ///
@@ -859,6 +956,15 @@ fn apply_action(
         FaultAction::FailoverTo { component, standby } => {
             if let Some(t) = target {
                 t.failover_to(component, standby);
+            }
+        }
+        FaultAction::CorruptState {
+            component,
+            key,
+            value,
+        } => {
+            if let Some(t) = target {
+                t.corrupt_state(component, key, value);
             }
         }
     }
@@ -1182,6 +1288,98 @@ mod tests {
         assert_eq!(parts, 0, "every partition heals inside the horizon");
         let c = random_failover_campaign("f", 6, &cfg);
         assert_ne!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&c));
+    }
+
+    #[test]
+    fn corrupt_state_events_reach_the_component_target() {
+        #[derive(Default)]
+        struct Corruptions(Vec<(String, String, String)>);
+        impl ComponentTarget for Corruptions {
+            fn crash_component(&mut self, _: &str) {}
+            fn stall_component(&mut self, _: &str) {}
+            fn corrupt_state(&mut self, component: &str, key: &str, value: &str) {
+                self.0
+                    .push((component.to_owned(), key.to_owned(), value.to_owned()));
+            }
+        }
+
+        let model = FaultPlanBuilder::new("p")
+            .corrupt_state(SimTime::from_millis(10), "broker.a", "opens", "-7")
+            .build();
+        conformance::check(&model, &fault_metamodel()).unwrap();
+        let plan = FaultPlan::from_model(&model).unwrap();
+        assert!(plan.events()[0].action.is_component());
+        assert!(!plan.events()[0].action.is_network());
+
+        let mut driver = FaultDriver::new(&plan);
+        let mut hub = hub();
+        let mut rec = Corruptions::default();
+        driver.advance_full(SimTime::from_millis(10), &mut hub, None, Some(&mut rec));
+        assert_eq!(
+            rec.0,
+            vec![(
+                "broker.a".to_string(),
+                "opens".to_string(),
+                "-7".to_string()
+            )]
+        );
+
+        // A CorruptState without a `key=value` peer does not compile.
+        let mut bad = FaultPlanBuilder::new("p").build();
+        let p = bad.all_of_class("FaultPlan")[0];
+        let e = bad.create("FaultEvent");
+        bad.set_attr(e, "atUs", Value::from(0));
+        bad.set_attr(e, "kind", Value::enumeration("FaultKind", "CorruptState"));
+        bad.set_attr(e, "target", Value::from("broker.a"));
+        bad.set_attr(e, "peer", Value::from("no-equals-sign"));
+        bad.add_ref(p, "events", e);
+        let err = FaultPlan::from_model(&bad).unwrap_err();
+        assert!(matches!(err, FaultError::BadPlan(m) if m.contains("key=value")));
+    }
+
+    #[test]
+    fn random_corruption_campaigns_are_deterministic_and_well_formed() {
+        let cfg = CorruptionCampaignConfig {
+            component: "broker.a".into(),
+            corruptions: vec![
+                ("opens".into(), "-3".into()),
+                ("brownout_mode".into(), "bogus".into()),
+            ],
+            horizon: SimDuration::from_millis(60_000),
+            ..CorruptionCampaignConfig::default()
+        };
+        let a = random_corruption_campaign("x", 7, &cfg);
+        let b = random_corruption_campaign("x", 7, &cfg);
+        assert_eq!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&b));
+        conformance::check(&a, &fault_metamodel()).unwrap();
+        let plan = FaultPlan::from_model(&a).unwrap();
+        assert!(!plan.is_empty(), "default config produces events");
+        for e in plan.events() {
+            assert!(e.at.as_micros() < cfg.horizon.as_micros());
+            match &e.action {
+                FaultAction::CorruptState {
+                    component,
+                    key,
+                    value,
+                } => {
+                    assert_eq!(component, "broker.a");
+                    assert!(cfg.corruptions.iter().any(|(k, v)| k == key && v == value));
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        let c = random_corruption_campaign("x", 8, &cfg);
+        assert_ne!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&c));
+        // No corruption pairs configured: an empty (but valid) plan.
+        let empty = random_corruption_campaign(
+            "x",
+            7,
+            &CorruptionCampaignConfig {
+                component: "broker.a".into(),
+                ..CorruptionCampaignConfig::default()
+            },
+        );
+        assert!(FaultPlan::from_model(&empty).unwrap().is_empty());
     }
 
     #[test]
