@@ -291,6 +291,17 @@ pub fn required_keys(experiment: &str) -> &'static [&'static str] {
             "overhead_pct",
             "campaigns",
         ],
+        "e11" => &[
+            "seed",
+            "seeds",
+            "draws_per_model",
+            "trials_run",
+            "detected",
+            "detection_rate",
+            "false_positives",
+            "baselines",
+            "trials",
+        ],
         _ => &["seed"],
     }
 }

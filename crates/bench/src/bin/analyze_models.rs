@@ -1,0 +1,61 @@
+//! CI gate: run the load-time static analyzer over every shipped broker
+//! model — the four domain platforms plus the experiment models — print
+//! every diagnostic and the footprint/conflict table sizes, and exit
+//! nonzero if any model carries an error-level diagnostic.
+//!
+//! ```text
+//! cargo run --release -p bench --bin analyze_models
+//! ```
+//!
+//! Warnings are printed but do not fail the gate (at runtime they are
+//! journaled as `note` records); errors would make
+//! `GenericBroker::from_model` refuse the model, so they fail CI here,
+//! before a release ships an unloadable platform.
+
+use bench::{e10, e11, e6, e7, e8, e9};
+use mddsm_broker::analyze;
+use mddsm_meta::analysis::Severity;
+
+fn main() {
+    let mut models = e11::corpus()
+        .into_iter()
+        .map(|(n, m)| (n.to_owned(), m))
+        .collect::<Vec<_>>();
+    models.push(("bench-e6".into(), e6::e6_broker_model(true)));
+    models.push(("bench-e7".into(), e7::e7_broker_model()));
+    models.push(("bench-e8".into(), e8::e8_broker_model()));
+    models.push(("bench-e9".into(), e9::e9_broker_model(Some("ack"))));
+    models.push(("bench-e10".into(), e10::e10_broker_model(true)));
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (name, model) in &models {
+        let report = analyze(model);
+        let (e, w) = (report.errors().count(), report.warnings().count());
+        errors += e;
+        warnings += w;
+        println!(
+            "{name:<10} errors {e:>2}  warnings {w:>2}  footprint units {:>3}  benign conflict edges {:>3}",
+            report.footprints.len(),
+            report.conflicts.len()
+        );
+        for d in &report.diagnostics {
+            let tag = match d.severity {
+                Severity::Error => "ERROR",
+                Severity::Warning => "warn ",
+            };
+            println!("  {tag} [{}] {}: {}", d.code, d.path, d.message);
+        }
+    }
+    println!(
+        "\nanalyzed {} models: {errors} error(s), {warnings} warning(s)",
+        models.len()
+    );
+    if errors > 0 {
+        eprintln!(
+            "FAIL: error-level diagnostics present — these models would be refused at load time"
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: every shipped model is accepted by the static analyzer");
+}

@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin experiments -- quick   # CI-sized run
 //! ```
 
-use bench::{ablation, e1, e10, e2, e3, e4, e5, e6, e7, e8, e9};
+use bench::{ablation, e1, e10, e11, e2, e3, e4, e5, e6, e7, e8, e9};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +47,9 @@ fn main() {
     }
     if want("e10") {
         run_e10(quick);
+    }
+    if want("e11") {
+        run_e11(quick);
     }
     if want("ablations") {
         run_ablations(quick);
@@ -312,6 +315,55 @@ fn run_e10(quick: bool) {
         r.standby_caught_all,
         cost.armed_ns_per_call - cost.unarmed_ns_per_call,
         r.overhead_pct.unwrap_or(0.0)
+    );
+}
+
+fn run_e11(quick: bool) {
+    println!("E11 — static model verification: analyzer mutation-detection rate");
+    println!("------------------------------------------------------------------");
+    let (seeds, draws): (&[u64], usize) = if quick {
+        (&[1, 2], 6)
+    } else {
+        (&[1, 2, 3, 5], 12)
+    };
+    let r = e11::run(seeds, draws);
+    println!(
+        "  corpus: seeds {:?}, {} operators drawn per model per seed, {} trials",
+        r.seeds,
+        r.draws_per_model,
+        r.trials.len()
+    );
+    println!("  unmutated baselines (false positives must be zero):");
+    for b in &r.baselines {
+        println!(
+            "    {:<8} errors {:>2}  warnings {:>2}  footprint units {:>3}  benign conflict edges {:>3}",
+            b.model, b.errors, b.warnings, b.footprints, b.conflicts
+        );
+    }
+    let missed: Vec<String> = r
+        .trials
+        .iter()
+        .filter(|t| !t.detected)
+        .map(|t| format!("{}/{}", t.model, t.mutation))
+        .collect();
+    println!(
+        "  detection: {}/{} trials ({:.1}%)  false positives: {}",
+        r.detected,
+        r.trials.len(),
+        r.detection_rate * 100.0,
+        r.false_positives
+    );
+    if !missed.is_empty() {
+        println!("  MISSED: {missed:?}");
+    }
+    match std::fs::write("BENCH_e11.json", r.to_json()) {
+        Ok(()) => println!("  artifact: BENCH_e11.json"),
+        Err(e) => println!("  artifact: BENCH_e11.json not written: {e}"),
+    }
+    println!(
+        "\n  expectation: the load-time analyzer detects >=95% of seeded model\n               mutations (dangling references, reserved-key writes, type\n               clashes, dead rules, vacuous monitors, new write conflicts)\n               with zero error-level diagnostics on the unmutated models\n  measured: detection={:.1}% false-positives={}\n",
+        r.detection_rate * 100.0,
+        r.false_positives
     );
 }
 

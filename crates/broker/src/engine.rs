@@ -169,6 +169,11 @@ pub struct GenericBroker {
     /// Trips this instance observed, in order. The latches themselves live
     /// in the (journaled) runtime model; this is only the lifetime log.
     monitor_trips: Vec<MonitorTrip>,
+    /// The load-time static-analysis report for the model this engine
+    /// interprets. Always accepted (error-level findings refuse the model
+    /// in [`GenericBroker::from_model`]); warnings and the
+    /// footprint/conflict tables stay queryable here.
+    analysis: mddsm_meta::analysis::AnalysisReport,
 }
 
 impl GenericBroker {
@@ -361,6 +366,18 @@ impl GenericBroker {
             Some(MonitorSet::compile(&monitor_specs)?)
         };
 
+        // Load-time static analysis (after the legacy checks above, so
+        // their more specific typed errors keep precedence): error-level
+        // findings refuse the model with the typed `AnalysisRejected`;
+        // warnings ride along on the engine and are journaled once
+        // journaling is enabled.
+        let analysis = crate::analysis::analyze(model);
+        if !analysis.is_accepted() {
+            return Err(BrokerError::AnalysisRejected(
+                analysis.errors().cloned().collect(),
+            ));
+        }
+
         let mut broker = GenericBroker {
             name,
             handlers,
@@ -378,6 +395,7 @@ impl GenericBroker {
             epoch: 1,
             monitors,
             monitor_trips: Vec::new(),
+            analysis,
         };
         // In-stream monitoring derives its dirty-key set from the same
         // recorded ops the journal frames, so recording must be on even
@@ -949,6 +967,13 @@ impl GenericBroker {
     /// `snapshot_every` journal entries.
     pub fn enable_journal(&mut self, snapshot_every: u64) {
         let mut j = Journal::over(Box::new(MemorySink::new()), snapshot_every);
+        // Deployment-time analysis warnings go into the durable stream
+        // first, so a post-mortem always sees what the analyzer flagged.
+        for w in self.analysis.warnings() {
+            j.record(&JournalRecord::Note {
+                text: format!("analysis {w}"),
+            });
+        }
         j.record(&JournalRecord::Snapshot {
             state: self.state.snapshot(),
             clock_us: self.clock_us,
@@ -1187,6 +1212,13 @@ impl GenericBroker {
     /// How many times an autonomic symptom fired.
     pub fn symptom_fired(&self, symptom: &str) -> u64 {
         self.autonomic.fired(symptom)
+    }
+
+    /// The load-time static-analysis report for this engine's model:
+    /// warnings (errors would have refused the model), the per-unit
+    /// read/write footprint table, and the conflict graph.
+    pub fn analysis_report(&self) -> &mddsm_meta::analysis::AnalysisReport {
+        &self.analysis
     }
 }
 
@@ -1519,16 +1551,25 @@ mod tests {
     }
 
     #[test]
-    fn unknown_policy_guard_is_an_error() {
+    fn unknown_policy_guard_is_rejected_at_load_time() {
+        // Historically this only failed at dispatch time (PolicyFailed);
+        // the static analyzer now refuses the model before it runs.
         let m = BrokerModelBuilder::new("x")
             .call_handler("h", "op")
             .action("h", "a", "r", "o", &[], Some("ghost"), &[])
             .build();
-        let mut b = GenericBroker::from_model(&m, ResourceHub::new(1)).unwrap();
-        assert!(matches!(
-            b.call("op", &Args::new()),
-            Err(BrokerError::PolicyFailed(_))
-        ));
+        let err = GenericBroker::from_model(&m, ResourceHub::new(1))
+            .map(|_| ())
+            .unwrap_err();
+        match err {
+            BrokerError::AnalysisRejected(diags) => {
+                assert!(
+                    diags.iter().any(|d| d.code == "unknown-policy"),
+                    "{diags:?}"
+                );
+            }
+            other => panic!("expected AnalysisRejected, got {other}"),
+        }
     }
 
     #[test]

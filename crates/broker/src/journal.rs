@@ -123,6 +123,14 @@ pub enum JournalRecord {
         /// The fencing epoch (monotonically increasing across failovers).
         epoch: u64,
     },
+    /// A free-form annotation (static-analysis warnings at deployment,
+    /// operator breadcrumbs). Notes carry no state and replay ignores
+    /// them; they exist so load-time findings survive in the same durable
+    /// stream the commands do.
+    Note {
+        /// The annotation text.
+        text: String,
+    },
     /// A full state snapshot plus the engine counters at snapshot time.
     Snapshot {
         /// The state at snapshot time.
@@ -218,6 +226,7 @@ fn frame(rec: &JournalRecord) -> String {
         }
         JournalRecord::Clock { clock_us } => format!("clk {clock_us}"),
         JournalRecord::Epoch { epoch } => format!("ep {epoch}"),
+        JournalRecord::Note { text } => format!("note {}", escape(text)),
         JournalRecord::Snapshot {
             state,
             clock_us,
@@ -317,6 +326,9 @@ fn parse_record(line: &str) -> Result<JournalRecord> {
         }),
         "ep" => Ok(JournalRecord::Epoch {
             epoch: parse_u64(line, f.next(), "epoch")?,
+        }),
+        "note" => Ok(JournalRecord::Note {
+            text: unescape(f.next().unwrap_or_default())?,
         }),
         "snap" => {
             let version = parse_u64(line, f.next(), "version")?;
@@ -583,6 +595,7 @@ pub fn replay(bytes: &[u8]) -> Result<Recovered> {
             JournalRecord::Epoch { epoch: e } => {
                 epoch = e;
             }
+            JournalRecord::Note { .. } => {}
         }
     }
     Ok(Recovered {

@@ -45,6 +45,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod admission;
+pub mod analysis;
 pub mod autonomic;
 pub mod components;
 pub mod engine;
@@ -56,6 +57,7 @@ pub mod state;
 pub mod supervisor;
 
 pub use admission::{AdmissionController, AdmissionDecision, CallMeta, ShedReason};
+pub use analysis::{analyze, op_footprint};
 pub use autonomic::{BrownoutController, BrownoutMode, BrownoutTransition};
 pub use engine::{AdmittedOutcome, BrokerCallResult, GenericBroker, RecoveryReport};
 pub use journal::{Journal, JournalSink, MemorySink};
@@ -70,6 +72,10 @@ pub use supervisor::{RestartPolicy, Supervisor, SupervisorDecision};
 pub enum BrokerError {
     /// The broker model does not conform to the Fig. 6 metamodel.
     InvalidModel(String),
+    /// Load-time static analysis found error-level defects: the model is
+    /// refused before it ever executes. Carries every error-level
+    /// diagnostic (with model-path provenance), not just the first.
+    AnalysisRejected(Vec<mddsm_meta::analysis::Diagnostic>),
     /// No handler accepts the given call/event.
     NoHandler(String),
     /// A handler matched but no action's guard was satisfied.
@@ -116,6 +122,17 @@ impl std::fmt::Display for BrokerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BrokerError::InvalidModel(m) => write!(f, "invalid broker model: {m}"),
+            BrokerError::AnalysisRejected(diags) => {
+                write!(
+                    f,
+                    "static analysis rejected the model ({} error(s))",
+                    diags.len()
+                )?;
+                for d in diags {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
             BrokerError::NoHandler(m) => write!(f, "no handler for `{m}`"),
             BrokerError::NoAction(m) => write!(f, "no applicable action for `{m}`"),
             BrokerError::PolicyFailed(m) => write!(f, "policy evaluation failed: {m}"),

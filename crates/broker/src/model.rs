@@ -637,9 +637,34 @@ impl BrokerModelBuilder {
             .unwrap_or_else(|| panic!("handler `{name}` not declared"))
     }
 
+    /// Finishes and returns the broker model, enforcing build-time
+    /// hygiene: duplicate component/monitor names and domain state
+    /// effects writing the reserved `mon_*` monitor memory are refused
+    /// with a typed [`BrokerError::InvalidModel`](crate::BrokerError).
+    /// (Historically both were accepted silently and only surfaced as
+    /// runtime misbehavior.)
+    pub fn try_build(self) -> crate::Result<Model> {
+        let report = crate::analysis::hygiene(&self.model);
+        if let Some(first) = report.errors().next() {
+            return Err(crate::BrokerError::InvalidModel(format!(
+                "build hygiene: {first}"
+            )));
+        }
+        Ok(self.model)
+    }
+
     /// Finishes and returns the broker model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the hygiene defects [`BrokerModelBuilder::try_build`]
+    /// reports — a duplicate name or a reserved-`mon_*` state effect in a
+    /// hand-built model is a programming error at the construction site.
     pub fn build(self) -> Model {
-        self.model
+        match self.try_build() {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -680,6 +705,54 @@ mod tests {
             .bind_resource("media", "sim.media")
             .build();
         conformance::check(&model, &mm).unwrap();
+    }
+
+    #[test]
+    fn try_build_refuses_duplicate_names() {
+        // Regression: duplicate handler names used to build silently and
+        // only misbehave at dispatch time (the second handler shadowed).
+        let err = BrokerModelBuilder::new("dup")
+            .call_handler("open", "openSession")
+            .call_handler("open", "openOther")
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, crate::BrokerError::InvalidModel(_)));
+        assert!(err.to_string().contains("duplicate-name"), "{err}");
+
+        let err = BrokerModelBuilder::new("dup")
+            .monitor("m", "self.a >= 0")
+            .monitor("m", "self.b >= 0")
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate-name"), "{err}");
+    }
+
+    #[test]
+    fn try_build_refuses_reserved_monitor_keys() {
+        // Regression: a domain state effect writing `mon_*` could forge or
+        // clear runtime-monitor trip latches.
+        let err = BrokerModelBuilder::new("forge")
+            .call_handler("h", "op")
+            .action("h", "a", "r", "o", &[], None, &["mon_trips=+1"])
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, crate::BrokerError::InvalidModel(_)));
+        assert!(err.to_string().contains("reserved-key"), "{err}");
+
+        let err = BrokerModelBuilder::new("forge2")
+            .autonomic_rule("s", "self.x > 0", &["set mon_trips 0"])
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("reserved-key"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate-name")]
+    fn build_panics_on_hygiene_defects() {
+        let _ = BrokerModelBuilder::new("dup")
+            .call_handler("open", "a")
+            .call_handler("open", "b")
+            .build();
     }
 
     #[test]

@@ -524,6 +524,7 @@ impl Standby {
                 self.events = events;
                 dirty_all = true;
             }
+            JournalRecord::Note { .. } => {}
         }
         if let Some(monitors) = &self.monitors {
             if dirty_key.is_some() || dirty_all {

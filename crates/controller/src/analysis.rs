@@ -1,0 +1,622 @@
+//! Static data-flow analysis of procedures and their execution units.
+//!
+//! The Controller-layer half of the load-time verifier: where the Broker
+//! analyzer type-checks OCL-lite paths and computes action footprints, this
+//! pass walks EU instruction sequences and reports defects that the stack
+//! machine would otherwise only surface mid-execution — locals read before
+//! any `SetVar` binds them, locals bound and never read, instructions
+//! stranded after an unconditional `Complete`, `CallDep` indices outside
+//! the procedure's dependency list, and `on_error` compensations that can
+//! never fire because the procedure issues no fallible call.
+//!
+//! Diagnostics reuse the shared [`mddsm_meta::analysis`] vocabulary so a
+//! whole-platform report can merge Broker and Controller findings, and
+//! [`procedure_footprint`] projects the Broker layer's per-operation
+//! read/write sets through a procedure's `BrokerCall`s — the cross-layer
+//! footprint that conflict detection (and, later, sharding) consumes.
+
+use crate::procedure::{Instr, Operand, Procedure};
+use crate::repository::ProcedureRepository;
+use mddsm_meta::analysis::{AnalysisReport, Footprint};
+use std::collections::BTreeSet;
+
+/// Locals the stack machine itself defines: `result.<key>` after a
+/// broker/remote/dependency call, `error.<key>` inside an `on_error` EU.
+fn machine_defined(name: &str, calls_seen: bool, in_on_error: bool) -> bool {
+    (calls_seen && name.starts_with("result.")) || (in_on_error && name.starts_with("error."))
+}
+
+/// Mutable walk state threaded through one procedure's EUs.
+struct Flow {
+    /// Locals with a definitely-executed `SetVar` on every path here.
+    defined: BTreeSet<String>,
+    /// Locals read at least once somewhere in the procedure.
+    used: BTreeSet<String>,
+    /// Locals ever bound by a `SetVar` (for unused-local reporting).
+    bound: BTreeSet<String>,
+    /// Whether a fallible call (broker/remote/dep) has executed on this path.
+    calls_seen: bool,
+}
+
+impl Flow {
+    fn new() -> Self {
+        Flow {
+            defined: BTreeSet::new(),
+            used: BTreeSet::new(),
+            bound: BTreeSet::new(),
+            calls_seen: false,
+        }
+    }
+
+    fn read(&mut self, name: &str, in_on_error: bool, path: &str, report: &mut AnalysisReport) {
+        self.used.insert(name.to_owned());
+        if !self.defined.contains(name) && !machine_defined(name, self.calls_seen, in_on_error) {
+            report.warning(
+                "undefined-local",
+                path,
+                format!("local `{name}` is read before any SetVar binds it"),
+            );
+        }
+    }
+
+    fn read_operand(
+        &mut self,
+        op: &Operand,
+        in_on_error: bool,
+        path: &str,
+        report: &mut AnalysisReport,
+    ) {
+        if let Operand::Var(v) = op {
+            self.read(v, in_on_error, path, report);
+        }
+    }
+}
+
+/// Walks one instruction sequence. Returns `true` when the sequence
+/// definitely executes [`Instr::Complete`] (so nothing after it runs).
+fn walk(
+    instrs: &[Instr],
+    flow: &mut Flow,
+    proc: &Procedure,
+    in_on_error: bool,
+    path: &str,
+    report: &mut AnalysisReport,
+) -> bool {
+    let mut completed = false;
+    for (i, instr) in instrs.iter().enumerate() {
+        if completed {
+            report.warning(
+                "unreachable-instr",
+                path,
+                format!(
+                    "instruction {i} is unreachable: every path before it already ran Complete"
+                ),
+            );
+            // One diagnostic per stranded suffix is enough.
+            return true;
+        }
+        match instr {
+            Instr::SetVar { name, value } => {
+                flow.read_operand(value, in_on_error, path, report);
+                flow.defined.insert(name.clone());
+                flow.bound.insert(name.clone());
+            }
+            Instr::Free(name) => {
+                if !flow.defined.contains(name.as_str())
+                    && !machine_defined(name, flow.calls_seen, in_on_error)
+                {
+                    report.warning(
+                        "undefined-local",
+                        path,
+                        format!("Free of `{name}`, which no path has bound"),
+                    );
+                }
+                flow.defined.remove(name.as_str());
+            }
+            Instr::BrokerCall { args, .. } | Instr::RemoteCall { args, .. } => {
+                for (_, op) in args {
+                    flow.read_operand(op, in_on_error, path, report);
+                }
+                flow.calls_seen = true;
+            }
+            Instr::EmitEvent { payload, .. } => {
+                for (_, op) in payload {
+                    flow.read_operand(op, in_on_error, path, report);
+                }
+            }
+            Instr::SendMessage { payload, .. } => {
+                for (_, op) in payload {
+                    flow.read_operand(op, in_on_error, path, report);
+                }
+            }
+            Instr::CallDep(idx) => {
+                if *idx >= proc.dependencies.len() {
+                    report.error(
+                        "bad-dep-index",
+                        path,
+                        format!(
+                            "CallDep({idx}) but the procedure declares {} dependency(ies)",
+                            proc.dependencies.len()
+                        ),
+                    );
+                }
+                flow.calls_seen = true;
+            }
+            Instr::IfVar {
+                var,
+                then,
+                otherwise,
+                ..
+            } => {
+                flow.read(var, in_on_error, path, report);
+                // Definite assignment: a local survives the branch only if
+                // both arms bind (or keep) it.
+                let before = flow.defined.clone();
+                let t_done = walk(then, flow, proc, in_on_error, path, report);
+                let after_then = std::mem::replace(&mut flow.defined, before);
+                let o_done = walk(otherwise, flow, proc, in_on_error, path, report);
+                flow.defined = flow.defined.intersection(&after_then).cloned().collect();
+                completed = t_done && o_done;
+            }
+            Instr::Complete => completed = true,
+        }
+    }
+    completed
+}
+
+/// Whether an instruction sequence contains any fallible call — the only
+/// instructions whose failure can transfer control to `on_error`.
+fn has_fallible(instrs: &[Instr]) -> bool {
+    instrs.iter().any(|i| match i {
+        Instr::BrokerCall { .. } | Instr::RemoteCall { .. } | Instr::CallDep(_) => true,
+        Instr::IfVar {
+            then, otherwise, ..
+        } => has_fallible(then) || has_fallible(otherwise),
+        _ => false,
+    })
+}
+
+/// Analyzes one procedure's EUs for data-flow defects.
+///
+/// Error-level: `bad-dep-index`. Warning-level: `undefined-local`,
+/// `unused-local`, `unreachable-instr`, `unreachable-eu`, `dead-on-error`.
+pub fn analyze_procedure(p: &Procedure) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    let mut flow = Flow::new();
+    let mut completed = false;
+    for eu in &p.eus {
+        let path = format!("proc:{}/eu:{}", p.id, eu.name);
+        if completed {
+            report.warning(
+                "unreachable-eu",
+                &path,
+                "EU is unreachable: an earlier EU always runs Complete",
+            );
+            continue;
+        }
+        completed = walk(&eu.instructions, &mut flow, p, false, &path, &mut report);
+    }
+    if let Some(handler) = &p.on_error {
+        let path = format!("proc:{}/on_error:{}", p.id, handler.name);
+        if !p.eus.iter().any(|eu| has_fallible(&eu.instructions)) {
+            report.warning(
+                "dead-on-error",
+                &path,
+                "on_error can never fire: the procedure issues no broker, remote, or dependency call",
+            );
+        }
+        // Compensation runs in a fresh frame view: locals from the failed
+        // path are not guaranteed, only the `error.*` context is.
+        let mut err_flow = Flow::new();
+        walk(
+            &handler.instructions,
+            &mut err_flow,
+            p,
+            true,
+            &path,
+            &mut report,
+        );
+        for name in err_flow.bound.difference(&err_flow.used) {
+            report.warning(
+                "unused-local",
+                &path,
+                format!("local `{name}` is bound but never read"),
+            );
+        }
+    }
+    let proc_path = format!("proc:{}", p.id);
+    for name in flow.bound.difference(&flow.used) {
+        report.warning(
+            "unused-local",
+            &proc_path,
+            format!("local `{name}` is bound but never read"),
+        );
+    }
+    report
+}
+
+/// Runs [`analyze_procedure`] over every procedure in a repository and
+/// merges the reports.
+pub fn analyze_repository(repo: &ProcedureRepository) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    for id in repo.ids() {
+        if let Some(p) = repo.get(id) {
+            report.merge(analyze_procedure(p));
+        }
+    }
+    report
+}
+
+/// Projects Broker-layer operation footprints through a procedure.
+///
+/// `lookup` maps a `(api, op)` pair from a [`Instr::BrokerCall`] to the
+/// Broker analyzer's read/write set for that operation (e.g. via
+/// `mddsm_broker::analysis::op_footprint`); unresolvable operations are
+/// recorded as a read of the marker key `unresolved:<api>.<op>` so callers
+/// can see the footprint is partial. The union over every reachable
+/// `BrokerCall` is the procedure's cross-layer footprint.
+pub fn procedure_footprint(
+    p: &Procedure,
+    lookup: &dyn Fn(&str, &str) -> Option<Footprint>,
+) -> Footprint {
+    let mut fp = Footprint::default();
+    fn visit(
+        instrs: &[Instr],
+        fp: &mut Footprint,
+        lookup: &dyn Fn(&str, &str) -> Option<Footprint>,
+    ) {
+        for instr in instrs {
+            match instr {
+                Instr::BrokerCall { api, op, .. } => match lookup(api, op) {
+                    Some(call_fp) => fp.absorb(&call_fp),
+                    None => {
+                        fp.reads.insert(format!("unresolved:{api}.{op}"));
+                    }
+                },
+                Instr::IfVar {
+                    then, otherwise, ..
+                } => {
+                    visit(then, fp, lookup);
+                    visit(otherwise, fp, lookup);
+                }
+                _ => {}
+            }
+        }
+    }
+    for eu in &p.eus {
+        visit(&eu.instructions, &mut fp, lookup);
+    }
+    if let Some(handler) = &p.on_error {
+        visit(&handler.instructions, &mut fp, lookup);
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procedure::{ExecutionUnit, Instr, Operand, Procedure};
+
+    fn codes(report: &AnalysisReport) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_procedure_is_clean() {
+        let p = Procedure::simple(
+            "store",
+            "storage",
+            vec![
+                Instr::SetVar {
+                    name: "key".into(),
+                    value: Operand::arg("key"),
+                },
+                Instr::BrokerCall {
+                    api: "state".into(),
+                    op: "put".into(),
+                    args: vec![("key".into(), Operand::var("key"))],
+                },
+                Instr::Complete,
+            ],
+        );
+        assert!(analyze_procedure(&p).is_clean());
+    }
+
+    #[test]
+    fn undefined_local_read_is_warned() {
+        let p = Procedure::simple(
+            "p",
+            "c",
+            vec![
+                Instr::EmitEvent {
+                    topic: "t".into(),
+                    payload: vec![("v".into(), Operand::var("ghost"))],
+                },
+                Instr::Complete,
+            ],
+        );
+        let r = analyze_procedure(&p);
+        assert!(
+            codes(&r).contains(&"undefined-local"),
+            "{:?}",
+            r.diagnostics
+        );
+        assert!(r.is_accepted(), "data-flow smells are warnings, not errors");
+    }
+
+    #[test]
+    fn result_locals_are_defined_only_after_a_call() {
+        let before = Procedure::simple(
+            "p",
+            "c",
+            vec![
+                Instr::SetVar {
+                    name: "x".into(),
+                    value: Operand::var("result.value"),
+                },
+                Instr::BrokerCall {
+                    api: "state".into(),
+                    op: "get".into(),
+                    args: vec![],
+                },
+                Instr::EmitEvent {
+                    topic: "t".into(),
+                    payload: vec![("v".into(), Operand::var("x"))],
+                },
+                Instr::Complete,
+            ],
+        );
+        assert!(codes(&analyze_procedure(&before)).contains(&"undefined-local"));
+
+        let after = Procedure::simple(
+            "p",
+            "c",
+            vec![
+                Instr::BrokerCall {
+                    api: "state".into(),
+                    op: "get".into(),
+                    args: vec![],
+                },
+                Instr::EmitEvent {
+                    topic: "t".into(),
+                    payload: vec![("v".into(), Operand::var("result.value"))],
+                },
+                Instr::Complete,
+            ],
+        );
+        assert!(analyze_procedure(&after).is_clean());
+    }
+
+    #[test]
+    fn unused_local_is_warned() {
+        let p = Procedure::simple(
+            "p",
+            "c",
+            vec![
+                Instr::SetVar {
+                    name: "scratch".into(),
+                    value: Operand::lit("1"),
+                },
+                Instr::Complete,
+            ],
+        );
+        assert!(codes(&analyze_procedure(&p)).contains(&"unused-local"));
+    }
+
+    #[test]
+    fn instructions_after_complete_are_unreachable() {
+        let p = Procedure::simple(
+            "p",
+            "c",
+            vec![
+                Instr::Complete,
+                Instr::EmitEvent {
+                    topic: "never".into(),
+                    payload: vec![],
+                },
+            ],
+        );
+        assert!(codes(&analyze_procedure(&p)).contains(&"unreachable-instr"));
+    }
+
+    #[test]
+    fn ifvar_completing_on_both_branches_strands_the_tail() {
+        let p = Procedure::simple(
+            "p",
+            "c",
+            vec![
+                Instr::SetVar {
+                    name: "mode".into(),
+                    value: Operand::arg("mode"),
+                },
+                Instr::IfVar {
+                    var: "mode".into(),
+                    equals: "fast".into(),
+                    then: vec![Instr::Complete],
+                    otherwise: vec![Instr::Complete],
+                },
+                Instr::EmitEvent {
+                    topic: "never".into(),
+                    payload: vec![],
+                },
+            ],
+        );
+        assert!(codes(&analyze_procedure(&p)).contains(&"unreachable-instr"));
+    }
+
+    #[test]
+    fn ifvar_completing_on_one_branch_keeps_the_tail_live() {
+        let p = Procedure::simple(
+            "p",
+            "c",
+            vec![
+                Instr::SetVar {
+                    name: "mode".into(),
+                    value: Operand::arg("mode"),
+                },
+                Instr::IfVar {
+                    var: "mode".into(),
+                    equals: "fast".into(),
+                    then: vec![Instr::Complete],
+                    otherwise: vec![],
+                },
+                Instr::Complete,
+            ],
+        );
+        let r = analyze_procedure(&p);
+        assert!(
+            !codes(&r).contains(&"unreachable-instr"),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn branch_local_binding_does_not_count_as_definite() {
+        let p = Procedure::simple(
+            "p",
+            "c",
+            vec![
+                Instr::SetVar {
+                    name: "mode".into(),
+                    value: Operand::arg("mode"),
+                },
+                Instr::IfVar {
+                    var: "mode".into(),
+                    equals: "fast".into(),
+                    then: vec![Instr::SetVar {
+                        name: "x".into(),
+                        value: Operand::lit("1"),
+                    }],
+                    otherwise: vec![],
+                },
+                Instr::EmitEvent {
+                    topic: "t".into(),
+                    payload: vec![("v".into(), Operand::var("x"))],
+                },
+                Instr::Complete,
+            ],
+        );
+        assert!(codes(&analyze_procedure(&p)).contains(&"undefined-local"));
+    }
+
+    #[test]
+    fn bad_dep_index_is_an_error() {
+        let p = Procedure::simple("p", "c", vec![Instr::CallDep(0), Instr::Complete]);
+        let r = analyze_procedure(&p);
+        assert!(!r.is_accepted());
+        assert!(codes(&r).contains(&"bad-dep-index"));
+    }
+
+    #[test]
+    fn dead_on_error_is_warned_and_error_locals_are_defined_there() {
+        let mut p = Procedure::simple(
+            "p",
+            "c",
+            vec![
+                Instr::EmitEvent {
+                    topic: "t".into(),
+                    payload: vec![],
+                },
+                Instr::Complete,
+            ],
+        );
+        p.on_error = Some(ExecutionUnit::new(
+            "compensate",
+            vec![
+                Instr::EmitEvent {
+                    topic: "failed".into(),
+                    payload: vec![("why".into(), Operand::var("error.reason"))],
+                },
+                Instr::Complete,
+            ],
+        ));
+        let r = analyze_procedure(&p);
+        assert!(codes(&r).contains(&"dead-on-error"), "{:?}", r.diagnostics);
+        assert!(
+            !codes(&r).contains(&"undefined-local"),
+            "error.* locals are machine-defined in on_error: {:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn live_on_error_is_not_dead() {
+        let mut p = Procedure::simple(
+            "p",
+            "c",
+            vec![
+                Instr::BrokerCall {
+                    api: "state".into(),
+                    op: "put".into(),
+                    args: vec![],
+                },
+                Instr::Complete,
+            ],
+        );
+        p.on_error = Some(ExecutionUnit::new("compensate", vec![Instr::Complete]));
+        assert!(analyze_procedure(&p).is_clean());
+    }
+
+    #[test]
+    fn repository_report_merges_per_procedure_reports() {
+        let mut repo = ProcedureRepository::new();
+        repo.add(Procedure::simple("ok", "c", vec![Instr::Complete]))
+            .unwrap();
+        repo.add(Procedure::simple(
+            "broken",
+            "c",
+            vec![Instr::CallDep(3), Instr::Complete],
+        ))
+        .unwrap();
+        let r = analyze_repository(&repo);
+        assert!(!r.is_accepted());
+        assert_eq!(r.errors().count(), 1);
+    }
+
+    #[test]
+    fn procedure_footprint_unions_broker_call_footprints() {
+        let p = Procedure::simple(
+            "p",
+            "c",
+            vec![
+                Instr::BrokerCall {
+                    api: "state".into(),
+                    op: "put".into(),
+                    args: vec![],
+                },
+                Instr::IfVar {
+                    var: "result.ok".into(),
+                    equals: "true".into(),
+                    then: vec![Instr::BrokerCall {
+                        api: "state".into(),
+                        op: "get".into(),
+                        args: vec![],
+                    }],
+                    otherwise: vec![Instr::BrokerCall {
+                        api: "ghost".into(),
+                        op: "noop".into(),
+                        args: vec![],
+                    }],
+                },
+                Instr::Complete,
+            ],
+        );
+        let fp = procedure_footprint(&p, &|api, op| match (api, op) {
+            ("state", "put") => {
+                let mut f = Footprint::default();
+                f.writes.insert("stored".into());
+                Some(f)
+            }
+            ("state", "get") => {
+                let mut f = Footprint::default();
+                f.reads.insert("stored".into());
+                Some(f)
+            }
+            _ => None,
+        });
+        assert!(fp.writes.contains("stored"));
+        assert!(fp.reads.contains("stored"));
+        assert!(fp.reads.contains("unresolved:ghost.noop"));
+    }
+}

@@ -48,6 +48,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod actions;
+pub mod analysis;
 pub mod classify;
 pub mod context;
 pub mod dsc;
@@ -59,6 +60,7 @@ pub mod procedure;
 pub mod repository;
 
 pub use actions::{Action, ActionRegistry};
+pub use analysis::{analyze_procedure, analyze_repository, procedure_footprint};
 pub use classify::{Case, ClassificationPolicy, Classified, CommandClassifier, Priority};
 pub use context::ControllerContext;
 pub use dsc::{Category, Dsc, DscId, DscRegistry};

@@ -264,6 +264,13 @@ mod tests {
     use crate::fleet::shared_fleet;
 
     #[test]
+    fn cs_model_analyzes_clean() {
+        // Load-time gate: zero diagnostics on the shipped broker model.
+        let report = mddsm_broker::analyze(&cs_broker_model());
+        assert!(report.is_clean(), "diagnostics: {:?}", report.diagnostics);
+    }
+
+    #[test]
     fn full_csvm_runs_query_lifecycle() {
         let fleet = shared_fleet(10, &["downtown", "harbor"], 42);
         let mut p = build_csvm(1, fleet.clone());

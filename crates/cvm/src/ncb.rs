@@ -221,6 +221,15 @@ mod tests {
     use mddsm_sim::resource::args;
 
     #[test]
+    fn ncb_model_analyzes_clean() {
+        // Load-time gate: the shipped model must carry zero diagnostics —
+        // an error would make `from_model` refuse it, and even a warning
+        // would be journaled into every deployment.
+        let report = mddsm_broker::analyze(&ncb_broker_model());
+        assert!(report.is_clean(), "diagnostics: {:?}", report.diagnostics);
+    }
+
+    #[test]
     fn model_is_valid_and_serves_calls() {
         let mut ncb = ModelBasedNcb::new(1, 10);
         let o = ncb

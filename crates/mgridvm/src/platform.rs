@@ -105,6 +105,13 @@ mod tests {
     use crate::plant::shared_plant;
 
     #[test]
+    fn mhb_model_analyzes_clean() {
+        // Load-time gate: zero diagnostics on the shipped broker model.
+        let report = mddsm_broker::analyze(&mhb_broker_model());
+        assert!(report.is_clean(), "diagnostics: {:?}", report.diagnostics);
+    }
+
+    #[test]
     fn mgridvm_assembles() {
         let p = build_mgridvm(1, shared_plant());
         assert_eq!(p.name(), "mgridvm");

@@ -28,6 +28,7 @@ pub mod arrival;
 pub mod engine;
 pub mod fault;
 pub mod latency;
+pub mod mutate;
 pub mod net;
 pub mod resource;
 pub mod rng;
@@ -37,6 +38,7 @@ pub use arrival::{Arrival, ArrivalClass, ArrivalGenerator};
 pub use engine::Simulator;
 pub use fault::{ComponentTarget, FaultDriver, FaultPlan, FaultPlanBuilder};
 pub use latency::LatencyModel;
+pub use mutate::MutationDeck;
 pub use resource::{Invocation, Outcome, ResourceHub};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

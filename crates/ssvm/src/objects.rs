@@ -221,6 +221,13 @@ mod tests {
     use mddsm_synthesis::{Command, ControlScript};
 
     #[test]
+    fn object_model_analyzes_clean() {
+        // Load-time gate: zero diagnostics on the shipped broker model.
+        let report = mddsm_broker::analyze(&object_broker_model("lamp-1"));
+        assert!(report.is_clean(), "diagnostics: {:?}", report.diagnostics);
+    }
+
+    #[test]
     fn object_node_runs_scripts_without_upper_layers() {
         let devices = shared_devices();
         let mut node = build_object_node("node1", 1, devices.clone());
