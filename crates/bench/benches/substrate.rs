@@ -4,6 +4,8 @@
 //! broker dispatch). These are the per-call prices behind E2/E3.
 
 use bench::micro::BenchGroup;
+use mddsm_broker::journal::{Journal, JournalRecord};
+use mddsm_broker::state::StateOp;
 use mddsm_meta::constraint::{self, eval_bool, EvalEnv};
 use mddsm_meta::diff::{diff, DiffOptions};
 use mddsm_meta::metamodel::{DataType, Metamodel, MetamodelBuilder, Multiplicity};
@@ -68,5 +70,24 @@ fn main() {
     group.bench_function("constraint_parse", || {
         constraint::parse("self.kind = MediaKind::Video implies self.bandwidth > 100").unwrap()
     });
+    // The E13 acceptance bar: CRC32 framing must stay within a few percent
+    // of the raw journal append (compare the two rows).
+    group.bench_function("journal_append_1k_records_unframed", || {
+        journal_append(false)
+    });
+    group.bench_function("journal_append_1k_records_framed", || journal_append(true));
     group.finish();
+}
+
+fn journal_append(framed: bool) -> usize {
+    let mut j = Journal::in_memory(0);
+    j.set_framed(framed);
+    for i in 0..1_000u64 {
+        j.record(&JournalRecord::Op(StateOp::SetInt {
+            lsn: i + 1,
+            key: "count".into(),
+            value: i as i64,
+        }));
+    }
+    j.bytes().len()
 }

@@ -291,6 +291,20 @@ pub fn required_keys(experiment: &str) -> &'static [&'static str] {
             "overhead_pct",
             "campaigns",
         ],
+        "e13" => &[
+            "seed",
+            "seeds",
+            "calls",
+            "period_ms",
+            "naive_loss_observed",
+            "checksummed_detects_byte_damage",
+            "self_healing_detected_all",
+            "self_healing_zero_loss",
+            "repairs_byte_identical",
+            "replays_consistent",
+            "overhead_pct",
+            "campaigns",
+        ],
         "e11" => &[
             "seed",
             "seeds",
@@ -366,6 +380,8 @@ mod tests {
         assert_eq!(check_artifact("BENCH_e9.json", &e9).unwrap(), "e9");
         let e10 = crate::e10::run(&[3], 120, 20).to_json();
         assert_eq!(check_artifact("BENCH_e10.json", &e10).unwrap(), "e10");
+        let e13 = crate::e13::run(&[3], 120, 20).to_json();
+        assert_eq!(check_artifact("BENCH_e13.json", &e13).unwrap(), "e13");
     }
 
     #[test]

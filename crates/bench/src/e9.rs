@@ -400,6 +400,9 @@ pub fn run_variant(seed: u64, calls: u64, period_ms: u64, variant: Variant) -> E
                     SupervisorDecision::Quarantine { .. } => {
                         unreachable!("no monitors armed in E9")
                     }
+                    SupervisorDecision::RepairJournal { .. } => {
+                        unreachable!("no journal damage reported in E9")
+                    }
                 }
             }
 

@@ -16,6 +16,7 @@
 //! | E8 | overload robustness: admission control + brownout vs naive FIFO | [`e8`] |
 //! | E9 | replicated models@runtime: journal shipping, failover, fencing | [`e9`] |
 //! | E10 | online runtime verification: in-stream journal monitors | [`e10`] |
+//! | E13 | durable-storage fault tolerance: self-healing journal | [`e13`] |
 //!
 //! The same functions back the micro-benches (`benches/`, via [`micro`])
 //! and the `experiments` binary that prints the paper-style tables.
@@ -29,6 +30,7 @@ pub mod artifacts;
 pub mod e1;
 pub mod e10;
 pub mod e11;
+pub mod e13;
 pub mod e2;
 pub mod e3;
 pub mod e4;

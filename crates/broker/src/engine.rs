@@ -138,6 +138,10 @@ pub struct RecoveryReport {
     pub clock_us: u64,
     /// Invariants checked on the recovered model.
     pub invariants_checked: u64,
+    /// Unreadable trailing records the torn-tail policy dropped (0 for a
+    /// clean journal). When nonzero, the truncation was journaled as a
+    /// `Note` so the repair is itself durable.
+    pub torn_records_dropped: u64,
 }
 
 /// A broker engine configured entirely by a broker model.
@@ -896,7 +900,11 @@ impl GenericBroker {
         let text = std::str::from_utf8(j.bytes())
             .map_err(|e| BrokerError::RecoveryDiverged(format!("journal is not UTF-8: {e}")))?;
         let mut clean = None;
-        for line in text.lines().rev().filter(|l| l.starts_with("snap ")) {
+        for line in text
+            .lines()
+            .rev()
+            .filter(|l| journal::line_payload(l).starts_with("snap "))
+        {
             let JournalRecord::Snapshot { state, .. } = journal::parse_line(line)? else {
                 return Err(BrokerError::RecoveryDiverged(
                     "snapshot record is corrupt".to_owned(),
@@ -964,9 +972,18 @@ impl GenericBroker {
     /// Turns on write-ahead journaling over a fresh in-memory sink, taking
     /// an initial full snapshot (so replay always has a base even when the
     /// state was already mutated) and then a new snapshot every
-    /// `snapshot_every` journal entries.
+    /// `snapshot_every` journal entries. Records are CRC-framed.
     pub fn enable_journal(&mut self, snapshot_every: u64) {
+        self.enable_journal_with(snapshot_every, true);
+    }
+
+    /// Like [`GenericBroker::enable_journal`] but choosing the journal
+    /// dialect: `framed` wraps every record in the versioned CRC32 frame
+    /// (the default elsewhere), `false` writes the legacy unframed format
+    /// — the naive baseline E13 measures against.
+    pub fn enable_journal_with(&mut self, snapshot_every: u64, framed: bool) {
         let mut j = Journal::over(Box::new(MemorySink::new()), snapshot_every);
+        j.set_framed(framed);
         // Deployment-time analysis warnings go into the durable stream
         // first, so a post-mortem always sees what the analyzer flagged.
         for w in self.analysis.warnings() {
@@ -988,6 +1005,17 @@ impl GenericBroker {
     /// when journaling was never enabled.
     pub fn journal_bytes(&self) -> Option<&[u8]> {
         self.journal.as_ref().map(Journal::bytes)
+    }
+
+    /// Appends a free-form `Note` to the journal (operator breadcrumbs,
+    /// repair provenance). A no-op when journaling is off; replay ignores
+    /// notes, so this never perturbs recovery.
+    pub fn journal_note(&mut self, text: &str) {
+        if let Some(j) = self.journal.as_mut() {
+            j.record(&JournalRecord::Note {
+                text: text.to_owned(),
+            });
+        }
     }
 
     /// `(entries, snapshots)` appended so far, when journaling is on.
@@ -1120,6 +1148,14 @@ impl GenericBroker {
     /// The recovered broker journals into a sink pre-loaded with the old
     /// bytes and appends a fresh snapshot, so a later crash replays only a
     /// short tail.
+    ///
+    /// A torn tail (crash mid-append left the final record(s) unreadable)
+    /// is self-healing: the journal is truncated to the last complete
+    /// record, the truncation is journaled as a `Note`, and recovery
+    /// continues — the report carries `torn_records_dropped`. Interior
+    /// damage is the typed [`BrokerError::JournalDamaged`]; see
+    /// [`crate::replication::recover_with_anti_entropy`] for the standby
+    /// repair path.
     pub fn recover(
         model: &Model,
         hub: ResourceHub,
@@ -1145,9 +1181,26 @@ impl GenericBroker {
         broker.events = recovered.events;
         broker.epoch = recovered.epoch;
 
-        // Resume journaling over the inherited history, and checkpoint the
-        // recovered state immediately.
-        let mut j = Journal::over(Box::new(MemorySink::with_bytes(journal_bytes.to_vec())), 0);
+        // Resume journaling over the inherited history — cut at the torn
+        // tail first, so the unreadable garbage never survives into the
+        // resumed journal — and checkpoint the recovered state
+        // immediately. The resumed journal keeps its history's dialect
+        // (framed vs legacy) so the byte stream stays self-consistent.
+        let mut inherited = journal_bytes.to_vec();
+        if let Some(t) = &recovered.torn {
+            inherited.truncate(t.offset as usize);
+        }
+        let framed = inherited.is_empty() || journal::is_framed(&inherited);
+        let mut j = Journal::over(Box::new(MemorySink::with_bytes(inherited)), 0);
+        j.set_framed(framed);
+        if let Some(t) = &recovered.torn {
+            j.record(&JournalRecord::Note {
+                text: format!(
+                    "torn tail: dropped {} unreadable record(s) at offset {} after lsn {}: {}",
+                    t.dropped_lines, t.offset, t.last_lsn, t.why
+                ),
+            });
+        }
         j.record(&JournalRecord::Snapshot {
             state: broker.state.snapshot(),
             clock_us: broker.clock_us,
@@ -1164,6 +1217,7 @@ impl GenericBroker {
             recovered_version: broker.state.version(),
             clock_us: broker.clock_us,
             invariants_checked: invariants.len() as u64,
+            torn_records_dropped: recovered.torn.as_ref().map_or(0, |t| t.dropped_lines),
         };
         Ok((broker, report))
     }
@@ -1480,8 +1534,14 @@ mod tests {
         b.enable_journal(0);
         b.call("doIt", &args(&[])).unwrap();
         let text = String::from_utf8(b.journal_bytes().unwrap().to_vec()).unwrap();
-        let opc = text.lines().filter(|l| l.starts_with("opc ")).count();
-        let op = text.lines().filter(|l| l.starts_with("op ")).count();
+        let opc = text
+            .lines()
+            .filter(|l| journal::line_payload(l).starts_with("opc "))
+            .count();
+        let op = text
+            .lines()
+            .filter(|l| journal::line_payload(l).starts_with("op "))
+            .count();
         assert_eq!((opc, op), (1, 1), "journal:\n{text}");
         assert_eq!(b.state().int("hot"), Some(3));
         let snap = b.state().snapshot();
@@ -1976,11 +2036,15 @@ mod tests {
             GenericBroker::recover(&model(), hub(), &bytes, &["self."]).expect_err("must refuse");
         assert!(matches!(err, BrokerError::MonitorParse { ref monitor, .. } if monitor == "self."));
 
-        // And corrupt journal bytes.
+        // And corrupt journal bytes: an appended record whose LSN gaps
+        // means committed history is missing — the typed damage error,
+        // carrying position (the gap is discovered at the appended line).
         let mut corrupt = bytes.clone();
         corrupt.extend_from_slice(b"op 99 int x 1\n");
         let err = GenericBroker::recover(&model(), hub(), &corrupt, &[]).expect_err("must refuse");
-        assert!(matches!(err, BrokerError::RecoveryDiverged(_)));
+        assert!(
+            matches!(err, BrokerError::JournalDamaged { offset, .. } if offset == bytes.len() as u64)
+        );
     }
 
     #[test]
@@ -2144,7 +2208,11 @@ mod tests {
         b.call("openSession", &args(&[("peer", "a")])).unwrap();
         assert_eq!(b.corrupt_state("opens", "-3").len(), 1);
         let text = String::from_utf8(b.journal_bytes().unwrap().to_vec()).unwrap();
-        let last_snap = text.lines().rev().find(|l| l.starts_with("snap ")).unwrap();
+        let last_snap = text
+            .lines()
+            .rev()
+            .find(|l| journal::line_payload(l).starts_with("snap "))
+            .unwrap();
         assert!(
             last_snap.contains("mon_trips"),
             "newest snapshot must hold the latched violation: {last_snap}"

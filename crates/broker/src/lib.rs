@@ -60,10 +60,13 @@ pub use admission::{AdmissionController, AdmissionDecision, CallMeta, ShedReason
 pub use analysis::{analyze, op_footprint};
 pub use autonomic::{BrownoutController, BrownoutMode, BrownoutTransition};
 pub use engine::{AdmittedOutcome, BrokerCallResult, GenericBroker, RecoveryReport};
-pub use journal::{Journal, JournalSink, MemorySink};
+pub use journal::{Journal, JournalSink, MemorySink, TornTail};
 pub use model::{broker_metamodel, BrokerModelBuilder, Resilience};
 pub use monitor::{CompiledMonitor, MonitorSet, MonitorTrip};
-pub use replication::{ReplicationConfig, Replicator, ShipMode, Standby};
+pub use replication::{
+    recover_with_anti_entropy, repair_journal, JournalRepair, ReplicationConfig, Replicator,
+    ShipMode, Standby,
+};
 pub use state::StateManager;
 pub use supervisor::{RestartPolicy, Supervisor, SupervisorDecision};
 
@@ -87,6 +90,20 @@ pub enum BrokerError {
     /// Crash recovery found the journal and the rebuilt runtime model in
     /// disagreement (LSN gap, corrupt record, or a violated invariant).
     RecoveryDiverged(String),
+    /// The durable journal failed verification *inside* committed history:
+    /// a record whose CRC or parse failed (or an LSN gap) with readable
+    /// records after it — bit-rot or a lying disk, not a crash-torn tail.
+    /// Recovery refuses to guess; the journal must be healed (anti-entropy
+    /// from a standby's mirror, [`replication::repair_journal`]) or the
+    /// component quarantined.
+    JournalDamaged {
+        /// Last LSN known good before the damaged region.
+        lsn: u64,
+        /// Byte offset of the first unreadable (or gap-revealing) record.
+        offset: u64,
+        /// What failed verification.
+        why: String,
+    },
     /// Split-brain fence: a journal record arrived from an epoch older
     /// than the receiver's — a stale primary kept writing after a standby
     /// was promoted, and its writes are refused.
@@ -138,6 +155,10 @@ impl std::fmt::Display for BrokerError {
             BrokerError::PolicyFailed(m) => write!(f, "policy evaluation failed: {m}"),
             BrokerError::BadPlanStep(m) => write!(f, "bad change-plan step: {m}"),
             BrokerError::RecoveryDiverged(m) => write!(f, "recovery diverged: {m}"),
+            BrokerError::JournalDamaged { lsn, offset, why } => write!(
+                f,
+                "journal damaged after lsn {lsn} (byte offset {offset}): {why}"
+            ),
             BrokerError::StaleEpoch { got, current } => write!(
                 f,
                 "stale epoch: record from epoch {got} refused by epoch {current}"

@@ -616,6 +616,133 @@ pub fn reconcile(
     ))
 }
 
+/// What [`repair_journal`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRepair {
+    /// Journal lines the damaged local copy and the mirror share (longest
+    /// common prefix).
+    pub common_lines: usize,
+    /// Mirror lines fetched past the common prefix — the anti-entropy
+    /// transfer that replaced the damaged region.
+    pub fetched_lines: usize,
+    /// Readable local lines past the mirror's head that were kept (writes
+    /// appended after the last ship, which the mirror never saw).
+    pub kept_tail_lines: usize,
+    /// Size of the healed journal (bytes).
+    pub healed_bytes: usize,
+}
+
+/// Anti-entropy repair of a damaged journal from a standby's mirror.
+///
+/// The mirror is a byte-for-byte copy of every shipped line, so healing
+/// is the [`reconcile`] diff run the other way around: the damaged local
+/// journal and the mirror are diffed line-by-line to the divergence
+/// point, the mirror is taken as authoritative from there (it holds the
+/// records the disk gave back wrong — the missing LSN range), and any
+/// *readable* local lines beyond the mirror's head (appends the primary
+/// made after its last ship) are kept, stopping at the first unreadable
+/// one — that suffix is the torn garbage the tail policy would drop
+/// anyway. The healed journal must then replay cleanly end-to-end
+/// ([`journal::replay`]); if it does not — the damage extends past what
+/// the mirror covers — the error propagates and the caller falls back to
+/// quarantine.
+pub fn repair_journal(local: &[u8], standby: &Standby) -> Result<(Vec<u8>, JournalRepair)> {
+    let mirror = standby.journal_bytes();
+    if mirror.is_empty() {
+        return Err(BrokerError::RecoveryDiverged(
+            "anti-entropy repair needs a standby mirror, but the mirror is empty".to_owned(),
+        ));
+    }
+    let l_lines: Vec<&[u8]> = local.split_inclusive(|&b| b == b'\n').collect();
+    let m_lines: Vec<&[u8]> = mirror.split_inclusive(|&b| b == b'\n').collect();
+    let common = m_lines
+        .iter()
+        .zip(&l_lines)
+        .take_while(|(m, l)| m == l)
+        .count();
+    let mut healed = mirror.to_vec();
+    let mut kept_tail_lines = 0usize;
+    for raw in l_lines.iter().skip(m_lines.len()) {
+        let Some(line) = raw
+            .strip_suffix(b"\n")
+            .and_then(|b| std::str::from_utf8(b).ok())
+        else {
+            break;
+        };
+        if journal::parse_line(line).is_err() {
+            break;
+        }
+        healed.extend_from_slice(raw);
+        kept_tail_lines += 1;
+    }
+    let replayed = journal::replay(&healed)?;
+    if replayed.torn.is_some() {
+        return Err(BrokerError::RecoveryDiverged(
+            "anti-entropy repair left a torn tail — mirror does not cover the damage".to_owned(),
+        ));
+    }
+    let report = JournalRepair {
+        common_lines: common,
+        fetched_lines: m_lines.len() - common,
+        kept_tail_lines,
+        healed_bytes: healed.len(),
+    };
+    Ok((healed, report))
+}
+
+/// Recovery with the anti-entropy fallback: ordinary
+/// [`GenericBroker::recover`] when the journal is clean or merely torn
+/// *and* the standby holds nothing beyond it; otherwise the journal is
+/// first healed from the mirror with [`repair_journal`] and recovery runs
+/// over the healed bytes. Repair triggers on:
+///
+/// * interior [`BrokerError::JournalDamaged`] — bit-rot the mirror can
+///   replace;
+/// * a torn tail that cut below what the standby already applied
+///   (acknowledged records must never be lost);
+/// * a mirror that extends past the local journal's intact prefix — a
+///   *clean* tail loss (unsynced writes dropped by a power cut) leaves no
+///   torn marker and may drop only command records (which carry no LSN),
+///   so it is only visible by comparing against the mirror.
+///
+/// The repair provenance is journaled as a `Note` on the recovered
+/// instance.
+pub fn recover_with_anti_entropy(
+    model: &Model,
+    hub: ResourceHub,
+    journal_bytes: &[u8],
+    invariants: &[&str],
+    standby: &Standby,
+) -> Result<(GenericBroker, RecoveryReport, Option<JournalRepair>)> {
+    let mirror = standby.journal_bytes();
+    let needs_repair = match journal::replay(journal_bytes) {
+        Err(BrokerError::JournalDamaged { .. }) => true,
+        Err(e) => return Err(e),
+        Ok(r) => {
+            let intact = match &r.torn {
+                Some(t) => &journal_bytes[..t.offset as usize],
+                None => journal_bytes,
+            };
+            (mirror.len() > intact.len() && mirror.starts_with(intact))
+                || r.state.version() < standby.applied_lsn()
+        }
+    };
+    if !needs_repair {
+        let (broker, report) = GenericBroker::recover(model, hub, journal_bytes, invariants)?;
+        return Ok((broker, report, None));
+    }
+    let (healed, repair) = repair_journal(journal_bytes, standby)?;
+    let (mut broker, report) = GenericBroker::recover(model, hub, &healed, invariants)?;
+    broker.journal_note(&format!(
+        "anti-entropy repair from standby {}: {} common line(s), {} fetched, {} kept from tail",
+        standby.node(),
+        repair.common_lines,
+        repair.fetched_lines,
+        repair.kept_tail_lines
+    ));
+    Ok((broker, report, Some(repair)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -896,5 +1023,224 @@ mod tests {
             standby.state().int("count"),
             Some(SNAPSHOT_EVERY as i64 + 5)
         );
+    }
+
+    /// First index at or after `from` whose byte is not a newline — a safe
+    /// place to flip a bit without merging journal lines.
+    fn non_newline_at(bytes: &[u8], from: usize) -> usize {
+        (from..bytes.len())
+            .find(|&i| bytes[i] != b'\n')
+            .expect("a non-newline byte past the midpoint")
+    }
+
+    /// A fully-synced primary/standby pair plus a pristine copy of the
+    /// primary's journal bytes, after `calls` increments.
+    fn synced_pair(calls: u32) -> (GenericBroker, Standby, Vec<u8>) {
+        let mut broker = primary();
+        let mut rep = Replicator::from_model(&model(), "a").unwrap().unwrap();
+        let mut standby = Standby::new("b");
+        let net = net();
+        for _ in 0..calls {
+            broker.call("inc", &args(&[])).unwrap();
+            drain(&mut rep, &net, &broker, &mut standby, 4);
+        }
+        assert!(rep.synced());
+        let pristine = broker.journal_bytes().unwrap().to_vec();
+        (broker, standby, pristine)
+    }
+
+    #[test]
+    fn anti_entropy_heals_interior_damage_byte_identically() {
+        let m = model();
+        let (_broker, standby, pristine) = synced_pair(6);
+        // Bit-rot an interior line: flip one payload byte in the middle of
+        // the journal. The CRC frame catches it; replay refuses.
+        let mid = non_newline_at(&pristine, pristine.len() / 2);
+        let mut damaged = pristine.clone();
+        damaged[mid] ^= 0x01;
+        assert!(matches!(
+            journal::replay(&damaged),
+            Err(BrokerError::JournalDamaged { .. })
+        ));
+        // The standby's mirror covers the damage: the healed journal is
+        // byte-identical to the pristine one.
+        let (healed, repair) = repair_journal(&damaged, &standby).unwrap();
+        assert_eq!(
+            healed, pristine,
+            "healed journal must match the undamaged one"
+        );
+        assert!(repair.fetched_lines > 0);
+        assert_eq!(
+            repair.kept_tail_lines, 0,
+            "fully synced: no local-only tail"
+        );
+        // End-to-end: recovery with the anti-entropy fallback rebuilds the
+        // exact pre-damage state and journals the repair provenance.
+        let (recovered, _report, rep) =
+            recover_with_anti_entropy(&m, hub(), &damaged, &[], &standby).unwrap();
+        assert_eq!(rep.as_ref(), Some(&repair));
+        assert_eq!(recovered.state().int("count"), Some(6));
+        assert_eq!(recovered.state().first_divergence(standby.state()), None);
+        let text = std::str::from_utf8(recovered.journal_bytes().unwrap()).unwrap();
+        assert!(
+            text.lines()
+                .map(journal::line_payload)
+                .any(|p| p.starts_with("note ") && p.contains("anti-entropy")),
+            "repair provenance must be journaled"
+        );
+    }
+
+    #[test]
+    fn torn_tail_below_the_ack_point_is_healed_not_dropped() {
+        // Satellite guarantee: torn-tail truncation never loses a record
+        // the standby already acknowledged. Tear into the journal's final
+        // line — which the standby HAS applied — and recover.
+        let m = model();
+        let (_broker, standby, pristine) = synced_pair(5);
+        // Tear into the last *op* line (the record that carries an LSN);
+        // everything after it goes with the tear.
+        let text = std::str::from_utf8(&pristine).unwrap();
+        let mut op_start = 0;
+        let mut offset = 0;
+        for raw in text.split_inclusive('\n') {
+            if journal::line_payload(raw.trim_end_matches('\n')).starts_with("op ") {
+                op_start = offset;
+            }
+            offset += raw.len();
+        }
+        let cut = op_start + 5; // mid-record: the line is unreadable
+        let torn = &pristine[..cut];
+        // Plain replay shrugs: torn tail, drop the partial record. But the
+        // ack window says that record was committed — plain recovery would
+        // silently lose it.
+        let r = journal::replay(torn).unwrap();
+        let t = r.torn.as_ref().expect("tail is torn");
+        assert!(standby.applied_lsn() > t.last_lsn, "acked past the tear");
+        // The anti-entropy path refuses to lose it: heal from the mirror.
+        let (recovered, report, rep) =
+            recover_with_anti_entropy(&m, hub(), torn, &[], &standby).unwrap();
+        assert!(rep.is_some(), "ack-window check must force a repair");
+        assert_eq!(report.torn_records_dropped, 0);
+        assert_eq!(recovered.state().int("count"), Some(5), "no committed loss");
+        assert_eq!(recovered.state().version(), standby.applied_lsn());
+    }
+
+    #[test]
+    fn unacked_torn_tail_recovers_locally_without_repair() {
+        // A tear in records the standby never acknowledged is the normal
+        // crash-torn-tail case: truncate and continue, no repair needed.
+        let m = model();
+        let (mut broker, standby, _) = synced_pair(4);
+        let net = net();
+        net.partition_node("b");
+        // One more call that never ships: its records are unacked.
+        broker.call("inc", &args(&[])).unwrap();
+        let bytes = broker.journal_bytes().unwrap();
+        let last_line_start = bytes[..bytes.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |i| i + 1);
+        let torn = &bytes[..last_line_start + 3];
+        let (recovered, report, rep) =
+            recover_with_anti_entropy(&m, hub(), torn, &[], &standby).unwrap();
+        assert!(rep.is_none(), "unacked tear needs no standby round-trip");
+        assert_eq!(report.torn_records_dropped, 1);
+        // The unacked in-flight record is (correctly) gone; everything
+        // acknowledged survives.
+        assert!(recovered.state().version() >= standby.applied_lsn());
+    }
+
+    #[test]
+    fn clean_tail_loss_is_caught_by_the_mirror_not_the_checksum() {
+        // A power cut that drops not-yet-synced writes leaves a journal
+        // ending on a clean record boundary: every surviving line passes
+        // its CRC and the lost tail may hold only command records, which
+        // carry no LSN. Checksums and the ack window are both blind —
+        // only the mirror comparison sees the loss.
+        let m = model();
+        let (_broker, standby, pristine) = synced_pair(4);
+        let lines: Vec<&[u8]> = pristine.split_inclusive(|&b| b == b'\n').collect();
+        let cut: usize = lines[..lines.len() - 1].iter().map(|l| l.len()).sum();
+        let clipped = &pristine[..cut];
+        let r = journal::replay(clipped).unwrap();
+        assert!(r.torn.is_none(), "a clean cut leaves no torn marker");
+        let (recovered, _report, rep) =
+            recover_with_anti_entropy(&m, hub(), clipped, &[], &standby).unwrap();
+        assert!(rep.is_some(), "the mirror comparison must force a repair");
+        assert_eq!(recovered.state().int("count"), Some(4));
+        let jb = recovered.journal_bytes().unwrap();
+        assert!(
+            jb.starts_with(&pristine),
+            "the healed journal restores the dropped tail byte-identically"
+        );
+    }
+
+    #[test]
+    fn repair_keeps_readable_local_writes_past_the_mirror() {
+        // Writes appended after the last ship exist only locally; a repair
+        // triggered by interior damage must keep them.
+        let m = model();
+        let (mut broker, standby, _) = synced_pair(3);
+        let net = net();
+        net.partition_node("b");
+        broker.call("inc", &args(&[])).unwrap(); // local-only, readable
+        let pristine = broker.journal_bytes().unwrap().to_vec();
+        let local_only_lines = pristine
+            .split_inclusive(|&b| b == b'\n')
+            .count()
+            .saturating_sub(
+                standby
+                    .journal_bytes()
+                    .split_inclusive(|&b| b == b'\n')
+                    .count(),
+            );
+        assert!(
+            local_only_lines >= 2,
+            "the unshipped call left lines behind"
+        );
+        let mut damaged = pristine.clone();
+        // Interior damage inside the mirror-covered prefix.
+        let flip_at = non_newline_at(&damaged, standby.journal_bytes().len() / 2);
+        damaged[flip_at] ^= 0x01;
+        let (healed, repair) = repair_journal(&damaged, &standby).unwrap();
+        assert_eq!(healed, pristine);
+        assert_eq!(
+            repair.kept_tail_lines, local_only_lines,
+            "every readable local-only line survives the repair"
+        );
+        let (recovered, _report, rep) =
+            recover_with_anti_entropy(&m, hub(), &damaged, &[], &standby).unwrap();
+        assert!(rep.is_some());
+        assert_eq!(recovered.state().int("count"), Some(4));
+    }
+
+    #[test]
+    fn repair_refuses_an_empty_mirror_and_drops_unreadable_local_tails() {
+        // Empty mirror: nothing to heal from.
+        let empty = Standby::new("b");
+        let damaged = b"v1 00000000 op 1 int x 1\n";
+        match repair_journal(damaged, &empty) {
+            Err(BrokerError::RecoveryDiverged(msg)) => assert!(msg.contains("empty"), "{msg}"),
+            other => panic!("expected RecoveryDiverged, got {other:?}"),
+        }
+        // Corruption in a local-only (never-shipped, unacked) tail line:
+        // the mirror cannot vouch for it, so the repair keeps readable
+        // local lines up to the damage and drops the rest — the healed
+        // journal replays clean with no torn tail.
+        let (mut broker, standby, _) = synced_pair(2);
+        let net = net();
+        net.partition_node("b");
+        broker.call("inc", &args(&[])).unwrap();
+        let mut damaged = broker.journal_bytes().unwrap().to_vec();
+        let n = damaged.len();
+        damaged[n - 4] ^= 0x01; // corrupt the final local-only line
+        let (healed, repair) = repair_journal(&damaged, &standby).unwrap();
+        let r = journal::replay(&healed).unwrap();
+        assert!(r.torn.is_none(), "healed journal must not be torn");
+        assert_eq!(
+            repair.kept_tail_lines, 1,
+            "the readable op line survives; the corrupt cmd line is dropped"
+        );
+        assert_eq!(r.state.int("count"), Some(3), "readable local write kept");
     }
 }

@@ -98,6 +98,21 @@ pub enum SupervisorDecision {
         /// The tripped monitor's name.
         monitor: String,
     },
+    /// The component's durable journal failed verification
+    /// ([`crate::BrokerError::JournalDamaged`]) and it has a designated
+    /// reachable standby: heal the journal from the standby's mirror
+    /// (anti-entropy, [`crate::replication::repair_journal`]) and resume
+    /// ordinary recovery. When no standby exists the symptom degrades to
+    /// [`SupervisorDecision::Quarantine`] instead — there is nothing to
+    /// repair from, so the component must not serve from a lying disk.
+    RepairJournal {
+        /// The component whose journal is damaged.
+        component: String,
+        /// The standby whose mirror the journal is healed from.
+        standby: String,
+        /// What recovery reported (the `JournalDamaged` rendering).
+        reason: String,
+    },
 }
 
 impl SupervisorDecision {
@@ -107,7 +122,8 @@ impl SupervisorDecision {
             SupervisorDecision::Restart { component, .. }
             | SupervisorDecision::Escalate { component }
             | SupervisorDecision::Failover { component, .. }
-            | SupervisorDecision::Quarantine { component, .. } => component,
+            | SupervisorDecision::Quarantine { component, .. }
+            | SupervisorDecision::RepairJournal { component, .. } => component,
         }
     }
 }
@@ -213,6 +229,20 @@ impl Supervisor {
             self.state.set_int(&key("montrip", component), 1);
             self.state
                 .set_str(&key("montrip_monitor", component), monitor);
+        }
+    }
+
+    /// Feeds a journal-damage report
+    /// ([`crate::BrokerError::JournalDamaged`]) into the supervisor's
+    /// runtime model as a symptom: the next [`Supervisor::tick`] emits
+    /// [`SupervisorDecision::RepairJournal`] when the component has a
+    /// reachable designated standby (whose mirror can heal the journal),
+    /// falling back to [`SupervisorDecision::Quarantine`] when none
+    /// exists. Unknown components are ignored.
+    pub fn note_journal_damage(&mut self, component: &str, detail: &str) {
+        if self.known(component) {
+            self.state.set_int(&key("jdamage", component), 1);
+            self.state.set_str(&key("jdamage_why", component), detail);
         }
     }
 
@@ -342,6 +372,40 @@ impl Supervisor {
                     .unwrap_or_default()
                     .to_owned();
                 decisions.push(SupervisorDecision::Quarantine { component, monitor });
+            }
+        }
+        // Journal-damage symptoms: the component's durable store failed
+        // verification. With a reachable standby the mirror can heal the
+        // journal (anti-entropy); without one, the component must not
+        // serve from a lying disk — quarantine. The flag is consumed (one
+        // decision per report), like monitor trips.
+        for component in self.components.clone() {
+            if self.escalated(&component) || self.awaiting_rejoin(&component) {
+                continue;
+            }
+            if self.state.int(&key("jdamage", &component)) == Some(1) {
+                self.state.set_int(&key("jdamage", &component), 0);
+                let reason = self
+                    .state
+                    .str(&key("jdamage_why", &component))
+                    .unwrap_or_default()
+                    .to_owned();
+                let standby = self
+                    .standbys
+                    .get(&component)
+                    .filter(|s| self.reachable(s))
+                    .cloned();
+                decisions.push(match standby {
+                    Some(standby) => SupervisorDecision::RepairJournal {
+                        component,
+                        standby,
+                        reason,
+                    },
+                    None => SupervisorDecision::Quarantine {
+                        component,
+                        monitor: "journal".to_owned(),
+                    },
+                });
             }
         }
         for component in self.components.clone() {
@@ -672,6 +736,63 @@ mod tests {
         // The symptom was consumed: quiet until the next trip.
         s.heartbeat("b", SimTime::from_millis(11));
         assert!(s.tick(SimTime::from_millis(12)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn journal_damage_repairs_from_a_reachable_standby() {
+        let mut s = Supervisor::new(&["a", "b"], policy());
+        s.designate_standby("a", "b");
+        s.heartbeat("a", SimTime::from_millis(9));
+        s.heartbeat("b", SimTime::from_millis(9));
+        s.note_journal_damage("a", "crc mismatch at lsn 7");
+        s.note_journal_damage("ghost", "ignored"); // unknown: ignored
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert_eq!(
+            d,
+            vec![SupervisorDecision::RepairJournal {
+                component: "a".into(),
+                standby: "b".into(),
+                reason: "crc mismatch at lsn 7".into(),
+            }]
+        );
+        assert_eq!(s.restarts("a"), 0, "repair is not a restart");
+        // The symptom was consumed: quiet until the next report.
+        s.heartbeat("a", SimTime::from_millis(11));
+        s.heartbeat("b", SimTime::from_millis(11));
+        assert!(s.tick(SimTime::from_millis(12)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn journal_damage_without_a_usable_standby_quarantines() {
+        // No standby designated: nothing can heal the journal, and the
+        // component must not serve from a lying disk.
+        let mut s = Supervisor::new(&["a", "b"], policy());
+        s.heartbeat("a", SimTime::from_millis(9));
+        s.heartbeat("b", SimTime::from_millis(9));
+        s.note_journal_damage("a", "bit rot");
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert_eq!(
+            d,
+            vec![SupervisorDecision::Quarantine {
+                component: "a".into(),
+                monitor: "journal".into(),
+            }]
+        );
+        // A designated but unreachable standby is no better.
+        let mut s = Supervisor::new(&["a", "b"], policy());
+        s.designate_standby("a", "b");
+        s.heartbeat("a", SimTime::from_millis(9));
+        s.note_partitioned("b", true);
+        s.note_journal_damage("a", "bit rot");
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert!(
+            d.iter().any(|x| matches!(
+                x,
+                SupervisorDecision::Quarantine { component, monitor }
+                    if component == "a" && monitor == "journal"
+            )),
+            "{d:?}"
+        );
     }
 
     #[test]

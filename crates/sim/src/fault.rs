@@ -52,6 +52,10 @@ pub fn fault_metamodel() -> Metamodel {
                 "LoadNormal",
                 "FailoverTo",
                 "CorruptState",
+                "TornWrite",
+                "BitFlip",
+                "DropUnsynced",
+                "TruncateSnapshot",
             ],
         )
         .class("FaultPlan", |c| {
@@ -198,6 +202,39 @@ pub enum FaultAction {
         /// The corrupt value (integers are written as ints).
         value: String,
     },
+    /// A crash mid-append tears the final journal record of a component's
+    /// durable store: only the first `bytes` bytes of the last record make
+    /// it to disk (the E13 storage campaigns). Apply with [`tear_tail`].
+    TornWrite {
+        /// Middleware component whose journal is torn.
+        component: String,
+        /// Bytes of the final record that survive the tear.
+        bytes: u64,
+    },
+    /// Bit-rot: one bit of the component's durable journal flips in place
+    /// (a lying disk, a decaying medium). Apply with [`flip_bit`].
+    BitFlip {
+        /// Middleware component whose journal rots.
+        component: String,
+        /// Byte position to corrupt (reduced modulo the journal length).
+        offset: u64,
+    },
+    /// A power cut drops unsynced writes: the last `records` complete
+    /// journal records vanish without a trace (clean truncation — nothing
+    /// for a checksum to catch). Apply with [`drop_tail_records`].
+    DropUnsynced {
+        /// Middleware component whose tail writes are lost.
+        component: String,
+        /// Complete records dropped from the tail.
+        records: u64,
+    },
+    /// The newest snapshot record is cut short on disk (a torn multi-block
+    /// write inside the journal's largest record). Apply with
+    /// [`truncate_newest_snapshot`].
+    TruncateSnapshot {
+        /// Middleware component whose snapshot is truncated.
+        component: String,
+    },
 }
 
 impl FaultAction {
@@ -232,6 +269,19 @@ impl FaultAction {
             FaultAction::LoadSpike { .. } | FaultAction::LoadNormal { .. }
         )
     }
+
+    /// Whether this action damages a component's durable storage (its
+    /// journal or snapshots) rather than its process, its resources, or
+    /// the network.
+    pub fn is_storage(&self) -> bool {
+        matches!(
+            self,
+            FaultAction::TornWrite { .. }
+                | FaultAction::BitFlip { .. }
+                | FaultAction::DropUnsynced { .. }
+                | FaultAction::TruncateSnapshot { .. }
+        )
+    }
 }
 
 /// Receiver of middleware-level fault events: whatever supervises (or
@@ -256,6 +306,18 @@ pub trait ComponentTarget {
     /// a corrupt value. Default no-op so targets without runtime
     /// verification need not handle it.
     fn corrupt_state(&mut self, _component: &str, _key: &str, _value: &str) {}
+    /// The final record of the component's durable journal is torn: only
+    /// its first `bytes` bytes reach disk. Default no-op so targets
+    /// without durable storage need not handle storage faults.
+    fn torn_write(&mut self, _component: &str, _bytes: u64) {}
+    /// One bit of the component's durable journal flips at `offset`
+    /// (reduced modulo the journal length). Default no-op.
+    fn bit_flip(&mut self, _component: &str, _offset: u64) {}
+    /// The last `records` complete journal records vanish (unsynced
+    /// writes lost to a power cut). Default no-op.
+    fn drop_unsynced(&mut self, _component: &str, _records: u64) {}
+    /// The newest snapshot record is cut short on disk. Default no-op.
+    fn truncate_snapshot(&mut self, _component: &str) {}
 }
 
 /// A compiled fault event: an action at a virtual-time instant.
@@ -320,6 +382,18 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+}
+
+/// Parses a `key=value` peer field into a `u64` parameter.
+fn peer_u64(kv: &str, key: &str, kind: &str, target: &str) -> Result<u64, FaultError> {
+    kv.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| {
+            FaultError::BadPlan(format!(
+                "{kind} event on `{target}` needs peer `{key}=<u64>`, got `{kv}`"
+            ))
+        })
 }
 
 fn compile_event(model: &Model, e: ObjectId) -> Result<FaultEvent, FaultError> {
@@ -398,6 +472,21 @@ fn compile_event(model: &Model, e: ObjectId) -> Result<FaultEvent, FaultError> {
                 value: value.to_owned(),
             }
         }
+        // The storage-fault parameters ride in `peer` as `key=value`, like
+        // CorruptState (the fault metamodel stays a flat event record).
+        "TornWrite" => FaultAction::TornWrite {
+            bytes: peer_u64(&peer?, "bytes", "TornWrite", &target)?,
+            component: target,
+        },
+        "BitFlip" => FaultAction::BitFlip {
+            offset: peer_u64(&peer?, "offset", "BitFlip", &target)?,
+            component: target,
+        },
+        "DropUnsynced" => FaultAction::DropUnsynced {
+            records: peer_u64(&peer?, "records", "DropUnsynced", &target)?,
+            component: target,
+        },
+        "TruncateSnapshot" => FaultAction::TruncateSnapshot { component: target },
         other => return Err(FaultError::BadPlan(format!("unknown fault kind `{other}`"))),
     };
     Ok(FaultEvent {
@@ -545,6 +634,44 @@ impl FaultPlanBuilder {
         b.model
             .set_attr(e, "peer", Value::from(format!("{key}={value}").as_str()));
         b
+    }
+
+    /// Tears the final journal record of `component` at `at`: only its
+    /// first `bytes` bytes survive on disk.
+    pub fn torn_write(self, at: SimTime, component: &str, bytes: u64) -> Self {
+        let mut b = self.event(at, "TornWrite", component);
+        let e = b.last_event();
+        b.model
+            .set_attr(e, "peer", Value::from(format!("bytes={bytes}").as_str()));
+        b
+    }
+
+    /// Flips one bit of `component`'s durable journal at byte `offset`
+    /// (reduced modulo the journal length) at `at`.
+    pub fn bit_flip(self, at: SimTime, component: &str, offset: u64) -> Self {
+        let mut b = self.event(at, "BitFlip", component);
+        let e = b.last_event();
+        b.model
+            .set_attr(e, "peer", Value::from(format!("offset={offset}").as_str()));
+        b
+    }
+
+    /// Drops the last `records` complete journal records of `component`
+    /// at `at` (unsynced writes lost to a power cut).
+    pub fn drop_unsynced(self, at: SimTime, component: &str, records: u64) -> Self {
+        let mut b = self.event(at, "DropUnsynced", component);
+        let e = b.last_event();
+        b.model.set_attr(
+            e,
+            "peer",
+            Value::from(format!("records={records}").as_str()),
+        );
+        b
+    }
+
+    /// Cuts `component`'s newest on-disk snapshot record short at `at`.
+    pub fn truncate_snapshot(self, at: SimTime, component: &str) -> Self {
+        self.event(at, "TruncateSnapshot", component)
     }
 
     /// Finishes and returns the fault-plan model.
@@ -815,6 +942,172 @@ pub fn random_corruption_campaign(name: &str, seed: u64, cfg: &CorruptionCampaig
     b.build()
 }
 
+// -- Storage-fault byte transforms ------------------------------------------
+//
+// Pure functions over newline-delimited journal bytes: the fault driver
+// delivers a storage event to the harness's `ComponentTarget`, and the
+// harness applies the matching transform to the bytes it holds. Keeping
+// them here (not in the broker) keeps the damage model independent of the
+// journal's record grammar — these functions know only about lines.
+
+/// A crash mid-append: every complete record survives, but only the first
+/// `keep` bytes of the final line do. The result never ends on a clean
+/// record boundary (at least one byte of the final line is always cut, so
+/// the tear is visible as a partial record, not mistaken for a clean
+/// shorter journal).
+pub fn tear_tail(bytes: &[u8], keep: u64) -> Vec<u8> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    let start = bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    let line_len = bytes.len() - start;
+    // Keep at most line_len - 1 bytes: the trailing newline (and at least
+    // one byte before it, when the line has any) never survives.
+    let kept = (keep as usize).min(line_len.saturating_sub(1));
+    bytes[..start + kept].to_vec()
+}
+
+/// Bit-rot: XORs the low bit of one byte, at `offset` reduced modulo the
+/// journal length. Newline bytes are skipped (the next non-newline byte is
+/// hit instead) so the damage corrupts a record's *content* rather than
+/// splicing two records together — the lying-disk scenario, not a framing
+/// rewrite.
+pub fn flip_bit(bytes: &[u8], offset: u64) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let start = (offset as usize) % out.len();
+    let idx = (0..out.len())
+        .map(|d| (start + d) % out.len())
+        .find(|&i| out[i] != b'\n');
+    if let Some(i) = idx {
+        out[i] ^= 0x01;
+    }
+    out
+}
+
+/// A power cut drops unsynced writes: the last `records` complete lines
+/// vanish without a trace. The cut is clean — every surviving byte is
+/// intact — which is exactly why a checksum alone cannot detect it.
+pub fn drop_tail_records(bytes: &[u8], records: u64) -> Vec<u8> {
+    let lines: Vec<&[u8]> = bytes.split_inclusive(|&b| b == b'\n').collect();
+    let keep = lines.len().saturating_sub(records as usize);
+    lines[..keep].concat()
+}
+
+/// Cuts the newest snapshot record short: the last line whose payload
+/// starts with `snap ` (seen through an optional `v1 <crc> ` frame) loses
+/// the second half of its content, keeping the trailing newline so the
+/// line count is preserved — a torn multi-block write inside the journal's
+/// largest record. Journals without a snapshot are returned unchanged.
+pub fn truncate_newest_snapshot(bytes: &[u8]) -> Vec<u8> {
+    fn is_snap(line: &[u8]) -> bool {
+        let payload = match line.strip_prefix(b"v1 ") {
+            // `v1 <8 hex> <payload>`: skip the checksum field.
+            Some(rest) if rest.len() > 9 && rest[8] == b' ' => &rest[9..],
+            _ => line,
+        };
+        payload.starts_with(b"snap ")
+    }
+    let lines: Vec<&[u8]> = bytes.split_inclusive(|&b| b == b'\n').collect();
+    let Some(target) = lines
+        .iter()
+        .rposition(|l| is_snap(l.strip_suffix(b"\n").unwrap_or(l)))
+    else {
+        return bytes.to_vec();
+    };
+    let mut out = Vec::with_capacity(bytes.len());
+    for (i, line) in lines.iter().enumerate() {
+        if i != target {
+            out.extend_from_slice(line);
+            continue;
+        }
+        let content = line.strip_suffix(b"\n").unwrap_or(line);
+        out.extend_from_slice(&content[..content.len() / 2]);
+        if line.ends_with(b"\n") {
+            out.push(b'\n');
+        }
+    }
+    out
+}
+
+/// Shape of a randomized *storage* campaign (the E13 workload): a
+/// component's durable journal is hit by torn writes, bit flips, dropped
+/// unsynced tails, and truncated snapshots at seeded instants. There are
+/// no heal events — detecting and repairing the damage is the job of the
+/// checksummed journal and the anti-entropy path.
+#[derive(Debug, Clone)]
+pub struct StorageCampaignConfig {
+    /// Middleware component whose durable storage is damaged.
+    pub component: String,
+    /// Campaign horizon: no event fires at or after this instant.
+    pub horizon: SimDuration,
+    /// Mean time between storage faults (exponential).
+    pub mean_uptime: SimDuration,
+    /// Probability a fault is a torn final write.
+    pub torn_chance: f64,
+    /// Probability a fault is a bit flip (after the torn roll).
+    pub flip_chance: f64,
+    /// Probability a fault drops unsynced tail records (after torn and
+    /// flip); the remainder truncates the newest snapshot.
+    pub drop_chance: f64,
+    /// Upper bound on the bytes a torn write leaves of the final record.
+    pub max_torn_bytes: u64,
+    /// Upper bound on the records a power cut drops from the tail.
+    pub max_drop_records: u64,
+}
+
+impl Default for StorageCampaignConfig {
+    fn default() -> Self {
+        StorageCampaignConfig {
+            component: String::new(),
+            horizon: SimDuration::from_millis(10_000),
+            mean_uptime: SimDuration::from_millis(1_500),
+            torn_chance: 0.35,
+            flip_chance: 0.3,
+            drop_chance: 0.2,
+            max_torn_bytes: 24,
+            max_drop_records: 3,
+        }
+    }
+}
+
+/// Generates a randomized storage plan: faults arrive at exponentially-
+/// distributed intervals until the horizon, each rolled into a torn write,
+/// a bit flip (at a seeded offset), a dropped unsynced tail, or a
+/// truncated snapshot per the configured chances. Deterministic in `seed`
+/// — the same seed always yields the identical model.
+pub fn random_storage_campaign(name: &str, seed: u64, cfg: &StorageCampaignConfig) -> Model {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut b = FaultPlanBuilder::new(name).seed(seed);
+    let mut t = 0u64;
+    loop {
+        let up = rng.exponential(cfg.mean_uptime.as_micros() as f64).max(1.0) as u64;
+        t = t.saturating_add(up);
+        if t >= cfg.horizon.as_micros() {
+            break;
+        }
+        let at = SimTime::from_micros(t);
+        let roll = rng.unit();
+        b = if roll < cfg.torn_chance {
+            let bytes = rng.range(1, cfg.max_torn_bytes.max(1) + 1);
+            b.torn_write(at, &cfg.component, bytes)
+        } else if roll < cfg.torn_chance + cfg.flip_chance {
+            b.bit_flip(at, &cfg.component, rng.next_u64() >> 16)
+        } else if roll < cfg.torn_chance + cfg.flip_chance + cfg.drop_chance {
+            let records = rng.range(1, cfg.max_drop_records.max(1) + 1);
+            b.drop_unsynced(at, &cfg.component, records)
+        } else {
+            b.truncate_snapshot(at, &cfg.component)
+        };
+    }
+    b.build()
+}
+
 /// Executes a compiled [`FaultPlan`] against the simulation substrate as
 /// virtual time advances.
 ///
@@ -965,6 +1258,26 @@ fn apply_action(
         } => {
             if let Some(t) = target {
                 t.corrupt_state(component, key, value);
+            }
+        }
+        FaultAction::TornWrite { component, bytes } => {
+            if let Some(t) = target {
+                t.torn_write(component, *bytes);
+            }
+        }
+        FaultAction::BitFlip { component, offset } => {
+            if let Some(t) = target {
+                t.bit_flip(component, *offset);
+            }
+        }
+        FaultAction::DropUnsynced { component, records } => {
+            if let Some(t) = target {
+                t.drop_unsynced(component, *records);
+            }
+        }
+        FaultAction::TruncateSnapshot { component } => {
+            if let Some(t) = target {
+                t.truncate_snapshot(component);
             }
         }
     }
@@ -1380,6 +1693,168 @@ mod tests {
             },
         );
         assert!(FaultPlan::from_model(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn storage_events_reach_the_component_target() {
+        #[derive(Default)]
+        struct Store(Vec<String>);
+        impl ComponentTarget for Store {
+            fn crash_component(&mut self, _: &str) {}
+            fn stall_component(&mut self, _: &str) {}
+            fn torn_write(&mut self, c: &str, bytes: u64) {
+                self.0.push(format!("tear {c} {bytes}"));
+            }
+            fn bit_flip(&mut self, c: &str, offset: u64) {
+                self.0.push(format!("flip {c} {offset}"));
+            }
+            fn drop_unsynced(&mut self, c: &str, records: u64) {
+                self.0.push(format!("drop {c} {records}"));
+            }
+            fn truncate_snapshot(&mut self, c: &str) {
+                self.0.push(format!("snap {c}"));
+            }
+        }
+
+        let model = FaultPlanBuilder::new("p")
+            .torn_write(SimTime::from_millis(10), "broker.a", 7)
+            .bit_flip(SimTime::from_millis(20), "broker.a", 12345)
+            .drop_unsynced(SimTime::from_millis(30), "broker.a", 2)
+            .truncate_snapshot(SimTime::from_millis(40), "broker.a")
+            .build();
+        conformance::check(&model, &fault_metamodel()).unwrap();
+        let plan = FaultPlan::from_model(&model).unwrap();
+        assert!(plan.events().iter().all(|e| e.action.is_storage()));
+        assert!(plan.events().iter().all(|e| !e.action.is_network()));
+
+        let mut driver = FaultDriver::new(&plan);
+        let mut hub = hub();
+        let mut store = Store::default();
+        driver.advance_full(SimTime::from_millis(40), &mut hub, None, Some(&mut store));
+        assert_eq!(
+            store.0,
+            vec![
+                "tear broker.a 7".to_string(),
+                "flip broker.a 12345".to_string(),
+                "drop broker.a 2".to_string(),
+                "snap broker.a".to_string(),
+            ]
+        );
+
+        // A storage event with a malformed parameter does not compile.
+        let mut bad = FaultPlanBuilder::new("p").build();
+        let p = bad.all_of_class("FaultPlan")[0];
+        let e = bad.create("FaultEvent");
+        bad.set_attr(e, "atUs", Value::from(0));
+        bad.set_attr(e, "kind", Value::enumeration("FaultKind", "BitFlip"));
+        bad.set_attr(e, "target", Value::from("broker.a"));
+        bad.set_attr(e, "peer", Value::from("offset=lots"));
+        bad.add_ref(p, "events", e);
+        let err = FaultPlan::from_model(&bad).unwrap_err();
+        assert!(matches!(err, FaultError::BadPlan(m) if m.contains("offset=<u64>")));
+    }
+
+    #[test]
+    fn tear_tail_always_leaves_a_partial_final_record() {
+        let bytes = b"op 1 int x 1\nop 2 int x 2\n";
+        // Even a generous keep never preserves the whole final line.
+        for keep in 0..64u64 {
+            let torn = tear_tail(bytes, keep);
+            assert!(torn.len() < bytes.len(), "keep={keep}");
+            assert!(torn.starts_with(b"op 1 int x 1\n"), "keep={keep}");
+            assert!(!torn.ends_with(b"\n") || torn == b"op 1 int x 1\n");
+        }
+        assert_eq!(tear_tail(bytes, 3), b"op 1 int x 1\nop ".to_vec());
+        assert_eq!(tear_tail(b"", 5), Vec::<u8>::new());
+        // A single-line journal tears to a prefix of that line.
+        assert_eq!(tear_tail(b"op 1 int x 1\n", 4), b"op 1".to_vec());
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_non_newline_byte() {
+        let bytes = b"op 1 int x 1\nop 2 int x 2\n";
+        for offset in [0u64, 5, 12, 13, 25, 26, 1_000_003] {
+            let flipped = flip_bit(bytes, offset);
+            assert_eq!(flipped.len(), bytes.len());
+            let diffs: Vec<usize> = (0..bytes.len())
+                .filter(|&i| flipped[i] != bytes[i])
+                .collect();
+            assert_eq!(diffs.len(), 1, "offset={offset}");
+            assert_ne!(bytes[diffs[0]], b'\n', "newlines are never the victim");
+            assert_eq!(flipped[diffs[0]], bytes[diffs[0]] ^ 0x01);
+        }
+        assert!(flip_bit(b"", 9).is_empty());
+    }
+
+    #[test]
+    fn drop_tail_records_cuts_cleanly() {
+        let bytes = b"a 1\nb 2\nc 3\n";
+        assert_eq!(drop_tail_records(bytes, 0), bytes.to_vec());
+        assert_eq!(drop_tail_records(bytes, 1), b"a 1\nb 2\n".to_vec());
+        assert_eq!(drop_tail_records(bytes, 2), b"a 1\n".to_vec());
+        assert_eq!(drop_tail_records(bytes, 99), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncate_newest_snapshot_halves_the_last_snap_line() {
+        // Legacy and CRC-framed snap lines are both recognized; only the
+        // newest one is cut, and the line count is preserved.
+        let bytes =
+            b"snap 1 0 0 0 k int 1\nop 2 int x 2\nsnap 2 0 0 0 k int 1 x int 2\nop 3 int x 3\n";
+        let cut = truncate_newest_snapshot(bytes);
+        let lines: Vec<&[u8]> = cut.split_inclusive(|&b| b == b'\n').collect();
+        assert_eq!(lines.len(), 4, "line count preserved");
+        assert_eq!(lines[0], b"snap 1 0 0 0 k int 1\n", "older snap untouched");
+        assert!(lines[2].len() < b"snap 2 0 0 0 k int 1 x int 2\n".len());
+        assert!(lines[2].ends_with(b"\n"));
+        assert_eq!(lines[3], b"op 3 int x 3\n", "tail untouched");
+        // Framed dialect: the v1-prefixed snap line is found too.
+        let framed = b"v1 0123abcd op 1 int x 1\nv1 89abcdef snap 1 0 0 0 x int 1\n";
+        let cut = truncate_newest_snapshot(framed);
+        assert!(cut.len() < framed.len());
+        assert!(cut.ends_with(b"\n"));
+        assert!(cut.starts_with(b"v1 0123abcd op 1 int x 1\n"));
+        // No snapshot: unchanged.
+        assert_eq!(
+            truncate_newest_snapshot(b"op 1 int x 1\n"),
+            b"op 1 int x 1\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn random_storage_campaigns_are_deterministic_and_storage_only() {
+        let cfg = StorageCampaignConfig {
+            component: "broker.a".into(),
+            horizon: SimDuration::from_millis(60_000),
+            ..StorageCampaignConfig::default()
+        };
+        let a = random_storage_campaign("s", 21, &cfg);
+        let b = random_storage_campaign("s", 21, &cfg);
+        assert_eq!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&b));
+        conformance::check(&a, &fault_metamodel()).unwrap();
+        let plan = FaultPlan::from_model(&a).unwrap();
+        assert!(!plan.is_empty(), "default config produces events");
+        for e in plan.events() {
+            assert!(e.at.as_micros() < cfg.horizon.as_micros());
+            assert!(e.action.is_storage(), "{:?}", e.action);
+            match &e.action {
+                FaultAction::TornWrite { component, bytes } => {
+                    assert_eq!(component, "broker.a");
+                    assert!(*bytes >= 1 && *bytes <= cfg.max_torn_bytes);
+                }
+                FaultAction::DropUnsynced { component, records } => {
+                    assert_eq!(component, "broker.a");
+                    assert!(*records >= 1 && *records <= cfg.max_drop_records);
+                }
+                FaultAction::BitFlip { component, .. }
+                | FaultAction::TruncateSnapshot { component } => {
+                    assert_eq!(component, "broker.a");
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        let c = random_storage_campaign("s", 22, &cfg);
+        assert_ne!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&c));
     }
 
     #[test]
