@@ -305,6 +305,19 @@ pub fn required_keys(experiment: &str) -> &'static [&'static str] {
             "overhead_pct",
             "campaigns",
         ],
+        "e14" => &[
+            "seed",
+            "seeds",
+            "calls",
+            "period_ms",
+            "all_consistent",
+            "zero_committed_lost",
+            "replays_byte_identical",
+            "live_goodput_wins",
+            "goodput_live",
+            "goodput_stw",
+            "campaigns",
+        ],
         "e11" => &[
             "seed",
             "seeds",
@@ -382,6 +395,8 @@ mod tests {
         assert_eq!(check_artifact("BENCH_e10.json", &e10).unwrap(), "e10");
         let e13 = crate::e13::run(&[3], 120, 20).to_json();
         assert_eq!(check_artifact("BENCH_e13.json", &e13).unwrap(), "e13");
+        let e14 = crate::e14::run(&[3], 120, 20).to_json();
+        assert_eq!(check_artifact("BENCH_e14.json", &e14).unwrap(), "e14");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! `GenericBroker::from_model` refuse the model, so they fail CI here,
 //! before a release ships an unloadable platform.
 
-use bench::{e10, e11, e6, e7, e8, e9};
+use bench::{e10, e11, e14, e6, e7, e8, e9};
 use mddsm_broker::analyze;
 use mddsm_meta::analysis::Severity;
 
@@ -26,6 +26,12 @@ fn main() {
     models.push(("bench-e8".into(), e8::e8_broker_model()));
     models.push(("bench-e9".into(), e9::e9_broker_model(Some("ack"))));
     models.push(("bench-e10".into(), e10::e10_broker_model(true)));
+    // The E14 live-evolution candidates shipped under examples/: an
+    // unsound candidate must fail here, before it can reach a shadow
+    // phase against live traffic.
+    models.push(("bench-e14-v1".into(), e14::e14_model_v1()));
+    models.push(("bench-e14-v2".into(), e14::e14_model_v2()));
+    models.push(("bench-e14-v3".into(), e14::e14_model_v3()));
 
     let mut errors = 0usize;
     let mut warnings = 0usize;

@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin experiments -- quick   # CI-sized run
 //! ```
 
-use bench::{ablation, e1, e10, e11, e13, e2, e3, e4, e5, e6, e7, e8, e9};
+use bench::{ablation, e1, e10, e11, e13, e14, e2, e3, e4, e5, e6, e7, e8, e9};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +53,9 @@ fn main() {
     }
     if want("e13") {
         run_e13(quick);
+    }
+    if want("e14") {
+        run_e14(quick);
     }
     if want("ablations") {
         run_ablations(quick);
@@ -439,6 +442,67 @@ fn run_e13(quick: bool) {
         r.self_healing_zero_loss,
         r.repairs_byte_identical,
         r.overhead_pct.unwrap_or(0.0)
+    );
+}
+
+fn run_e14(quick: bool) {
+    println!("E14 — live model evolution: hot upgrade under traffic");
+    println!("------------------------------------------------------");
+    let (seeds, calls): (&[u64], u64) = if quick {
+        (&[1, 3], 250)
+    } else {
+        (&[1, 3, 7], 1_000)
+    };
+    let r = e14::run(seeds, calls, 20);
+    println!(
+        "  campaigns: seeds {:?}, {} calls every {} virtual ms, shadow {} calls, probation {} ticks",
+        r.seeds,
+        r.calls,
+        r.period_ms,
+        e14::SHADOW_CALLS,
+        e14::PROBATION_TICKS
+    );
+    for c in &r.campaigns {
+        println!("  seed {}", c.seed);
+        for (name, v) in [("live", &c.live), ("stop-the-world", &c.stw)] {
+            println!(
+                "    {:<14} pushed {:>2} (cutover {:>2} committed {:>2} rolled-back {:>2} crash-abort {:>2} crash-commit {:>2})  crashes {:>2}  storage {:>2}  goodput {:.4}  p99 {:>5} us  lost {:>2}  v{}",
+                name,
+                v.upgrades_pushed,
+                v.cutovers,
+                v.committed,
+                v.rolled_back,
+                v.aborted_by_crash,
+                v.crash_committed,
+                v.crashes,
+                v.storage_faults,
+                v.goodput,
+                v.p99_us,
+                v.committed_lost,
+                v.final_version
+            );
+        }
+    }
+    println!(
+        "  verdicts: all-consistent {}  zero-committed-lost {}  replays-byte-identical {}  live-goodput-wins {} ({:.4} vs {:.4})",
+        r.all_consistent,
+        r.zero_committed_lost,
+        r.replays_byte_identical,
+        r.live_goodput_wins,
+        r.goodput_live,
+        r.goodput_stw
+    );
+    match std::fs::write("BENCH_e14.json", r.to_json()) {
+        Ok(()) => println!("  artifact: BENCH_e14.json"),
+        Err(e) => println!("  artifact: BENCH_e14.json not written: {e}"),
+    }
+    println!(
+        "\n  expectation: every seeded upgrade campaign ends on one consistent committed\n               version (cutover or rollback) with zero committed updates lost;\n               crash-mid-upgrade recovery is byte-identical to a replay and\n               never yields a hybrid model; serving through upgrades beats the\n               stop-the-world restart baseline on goodput\n  measured: consistent={} zero-loss={} byte-identical={} goodput {:.4} live vs {:.4} stw\n",
+        r.all_consistent,
+        r.zero_committed_lost,
+        r.replays_byte_identical,
+        r.goodput_live,
+        r.goodput_stw
     );
 }
 

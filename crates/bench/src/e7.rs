@@ -217,6 +217,9 @@ pub fn run_variant(seed: u64, calls: u64, period_ms: u64, variant: Variant) -> E
             Some(SupervisorDecision::RepairJournal { .. }) => {
                 unreachable!("no journal damage reported in E7")
             }
+            Some(SupervisorDecision::RollbackUpgrade { .. }) => {
+                unreachable!("no live upgrade in flight in E7")
+            }
             Some(SupervisorDecision::Restart { reason, .. }) => {
                 restarts += 1;
                 if reason == "crashed" {

@@ -403,6 +403,9 @@ pub fn run_variant(seed: u64, calls: u64, period_ms: u64, variant: Variant) -> E
                     SupervisorDecision::RepairJournal { .. } => {
                         unreachable!("no journal damage reported in E9")
                     }
+                    SupervisorDecision::RollbackUpgrade { .. } => {
+                        unreachable!("no live upgrade in flight in E9")
+                    }
                 }
             }
 

@@ -188,6 +188,7 @@ pub fn hygiene(model: &Model) -> AnalysisReport {
         ("AdmissionClass", "admission-class"),
         ("BrownoutMode", "brownout-mode"),
         ("ResourceBinding", "binding"),
+        ("StateMigration", "migration"),
     ] {
         let names: Vec<(String, String)> = model
             .all_of_class(class)
@@ -229,6 +230,20 @@ pub fn hygiene(model: &Model) -> AnalysisReport {
                     );
                 }
             }
+        }
+    }
+    // Declared state migrations are domain writes too: one that targets
+    // the reserved monitor memory could forge or clear trip latches at
+    // cutover (the evolution protocol manages `mon_*` carryover itself).
+    for m in model.all_of_class("StateMigration") {
+        let name = attr_or_empty(model, m, "name");
+        let key = attr_or_empty(model, m, "key");
+        if key.starts_with("mon_") {
+            report.error(
+                "reserved-key",
+                &format!("migration:{name}"),
+                format!("state migration writes reserved monitor memory `{key}`"),
+            );
         }
     }
     report
@@ -496,6 +511,21 @@ pub fn analyze(model: &Model) -> AnalysisReport {
             "repl_lag_alert",
         ] {
             note_key(&mut keys, k.into(), KeyType::Int);
+        }
+    }
+    // Declared state migrations introduce their target keys at cutover,
+    // so candidate policies/monitors may reference them; the value's
+    // shape decides the type (an empty value unsets and adds no key).
+    for m in model.all_of_class("StateMigration") {
+        let key = attr_or_empty(model, m, "key");
+        let value = attr_or_empty(model, m, "value");
+        if !key.is_empty() && !value.is_empty() {
+            let ty = if value.parse::<i64>().is_ok() {
+                KeyType::Int
+            } else {
+                KeyType::Str
+            };
+            note_key(&mut keys, key, ty);
         }
     }
     note_key(&mut keys, "mon_trips".into(), KeyType::Int);

@@ -167,6 +167,9 @@ pub struct GenericBroker {
     journal: Option<Journal>,
     /// Fencing epoch this engine serves under (1 until a promotion).
     epoch: u64,
+    /// Runtime-model version this engine interprets (1 until a live
+    /// upgrade cuts over; each cutover journals the new version).
+    model_version: u64,
     /// Compiled in-stream runtime monitors; `None` when the model declares
     /// no `Monitor` objects.
     monitors: Option<MonitorSet>,
@@ -397,6 +400,7 @@ impl GenericBroker {
             clock_us: 0,
             journal: None,
             epoch: 1,
+            model_version: 1,
             monitors,
             monitor_trips: Vec::new(),
             analysis,
@@ -1039,6 +1043,106 @@ impl GenericBroker {
         }
     }
 
+    /// The runtime-model version this engine currently interprets (1
+    /// until a live upgrade cuts over).
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+
+    /// Swaps the compiled interpretation of this engine for `model`'s —
+    /// handlers, policies, bindings, autonomic rules, admission classes,
+    /// brownout modes, monitors, and the analysis report — while keeping
+    /// the live runtime state, journal, virtual clock, epoch, counters,
+    /// and resource hub untouched. The candidate passes the full
+    /// `from_model` validation pipeline (conformance, eager expression
+    /// parsing, monitor compilation, static analysis) before anything is
+    /// grafted, so a bad candidate leaves the engine exactly as it was.
+    ///
+    /// This changes only the in-memory interpretation; it journals
+    /// nothing. Callers drive the durable protocol through
+    /// [`GenericBroker::commit_upgrade`] (see [`crate::evolution`]).
+    pub fn adopt_model(&mut self, model: &Model) -> Result<()> {
+        // Compile into a throwaway engine first: all-or-nothing.
+        let compiled = Self::from_model(model, ResourceHub::new(0))?;
+        self.name = compiled.name;
+        self.handlers = compiled.handlers;
+        self.policies = compiled.policies;
+        self.bindings = compiled.bindings;
+        self.autonomic = compiled.autonomic;
+        // The throwaway's freshly seeded state is discarded: the live
+        // state already holds the old model's admission cells, and the
+        // evolution protocol journals seeds for *new* classes as
+        // migration ops inside the cutover record.
+        self.admission = compiled.admission;
+        self.brownout = compiled.brownout;
+        self.monitors = compiled.monitors;
+        self.analysis = compiled.analysis;
+        if self.monitors.is_some() {
+            self.state.record_ops(true);
+        }
+        Ok(())
+    }
+
+    /// Durably commits a model cutover: flushes pending state ops,
+    /// checkpoints the pre-upgrade state, applies the migration writes
+    /// `mutate` performs, and journals them *inside* a single versioned
+    /// [`JournalRecord::Upgrade`] line — the torn-tail policy keeps or
+    /// drops that line wholesale, so a crash anywhere in the protocol
+    /// recovers to pure pre-upgrade or pure post-upgrade state, never a
+    /// hybrid. A fresh post-upgrade snapshot follows. Returns the state
+    /// version at the commit point.
+    ///
+    /// `model_version` is the version the engine serves from here on (a
+    /// rollback passes the pre-upgrade version again); `tag` is
+    /// human-readable provenance journaled with the record.
+    pub fn commit_upgrade(
+        &mut self,
+        model_version: u64,
+        tag: &str,
+        mutate: &mut dyn FnMut(&mut StateManager),
+    ) -> Result<u64> {
+        if self.journal.is_none() {
+            return Err(BrokerError::UpgradeRefused {
+                stage: "cutover".into(),
+                reasons: vec!["journaling is off: a cutover must be durable".into()],
+            });
+        }
+        // WAL order: everything the old model wrote lands before the
+        // pre-upgrade checkpoint.
+        self.journal_state_ops();
+        let pre = JournalRecord::Snapshot {
+            state: self.state.snapshot(),
+            clock_us: self.clock_us,
+            calls: self.calls,
+            events: self.events,
+        };
+        if let Some(j) = self.journal.as_mut() {
+            j.record(&pre);
+        }
+        self.state.record_ops(true);
+        mutate(&mut self.state);
+        let ops = self.state.take_ops();
+        let up = JournalRecord::Upgrade {
+            version: model_version,
+            tag: tag.to_owned(),
+            ops,
+        };
+        if let Some(j) = self.journal.as_mut() {
+            j.record(&up);
+        }
+        self.model_version = model_version;
+        let post = JournalRecord::Snapshot {
+            state: self.state.snapshot(),
+            clock_us: self.clock_us,
+            calls: self.calls,
+            events: self.events,
+        };
+        if let Some(j) = self.journal.as_mut() {
+            j.record(&post);
+        }
+        Ok(self.state.version())
+    }
+
     /// Compacts the journal down to the newest snapshot at or below `lsn`
     /// (typically the replica-acknowledged LSN). Returns bytes reclaimed;
     /// 0 when journaling is off or no snapshot qualifies.
@@ -1180,6 +1284,7 @@ impl GenericBroker {
         broker.calls = recovered.calls;
         broker.events = recovered.events;
         broker.epoch = recovered.epoch;
+        broker.model_version = recovered.model_version;
 
         // Resume journaling over the inherited history — cut at the torn
         // tail first, so the unreadable garbage never survives into the

@@ -145,6 +145,23 @@ pub enum JournalRecord {
         /// The annotation text.
         text: String,
     },
+    /// An atomic model cutover: the broker switched to runtime-model
+    /// version `version`, applying the embedded state-migration ops in the
+    /// same record. One line = one cutover — the torn-tail policy either
+    /// keeps the whole record (new model, migrations applied) or drops it
+    /// wholesale (old model, untouched state), so recovery can never see a
+    /// hybrid. Shipped to the standby like any other record so failover
+    /// mid-upgrade resolves to one consistent version under epoch fencing.
+    Upgrade {
+        /// The model version now live (monotone across upgrades; a
+        /// rollback re-journals the pre-upgrade version).
+        version: u64,
+        /// Human-readable provenance (candidate model name / reason).
+        tag: String,
+        /// Declared state migrations + engine reseeds, applied as
+        /// ordinary LSN'd ops inside the cutover record.
+        ops: Vec<StateOp>,
+    },
     /// A full state snapshot plus the engine counters at snapshot time.
     Snapshot {
         /// The state at snapshot time.
@@ -253,6 +270,12 @@ fn payload_into(line: &mut String, rec: &JournalRecord) {
         }
         JournalRecord::Note { text } => {
             let _ = write!(line, "note {}", escape(text));
+        }
+        JournalRecord::Upgrade { version, tag, ops } => {
+            let _ = write!(line, "up {version} {} {}", escape(tag), ops.len());
+            for op in ops {
+                let _ = write!(line, " {}", frame_op_body(op));
+            }
         }
         JournalRecord::Snapshot {
             state,
@@ -509,6 +532,16 @@ fn parse_record(line: &str) -> Result<JournalRecord> {
         "note" => Ok(JournalRecord::Note {
             text: unescape(f.next().unwrap_or_default())?,
         }),
+        "up" => {
+            let version = parse_u64(f.next(), "model version")?;
+            let tag = unescape(f.next().ok_or_else(|| bad("missing upgrade tag"))?)?;
+            let n = parse_u64(f.next(), "op count")?;
+            let mut ops = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                ops.push(parse_op_body(&mut f)?);
+            }
+            Ok(JournalRecord::Upgrade { version, tag, ops })
+        }
         "snap" => {
             let version = parse_u64(f.next(), "version")?;
             let clock_us = parse_u64(f.next(), "clock")?;
@@ -701,9 +734,18 @@ impl Journal {
         let epoch_line = text[..cut]
             .split_inclusive('\n')
             .rfind(|l| line_payload(l.trim_end_matches('\n')).starts_with("ep "));
+        // Likewise the newest upgrade record: its version (not its
+        // already-snapshotted migration ops) must survive compaction so
+        // replay still knows which model is live.
+        let upgrade_line = text[..cut]
+            .split_inclusive('\n')
+            .rfind(|l| line_payload(l.trim_end_matches('\n')).starts_with("up "));
         let mut kept = Vec::with_capacity(bytes.len() - cut + 16);
         if let Some(ep) = epoch_line {
             kept.extend_from_slice(ep.as_bytes());
+        }
+        if let Some(up) = upgrade_line {
+            kept.extend_from_slice(up.as_bytes());
         }
         kept.extend_from_slice(&bytes[cut..]);
         let reclaimed = bytes.len() - kept.len();
@@ -752,6 +794,9 @@ pub struct Recovered {
     pub snapshot_version: u64,
     /// The newest epoch fence in the journal (1 when none was recorded).
     pub epoch: u64,
+    /// The runtime-model version the newest `Upgrade` record put live
+    /// (1 when the journal predates live evolution).
+    pub model_version: u64,
     /// The torn tail the tail-scan policy dropped, when the journal ended
     /// in unreadable record(s). The caller must truncate the durable bytes
     /// at `torn.offset` before appending anything.
@@ -806,6 +851,7 @@ fn last_lsn_in(lines: &[ScannedLine]) -> u64 {
         .filter_map(|l| match &l.rec {
             Ok(JournalRecord::Op(op)) => Some(op.lsn()),
             Ok(JournalRecord::OpCoalesced { op, .. }) => Some(op.lsn()),
+            Ok(JournalRecord::Upgrade { ops, .. }) => ops.last().map(StateOp::lsn),
             Ok(JournalRecord::Snapshot { state, .. }) => Some(state.version),
             _ => None,
         })
@@ -885,13 +931,18 @@ pub fn replay(bytes: &[u8]) -> Result<Recovered> {
     let mut commands_replayed = 0u64;
     let mut snapshot_version = 0u64;
     let mut epoch = 1u64;
+    let mut model_version = 1u64;
 
-    // Epoch fences live outside snapshots; scan the prefix the snapshot
-    // cut skips so a fence recorded before the newest snapshot survives.
+    // Epoch fences and upgrade versions live outside snapshots; scan the
+    // prefix the snapshot cut skips so a fence (or cutover) recorded
+    // before the newest snapshot survives. Only the version is read here —
+    // the embedded migration ops are already baked into the snapshot.
     if let Some(s) = start {
         for (_, rec) in &records[..s] {
-            if let JournalRecord::Epoch { epoch: e } = rec {
-                epoch = *e;
+            match rec {
+                JournalRecord::Epoch { epoch: e } => epoch = *e,
+                JournalRecord::Upgrade { version, .. } => model_version = *version,
+                _ => {}
             }
         }
     }
@@ -943,6 +994,15 @@ pub fn replay(bytes: &[u8]) -> Result<Recovered> {
             JournalRecord::Epoch { epoch: e } => {
                 epoch = *e;
             }
+            JournalRecord::Upgrade { version, ops, .. } => {
+                for op in ops {
+                    state
+                        .apply_op(op)
+                        .map_err(|e| apply_damage(&state, *offset, e))?;
+                    ops_replayed += 1;
+                }
+                model_version = *version;
+            }
             JournalRecord::Note { .. } => {}
         }
     }
@@ -958,6 +1018,7 @@ pub fn replay(bytes: &[u8]) -> Result<Recovered> {
         commands_replayed,
         snapshot_version,
         epoch,
+        model_version,
         torn,
     })
 }
@@ -1017,6 +1078,31 @@ mod tests {
             }),
             cmd(77),
             JournalRecord::Clock { clock_us: 99 },
+            JournalRecord::Upgrade {
+                version: 2,
+                tag: "candidate v2 (two words)".into(),
+                ops: vec![
+                    StateOp::SetStr {
+                        lsn: 6,
+                        key: "svc mode".into(),
+                        value: "lite%".into(),
+                    },
+                    StateOp::SetInt {
+                        lsn: 7,
+                        key: "adm_bulk_tokens".into(),
+                        value: 4_000,
+                    },
+                    StateOp::Unset {
+                        lsn: 8,
+                        key: "mon_old_tripped".into(),
+                    },
+                ],
+            },
+            JournalRecord::Upgrade {
+                version: 3,
+                tag: "no-migrations".into(),
+                ops: Vec::new(),
+            },
         ];
         for r in &records {
             let line = frame(r);
@@ -1232,6 +1318,62 @@ mod tests {
         assert!(j.truncate_to(live.version()) > 0);
         let r = replay(j.bytes()).unwrap();
         assert_eq!(r.epoch, 3, "fence survives compaction");
+        assert_eq!(r.state.int("y"), Some(7));
+    }
+
+    #[test]
+    fn upgrade_records_replay_and_survive_the_snapshot_cut() {
+        // No upgrade recorded: version defaults to 1.
+        assert_eq!(replay(b"op 1 int x 1\n").unwrap().model_version, 1);
+        // An upgrade in the tail applies its embedded migration ops.
+        let r = replay(b"op 1 int x 1\nup 2 cand 2 2 int x 7 3 str mode lite\n").unwrap();
+        assert_eq!(r.model_version, 2);
+        assert_eq!(r.state.int("x"), Some(7));
+        assert_eq!(r.state.str("mode"), Some("lite"));
+        assert_eq!(r.state.version(), 3);
+        assert_eq!(r.ops_replayed, 3);
+        // An upgrade *before* the newest snapshot contributes only its
+        // version (the ops are baked into the snapshot).
+        let r = replay(b"up 2 cand 1 1 int x 7\nsnap 1 0 0 0 x int 7\n").unwrap();
+        assert_eq!(r.model_version, 2);
+        assert_eq!(r.state.int("x"), Some(7));
+        assert_eq!(r.ops_replayed, 0);
+        // A rollback re-journals the pre-upgrade version: latest wins.
+        let r = replay(b"up 2 cand 0\nup 1 rollback 0\n").unwrap();
+        assert_eq!(r.model_version, 1);
+        // An embedded op with an LSN gap is damage like any other op.
+        assert!(matches!(
+            replay(b"up 2 cand 1 5 int x 1\n"),
+            Err(BrokerError::JournalDamaged { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_upgrade_records_drop_wholesale() {
+        // A cutover record missing its trailing newline was never
+        // committed: the torn-tail policy drops the whole line, so
+        // recovery sees the pure pre-upgrade state (never a hybrid with
+        // some migrations applied).
+        let r = replay(b"op 1 int x 1\nup 2 cand 2 2 int x 7 3 str mode lite").unwrap();
+        assert_eq!(r.model_version, 1);
+        assert_eq!(r.state.int("x"), Some(1));
+        assert_eq!(r.state.str("mode"), None);
+        let torn = r.torn.expect("tail was torn");
+        assert_eq!(torn.dropped_lines, 1);
+        assert_eq!(torn.last_lsn, 1);
+    }
+
+    #[test]
+    fn truncate_to_preserves_the_upgrade_version() {
+        let (j, live) = journal_with_two_snapshots();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"ep 3\nup 2 cand 0\n");
+        bytes.extend_from_slice(j.bytes());
+        let mut j = Journal::over(Box::new(MemorySink::with_bytes(bytes)), 0);
+        assert!(j.truncate_to(live.version()) > 0);
+        let r = replay(j.bytes()).unwrap();
+        assert_eq!(r.epoch, 3, "fence survives compaction");
+        assert_eq!(r.model_version, 2, "live version survives compaction");
         assert_eq!(r.state.int("y"), Some(7));
     }
 

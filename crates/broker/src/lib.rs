@@ -49,6 +49,7 @@ pub mod analysis;
 pub mod autonomic;
 pub mod components;
 pub mod engine;
+pub mod evolution;
 pub mod journal;
 pub mod model;
 pub mod monitor;
@@ -60,6 +61,9 @@ pub use admission::{AdmissionController, AdmissionDecision, CallMeta, ShedReason
 pub use analysis::{analyze, op_footprint};
 pub use autonomic::{BrownoutController, BrownoutMode, BrownoutTransition};
 pub use engine::{AdmittedOutcome, BrokerCallResult, GenericBroker, RecoveryReport};
+pub use evolution::{
+    classify_changes, recover_versioned, DeltaClass, LiveUpgrade, UpgradeOutcome, UpgradePhase,
+};
 pub use journal::{Journal, JournalSink, MemorySink, TornTail};
 pub use model::{broker_metamodel, BrokerModelBuilder, Resilience};
 pub use monitor::{CompiledMonitor, MonitorSet, MonitorTrip};
@@ -131,6 +135,15 @@ pub enum BrokerError {
         /// What the monitor saw.
         detail: String,
     },
+    /// A live model upgrade was refused at a named stage of the evolution
+    /// protocol (gate, shadow, cutover) before any state changed — the
+    /// running broker keeps serving under its current model.
+    UpgradeRefused {
+        /// The protocol stage that refused (`gate`, `shadow`, `cutover`).
+        stage: String,
+        /// Every reason for the refusal, not just the first.
+        reasons: Vec<String>,
+    },
     /// An error bubbled up from the modeling substrate.
     Meta(String),
 }
@@ -168,6 +181,17 @@ impl std::fmt::Display for BrokerError {
             }
             BrokerError::MonitorTripped { monitor, detail } => {
                 write!(f, "runtime monitor `{monitor}` tripped: {detail}")
+            }
+            BrokerError::UpgradeRefused { stage, reasons } => {
+                write!(
+                    f,
+                    "live upgrade refused at stage `{stage}` ({} reason(s))",
+                    reasons.len()
+                )?;
+                for r in reasons {
+                    write!(f, "; {r}")?;
+                }
+                Ok(())
             }
             BrokerError::Meta(m) => write!(f, "model error: {m}"),
         }

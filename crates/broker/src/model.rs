@@ -43,7 +43,12 @@ pub fn broker_metamodel() -> Metamodel {
                 .contains("handlers", "Handler", Multiplicity::MANY)
                 .invariant("has-name", "self.name <> \"\"")
         })
-        .class("StateManager", |c| c.extends("Manager"))
+        .class("StateManager", |c| {
+            c.extends("Manager")
+                // Declared state migrations a live upgrade to this model
+                // applies atomically inside its journaled cutover record.
+                .contains("migrations", "StateMigration", Multiplicity::MANY)
+        })
         .class("PolicyManager", |c| {
             c.extends("Manager")
                 .contains("policies", "Policy", Multiplicity::MANY)
@@ -89,6 +94,17 @@ pub fn broker_metamodel() -> Metamodel {
         .class("Monitor", |c| {
             c.attr("name", DataType::Str)
                 .attr("property", DataType::Str)
+        })
+        // A declared state migration: when a live upgrade cuts over to a
+        // model carrying one, `key` is written to `value` (parsed as an
+        // integer when it is one, a string otherwise; an empty value
+        // unsets the key) as an ordinary LSN'd op *inside* the journaled
+        // cutover record, so migrations are exactly as atomic and
+        // replayable as the cutover itself.
+        .class("StateMigration", |c| {
+            c.attr("name", DataType::Str)
+                .attr("key", DataType::Str)
+                .attr_default("value", DataType::Str, Value::from(""))
         })
         .class("Handler", |c| {
             c.attr("name", DataType::Str)
@@ -263,6 +279,7 @@ pub struct BrokerModelBuilder {
     policy_mgr: ObjectId,
     autonomic_mgr: ObjectId,
     resource_mgr: ObjectId,
+    state_mgr: ObjectId,
     // Created lazily on the first admission-class or brownout-mode
     // declaration, so models without overload control stay lean.
     admission_mgr: Option<ObjectId>,
@@ -298,6 +315,7 @@ impl BrokerModelBuilder {
             policy_mgr,
             autonomic_mgr,
             resource_mgr,
+            state_mgr: state,
             admission_mgr: None,
             replication_mgr: None,
             monitor_mgr: None,
@@ -616,6 +634,19 @@ impl BrokerModelBuilder {
         self.model.set_attr(mon, "name", Value::from(name));
         self.model.set_attr(mon, "property", Value::from(property));
         self.model.add_ref(mgr, "monitors", mon);
+        self
+    }
+
+    /// Declares a state migration a live upgrade to this model applies
+    /// atomically at cutover: `key` is written to `value` (parsed as an
+    /// integer when it is one; an empty value unsets the key) inside the
+    /// journaled `Upgrade` record.
+    pub fn migration(mut self, name: &str, key: &str, value: &str) -> Self {
+        let m = self.model.create("StateMigration");
+        self.model.set_attr(m, "name", Value::from(name));
+        self.model.set_attr(m, "key", Value::from(key));
+        self.model.set_attr(m, "value", Value::from(value));
+        self.model.add_ref(self.state_mgr, "migrations", m);
         self
     }
 

@@ -50,11 +50,11 @@ pub fn trip_key(monitor: &str) -> String {
     format!("mon_{monitor}_tripped")
 }
 
-fn period_key(monitor: &str) -> String {
+pub(crate) fn period_key(monitor: &str) -> String {
     format!("mon_{monitor}_per")
 }
 
-fn owner_key(monitor: &str) -> String {
+pub(crate) fn owner_key(monitor: &str) -> String {
     format!("mon_{monitor}_owner")
 }
 

@@ -352,6 +352,7 @@ impl Replicator {
             let lsn = match journal::parse_line(&line)? {
                 JournalRecord::Op(op) => Some(op.lsn()),
                 JournalRecord::OpCoalesced { op, .. } => Some(op.lsn()),
+                JournalRecord::Upgrade { ops, .. } => ops.last().map(|op| op.lsn()),
                 JournalRecord::Snapshot { state, .. } => Some(state.version),
                 _ => None,
             };
@@ -384,6 +385,10 @@ pub struct Standby {
     /// `at-most-one` cells here, never into the mirrored state.
     monitor_memory: BTreeMap<String, String>,
     monitor_trips: Vec<MonitorTrip>,
+    /// Runtime-model version the newest shipped `Upgrade` record put
+    /// live on the primary (1 until one arrives) — so failover
+    /// mid-upgrade promotes under one consistent version.
+    model_version: u64,
 }
 
 impl Standby {
@@ -402,7 +407,14 @@ impl Standby {
             monitors: None,
             monitor_memory: BTreeMap::new(),
             monitor_trips: Vec::new(),
+            model_version: 1,
         }
+    }
+
+    /// Runtime-model version the primary most recently shipped a cutover
+    /// for (1 until any upgrade arrives).
+    pub fn model_version(&self) -> u64 {
+        self.model_version
     }
 
     /// Arms in-stream monitors over the apply path: from here on every
@@ -522,6 +534,18 @@ impl Standby {
                 self.clock_us = clock_us;
                 self.calls = calls;
                 self.events = events;
+                dirty_all = true;
+            }
+            JournalRecord::Upgrade { version, ops, .. } => {
+                // A cutover: apply the embedded migration ops (LSN-checked
+                // like any op) and adopt the shipped model version, so a
+                // promotion after this point serves the new model. The
+                // migrations may touch any watched key, so the monitor
+                // check below re-scans the full watched set.
+                for op in &ops {
+                    self.state.apply_op(op)?;
+                }
+                self.model_version = version;
                 dirty_all = true;
             }
             JournalRecord::Note { .. } => {}

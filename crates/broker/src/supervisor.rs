@@ -113,6 +113,17 @@ pub enum SupervisorDecision {
         /// What recovery reported (the `JournalDamaged` rendering).
         reason: String,
     },
+    /// The component regressed during a live-upgrade probation window —
+    /// a runtime monitor tripped or brownout deepened under the candidate
+    /// model — so the upgrade must be rolled back to the pre-upgrade
+    /// verified snapshot and old model
+    /// ([`crate::evolution::LiveUpgrade::rollback`]).
+    RollbackUpgrade {
+        /// The component serving under the regressing candidate.
+        component: String,
+        /// What regressed (monitor name or brownout signal).
+        reason: String,
+    },
 }
 
 impl SupervisorDecision {
@@ -123,7 +134,8 @@ impl SupervisorDecision {
             | SupervisorDecision::Escalate { component }
             | SupervisorDecision::Failover { component, .. }
             | SupervisorDecision::Quarantine { component, .. }
-            | SupervisorDecision::RepairJournal { component, .. } => component,
+            | SupervisorDecision::RepairJournal { component, .. }
+            | SupervisorDecision::RollbackUpgrade { component, .. } => component,
         }
     }
 }
@@ -243,6 +255,19 @@ impl Supervisor {
         if self.known(component) {
             self.state.set_int(&key("jdamage", component), 1);
             self.state.set_str(&key("jdamage_why", component), detail);
+        }
+    }
+
+    /// Feeds a probation-window regression (monitor trip or brownout
+    /// signal under a freshly cut-over candidate model) into the
+    /// supervisor's runtime model as a symptom: the next
+    /// [`Supervisor::tick`] emits
+    /// [`SupervisorDecision::RollbackUpgrade`] for the component. Unknown
+    /// components are ignored.
+    pub fn note_upgrade_regression(&mut self, component: &str, reason: &str) {
+        if self.known(component) {
+            self.state.set_int(&key("upreg", component), 1);
+            self.state.set_str(&key("upreg_why", component), reason);
         }
     }
 
@@ -406,6 +431,25 @@ impl Supervisor {
                         monitor: "journal".to_owned(),
                     },
                 });
+            }
+        }
+        // Upgrade-regression symptoms: a probation-window monitor trip or
+        // brownout signal under a freshly cut-over candidate model. The
+        // component is alive and its journal intact — the *model* is the
+        // regression — so the decision is a rollback, not a restart. The
+        // flag is consumed (one decision per regression).
+        for component in self.components.clone() {
+            if self.escalated(&component) || self.awaiting_rejoin(&component) {
+                continue;
+            }
+            if self.state.int(&key("upreg", &component)) == Some(1) {
+                self.state.set_int(&key("upreg", &component), 0);
+                let reason = self
+                    .state
+                    .str(&key("upreg_why", &component))
+                    .unwrap_or_default()
+                    .to_owned();
+                decisions.push(SupervisorDecision::RollbackUpgrade { component, reason });
             }
         }
         for component in self.components.clone() {

@@ -56,6 +56,7 @@ pub fn fault_metamodel() -> Metamodel {
                 "BitFlip",
                 "DropUnsynced",
                 "TruncateSnapshot",
+                "BeginUpgrade",
             ],
         )
         .class("FaultPlan", |c| {
@@ -235,6 +236,18 @@ pub enum FaultAction {
         /// Middleware component whose snapshot is truncated.
         component: String,
     },
+    /// Operations pushes a model upgrade while the campaign rages: the
+    /// component must begin a live hot-upgrade to the named candidate
+    /// model (the E14 evolution campaigns). Not itself a fault — the
+    /// point is interleaving upgrades with the crash, corruption, and
+    /// storage events around them.
+    BeginUpgrade {
+        /// Middleware component asked to upgrade.
+        component: String,
+        /// Name of the candidate model to upgrade to (resolved by the
+        /// harness's [`ComponentTarget`]).
+        candidate: String,
+    },
 }
 
 impl FaultAction {
@@ -259,6 +272,7 @@ impl FaultAction {
                 | FaultAction::StallComponent { .. }
                 | FaultAction::FailoverTo { .. }
                 | FaultAction::CorruptState { .. }
+                | FaultAction::BeginUpgrade { .. }
         )
     }
 
@@ -318,6 +332,10 @@ pub trait ComponentTarget {
     fn drop_unsynced(&mut self, _component: &str, _records: u64) {}
     /// The newest snapshot record is cut short on disk. Default no-op.
     fn truncate_snapshot(&mut self, _component: &str) {}
+    /// The component must begin a live hot-upgrade to the candidate
+    /// model named `candidate`. Default no-op so targets without model
+    /// evolution need not handle it.
+    fn begin_upgrade(&mut self, _component: &str, _candidate: &str) {}
 }
 
 /// A compiled fault event: an action at a virtual-time instant.
@@ -487,6 +505,12 @@ fn compile_event(model: &Model, e: ObjectId) -> Result<FaultEvent, FaultError> {
             component: target,
         },
         "TruncateSnapshot" => FaultAction::TruncateSnapshot { component: target },
+        // The candidate model name rides in `peer`, like a failover's
+        // standby.
+        "BeginUpgrade" => FaultAction::BeginUpgrade {
+            component: target,
+            candidate: peer?,
+        },
         other => return Err(FaultError::BadPlan(format!("unknown fault kind `{other}`"))),
     };
     Ok(FaultEvent {
@@ -672,6 +696,15 @@ impl FaultPlanBuilder {
     /// Cuts `component`'s newest on-disk snapshot record short at `at`.
     pub fn truncate_snapshot(self, at: SimTime, component: &str) -> Self {
         self.event(at, "TruncateSnapshot", component)
+    }
+
+    /// Asks `component` to begin a live hot-upgrade to the candidate
+    /// model named `candidate` at `at`.
+    pub fn begin_upgrade(self, at: SimTime, component: &str, candidate: &str) -> Self {
+        let mut b = self.event(at, "BeginUpgrade", component);
+        let e = b.last_event();
+        b.model.set_attr(e, "peer", Value::from(candidate));
+        b
     }
 
     /// Finishes and returns the fault-plan model.
@@ -1108,6 +1141,97 @@ pub fn random_storage_campaign(name: &str, seed: u64, cfg: &StorageCampaignConfi
     b.build()
 }
 
+/// Shape of a randomized *upgrade* campaign (the E14 workload): live model
+/// upgrades are pushed at a component while crash, state-corruption, and
+/// storage faults rage around them — the worst week of operations,
+/// compressed. Candidates are drawn round-robin so every configured model
+/// gets its turn; the faults draw from the same distributions as the E7,
+/// E10, and E13 campaigns.
+#[derive(Debug, Clone)]
+pub struct UpgradeCampaignConfig {
+    /// Middleware component being upgraded (and crashed, and corrupted).
+    pub component: String,
+    /// Candidate model names pushed by `BeginUpgrade` events, in rotation.
+    pub candidates: Vec<String>,
+    /// Candidate corruptions: `(state key, corrupt value)` pairs.
+    pub corruptions: Vec<(String, String)>,
+    /// Campaign horizon: no event fires at or after this instant.
+    pub horizon: SimDuration,
+    /// Mean time between campaign events (exponential).
+    pub mean_gap: SimDuration,
+    /// Probability an event is an upgrade push.
+    pub upgrade_chance: f64,
+    /// Probability an event is a component crash (after the upgrade roll).
+    pub crash_chance: f64,
+    /// Probability an event is a state corruption (after upgrade and
+    /// crash); the remainder is a storage fault (torn write or dropped
+    /// unsynced tail, even odds).
+    pub corrupt_chance: f64,
+    /// Upper bound on the bytes a torn write leaves of the final record.
+    pub max_torn_bytes: u64,
+}
+
+impl Default for UpgradeCampaignConfig {
+    fn default() -> Self {
+        UpgradeCampaignConfig {
+            component: String::new(),
+            candidates: Vec::new(),
+            corruptions: Vec::new(),
+            horizon: SimDuration::from_millis(10_000),
+            mean_gap: SimDuration::from_millis(800),
+            upgrade_chance: 0.3,
+            crash_chance: 0.25,
+            corrupt_chance: 0.2,
+            max_torn_bytes: 24,
+        }
+    }
+}
+
+/// Generates a randomized upgrade-under-fire plan: events arrive at
+/// exponentially-distributed intervals until the horizon, each rolled into
+/// a [`FaultAction::BeginUpgrade`] (candidates rotate), a component crash,
+/// a state corruption, or a storage fault per the configured chances.
+/// Deterministic in `seed` — the same seed always yields the identical
+/// model.
+pub fn random_upgrade_campaign(name: &str, seed: u64, cfg: &UpgradeCampaignConfig) -> Model {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut b = FaultPlanBuilder::new(name).seed(seed);
+    if cfg.candidates.is_empty() {
+        return b.build();
+    }
+    let mut next_candidate = 0usize;
+    let mut t = 0u64;
+    loop {
+        let gap = rng.exponential(cfg.mean_gap.as_micros() as f64).max(1.0) as u64;
+        t = t.saturating_add(gap);
+        if t >= cfg.horizon.as_micros() {
+            break;
+        }
+        let at = SimTime::from_micros(t);
+        let roll = rng.unit();
+        b = if roll < cfg.upgrade_chance {
+            let candidate = &cfg.candidates[next_candidate % cfg.candidates.len()];
+            next_candidate += 1;
+            b.begin_upgrade(at, &cfg.component, candidate)
+        } else if roll < cfg.upgrade_chance + cfg.crash_chance {
+            b.crash_component(at, &cfg.component)
+        } else if roll < cfg.upgrade_chance + cfg.crash_chance + cfg.corrupt_chance
+            && !cfg.corruptions.is_empty()
+        {
+            let pick = (rng.unit() * cfg.corruptions.len() as f64) as usize;
+            let (key, value) = &cfg.corruptions[pick.min(cfg.corruptions.len() - 1)];
+            b.corrupt_state(at, &cfg.component, key, value)
+        } else if rng.chance(0.5) {
+            let bytes = rng.range(1, cfg.max_torn_bytes.max(1) + 1);
+            b.torn_write(at, &cfg.component, bytes)
+        } else {
+            let records = rng.range(1, 3);
+            b.drop_unsynced(at, &cfg.component, records)
+        };
+    }
+    b.build()
+}
+
 /// Executes a compiled [`FaultPlan`] against the simulation substrate as
 /// virtual time advances.
 ///
@@ -1278,6 +1402,14 @@ fn apply_action(
         FaultAction::TruncateSnapshot { component } => {
             if let Some(t) = target {
                 t.truncate_snapshot(component);
+            }
+        }
+        FaultAction::BeginUpgrade {
+            component,
+            candidate,
+        } => {
+            if let Some(t) = target {
+                t.begin_upgrade(component, candidate);
             }
         }
     }
@@ -1855,6 +1987,60 @@ mod tests {
         }
         let c = random_storage_campaign("s", 22, &cfg);
         assert_ne!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&c));
+    }
+
+    #[test]
+    fn random_upgrade_campaigns_interleave_upgrades_with_faults() {
+        let cfg = UpgradeCampaignConfig {
+            component: "broker.a".into(),
+            candidates: vec!["v2".into(), "v3".into()],
+            corruptions: vec![("svc_tier".into(), "mystery".into())],
+            horizon: SimDuration::from_millis(60_000),
+            ..UpgradeCampaignConfig::default()
+        };
+        let a = random_upgrade_campaign("u", 31, &cfg);
+        let b = random_upgrade_campaign("u", 31, &cfg);
+        assert_eq!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&b));
+        conformance::check(&a, &fault_metamodel()).unwrap();
+        let plan = FaultPlan::from_model(&a).unwrap();
+        let mut upgrades = 0;
+        let mut faults = 0;
+        let mut candidates_seen = std::collections::BTreeSet::new();
+        for e in plan.events() {
+            assert!(e.at.as_micros() < cfg.horizon.as_micros());
+            match &e.action {
+                FaultAction::BeginUpgrade {
+                    component,
+                    candidate,
+                } => {
+                    assert_eq!(component, "broker.a");
+                    candidates_seen.insert(candidate.clone());
+                    upgrades += 1;
+                }
+                FaultAction::CrashComponent { .. }
+                | FaultAction::CorruptState { .. }
+                | FaultAction::TornWrite { .. }
+                | FaultAction::DropUnsynced { .. } => faults += 1,
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert!(upgrades > 0, "campaign pushes upgrades");
+        assert!(faults > 0, "campaign interleaves faults");
+        assert_eq!(
+            candidates_seen.len(),
+            2,
+            "round-robin reaches every candidate"
+        );
+        // Without candidates there is nothing to upgrade: empty plan.
+        let empty = random_upgrade_campaign(
+            "u",
+            31,
+            &UpgradeCampaignConfig {
+                candidates: Vec::new(),
+                ..cfg.clone()
+            },
+        );
+        assert!(FaultPlan::from_model(&empty).unwrap().is_empty());
     }
 
     #[test]

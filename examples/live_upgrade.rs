@@ -1,0 +1,136 @@
+//! Live model evolution end-to-end: hot-upgrade a serving broker from
+//! the E14 v1 model to the v2 candidate, then push a second candidate
+//! that regresses in probation and watch the supervisor roll it back.
+//!
+//! The candidate models exercised here are the same ones the
+//! `analyze_models` CI gate checks (`bench-e14-*`), so an unsound
+//! candidate can never reach the shadow phase in CI.
+//!
+//! ```text
+//! cargo run --example live_upgrade
+//! ```
+
+use bench::e14::{e14_model_v1, e14_model_v2, INVARIANTS};
+use mddsm::broker::{
+    recover_versioned, GenericBroker, LiveUpgrade, RestartPolicy, Supervisor, SupervisorDecision,
+    UpgradePhase,
+};
+use mddsm::sim::resource::{args, Args, Outcome};
+use mddsm::sim::{LatencyModel, ResourceHub, SimDuration, SimTime};
+
+fn hub() -> ResourceHub {
+    let mut h = ResourceHub::new(7);
+    h.register(
+        "sim.store",
+        LatencyModel::fixed_ms(3),
+        SimDuration::from_millis(250),
+        Box::new(|_: &str, _: &Args| Outcome::ok()),
+    );
+    h
+}
+
+fn main() {
+    let v1 = e14_model_v1();
+    let v2 = e14_model_v2();
+    let mut broker = GenericBroker::from_model(&v1, hub()).expect("v1 valid");
+    broker.enable_journal_with(16, true);
+    let mut supervisor = Supervisor::new(&["broker"], RestartPolicy::default());
+
+    // Serve some traffic on the old model.
+    for i in 0..4 {
+        let n = i.to_string();
+        broker.call("op", &args(&[("n", &n)])).expect("serves");
+    }
+    println!(
+        "serving on v1 (model version {}, state version {})",
+        broker.model_version(),
+        broker.state().version()
+    );
+
+    // Stage 1: gate the candidate and classify the delta.
+    let mut up = LiveUpgrade::prepare(&broker, &v1, &v2, "v2", 3).expect("candidate passes gate");
+    println!("\ngate passed; delta classification:");
+    for (class, what) in up.classified() {
+        println!("  {class:?}: {what}");
+    }
+
+    // Stage 2: shadow the candidate's monitors and policies over real calls.
+    for i in 4..10 {
+        let n = i.to_string();
+        broker.call("op", &args(&[("n", &n)])).expect("serves");
+        up.observe_call(&broker);
+    }
+    let (mon_div, pol_div) = up.divergences();
+    println!(
+        "\nshadow phase: {} calls observed, {mon_div} monitor / {pol_div} policy divergences",
+        up.shadow_calls()
+    );
+
+    // Stage 3: atomic journaled cutover (the declared migration seeds
+    // svc_tier inside the same Upgrade record).
+    up.cutover(&mut broker, 6, 1).expect("cutover");
+    println!(
+        "cutover journaled: model version {} (svc_tier = {:?})",
+        broker.model_version(),
+        broker.state().str("svc_tier")
+    );
+
+    // Stage 4: probation — healthy ticks commit.
+    let mut t = SimTime::ZERO;
+    while up.phase() == UpgradePhase::Probation {
+        let n = "p".to_string();
+        broker.call("op", &args(&[("n", &n)])).expect("serves");
+        supervisor.heartbeat("broker", t);
+        up.probation_tick(&broker, &mut supervisor, "broker");
+        t = t + SimDuration::from_millis(20);
+    }
+    println!(
+        "probation passed: upgrade committed, phase {:?}",
+        up.phase()
+    );
+
+    // Crash here and the journal resolves to exactly one version.
+    let bytes = broker.journal_bytes().expect("journaling on").to_vec();
+    let versions = [(1u64, &v1), (2u64, &v2)];
+    let (recovered, _) =
+        recover_versioned(&versions, ResourceHub::new(7), &bytes, INVARIANTS).expect("recovers");
+    println!(
+        "crash recovery resolves to pure model version {}",
+        recovered.model_version()
+    );
+
+    // Second push: the same protocol, but a corruption trips a monitor in
+    // probation and the supervisor decides a rollback.
+    let mut up2 =
+        LiveUpgrade::prepare(&broker, &v2, &e14_model_v1(), "back-to-v1", 8).expect("gate");
+    for i in 0..6 {
+        let n = i.to_string();
+        broker.call("op", &args(&[("n", &n)])).expect("serves");
+        up2.observe_call(&broker);
+    }
+    up2.cutover(&mut broker, 6, 1).expect("cutover");
+    let trips = broker.corrupt_state("count", "-5");
+    println!(
+        "\nsecond upgrade cut over to version {}; corruption trips {:?}",
+        broker.model_version(),
+        trips
+            .iter()
+            .map(|tr| tr.monitor.clone())
+            .collect::<Vec<_>>()
+    );
+    up2.probation_tick(&broker, &mut supervisor, "broker");
+    let decisions = supervisor.tick(t).expect("symptoms evaluate");
+    for d in &decisions {
+        if let SupervisorDecision::RollbackUpgrade { component, reason } = d {
+            println!("supervisor: rollback {component}: {reason}");
+        }
+    }
+    broker.rollback_to_snapshot().expect("heal the corruption");
+    up2.rollback(&mut broker, "monitor tripped in probation")
+        .expect("rolls back");
+    println!(
+        "rolled back to model version {} ({:?})",
+        broker.model_version(),
+        up2.outcome()
+    );
+}
