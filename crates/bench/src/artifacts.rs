@@ -318,6 +318,21 @@ pub fn required_keys(experiment: &str) -> &'static [&'static str] {
             "goodput_stw",
             "campaigns",
         ],
+        "e15" => &[
+            "seed",
+            "seeds",
+            "calls",
+            "period_ms",
+            "quorum_zero_lost",
+            "quorum_zero_divergence",
+            "availability_strictly_better",
+            "replays_consistent",
+            "one_primary_per_epoch",
+            "upgrades_propagated",
+            "unavailable_quorum",
+            "unavailable_baseline",
+            "campaigns",
+        ],
         "e11" => &[
             "seed",
             "seeds",
@@ -397,6 +412,8 @@ mod tests {
         assert_eq!(check_artifact("BENCH_e13.json", &e13).unwrap(), "e13");
         let e14 = crate::e14::run(&[3], 120, 20).to_json();
         assert_eq!(check_artifact("BENCH_e14.json", &e14).unwrap(), "e14");
+        let e15 = crate::e15::run(&[3], 120, 20).to_json();
+        assert_eq!(check_artifact("BENCH_e15.json", &e15).unwrap(), "e15");
     }
 
     #[test]

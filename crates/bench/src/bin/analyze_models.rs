@@ -12,7 +12,7 @@
 //! `GenericBroker::from_model` refuse the model, so they fail CI here,
 //! before a release ships an unloadable platform.
 
-use bench::{e10, e11, e14, e6, e7, e8, e9};
+use bench::{e10, e11, e14, e15, e6, e7, e8, e9};
 use mddsm_broker::analyze;
 use mddsm_meta::analysis::Severity;
 
@@ -32,6 +32,17 @@ fn main() {
     models.push(("bench-e14-v1".into(), e14::e14_model_v1()));
     models.push(("bench-e14-v2".into(), e14::e14_model_v2()));
     models.push(("bench-e14-v3".into(), e14::e14_model_v3()));
+    // The E15 replica-set topologies (examples/replica_set.rs walks the
+    // 3-node one): a malformed replica set must be refused at load time,
+    // not discovered at the first failover.
+    models.push((
+        "bench-e15-3".into(),
+        e15::e15_broker_model(e15::NODES3, 2),
+    ));
+    models.push((
+        "bench-e15-5".into(),
+        e15::e15_broker_model(e15::NODES5, 3),
+    ));
 
     let mut errors = 0usize;
     let mut warnings = 0usize;

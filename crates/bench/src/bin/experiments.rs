@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin experiments -- quick   # CI-sized run
 //! ```
 
-use bench::{ablation, e1, e10, e11, e13, e14, e2, e3, e4, e5, e6, e7, e8, e9};
+use bench::{ablation, e1, e10, e11, e13, e14, e15, e2, e3, e4, e5, e6, e7, e8, e9};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +56,9 @@ fn main() {
     }
     if want("e14") {
         run_e14(quick);
+    }
+    if want("e15") {
+        run_e15(quick);
     }
     if want("ablations") {
         run_ablations(quick);
@@ -503,6 +506,67 @@ fn run_e14(quick: bool) {
         r.replays_byte_identical,
         r.goodput_live,
         r.goodput_stw
+    );
+}
+
+fn run_e15(quick: bool) {
+    println!("E15 — quorum-replicated models@runtime: replica sets, majority commit");
+    println!("----------------------------------------------------------------------");
+    let (seeds, calls): (&[u64], u64) = if quick {
+        (&[1, 3], 250)
+    } else {
+        (&[1, 3, 7], 600)
+    };
+    let r = e15::run(seeds, calls, 20);
+    println!(
+        "  campaigns: seeds {:?}, {} calls every {} virtual ms, supervision every {} calls",
+        r.seeds,
+        r.calls,
+        r.period_ms,
+        e15::SUPERVISE_EVERY
+    );
+    for c in &r.campaigns {
+        println!("  seed {}", c.seed);
+        for (name, v) in [
+            ("baseline-3", &c.baseline3),
+            ("quorum-3/2", &c.quorum3),
+            ("baseline-5", &c.baseline5),
+            ("quorum-5/3", &c.quorum5),
+        ] {
+            println!(
+                "    {:<10} committed {:>4}/{:<4}  lost {:>3}  diverged {:>2}  unavailable {:>3}  failovers {:>2}  restarts {:>2}  repairs {:>2}  rejoins {:>2}  mean failover {:>7.2} ms",
+                name,
+                v.committed,
+                v.calls,
+                v.committed_lost,
+                v.divergent_commits,
+                v.unavailable,
+                v.failovers,
+                v.restarts,
+                v.anti_entropy_repairs,
+                v.rejoins,
+                v.mean_failover_ms
+            );
+        }
+    }
+    println!(
+        "  verdicts: quorum zero-loss {}  zero-divergence {}  availability-wins {} ({} vs {} unavailable)  replays consistent {}  one primary/epoch {}  upgrades propagate {}",
+        r.quorum_zero_lost,
+        r.quorum_zero_divergence,
+        r.availability_strictly_better,
+        r.unavailable_quorum,
+        r.unavailable_baseline,
+        r.replays_consistent,
+        r.one_primary_per_epoch,
+        r.upgrades_propagated
+    );
+    match std::fs::write("BENCH_e15.json", r.to_json()) {
+        Ok(()) => println!("  artifact: BENCH_e15.json"),
+        Err(e) => println!("  artifact: BENCH_e15.json not written: {e}"),
+    }
+    println!(
+        "\n  expectation: a model-defined replica set with majority commit loses zero\n               quorum-committed updates and shows zero committed-trace\n               divergence under composed chaos with any minority faulty,\n               while quorum-elected failover keeps serving through faults\n               that leave the single-standby baseline unavailable\n  measured: zero-loss={} zero-divergence={} unavailable {} (quorum) vs {} (baseline)\n",
+        r.quorum_zero_lost, r.quorum_zero_divergence, r.unavailable_quorum, r.unavailable_baseline
     );
 }
 

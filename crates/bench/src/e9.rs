@@ -497,9 +497,15 @@ pub fn run_variant(seed: u64, calls: u64, period_ms: u64, variant: Variant) -> E
                         }
                         retrans_retired += stale_rep.retransmits();
                         let auth = broker.journal_bytes().expect("journaling on").to_vec();
-                        let (_, rr) =
-                            reconcile(&auth, &stale_bytes, &model, hub(seed ^ 0xace), INVARIANTS)
-                                .expect("reconciliation rebuilds from the authoritative journal");
+                        let (_, rr) = reconcile(
+                            &auth,
+                            &stale_bytes,
+                            &primary_node,
+                            &model,
+                            hub(seed ^ 0xace),
+                            INVARIANTS,
+                        )
+                        .expect("reconciliation rebuilds from the authoritative journal");
                         reconciles += 1;
                         discarded_stale_lines += rr.discarded_stale_lines as u64;
                     }

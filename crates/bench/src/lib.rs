@@ -17,6 +17,7 @@
 //! | E9 | replicated models@runtime: journal shipping, failover, fencing | [`e9`] |
 //! | E10 | online runtime verification: in-stream journal monitors | [`e10`] |
 //! | E13 | durable-storage fault tolerance: self-healing journal | [`e13`] |
+//! | E15 | quorum-replicated models@runtime: replica sets, majority commit | [`e15`] |
 //!
 //! The same functions back the micro-benches (`benches/`, via [`micro`])
 //! and the `experiments` binary that prints the paper-style tables.
@@ -32,6 +33,7 @@ pub mod e10;
 pub mod e11;
 pub mod e13;
 pub mod e14;
+pub mod e15;
 pub mod e2;
 pub mod e3;
 pub mod e4;

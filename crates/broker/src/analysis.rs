@@ -513,6 +513,19 @@ pub fn analyze(model: &Model) -> AnalysisReport {
             note_key(&mut keys, k.into(), KeyType::Int);
         }
     }
+    if !model.all_of_class("ReplicaSet").is_empty() {
+        for k in [
+            "repl_commit_lsn",
+            "repl_quorum",
+            "repl_peers",
+            "repl_lag",
+            "repl_epoch",
+            "repl_retransmits",
+            "repl_fenced",
+        ] {
+            note_key(&mut keys, k.into(), KeyType::Int);
+        }
+    }
     // Declared state migrations introduce their target keys at cutover,
     // so candidate policies/monitors may reference them; the value's
     // shape decides the type (an empty value unsets and adds no key).

@@ -453,6 +453,44 @@ pub fn is_framed(bytes: &[u8]) -> bool {
         .is_some_and(|l| l.starts_with(b"v1 "))
 }
 
+/// The shortest whole-line byte prefix of `bytes` whose records pin down
+/// every LSN at or below `lsn` — the slice of a journal a replication
+/// commit point refers to. Used by the quorum-replication layer (E15) to
+/// check that a quorum-committed prefix survives byte-identically on an
+/// elected primary: two journals agree on everything committed iff their
+/// `prefix_through_lsn(commit)` slices are equal. `lsn` 0 yields the
+/// empty prefix; a journal that never reaches `lsn` is an error — the
+/// claimed commit point is not durable in these bytes.
+pub fn prefix_through_lsn(bytes: &[u8], lsn: u64) -> Result<&[u8]> {
+    if lsn == 0 {
+        return Ok(&bytes[..0]);
+    }
+    let mut offset = 0usize;
+    for raw in bytes.split_inclusive(|&b| b == b'\n') {
+        offset += raw.len();
+        let body = match raw.last() {
+            Some(b'\n') => &raw[..raw.len() - 1],
+            _ => raw,
+        };
+        let reached = std::str::from_utf8(body)
+            .ok()
+            .and_then(|line| parse_line(line).ok())
+            .map_or(0, |rec| match rec {
+                JournalRecord::Op(op) => op.lsn(),
+                JournalRecord::OpCoalesced { op, .. } => op.lsn(),
+                JournalRecord::Upgrade { ops, .. } => ops.last().map_or(0, StateOp::lsn),
+                JournalRecord::Snapshot { state, .. } => state.version,
+                _ => 0,
+            });
+        if reached >= lsn {
+            return Ok(&bytes[..offset]);
+        }
+    }
+    Err(BrokerError::RecoveryDiverged(format!(
+        "journal never reaches LSN {lsn}: the commit point is not durable here"
+    )))
+}
+
 fn bad(why: &str) -> BrokerError {
     BrokerError::RecoveryDiverged(format!("corrupt journal record: {why}"))
 }
@@ -1403,6 +1441,38 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn prefix_through_lsn_pins_the_committed_slice() {
+        let bytes = b"op 1 int x 1\ncmd 5 call op a 1 1 100\nop 2 int x 2\nop 3 int x 3\n";
+        // LSN 0: the empty prefix.
+        assert_eq!(prefix_through_lsn(bytes, 0).unwrap(), b"");
+        // LSN 2: through the record that reaches it — including the
+        // non-LSN command line before it, excluding everything after.
+        assert_eq!(
+            prefix_through_lsn(bytes, 2).unwrap(),
+            &b"op 1 int x 1\ncmd 5 call op a 1 1 100\nop 2 int x 2\n"[..]
+        );
+        // The full journal covers its head LSN.
+        assert_eq!(prefix_through_lsn(bytes, 3).unwrap(), &bytes[..]);
+        // A snapshot's version pins LSNs too.
+        assert_eq!(
+            prefix_through_lsn(b"snap 4 0 0 0\nop 5 int x 9\n", 4).unwrap(),
+            &b"snap 4 0 0 0\n"[..]
+        );
+        // A commit point beyond the journal head is typed refusal.
+        assert!(prefix_through_lsn(bytes, 9).is_err());
+        // Two mirrors agree on a committed prefix iff the slices match.
+        let longer = b"op 1 int x 1\ncmd 5 call op a 1 1 100\nop 2 int x 2\nop 3 int x 7\n";
+        assert_eq!(
+            prefix_through_lsn(bytes, 2).unwrap(),
+            prefix_through_lsn(longer, 2).unwrap()
+        );
+        assert_ne!(
+            prefix_through_lsn(bytes, 3).unwrap(),
+            prefix_through_lsn(longer, 3).unwrap()
+        );
     }
 
     #[test]

@@ -68,8 +68,9 @@ pub use journal::{Journal, JournalSink, MemorySink, TornTail};
 pub use model::{broker_metamodel, BrokerModelBuilder, Resilience};
 pub use monitor::{CompiledMonitor, MonitorSet, MonitorTrip};
 pub use replication::{
-    recover_with_anti_entropy, repair_journal, JournalRepair, ReplicationConfig, Replicator,
-    ShipMode, Standby,
+    recover_with_anti_entropy, recover_with_quorum, repair_journal, select_repair_source,
+    JournalRepair, QuorumReplicator, QuorumShipReport, ReplicaPeer, ReplicaSetConfig,
+    ReplicationConfig, Replicator, ShipMode, Standby,
 };
 pub use state::StateManager;
 pub use supervisor::{RestartPolicy, Supervisor, SupervisorDecision};

@@ -83,6 +83,27 @@ pub fn broker_metamodel() -> Metamodel {
                 // (0 = no alert).
                 .attr_default("lagAlertRecords", DataType::Int, Value::from(0))
         })
+        // A replica *set*: N independently-shipped peers with a declared
+        // quorum. A journal record is durable once the quorum-th largest
+        // per-peer acked LSN reaches it (counting the primary's own copy),
+        // so any majority of nodes holds every committed update.
+        .class("ReplicaSet", |c| {
+            c.extends("Manager")
+                // Nodes (replicas + primary) that must hold a record before
+                // it commits; 0 = computed majority of the total node count.
+                .attr_default("quorum", DataType::Int, Value::from(0))
+                .contains("replicas", "ReplicaNode", Multiplicity::SOME)
+        })
+        // One member of a `ReplicaSet`: the simulated-network node it
+        // listens on plus its private shipping discipline — peers may mix
+        // `Async` and `AckWindowed` lanes in one set.
+        .class("ReplicaNode", |c| {
+            c.attr("name", DataType::Str)
+                .attr("node", DataType::Str)
+                .attr("mode", DataType::Enum("ShipMode".into()))
+                .attr_default("windowRecords", DataType::Int, Value::from(32))
+                .attr_default("ackTimeoutUs", DataType::Int, Value::from(10_000))
+        })
         .class("MonitorManager", |c| {
             c.extends("Manager")
                 .contains("monitors", "Monitor", Multiplicity::MANY)
@@ -285,6 +306,8 @@ pub struct BrokerModelBuilder {
     admission_mgr: Option<ObjectId>,
     // Created lazily by `replication`, so unreplicated models stay lean.
     replication_mgr: Option<ObjectId>,
+    // Created lazily by `replica_set`.
+    replica_set_mgr: Option<ObjectId>,
     // Created lazily by `monitor`, so unmonitored models stay lean.
     monitor_mgr: Option<ObjectId>,
 }
@@ -318,6 +341,7 @@ impl BrokerModelBuilder {
             state_mgr: state,
             admission_mgr: None,
             replication_mgr: None,
+            replica_set_mgr: None,
             monitor_mgr: None,
         }
     }
@@ -613,6 +637,45 @@ impl BrokerModelBuilder {
         self
     }
 
+    /// Declares a quorum-replicated replica set: each `(node, mode,
+    /// window_records, ack_timeout_us)` entry adds one peer with its own
+    /// shipping lane (`mode` is `"Async"` or `"AckWindowed"`, per-lane
+    /// window and retransmit timeout). `quorum` is the number of nodes —
+    /// counting the primary itself — that must hold a journal record before
+    /// it commits; 0 asks the interpreter to compute a majority of the
+    /// total node count. Re-declaring replaces the membership wholesale on
+    /// the same manager instead of adding a second set.
+    pub fn replica_set(mut self, quorum: u64, peers: &[(&str, &str, u64, u64)]) -> Self {
+        let m = match self.replica_set_mgr {
+            Some(m) => m,
+            None => {
+                let m = self.model.create("ReplicaSet");
+                self.model.set_attr(m, "name", Value::from("replicaset"));
+                self.model.add_ref(self.layer, "managers", m);
+                self.replica_set_mgr = Some(m);
+                m
+            }
+        };
+        self.model.set_attr(m, "quorum", Value::from(quorum as i64));
+        for old in self.model.refs(m, "replicas").to_vec() {
+            self.model.remove_ref(m, "replicas", old);
+            let _ = self.model.destroy(old, None);
+        }
+        for (node, mode, window_records, ack_timeout_us) in peers {
+            let r = self.model.create("ReplicaNode");
+            self.model.set_attr(r, "name", Value::from(*node));
+            self.model.set_attr(r, "node", Value::from(*node));
+            self.model
+                .set_attr(r, "mode", Value::enumeration("ShipMode", *mode));
+            self.model
+                .set_attr(r, "windowRecords", Value::from(*window_records as i64));
+            self.model
+                .set_attr(r, "ackTimeoutUs", Value::from(*ack_timeout_us as i64));
+            self.model.add_ref(m, "replicas", r);
+        }
+        self
+    }
+
     /// Declares an online runtime monitor. `property` is a bare OCL-lite
     /// invariant (`self.opens >= 0`), an `always <expr>`, a
     /// `never <expr> during <expr>`, or an `at-most-one <key> per <key>`
@@ -850,6 +913,54 @@ mod tests {
         let mgrs = retuned.all_of_class("ReplicationManager");
         assert_eq!(mgrs.len(), 1);
         assert_eq!(retuned.attr_str(mgrs[0], "standby"), Some("c"));
+    }
+
+    #[test]
+    fn replica_set_models_conform_and_redeclaring_replaces_membership() {
+        let mm = broker_metamodel();
+        let plain = BrokerModelBuilder::new("p").build();
+        assert_eq!(plain.all_of_class("ReplicaSet").len(), 0);
+
+        let model = BrokerModelBuilder::new("rs")
+            .replica_set(
+                2,
+                &[
+                    ("b", "AckWindowed", 16, 8_000),
+                    ("c", "Async", 32, 10_000),
+                ],
+            )
+            .build();
+        conformance::check(&model, &mm).unwrap();
+        let sets = model.all_of_class("ReplicaSet");
+        assert_eq!(sets.len(), 1);
+        assert_eq!(model.attr_int(sets[0], "quorum"), Some(2));
+        assert_eq!(model.refs(sets[0], "replicas").len(), 2);
+
+        // Re-declaring replaces the membership on the same manager; no
+        // orphaned ReplicaNode objects survive the swap.
+        let retuned = BrokerModelBuilder::new("rs2")
+            .replica_set(0, &[("b", "Async", 32, 10_000)])
+            .replica_set(
+                3,
+                &[
+                    ("b", "AckWindowed", 16, 8_000),
+                    ("c", "AckWindowed", 16, 8_000),
+                    ("d", "AckWindowed", 16, 8_000),
+                    ("e", "AckWindowed", 16, 8_000),
+                ],
+            )
+            .build();
+        conformance::check(&retuned, &mm).unwrap();
+        assert_eq!(retuned.all_of_class("ReplicaSet").len(), 1);
+        assert_eq!(retuned.all_of_class("ReplicaNode").len(), 4);
+        let set = retuned.all_of_class("ReplicaSet")[0];
+        assert_eq!(retuned.attr_int(set, "quorum"), Some(3));
+        let nodes: Vec<&str> = retuned
+            .refs(set, "replicas")
+            .iter()
+            .filter_map(|&r| retuned.attr_str(r, "node"))
+            .collect();
+        assert_eq!(nodes, ["b", "c", "d", "e"]);
     }
 
     #[test]

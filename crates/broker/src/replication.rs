@@ -363,6 +363,482 @@ impl Replicator {
     }
 }
 
+/// One member of a model-defined replica set: the node it listens on and
+/// its private shipping lane parameters (peers may mix disciplines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaPeer {
+    /// Simulated-network node the replica listens on.
+    pub node: String,
+    /// Shipping discipline of this peer's lane.
+    pub mode: ShipMode,
+    /// `AckWindowed`: max unacknowledged journal lines in flight.
+    pub window_records: u64,
+    /// Virtual time before this lane's unacked batch is retransmitted.
+    pub ack_timeout: SimDuration,
+}
+
+/// Compiled parameters of a broker model's `ReplicaSet` component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSetConfig {
+    /// Nodes — counting the primary itself — that must hold a journal
+    /// record before it is quorum-committed.
+    pub quorum: u64,
+    /// The peers, in model order.
+    pub peers: Vec<ReplicaPeer>,
+}
+
+impl ReplicaSetConfig {
+    /// Compiles the `ReplicaSet` of a broker model; `None` when the model
+    /// declares no replica set. A declared quorum of 0 computes a
+    /// majority of the total node count (peers + primary); an explicit
+    /// quorum outside `1..=total` or a duplicate peer node is refused as
+    /// an invalid model.
+    pub fn from_model(model: &Model) -> Result<Option<Self>> {
+        let Some(&mgr) = model.all_of_class("ReplicaSet").first() else {
+            return Ok(None);
+        };
+        let mut peers = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for &r in model.refs(mgr, "replicas") {
+            let node = model
+                .attr_str(r, "node")
+                .ok_or_else(|| {
+                    BrokerError::InvalidModel("ReplicaNode needs a node name".into())
+                })?
+                .to_owned();
+            if !seen.insert(node.clone()) {
+                return Err(BrokerError::InvalidModel(format!(
+                    "ReplicaSet declares node `{node}` twice"
+                )));
+            }
+            let mode = match model.attr(r, "mode").and_then(|v| v.as_enum_literal()) {
+                Some("Async") => ShipMode::Async,
+                Some("AckWindowed") => ShipMode::AckWindowed,
+                other => {
+                    return Err(BrokerError::InvalidModel(format!(
+                        "ReplicaNode `{node}` has bad mode {other:?}"
+                    )))
+                }
+            };
+            let int = |name: &str, default: i64| model.attr_int(r, name).unwrap_or(default).max(0);
+            peers.push(ReplicaPeer {
+                node,
+                mode,
+                window_records: int("windowRecords", 32) as u64,
+                ack_timeout: SimDuration::from_micros(int("ackTimeoutUs", 10_000) as u64),
+            });
+        }
+        if peers.is_empty() {
+            return Err(BrokerError::InvalidModel(
+                "ReplicaSet needs at least one replica".into(),
+            ));
+        }
+        let total = peers.len() as u64 + 1;
+        let declared = model.attr_int(mgr, "quorum").unwrap_or(0).max(0) as u64;
+        let quorum = if declared == 0 { total / 2 + 1 } else { declared };
+        if quorum < 1 || quorum > total {
+            return Err(BrokerError::InvalidModel(format!(
+                "ReplicaSet quorum {quorum} is outside 1..={total}"
+            )));
+        }
+        Ok(Some(ReplicaSetConfig { quorum, peers }))
+    }
+}
+
+/// Per-peer shipping lane of a [`QuorumReplicator`]: the go-back-N
+/// cursors of one peer, independent of every other lane.
+#[derive(Debug)]
+struct PeerLane {
+    cfg: ReplicaPeer,
+    acked_seq: u64,
+    shipped_high: u64,
+    ever_shipped: u64,
+    last_ship: Option<SimTime>,
+    acked_lsn: u64,
+    retransmit_events: u64,
+    fenced_count: u64,
+}
+
+impl PeerLane {
+    fn new(cfg: ReplicaPeer) -> Self {
+        PeerLane {
+            cfg,
+            acked_seq: 0,
+            shipped_high: 0,
+            ever_shipped: 0,
+            last_ship: None,
+            acked_lsn: 0,
+            retransmit_events: 0,
+            fenced_count: 0,
+        }
+    }
+}
+
+/// What one [`QuorumReplicator::tick`] did, summed over every lane.
+#[derive(Debug, Clone, Default)]
+pub struct QuorumShipReport {
+    /// Journal lines attempted on any wire this tick.
+    pub shipped: u64,
+    /// Lines newly covered by some peer's cumulative ack.
+    pub newly_acked: u64,
+    /// Attempts that re-sent a line a lane had shipped before.
+    pub retransmitted: u64,
+    /// Virtual link time all legs consumed (the caller charges it).
+    pub latency: SimDuration,
+    /// Lanes whose receiver fenced us this tick (stale epoch).
+    pub fenced: u64,
+    /// Quorum commit LSN after the tick.
+    pub commit_lsn: u64,
+}
+
+/// The primary-side engine of a model-defined replica *set*: ships the
+/// journal go-back-N to each peer over its own independent lane and
+/// advances a **quorum commit LSN** — the quorum-th largest of the
+/// per-node durable LSNs, counting the primary's own journal head. A
+/// record at or below the commit LSN is held by at least `quorum` nodes,
+/// so it survives any minority failure.
+///
+/// Unlike [`Replicator`], the outbox keeps the *full* shipped history
+/// (lines are never popped on ack), so a peer that lost its mirror can be
+/// re-shipped from sequence 0 with [`QuorumReplicator::reset_peer`].
+///
+/// Health is OCL-addressable through the metrics [`StateManager`]:
+///
+/// | key | meaning |
+/// |---|---|
+/// | `repl_commit_lsn` | quorum commit LSN |
+/// | `repl_quorum` | declared quorum (nodes, counting the primary) |
+/// | `repl_peers` | peer count |
+/// | `repl_lag` | journal lines enqueued but unacked, summed over lanes |
+/// | `repl_epoch` | epoch the replicator currently ships under |
+/// | `repl_retransmits` | ack-timeout go-backs, summed over lanes |
+/// | `repl_fenced` | times any receiver refused us as stale |
+#[derive(Debug)]
+pub struct QuorumReplicator {
+    cfg: ReplicaSetConfig,
+    node: String,
+    epoch: u64,
+    /// Bytes of the primary journal already ingested into the outbox.
+    read_offset: usize,
+    /// Full shipped history: `outbox[seq] = (seq, state LSN, framed
+    /// line)` — indexed by sequence number, never trimmed.
+    outbox: Vec<(u64, Option<u64>, String)>,
+    next_seq: u64,
+    /// Newest state LSN the primary's own journal holds.
+    head_lsn: u64,
+    lanes: Vec<PeerLane>,
+    /// Monotone quorum commit point.
+    commit_lsn: u64,
+    metrics: StateManager,
+}
+
+impl QuorumReplicator {
+    /// Creates a quorum replicator for a primary on network node `node`.
+    pub fn new(cfg: ReplicaSetConfig, node: &str) -> Self {
+        let mut metrics = StateManager::new();
+        metrics.set_int("repl_commit_lsn", 0);
+        metrics.set_int("repl_quorum", cfg.quorum as i64);
+        metrics.set_int("repl_peers", cfg.peers.len() as i64);
+        metrics.set_int("repl_lag", 0);
+        metrics.set_int("repl_epoch", 1);
+        metrics.set_int("repl_retransmits", 0);
+        metrics.set_int("repl_fenced", 0);
+        let lanes = cfg.peers.iter().cloned().map(PeerLane::new).collect();
+        QuorumReplicator {
+            cfg,
+            node: node.to_owned(),
+            epoch: 1,
+            read_offset: 0,
+            outbox: Vec::new(),
+            next_seq: 0,
+            head_lsn: 0,
+            lanes,
+            commit_lsn: 0,
+            metrics,
+        }
+    }
+
+    /// Compiles the model's `ReplicaSet` and builds the replicator;
+    /// `None` when the model declares no replica set.
+    pub fn from_model(model: &Model, node: &str) -> Result<Option<Self>> {
+        Ok(ReplicaSetConfig::from_model(model)?.map(|cfg| Self::new(cfg, node)))
+    }
+
+    /// The compiled configuration.
+    pub fn config(&self) -> &ReplicaSetConfig {
+        &self.cfg
+    }
+
+    /// Declared quorum (nodes, counting the primary).
+    pub fn quorum(&self) -> u64 {
+        self.cfg.quorum
+    }
+
+    /// The quorum commit LSN: every state mutation at or below it is held
+    /// by at least `quorum` nodes. Monotone.
+    pub fn commit_lsn(&self) -> u64 {
+        self.commit_lsn
+    }
+
+    /// Journal lines enqueued but unacked, summed over every lane.
+    pub fn lag(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| self.next_seq.saturating_sub(l.acked_seq))
+            .sum()
+    }
+
+    /// `true` once *every* peer acknowledged every ingested line.
+    pub fn synced(&self) -> bool {
+        self.lanes.iter().all(|l| l.acked_seq >= self.next_seq)
+    }
+
+    /// `true` once enough peers acknowledged everything that the whole
+    /// journal is quorum-committed (the primary counts as one holder).
+    pub fn quorum_synced(&self) -> bool {
+        let holders = 1 + self
+            .lanes
+            .iter()
+            .filter(|l| l.acked_seq >= self.next_seq)
+            .count() as u64;
+        holders >= self.cfg.quorum
+    }
+
+    /// Newest state LSN known applied on `node` (0 for unknown peers).
+    pub fn acked_lsn(&self, node: &str) -> u64 {
+        self.lanes
+            .iter()
+            .find(|l| l.cfg.node == node)
+            .map_or(0, |l| l.acked_lsn)
+    }
+
+    /// Ack-timeout go-back events, summed over every lane.
+    pub fn retransmits(&self) -> u64 {
+        self.lanes.iter().map(|l| l.retransmit_events).sum()
+    }
+
+    /// Times any receiver refused this primary as stale.
+    pub fn fenced(&self) -> u64 {
+        self.lanes.iter().map(|l| l.fenced_count).sum()
+    }
+
+    /// Peer nodes, in model order.
+    pub fn peer_nodes(&self) -> Vec<&str> {
+        self.lanes.iter().map(|l| l.cfg.node.as_str()).collect()
+    }
+
+    /// The OCL-addressable metrics model (see the type docs for keys).
+    pub fn metrics(&self) -> &StateManager {
+        &self.metrics
+    }
+
+    /// Mutable metrics access — the autonomic manager ticks its
+    /// replication rules against this state.
+    pub fn metrics_mut(&mut self) -> &mut StateManager {
+        &mut self.metrics
+    }
+
+    /// Rewinds a peer's lane to sequence 0 so the full retained history
+    /// is re-shipped — the revival path for a replica that lost its
+    /// mirror. Returns `false` for an unknown node. The commit LSN is
+    /// monotone and unaffected by the rewind.
+    pub fn reset_peer(&mut self, node: &str) -> bool {
+        match self.lanes.iter_mut().find(|l| l.cfg.node == node) {
+            Some(lane) => {
+                lane.acked_seq = 0;
+                lane.shipped_high = 0;
+                lane.last_ship = None;
+                lane.acked_lsn = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Adds (or replaces) a peer lane — the rejoin path for a healed
+    /// ex-primary entering the set as a replica. The new lane starts at
+    /// sequence 0; pair with a standby rebuilt from a current mirror
+    /// ([`Standby::from_mirror`]) or let the re-ack sync the cursor.
+    pub fn add_peer(&mut self, cfg: ReplicaPeer) {
+        self.lanes.retain(|l| l.cfg.node != cfg.node);
+        self.cfg.peers.retain(|p| p.node != cfg.node);
+        self.cfg.peers.push(cfg.clone());
+        self.lanes.push(PeerLane::new(cfg));
+        self.metrics
+            .set_int("repl_peers", self.cfg.peers.len() as i64);
+    }
+
+    /// One shipping cycle at virtual instant `now` under fencing epoch
+    /// `epoch`: ingests new journal bytes, then runs each lane's
+    /// go-back-N independently — ack timeout, window, wire legs, and
+    /// cumulative ack per peer — and advances the quorum commit LSN.
+    ///
+    /// `peers` holds the standbys currently reachable *in-process*; a
+    /// lane whose node has no standby in the slice is simply skipped
+    /// (the node is down — its lane retries next tick). A lane fenced by
+    /// its receiver is counted and **does not** stop the other lanes.
+    pub fn tick(
+        &mut self,
+        now: SimTime,
+        epoch: u64,
+        net: &Network,
+        journal_bytes: &[u8],
+        peers: &mut [&mut Standby],
+    ) -> Result<QuorumShipReport> {
+        self.epoch = epoch;
+        self.ingest(journal_bytes)?;
+        let mut report = QuorumShipReport::default();
+
+        for i in 0..self.lanes.len() {
+            let peer_node = self.lanes[i].cfg.node.clone();
+            let Some(standby) = peers.iter_mut().find(|s| s.node() == peer_node) else {
+                continue;
+            };
+
+            let (from, window_end) = {
+                let lane = &mut self.lanes[i];
+                // Ack timeout: go back to this lane's cumulative cursor.
+                if lane.acked_seq < lane.shipped_high {
+                    if let Some(t) = lane.last_ship {
+                        if now.since(t) >= lane.cfg.ack_timeout {
+                            lane.shipped_high = lane.acked_seq;
+                            lane.retransmit_events += 1;
+                        }
+                    }
+                }
+                let end = match lane.cfg.mode {
+                    ShipMode::Async => self.next_seq,
+                    ShipMode::AckWindowed => lane.acked_seq + lane.cfg.window_records,
+                }
+                .min(self.next_seq);
+                (lane.shipped_high, end)
+            };
+
+            let batch: Vec<(u64, String)> = self
+                .outbox
+                .iter()
+                .filter(|(seq, _, _)| *seq >= from && *seq < window_end)
+                .map(|(seq, _, line)| (*seq, line.clone()))
+                .collect();
+
+            for (seq, line) in batch {
+                {
+                    let lane = &mut self.lanes[i];
+                    if seq < lane.ever_shipped {
+                        report.retransmitted += 1;
+                    }
+                    lane.shipped_high = seq + 1;
+                    lane.ever_shipped = lane.ever_shipped.max(lane.shipped_high);
+                    lane.last_ship = Some(now);
+                }
+                report.shipped += 1;
+                let SendOutcome::Scheduled(out) = net.transmit(&self.node, &peer_node) else {
+                    // Data leg dropped: the rest of this lane's batch
+                    // would arrive as a gap — wait for the ack timeout.
+                    break;
+                };
+                report.latency = report.latency.saturating_add(out);
+                match standby.receive(seq, &line, self.epoch) {
+                    Err(BrokerError::StaleEpoch { .. }) => {
+                        self.lanes[i].fenced_count += 1;
+                        report.fenced += 1;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                    Ok(received) => {
+                        if let SendOutcome::Scheduled(back) =
+                            net.transmit(&peer_node, &self.node)
+                        {
+                            report.latency = report.latency.saturating_add(back);
+                            // A survivor of an earlier primary can re-ack
+                            // a cursor past this stream's head; cap it.
+                            let received = received.min(self.next_seq);
+                            let prev = self.lanes[i].acked_seq;
+                            if received > prev {
+                                report.newly_acked += received - prev;
+                                let mut lsn_max = self.lanes[i].acked_lsn;
+                                for s in prev..received {
+                                    if let Some(lsn) = self.outbox[s as usize].1 {
+                                        lsn_max = lsn_max.max(lsn);
+                                    }
+                                }
+                                let lane = &mut self.lanes[i];
+                                lane.acked_lsn = lsn_max;
+                                lane.acked_seq = received;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        self.update_commit();
+        report.commit_lsn = self.commit_lsn;
+        self.metrics.set_int("repl_lag", self.lag() as i64);
+        self.metrics
+            .set_int("repl_commit_lsn", self.commit_lsn as i64);
+        self.metrics.set_int("repl_epoch", self.epoch as i64);
+        self.metrics
+            .set_int("repl_retransmits", self.retransmits() as i64);
+        self.metrics.set_int("repl_fenced", self.fenced() as i64);
+        Ok(report)
+    }
+
+    /// Drops journal history below the **quorum commit point** — never
+    /// below merely-acked LSNs a minority holds:
+    /// [`GenericBroker::truncate_journal_to`] at the commit LSN, with the
+    /// read cursor shifted to match the rewritten bytes. Returns the
+    /// bytes reclaimed.
+    pub fn truncate_primary(&mut self, broker: &mut GenericBroker) -> usize {
+        let reclaimed = broker.truncate_journal_to(self.commit_lsn);
+        self.read_offset = self.read_offset.saturating_sub(reclaimed);
+        reclaimed
+    }
+
+    /// Recomputes the commit LSN: the quorum-th largest of the per-node
+    /// durable LSNs (each lane's acked LSN, plus the primary's own
+    /// journal head), kept monotone.
+    fn update_commit(&mut self) {
+        let mut lsns: Vec<u64> = self.lanes.iter().map(|l| l.acked_lsn).collect();
+        lsns.push(self.head_lsn);
+        lsns.sort_unstable_by(|a, b| b.cmp(a));
+        let q = self.cfg.quorum as usize;
+        if q >= 1 && q <= lsns.len() {
+            self.commit_lsn = self.commit_lsn.max(lsns[q - 1]);
+        }
+    }
+
+    /// Ingests complete journal lines appended since the last tick.
+    fn ingest(&mut self, journal_bytes: &[u8]) -> Result<()> {
+        while let Some(nl) = journal_bytes[self.read_offset..]
+            .iter()
+            .position(|&b| b == b'\n')
+        {
+            let end = self.read_offset + nl;
+            let line = std::str::from_utf8(&journal_bytes[self.read_offset..end])
+                .map_err(|e| BrokerError::RecoveryDiverged(format!("journal is not UTF-8: {e}")))?
+                .to_owned();
+            self.read_offset = end + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let lsn = match journal::parse_line(&line)? {
+                JournalRecord::Op(op) => Some(op.lsn()),
+                JournalRecord::OpCoalesced { op, .. } => Some(op.lsn()),
+                JournalRecord::Upgrade { ops, .. } => ops.last().map(|op| op.lsn()),
+                JournalRecord::Snapshot { state, .. } => Some(state.version),
+                _ => None,
+            };
+            if let Some(lsn) = lsn {
+                self.head_lsn = self.head_lsn.max(lsn);
+            }
+            self.outbox.push((self.next_seq, lsn, line));
+            self.next_seq += 1;
+        }
+        Ok(())
+    }
+}
+
 /// The hot standby: applies shipped journal records into its own runtime
 /// model as they arrive and mirrors the journal bytes, so promotion is
 /// the ordinary recovery path over the mirror. Tracks the fencing epoch
@@ -409,6 +885,34 @@ impl Standby {
             monitor_trips: Vec::new(),
             model_version: 1,
         }
+    }
+
+    /// Rebuilds a standby on node `node` by replaying a journal mirror
+    /// line-by-line through the ordinary [`Standby::receive`] path, then
+    /// fencing it at `epoch`. This is how a revived replica, a
+    /// re-parented survivor, or a healed ex-primary re-enters a replica
+    /// set: the rebuilt standby's mirror is byte-identical to `bytes` and
+    /// its applied state matches a recovery over them.
+    pub fn from_mirror(node: &str, bytes: &[u8], epoch: u64) -> Result<Self> {
+        let mut sb = Standby::new(node);
+        for raw in bytes.split_inclusive(|&b| b == b'\n') {
+            let body = match raw.last() {
+                Some(b'\n') => &raw[..raw.len() - 1],
+                _ => raw,
+            };
+            if body.is_empty() {
+                continue;
+            }
+            let line = std::str::from_utf8(body).map_err(|e| {
+                BrokerError::RecoveryDiverged(format!("mirror is not UTF-8: {e}"))
+            })?;
+            // Pass the standby's *current* epoch so embedded Epoch
+            // records (which raise it) keep the replay admissible.
+            let (seq, e) = (sb.received, sb.epoch);
+            sb.receive(seq, line, e)?;
+        }
+        sb.fence(epoch);
+        Ok(sb)
     }
 
     /// Runtime-model version the primary most recently shipped a cutover
@@ -600,6 +1104,8 @@ pub struct ReconcileReport {
     pub discarded_stale_lines: usize,
     /// Authoritative-side suffix lines replayed past the common prefix.
     pub replayed_lines: usize,
+    /// Node whose journal served as the authoritative history.
+    pub source_node: String,
 }
 
 /// Reconciles a healed stale primary with the authoritative history: the
@@ -609,9 +1115,12 @@ pub struct ReconcileReport {
 /// LSN-checked replay + invariants). The rebuilt runtime model is
 /// cross-checked against an independent replay with
 /// [`StateManager::first_divergence`] before it is handed back.
+/// `source_node` names the node the authoritative journal came from and
+/// is reported verbatim in [`ReconcileReport::source_node`].
 pub fn reconcile(
     authoritative: &[u8],
     stale: &[u8],
+    source_node: &str,
     model: &Model,
     hub: ResourceHub,
     invariants: &[&str],
@@ -636,6 +1145,7 @@ pub fn reconcile(
             common_lines: common,
             discarded_stale_lines: s_lines.len() - common,
             replayed_lines: a_lines.len() - common,
+            source_node: source_node.to_owned(),
         },
     ))
 }
@@ -654,6 +1164,8 @@ pub struct JournalRepair {
     pub kept_tail_lines: usize,
     /// Size of the healed journal (bytes).
     pub healed_bytes: usize,
+    /// Node whose mirror served as the repair source.
+    pub source_node: String,
 }
 
 /// Anti-entropy repair of a damaged journal from a standby's mirror.
@@ -710,6 +1222,7 @@ pub fn repair_journal(local: &[u8], standby: &Standby) -> Result<(Vec<u8>, Journ
         fetched_lines: m_lines.len() - common,
         kept_tail_lines,
         healed_bytes: healed.len(),
+        source_node: standby.node().to_owned(),
     };
     Ok((healed, report))
 }
@@ -765,6 +1278,48 @@ pub fn recover_with_anti_entropy(
         repair.kept_tail_lines
     ));
     Ok((broker, report, Some(repair)))
+}
+
+/// Picks the freshest anti-entropy source from a replica set: the
+/// standby with the largest applied LSN, ties broken by the longest
+/// mirror (most lines received), then by slice order — deterministic, so
+/// every node polls the same schedule to the same answer. `None` for an
+/// empty candidate slice.
+pub fn select_repair_source<'a>(candidates: &[&'a Standby]) -> Option<&'a Standby> {
+    let mut best: Option<&'a Standby> = None;
+    for &c in candidates {
+        let better = match best {
+            None => true,
+            Some(b) => {
+                c.applied_lsn() > b.applied_lsn()
+                    || (c.applied_lsn() == b.applied_lsn() && c.received() > b.received())
+            }
+        };
+        if better {
+            best = Some(c);
+        }
+    }
+    best
+}
+
+/// [`recover_with_anti_entropy`] generalized to a replica set: the
+/// freshest reachable peer ([`select_repair_source`]) serves as the
+/// repair source instead of "the standby". Errs when `peers` is empty —
+/// with no mirror in reach, the caller falls back to plain recovery or
+/// quarantine.
+pub fn recover_with_quorum(
+    model: &Model,
+    hub: ResourceHub,
+    journal_bytes: &[u8],
+    invariants: &[&str],
+    peers: &[&Standby],
+) -> Result<(GenericBroker, RecoveryReport, Option<JournalRepair>)> {
+    let source = select_repair_source(peers).ok_or_else(|| {
+        BrokerError::RecoveryDiverged(
+            "quorum recovery needs at least one reachable replica mirror".to_owned(),
+        )
+    })?;
+    recover_with_anti_entropy(model, hub, journal_bytes, invariants, source)
 }
 
 #[cfg(test)]
@@ -1002,12 +1557,16 @@ mod tests {
         let (rebuilt, rr) = reconcile(
             promoted.journal_bytes().unwrap(),
             broker.journal_bytes().unwrap(),
+            "b",
             &m,
             hub(),
             &[],
         )
         .unwrap();
         assert!(rr.common_lines > 0);
+        // Satellite regression: the report names the node whose journal
+        // won, as a typed field.
+        assert_eq!(rr.source_node, "b");
         // Each call journals two lines (the state op and the command
         // record), so the two doomed calls discard four.
         assert_eq!(rr.discarded_stale_lines, 4, "two doomed calls: {rr:?}");
@@ -1266,5 +1825,258 @@ mod tests {
             "the readable op line survives; the corrupt cmd line is dropped"
         );
         assert_eq!(r.state.int("count"), Some(3), "readable local write kept");
+    }
+
+    #[test]
+    fn repair_report_names_its_source_node() {
+        // Satellite regression: anti-entropy provenance is a typed field,
+        // not a string buried in a journal note.
+        let (_broker, standby, pristine) = synced_pair(4);
+        let mid = non_newline_at(&pristine, pristine.len() / 2);
+        let mut damaged = pristine.clone();
+        damaged[mid] ^= 0x01;
+        let (_healed, repair) = repair_journal(&damaged, &standby).unwrap();
+        assert_eq!(repair.source_node, "b");
+    }
+
+    // ----- quorum replica sets -----
+
+    fn quorum_model(quorum: u64, peers: &[&str]) -> Model {
+        let lanes: Vec<(&str, &str, u64, u64)> = peers
+            .iter()
+            .map(|n| (*n, "AckWindowed", 4, 5_000))
+            .collect();
+        BrokerModelBuilder::new("qrep")
+            .call_handler("inc", "inc")
+            .action("inc", "doInc", "ctr", "inc", &[], None, &["count=+1"])
+            .bind_resource("ctr", "sim.ctr")
+            .replica_set(quorum, &lanes)
+            .build()
+    }
+
+    fn quorum_primary(m: &Model) -> GenericBroker {
+        let mut b = GenericBroker::from_model(m, hub()).unwrap();
+        b.enable_journal(SNAPSHOT_EVERY);
+        b
+    }
+
+    /// Ships until every peer is synced or `rounds` timeouts elapse.
+    fn qdrain(
+        rep: &mut QuorumReplicator,
+        net: &Network,
+        broker: &GenericBroker,
+        peers: &mut [&mut Standby],
+        rounds: u32,
+    ) {
+        let step = SimDuration::from_micros(5_000);
+        let mut now = SimTime::ZERO;
+        for _ in 0..rounds {
+            let bytes = broker.journal_bytes().unwrap();
+            rep.tick(now, broker.epoch(), net, bytes, peers).unwrap();
+            if rep.synced() {
+                return;
+            }
+            now = now + step;
+        }
+    }
+
+    #[test]
+    fn replica_set_config_compiles_and_validates() {
+        assert!(
+            ReplicaSetConfig::from_model(&BrokerModelBuilder::new("p").build())
+                .unwrap()
+                .is_none()
+        );
+        // quorum 0 computes the majority of (peers + primary).
+        let cfg = ReplicaSetConfig::from_model(&quorum_model(0, &["b", "c"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.quorum, 2, "majority of 3 nodes");
+        assert_eq!(cfg.peers.len(), 2);
+        assert_eq!(cfg.peers[0].mode, ShipMode::AckWindowed);
+        // An explicit quorum above the node count is an invalid model.
+        match ReplicaSetConfig::from_model(&quorum_model(4, &["b", "c"])) {
+            Err(BrokerError::InvalidModel(msg)) => assert!(msg.contains("quorum"), "{msg}"),
+            other => panic!("expected InvalidModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn commit_lsn_is_the_quorum_th_largest_acked() {
+        let m = quorum_model(2, &["b", "c"]);
+        let mut broker = quorum_primary(&m);
+        let mut rep = QuorumReplicator::from_model(&m, "a").unwrap().unwrap();
+        let mut b = Standby::new("b");
+        let mut c = Standby::new("c");
+        let net = net();
+        // c is unreachable the whole time: the primary + b still form a
+        // quorum of 2, so commit advances to the head.
+        net.partition_node("c");
+        for _ in 0..6 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        qdrain(&mut rep, &net, &broker, &mut [&mut b, &mut c], 40);
+        assert!(!rep.synced(), "c can never ack through a partition");
+        assert!(rep.quorum_synced(), "primary + b are a quorum");
+        assert_eq!(rep.commit_lsn(), broker.state().version());
+        assert_eq!(rep.acked_lsn("b"), broker.state().version());
+        assert_eq!(rep.acked_lsn("c"), 0);
+        assert_eq!(rep.metrics().int("repl_quorum"), Some(2));
+        assert_eq!(
+            rep.metrics().int("repl_commit_lsn"),
+            Some(rep.commit_lsn() as i64)
+        );
+        // Every committed LSN is on b byte-for-byte (the safety claim).
+        let committed =
+            journal::prefix_through_lsn(broker.journal_bytes().unwrap(), rep.commit_lsn())
+                .unwrap();
+        assert!(b.journal_bytes().starts_with(committed));
+    }
+
+    #[test]
+    fn a_minority_ack_does_not_commit_and_truncation_respects_it() {
+        // Quorum 3 of 3 nodes: with c partitioned, b's acks alone must
+        // not advance the commit point — and truncation must not drop
+        // history below what the quorum holds.
+        let m = quorum_model(3, &["b", "c"]);
+        let mut broker = quorum_primary(&m);
+        let mut rep = QuorumReplicator::from_model(&m, "a").unwrap().unwrap();
+        let mut b = Standby::new("b");
+        let mut c = Standby::new("c");
+        let net = net();
+        net.partition_node("c");
+        for _ in 0..SNAPSHOT_EVERY + 2 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        qdrain(&mut rep, &net, &broker, &mut [&mut b, &mut c], 40);
+        assert_eq!(rep.acked_lsn("b"), broker.state().version());
+        assert_eq!(rep.commit_lsn(), 0, "2 holders < quorum 3: nothing commits");
+        assert_eq!(
+            rep.truncate_primary(&mut broker),
+            0,
+            "nothing quorum-committed, nothing reclaimable"
+        );
+        // Heal c: the full set converges and the commit point catches up.
+        net.heal_node("c");
+        qdrain(&mut rep, &net, &broker, &mut [&mut b, &mut c], 40);
+        assert!(rep.synced());
+        assert_eq!(rep.commit_lsn(), broker.state().version());
+        assert!(
+            rep.truncate_primary(&mut broker) > 0,
+            "committed history behind a snapshot is reclaimable now"
+        );
+        // Shipping continues seamlessly over the rewritten journal.
+        broker.call("inc", &args(&[])).unwrap();
+        qdrain(&mut rep, &net, &broker, &mut [&mut b, &mut c], 40);
+        assert!(rep.synced());
+        assert_eq!(broker.state().first_divergence(b.state()), None);
+        assert_eq!(broker.state().first_divergence(c.state()), None);
+    }
+
+    #[test]
+    fn reset_peer_reships_the_full_history_to_a_fresh_mirror() {
+        let m = quorum_model(2, &["b", "c"]);
+        let mut broker = quorum_primary(&m);
+        let mut rep = QuorumReplicator::from_model(&m, "a").unwrap().unwrap();
+        let mut b = Standby::new("b");
+        let mut c = Standby::new("c");
+        let net = net();
+        for _ in 0..5 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        qdrain(&mut rep, &net, &broker, &mut [&mut b, &mut c], 40);
+        assert!(rep.synced());
+        let commit_before = rep.commit_lsn();
+        // c loses its disk: revive it empty and rewind its lane.
+        let mut c = Standby::new("c");
+        assert!(rep.reset_peer("c"));
+        assert!(!rep.reset_peer("zz"), "unknown nodes are refused");
+        assert_eq!(
+            rep.commit_lsn(),
+            commit_before,
+            "the commit point is monotone across a rewind"
+        );
+        qdrain(&mut rep, &net, &broker, &mut [&mut b, &mut c], 40);
+        assert!(rep.synced());
+        assert_eq!(c.journal_bytes(), broker.journal_bytes().unwrap());
+        assert_eq!(broker.state().first_divergence(c.state()), None);
+    }
+
+    #[test]
+    fn one_fenced_lane_does_not_stop_the_others() {
+        let m = quorum_model(2, &["b", "c"]);
+        let mut broker = quorum_primary(&m);
+        let mut rep = QuorumReplicator::from_model(&m, "a").unwrap().unwrap();
+        let mut b = Standby::new("b");
+        let mut c = Standby::new("c");
+        // c has seen a newer epoch (a promotion happened elsewhere): it
+        // fences this primary, but b's lane keeps shipping.
+        c.fence(5);
+        let net = net();
+        for _ in 0..4 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        let bytes = broker.journal_bytes().unwrap().to_vec();
+        let r = rep
+            .tick(SimTime::ZERO, broker.epoch(), &net, &bytes, &mut [&mut b, &mut c])
+            .unwrap();
+        assert!(r.fenced >= 1, "c must fence the stale primary");
+        assert!(b.received() > 0, "b's lane is unaffected");
+        assert_eq!(c.received(), 0);
+        assert_eq!(rep.fenced(), r.fenced);
+    }
+
+    #[test]
+    fn from_mirror_rebuilds_a_standby_byte_identically() {
+        let (_broker, standby, pristine) = synced_pair(6);
+        let rebuilt = Standby::from_mirror("d", &pristine, 3).unwrap();
+        assert_eq!(rebuilt.journal_bytes(), standby.journal_bytes());
+        assert_eq!(rebuilt.applied_lsn(), standby.applied_lsn());
+        assert_eq!(rebuilt.received(), standby.received());
+        assert_eq!(rebuilt.state().first_divergence(standby.state()), None);
+        assert_eq!(rebuilt.epoch(), 3, "rebuilt standby honors the fence");
+        assert_eq!(rebuilt.node(), "d");
+    }
+
+    #[test]
+    fn the_freshest_replica_serves_as_the_quorum_repair_source() {
+        let m = quorum_model(2, &["b", "c"]);
+        let mut broker = quorum_primary(&m);
+        let mut rep = QuorumReplicator::from_model(&m, "a").unwrap().unwrap();
+        let mut b = Standby::new("b");
+        let mut c = Standby::new("c");
+        let net = net();
+        for _ in 0..4 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        qdrain(&mut rep, &net, &broker, &mut [&mut b, &mut c], 40);
+        // c falls behind: two more calls ship to b only.
+        net.partition_node("c");
+        for _ in 0..2 {
+            broker.call("inc", &args(&[])).unwrap();
+        }
+        qdrain(&mut rep, &net, &broker, &mut [&mut b, &mut c], 40);
+        assert!(b.applied_lsn() > c.applied_lsn());
+        let src = select_repair_source(&[&c, &b]).expect("two candidates");
+        assert_eq!(src.node(), "b", "the freshest mirror wins");
+        assert!(select_repair_source(&[]).is_none());
+
+        // The primary's journal rots: quorum recovery heals it from b,
+        // and the repair provenance names b as the typed source.
+        let pristine = broker.journal_bytes().unwrap().to_vec();
+        let mid = non_newline_at(&pristine, b.journal_bytes().len() / 2);
+        let mut damaged = pristine.clone();
+        damaged[mid] ^= 0x01;
+        let (recovered, _report, repair) =
+            recover_with_quorum(&m, hub(), &damaged, &[], &[&c, &b]).unwrap();
+        let repair = repair.expect("interior damage forces a repair");
+        assert_eq!(repair.source_node, "b");
+        assert_eq!(recovered.state().int("count"), Some(6));
+        match recover_with_quorum(&m, hub(), &damaged, &[], &[]) {
+            Err(BrokerError::RecoveryDiverged(msg)) => {
+                assert!(msg.contains("reachable"), "{msg}")
+            }
+            other => panic!("expected RecoveryDiverged, got {other:?}"),
+        }
     }
 }

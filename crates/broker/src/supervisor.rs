@@ -155,6 +155,10 @@ pub struct Supervisor {
     escalated: Vec<String>,
     /// primary -> designated hot standby.
     standbys: BTreeMap<String, String>,
+    /// primary -> its replica set (quorum failover: on primary loss the
+    /// reachable member with the longest quorum-committed prefix is
+    /// elected and the survivors are re-parented under it).
+    replica_sets: BTreeMap<String, Vec<String>>,
     /// Components failed over and awaiting [`Supervisor::rejoin`].
     awaiting_rejoin: Vec<String>,
     /// Forced failovers queued by [`ComponentTarget::failover_to`].
@@ -190,6 +194,7 @@ impl Supervisor {
             restart_log: BTreeMap::new(),
             escalated: Vec::new(),
             standbys: BTreeMap::new(),
+            replica_sets: BTreeMap::new(),
             awaiting_rejoin: Vec::new(),
             forced: Vec::new(),
             epoch: 1,
@@ -219,6 +224,84 @@ impl Supervisor {
         if self.known(primary) && self.known(standby) && primary != standby {
             self.standbys.insert(primary.to_owned(), standby.to_owned());
             self.state.set_str(&key("standby", primary), standby);
+        }
+    }
+
+    /// Designates the replica set of `primary`: on primary loss the
+    /// supervisor polls the members, elects the reachable one with the
+    /// longest quorum-committed prefix (see
+    /// [`Supervisor::note_replica_lsn`]) under a bumped epoch, and
+    /// re-parents the survivors under it. Unknown members and the
+    /// primary itself are dropped from the set; an all-unknown set is
+    /// ignored.
+    pub fn designate_replica_set(&mut self, primary: &str, replicas: &[&str]) {
+        if !self.known(primary) {
+            return;
+        }
+        let set: Vec<String> = replicas
+            .iter()
+            .filter(|r| self.known(r) && **r != primary)
+            .map(|r| (*r).to_owned())
+            .collect();
+        if !set.is_empty() {
+            self.replica_sets.insert(primary.to_owned(), set);
+        }
+    }
+
+    /// Adds one member to `primary`'s replica set (the rejoin path for a
+    /// healed ex-primary re-entering as a replica). Idempotent; unknown
+    /// components are ignored.
+    pub fn add_replica(&mut self, primary: &str, node: &str) {
+        if self.known(primary) && self.known(node) && primary != node {
+            let set = self.replica_sets.entry(primary.to_owned()).or_default();
+            if !set.iter().any(|n| n == node) {
+                set.push(node.to_owned());
+            }
+        }
+    }
+
+    /// The designated replica set of `primary`, if any.
+    pub fn replica_set(&self, primary: &str) -> Option<&[String]> {
+        self.replica_sets.get(primary).map(Vec::as_slice)
+    }
+
+    /// Reports the newest state LSN applied on a replica — the
+    /// supervisor's poll result, kept OCL-addressable under `lsn_<c>` so
+    /// the election is a query over the supervisor's own runtime model.
+    /// Unknown components are ignored.
+    pub fn note_replica_lsn(&mut self, component: &str, lsn: u64) {
+        if self.known(component) {
+            self.state.set_int(&key("lsn", component), lsn as i64);
+        }
+    }
+
+    /// Elects the failover target from `candidates`: the reachable member
+    /// with the largest reported LSN, ties broken by slice order — every
+    /// poller reaches the same answer deterministically. `None` when no
+    /// member is reachable.
+    fn elect(&self, candidates: &[String]) -> Option<String> {
+        let mut best: Option<(&String, i64)> = None;
+        for c in candidates {
+            if !self.known(c) || !self.reachable(c) {
+                continue;
+            }
+            let lsn = self.state.int(&key("lsn", c)).unwrap_or(0);
+            match best {
+                Some((_, b)) if lsn <= b => {}
+                _ => best = Some((c, lsn)),
+            }
+        }
+        best.map(|(c, _)| c.clone())
+    }
+
+    /// After promoting `new_primary` out of `old_primary`'s replica set,
+    /// re-parents the surviving members under the new primary.
+    fn reparent_after_promotion(&mut self, old_primary: &str, new_primary: &str) {
+        if let Some(mut set) = self.replica_sets.remove(old_primary) {
+            set.retain(|n| n != new_primary);
+            if !set.is_empty() {
+                self.replica_sets.insert(new_primary.to_owned(), set);
+            }
         }
     }
 
@@ -378,6 +461,7 @@ impl Supervisor {
                 && !self.awaiting_rejoin(&component)
                 && self.reachable(&standby)
             {
+                self.reparent_after_promotion(&component, &standby);
                 decisions.push(self.promote(component, standby, "forced"));
             }
         }
@@ -415,11 +499,19 @@ impl Supervisor {
                     .str(&key("jdamage_why", &component))
                     .unwrap_or_default()
                     .to_owned();
+                // A single designated standby wins; otherwise the replica
+                // set supplies the freshest reachable member as the
+                // anti-entropy source.
                 let standby = self
                     .standbys
                     .get(&component)
                     .filter(|s| self.reachable(s))
-                    .cloned();
+                    .cloned()
+                    .or_else(|| {
+                        self.replica_sets
+                            .get(&component)
+                            .and_then(|set| self.elect(set))
+                    });
                 decisions.push(match standby {
                     Some(standby) => SupervisorDecision::RepairJournal {
                         component,
@@ -478,6 +570,17 @@ impl Supervisor {
             if let Some(standby) = self.standbys.get(&component).cloned() {
                 if self.reachable(&standby) {
                     decisions.push(self.promote(component, standby, reason));
+                    continue;
+                }
+            }
+
+            // A primary with a replica set holds a quorum election: the
+            // reachable member with the longest reported prefix is
+            // promoted under a bumped epoch and the survivors re-parent.
+            if let Some(set) = self.replica_sets.get(&component).cloned() {
+                if let Some(elected) = self.elect(&set) {
+                    self.reparent_after_promotion(&component, &elected);
+                    decisions.push(self.promote(component, elected, reason));
                     continue;
                 }
             }
@@ -836,6 +939,105 @@ mod tests {
                     if component == "a" && monitor == "journal"
             )),
             "{d:?}"
+        );
+    }
+
+    #[test]
+    fn quorum_election_promotes_the_longest_prefix_and_reparents() {
+        let mut s = Supervisor::new(&["a", "b", "c", "d"], policy());
+        s.designate_replica_set("a", &["b", "c", "d", "ghost"]);
+        assert_eq!(
+            s.replica_set("a").unwrap(),
+            &["b", "c", "d"],
+            "unknown members are dropped"
+        );
+        for n in ["b", "c", "d"] {
+            s.heartbeat(n, SimTime::from_millis(9));
+        }
+        // Polled prefixes: c holds the longest quorum-committed prefix.
+        s.note_replica_lsn("b", 7);
+        s.note_replica_lsn("c", 9);
+        s.note_replica_lsn("d", 9); // tie with c: slice order wins
+        s.crash_component("a");
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert_eq!(
+            d,
+            vec![SupervisorDecision::Failover {
+                component: "a".into(),
+                standby: "c".into(),
+                reason: "crashed".into(),
+                epoch: 2,
+            }]
+        );
+        // Survivors re-parented under the elected primary; the shipped
+        // one_primary_per_epoch keys update exactly as in the 2-node path.
+        assert_eq!(s.replica_set("c").unwrap(), &["b", "d"]);
+        assert!(s.replica_set("a").is_none());
+        assert_eq!(s.state().str("primary"), Some("c"));
+        assert_eq!(s.state().int("epoch"), Some(2));
+        // The healed ex-primary rejoins the set as a replica.
+        s.rejoin("a", SimTime::from_millis(20));
+        s.add_replica("c", "a");
+        assert_eq!(s.replica_set("c").unwrap(), &["b", "d", "a"]);
+    }
+
+    #[test]
+    fn election_skips_unreachable_members_and_falls_back_to_restart() {
+        let mut s = Supervisor::new(&["a", "b", "c"], policy());
+        s.designate_replica_set("a", &["b", "c"]);
+        for n in ["b", "c"] {
+            s.heartbeat(n, SimTime::from_millis(9));
+        }
+        s.note_replica_lsn("b", 12);
+        s.note_replica_lsn("c", 3);
+        // The freshest member is partitioned: the election must pick the
+        // reachable laggard, never the unreachable leader.
+        s.note_partitioned("b", true);
+        s.crash_component("a");
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert!(
+            d.iter().any(|x| matches!(
+                x,
+                SupervisorDecision::Failover { standby, .. } if standby == "c"
+            )),
+            "{d:?}"
+        );
+        // Whole set unreachable: the primary falls back to plain restart.
+        let mut s = Supervisor::new(&["a", "b", "c"], policy());
+        s.designate_replica_set("a", &["b", "c"]);
+        s.note_partitioned("b", true);
+        s.note_partitioned("c", true);
+        s.crash_component("a");
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert!(
+            d.iter().any(|x| matches!(
+                x,
+                SupervisorDecision::Restart { component, .. } if component == "a"
+            )),
+            "{d:?}"
+        );
+        assert_eq!(s.epoch(), 1, "no promotion happened");
+    }
+
+    #[test]
+    fn journal_damage_elects_a_repair_source_from_the_replica_set() {
+        let mut s = Supervisor::new(&["a", "b", "c"], policy());
+        s.designate_replica_set("a", &["b", "c"]);
+        for n in ["a", "b", "c"] {
+            s.heartbeat(n, SimTime::from_millis(9));
+        }
+        s.note_replica_lsn("b", 4);
+        s.note_replica_lsn("c", 8);
+        s.note_journal_damage("a", "crc mismatch");
+        let d = s.tick(SimTime::from_millis(10)).unwrap();
+        assert_eq!(
+            d,
+            vec![SupervisorDecision::RepairJournal {
+                component: "a".into(),
+                standby: "c".into(),
+                reason: "crc mismatch".into(),
+            }],
+            "the freshest set member serves as the anti-entropy source"
         );
     }
 

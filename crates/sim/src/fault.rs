@@ -1232,6 +1232,171 @@ pub fn random_upgrade_campaign(name: &str, seed: u64, cfg: &UpgradeCampaignConfi
     b.build()
 }
 
+/// Shape of a randomized *quorum* campaign (the E15 workload): every fault
+/// family the simulator knows — node crashes, full and asymmetric
+/// partitions, loss spikes, storage faults on any replica's journal, state
+/// corruption, live upgrades — composed against an N-node replica set.
+///
+/// The generator tracks which nodes are currently incapacitated (crashed or
+/// partitioned) and never lets that count exceed `max_faulty`, so the
+/// quorum-safety claims ("no quorum-committed update lost with at most a
+/// minority faulty") are stated over exactly the schedules the campaign can
+/// produce. Non-incapacitating faults — one-direction link outages, loss
+/// spikes, journal damage, corruption, upgrades — land on any node at any
+/// time.
+#[derive(Debug, Clone)]
+pub struct QuorumCampaignConfig {
+    /// Replica-set members; the first entry is the initial primary.
+    pub nodes: Vec<String>,
+    /// Candidate corruptions: `(state key, corrupt value)` pairs, applied
+    /// by the harness to whichever node is primary when the event fires.
+    pub corruptions: Vec<(String, String)>,
+    /// Candidate model names pushed by `BeginUpgrade` events, in rotation;
+    /// leave empty to exclude live upgrades from the campaign.
+    pub candidates: Vec<String>,
+    /// Campaign horizon: no event fires at or after this instant.
+    pub horizon: SimDuration,
+    /// Mean time between campaign events (exponential).
+    pub mean_gap: SimDuration,
+    /// Mean time an incapacitating fault keeps its victim down
+    /// (exponential); also paces heal events for links and loss spikes.
+    pub mean_downtime: SimDuration,
+    /// Upper bound on simultaneously incapacitated nodes; `0` means a
+    /// strict minority of `nodes` (`(n - 1) / 2`).
+    pub max_faulty: u64,
+    /// Probability an event is a component crash (node process dies).
+    pub crash_chance: f64,
+    /// Probability an event is a full node partition (after the crash
+    /// roll). Crash and partition rolls degrade to one-direction link
+    /// outages when the `max_faulty` budget is already spent.
+    pub partition_chance: f64,
+    /// Probability an event is a one-direction link outage.
+    pub link_chance: f64,
+    /// Probability an event is a loss spike on a directed link.
+    pub loss_chance: f64,
+    /// Loss probability installed by a spike (restored to 0 at heal time).
+    pub spike_loss: f64,
+    /// Probability an event is a state corruption.
+    pub corrupt_chance: f64,
+    /// Probability an event is an upgrade push; the remainder of the
+    /// probability mass is a storage fault (torn write, bit flip, dropped
+    /// unsynced tail, or truncated snapshot) on a random node's journal.
+    pub upgrade_chance: f64,
+    /// Upper bound on the bytes a torn write leaves of the final record.
+    pub max_torn_bytes: u64,
+}
+
+impl Default for QuorumCampaignConfig {
+    fn default() -> Self {
+        QuorumCampaignConfig {
+            nodes: Vec::new(),
+            corruptions: Vec::new(),
+            candidates: Vec::new(),
+            horizon: SimDuration::from_millis(10_000),
+            mean_gap: SimDuration::from_millis(700),
+            mean_downtime: SimDuration::from_millis(1_200),
+            max_faulty: 0,
+            crash_chance: 0.18,
+            partition_chance: 0.15,
+            link_chance: 0.1,
+            loss_chance: 0.12,
+            spike_loss: 0.4,
+            corrupt_chance: 0.12,
+            upgrade_chance: 0.08,
+            max_torn_bytes: 24,
+        }
+    }
+}
+
+/// Generates a randomized composed-chaos plan over a replica set: events
+/// arrive at exponentially-distributed intervals until the horizon, each
+/// rolled into one of the configured fault families against a seeded
+/// victim node (or directed node pair). Incapacitating faults (crashes,
+/// full partitions) respect the `max_faulty` budget — when it is spent the
+/// roll degrades to an asymmetric link outage, which a quorum tolerates.
+/// Partitions, link outages, and loss spikes emit their own heal events,
+/// clamped inside the horizon. Deterministic in `seed` — the same seed
+/// always yields the identical model.
+pub fn random_quorum_campaign(name: &str, seed: u64, cfg: &QuorumCampaignConfig) -> Model {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut b = FaultPlanBuilder::new(name).seed(seed);
+    let n = cfg.nodes.len();
+    if n < 2 {
+        return b.build();
+    }
+    let max_faulty = if cfg.max_faulty == 0 {
+        (n as u64 - 1) / 2
+    } else {
+        cfg.max_faulty
+    };
+    let horizon = cfg.horizon.as_micros();
+    // Virtual instant each node becomes healthy again; a node is
+    // incapacitated while its entry exceeds the current event time.
+    let mut faulty_until = vec![0u64; n];
+    let mut next_candidate = 0usize;
+    let mut t = 0u64;
+    loop {
+        let gap = rng.exponential(cfg.mean_gap.as_micros() as f64).max(1.0) as u64;
+        t = t.saturating_add(gap);
+        if t >= horizon {
+            break;
+        }
+        let at = SimTime::from_micros(t);
+        let down = rng.exponential(cfg.mean_downtime.as_micros() as f64).max(1.0) as u64;
+        let heal_us = t.saturating_add(down).min(horizon - 1).max(t + 1);
+        let heal_at = SimTime::from_micros(heal_us);
+        let idx = rng.range(0, n as u64) as usize;
+        let node = &cfg.nodes[idx];
+        // A second, distinct node for directed-link faults.
+        let jdx = (idx + 1 + rng.range(0, n as u64 - 1) as usize) % n;
+        let to = &cfg.nodes[jdx];
+        let currently_faulty = faulty_until.iter().filter(|&&u| u > t).count() as u64;
+        let can_incap = currently_faulty < max_faulty && faulty_until[idx] <= t;
+        let roll = rng.unit();
+        let c1 = cfg.crash_chance;
+        let c2 = c1 + cfg.partition_chance;
+        let c3 = c2 + cfg.link_chance;
+        let c4 = c3 + cfg.loss_chance;
+        let c5 = c4 + cfg.corrupt_chance;
+        let c6 = c5 + cfg.upgrade_chance;
+        b = if roll < c1 && can_incap {
+            faulty_until[idx] = heal_us;
+            b.crash_component(at, node)
+        } else if roll < c2 && can_incap {
+            faulty_until[idx] = heal_us;
+            b.partition(at, node).heal_node(heal_at, node)
+        } else if roll < c3 {
+            // Also the degraded form of crash/partition rolls once the
+            // minority budget is spent: one direction of one link.
+            b.link_down(at, node, to).link_up(heal_at, node, to)
+        } else if roll < c4 {
+            b.loss_spike(at, node, to, cfg.spike_loss)
+                .loss_spike(heal_at, node, to, 0.0)
+        } else if roll < c5 && !cfg.corruptions.is_empty() {
+            let pick = (rng.unit() * cfg.corruptions.len() as f64) as usize;
+            let (key, value) = &cfg.corruptions[pick.min(cfg.corruptions.len() - 1)];
+            b.corrupt_state(at, node, key, value)
+        } else if roll < c6 && !cfg.candidates.is_empty() {
+            let candidate = &cfg.candidates[next_candidate % cfg.candidates.len()];
+            next_candidate += 1;
+            b.begin_upgrade(at, node, candidate)
+        } else {
+            let r2 = rng.unit();
+            if r2 < 0.4 {
+                let bytes = rng.range(1, cfg.max_torn_bytes.max(1) + 1);
+                b.torn_write(at, node, bytes)
+            } else if r2 < 0.75 {
+                b.bit_flip(at, node, rng.next_u64() >> 16)
+            } else if r2 < 0.9 {
+                b.drop_unsynced(at, node, rng.range(1, 3))
+            } else {
+                b.truncate_snapshot(at, node)
+            }
+        };
+    }
+    b.build()
+}
+
 /// Executes a compiled [`FaultPlan`] against the simulation substrate as
 /// virtual time advances.
 ///
@@ -2041,6 +2206,104 @@ mod tests {
             },
         );
         assert!(FaultPlan::from_model(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn random_quorum_campaigns_stay_inside_the_minority_budget() {
+        let nodes: Vec<String> = ["a", "b", "c", "d", "e"].iter().map(|s| s.to_string()).collect();
+        let cfg = QuorumCampaignConfig {
+            nodes: nodes.clone(),
+            corruptions: vec![("tier".into(), "gamma".into())],
+            candidates: vec!["v2".into()],
+            horizon: SimDuration::from_millis(120_000),
+            ..QuorumCampaignConfig::default()
+        };
+        let a = random_quorum_campaign("q", 17, &cfg);
+        let b = random_quorum_campaign("q", 17, &cfg);
+        assert_eq!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&b));
+        conformance::check(&a, &fault_metamodel()).unwrap();
+        let c = random_quorum_campaign("q", 18, &cfg);
+        assert_ne!(mddsm_meta::text::write(&a), mddsm_meta::text::write(&c));
+
+        let known: std::collections::BTreeSet<&str> = nodes.iter().map(|s| s.as_str()).collect();
+        let mut families = std::collections::BTreeSet::new();
+        // The minority budget covers crashes too, but crash durations are
+        // internal to the generator; partitions carry their heal events, so
+        // the partition overlap bound is externally checkable.
+        let mut partitioned = std::collections::BTreeSet::new();
+        let mut max_partitioned = 0usize;
+        for seed in 0..8u64 {
+            let plan = FaultPlan::from_model(&random_quorum_campaign("q", seed, &cfg)).unwrap();
+            assert!(!plan.is_empty(), "seed {seed} produces events");
+            partitioned.clear();
+            for e in plan.events() {
+                assert!(e.at.as_micros() < cfg.horizon.as_micros() + cfg.horizon.as_micros());
+                match &e.action {
+                    FaultAction::CrashComponent { component } => {
+                        assert!(known.contains(component.as_str()));
+                        families.insert("crash");
+                    }
+                    FaultAction::Partition { node } => {
+                        assert!(known.contains(node.as_str()));
+                        assert!(
+                            partitioned.insert(node.clone()),
+                            "node partitioned while already partitioned"
+                        );
+                        max_partitioned = max_partitioned.max(partitioned.len());
+                        families.insert("partition");
+                    }
+                    FaultAction::HealNode { node } => {
+                        partitioned.remove(node);
+                    }
+                    FaultAction::LinkDown { from, to } | FaultAction::LinkUp { from, to } => {
+                        assert!(known.contains(from.as_str()) && known.contains(to.as_str()));
+                        assert_ne!(from, to, "link faults connect distinct nodes");
+                        families.insert("link");
+                    }
+                    FaultAction::LossSpike { from, to, .. } => {
+                        assert!(known.contains(from.as_str()) && known.contains(to.as_str()));
+                        assert_ne!(from, to);
+                        families.insert("loss");
+                    }
+                    FaultAction::CorruptState { key, value, .. } => {
+                        assert_eq!((key.as_str(), value.as_str()), ("tier", "gamma"));
+                        families.insert("corrupt");
+                    }
+                    FaultAction::BeginUpgrade { candidate, .. } => {
+                        assert_eq!(candidate, "v2");
+                        families.insert("upgrade");
+                    }
+                    FaultAction::TornWrite { component, .. }
+                    | FaultAction::BitFlip { component, .. }
+                    | FaultAction::DropUnsynced { component, .. }
+                    | FaultAction::TruncateSnapshot { component } => {
+                        assert!(known.contains(component.as_str()));
+                        families.insert("storage");
+                    }
+                    other => panic!("unexpected action {other:?}"),
+                }
+            }
+            // Every partition heals before the horizon.
+            assert!(partitioned.is_empty(), "seed {seed} leaves a partition open");
+        }
+        assert!(
+            max_partitioned <= 2,
+            "never more than a minority of 5 simultaneously partitioned"
+        );
+        assert!(
+            families.len() >= 6,
+            "campaign interleaves the fault families, saw {families:?}"
+        );
+        // Fewer than two nodes cannot form a quorum: empty plan.
+        let solo = random_quorum_campaign(
+            "q",
+            17,
+            &QuorumCampaignConfig {
+                nodes: vec!["a".into()],
+                ..cfg.clone()
+            },
+        );
+        assert!(FaultPlan::from_model(&solo).unwrap().is_empty());
     }
 
     #[test]

@@ -71,6 +71,9 @@ struct NetworkInner {
     partitioned: BTreeSet<String>,
     rng: SimRng,
     stats: NetStats,
+    /// Per-directed-pair breakdown of `stats`, so failure analysis can
+    /// attribute loss to a specific link (E15 quorum campaigns).
+    link_stats: BTreeMap<(String, String), NetStats>,
 }
 
 impl NetworkInner {
@@ -83,16 +86,23 @@ impl NetworkInner {
             .get(&(from.to_owned(), to.to_owned()))
             .cloned()
             .unwrap_or_else(|| self.default_link.clone());
+        let per_link = self
+            .link_stats
+            .entry((from.to_owned(), to.to_owned()))
+            .or_default();
         if !link.up || self.partitioned.contains(from) || self.partitioned.contains(to) {
             self.stats.partitioned += 1;
+            per_link.partitioned += 1;
             return SendOutcome::Dropped;
         }
         if self.rng.chance(link.loss) {
             self.stats.lost += 1;
+            per_link.lost += 1;
             return SendOutcome::Dropped;
         }
         let latency = link.latency.sample(&mut self.rng);
         self.stats.delivered += 1;
+        per_link.delivered += 1;
         SendOutcome::Scheduled(latency)
     }
 }
@@ -107,6 +117,7 @@ impl Network {
                 partitioned: BTreeSet::new(),
                 rng: SimRng::seed_from_u64(seed),
                 stats: NetStats::default(),
+                link_stats: BTreeMap::new(),
             })),
         }
     }
@@ -201,6 +212,29 @@ impl Network {
     /// Current delivery statistics.
     pub fn stats(&self) -> NetStats {
         self.inner.borrow().stats
+    }
+
+    /// Delivery statistics of the directed link `from -> to` alone. Every
+    /// attempt accounted in [`Network::stats`] is also accounted here
+    /// under its (from, to) pair; a pair never attempted reads as zeros.
+    pub fn link_stats(&self, from: &str, to: &str) -> NetStats {
+        self.inner
+            .borrow()
+            .link_stats
+            .get(&(from.to_owned(), to.to_owned()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All directed pairs that ever attempted a message, with their
+    /// per-link statistics, in deterministic (from, to) order.
+    pub fn link_stats_all(&self) -> Vec<((String, String), NetStats)> {
+        self.inner
+            .borrow()
+            .link_stats
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
     }
 
     /// Attempts one message `from -> to` *synchronously*: samples the link
@@ -382,6 +416,48 @@ mod tests {
         assert_eq!(net.transmit("a", "b"), SendOutcome::Dropped);
         let s = net.stats();
         assert_eq!((s.delivered, s.partitioned, s.lost), (1, 1, 0));
+    }
+
+    #[test]
+    fn per_link_stats_attribute_every_attempt_exactly() {
+        let (mut sim, net) = setup();
+        // Three delivered a->b, one partitioned a->b, two delivered b->a,
+        // one lost c->d (loss 1.0 is deterministic), nothing on d->c.
+        for _ in 0..3 {
+            assert!(matches!(
+                net.send(&mut sim, "a", "b", |_| {}),
+                SendOutcome::Scheduled(_)
+            ));
+        }
+        net.set_link_down("a", "b");
+        assert_eq!(net.send(&mut sim, "a", "b", |_| {}), SendOutcome::Dropped);
+        for _ in 0..2 {
+            assert!(matches!(net.transmit("b", "a"), SendOutcome::Scheduled(_)));
+        }
+        net.set_link_loss("c", "d", 1.0);
+        assert_eq!(net.transmit("c", "d"), SendOutcome::Dropped);
+
+        let ab = net.link_stats("a", "b");
+        assert_eq!((ab.delivered, ab.lost, ab.partitioned), (3, 0, 1));
+        let ba = net.link_stats("b", "a");
+        assert_eq!((ba.delivered, ba.lost, ba.partitioned), (2, 0, 0));
+        let cd = net.link_stats("c", "d");
+        assert_eq!((cd.delivered, cd.lost, cd.partitioned), (0, 1, 0));
+        assert_eq!(net.link_stats("d", "c"), NetStats::default());
+
+        // The per-link breakdown sums exactly to the aggregates.
+        let all = net.link_stats_all();
+        assert_eq!(all.len(), 3);
+        let total = net.stats();
+        assert_eq!(
+            all.iter().map(|(_, s)| s.delivered).sum::<u64>(),
+            total.delivered
+        );
+        assert_eq!(all.iter().map(|(_, s)| s.lost).sum::<u64>(), total.lost);
+        assert_eq!(
+            all.iter().map(|(_, s)| s.partitioned).sum::<u64>(),
+            total.partitioned
+        );
     }
 
     #[test]
